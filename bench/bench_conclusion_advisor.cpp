@@ -1,0 +1,76 @@
+// E11 — §6's conclusion, executable: "it is important to select the
+// optimal security architecture given the energy and performance budget
+// of the application."
+//
+// Three application profiles from the paper's narrative, each run
+// through the advisor (which scores the live architecture traits the E2
+// probes validate):
+//   * multi-tenant cloud inference (server, cache-SCA + DMA threats);
+//   * third-party mobile payment apps (mobile, no vendor gatekeeping,
+//     shipped silicon only);
+//   * medical wearable sensor fleet (embedded, real-time, remote
+//     attestation, physically exposed — cf. the paper's WearIT4Health
+//     acknowledgement).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/advisor.h"
+#include "table.h"
+
+namespace sim = hwsec::sim;
+namespace core = hwsec::core;
+
+namespace {
+
+void BM_RecommendAll(benchmark::State& state) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kMobile;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::recommend(req));
+  }
+}
+BENCHMARK(BM_RecommendAll)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hwsec::bench::section("E11 / §6 — architecture selection for three application profiles");
+
+  {
+    std::cout << "--- multi-tenant cloud inference service ---\n";
+    core::Requirements req;
+    req.platform = sim::DeviceClass::kServer;
+    req.multiple_enclaves = true;
+    req.remote_attestation = true;
+    req.cache_sca_threat = true;
+    req.malicious_peripherals = true;
+    std::cout << core::render_recommendations(req, core::recommend(req)) << "\n";
+  }
+  {
+    std::cout << "--- third-party mobile payment apps ---\n";
+    core::Requirements req;
+    req.platform = sim::DeviceClass::kMobile;
+    req.multiple_enclaves = true;
+    req.no_vendor_gatekeeping = true;
+    req.existing_hardware_only = true;
+    req.cache_sca_threat = true;
+    req.secure_peripheral_io = true;
+    std::cout << core::render_recommendations(req, core::recommend(req)) << "\n";
+  }
+  {
+    std::cout << "--- medical wearable sensor fleet ---\n";
+    core::Requirements req;
+    req.platform = sim::DeviceClass::kEmbedded;
+    req.multiple_enclaves = true;
+    req.remote_attestation = true;
+    req.real_time = true;
+    req.physical_adversary = true;
+    req.malicious_peripherals = true;
+    std::cout << core::render_recommendations(req, core::recommend(req)) << "\n";
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

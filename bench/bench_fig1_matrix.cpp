@@ -1,0 +1,73 @@
+// E1 — regenerates Figure 1: "Adversary models and non-functional
+// requirements (the darker the color, the higher the importance)".
+//
+// Every cell except the remote/local rows (constants straight from §2's
+// text) and the physical-exposure factor (a documented model parameter)
+// is MEASURED: attack probes run against each platform's machine model,
+// and the performance/energy rows come from a reference workload.
+//
+// Paper's expected shape:
+//   remote / local:           dark everywhere;
+//   classical physical:       light on servers -> dark on embedded;
+//   microarchitectural:       dark on servers -> light on embedded;
+//   performance:              high on servers -> low on embedded;
+//   energy budget (tightness): loose on servers -> tight on embedded.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluation.h"
+#include "table.h"
+
+namespace core = hwsec::core;
+
+namespace {
+
+std::vector<core::PlatformEvaluation>& evaluations() {
+  static auto evals = core::evaluate_all_platforms(/*seed=*/2019);
+  return evals;
+}
+
+// google-benchmark wrapper: the per-platform evaluation cost itself is a
+// meaningful number (it runs five attack probes + a workload).
+void BM_EvaluatePlatform(benchmark::State& state) {
+  const auto cls = static_cast<hwsec::sim::DeviceClass>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_platform(cls, 2019));
+  }
+}
+BENCHMARK(BM_EvaluatePlatform)->Arg(0)->Arg(1)->Arg(2)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hwsec::bench::Table;
+
+  hwsec::bench::section("E1 / Figure 1 — adversary models x platforms (measured)");
+  std::cout << core::render_figure1(evaluations()) << "\n";
+  std::cout << "legend: ' . '=0 (minor) ... '+++'=3 (critical), per measured level\n";
+
+  hwsec::bench::section("measurements behind the matrix");
+  Table t({"platform", "MIPS", "nJ/insn", "uarch ok", "phys ok", "exposure"},
+          {12, 12, 12, 12, 12, 10});
+  t.print_header();
+  for (const auto& e : evaluations()) {
+    t.print_row(e.platform, e.mips, e.nj_per_instruction, e.uarch_success_rate,
+                e.physical_success_rate, e.physical_exposure);
+  }
+
+  hwsec::bench::section("attack probes (per platform)");
+  Table p({"platform", "probe", "applicable", "succeeded", "detail"}, {12, 24, 12, 11, 44});
+  p.print_header();
+  for (const auto& e : evaluations()) {
+    for (const auto& probe : e.uarch_probes) {
+      p.print_row(e.platform, probe.name, probe.applicable, probe.succeeded, probe.detail);
+    }
+    for (const auto& probe : e.physical_probes) {
+      p.print_row(e.platform, probe.name, probe.applicable, probe.succeeded, probe.detail);
+    }
+    p.print_rule();
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,227 @@
+// E2 — regenerates the §3 architecture comparison: all eight surveyed
+// designs instantiated on their target platform class, their declared
+// traits cross-checked by live probes (capacity, attestation, DMA,
+// isolation enforcement).
+//
+// Paper's expected shape:
+//   SGX:       N enclaves, memory encryption, DMA->ciphertext, no cache defense;
+//   Sanctum:   N enclaves, no encryption, DMA blocked, LLC partitioning;
+//   TrustZone: 1 enclave, vendor trust required, DMA region assignment;
+//   Sanctuary: N enclaves, no new hardware, exclusion+flush cache defense;
+//   SMART:     0 enclaves (attestation only), DMA leaks plaintext;
+//   Sancus:    N modules, zero-software TCB, DMA leaks;
+//   TrustLite: N static trustlets, config locked after boot, DMA leaks;
+//   TyTAN:     + secure boot, secure storage, real-time.
+#include <benchmark/benchmark.h>
+
+#include "arch/sancus.h"
+#include "arch/sanctuary.h"
+#include "arch/sanctum.h"
+#include "arch/sgx.h"
+#include "arch/smart.h"
+#include "arch/trustlite.h"
+#include "arch/trustzone.h"
+#include "core/arch_matrix.h"
+#include "table.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace core = hwsec::core;
+
+namespace {
+
+tee::EnclaveImage secret_image() {
+  tee::EnclaveImage image;
+  image.name = "asset";
+  image.code = {0x01};
+  image.secret = {'K', 'E', 'Y', '0'};
+  return image;
+}
+
+/// Per-architecture probe context.
+struct Row {
+  core::ArchitectureAssessment assessment;
+  hwsec::sim::Cycle enter_exit_cycles = 0;
+};
+
+/// Measures call_enclave round-trip cost (the §3 performance dimension).
+sim::Cycle measure_entry_cost(tee::Architecture& a, tee::EnclaveId id) {
+  sim::Cpu& cpu = a.machine().cpu(0);
+  const sim::Cycle before = cpu.cycles();
+  a.call_enclave(id, 0, [](tee::EnclaveContext&) {});
+  // Sanctuary pins to core 1; fall back to the max across cores.
+  sim::Cycle after = cpu.cycles();
+  for (std::uint32_t c = 0; c < a.machine().num_cores(); ++c) {
+    after = std::max(after, a.machine().cpu(static_cast<sim::CoreId>(c)).cycles());
+  }
+  return after - before;
+}
+
+Row assess_sgx() {
+  static sim::Machine machine(sim::MachineProfile::server(), 301);
+  static arch::Sgx sgx(machine);
+  const auto id = sgx.create_enclave(secret_image()).value;
+  const tee::EnclaveInfo* info = sgx.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      sgx, info->phys_of(1), {'K', 'E', 'Y', '0'}, [&]() {
+        auto aspace = machine.create_address_space();
+        aspace.map(0x70000000, sim::page_base(info->base), sim::pte::kUser);
+        machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor,
+                                      aspace.root(), 30);
+        return machine.cpu(0).mmu().translate(0x70000000, sim::AccessType::kRead).fault !=
+               sim::Fault::kNone;
+      });
+  row.enter_exit_cycles = measure_entry_cost(sgx, id);
+  return row;
+}
+
+Row assess_sanctum() {
+  static sim::Machine machine(sim::MachineProfile::server(), 302);
+  static arch::Sanctum sanctum(machine);
+  const auto id = sanctum.create_enclave(secret_image()).value;
+  const tee::EnclaveInfo* info = sanctum.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      sanctum, info->phys_of(1), {'K', 'E', 'Y', '0'}, [&]() {
+        auto aspace = machine.create_address_space();
+        aspace.map(0x70000000, sim::page_base(info->base), sim::pte::kUser);
+        machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor,
+                                      aspace.root(), 31);
+        return machine.cpu(0).mmu().translate(0x70000000, sim::AccessType::kRead).fault !=
+               sim::Fault::kNone;
+      });
+  row.enter_exit_cycles = measure_entry_cost(sanctum, id);
+  return row;
+}
+
+Row assess_trustzone() {
+  static sim::Machine machine(sim::MachineProfile::mobile(), 303);
+  static arch::TrustZone tz(machine);
+  tz.vendor_sign(secret_image());
+  // Also pre-sign the capacity probes? No: capacity probe images are
+  // unsigned, so TrustZone reports kVerificationFailed — itself a finding
+  // the table shows (vendor trust required).
+  const auto id = tz.create_enclave(secret_image()).value;
+  const tee::EnclaveInfo* info = tz.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      tz, info->phys_of(1), {'K', 'E', 'Y', '0'}, [&]() {
+        return machine.bus()
+                   .cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor, info->base)
+                   .fault != sim::Fault::kNone;
+      });
+  row.enter_exit_cycles = measure_entry_cost(tz, id);
+  return row;
+}
+
+Row assess_sanctuary() {
+  static sim::Machine machine(sim::MachineProfile::mobile(), 304);
+  static arch::Sanctuary sanctuary(machine);
+  const auto id = sanctuary.create_enclave(secret_image()).value;
+  const tee::EnclaveInfo* info = sanctuary.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      sanctuary, info->phys_of(1), {'K', 'E', 'Y', '0'}, [&]() {
+        return machine.bus()
+                   .cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor, info->base)
+                   .fault != sim::Fault::kNone;
+      });
+  row.enter_exit_cycles = measure_entry_cost(sanctuary, id);
+  return row;
+}
+
+Row assess_smart() {
+  static sim::Machine machine(sim::MachineProfile::embedded(), 305);
+  static arch::Smart smart(machine);
+  Row row;
+  row.assessment = core::assess_architecture(
+      smart, smart.key_phys(), smart.report_verification_key(),
+      [&]() { return smart.try_key_access(0x80000) != sim::Fault::kNone; });
+  row.enter_exit_cycles = 0;  // no enclave entry exists.
+  return row;
+}
+
+Row assess_sancus() {
+  static sim::Machine machine(sim::MachineProfile::embedded(), 306);
+  static arch::Sancus sancus(machine);
+  const auto id = sancus.create_enclave(secret_image()).value;
+  const tee::EnclaveInfo* info = sancus.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      sancus, info->base + sim::kPageSize, {'K', 'E', 'Y', '0'},
+      [&]() { return sancus.try_data_access(id, 0x80000) != sim::Fault::kNone; });
+  row.enter_exit_cycles = measure_entry_cost(sancus, id);
+  return row;
+}
+
+Row assess_trustlite() {
+  static sim::Machine machine(sim::MachineProfile::embedded(), 307);
+  static arch::TrustLite trustlite(machine);
+  const auto id = trustlite.create_enclave(secret_image()).value;
+  trustlite.boot();
+  const tee::EnclaveInfo* info = trustlite.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      trustlite, info->base + sim::kPageSize, {'K', 'E', 'Y', '0'},
+      [&]() { return trustlite.try_data_access(id, 0x80000) != sim::Fault::kNone; });
+  row.enter_exit_cycles = measure_entry_cost(trustlite, id);
+  return row;
+}
+
+Row assess_tytan() {
+  static sim::Machine machine(sim::MachineProfile::embedded(), 308);
+  static arch::TyTan tytan(machine);
+  tytan.boot();
+  const auto id = tytan.create_enclave(secret_image()).value;
+  const tee::EnclaveInfo* info = tytan.enclave(id);
+  Row row;
+  row.assessment = core::assess_architecture(
+      tytan, info->base + sim::kPageSize, {'K', 'E', 'Y', '0'},
+      [&]() { return tytan.try_data_access(id, 0x80000) != sim::Fault::kNone; });
+  row.enter_exit_cycles = measure_entry_cost(tytan, id);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hwsec::bench::Table;
+
+  std::vector<Row> rows = {assess_sgx(),     assess_sanctum(),   assess_trustzone(),
+                           assess_sanctuary(), assess_smart(),   assess_sancus(),
+                           assess_trustlite(), assess_tytan()};
+
+  hwsec::bench::section("E2 / §3 — architecture comparison (declared traits + live probes)");
+  std::vector<core::ArchitectureAssessment> assessments;
+  for (const auto& r : rows) {
+    assessments.push_back(r.assessment);
+  }
+  std::cout << core::render_matrix(assessments);
+
+  hwsec::bench::section("capability details");
+  Table t({"arch", "attest", "sec.boot", "storage", "realtime", "vendor-trust", "new-hw",
+           "entry cyc"},
+          {12, 14, 10, 9, 10, 14, 8, 10});
+  t.print_header();
+  for (const auto& r : rows) {
+    const auto& a = r.assessment.traits;
+    t.print_row(a.name, tee::to_string(a.attestation), a.secure_boot, a.secure_storage,
+                a.real_time_capable, a.vendor_trust_required, a.new_hardware_required,
+                r.enter_exit_cycles);
+  }
+
+  hwsec::bench::section("threat-model coverage (from the paper's text, probed above)");
+  Table c({"arch", "considers cache SCA", "considers DMA", "DMA probe outcome"},
+          {12, 22, 16, 20});
+  c.print_header();
+  for (const auto& r : rows) {
+    c.print_row(r.assessment.traits.name, r.assessment.traits.considers_cache_sca,
+                r.assessment.traits.considers_dma, core::to_string(r.assessment.dma));
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

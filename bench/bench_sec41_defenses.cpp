@@ -1,0 +1,187 @@
+// E4 — §4.1 architectural cache-side-channel defenses: the same
+// Prime+Probe attacker against the same AES service hosted by each
+// architecture.
+//
+// Paper's expected shape:
+//   SGX        — "do not provide cache side-channel protection": key falls;
+//   TrustZone  — same (TruSpy [44]): key falls;
+//   Sanctum    — shared-LLC partitioning via page coloring: attack starves;
+//   Sanctuary  — exclusion from shared caches + private flush: attack blind;
+//   constant-time software — nothing to observe.
+//
+// Plus the E4 ablation: way-partitioning (DAWG-style) as the alternative
+// LLC partitioning mechanism, and the cost side of each defense (enclave
+// AES latency).
+#include <benchmark/benchmark.h>
+
+#include "arch/sanctuary.h"
+#include "arch/sanctum.h"
+#include "arch/sgx.h"
+#include "arch/trustzone.h"
+#include "attacks/cache/cache_attacks.h"
+#include "table.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace attacks = hwsec::attacks;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+const crypto::AesKey kKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                             0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+constexpr std::uint64_t kTrials = 600;
+
+struct Outcome {
+  std::string host;
+  std::string defense;
+  std::uint32_t nibbles = 0;
+  double victim_latency = 0.0;  ///< mean victim cycles per encryption.
+};
+
+template <typename MakeVictim>
+Outcome run_attack(const std::string& host, const std::string& defense, sim::Machine& machine,
+                   MakeVictim&& make_victim,
+                   attacks::EvictionSetBuilder::FrameAllocator allocator = nullptr) {
+  auto victim = make_victim();
+  attacks::CacheAttackConfig config;
+  config.trials = kTrials;
+  double total_latency = 0.0;
+  std::uint64_t runs = 0;
+  const auto fn = [&victim, &total_latency, &runs](const crypto::AesBlock& pt) {
+    const auto run = victim->encrypt(pt);
+    total_latency += static_cast<double>(run.latency);
+    ++runs;
+    return run;
+  };
+  const auto result =
+      attacks::prime_probe_attack(machine, victim->layout(), fn, config, std::move(allocator));
+  Outcome o;
+  o.host = host;
+  o.defense = defense;
+  o.nibbles = result.correct_nibbles(kKey);
+  o.victim_latency = runs ? total_latency / static_cast<double>(runs) : 0.0;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Outcome> outcomes;
+
+  {  // SGX: no cache defense.
+    sim::Machine machine(sim::MachineProfile::server(), 401);
+    arch::Sgx sgx(machine);
+    outcomes.push_back(run_attack("Intel SGX", "none", machine, [&] {
+      return std::make_unique<attacks::EnclaveAesVictim>(sgx, kKey, 1);
+    }));
+  }
+  {  // TrustZone: no cache defense.
+    sim::Machine machine(sim::MachineProfile::mobile(), 402);
+    arch::TrustZone tz(machine);
+    tee::EnclaveImage identity;
+    identity.name = "aes-service";
+    identity.code = {0xAE, 0x50};
+    identity.heap_pages = 2;
+    tz.vendor_sign(identity);
+    outcomes.push_back(run_attack("ARM TrustZone", "none (TruSpy)", machine, [&] {
+      return std::make_unique<attacks::EnclaveAesVictim>(tz, kKey, 0);
+    }));
+  }
+  {  // Sanctum: page-coloring LLC partition.
+    sim::Machine machine(sim::MachineProfile::server(), 403);
+    arch::Sanctum sanctum(machine);
+    outcomes.push_back(run_attack(
+        "Sanctum", "LLC coloring", machine,
+        [&] { return std::make_unique<attacks::EnclaveAesVictim>(sanctum, kKey, 1); },
+        [&sanctum] { return sanctum.alloc_os_frame(); }));
+  }
+  {  // Sanctuary: shared-cache exclusion + flush.
+    sim::Machine machine(sim::MachineProfile::mobile(), 404);
+    arch::Sanctuary sanctuary(machine);
+    outcomes.push_back(run_attack("Sanctuary", "exclusion+flush", machine, [&] {
+      return std::make_unique<attacks::EnclaveAesVictim>(sanctuary, kKey, 1);
+    }));
+  }
+  {  // Software countermeasure: constant-time AES in a plain process.
+    sim::Machine machine(sim::MachineProfile::server(), 405);
+    const sim::PhysAddr tables = machine.alloc_frames(2);
+    struct CtVictim {
+      crypto::AesConstantTime aes;
+      attacks::TableLayout layout_;
+      const attacks::TableLayout& layout() const { return layout_; }
+      attacks::AesCacheVictim::Run encrypt(const crypto::AesBlock& pt) {
+        return {aes.encrypt(pt), 120};  // fixed-latency software.
+      }
+    };
+    outcomes.push_back(run_attack("(software)", "constant-time AES", machine, [&] {
+      auto v = std::make_unique<CtVictim>(CtVictim{crypto::AesConstantTime(kKey),
+                                                   attacks::layout_tables(tables)});
+      return v;
+    }));
+  }
+  {  // Ablation: DAWG-style way partitioning instead of coloring.
+    sim::Machine machine(sim::MachineProfile::server(), 406);
+    const sim::PhysAddr tables = machine.alloc_frames(2);
+    // Enclave domain 7 gets ways 0-3; everyone else ways 4-15.
+    machine.caches().llc().set_way_partition(7, 0, 4);
+    machine.caches().llc().set_way_partition(sim::kDomainNormal, 4, 12);
+    outcomes.push_back(run_attack("(ablation)", "LLC way partition", machine, [&] {
+      return std::make_unique<attacks::AesCacheVictim>(machine, 1, 7, tables, kKey);
+    }));
+  }
+  {  // Ablation: randomized mapping ([40]-family), mapping learned by attacker.
+    sim::Machine machine(sim::MachineProfile::server(), 408);
+    machine.caches().llc().set_index_scramble(0xD00D);
+    const sim::PhysAddr tables = machine.alloc_frames(2);
+    outcomes.push_back(run_attack("(ablation)", "rand. mapping (static)", machine, [&] {
+      return std::make_unique<attacks::AesCacheVictim>(machine, 1, 7, tables, kKey);
+    }));
+  }
+  {  // Ablation: randomized mapping with periodic re-keying.
+    sim::Machine machine(sim::MachineProfile::server(), 409);
+    machine.caches().llc().set_index_scramble(0xD00D);
+    const sim::PhysAddr tables = machine.alloc_frames(2);
+    auto inner = std::make_unique<attacks::AesCacheVictim>(machine, 1, 7, tables, kKey);
+    struct RekeyingVictim {
+      attacks::AesCacheVictim* inner;
+      sim::Machine* machine;
+      std::uint64_t calls = 0;
+      std::uint64_t epoch = 0;
+      const attacks::TableLayout& layout() const { return inner->layout(); }
+      attacks::AesCacheVictim::Run encrypt(const crypto::AesBlock& pt) {
+        if (++calls % 8 == 0) {
+          machine->caches().llc().rekey(0xD00D + (++epoch));
+        }
+        return inner->encrypt(pt);
+      }
+    };
+    auto keeper = std::make_unique<RekeyingVictim>(RekeyingVictim{inner.get(), &machine});
+    outcomes.push_back(run_attack("(ablation)", "rand. mapping + rekey", machine,
+                                  [&] { return std::move(keeper); }));
+  }
+  {  // Baseline for the cost column: unprotected plain process.
+    sim::Machine machine(sim::MachineProfile::server(), 407);
+    const sim::PhysAddr tables = machine.alloc_frames(2);
+    outcomes.push_back(run_attack("(baseline)", "no defense", machine, [&] {
+      return std::make_unique<attacks::AesCacheVictim>(machine, 1, 7, tables, kKey);
+    }));
+  }
+
+  hwsec::bench::section("E4 / §4.1 — Prime+Probe (600 obs.) vs. architectural defenses");
+  hwsec::bench::Table t(
+      {"host", "cache defense", "nibbles ok /16", "attack works", "victim cyc/blk"},
+      {15, 24, 16, 14, 16});
+  t.print_header();
+  for (const auto& o : outcomes) {
+    t.print_row(o.host, o.defense, o.nibbles, o.nibbles >= 12 ? "YES" : "no",
+                o.victim_latency);
+  }
+  std::cout << "\n(defense cost shows in victim cyc/blk: Sanctuary's exclusion runs table\n"
+               " lookups at DRAM speed after the first L1 fill; partitioning is near-free)\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

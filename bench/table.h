@@ -1,0 +1,72 @@
+// Shared fixed-width table printer for the experiment harnesses.
+//
+// Every bench binary regenerates one of the paper's artifacts as a table
+// or series; this keeps the output format uniform so EXPERIMENTS.md can
+// quote it directly.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hwsec::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, std::vector<int> widths)
+      : headers_(std::move(headers)), widths_(std::move(widths)) {}
+
+  void print_header() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      os << std::left << std::setw(widths_[i]) << headers_[i];
+    }
+    std::cout << os.str() << "\n";
+    std::cout << std::string(total_width(), '-') << "\n";
+  }
+
+  template <typename... Cells>
+  void print_row(const Cells&... cells) const {
+    std::ostringstream os;
+    std::size_t i = 0;
+    ((os << std::left << std::setw(widths_[i++]) << format(cells)), ...);
+    std::cout << os.str() << "\n";
+  }
+
+  void print_rule() const { std::cout << std::string(total_width(), '-') << "\n"; }
+
+ private:
+  static std::string format(const std::string& s) { return s; }
+  static std::string format(const char* s) { return s; }
+  static std::string format(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string format(const T& v) {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(2) << v;
+    } else {
+      os << v;
+    }
+    return os.str();
+  }
+
+  int total_width() const {
+    int w = 0;
+    for (int x : widths_) {
+      w += x;
+    }
+    return w;
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace hwsec::bench

@@ -1,0 +1,101 @@
+// Scenario: a mobile banking app protecting its transaction-signing key —
+// the §3.2 motivation ("protecting sensitive user-space code on mobile
+// devices based on ARM TrustZone").
+//
+// Three deployments of the same AES-based signing service on the same
+// phone-class machine:
+//   (a) plain app in normal-world memory       -> Prime+Probe steals the key;
+//   (b) TrustZone trusted app                  -> needs the vendor's blessing,
+//       and TruSpy-style cache probing still works;
+//   (c) Sanctuary app                          -> no vendor gatekeeping, and
+//       the cache exclusion defense blinds the attacker.
+//
+// Build & run:   ./build/examples/mobile_banking
+#include <iostream>
+
+#include "arch/sanctuary.h"
+#include "arch/trustzone.h"
+#include "attacks/cache/cache_attacks.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace attacks = hwsec::attacks;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+const crypto::AesKey kSigningKey = {0x13, 0x37, 0xc0, 0xde, 0xba, 0x5e, 0xba, 0x11,
+                                    0x0f, 0xf1, 0xce, 0x00, 0x12, 0x34, 0x56, 0x78};
+
+std::uint32_t attack(sim::Machine& machine, const attacks::TableLayout& layout,
+                     const attacks::VictimFn& victim) {
+  attacks::CacheAttackConfig config;
+  config.trials = 500;
+  const auto result = attacks::prime_probe_attack(machine, layout, victim, config);
+  return result.correct_nibbles(kSigningKey);
+}
+
+void report(const std::string& deployment, std::uint32_t nibbles) {
+  std::cout << "  " << deployment << ": attacker recovered " << nibbles
+            << "/16 key nibbles -> " << (nibbles >= 12 ? "KEY COMPROMISED" : "key safe")
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "A malware app on the same phone runs LLC Prime+Probe against the\n"
+               "banking app's transaction-signing service.\n\n";
+
+  {  // (a) plain app.
+    sim::Machine machine(sim::MachineProfile::mobile(), 7001);
+    const sim::PhysAddr tables = machine.alloc_frames(2);
+    attacks::AesCacheVictim victim(machine, 1, 7, tables, kSigningKey);
+    report("plain app (no TEE)      ",
+           attack(machine, victim.layout(),
+                  [&victim](const crypto::AesBlock& pt) { return victim.encrypt(pt); }));
+  }
+
+  {  // (b) TrustZone TA.
+    sim::Machine machine(sim::MachineProfile::mobile(), 7002);
+    arch::TrustZone tz(machine);
+
+    // First pain: deployment needs the device vendor's signature.
+    tee::EnclaveImage identity;
+    identity.name = "aes-service";
+    identity.code = {0xAE, 0x50};
+    identity.heap_pages = 2;
+    const auto unsigned_attempt = tz.create_enclave(identity);
+    std::cout << "  TrustZone, unsigned TA  : deployment "
+              << tee::to_string(unsigned_attempt.error)
+              << " (the vendor trust relationship the paper calls costly)\n";
+    tz.vendor_sign(identity);
+
+    attacks::EnclaveAesVictim victim(tz, kSigningKey, 0);
+    report("TrustZone TA (signed)   ",
+           attack(machine, victim.layout(),
+                  [&victim](const crypto::AesBlock& pt) { return victim.encrypt(pt); }));
+  }
+
+  {  // (c) Sanctuary app.
+    sim::Machine machine(sim::MachineProfile::mobile(), 7003);
+    arch::Sanctuary sanctuary(machine);
+    attacks::EnclaveAesVictim victim(sanctuary, kSigningKey, 1);
+    report("Sanctuary app           ",
+           attack(machine, victim.layout(),
+                  [&victim](const crypto::AesBlock& pt) { return victim.encrypt(pt); }));
+
+    // And the deployment story: no vendor in the loop, attestation works.
+    tee::Nonce nonce{};
+    nonce[3] = 0x77;
+    std::cout << "  Sanctuary deployment    : no vendor signature needed; attestation "
+              << (sanctuary.attestation_round_trip(nonce) ? "verifies" : "FAILS") << "\n";
+  }
+
+  std::cout << "\nShape of the result (paper §3.2/§4.1): TrustZone's single secure world\n"
+               "neither scales to third-party apps nor defends the cache side channel;\n"
+               "Sanctuary provides unlimited user-space enclaves on the same silicon and\n"
+               "its cache-exclusion defense blinds the probing malware.\n";
+  return 0;
+}

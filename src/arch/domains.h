@@ -1,0 +1,30 @@
+// Security-domain id conventions used by the architecture models.
+//
+// The simulator compares domain ids but assigns them no meaning; these
+// constants are the meaning.
+#pragma once
+
+#include "sim/types.h"
+
+namespace hwsec::arch {
+
+/// The untrusted OS / normal world / host application.
+inline constexpr hwsec::sim::DomainId kOsDomain = hwsec::sim::kDomainNormal;
+
+/// TrustZone's secure world (one domain for the whole world — the paper's
+/// "single enclave" observation).
+inline constexpr hwsec::sim::DomainId kSecureWorldDomain = 1;
+
+/// Bus attribute for DMA devices the OS controls (the malicious
+/// peripheral in DMA-attack experiments).
+inline constexpr hwsec::sim::DomainId kUntrustedDeviceDomain = 2;
+
+/// Bus attribute for peripherals assigned to the secure world
+/// (TrustZone's secure channels).
+inline constexpr hwsec::sim::DomainId kSecureDeviceDomain = 3;
+
+/// First id handed out to dynamically created enclaves (SGX enclaves,
+/// Sanctum enclaves, Sanctuary apps, Sancus modules, Trustlets).
+inline constexpr hwsec::sim::DomainId kFirstEnclaveDomain = 16;
+
+}  // namespace hwsec::arch

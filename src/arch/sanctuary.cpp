@@ -1,0 +1,156 @@
+#include "arch/sanctuary.h"
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+
+Sanctuary::Sanctuary(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(config) {
+  secure_world_key_.resize(32);
+  for (auto& b : secure_world_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+
+  // TZASC re-use: each SA region is reachable only with the SA's own bus
+  // identity. CPU and DMA transactions are filtered alike.
+  bus_check_id_ = machine.bus().add_check(
+      [this](sim::PhysAddr addr, sim::AccessType, sim::DomainId domain, sim::Privilege,
+             bool) -> sim::Fault {
+        for (const Region& r : regions_) {
+          if (addr >= r.base && addr < r.end) {
+            const tee::EnclaveInfo* info = enclave(r.owner);
+            if (info == nullptr || info->domain != domain) {
+              return sim::Fault::kSecurityViolation;
+            }
+          }
+        }
+        return sim::Fault::kNone;
+      });
+}
+
+Sanctuary::~Sanctuary() {
+  machine_->bus().remove_check(bus_check_id_);
+  machine_->caches().clear_uncacheable();
+}
+
+const tee::ArchitectureTraits& Sanctuary::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "Sanctuary",
+      .reference = "[7]",
+      .target = sim::DeviceClass::kMobile,
+      .tcb = tee::TcbType::kVendorPrimitives,
+      .enclave_capacity = -1,  // "an arbitrary number of user-space enclaves".
+      .memory_encryption = false,
+      .dma_defense = tee::DmaDefense::kRegionAssignment,
+      .cache_defense = tee::CacheDefense::kExclusionAndFlush,
+      .secure_peripheral_channels = true,  // via secure-world primitives.
+      .attestation = tee::AttestationSupport::kLocalAndRemote,
+      .code_isolation = true,
+      .real_time_capable = false,
+      .secure_boot = true,
+      .secure_storage = true,
+      .vendor_trust_required = false,  // the problem Sanctuary solves.
+      .new_hardware_required = false,  // "without introducing new hardware".
+      .considers_cache_sca = true,
+      .considers_dma = true,
+  };
+  return kTraits;
+}
+
+bool Sanctuary::in_sanctuary_memory(sim::PhysAddr addr) const {
+  for (const Region& r : regions_) {
+    if (addr >= r.base && addr < r.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+tee::Expected<tee::EnclaveId> Sanctuary::create_enclave(const tee::EnclaveImage& image) {
+  const std::uint32_t pages = image_pages(image);
+  tee::EnclaveInfo info;
+  info.name = image.name;
+  info.measurement = tee::measure_image(image);
+  info.domain = next_domain_++;
+  info.base = machine_->alloc_frames(pages);  // ordinary normal-world DRAM.
+  info.pages = pages;
+  info.initialized = true;
+  tee::EnclaveInfo& registered = register_enclave(std::move(info));
+  regions_.push_back(
+      {registered.id, registered.base, registered.base + pages * sim::kPageSize});
+  load_image(image, registered);
+
+  if (config_.exclude_from_shared_caches) {
+    machine_->caches().add_uncacheable(registered.base, pages * sim::kPageSize,
+                                       sim::CacheHierarchy::Exclusion::kSharedOnly);
+  }
+  return {.value = registered.id, .error = tee::EnclaveError::kOk};
+}
+
+tee::EnclaveError Sanctuary::destroy_enclave(tee::EnclaveId id) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  machine_->memory().fill(info->base, info->pages * sim::kPageSize, 0);
+  machine_->caches().flush_domain(info->domain);
+  std::erase_if(regions_, [id](const Region& r) { return r.owner == id; });
+  // Rebuild the exclusion list without this SA's range.
+  machine_->caches().clear_uncacheable();
+  if (config_.exclude_from_shared_caches) {
+    for (const Region& r : regions_) {
+      machine_->caches().add_uncacheable(r.base, r.end - r.base,
+                                         sim::CacheHierarchy::Exclusion::kSharedOnly);
+    }
+  }
+  unregister_enclave(id);
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError Sanctuary::call_enclave(tee::EnclaveId id, sim::CoreId /*core*/,
+                                          const Service& service) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  const sim::CoreId core = config_.sanctuary_core;
+  sim::Cpu& cpu = machine_->cpu(core);
+  const sim::DomainId saved_domain = cpu.domain();
+  const sim::Privilege saved_priv = cpu.privilege();
+
+  // Core hand-over to the SA: private caches flushed so neither occupant
+  // can probe the other's L1 footprint.
+  if (config_.flush_private_caches_on_switch) {
+    machine_->caches().flush_core_private(core);
+  }
+  cpu.switch_context(info->domain, sim::Privilege::kUser, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(300);  // core isolation setup via secure-world primitives.
+
+  tee::EnclaveContext ctx(*machine_, core, *info);
+  service(ctx);
+
+  if (config_.flush_private_caches_on_switch) {
+    machine_->caches().flush_core_private(core);
+  }
+  cpu.switch_context(saved_domain, saved_priv, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(300);
+  return tee::EnclaveError::kOk;
+}
+
+tee::Expected<tee::AttestationReport> Sanctuary::attest(tee::EnclaveId id,
+                                                        const tee::Nonce& nonce) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  // Attestation is a vendor primitive executed in the secure world.
+  return {.value = tee::make_report(secure_world_key_, info->measurement, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+std::vector<std::uint8_t> Sanctuary::report_verification_key() const {
+  return secure_world_key_;
+}
+
+}  // namespace hwsec::arch

@@ -1,0 +1,71 @@
+// Sanctuary model (paper §3.2, [7]) — user-space enclaves on unmodified
+// TrustZone hardware.
+//
+// Modeled mechanisms:
+//  * Sanctuary Apps (SAs) live in *normal-world* memory but each SA's
+//    memory is bound, TZASC-style, to the SA's own bus identity and to
+//    the physical core it temporarily owns. The secure world shrinks to
+//    vendor-provided security primitives only (the TCB reduction that
+//    removes the vendor<->app-developer trust requirement).
+//  * unlimited enclaves on already-shipped silicon: no new hardware.
+//  * cache story (§4.1): Sanctuary cannot partition the shared cache (it
+//    changes no hardware), so instead SA memory is made *uncacheable in
+//    the shared levels* and core-private caches are flushed on every SA
+//    entry/exit. Shared-cache Prime+Probe finds no SA lines to evict;
+//    the cost is that SA memory traffic runs at DRAM speed.
+//  * DMA protection and secure peripheral channels are inherited from the
+//    TrustZone address-space controller.
+#pragma once
+
+#include <vector>
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class Sanctuary final : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    /// Core temporarily dedicated to SA execution.
+    hwsec::sim::CoreId sanctuary_core = 1;
+    bool flush_private_caches_on_switch = true;
+    /// Exclude SA memory from shared cache levels (the §4.1 defense).
+    bool exclude_from_shared_caches = true;
+  };
+
+  explicit Sanctuary(hwsec::sim::Machine& machine) : Sanctuary(machine, Config{}) {}
+  Sanctuary(hwsec::sim::Machine& machine, Config config);
+  ~Sanctuary() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  /// Sanctuary pins SA execution to the dedicated core; the `core`
+  /// argument is ignored (kept for interface compatibility).
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+  std::vector<std::uint8_t> report_verification_key() const override;
+
+  bool in_sanctuary_memory(hwsec::sim::PhysAddr addr) const;
+  const Config& config() const { return config_; }
+
+ private:
+  struct Region {
+    hwsec::tee::EnclaveId owner;
+    hwsec::sim::PhysAddr base;
+    hwsec::sim::PhysAddr end;
+  };
+
+  Config config_;
+  std::vector<Region> regions_;
+  hwsec::sim::DomainId next_domain_ = kFirstEnclaveDomain;
+  std::vector<std::uint8_t> secure_world_key_;  ///< vendor primitive: attestation.
+  std::size_t bus_check_id_ = 0;
+};
+
+}  // namespace hwsec::arch

@@ -1,0 +1,197 @@
+#include "arch/sanctum.h"
+
+#include <stdexcept>
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+
+Sanctum::Sanctum(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(config) {
+  if (config_.num_colors < 2 || (config_.num_colors & (config_.num_colors - 1)) != 0 ||
+      64 % config_.num_colors != 0) {
+    throw std::invalid_argument("num_colors must be a power of two dividing 64");
+  }
+  // Upper half of the color space is the enclave pool; the OS allocates
+  // from the lower half. Disjoint colors => disjoint LLC sets.
+  for (std::uint32_t c = config_.num_colors / 2; c < config_.num_colors; ++c) {
+    free_enclave_colors_.insert(c);
+  }
+
+  monitor_key_.resize(32);
+  for (auto& b : monitor_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+
+  // Page-walker invariant checks on every core.
+  for (std::uint32_t c = 0; c < machine.num_cores(); ++c) {
+    machine.cpu(static_cast<sim::CoreId>(c))
+        .mmu()
+        .set_walk_check([this](sim::VirtAddr, const sim::Translation& t, sim::AccessType,
+                               sim::Privilege, sim::DomainId domain) -> sim::Fault {
+          for (const Region& r : enclave_regions_) {
+            if (t.phys >= r.base && t.phys < r.end) {
+              const tee::EnclaveInfo* info = enclave(r.owner);
+              if (info == nullptr || info->domain != domain) {
+                return sim::Fault::kSecurityViolation;
+              }
+            }
+          }
+          return sim::Fault::kNone;
+        });
+  }
+
+  // Memory-controller DMA filter: Sanctum's "basic DMA attack protection".
+  dma_check_id_ = machine.bus().add_check(
+      [this](sim::PhysAddr addr, sim::AccessType, sim::DomainId, sim::Privilege,
+             bool is_dma) -> sim::Fault {
+        if (is_dma && in_enclave_memory(addr)) {
+          return sim::Fault::kSecurityViolation;
+        }
+        return sim::Fault::kNone;
+      });
+}
+
+Sanctum::~Sanctum() {
+  machine_->bus().remove_check(dma_check_id_);
+  for (std::uint32_t c = 0; c < machine_->num_cores(); ++c) {
+    machine_->cpu(static_cast<sim::CoreId>(c)).mmu().set_walk_check(nullptr);
+  }
+}
+
+const tee::ArchitectureTraits& Sanctum::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "Sanctum",
+      .reference = "[11]",
+      .target = sim::DeviceClass::kServer,
+      .tcb = tee::TcbType::kMonitor,
+      .enclave_capacity = -1,
+      .memory_encryption = false,  // explicit difference from SGX.
+      .dma_defense = tee::DmaDefense::kRangeFilter,
+      .cache_defense = tee::CacheDefense::kLlcPartitioning,
+      .secure_peripheral_channels = false,
+      .attestation = tee::AttestationSupport::kLocalAndRemote,
+      .code_isolation = true,
+      .real_time_capable = false,
+      .secure_boot = true,  // measured monitor boot.
+      .secure_storage = false,
+      .vendor_trust_required = false,
+      .new_hardware_required = true,  // "small hardware changes".
+      .considers_cache_sca = true,
+      .considers_dma = true,
+  };
+  return kTraits;
+}
+
+hwsec::sim::PhysAddr Sanctum::alloc_os_frame() {
+  // Round-robin over the OS half of the color space.
+  const std::uint32_t color = os_color_rr_ % (config_.num_colors / 2);
+  ++os_color_rr_;
+  return machine_->alloc_frame_colored(color, config_.num_colors);
+}
+
+bool Sanctum::in_enclave_memory(sim::PhysAddr addr) const {
+  for (const Region& r : enclave_regions_) {
+    if (addr >= r.base && addr < r.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+tee::Expected<tee::EnclaveId> Sanctum::create_enclave(const tee::EnclaveImage& image) {
+  if (free_enclave_colors_.empty()) {
+    return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kOutOfMemory};
+  }
+  const std::uint32_t color = *free_enclave_colors_.begin();
+  free_enclave_colors_.erase(free_enclave_colors_.begin());
+
+  const std::uint32_t pages = image_pages(image);
+
+  tee::EnclaveInfo info;
+  info.name = image.name;
+  info.measurement = tee::measure_image(image);
+  info.domain = next_domain_++;
+  info.pages = pages;
+  info.stride_pages = config_.num_colors;  // every frame has `color`.
+  info.base = machine_->alloc_frame_colored(color, config_.num_colors);
+  // Claim the remaining same-color frames (contiguous in color space).
+  for (std::uint32_t p = 1; p < pages; ++p) {
+    const sim::PhysAddr frame = machine_->alloc_frame_colored(color, config_.num_colors);
+    if (frame != info.base + p * config_.num_colors * sim::kPageSize) {
+      // The bump allocator guarantees this layout; anything else is a bug.
+      throw std::logic_error("Sanctum: colored frames not evenly strided");
+    }
+  }
+  info.initialized = true;
+  tee::EnclaveInfo& registered = register_enclave(std::move(info));
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const sim::PhysAddr frame = registered.phys_of(p * sim::kPageSize);
+    enclave_regions_.push_back({registered.id, frame, frame + sim::kPageSize});
+  }
+  load_image(image, registered);
+  return {.value = registered.id, .error = tee::EnclaveError::kOk};
+}
+
+tee::EnclaveError Sanctum::destroy_enclave(tee::EnclaveId id) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  // Monitor scrubs pages and returns the color to the pool.
+  for (std::uint32_t p = 0; p < info->pages; ++p) {
+    const sim::PhysAddr frame = info->phys_of(p * sim::kPageSize);
+    machine_->memory().fill(frame, sim::kPageSize, 0);
+    for (sim::PhysAddr a = frame; a < frame + sim::kPageSize; a += 64) {
+      machine_->caches().flush_line(a);
+    }
+  }
+  free_enclave_colors_.insert(machine_->frame_color(info->base, config_.num_colors));
+  std::erase_if(enclave_regions_, [id](const Region& r) { return r.owner == id; });
+  unregister_enclave(id);
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError Sanctum::call_enclave(tee::EnclaveId id, sim::CoreId core,
+                                        const Service& service) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  sim::Cpu& cpu = machine_->cpu(core);
+  const sim::DomainId saved_domain = cpu.domain();
+  const sim::Privilege saved_priv = cpu.privilege();
+
+  // Enclave entry through the monitor: flush core-private state so the
+  // previous occupant's cache contents cannot be probed (and vice versa).
+  if (config_.flush_private_caches_on_switch) {
+    machine_->caches().flush_core_private(core);
+  }
+  cpu.switch_context(info->domain, sim::Privilege::kUser, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(200);  // monitor-mediated entry is pricier than EENTER.
+
+  tee::EnclaveContext ctx(*machine_, core, *info);
+  service(ctx);
+
+  if (config_.flush_private_caches_on_switch) {
+    machine_->caches().flush_core_private(core);
+  }
+  cpu.switch_context(saved_domain, saved_priv, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(200);
+  return tee::EnclaveError::kOk;
+}
+
+tee::Expected<tee::AttestationReport> Sanctum::attest(tee::EnclaveId id,
+                                                      const tee::Nonce& nonce) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  return {.value = tee::make_report(monitor_key_, info->measurement, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+std::vector<std::uint8_t> Sanctum::report_verification_key() const { return monitor_key_; }
+
+}  // namespace hwsec::arch

@@ -1,0 +1,81 @@
+// Sanctum model (paper §3.1, [11]) — SGX-like enclaves for RISC-V with a
+// software security monitor instead of microcode.
+//
+// Modeled mechanisms:
+//  * monitor TCB: enclave management runs in machine mode (this object);
+//    no microcode, small hardware changes only ("around the page table
+//    walker").
+//  * page-walker invariant checks: the MMU walk check vetoes (a) any
+//    non-enclave translation that resolves into an enclave-owned frame
+//    and (b) any enclave translation that escapes its own frames plus
+//    explicitly shared OS ranges.
+//  * NO memory encryption: DRAM holds enclave plaintext (the paper calls
+//    this difference out explicitly) — instead,
+//  * DMA range filter: the memory controller vetoes DMA into enclave
+//    frames (basic protection, also per the paper).
+//  * LLC partitioning by page coloring: enclave frames are allocated from
+//    colors reserved to that enclave; OS/other allocations come from the
+//    remaining colors, so no LLC set is ever shared — Prime+Probe across
+//    the partition finds nothing to evict.
+//  * core-private caches are flushed on every enclave entry/exit.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class Sanctum final : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    /// Page colors the LLC is divided into (power of two).
+    std::uint32_t num_colors = 8;
+    /// Colors reserved for each enclave (the rest belong to the OS).
+    std::uint32_t colors_per_enclave = 1;
+    bool flush_private_caches_on_switch = true;
+  };
+
+  explicit Sanctum(hwsec::sim::Machine& machine) : Sanctum(machine, Config{}) {}
+  Sanctum(hwsec::sim::Machine& machine, Config config);
+  ~Sanctum() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+  std::vector<std::uint8_t> report_verification_key() const override;
+
+  /// OS-side page allocation: draws only from OS colors, preserving the
+  /// coloring invariant. Attack harnesses allocate attacker buffers here.
+  hwsec::sim::PhysAddr alloc_os_frame();
+
+  /// True if `addr` belongs to any live enclave (the DMA filter's view).
+  bool in_enclave_memory(hwsec::sim::PhysAddr addr) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Region {
+    hwsec::tee::EnclaveId owner;
+    hwsec::sim::PhysAddr base;
+    hwsec::sim::PhysAddr end;
+  };
+
+  Config config_;
+  std::vector<Region> enclave_regions_;
+  std::set<std::uint32_t> free_enclave_colors_;
+  hwsec::sim::DomainId next_domain_ = kFirstEnclaveDomain;
+  std::vector<std::uint8_t> monitor_key_;
+  std::size_t dma_check_id_ = 0;
+  std::uint32_t os_color_rr_ = 0;
+};
+
+}  // namespace hwsec::arch

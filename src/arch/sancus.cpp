@@ -1,0 +1,174 @@
+#include "arch/sancus.h"
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace crypto = hwsec::crypto;
+
+Sancus::Sancus(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(std::move(config)) {
+  // K_master is fused silicon state; it never appears in any memory map
+  // (unlike SMART's ROM key), so even DMA cannot lift it.
+  master_key_.resize(32);
+  for (auto& b : master_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+}
+
+Sancus::~Sancus() {
+  if (!machine_->mpu().locked()) {
+    for (const auto& [id, info] : enclaves_) {
+      machine_->mpu().remove_region("sancus-" + std::to_string(id) + "-code");
+      machine_->mpu().remove_region("sancus-" + std::to_string(id) + "-data");
+    }
+  }
+}
+
+const tee::ArchitectureTraits& Sancus::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "Sancus",
+      .reference = "[33]",
+      .target = sim::DeviceClass::kEmbedded,
+      .tcb = tee::TcbType::kHardwareOnly,  // "zero-software TCB".
+      .enclave_capacity = -1,
+      .memory_encryption = false,
+      .dma_defense = tee::DmaDefense::kNone,
+      .cache_defense = tee::CacheDefense::kNoSharedCaches,
+      .secure_peripheral_channels = false,
+      .attestation = tee::AttestationSupport::kRemote,
+      .code_isolation = true,
+      .real_time_capable = false,
+      .secure_boot = false,
+      .secure_storage = false,
+      .vendor_trust_required = false,
+      .new_hardware_required = true,
+      .considers_cache_sca = false,
+      .considers_dma = false,
+  };
+  return kTraits;
+}
+
+std::vector<std::uint8_t> Sancus::derive_module_key(
+    const std::string& name, const crypto::Sha256Digest& measurement) const {
+  std::vector<std::uint8_t> info(config_.vendor_id.begin(), config_.vendor_id.end());
+  info.insert(info.end(), name.begin(), name.end());
+  info.insert(info.end(), measurement.begin(), measurement.end());
+  const auto key = crypto::hmac_sha256(master_key_, info);
+  return {key.begin(), key.end()};
+}
+
+tee::Expected<tee::EnclaveId> Sancus::create_enclave(const tee::EnclaveImage& image) {
+  // Layout: one code page followed by the data pages. The data section is
+  // reachable only while executing the code section.
+  const std::uint32_t data_pages = std::max(1u, image_pages(image) - 1);
+  const std::uint32_t pages = 1 + data_pages;
+
+  tee::EnclaveInfo info;
+  info.name = image.name;
+  info.measurement = tee::measure_image(image);
+  info.domain = next_domain_++;
+  info.base = machine_->alloc_frames(pages);
+  info.pages = pages;
+  info.initialized = true;
+  tee::EnclaveInfo& registered = register_enclave(std::move(info));
+
+  const sim::PhysAddr code_start = registered.base;
+  const sim::PhysAddr code_end = code_start + sim::kPageSize;
+  const sim::PhysAddr data_end = code_end + data_pages * sim::kPageSize;
+  machine_->mpu().add_region({
+      .name = "sancus-" + std::to_string(registered.id) + "-code",
+      .start = code_start,
+      .end = code_end,
+      .readable = true,
+      .writable = false,
+      .executable = true,
+      .code_gate_start = std::nullopt,
+      .code_gate_end = std::nullopt,
+      .entry_points = {code_start},
+  });
+  machine_->mpu().add_region({
+      .name = "sancus-" + std::to_string(registered.id) + "-data",
+      .start = code_end,
+      .end = data_end,
+      .readable = true,
+      .writable = true,
+      .executable = false,
+      .code_gate_start = code_start,
+      .code_gate_end = code_end,
+      .entry_points = {},
+  });
+
+  // Code into the code page; secret into the data section.
+  machine_->memory().write_block(code_start, image.code);
+  machine_->memory().write_block(code_end, image.secret);
+  return {.value = registered.id, .error = tee::EnclaveError::kOk};
+}
+
+tee::EnclaveError Sancus::destroy_enclave(tee::EnclaveId id) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  machine_->memory().fill(info->base, info->pages * sim::kPageSize, 0);
+  machine_->mpu().remove_region("sancus-" + std::to_string(id) + "-code");
+  machine_->mpu().remove_region("sancus-" + std::to_string(id) + "-data");
+  unregister_enclave(id);
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError Sancus::call_enclave(tee::EnclaveId id, sim::CoreId core,
+                                       const Service& service) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  sim::Cpu& cpu = machine_->cpu(core);
+  const sim::DomainId saved = cpu.domain();
+  cpu.switch_context(info->domain, cpu.privilege(), cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(20);  // hardware entry-point dispatch.
+  tee::EnclaveContext ctx(*machine_, core, *info);
+  service(ctx);
+  cpu.switch_context(saved, cpu.privilege(), cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(20);
+  return tee::EnclaveError::kOk;
+}
+
+tee::Expected<tee::AttestationReport> Sancus::attest(tee::EnclaveId id,
+                                                     const tee::Nonce& nonce) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  const auto module_key = derive_module_key(info->name, info->measurement);
+  return {.value = tee::make_report(module_key, info->measurement, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+bool Sancus::attestation_round_trip(const tee::Nonce& nonce) {
+  tee::EnclaveImage probe;
+  probe.name = "attestation-probe";
+  probe.code = {0x5A};
+  const auto created = create_enclave(probe);
+  if (!created.ok()) {
+    return false;
+  }
+  const auto report = attest(created.value, nonce);
+  bool ok = false;
+  if (report.ok()) {
+    const auto key = derive_module_key(probe.name, tee::measure_image(probe));
+    ok = tee::verify_report(key, report.value, nonce);
+  }
+  destroy_enclave(created.value);
+  return ok;
+}
+
+sim::Fault Sancus::try_data_access(tee::EnclaveId id, sim::PhysAddr pc) const {
+  const tee::EnclaveInfo* info = enclave(id);
+  if (info == nullptr) {
+    return sim::Fault::kBusError;
+  }
+  return machine_->mpu().check(info->base + sim::kPageSize, sim::AccessType::kRead, pc);
+}
+
+}  // namespace hwsec::arch

@@ -1,0 +1,61 @@
+// Sancus model (paper §3.3, [33]) — SMART's ideas with a ZERO-software
+// TCB: isolation and attestation are pure hardware, and multiple
+// "software modules" (SMs) are supported.
+//
+// Modeled mechanisms:
+//  * per-module hardware isolation: an SM's data section is accessible
+//    only while the PC is inside the SM's code section (EA-MPU code
+//    gate); code is enterable only at its declared entry point.
+//  * hardware key hierarchy: K_sm = KDF(K_master, vendor ‖ name ‖
+//    measurement). No software ever handles K_master; verification is
+//    done by the vendor who can derive the same K_sm.
+//  * attestation: MAC over nonce with K_sm — possible only from inside
+//    the module (hardware instruction), giving remote attestation with
+//    no trusted software at all.
+//  * like SMART: no DMA protection, no side-channel consideration.
+#pragma once
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class Sancus final : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    std::string vendor_id = "vendor-0001";
+  };
+
+  explicit Sancus(hwsec::sim::Machine& machine) : Sancus(machine, Config{}) {}
+  Sancus(hwsec::sim::Machine& machine, Config config);
+  ~Sancus() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+
+  /// Attestation round trip with the vendor-side key derivation (there
+  /// is no single platform verification key: every module has its own).
+  bool attestation_round_trip(const hwsec::tee::Nonce& nonce) override;
+
+  /// Vendor-side key derivation (the remote verifier's half of the
+  /// protocol): K_sm for a module with `name` and `measurement`.
+  std::vector<std::uint8_t> derive_module_key(
+      const std::string& name, const hwsec::crypto::Sha256Digest& measurement) const;
+
+  /// MPU verdict for an access to `id`'s data section from code at `pc`.
+  hwsec::sim::Fault try_data_access(hwsec::tee::EnclaveId id, hwsec::sim::PhysAddr pc) const;
+
+ private:
+  Config config_;
+  std::vector<std::uint8_t> master_key_;
+  hwsec::sim::DomainId next_domain_ = kFirstEnclaveDomain;
+};
+
+}  // namespace hwsec::arch

@@ -1,0 +1,410 @@
+#include "arch/sgx.h"
+
+#include <stdexcept>
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Sgx::Sgx(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(config) {
+  epc_base_ = machine.alloc_frames(config_.epc_pages);
+  epcm_.assign(config_.epc_pages, EpcmEntry{});
+
+  // Platform (report) key: fused at manufacturing, reachable only by
+  // microcode — modeled as private state of this object.
+  platform_key_.resize(32);
+  for (auto& b : platform_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+  attestation_key_ = crypto::rsa_generate(machine.rng());
+
+  // MEE: XOR keystream over the EPC range, CPU path only.
+  machine.bus().set_transform(
+      [this](sim::PhysAddr addr, sim::Word value, sim::DomainId, bool) -> sim::Word {
+        if (in_epc(addr)) {
+          return value ^ mee_keystream(addr);
+        }
+        return value;
+      });
+
+  // EPCM enforcement on every core's page walker.
+  for (std::uint32_t c = 0; c < machine.num_cores(); ++c) {
+    machine.cpu(static_cast<sim::CoreId>(c))
+        .mmu()
+        .set_walk_check([this](sim::VirtAddr va, const sim::Translation& t, sim::AccessType type,
+                               sim::Privilege priv, sim::DomainId domain) {
+          return epcm_walk_check(va, t, type, priv, domain);
+        });
+  }
+
+  if (config_.provision_quoting_enclave) {
+    tee::EnclaveImage qe;
+    qe.name = "intel-quoting-enclave";
+    qe.code = {0x51, 0x45};  // measured identity stub.
+    // The attestation private key material, provisioned into EPC memory.
+    for (int i = 0; i < 8; ++i) {
+      qe.secret.push_back(static_cast<std::uint8_t>(attestation_key_.d >> (8 * i)));
+    }
+    const auto created = create_enclave(qe);
+    if (!created.ok()) {
+      throw std::runtime_error("SGX: failed to provision quoting enclave");
+    }
+    quoting_enclave_id_ = created.value;
+  }
+}
+
+Sgx::~Sgx() {
+  machine_->bus().clear_transform();
+  for (std::uint32_t c = 0; c < machine_->num_cores(); ++c) {
+    machine_->cpu(static_cast<sim::CoreId>(c)).mmu().set_walk_check(nullptr);
+  }
+}
+
+const tee::ArchitectureTraits& Sgx::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "Intel SGX",
+      .reference = "[10][16]",
+      .target = sim::DeviceClass::kServer,
+      .tcb = tee::TcbType::kHardwareAndMicrocode,
+      .enclave_capacity = -1,
+      .memory_encryption = true,
+      .dma_defense = tee::DmaDefense::kEncryptedMemory,
+      .cache_defense = tee::CacheDefense::kNone,
+      .secure_peripheral_channels = false,
+      .attestation = tee::AttestationSupport::kLocalAndRemote,
+      .code_isolation = true,
+      .real_time_capable = false,
+      .secure_boot = false,
+      .secure_storage = true,  // sealing.
+      .vendor_trust_required = true,  // launch control / licensing.
+      .new_hardware_required = true,
+      .considers_cache_sca = false,
+      .considers_dma = true,
+  };
+  return kTraits;
+}
+
+tee::EnclaveError Sgx::bind_va(tee::EnclaveId id, std::uint32_t page_index, sim::VirtAddr va) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr || page_index >= info->pages) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  const sim::PhysAddr frame = sim::page_base(info->phys_of(page_index * sim::kPageSize));
+  epcm_[(frame - epc_base_) / sim::kPageSize].expected_va = sim::page_base(va);
+  return tee::EnclaveError::kOk;
+}
+
+sim::Word Sgx::mee_keystream(sim::PhysAddr addr) const {
+  return static_cast<sim::Word>(splitmix(config_.mee_key_seed ^ (addr & ~3u)));
+}
+
+void Sgx::encrypt_range_in_place(sim::PhysAddr base, std::uint32_t bytes) {
+  for (sim::PhysAddr a = base; a < base + bytes; a += 4) {
+    machine_->memory().write32(a, machine_->memory().read32(a) ^ mee_keystream(a));
+  }
+}
+
+std::optional<std::uint32_t> Sgx::find_free_epc_run(std::uint32_t pages) const {
+  std::uint32_t run = 0;
+  for (std::uint32_t i = 0; i < epcm_.size(); ++i) {
+    if (!epcm_[i].valid && !epcm_[i].swapped_out) {
+      if (++run == pages) {
+        return i + 1 - pages;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+tee::Expected<tee::EnclaveId> Sgx::create_enclave(const tee::EnclaveImage& image) {
+  const std::uint32_t pages = image_pages(image);
+  const auto first = find_free_epc_run(pages);
+  if (!first.has_value()) {
+    return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kOutOfMemory};
+  }
+  const sim::PhysAddr base = epc_base_ + *first * sim::kPageSize;
+
+  tee::EnclaveInfo info;
+  info.name = image.name;
+  info.measurement = tee::measure_image(image);
+  info.domain = next_domain_++;
+  info.base = base;
+  info.pages = pages;
+  info.initialized = true;
+  tee::EnclaveInfo& registered = register_enclave(std::move(info));
+
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    epcm_[*first + p] = {.owner = registered.id, .expected_va = 0, .valid = true,
+                         .swapped_out = false};
+  }
+  // ECREATE/EADD: page contents enter the EPC through the MEE, so DRAM
+  // holds ciphertext.
+  load_image(image, registered);
+  encrypt_range_in_place(base, pages * sim::kPageSize);
+  return {.value = registered.id, .error = tee::EnclaveError::kOk};
+}
+
+tee::EnclaveError Sgx::destroy_enclave(tee::EnclaveId id) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  // EREMOVE scrubs the frames and their cached copies.
+  machine_->memory().fill(info->base, info->pages * sim::kPageSize, 0);
+  for (sim::PhysAddr a = info->base; a < info->base + info->pages * sim::kPageSize; a += 64) {
+    machine_->caches().flush_line(a);
+  }
+  for (auto& entry : epcm_) {
+    if (entry.owner == id) {
+      entry = EpcmEntry{};
+    }
+  }
+  unregister_enclave(id);
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError Sgx::call_enclave(tee::EnclaveId id, sim::CoreId core, const Service& service) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  sim::Cpu& cpu = machine_->cpu(core);
+  const sim::DomainId saved_domain = cpu.domain();
+  const sim::Privilege saved_priv = cpu.privilege();
+
+  // EENTER. SGX does *not* flush any predictor or cache state on entry —
+  // the paper's §4.1 point that enclaves get no architectural cache
+  // side-channel protection.
+  cpu.switch_context(info->domain, sim::Privilege::kUser, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(80);  // EENTER cost.
+
+  tee::EnclaveContext ctx(*machine_, core, *info);
+  service(ctx);
+
+  // EEXIT (+ optional post-Foreshadow L1D flush mitigation).
+  if (config_.flush_l1_on_exit) {
+    machine_->caches().flush_core_private(core);
+  }
+  cpu.switch_context(saved_domain, saved_priv, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(80);
+  return tee::EnclaveError::kOk;
+}
+
+tee::Expected<tee::AttestationReport> Sgx::attest(tee::EnclaveId id, const tee::Nonce& nonce) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  return {.value = tee::make_report(platform_key_, info->measurement, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+std::vector<std::uint8_t> Sgx::report_verification_key() const { return platform_key_; }
+
+const tee::EnclaveInfo* Sgx::quoting_enclave() const { return enclave(quoting_enclave_id_); }
+
+sim::PhysAddr Sgx::quoting_key_phys() const {
+  const tee::EnclaveInfo* qe = quoting_enclave();
+  if (qe == nullptr) {
+    return 0;
+  }
+  // Key bytes sit right after the (2-byte) code in the image layout.
+  return qe->base + 2;
+}
+
+tee::Expected<tee::Quote> Sgx::quote(tee::EnclaveId id, const tee::Nonce& nonce) {
+  if (quoting_enclave_id_ == tee::kInvalidEnclave) {
+    return {.value = {}, .error = tee::EnclaveError::kUnsupported};
+  }
+  const auto report = attest(id, nonce);
+  if (!report.ok()) {
+    return {.value = {}, .error = report.error};
+  }
+  // The quoting enclave reads its private key from its own EPC memory
+  // (decrypted on the CPU path) and signs the report.
+  crypto::u64 d = 0;
+  tee::EnclaveError err = call_enclave(
+      quoting_enclave_id_, 0, [&d](tee::EnclaveContext& ctx) {
+        for (int i = 7; i >= 0; --i) {
+          d = (d << 8) | ctx.read8(2 + static_cast<std::uint32_t>(i));
+        }
+      });
+  if (err != tee::EnclaveError::kOk) {
+    return {.value = {}, .error = err};
+  }
+  if (d != attestation_key_.d) {
+    return {.value = {}, .error = tee::EnclaveError::kVerificationFailed};
+  }
+  return {.value = tee::make_quote(report.value, attestation_key_),
+          .error = tee::EnclaveError::kOk};
+}
+
+namespace {
+
+/// Derives an identity-bound key: HMAC(platform_secret, label ‖ identity).
+std::vector<std::uint8_t> derive_key(std::span<const std::uint8_t> platform_key,
+                                     const std::string& label,
+                                     const crypto::Sha256Digest& identity) {
+  std::vector<std::uint8_t> info(label.begin(), label.end());
+  info.insert(info.end(), identity.begin(), identity.end());
+  const auto key = crypto::hmac_sha256(platform_key, info);
+  return {key.begin(), key.end()};
+}
+
+}  // namespace
+
+tee::Expected<tee::AttestationReport> Sgx::local_report(tee::EnclaveId source,
+                                                        tee::EnclaveId target,
+                                                        const tee::Nonce& nonce) {
+  const tee::EnclaveInfo* src = find_enclave(source);
+  const tee::EnclaveInfo* dst = find_enclave(target);
+  if (src == nullptr || dst == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  // EREPORT: the MAC key is derived from the TARGET's identity, so only
+  // the target (via EGETKEY) can check it.
+  const auto report_key = derive_key(platform_key_, "sgx-report-key", dst->measurement);
+  return {.value = tee::make_report(report_key, src->measurement, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+bool Sgx::verify_local_report(tee::EnclaveId target, const tee::AttestationReport& report,
+                              const tee::Nonce& nonce) const {
+  const tee::EnclaveInfo* dst = enclave(target);
+  if (dst == nullptr) {
+    return false;
+  }
+  const auto report_key = derive_key(platform_key_, "sgx-report-key", dst->measurement);
+  return tee::verify_report(report_key, report, nonce);
+}
+
+tee::Expected<Sgx::SealedBlob> Sgx::seal(tee::EnclaveId id, std::span<const std::uint8_t> data) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  const auto seal_key = derive_key(platform_key_, "sgx-seal-key", info->measurement);
+  SealedBlob blob;
+  blob.sealer_measurement = info->measurement;
+  blob.ciphertext.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    blob.ciphertext[i] = static_cast<std::uint8_t>(data[i] ^ seal_key[i % seal_key.size()]);
+  }
+  blob.mac = crypto::hmac_sha256(seal_key, blob.ciphertext);
+  return {.value = std::move(blob), .error = tee::EnclaveError::kOk};
+}
+
+tee::Expected<std::vector<std::uint8_t>> Sgx::unseal(tee::EnclaveId id, const SealedBlob& blob) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  if (!crypto::digest_equal(info->measurement, blob.sealer_measurement)) {
+    return {.value = {}, .error = tee::EnclaveError::kVerificationFailed};
+  }
+  const auto seal_key = derive_key(platform_key_, "sgx-seal-key", info->measurement);
+  if (!crypto::digest_equal(crypto::hmac_sha256(seal_key, blob.ciphertext), blob.mac)) {
+    return {.value = {}, .error = tee::EnclaveError::kVerificationFailed};
+  }
+  std::vector<std::uint8_t> plain(blob.ciphertext.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(blob.ciphertext[i] ^ seal_key[i % seal_key.size()]);
+  }
+  return {.value = std::move(plain), .error = tee::EnclaveError::kOk};
+}
+
+tee::EnclaveError Sgx::ewb(tee::EnclaveId id, std::uint32_t page_index) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  if (page_index >= info->pages) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  const sim::PhysAddr page = info->base + page_index * sim::kPageSize;
+  const std::uint32_t epcm_index = (page - epc_base_) / sim::kPageSize;
+  if (epcm_[epcm_index].swapped_out) {
+    return tee::EnclaveError::kNotInitialized;
+  }
+  std::vector<std::uint8_t> blob(sim::kPageSize);
+  machine_->memory().read_block(page, blob);  // already MEE ciphertext.
+  swapped_pages_[(static_cast<std::uint64_t>(id) << 32) | page_index] = std::move(blob);
+  machine_->memory().fill(page, sim::kPageSize, 0);
+  for (sim::PhysAddr a = page; a < page + sim::kPageSize; a += 64) {
+    machine_->caches().flush_line(a);
+  }
+  epcm_[epcm_index].swapped_out = true;
+  epcm_[epcm_index].valid = false;
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError Sgx::eldu(tee::EnclaveId id, std::uint32_t page_index, sim::CoreId core) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  const auto it = swapped_pages_.find((static_cast<std::uint64_t>(id) << 32) | page_index);
+  if (it == swapped_pages_.end()) {
+    return tee::EnclaveError::kNotInitialized;
+  }
+  const sim::PhysAddr page = info->base + page_index * sim::kPageSize;
+  machine_->memory().write_block(page, it->second);
+  swapped_pages_.erase(it);
+  const std::uint32_t epcm_index = (page - epc_base_) / sim::kPageSize;
+  epcm_[epcm_index].swapped_out = false;
+  epcm_[epcm_index].valid = true;
+  // The ELDU decryption pipeline streams the page through the cache: the
+  // plaintext lines land in `core`'s L1D. This is the documented lever
+  // Foreshadow uses to make arbitrary enclave pages L1-resident ([38]).
+  for (sim::PhysAddr a = page; a < page + sim::kPageSize; a += 64) {
+    machine_->touch(core, info->domain, a, sim::AccessType::kRead);
+  }
+  // The post-Foreshadow microcode flushes L1D at every SGX boundary —
+  // EEXIT/AEX and the paging instructions alike — so staged plaintext
+  // never survives into attacker execution.
+  if (config_.flush_l1_on_exit) {
+    machine_->caches().flush_core_private(core);
+  }
+  return tee::EnclaveError::kOk;
+}
+
+sim::Fault Sgx::epcm_walk_check(sim::VirtAddr va, const sim::Translation& t,
+                                sim::AccessType /*type*/, sim::Privilege /*priv*/,
+                                sim::DomainId domain) const {
+  if (!in_epc(t.phys)) {
+    return sim::Fault::kNone;  // ordinary memory: no EPCM involvement.
+  }
+  const std::uint32_t index = (t.phys - epc_base_) / sim::kPageSize;
+  const EpcmEntry& entry = epcm_[index];
+  if (!entry.valid) {
+    return sim::Fault::kSecurityViolation;
+  }
+  const auto it = enclaves_.find(entry.owner);
+  if (it == enclaves_.end() || it->second.domain != domain) {
+    // Abort-page semantics in real SGX (reads return ~0 without faulting);
+    // modeled as a security fault — either way, no data.
+    return sim::Fault::kSecurityViolation;
+  }
+  if (entry.expected_va != 0 && sim::page_base(va) != entry.expected_va) {
+    return sim::Fault::kSecurityViolation;
+  }
+  return sim::Fault::kNone;
+}
+
+}  // namespace hwsec::arch

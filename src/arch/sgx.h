@@ -1,0 +1,152 @@
+// Intel SGX model (paper §3.1, [10][16]).
+//
+// Modeled mechanisms:
+//  * EPC (enclave page cache): a reserved physical range; every EPC frame
+//    has an EPCM entry recording its owning enclave and the expected
+//    virtual address (defeats OS remapping attacks).
+//  * EPCM access control: a page-walk check on every core vetoes any
+//    translation that resolves into EPC unless the executing domain is
+//    the owning enclave *and* the virtual address matches the EPCM entry.
+//  * MEE (memory encryption engine): a bus transform that keeps EPC
+//    contents in DRAM encrypted; the CPU-side path decrypts, DMA sees
+//    ciphertext — which is exactly SGX's DMA-attack story.
+//  * Measurement & attestation: MRENCLAVE-style SHA-256 measurement,
+//    local reports MAC'd with a platform key, and remote quotes signed by
+//    an attestation key that lives *inside a quoting enclave's EPC
+//    memory* — the asset Foreshadow extracts.
+//  * Secure page swapping (EWB/ELDU): pages leave the EPC encrypted+MACed
+//    and are reloaded on demand. ELDU decrypts through the cache, leaving
+//    plaintext lines in L1 — the lever Foreshadow uses to make arbitrary
+//    enclave pages L1TF-readable.
+//
+// Deliberate non-features, per the paper: no cache-side-channel defense
+// of any kind (no partitioning, no flush-on-exit by default), and the
+// untrusted OS keeps control of page tables, exception handling and
+// scheduling. `Config::flush_l1_on_exit` models the post-Foreshadow
+// microcode mitigation for the E6 ablation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class Sgx final : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    std::uint32_t epc_pages = 128;
+    std::uint64_t mee_key_seed = 0x5EC2E7;
+    /// Post-Foreshadow microcode mitigation: flush L1D on enclave exit.
+    bool flush_l1_on_exit = false;
+    /// Create the internal quoting enclave (holds the attestation key).
+    bool provision_quoting_enclave = true;
+  };
+
+  explicit Sgx(hwsec::sim::Machine& machine) : Sgx(machine, Config{}) {}
+  Sgx(hwsec::sim::Machine& machine, Config config);
+  ~Sgx() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+  std::vector<std::uint8_t> report_verification_key() const override;
+
+  /// Remote attestation: report -> quote via the quoting enclave.
+  hwsec::tee::Expected<hwsec::tee::Quote> quote(hwsec::tee::EnclaveId id,
+                                                const hwsec::tee::Nonce& nonce);
+
+  /// Local attestation (EREPORT/EGETKEY): a report from `source` bound to
+  /// `target`, MACed with a key only `target` can derive. Only the target
+  /// enclave can verify it — the building block of enclave-to-enclave
+  /// channels (and of the quoting enclave itself).
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> local_report(
+      hwsec::tee::EnclaveId source, hwsec::tee::EnclaveId target, const hwsec::tee::Nonce& nonce);
+  /// Verification as the target enclave would do it (derives the same
+  /// report key from its own identity).
+  bool verify_local_report(hwsec::tee::EnclaveId target,
+                           const hwsec::tee::AttestationReport& report,
+                           const hwsec::tee::Nonce& nonce) const;
+
+  /// Sealing (EGETKEY with the seal-key policy): encrypts + MACs `data`
+  /// under a key bound to the enclave's measurement. Unsealing succeeds
+  /// only for an enclave with the sealer's measurement — data survives
+  /// enclave teardown and reboot, the paper's "persistently store the
+  /// state of an enclave".
+  struct SealedBlob {
+    std::vector<std::uint8_t> ciphertext;
+    hwsec::crypto::Sha256Digest mac{};
+    hwsec::crypto::Sha256Digest sealer_measurement{};
+  };
+  hwsec::tee::Expected<SealedBlob> seal(hwsec::tee::EnclaveId id,
+                                        std::span<const std::uint8_t> data);
+  hwsec::tee::Expected<std::vector<std::uint8_t>> unseal(hwsec::tee::EnclaveId id,
+                                                         const SealedBlob& blob);
+  /// Public half of the attestation key, for verifiers.
+  hwsec::crypto::u64 attestation_n() const { return attestation_key_.n; }
+  hwsec::crypto::u64 attestation_e() const { return attestation_key_.e; }
+
+  // -- facts the (untrusted) OS legitimately knows, used by attacks ------
+  hwsec::sim::PhysAddr epc_base() const { return epc_base_; }
+  std::uint32_t epc_pages() const { return config_.epc_pages; }
+  bool in_epc(hwsec::sim::PhysAddr addr) const {
+    return addr >= epc_base_ && addr < epc_base_ + config_.epc_pages * hwsec::sim::kPageSize;
+  }
+
+  /// Physical address of the quoting enclave's attestation-key bytes
+  /// (the OS can derive this from EPC allocation bookkeeping).
+  hwsec::sim::PhysAddr quoting_key_phys() const;
+  const hwsec::tee::EnclaveInfo* quoting_enclave() const;
+
+  /// EWB: evicts `page_index` of the enclave to normal memory
+  /// (encrypted + MACed), freeing the EPC frame.
+  hwsec::tee::EnclaveError ewb(hwsec::tee::EnclaveId id, std::uint32_t page_index);
+  /// ELDU: reloads a swapped page. The decryption pipeline moves the
+  /// plaintext through `core`'s L1D — observable via L1TF.
+  hwsec::tee::EnclaveError eldu(hwsec::tee::EnclaveId id, std::uint32_t page_index,
+                                hwsec::sim::CoreId core);
+
+  /// Binds `page_index` of the enclave to linear address `va` in the
+  /// EPCM (EADD records the linear address in real SGX). Once bound, any
+  /// translation reaching that EPC frame through a DIFFERENT linear
+  /// address is vetoed — the defense against OS page-remapping attacks.
+  hwsec::tee::EnclaveError bind_va(hwsec::tee::EnclaveId id, std::uint32_t page_index,
+                                   hwsec::sim::VirtAddr va);
+
+  /// MEE keystream word for `addr` (exposed for tests that check DMA
+  /// really sees ciphertext).
+  hwsec::sim::Word mee_keystream(hwsec::sim::PhysAddr addr) const;
+
+ private:
+  struct EpcmEntry {
+    hwsec::tee::EnclaveId owner = hwsec::tee::kInvalidEnclave;
+    hwsec::sim::VirtAddr expected_va = 0;
+    bool valid = false;
+    bool swapped_out = false;
+  };
+
+  hwsec::sim::Fault epcm_walk_check(hwsec::sim::VirtAddr va, const hwsec::sim::Translation& t,
+                                    hwsec::sim::AccessType type, hwsec::sim::Privilege priv,
+                                    hwsec::sim::DomainId domain) const;
+  std::optional<std::uint32_t> find_free_epc_run(std::uint32_t pages) const;
+  void encrypt_range_in_place(hwsec::sim::PhysAddr base, std::uint32_t bytes);
+
+  Config config_;
+  hwsec::sim::PhysAddr epc_base_;
+  std::vector<EpcmEntry> epcm_;
+  hwsec::sim::DomainId next_domain_ = kFirstEnclaveDomain;
+  std::vector<std::uint8_t> platform_key_;
+  hwsec::crypto::RsaKeyPair attestation_key_;
+  hwsec::tee::EnclaveId quoting_enclave_id_ = hwsec::tee::kInvalidEnclave;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> swapped_pages_;
+};
+
+}  // namespace hwsec::arch

@@ -1,0 +1,129 @@
+#include "arch/smart.h"
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace crypto = hwsec::crypto;
+
+Smart::Smart(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(config) {
+  rom_base_ = machine.alloc_frames(config_.rom_code_pages);
+  key_base_ = machine.alloc_frame();
+
+  key_.resize(32);
+  for (auto& b : key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+  // The key also exists in the simulated memory map (it is real silicon
+  // state) — which is exactly why an unconsidered DMA master can lift it.
+  machine.memory().write_block(key_base_, key_);
+
+  const sim::PhysAddr rom_end = rom_base_ + config_.rom_code_pages * sim::kPageSize;
+  machine.mpu().add_region({
+      .name = "smart-rom-code",
+      .start = rom_base_,
+      .end = rom_end,
+      .readable = true,
+      .writable = false,  // ROM.
+      .executable = true,
+      .code_gate_start = std::nullopt,
+      .code_gate_end = std::nullopt,
+      .entry_points = {rom_base_},  // enter only at the first instruction.
+  });
+  machine.mpu().add_region({
+      .name = "smart-key",
+      .start = key_base_,
+      .end = key_base_ + sim::kPageSize,
+      .readable = true,
+      .writable = false,
+      .executable = false,
+      .code_gate_start = rom_base_,  // readable only while PC is in ROM.
+      .code_gate_end = rom_end,
+      .entry_points = {},
+  });
+}
+
+Smart::~Smart() {
+  if (!machine_->mpu().locked()) {
+    machine_->mpu().remove_region("smart-rom-code");
+    machine_->mpu().remove_region("smart-key");
+  }
+}
+
+const tee::ArchitectureTraits& Smart::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "SMART",
+      .reference = "[12]",
+      .target = sim::DeviceClass::kEmbedded,
+      .tcb = tee::TcbType::kRomLoader,
+      .enclave_capacity = 0,  // attestation only, no isolation.
+      .memory_encryption = false,
+      .dma_defense = tee::DmaDefense::kNone,
+      .cache_defense = tee::CacheDefense::kNoSharedCaches,
+      .secure_peripheral_channels = false,
+      .attestation = tee::AttestationSupport::kRemote,
+      .code_isolation = false,
+      .real_time_capable = false,  // interrupts disabled during attestation.
+      .secure_boot = false,
+      .secure_storage = false,
+      .vendor_trust_required = false,
+      .new_hardware_required = true,  // ROM + PC-gated key access.
+      .considers_cache_sca = false,
+      .considers_dma = false,
+  };
+  return kTraits;
+}
+
+tee::Expected<tee::EnclaveId> Smart::create_enclave(const tee::EnclaveImage& /*image*/) {
+  return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kUnsupported};
+}
+
+tee::EnclaveError Smart::destroy_enclave(tee::EnclaveId /*id*/) {
+  return tee::EnclaveError::kUnsupported;
+}
+
+tee::EnclaveError Smart::call_enclave(tee::EnclaveId /*id*/, sim::CoreId /*core*/,
+                                      const Service& /*service*/) {
+  return tee::EnclaveError::kUnsupported;
+}
+
+tee::Expected<tee::AttestationReport> Smart::attest(tee::EnclaveId /*id*/,
+                                                    const tee::Nonce& /*nonce*/) {
+  return {.value = {}, .error = tee::EnclaveError::kUnsupported};
+}
+
+tee::Expected<tee::AttestationReport> Smart::probe_attestation(const tee::Nonce& nonce) {
+  // Attest one page of application memory as the capability probe.
+  const sim::PhysAddr region = machine_->alloc_frame();
+  return {.value = attest_region(region, sim::kPageSize, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+std::vector<std::uint8_t> Smart::report_verification_key() const { return key_; }
+
+tee::AttestationReport Smart::attest_region(sim::PhysAddr start, std::uint32_t len,
+                                            const tee::Nonce& nonce) {
+  // ROM routine, step 1: disable interrupts (SMART's atomicity requirement).
+  interrupts_enabled_ = false;
+
+  // Step 2: hash the region and HMAC the report body with the PC-gated
+  // key (the gate is enforced by the MPU; see try_key_access).
+  std::vector<std::uint8_t> region(len);
+  machine_->memory().read_block(start, region);
+  const tee::AttestationReport report =
+      tee::make_report(key_, crypto::Sha256::hash(region), nonce);
+
+  // Step 3: scrub traces, re-enable interrupts, jump to attested code.
+  last_attestation_cycles_ =
+      static_cast<sim::Cycle>(len) * config_.cycles_per_byte + 400 /* setup+cleanup */;
+  machine_->cpu(0).add_cycles(last_attestation_cycles_);
+  interrupts_enabled_ = true;
+  return report;
+}
+
+sim::Fault Smart::try_key_access(sim::PhysAddr pc) const {
+  return machine_->mpu().check(key_base_, sim::AccessType::kRead, pc);
+}
+
+}  // namespace hwsec::arch

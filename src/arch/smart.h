@@ -1,0 +1,77 @@
+// SMART model (paper §3.3, [12]) — dynamic root of trust for low-end MCUs.
+//
+// Modeled mechanisms:
+//  * ROM attestation routine + attestation key; the key is readable ONLY
+//    while the program counter is inside the ROM routine (an MPU code
+//    gate), and the routine is enterable only at its first instruction
+//    (so the key-handling prologue/cleanup cannot be skipped).
+//  * attestation: HMAC(key, region ‖ nonce ‖ destination) computed with
+//    interrupts disabled, traces scrubbed, then a jump to the attested
+//    code. Interrupt blocking makes SMART unfit for real-time work — the
+//    attestation cost is exposed so the E2 probe can measure it.
+//  * deliberately absent, per the paper: code isolation (no enclaves at
+//    all), side-channel consideration, and DMA protection — the MPU gate
+//    filters only CPU accesses, so a DMA master reads the key (the
+//    Thunderclap-style probe in the E2/DMA experiments shows this).
+#pragma once
+
+#include <span>
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class Smart final : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    std::uint32_t rom_code_pages = 1;
+    /// Cycles modeled per attested byte (HMAC over the region).
+    hwsec::sim::Cycle cycles_per_byte = 25;
+  };
+
+  explicit Smart(hwsec::sim::Machine& machine) : Smart(machine, Config{}) {}
+  Smart(hwsec::sim::Machine& machine, Config config);
+  ~Smart() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  // SMART provides attestation only — no isolation primitives.
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> probe_attestation(
+      const hwsec::tee::Nonce& nonce) override;
+  std::vector<std::uint8_t> report_verification_key() const override;
+
+  /// The SMART primitive: attest [start, start+len) of physical memory.
+  /// Runs the ROM routine: interrupts off, HMAC, cleanup. Interrupt
+  /// blockage duration is visible via last_attestation_cycles().
+  hwsec::tee::AttestationReport attest_region(hwsec::sim::PhysAddr start, std::uint32_t len,
+                                              const hwsec::tee::Nonce& nonce);
+
+  /// CPU attempt to read the key from code at `pc` — the MPU's verdict.
+  /// Attack code uses this to demonstrate the gate (and tests that the
+  /// ROM itself passes).
+  hwsec::sim::Fault try_key_access(hwsec::sim::PhysAddr pc) const;
+
+  hwsec::sim::PhysAddr rom_base() const { return rom_base_; }
+  hwsec::sim::PhysAddr key_phys() const { return key_base_; }
+  std::uint32_t key_bytes() const { return 32; }
+  hwsec::sim::Cycle last_attestation_cycles() const { return last_attestation_cycles_; }
+  bool interrupts_enabled() const { return interrupts_enabled_; }
+
+ private:
+  Config config_;
+  hwsec::sim::PhysAddr rom_base_ = 0;
+  hwsec::sim::PhysAddr key_base_ = 0;
+  std::vector<std::uint8_t> key_;
+  hwsec::sim::Cycle last_attestation_cycles_ = 0;
+  bool interrupts_enabled_ = true;
+};
+
+}  // namespace hwsec::arch

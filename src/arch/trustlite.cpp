@@ -1,0 +1,288 @@
+#include "arch/trustlite.h"
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace crypto = hwsec::crypto;
+
+TrustLite::TrustLite(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(config) {
+  platform_key_.resize(32);
+  for (auto& b : platform_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+}
+
+TrustLite::~TrustLite() {
+  if (!machine_->mpu().locked()) {
+    for (const auto& [id, info] : enclaves_) {
+      machine_->mpu().remove_region("trustlet-" + std::to_string(id) + "-code");
+      machine_->mpu().remove_region("trustlet-" + std::to_string(id) + "-data");
+    }
+  }
+}
+
+const tee::ArchitectureTraits& TrustLite::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "TrustLite",
+      .reference = "[26]",
+      .target = sim::DeviceClass::kEmbedded,
+      .tcb = tee::TcbType::kRomLoader,
+      .enclave_capacity = -1,  // multiple Trustlets, but static after boot.
+      .memory_encryption = false,
+      .dma_defense = tee::DmaDefense::kNone,
+      .cache_defense = tee::CacheDefense::kNoSharedCaches,
+      .secure_peripheral_channels = false,
+      .attestation = tee::AttestationSupport::kLocalAndRemote,
+      .code_isolation = true,
+      .real_time_capable = false,
+      .secure_boot = false,
+      .secure_storage = false,
+      .vendor_trust_required = false,
+      .new_hardware_required = true,  // EA-MPU.
+      .considers_cache_sca = false,
+      .considers_dma = false,
+  };
+  return kTraits;
+}
+
+tee::Expected<tee::EnclaveId> TrustLite::register_trustlet(const tee::EnclaveImage& image,
+                                                           bool allow_after_boot) {
+  if (booted_ && !allow_after_boot) {
+    // EA-MPU configuration is locked; protection regions are static.
+    return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kConfigLocked};
+  }
+  const std::uint32_t data_pages = std::max(1u, image_pages(image) - 1);
+  const std::uint32_t pages = 1 + data_pages;
+
+  tee::EnclaveInfo info;
+  info.name = image.name;
+  info.measurement = tee::measure_image(image);
+  info.domain = next_domain_++;
+  info.base = machine_->alloc_frames(pages);
+  info.pages = pages;
+  info.initialized = booted_;  // pre-boot registrations activate at boot().
+  tee::EnclaveInfo& registered = register_enclave(std::move(info));
+
+  if (booted_) {
+    // Dynamic path (TyTAN): load + program immediately.
+    machine_->memory().write_block(registered.base, image.code);
+    machine_->memory().write_block(registered.base + sim::kPageSize, image.secret);
+    program_mpu_for(registered);
+  } else {
+    pending_.emplace_back(image, registered.id);
+  }
+  return {.value = registered.id, .error = tee::EnclaveError::kOk};
+}
+
+tee::Expected<tee::EnclaveId> TrustLite::create_enclave(const tee::EnclaveImage& image) {
+  return register_trustlet(image, /*allow_after_boot=*/false);
+}
+
+void TrustLite::program_mpu_for(const tee::EnclaveInfo& info) {
+  const sim::PhysAddr code_start = info.base;
+  const sim::PhysAddr code_end = code_start + sim::kPageSize;
+  machine_->mpu().add_region({
+      .name = "trustlet-" + std::to_string(info.id) + "-code",
+      .start = code_start,
+      .end = code_end,
+      .readable = true,
+      .writable = false,
+      .executable = true,
+      .code_gate_start = std::nullopt,
+      .code_gate_end = std::nullopt,
+      .entry_points = {code_start},
+  });
+  machine_->mpu().add_region({
+      .name = "trustlet-" + std::to_string(info.id) + "-data",
+      .start = code_end,
+      .end = info.base + info.pages * sim::kPageSize,
+      .readable = true,
+      .writable = true,
+      .executable = false,
+      .code_gate_start = code_start,
+      .code_gate_end = code_end,
+      .entry_points = {},
+  });
+}
+
+tee::EnclaveError TrustLite::boot() {
+  if (booted_) {
+    return tee::EnclaveError::kOk;
+  }
+  // Secure Loader: load every registered trustlet and program the EA-MPU.
+  for (auto& [image, id] : pending_) {
+    tee::EnclaveInfo* info = find_enclave(id);
+    machine_->memory().write_block(info->base, image.code);
+    machine_->memory().write_block(info->base + sim::kPageSize, image.secret);
+    program_mpu_for(*info);
+    info->initialized = true;
+  }
+  pending_.clear();
+  if (config_.lock_mpu_at_boot) {
+    machine_->mpu().lock();
+  }
+  booted_ = true;
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError TrustLite::destroy_enclave(tee::EnclaveId id) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  if (machine_->mpu().locked()) {
+    return tee::EnclaveError::kConfigLocked;  // static regions.
+  }
+  machine_->memory().fill(info->base, info->pages * sim::kPageSize, 0);
+  machine_->mpu().remove_region("trustlet-" + std::to_string(id) + "-code");
+  machine_->mpu().remove_region("trustlet-" + std::to_string(id) + "-data");
+  unregister_enclave(id);
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError TrustLite::call_enclave(tee::EnclaveId id, sim::CoreId core,
+                                          const Service& service) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  if (!info->initialized) {
+    return tee::EnclaveError::kNotInitialized;
+  }
+  sim::Cpu& cpu = machine_->cpu(core);
+  const sim::DomainId saved = cpu.domain();
+  cpu.switch_context(info->domain, cpu.privilege(), cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(60);  // trustlet entry via declared entry point.
+  tee::EnclaveContext ctx(*machine_, core, *info);
+  service(ctx);
+  cpu.switch_context(saved, cpu.privilege(), cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(60);
+  return tee::EnclaveError::kOk;
+}
+
+tee::Expected<tee::AttestationReport> TrustLite::attest(tee::EnclaveId id,
+                                                        const tee::Nonce& nonce) {
+  const tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  if (!info->initialized) {
+    return {.value = {}, .error = tee::EnclaveError::kNotInitialized};
+  }
+  return {.value = tee::make_report(platform_key_, info->measurement, nonce),
+          .error = tee::EnclaveError::kOk};
+}
+
+tee::Expected<tee::AttestationReport> TrustLite::probe_attestation(const tee::Nonce& nonce) {
+  // The generic probe (create + attest) only works pre-boot; post-boot,
+  // attest an existing trustlet if any.
+  if (!booted_) {
+    boot();
+  }
+  if (!enclaves_.empty()) {
+    return attest(enclaves_.begin()->first, nonce);
+  }
+  return {.value = {}, .error = tee::EnclaveError::kConfigLocked};
+}
+
+std::vector<std::uint8_t> TrustLite::report_verification_key() const { return platform_key_; }
+
+sim::Fault TrustLite::try_data_access(tee::EnclaveId id, sim::PhysAddr pc) const {
+  const tee::EnclaveInfo* info = enclave(id);
+  if (info == nullptr) {
+    return sim::Fault::kBusError;
+  }
+  return machine_->mpu().check(info->base + sim::kPageSize, sim::AccessType::kRead, pc);
+}
+
+// ---- TyTAN -----------------------------------------------------------------
+
+TyTan::TyTan(sim::Machine& machine)
+    : TrustLite(machine, Config{.lock_mpu_at_boot = false}) {
+  storage_key_.resize(32);
+  for (auto& b : storage_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+}
+
+const tee::ArchitectureTraits& TyTan::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "TyTAN",
+      .reference = "[6]",
+      .target = sim::DeviceClass::kEmbedded,
+      .tcb = tee::TcbType::kRomLoader,
+      .enclave_capacity = -1,
+      .memory_encryption = false,
+      .dma_defense = tee::DmaDefense::kNone,
+      .cache_defense = tee::CacheDefense::kNoSharedCaches,
+      .secure_peripheral_channels = false,
+      .attestation = tee::AttestationSupport::kLocalAndRemote,
+      .code_isolation = true,
+      .real_time_capable = true,  // TrustLite "extension for real-time systems".
+      .secure_boot = true,
+      .secure_storage = true,
+      .vendor_trust_required = false,
+      .new_hardware_required = true,
+      .considers_cache_sca = false,
+      .considers_dma = false,
+  };
+  return kTraits;
+}
+
+tee::EnclaveError TyTan::boot() {
+  // Secure boot: refuse to come up on a tampered platform.
+  if (tampered_) {
+    return tee::EnclaveError::kVerificationFailed;
+  }
+  return TrustLite::boot();
+}
+
+tee::Expected<tee::EnclaveId> TyTan::create_enclave(const tee::EnclaveImage& image) {
+  return register_trustlet(image, /*allow_after_boot=*/true);
+}
+
+tee::Expected<TyTan::SealedBlob> TyTan::seal(tee::EnclaveId id,
+                                             std::span<const std::uint8_t> data) {
+  const tee::EnclaveInfo* info = enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  // Key bound to the sealer's measurement: a different trustlet derives a
+  // different keystream and cannot unseal.
+  std::vector<std::uint8_t> binding(info->measurement.begin(), info->measurement.end());
+  const auto derived = crypto::hmac_sha256(storage_key_, binding);
+
+  SealedBlob blob;
+  blob.sealer_measurement = info->measurement;
+  blob.ciphertext.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    blob.ciphertext[i] = static_cast<std::uint8_t>(data[i] ^ derived[i % derived.size()]);
+  }
+  blob.mac = crypto::hmac_sha256(derived, blob.ciphertext);
+  return {.value = std::move(blob), .error = tee::EnclaveError::kOk};
+}
+
+tee::Expected<std::vector<std::uint8_t>> TyTan::unseal(tee::EnclaveId id,
+                                                       const SealedBlob& blob) {
+  const tee::EnclaveInfo* info = enclave(id);
+  if (info == nullptr) {
+    return {.value = {}, .error = tee::EnclaveError::kNoSuchEnclave};
+  }
+  if (!crypto::digest_equal(info->measurement, blob.sealer_measurement)) {
+    return {.value = {}, .error = tee::EnclaveError::kVerificationFailed};
+  }
+  std::vector<std::uint8_t> binding(info->measurement.begin(), info->measurement.end());
+  const auto derived = crypto::hmac_sha256(storage_key_, binding);
+  if (!crypto::digest_equal(crypto::hmac_sha256(derived, blob.ciphertext), blob.mac)) {
+    return {.value = {}, .error = tee::EnclaveError::kVerificationFailed};
+  }
+  std::vector<std::uint8_t> plain(blob.ciphertext.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(blob.ciphertext[i] ^ derived[i % derived.size()]);
+  }
+  return {.value = std::move(plain), .error = tee::EnclaveError::kOk};
+}
+
+}  // namespace hwsec::arch

@@ -1,0 +1,112 @@
+// TrustLite model (paper §3.3, [26]) and its TyTAN extension ([6]).
+//
+// TrustLite's lifecycle, faithfully staged:
+//  1. register trustlets (create_enclave) — only possible pre-boot;
+//  2. boot(): the Secure Loader (ROM) loads every trustlet, programs the
+//     execution-aware MPU (each trustlet's data region is gated by its
+//     own code region), then LOCKS the MPU configuration and starts the
+//     OS. Protection regions are static from here on — the flexibility
+//     limitation the paper notes ("a cleanup as in SMART is not needed
+//     anymore", but nothing can be added either);
+//  3. after boot: call_enclave / attest work; create_enclave returns
+//     kConfigLocked.
+//
+// Like SMART/Sancus: DMA and side channels are out of the threat model.
+//
+// TyTAN (subclass) adds what the paper lists: secure boot (the loader
+// verifies a fused measurement before starting), secure storage
+// (seal/unseal bound to the trustlet measurement), real-time capability
+// (preemptible trustlets — entry/exit never disables interrupts and has a
+// bounded cost), and dynamic trustlet loading (the EA-MPU stays
+// programmable through a trusted runtime instead of being hard-locked).
+#pragma once
+
+#include <optional>
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class TrustLite : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    bool lock_mpu_at_boot = true;
+  };
+
+  explicit TrustLite(hwsec::sim::Machine& machine) : TrustLite(machine, Config{}) {}
+  TrustLite(hwsec::sim::Machine& machine, Config config);
+  ~TrustLite() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> probe_attestation(
+      const hwsec::tee::Nonce& nonce) override;
+  std::vector<std::uint8_t> report_verification_key() const override;
+
+  /// Secure Loader: loads registered trustlets, programs + locks the
+  /// EA-MPU, "starts the OS". Returns kVerificationFailed under TyTAN's
+  /// secure boot if the platform was tampered with.
+  virtual hwsec::tee::EnclaveError boot();
+  bool booted() const { return booted_; }
+
+  /// MPU verdict for a foreign access to a trustlet's data region.
+  hwsec::sim::Fault try_data_access(hwsec::tee::EnclaveId id, hwsec::sim::PhysAddr pc) const;
+
+ protected:
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> register_trustlet(
+      const hwsec::tee::EnclaveImage& image, bool allow_after_boot);
+  void program_mpu_for(const hwsec::tee::EnclaveInfo& info);
+
+  Config config_;
+  bool booted_ = false;
+  std::vector<std::uint8_t> platform_key_;
+  hwsec::sim::DomainId next_domain_ = kFirstEnclaveDomain;
+  std::vector<std::pair<hwsec::tee::EnclaveImage, hwsec::tee::EnclaveId>> pending_;
+};
+
+class TyTan final : public TrustLite {
+ public:
+  explicit TyTan(hwsec::sim::Machine& machine);
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  /// Secure boot: verifies the fused platform measurement first.
+  hwsec::tee::EnclaveError boot() override;
+
+  /// Dynamic loading: allowed after boot (TyTAN's trusted runtime keeps
+  /// the EA-MPU programmable).
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+
+  /// Secure storage: seals `data` to the trustlet's measurement.
+  struct SealedBlob {
+    std::vector<std::uint8_t> ciphertext;
+    hwsec::crypto::Sha256Digest mac{};
+    hwsec::crypto::Sha256Digest sealer_measurement{};
+  };
+  hwsec::tee::Expected<SealedBlob> seal(hwsec::tee::EnclaveId id,
+                                        std::span<const std::uint8_t> data);
+  /// Unseal succeeds only for a trustlet with the sealer's measurement.
+  hwsec::tee::Expected<std::vector<std::uint8_t>> unseal(hwsec::tee::EnclaveId id,
+                                                         const SealedBlob& blob);
+
+  /// Models a firmware tamper (secure boot must then refuse).
+  void tamper_firmware() { tampered_ = true; }
+
+  /// Bounded trustlet entry latency in cycles (the real-time guarantee).
+  hwsec::sim::Cycle worst_case_entry_cycles() const { return 150; }
+
+ private:
+  std::vector<std::uint8_t> storage_key_;
+  bool tampered_ = false;
+};
+
+}  // namespace hwsec::arch

@@ -1,0 +1,147 @@
+#include "arch/trustzone.h"
+
+namespace hwsec::arch {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+
+TrustZone::TrustZone(sim::Machine& machine, Config config)
+    : Architecture(machine), config_(config) {
+  secure_base_ = machine.alloc_frames(config_.secure_ram_pages);
+  secure_alloc_cursor_ = secure_base_;
+
+  secure_world_key_.resize(32);
+  for (auto& b : secure_world_key_) {
+    b = static_cast<std::uint8_t>(machine.rng().next_u32());
+  }
+
+  // The TZASC + SoC security fabric: one bus check covers secure RAM and
+  // all dynamically assigned device regions. It applies equally to CPU
+  // and DMA traffic — that is TrustZone's DMA story.
+  tzasc_check_id_ = machine.bus().add_check(
+      [this](sim::PhysAddr addr, sim::AccessType, sim::DomainId domain, sim::Privilege,
+             bool) -> sim::Fault {
+        if (in_secure_ram(addr) && !secure_attribute(domain)) {
+          return sim::Fault::kSecurityViolation;
+        }
+        for (const auto& [base, end] : device_regions_) {
+          if (addr >= base && addr < end && !secure_attribute(domain)) {
+            return sim::Fault::kSecurityViolation;
+          }
+        }
+        return sim::Fault::kNone;
+      });
+}
+
+TrustZone::~TrustZone() { machine_->bus().remove_check(tzasc_check_id_); }
+
+const tee::ArchitectureTraits& TrustZone::traits() const {
+  static const tee::ArchitectureTraits kTraits{
+      .name = "ARM TrustZone",
+      .reference = "[2]",
+      .target = sim::DeviceClass::kMobile,
+      .tcb = tee::TcbType::kSecureWorldSoftware,
+      .enclave_capacity = 1,  // the single secure world.
+      .memory_encryption = false,
+      .dma_defense = tee::DmaDefense::kRegionAssignment,
+      .cache_defense = tee::CacheDefense::kNone,
+      .secure_peripheral_channels = true,
+      .attestation = tee::AttestationSupport::kNone,  // secure boot, not attestation.
+      .code_isolation = true,
+      .real_time_capable = false,
+      .secure_boot = true,
+      .secure_storage = true,
+      .vendor_trust_required = true,
+      .new_hardware_required = true,  // TrustZone-enabled SoC.
+      .considers_cache_sca = false,
+      .considers_dma = true,
+  };
+  return kTraits;
+}
+
+void TrustZone::vendor_sign(const tee::EnclaveImage& image) {
+  vendor_signatures_[tee::measure_image(image)] = true;
+}
+
+void TrustZone::assign_device_region(sim::PhysAddr base, std::uint32_t pages) {
+  device_regions_.emplace_back(base, base + pages * sim::kPageSize);
+  // Drop any stale normal-world cache copies of the newly protected range.
+  for (sim::PhysAddr a = base; a < base + pages * sim::kPageSize; a += 64) {
+    machine_->caches().flush_line(a);
+  }
+}
+
+tee::Expected<tee::EnclaveId> TrustZone::create_enclave(const tee::EnclaveImage& image) {
+  // One secure world, one trusted app slot: the paper's core limitation.
+  if (!enclaves_.empty()) {
+    return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kCapacityExceeded};
+  }
+  const auto measurement = tee::measure_image(image);
+  if (config_.require_vendor_signature && !vendor_signatures_.count(measurement)) {
+    // Monitor's secure-boot verification rejects unsigned secure-world
+    // code: without the vendor trust relationship, no deployment.
+    return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kVerificationFailed};
+  }
+  const std::uint32_t pages = image_pages(image);
+  const sim::PhysAddr end =
+      secure_base_ + config_.secure_ram_pages * sim::kPageSize;
+  if (secure_alloc_cursor_ + pages * sim::kPageSize > end) {
+    return {.value = tee::kInvalidEnclave, .error = tee::EnclaveError::kOutOfMemory};
+  }
+
+  tee::EnclaveInfo info;
+  info.name = image.name;
+  info.measurement = measurement;
+  info.domain = kSecureWorldDomain;  // everything secure shares one world.
+  info.base = secure_alloc_cursor_;
+  info.pages = pages;
+  info.initialized = true;
+  secure_alloc_cursor_ += pages * sim::kPageSize;
+  tee::EnclaveInfo& registered = register_enclave(std::move(info));
+  load_image(image, registered);
+  return {.value = registered.id, .error = tee::EnclaveError::kOk};
+}
+
+tee::EnclaveError TrustZone::destroy_enclave(tee::EnclaveId id) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  machine_->memory().fill(info->base, info->pages * sim::kPageSize, 0);
+  secure_alloc_cursor_ = info->base;
+  unregister_enclave(id);
+  return tee::EnclaveError::kOk;
+}
+
+tee::EnclaveError TrustZone::call_enclave(tee::EnclaveId id, sim::CoreId core,
+                                          const Service& service) {
+  tee::EnclaveInfo* info = find_enclave(id);
+  if (info == nullptr) {
+    return tee::EnclaveError::kNoSuchEnclave;
+  }
+  sim::Cpu& cpu = machine_->cpu(core);
+  const sim::DomainId saved_domain = cpu.domain();
+  const sim::Privilege saved_priv = cpu.privilege();
+
+  // SMC into the monitor, then the secure world. NO cache maintenance on
+  // the world switch: secure lines stay observable in the shared caches.
+  cpu.switch_context(kSecureWorldDomain, sim::Privilege::kMachine, cpu.mmu().root(),
+                     cpu.mmu().asid());
+  cpu.add_cycles(120);  // SMC + monitor dispatch.
+
+  tee::EnclaveContext ctx(*machine_, core, *info);
+  service(ctx);
+
+  cpu.switch_context(saved_domain, saved_priv, cpu.mmu().root(), cpu.mmu().asid());
+  cpu.add_cycles(120);
+  return tee::EnclaveError::kOk;
+}
+
+tee::Expected<tee::AttestationReport> TrustZone::attest(tee::EnclaveId /*id*/,
+                                                        const tee::Nonce& /*nonce*/) {
+  // Plain TrustZone verifies secure-world code at boot (signatures) but
+  // offers no attestation protocol to third parties.
+  return {.value = {}, .error = tee::EnclaveError::kUnsupported};
+}
+
+}  // namespace hwsec::arch

@@ -1,0 +1,81 @@
+// ARM TrustZone model (paper §3.2, [2]).
+//
+// Modeled mechanisms:
+//  * two worlds: every bus transaction carries the NS-bit analogue (our
+//    DomainId); secure RAM is reachable only with the secure attribute.
+//    The secure world is the *single* enclave of the system — the paper's
+//    central criticism — so create_enclave() admits exactly one trusted
+//    app, and only one whose image the device vendor has signed (the
+//    costly vendor trust relationship).
+//  * monitor code: world switches (SMC) go through a privileged monitor;
+//    secure-world code is signature-verified at boot (secure boot).
+//  * TZASC-style address space controller: assign_device_region() gives a
+//    memory range exclusively to secure-world bus masters — this is also
+//    how TrustZone builds secure channels to peripherals (an ability SGX
+//    and Sanctum lack, per the paper).
+//  * deliberately absent: cache partitioning or flushes on world switch —
+//    secure-world cache lines share the hierarchy with normal world,
+//    which is what TruSpy-style attacks ([44]) exploit.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "arch/domains.h"
+#include "tee/architecture.h"
+
+namespace hwsec::arch {
+
+class TrustZone : public hwsec::tee::Architecture {
+ public:
+  struct Config {
+    std::uint32_t secure_ram_pages = 64;
+    /// Require a vendor signature over the TA image measurement.
+    bool require_vendor_signature = true;
+  };
+
+  explicit TrustZone(hwsec::sim::Machine& machine) : TrustZone(machine, Config{}) {}
+  TrustZone(hwsec::sim::Machine& machine, Config config);
+  ~TrustZone() override;
+
+  const hwsec::tee::ArchitectureTraits& traits() const override;
+
+  hwsec::tee::Expected<hwsec::tee::EnclaveId> create_enclave(
+      const hwsec::tee::EnclaveImage& image) override;
+  hwsec::tee::EnclaveError destroy_enclave(hwsec::tee::EnclaveId id) override;
+  hwsec::tee::EnclaveError call_enclave(hwsec::tee::EnclaveId id, hwsec::sim::CoreId core,
+                                        const Service& service) override;
+  hwsec::tee::Expected<hwsec::tee::AttestationReport> attest(
+      hwsec::tee::EnclaveId id, const hwsec::tee::Nonce& nonce) override;
+
+  /// Models the vendor signing the TA image (the trust relationship the
+  /// paper calls "costly"): afterwards create_enclave accepts the image.
+  void vendor_sign(const hwsec::tee::EnclaveImage& image);
+
+  /// TZASC: assigns [base, base+pages) exclusively to secure bus masters
+  /// (CPU in secure world, devices with the secure attribute). This is
+  /// the secure-peripheral-channel mechanism.
+  void assign_device_region(hwsec::sim::PhysAddr base, std::uint32_t pages);
+
+  hwsec::sim::PhysAddr secure_ram_base() const { return secure_base_; }
+  std::uint32_t secure_ram_pages() const { return config_.secure_ram_pages; }
+  bool in_secure_ram(hwsec::sim::PhysAddr addr) const {
+    return addr >= secure_base_ &&
+           addr < secure_base_ + config_.secure_ram_pages * hwsec::sim::kPageSize;
+  }
+
+ protected:
+  bool secure_attribute(hwsec::sim::DomainId domain) const {
+    return domain == kSecureWorldDomain || domain == kSecureDeviceDomain;
+  }
+
+  Config config_;
+  hwsec::sim::PhysAddr secure_base_ = 0;
+  std::vector<std::pair<hwsec::sim::PhysAddr, hwsec::sim::PhysAddr>> device_regions_;
+  std::map<hwsec::crypto::Sha256Digest, bool> vendor_signatures_;
+  std::vector<std::uint8_t> secure_world_key_;
+  std::size_t tzasc_check_id_ = 0;
+  hwsec::sim::PhysAddr secure_alloc_cursor_ = 0;
+};
+
+}  // namespace hwsec::arch

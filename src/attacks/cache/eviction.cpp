@@ -1,0 +1,48 @@
+#include "attacks/cache/eviction.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+
+EvictionSetBuilder::EvictionSetBuilder(sim::Machine& machine, FrameAllocator allocator,
+                                       std::uint32_t max_frames)
+    : machine_(&machine),
+      allocator_(allocator ? std::move(allocator)
+                           : FrameAllocator([&machine] { return machine.alloc_frame(); })),
+      max_frames_(max_frames) {}
+
+std::vector<sim::PhysAddr> EvictionSetBuilder::build(sim::PhysAddr target, std::uint32_t count) {
+  const sim::Cache& llc = machine_->caches().llc();
+  const std::uint32_t target_set = llc.set_index(target);
+  const std::uint32_t line = llc.config().line_size;
+
+  std::vector<sim::PhysAddr> result;
+  auto harvest = [&](sim::PhysAddr frame) {
+    for (sim::PhysAddr a = frame; a < frame + sim::kPageSize && result.size() < count;
+         a += line) {
+      if (llc.set_index(a) == target_set) {
+        result.push_back(a);
+      }
+    }
+  };
+
+  for (sim::PhysAddr frame : pool_) {
+    harvest(frame);
+    if (result.size() >= count) {
+      return result;
+    }
+  }
+  while (result.size() < count && pool_.size() < max_frames_) {
+    sim::PhysAddr frame = 0;
+    try {
+      frame = allocator_();
+    } catch (const std::exception&) {
+      break;  // attacker ran out of memory: partial eviction set.
+    }
+    pool_.push_back(frame);
+    harvest(frame);
+  }
+  return result;
+}
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,42 @@
+// Eviction-set construction for the shared LLC.
+//
+// A Prime+Probe or Evict+Time attacker needs, for each victim cache line,
+// `ways` attacker-owned lines mapping to the same LLC set. The builder
+// allocates attacker frames through a caller-supplied allocator — which
+// is the hinge of the Sanctum experiment: under page coloring the OS
+// allocator can only produce frames whose LLC sets are disjoint from the
+// enclave's, so build() comes back short and the attack starves.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hwsec::attacks {
+
+class EvictionSetBuilder {
+ public:
+  using FrameAllocator = std::function<hwsec::sim::PhysAddr()>;
+
+  /// `allocator` provides attacker frames (default: the machine's plain
+  /// bump allocator). `max_frames` caps the hunt.
+  EvictionSetBuilder(hwsec::sim::Machine& machine, FrameAllocator allocator,
+                     std::uint32_t max_frames = 4096);
+
+  /// Lines (one per attacker frame region) congruent with `target` in the
+  /// LLC. Returns up to `count` line addresses; fewer if the allocator
+  /// cannot reach the target's sets (the partitioned case).
+  std::vector<hwsec::sim::PhysAddr> build(hwsec::sim::PhysAddr target, std::uint32_t count);
+
+  /// Frames allocated so far (the attack's memory cost).
+  std::uint32_t frames_used() const { return static_cast<std::uint32_t>(pool_.size()); }
+
+ private:
+  hwsec::sim::Machine* machine_;
+  FrameAllocator allocator_;
+  std::uint32_t max_frames_;
+  std::vector<hwsec::sim::PhysAddr> pool_;
+};
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,64 @@
+// Full 128-bit AES key recovery through the cache channel: first-round
+// nibbles + the Osvik–Shamir–Tromer second-round attack ([34] §3.4).
+//
+// The first-round attack (cache_attacks.h) caps out at the high nibble of
+// every key byte (a 64-byte line holds 16 T-table entries). The second
+// round breaks the remaining 64 bits: the round-2 T0 indices are known
+// GF(2^8) expressions in plaintext bytes and key bytes,
+//
+//   idx0 = 02•S(p0⊕k0) ⊕ 03•S(p5⊕k5) ⊕ S(p10⊕k10) ⊕ S(p15⊕k15)
+//          ⊕ k0 ⊕ S(k13) ⊕ 01                       (K1[0]'s top byte)
+//
+// and analogously for the other three words. With high nibbles already
+// known, each equation leaves a small candidate space over the involved
+// low nibbles; every observation ELIMINATES candidates whose predicted
+// line is absent from that trial's observed T0 line set (the true
+// candidate's line is always present). The four equations together cover
+// all 16 key bytes; surviving combinations are verified against a known
+// plaintext/ciphertext pair.
+//
+// Observations come from the same Flush+Reload/Prime+Probe machinery —
+// one extra pass records per-trial line sets instead of votes.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "attacks/cache/cache_attacks.h"
+
+namespace hwsec::attacks {
+
+/// One victim observation: plaintext, ciphertext, and the set of lines
+/// seen hot in each round table (bit l of lines[t] = line l of T_t was
+/// accessed during this encryption).
+struct LineObservation {
+  hwsec::crypto::AesBlock plaintext{};
+  hwsec::crypto::AesBlock ciphertext{};
+  std::array<std::uint16_t, 4> lines{};
+};
+
+/// Collects `trials` Flush+Reload observations of the victim.
+std::vector<LineObservation> collect_line_observations(hwsec::sim::Machine& machine,
+                                                       const TableLayout& layout,
+                                                       const VictimFn& victim,
+                                                       std::uint64_t trials,
+                                                       const CacheAttackConfig& config);
+
+struct FullKeyResult {
+  bool recovered = false;
+  hwsec::crypto::AesKey key{};
+  std::uint32_t first_round_nibbles_correct = 0;  ///< internal diagnostic.
+  std::array<std::size_t, 4> equation_survivors{};
+  std::uint64_t keys_verified = 0;  ///< cartesian candidates tested at the end.
+};
+
+/// Runs the two-stage attack over the observations.
+FullKeyResult recover_full_key(const std::vector<LineObservation>& observations);
+
+/// Convenience: collect + recover against a victim.
+FullKeyResult full_key_attack(hwsec::sim::Machine& machine, const TableLayout& layout,
+                              const VictimFn& victim, std::uint64_t trials = 600,
+                              const CacheAttackConfig& config = {});
+
+}  // namespace hwsec::attacks

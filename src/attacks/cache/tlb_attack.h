@@ -1,0 +1,63 @@
+// TLB side-channel attack (paper §4.1, Gras et al. [15]: "theoretically,
+// any cache structure shared by the attacker and the victim can be
+// exploited, e.g. the TLB").
+//
+// The attacker shares a core — and therefore its TLB — with a victim
+// whose *page access pattern* depends on a secret (here: the victim
+// touches page[nibble] of a 16-page table, one page per secret nibble).
+// Cache defenses do not help: the signal is translation occupancy, not
+// data-cache state.
+//
+//   prime:  translate own pages until every way of every TLB set holds an
+//           attacker entry;
+//   victim: one secret-dependent access inserts a translation, evicting
+//           an attacker entry from exactly one set;
+//   probe:  re-translate and time (TLB hit vs. page-walk latency); the
+//           slow set's index IS the secret nibble.
+//
+// Defense knob: Tlb::set_way_partition — with disjoint ways the victim's
+// insertions can no longer displace attacker entries (and vice versa).
+#pragma once
+
+#include <optional>
+
+#include "sim/machine.h"
+#include "sim/page_table.h"
+
+namespace hwsec::attacks {
+
+class TlbAttack {
+ public:
+  /// Builds attacker & victim mappings in one shared address space on
+  /// `core` (the victim models a kernel service; the TLB is the shared
+  /// structure either way).
+  TlbAttack(hwsec::sim::Machine& machine, hwsec::sim::CoreId core);
+
+  /// The victim-side oracle: performs the secret-dependent page access.
+  void victim_access(std::uint8_t secret_nibble);
+
+  /// One prime -> victim -> probe round; returns the recovered nibble, or
+  /// nullopt when no set (or several) showed evictions.
+  std::optional<std::uint8_t> recover_nibble(std::uint8_t secret_nibble);
+
+  /// Accuracy over `rounds` random nibbles.
+  double accuracy(std::uint32_t rounds, std::uint64_t seed = 515);
+
+  hwsec::sim::Mmu& mmu();
+
+  static constexpr hwsec::sim::Asid kAttackerAsid = 40;
+  static constexpr hwsec::sim::Asid kVictimAsid = 41;
+
+ private:
+  void prime();
+
+  hwsec::sim::Machine* machine_;
+  hwsec::sim::CoreId core_;
+  hwsec::sim::AddressSpace aspace_;
+  std::uint32_t tlb_sets_;
+  std::uint32_t tlb_ways_;
+  hwsec::sim::VirtAddr attacker_base_ = 0x0100'0000;
+  hwsec::sim::VirtAddr victim_base_ = 0x0200'0000;
+};
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,84 @@
+#include "attacks/cache/victim.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace crypto = hwsec::crypto;
+
+TableLayout layout_tables(sim::PhysAddr region) {
+  TableLayout layout;
+  for (std::uint32_t t = 0; t < 5; ++t) {
+    layout.base[t] = region + t * TableLayout::table_bytes();
+  }
+  return layout;
+}
+
+AesCacheVictim::AesCacheVictim(sim::Machine& machine, sim::CoreId core, sim::DomainId domain,
+                               sim::PhysAddr table_region, const crypto::AesKey& key)
+    : machine_(&machine), core_(core), domain_(domain), layout_(layout_tables(table_region)),
+      key_(key) {
+  crypto::Instrumentation instr;
+  instr.touch = [this](std::uint32_t table, std::uint32_t index) {
+    latency_accumulator_ +=
+        machine_->touch(core_, domain_, layout_.entry(table, index)).latency;
+  };
+  aes_ = std::make_unique<crypto::AesTTable>(key_, std::move(instr));
+}
+
+AesCacheVictim::Run AesCacheVictim::encrypt(const crypto::AesBlock& plaintext) {
+  latency_accumulator_ = 0;
+  Run run;
+  run.ciphertext = aes_->encrypt(plaintext);
+  run.latency = latency_accumulator_;
+  return run;
+}
+
+EnclaveAesVictim::EnclaveAesVictim(tee::Architecture& arch, const crypto::AesKey& key,
+                                   sim::CoreId core)
+    : arch_(&arch), core_(core), key_(key) {
+  tee::EnclaveImage image;
+  image.name = "aes-service";
+  image.code = {0xAE, 0x50};  // measured stub.
+  image.secret.assign(key.begin(), key.end());
+  image.heap_pages = 2;  // page 1: T0..T3, page 2: final-round S-box.
+  const auto created = arch_->create_enclave(image);
+  if (!created.ok()) {
+    throw std::runtime_error("EnclaveAesVictim: create_enclave failed: " +
+                             tee::to_string(created.error));
+  }
+  id_ = created.value;
+  const tee::EnclaveInfo* info = arch_->enclave(id_);
+  // T0..T3 fill the first heap page exactly; the S-box takes the start of
+  // the second. Tables never straddle a page, so strided (page-colored)
+  // layouts stay line-exact.
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    layout_.base[t] = info->phys_of(sim::kPageSize + t * TableLayout::table_bytes());
+  }
+  layout_.base[4] = info->phys_of(2 * sim::kPageSize);
+}
+
+EnclaveAesVictim::~EnclaveAesVictim() { arch_->destroy_enclave(id_); }
+
+AesCacheVictim::Run EnclaveAesVictim::encrypt(const crypto::AesBlock& plaintext) {
+  AesCacheVictim::Run run;
+  const tee::EnclaveError err = arch_->call_enclave(
+      id_, core_, [this, &plaintext, &run](tee::EnclaveContext& ctx) {
+        sim::Cycle latency = 0;
+        crypto::Instrumentation instr;
+        instr.touch = [this, &ctx, &latency](std::uint32_t table, std::uint32_t index) {
+          latency += ctx.machine()
+                         .touch(ctx.core(), ctx.domain(), layout_.entry(table, index))
+                         .latency;
+        };
+        crypto::AesTTable aes(key_, std::move(instr));
+        run.ciphertext = aes.encrypt(plaintext);
+        run.latency = latency;
+      });
+  if (err != tee::EnclaveError::kOk) {
+    throw std::runtime_error("EnclaveAesVictim: call failed: " + tee::to_string(err));
+  }
+  return run;
+}
+
+}  // namespace hwsec::attacks

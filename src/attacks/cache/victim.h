@@ -1,0 +1,94 @@
+// The shared victim for all software cache side-channel attacks: a
+// T-table AES whose table lookups go through the simulated cache
+// hierarchy (§4.1's canonical target, after Osvik/Shamir/Tromer [34]).
+//
+// The victim can live in three habitats, which is what the E3/E4
+// experiments compare:
+//  * a plain process (tables in ordinary shared memory — Flush+Reload's
+//    precondition),
+//  * inside a TEE (tables in enclave memory; entry/exit runs the
+//    architecture's defensive hooks),
+//  * with a constant-time implementation (no table, nothing to observe).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "crypto/aes.h"
+#include "sim/machine.h"
+#include "tee/architecture.h"
+
+namespace hwsec::attacks {
+
+/// Physical placement of the victim's lookup tables.
+struct TableLayout {
+  /// Base of each table: T0..T3 (256 × 4-byte entries) and the final
+  /// round's S-box (256 × 1 byte, padded to 4-byte slots to keep line
+  /// math uniform).
+  std::array<hwsec::sim::PhysAddr, 5> base{};
+
+  /// Physical address of `table`'s entry `index`.
+  hwsec::sim::PhysAddr entry(std::uint32_t table, std::uint32_t index) const {
+    return base[table] + 4 * index;
+  }
+  /// Bytes covered by one table.
+  static constexpr std::uint32_t table_bytes() { return 256 * 4; }
+};
+
+/// Computes the layout for tables packed at `region` (5 KiB).
+TableLayout layout_tables(hwsec::sim::PhysAddr region);
+
+/// AES encryption victim whose table accesses hit the simulated caches.
+class AesCacheVictim {
+ public:
+  /// Plain-process victim: tables at `table_region` (>= 5 KiB), accesses
+  /// issued on `core` as `domain`.
+  AesCacheVictim(hwsec::sim::Machine& machine, hwsec::sim::CoreId core,
+                 hwsec::sim::DomainId domain, hwsec::sim::PhysAddr table_region,
+                 const hwsec::crypto::AesKey& key);
+
+  /// Encrypts and returns (ciphertext, total victim memory latency).
+  struct Run {
+    hwsec::crypto::AesBlock ciphertext{};
+    hwsec::sim::Cycle latency = 0;
+  };
+  Run encrypt(const hwsec::crypto::AesBlock& plaintext);
+
+  const TableLayout& layout() const { return layout_; }
+  const hwsec::crypto::AesKey& key() const { return key_; }
+
+ private:
+  hwsec::sim::Machine* machine_;
+  hwsec::sim::CoreId core_;
+  hwsec::sim::DomainId domain_;
+  TableLayout layout_;
+  hwsec::crypto::AesKey key_;
+  std::unique_ptr<hwsec::crypto::AesTTable> aes_;
+  hwsec::sim::Cycle latency_accumulator_ = 0;
+};
+
+/// TEE-hosted victim: the same AES victim, but the tables live inside an
+/// enclave of `arch` and every encryption goes through
+/// Architecture::call_enclave (so entry/exit defenses apply).
+class EnclaveAesVictim {
+ public:
+  /// Creates the enclave (image carries the key as its secret) and places
+  /// the tables in its heap pages.
+  EnclaveAesVictim(hwsec::tee::Architecture& arch, const hwsec::crypto::AesKey& key,
+                   hwsec::sim::CoreId core = 1);
+  ~EnclaveAesVictim();
+
+  AesCacheVictim::Run encrypt(const hwsec::crypto::AesBlock& plaintext);
+
+  const TableLayout& layout() const { return layout_; }
+  hwsec::tee::EnclaveId enclave_id() const { return id_; }
+
+ private:
+  hwsec::tee::Architecture* arch_;
+  hwsec::tee::EnclaveId id_;
+  hwsec::sim::CoreId core_;
+  TableLayout layout_;
+  hwsec::crypto::AesKey key_;
+};
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,59 @@
+#include "attacks/physical/clkscrew.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+namespace crypto = hwsec::crypto;
+
+ClkscrewResult clkscrew_attack(
+    sim::Machine& machine,
+    const std::function<crypto::AesBlock(const crypto::AesBlock&)>& secure_encrypt,
+    const ClkscrewConfig& config) {
+  ClkscrewResult result;
+  sim::Rng rng(config.seed);
+
+  // Step 0: can the attacker program the unstable point at all?
+  try {
+    machine.dvfs().set_point(config.attack_point);
+  } catch (const std::logic_error&) {
+    result.blocked_by_interlock = true;
+    return result;
+  }
+  result.fault_probability = machine.dvfs().fault_probability();
+
+  std::vector<DfaPair> pairs;
+  while (result.invocations < config.max_invocations &&
+         pairs.size() < config.target_pairs) {
+    crypto::AesBlock pt;
+    for (auto& b : pt) {
+      b = static_cast<std::uint8_t>(rng.next_u32());
+    }
+
+    // Correct ciphertext at the rated point (no faults inside the
+    // envelope).
+    machine.dvfs().set_rated_point(config.rated_index);
+    machine.injector().set_probability(machine.dvfs().fault_probability());
+    const crypto::AesBlock correct = secure_encrypt(pt);
+    ++result.invocations;
+
+    // Glitched run at the attack point.
+    machine.dvfs().set_point(config.attack_point);
+    machine.injector().set_probability(machine.dvfs().fault_probability());
+    const crypto::AesBlock faulty = secure_encrypt(pt);
+    ++result.invocations;
+
+    if (faulty != correct) {
+      pairs.push_back({correct, faulty});
+    }
+  }
+  result.faulty_pairs = static_cast<std::uint32_t>(pairs.size());
+
+  // Restore a sane operating point before analysis.
+  machine.dvfs().set_rated_point(config.rated_index);
+  machine.injector().set_probability(0.0);
+
+  result.dfa = aes_dfa_attack(pairs);
+  return result;
+}
+
+}  // namespace hwsec::attacks

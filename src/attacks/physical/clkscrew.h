@@ -1,0 +1,53 @@
+// CLKSCREW (paper §5, [37]): software-only fault injection by driving the
+// SoC's DVFS regulators beyond the stability envelope — "forcing a
+// processor to operate beyond its DVFS limits in order to leak
+// cryptographic keys" out of ARM TrustZone.
+//
+// The attacker is a normal-world kernel: it cannot read secure-world
+// memory, but it CAN program the (SoC-global, unprotected) DVFS
+// registers. It alternates a rated operating point (to collect correct
+// ciphertexts) with an overclocked one (to collect glitched ones) while
+// invoking the secure world's AES service, then feeds the pairs to the
+// differential fault analysis — no physical access required.
+//
+// Two mitigations close the attack, both swept by the E9 bench:
+//  * a hardware envelope interlock (dvfs.enforce_envelope(true)) rejects
+//    the unstable point outright;
+//  * an operating point inside the envelope has fault probability 0, so
+//    no usable pairs ever appear.
+#pragma once
+
+#include <functional>
+
+#include "attacks/physical/fault_attacks.h"
+#include "sim/machine.h"
+
+namespace hwsec::attacks {
+
+struct ClkscrewConfig {
+  /// The overclocked point the attacker programs.
+  hwsec::sim::OperatingPoint attack_point{3600.0, 0.80};
+  /// Rated point used to collect correct ciphertexts.
+  std::size_t rated_index = 0;
+  std::uint32_t max_invocations = 16000;
+  std::uint32_t target_pairs = 700;
+  std::uint64_t seed = 7777;
+};
+
+struct ClkscrewResult {
+  bool blocked_by_interlock = false;  ///< hardware mitigation fired.
+  double fault_probability = 0.0;     ///< at the attack point.
+  std::uint32_t invocations = 0;
+  std::uint32_t faulty_pairs = 0;
+  DfaResult dfa{};
+};
+
+/// `secure_encrypt` invokes the victim's AES inside its TEE; its round-10
+/// state must be wired through machine.injector() (the harnesses in
+/// bench/ and tests/ do this). The attack itself never sees the key.
+ClkscrewResult clkscrew_attack(
+    hwsec::sim::Machine& machine,
+    const std::function<hwsec::crypto::AesBlock(const hwsec::crypto::AesBlock&)>& secure_encrypt,
+    const ClkscrewConfig& config = {});
+
+}  // namespace hwsec::attacks

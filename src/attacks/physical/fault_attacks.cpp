@@ -1,0 +1,140 @@
+#include "attacks/physical/fault_attacks.h"
+
+#include <bitset>
+
+#include "crypto/modmath.h"
+
+namespace hwsec::attacks {
+
+namespace crypto = hwsec::crypto;
+
+crypto::u64 rsa_crt_fault_attack(crypto::u64 n, crypto::u64 e, crypto::u64 message,
+                                 crypto::u64 faulty_signature) {
+  // gcd(s'^e - m, n): the intact CRT half divides the difference, the
+  // faulted one does not.
+  const crypto::u64 reencrypted = crypto::powmod(faulty_signature, e, n);
+  const crypto::u64 diff = (reencrypted + n - message % n) % n;
+  if (diff == 0) {
+    return 0;  // signature wasn't faulty after all.
+  }
+  const crypto::u64 factor = crypto::gcd(diff, n);
+  if (factor == 1 || factor == n) {
+    return 0;
+  }
+  return factor;
+}
+
+namespace {
+
+std::uint32_t popcount8(std::uint8_t v) {
+  return static_cast<std::uint32_t>(std::bitset<8>(v).count());
+}
+
+}  // namespace
+
+DfaResult aes_dfa_attack(const std::vector<DfaPair>& pairs) {
+  const auto& inv_sbox = crypto::aes_inv_sbox();
+
+  std::array<std::bitset<256>, 16> candidates;
+  for (auto& c : candidates) {
+    c.set();  // all 256 possible.
+  }
+
+  DfaResult result;
+  for (const DfaPair& pair : pairs) {
+    // A usable observation differs in exactly one ciphertext byte
+    // (single-bit fault entering the final round: SubBytes + ShiftRows
+    // keep it within one byte; there is no MixColumns in round 10).
+    int diff_pos = -1;
+    bool single = true;
+    for (int p = 0; p < 16; ++p) {
+      if (pair.correct[static_cast<std::size_t>(p)] != pair.faulty[static_cast<std::size_t>(p)]) {
+        if (diff_pos >= 0) {
+          single = false;
+          break;
+        }
+        diff_pos = p;
+      }
+    }
+    if (!single || diff_pos < 0) {
+      continue;
+    }
+    ++result.pairs_consumed;
+    const std::uint8_t c = pair.correct[static_cast<std::size_t>(diff_pos)];
+    const std::uint8_t f = pair.faulty[static_cast<std::size_t>(diff_pos)];
+    std::bitset<256> keep;
+    for (std::uint32_t k = 0; k < 256; ++k) {
+      const std::uint8_t x = inv_sbox[static_cast<std::uint8_t>(c ^ k)];
+      const std::uint8_t y = inv_sbox[static_cast<std::uint8_t>(f ^ k)];
+      if (popcount8(static_cast<std::uint8_t>(x ^ y)) == 1) {
+        keep.set(k);
+      }
+    }
+    candidates[static_cast<std::size_t>(diff_pos)] &= keep;
+  }
+
+  std::array<std::uint8_t, 16> k10{};
+  bool all_unique = true;
+  for (std::size_t p = 0; p < 16; ++p) {
+    result.candidates_left[p] = static_cast<std::uint32_t>(candidates[p].count());
+    if (result.candidates_left[p] != 1) {
+      all_unique = false;
+    } else {
+      for (std::uint32_t k = 0; k < 256; ++k) {
+        if (candidates[p].test(k)) {
+          k10[p] = static_cast<std::uint8_t>(k);
+          break;
+        }
+      }
+    }
+  }
+  if (!all_unique) {
+    return result;
+  }
+
+  std::array<std::uint32_t, 4> round10_words{};
+  for (std::size_t j = 0; j < 4; ++j) {
+    round10_words[j] = (static_cast<std::uint32_t>(k10[4 * j]) << 24) |
+                       (static_cast<std::uint32_t>(k10[4 * j + 1]) << 16) |
+                       (static_cast<std::uint32_t>(k10[4 * j + 2]) << 8) | k10[4 * j + 3];
+  }
+  result.key = invert_key_schedule(round10_words);
+  result.key_recovered = true;
+  return result;
+}
+
+crypto::AesKey invert_key_schedule(const std::array<std::uint32_t, 4>& round10_words) {
+  const auto& sbox = crypto::aes_sbox();
+  auto sub_word = [&sbox](std::uint32_t w) {
+    return (static_cast<std::uint32_t>(sbox[(w >> 24) & 0xFF]) << 24) |
+           (static_cast<std::uint32_t>(sbox[(w >> 16) & 0xFF]) << 16) |
+           (static_cast<std::uint32_t>(sbox[(w >> 8) & 0xFF]) << 8) | sbox[w & 0xFF];
+  };
+  auto rot_word = [](std::uint32_t w) { return (w << 8) | (w >> 24); };
+  static constexpr std::array<std::uint32_t, 11> kRcon = {
+      0, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36};
+
+  std::array<std::uint32_t, 44> words{};
+  for (std::size_t j = 0; j < 4; ++j) {
+    words[40 + j] = round10_words[j];
+  }
+  for (int i = 43; i >= 4; --i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    std::uint32_t temp = words[idx - 1];
+    if (i % 4 == 0) {
+      temp = sub_word(rot_word(temp)) ^ (kRcon[static_cast<std::size_t>(i / 4)] << 24);
+    }
+    words[idx - 4] = words[idx] ^ temp;
+  }
+
+  crypto::AesKey key;
+  for (std::size_t j = 0; j < 4; ++j) {
+    key[4 * j] = static_cast<std::uint8_t>(words[j] >> 24);
+    key[4 * j + 1] = static_cast<std::uint8_t>(words[j] >> 16);
+    key[4 * j + 2] = static_cast<std::uint8_t>(words[j] >> 8);
+    key[4 * j + 3] = static_cast<std::uint8_t>(words[j]);
+  }
+  return key;
+}
+
+}  // namespace hwsec::attacks

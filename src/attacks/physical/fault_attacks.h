@@ -1,0 +1,53 @@
+// Fault (glitch) attacks (paper §5, [5][19]).
+//
+//  * Bellcore / Boneh–DeMillo–Lipton RSA-CRT attack: ONE faulty CRT
+//    signature s' over a known message factors the modulus:
+//    gcd(s'^e − m, n) = q (the half whose exponentiation stayed intact).
+//  * Differential fault analysis of AES (Giraud-style): single-bit faults
+//    injected into the state entering the final round; each (correct,
+//    faulty) ciphertext pair reduces the candidates for one byte of the
+//    last round key; the full key falls out of inverting the key schedule.
+//
+// Both take the *outputs* of a glitched computation — how the glitch is
+// produced (clock/voltage/EM per §5, or CLKSCREW's DVFS abuse per [37])
+// is the glitcher's concern, modeled by sim::FaultInjector / DVFS.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "crypto/rsa.h"
+
+namespace hwsec::attacks {
+
+/// Bellcore attack: returns a nontrivial factor of n, or 0 if the
+/// signature was not usefully faulty.
+hwsec::crypto::u64 rsa_crt_fault_attack(hwsec::crypto::u64 n, hwsec::crypto::u64 e,
+                                        hwsec::crypto::u64 message,
+                                        hwsec::crypto::u64 faulty_signature);
+
+/// One DFA observation: correct and faulty ciphertext for the same
+/// plaintext, fault model = single-bit flip entering round 10.
+struct DfaPair {
+  hwsec::crypto::AesBlock correct{};
+  hwsec::crypto::AesBlock faulty{};
+};
+
+struct DfaResult {
+  bool key_recovered = false;
+  hwsec::crypto::AesKey key{};
+  /// Remaining candidates per last-round-key byte (diagnostics).
+  std::array<std::uint32_t, 16> candidates_left{};
+  std::uint32_t pairs_consumed = 0;
+};
+
+/// Runs the DFA over the pairs. Needs, typically, 2-3 pairs per byte
+/// position with faults covering all 16 positions.
+DfaResult aes_dfa_attack(const std::vector<DfaPair>& pairs);
+
+/// Inverts the AES-128 key schedule: master key from the round-10 key.
+hwsec::crypto::AesKey invert_key_schedule(const std::array<std::uint32_t, 4>& round10_words);
+
+}  // namespace hwsec::attacks

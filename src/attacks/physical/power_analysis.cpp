@@ -1,0 +1,61 @@
+#include "attacks/physical/power_analysis.h"
+
+#include <memory>
+
+#include "sim/rng.h"
+
+namespace hwsec::attacks {
+
+namespace crypto = hwsec::crypto;
+namespace sca = hwsec::sca;
+
+sca::TraceSet collect_aes_traces(const crypto::AesKey& key, AesVariant variant,
+                                 std::size_t count, const sca::RecorderConfig& recorder_config,
+                                 std::uint64_t seed) {
+  hwsec::sim::Rng rng(seed);
+  sca::PowerTraceRecorder recorder(recorder_config);
+
+  crypto::Instrumentation instr;
+  instr.leak = [&recorder](std::uint32_t value) { recorder.on_value(value); };
+
+  // Jitter misaligns traces; keep the matrix rectangular at a length that
+  // accommodates the worst case.
+  const std::size_t fixed_length =
+      kAesSamplesPerTrace * (1 + recorder_config.max_jitter);
+
+  std::unique_ptr<crypto::AesTTable> ttable;
+  std::unique_ptr<crypto::AesConstantTime> ct;
+  std::unique_ptr<crypto::AesMasked> masked;
+  switch (variant) {
+    case AesVariant::kTTable:
+      ttable = std::make_unique<crypto::AesTTable>(key, instr);
+      break;
+    case AesVariant::kConstantTime:
+      ct = std::make_unique<crypto::AesConstantTime>(key, instr);
+      break;
+    case AesVariant::kMasked:
+      masked = std::make_unique<crypto::AesMasked>(key, seed ^ 0xABCD, instr);
+      break;
+  }
+
+  sca::TraceSet set;
+  for (std::size_t i = 0; i < count; ++i) {
+    crypto::AesBlock pt;
+    for (auto& b : pt) {
+      b = static_cast<std::uint8_t>(rng.next_u32());
+    }
+    recorder.begin_trace();
+    crypto::AesBlock ctxt{};
+    switch (variant) {
+      case AesVariant::kTTable: ctxt = ttable->encrypt(pt); break;
+      case AesVariant::kConstantTime: ctxt = ct->encrypt(pt); break;
+      case AesVariant::kMasked: ctxt = masked->encrypt(pt); break;
+    }
+    set.traces.push_back(recorder.end_trace(fixed_length));
+    set.plaintexts.push_back(pt);
+    set.ciphertexts.push_back(ctxt);
+  }
+  return set;
+}
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,33 @@
+// Trace-collection harness for the §5 passive-SCA experiments: runs an
+// instrumented AES victim under the simulated oscilloscope and returns a
+// TraceSet ready for the sca:: CPA/DPA engines.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "sca/recorder.h"
+#include "sca/trace.h"
+
+namespace hwsec::attacks {
+
+enum class AesVariant : std::uint8_t {
+  kTTable,        ///< leaky baseline.
+  kConstantTime,  ///< timing/cache-safe, still power-leaky.
+  kMasked,        ///< first-order masked: the §5 masking countermeasure.
+};
+
+/// Encrypts `count` random plaintexts under `key` with the given variant,
+/// recording one power trace per block through `recorder_config`.
+hwsec::sca::TraceSet collect_aes_traces(const hwsec::crypto::AesKey& key, AesVariant variant,
+                                        std::size_t count,
+                                        const hwsec::sca::RecorderConfig& recorder_config,
+                                        std::uint64_t seed = 31337);
+
+/// Number of leak samples one encryption emits (used to size fixed-length
+/// traces under jitter): 160 S-box leaks, plus two leading mask-load
+/// leaks in the masked variant (samples 0/1 = m_in/m_out — the
+/// second-order attack's combining points).
+inline constexpr std::size_t kAesSamplesPerTrace = 162;
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,192 @@
+#include "attacks/physical/timing_attack.h"
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace hwsec::attacks {
+
+namespace crypto = hwsec::crypto;
+
+std::vector<TimingSample> collect_timing_samples(const crypto::RsaKeyPair& key,
+                                                 std::size_t count, double noise_sigma,
+                                                 bool constant_time_victim, std::uint64_t seed) {
+  hwsec::sim::Rng rng(seed);
+  std::vector<TimingSample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TimingSample s;
+    s.ciphertext = rng.next_u64() % key.n;
+    if (s.ciphertext < 2) {
+      s.ciphertext = 2;
+    }
+    std::uint64_t ticks = 0;
+    crypto::Instrumentation instr;
+    instr.tick = [&ticks](std::uint64_t cost) { ticks += cost; };
+    if (constant_time_victim) {
+      crypto::rsa_private_ladder(s.ciphertext, key, instr);
+    } else {
+      crypto::rsa_private_naive(s.ciphertext, key, instr);
+    }
+    s.time = static_cast<double>(ticks) + rng.gaussian(0.0, noise_sigma);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+namespace {
+
+/// |mean(time | flag) - mean(time | !flag)|; 0 when a group is too small.
+double separation(const std::vector<TimingSample>& samples, const std::vector<bool>& flags) {
+  double sum1 = 0.0, sum0 = 0.0;
+  std::size_t n1 = 0, n0 = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (flags[i]) {
+      sum1 += samples[i].time;
+      ++n1;
+    } else {
+      sum0 += samples[i].time;
+      ++n0;
+    }
+  }
+  if (n1 < 8 || n0 < 8) {
+    return 0.0;
+  }
+  return std::abs(sum1 / static_cast<double>(n1) - sum0 / static_cast<double>(n0));
+}
+
+}  // namespace
+
+TimingAttackResult timing_attack(crypto::u64 modulus, const std::vector<TimingSample>& samples,
+                                 std::uint32_t exponent_bits) {
+  TimingAttackResult result;
+  if (exponent_bits < 2 || samples.empty()) {
+    return result;
+  }
+  const crypto::Montgomery mont(modulus);
+
+  // Per-sample simulated state after the bits recovered so far. After the
+  // (set) top bit, the accumulator is c̄ (one Montgomery square of 1̄,
+  // then the multiply).
+  const std::size_t n = samples.size();
+  std::vector<crypto::u64> c_mont(n);
+  std::vector<crypto::u64> acc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c_mont[i] = mont.to_mont(samples[i].ciphertext);
+    acc[i] = c_mont[i];
+  }
+  crypto::u64 recovered = 1;  // the assumed-set top bit.
+  result.bits_decided = 1;
+
+  std::vector<bool> mul_flag(n);
+  std::vector<bool> next_square_if_zero(n);
+  std::vector<crypto::u64> squared(n);
+  std::vector<crypto::u64> multiplied(n);
+
+  // Dhem-style error detection: when the recovered prefix is wrong, the
+  // simulated accumulators decorrelate from the device and BOTH
+  // discriminators collapse toward noise. We watch decision strength
+  // against its running average and backtrack (flip the previous bit)
+  // when it collapses — without this, a single early mistake silently
+  // corrupts every later decision.
+  struct Decision {
+    bool bit;
+    bool flipped;               ///< already retried with the other value.
+    double strength;
+    std::vector<crypto::u64> acc_before;
+  };
+  std::vector<Decision> trail;
+  double strength_ewma = 0.0;
+  int backtracks_left = 64;
+
+  std::int32_t bit = static_cast<std::int32_t>(exponent_bits) - 2;
+  while (bit >= 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bool extra = false;
+      squared[i] = mont.mul(acc[i], acc[i], &extra);
+      multiplied[i] = mont.mul(squared[i], c_mont[i], &extra);
+      mul_flag[i] = extra;  // extra reduction of the hypothesis-1 multiply.
+      mont.mul(squared[i], squared[i], &extra);
+      next_square_if_zero[i] = extra;  // next square under hypothesis 0.
+    }
+    const double d1 = separation(samples, mul_flag);
+    const double d0 = separation(samples, next_square_if_zero);
+    const double strength = std::max(d1, d0);
+
+    const bool collapsed = trail.size() >= 4 && strength < 0.35 * strength_ewma;
+    if (collapsed && backtracks_left > 0 && !trail.empty() && !trail.back().flipped) {
+      // Revert the previous decision and force the other value.
+      Decision prev = std::move(trail.back());
+      trail.pop_back();
+      acc = std::move(prev.acc_before);
+      recovered >>= 1;
+      --result.bits_decided;
+      --backtracks_left;
+      ++bit;  // redo the previous position...
+      // ...with the flipped value, computed directly.
+      for (std::size_t i = 0; i < n; ++i) {
+        const crypto::u64 sq = mont.mul(acc[i], acc[i]);
+        squared[i] = sq;
+        multiplied[i] = mont.mul(sq, c_mont[i]);
+      }
+      const bool flipped_bit = !prev.bit;
+      Decision redo;
+      redo.bit = flipped_bit;
+      redo.flipped = true;
+      redo.strength = strength_ewma;  // neutral.
+      redo.acc_before = acc;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] = flipped_bit ? multiplied[i] : squared[i];
+      }
+      recovered = (recovered << 1) | (flipped_bit ? 1u : 0u);
+      ++result.bits_decided;
+      trail.push_back(std::move(redo));
+      --bit;
+      continue;
+    }
+
+    const bool bit_is_one = d1 > d0;
+    Decision d;
+    d.bit = bit_is_one;
+    d.flipped = false;
+    d.strength = strength;
+    d.acc_before = acc;
+    trail.push_back(std::move(d));
+    strength_ewma = trail.size() == 1 ? strength : 0.85 * strength_ewma + 0.15 * strength;
+
+    recovered = (recovered << 1) | (bit_is_one ? 1u : 0u);
+    ++result.bits_decided;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc[i] = bit_is_one ? multiplied[i] : squared[i];
+    }
+    --bit;
+  }
+
+  // The final bit's hypothesis-0 discriminator has no following square;
+  // verify the two candidates against the public operation instead.
+  const crypto::u64 candidate_as_is = recovered;
+  const crypto::u64 candidate_flipped = recovered ^ 1u;
+  const crypto::u64 probe = samples.front().ciphertext;
+  // d is correct iff (probe^d)^e == probe mod n for e = 65537 (the
+  // framework's fixed public exponent).
+  const auto verifies = [&](crypto::u64 d) {
+    return crypto::powmod(crypto::powmod(probe, d, modulus), 65537, modulus) == probe % modulus;
+  };
+  if (!verifies(candidate_as_is) && verifies(candidate_flipped)) {
+    recovered = candidate_flipped;
+  }
+  result.recovered_d = recovered;
+  return result;
+}
+
+void score_against(TimingAttackResult& result, crypto::u64 true_d) {
+  std::uint32_t correct = 0;
+  for (std::uint32_t b = 0; b < result.bits_decided; ++b) {
+    if (((result.recovered_d >> b) & 1) == ((true_d >> b) & 1)) {
+      ++correct;
+    }
+  }
+  result.bits_correct = correct;
+}
+
+}  // namespace hwsec::attacks

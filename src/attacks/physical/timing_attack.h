@@ -1,0 +1,63 @@
+// Kocher-style timing attack on RSA square-and-multiply (paper §5, [23]),
+// refined with Dhem et al.'s Montgomery extra-reduction statistic.
+//
+// Threat model: the attacker submits ciphertexts and measures the TOTAL
+// private-key operation time (e.g. over the network or a local clock); it
+// knows the modulus and the implementation (public), nothing else.
+//
+// Recovery is MSB-first, one exponent bit per decision:
+//   * the attacker tracks, per ciphertext, the simulated Montgomery
+//     accumulator for the exponent prefix recovered so far;
+//   * hypothesis "next bit = 1": the extra multiply acc·c̄ happens — its
+//     extra-reduction predicate partitions the ciphertexts; if the bit is
+//     really 1, the partition correlates with the measured times;
+//   * hypothesis "next bit = 0": the following square acc·acc is the
+//     first differing operation — same test;
+//   * the hypothesis with the stronger mean-time separation wins.
+//
+// Against the constant-time Montgomery ladder there is no extra-reduction
+// event and both separations collapse to noise — the E7 bench shows the
+// recovered-bit rate dropping to coin-flip level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rsa.h"
+
+namespace hwsec::attacks {
+
+struct TimingSample {
+  hwsec::crypto::u64 ciphertext = 0;
+  double time = 0.0;  ///< measured total operation time (tick units).
+};
+
+/// Collects `count` samples against the given private-key path. The
+/// measurement includes Gaussian noise of `noise_sigma` tick units
+/// (models network / interrupt jitter).
+std::vector<TimingSample> collect_timing_samples(
+    const hwsec::crypto::RsaKeyPair& key, std::size_t count, double noise_sigma,
+    bool constant_time_victim, std::uint64_t seed = 99);
+
+struct TimingAttackResult {
+  hwsec::crypto::u64 recovered_d = 0;
+  std::uint32_t bits_decided = 0;
+  std::uint32_t bits_correct = 0;  ///< filled by score() when truth known.
+
+  double correct_fraction() const {
+    return bits_decided == 0 ? 0.0
+                             : static_cast<double>(bits_correct) /
+                                   static_cast<double>(bits_decided);
+  }
+};
+
+/// Runs the attack over the samples. `exponent_bits` is the attacker's
+/// bound on the exponent length (top bit assumed set).
+TimingAttackResult timing_attack(hwsec::crypto::u64 modulus,
+                                 const std::vector<TimingSample>& samples,
+                                 std::uint32_t exponent_bits);
+
+/// Scores a result against the true exponent (experiment bookkeeping).
+void score_against(TimingAttackResult& result, hwsec::crypto::u64 true_d);
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,37 @@
+// Branch shadowing (paper §4.1/[28], Lee et al.: "Inferring Fine-grained
+// Control Flow Inside SGX Enclaves with Branch Shadowing").
+//
+// The enclave's code is isolated, but the PHT it trains is not: the
+// attacker places a *shadow branch* at a PHT-congruent virtual address
+// and measures its own misprediction penalty. If the victim's secret-
+// dependent branch was taken, the shared 2-bit counter predicts taken —
+// so the attacker's never-taken shadow branch mispredicts, visibly.
+//
+// One victim run leaks one branch direction = one secret bit. Mitigation:
+// flushing predictor state on enclave transitions (the paper's [21]-style
+// defenses) resets the counter and blinds the shadow.
+#pragma once
+
+#include "attacks/transient/environment.h"
+
+namespace hwsec::attacks {
+
+class BranchShadowAttack {
+ public:
+  BranchShadowAttack(hwsec::sim::Machine& machine, hwsec::sim::CoreId core);
+
+  /// Runs the victim once with `secret_bit` steering its branch, then the
+  /// shadow branch; returns the inferred bit.
+  bool infer_bit(bool secret_bit);
+
+  /// Fraction of correctly inferred bits over `rounds` random secrets.
+  double accuracy(std::uint32_t rounds, std::uint64_t seed = 717);
+
+ private:
+  UserProcess victim_;
+  UserProcess attacker_;
+  hwsec::sim::VirtAddr victim_entry_ = 0;
+  hwsec::sim::VirtAddr shadow_entry_ = 0;
+};
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,69 @@
+#include "attacks/transient/environment.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+
+sim::Asid UserProcess::next_asid_ = 1;
+
+UserProcess::UserProcess(sim::Machine& machine, sim::CoreId core, sim::DomainId domain)
+    : machine_(&machine),
+      core_(core),
+      domain_(domain),
+      asid_(next_asid_++),
+      aspace_(machine.create_address_space()) {}
+
+sim::PhysAddr UserProcess::map_new(sim::VirtAddr va, std::uint32_t pages, sim::Word flags) {
+  const sim::PhysAddr base = machine_->alloc_frames(pages);
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    aspace_.map(va + p * sim::kPageSize, base + p * sim::kPageSize, flags);
+  }
+  return base;
+}
+
+void UserProcess::map(sim::VirtAddr va, sim::PhysAddr pa, sim::Word flags) {
+  aspace_.map(va, pa, flags);
+}
+
+void UserProcess::load_program(const sim::Program& program) {
+  const sim::VirtAddr first = sim::page_base(program.base);
+  const sim::VirtAddr last = sim::page_base(program.end() - 1);
+  const std::uint32_t pages = (last - first) / sim::kPageSize + 1;
+  map_new(first, pages, sim::pte::kUser | sim::pte::kExecutable);
+  cpu().load_program(program, asid_);
+}
+
+void UserProcess::activate(sim::Privilege priv) {
+  cpu().switch_context(domain_, priv, aspace_.root(), asid_);
+}
+
+void UserProcess::setup_probe_array() {
+  if (probe_phys_ != 0) {
+    return;
+  }
+  const std::uint32_t bytes = 256 * kProbeStride;
+  const std::uint32_t pages = (bytes + sim::kPageSize - 1) / sim::kPageSize;
+  probe_phys_ = map_new(kProbeBase, pages, sim::pte::kUser | sim::pte::kWritable);
+}
+
+void UserProcess::flush_probe() {
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    machine_->flush_line(probe_phys_ + i * kProbeStride);
+  }
+}
+
+std::optional<std::uint8_t> UserProcess::hottest_probe_line(sim::Cycle hit_threshold) {
+  std::optional<std::uint8_t> hot;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const auto outcome = machine_->touch(core_, domain_, probe_phys_ + i * kProbeStride);
+    if (machine_->observe_latency(outcome.latency) < hit_threshold) {
+      if (hot.has_value()) {
+        return std::nullopt;  // more than one hot line: garbage.
+      }
+      hot = static_cast<std::uint8_t>(i);
+    }
+  }
+  return hot;
+}
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,72 @@
+// Process environment for transient-execution attack programs.
+//
+// Wraps an address space + program loading + the probe-array covert
+// channel that every §4.2 attack decodes through: 256 cache lines, one
+// per byte value; the transient access heats exactly one; the attacker
+// times reloads to find it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/program.h"
+
+namespace hwsec::attacks {
+
+/// Conventional virtual layout for attack processes.
+inline constexpr hwsec::sim::VirtAddr kCodeBase = 0x0001'0000;
+inline constexpr hwsec::sim::VirtAddr kProbeBase = 0x0020'0000;
+inline constexpr hwsec::sim::VirtAddr kDataBase = 0x0030'0000;
+inline constexpr hwsec::sim::VirtAddr kKernelBase = 0x0040'0000;
+inline constexpr std::uint32_t kProbeStride = 64;  ///< one line per value.
+
+class UserProcess {
+ public:
+  UserProcess(hwsec::sim::Machine& machine, hwsec::sim::CoreId core,
+              hwsec::sim::DomainId domain = hwsec::sim::kDomainNormal);
+
+  hwsec::sim::Machine& machine() { return *machine_; }
+  hwsec::sim::AddressSpace& aspace() { return aspace_; }
+  hwsec::sim::Cpu& cpu() { return machine_->cpu(core_); }
+  hwsec::sim::CoreId core() const { return core_; }
+
+  /// Maps `pages` fresh physical frames at `va`; returns the phys base
+  /// (frames are contiguous).
+  hwsec::sim::PhysAddr map_new(hwsec::sim::VirtAddr va, std::uint32_t pages,
+                               hwsec::sim::Word flags);
+
+  /// Maps an existing frame.
+  void map(hwsec::sim::VirtAddr va, hwsec::sim::PhysAddr pa, hwsec::sim::Word flags);
+
+  /// Registers a program with the CPU and maps user-executable pages
+  /// covering it (backed by fresh frames).
+  void load_program(const hwsec::sim::Program& program);
+
+  /// Switches the core into this process's context.
+  void activate(hwsec::sim::Privilege priv = hwsec::sim::Privilege::kUser);
+
+  // ---- probe-array covert channel ------------------------------------
+  /// Allocates and maps the 256-line probe array (idempotent).
+  void setup_probe_array();
+  hwsec::sim::PhysAddr probe_phys() const { return probe_phys_; }
+
+  /// Flushes all probe lines (receive window open).
+  void flush_probe();
+
+  /// Scans probe lines by reload latency; returns the unique hot line's
+  /// index, or nullopt if none/multiple are hot (failed transmission).
+  std::optional<std::uint8_t> hottest_probe_line(hwsec::sim::Cycle hit_threshold = 100);
+
+ private:
+  hwsec::sim::Machine* machine_;
+  hwsec::sim::CoreId core_;
+  hwsec::sim::DomainId domain_;
+  hwsec::sim::Asid asid_;
+  hwsec::sim::AddressSpace aspace_;
+  hwsec::sim::PhysAddr probe_phys_ = 0;
+
+  static hwsec::sim::Asid next_asid_;
+};
+
+}  // namespace hwsec::attacks

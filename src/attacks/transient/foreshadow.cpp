@@ -1,0 +1,98 @@
+#include "attacks/transient/foreshadow.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+
+ForeshadowAttack::ForeshadowAttack(sim::Machine& machine, hwsec::arch::Sgx& sgx,
+                                   sim::CoreId core, Config config)
+    : sgx_(&sgx), config_(config), process_(machine, core) {
+  process_.setup_probe_array();
+
+  // Identical transmitter to Meltdown's; the difference is entirely in
+  // the translation (terminal fault + stale frame bits + L1 state).
+  sim::ProgramBuilder b(kCodeBase);
+  b.label("entry")
+      .lb(sim::R3, sim::R1)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .label("done")
+      .halt();
+  const sim::Program program = b.build();
+  entry_ = program.address_of("entry");
+  done_ = program.address_of("done");
+  process_.load_program(program);
+
+  process_.cpu().set_fault_handler([this](sim::Cpu& cpu, const sim::FaultInfo&) {
+    cpu.set_pc(done_);
+    return sim::FaultAction::kRedirect;
+  });
+}
+
+std::optional<std::uint8_t> ForeshadowAttack::leak_enclave_byte(tee::EnclaveId id,
+                                                                std::uint32_t offset) {
+  const tee::EnclaveInfo* info = sgx_->enclave(id);
+  if (info == nullptr) {
+    return std::nullopt;
+  }
+  const std::uint32_t page_index = offset / sim::kPageSize;
+  const sim::PhysAddr target_frame = sim::page_base(info->phys_of(offset));
+
+  // Step 3: force the page's plaintext through this core's L1D.
+  if (config_.use_page_swap_loading) {
+    if (sgx_->ewb(id, page_index) != tee::EnclaveError::kOk) {
+      return std::nullopt;
+    }
+    if (sgx_->eldu(id, page_index, process_.core()) != tee::EnclaveError::kOk) {
+      return std::nullopt;
+    }
+  }
+
+  // Step 1: malicious-OS page-table edit — map the window onto the EPC
+  // frame, then clear the present bit (the L1TF condition).
+  process_.map(window_va_, target_frame, sim::pte::kUser);
+  process_.aspace().clear_present(window_va_);
+  // The stale translation must come from the walk, not a cached TLB entry.
+  process_.cpu().mmu().tlb().invalidate_page(window_va_);
+
+  process_.flush_probe();
+  process_.activate(sim::Privilege::kSupervisor);
+  sim::Cpu& cpu = process_.cpu();
+  cpu.set_reg(sim::R1, window_va_ + (offset & sim::kPageOffsetMask));
+  cpu.set_reg(sim::R2, kProbeBase);
+  cpu.run_from(entry_, 64);
+
+  return process_.hottest_probe_line();
+}
+
+std::vector<std::uint8_t> ForeshadowAttack::leak_enclave_range(tee::EnclaveId id,
+                                                               std::uint32_t offset,
+                                                               std::uint32_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const auto byte = leak_enclave_byte(id, offset + i);
+    out.push_back(byte.value_or(0));
+  }
+  return out;
+}
+
+hwsec::crypto::u64 ForeshadowAttack::steal_attestation_key() {
+  const tee::EnclaveInfo* qe = sgx_->quoting_enclave();
+  if (qe == nullptr) {
+    return 0;
+  }
+  // The private exponent sits after the 2-byte code stub in the quoting
+  // enclave's image (layout knowledge is public: the QE binary ships with
+  // the SDK).
+  const std::vector<std::uint8_t> bytes = leak_enclave_range(qe->id, 2, 8);
+  hwsec::crypto::u64 d = 0;
+  for (int i = 7; i >= 0; --i) {
+    d = (d << 8) | bytes[static_cast<std::size_t>(i)];
+  }
+  return d;
+}
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,65 @@
+// Foreshadow / L1 Terminal Fault (paper §4.2, [38][41][17]): extracting
+// SGX enclave memory — including the attestation keys — from the L1 cache
+// through a not-present page translation.
+//
+// The attack follows the paper's description step by step:
+//  1. SGX is immune to plain Meltdown: EPCM-vetoed accesses don't forward.
+//     But the OS owns the page tables, so the attacker (a malicious OS)
+//     maps a virtual page onto the *physical* EPC frame and clears the
+//     present bit.
+//  2. The terminal fault aborts translation early; the stale PTE frame
+//     bits index the L1D, and if the line is present there its PLAINTEXT
+//     (the L1 sits inside the MEE perimeter) is forwarded transiently.
+//  3. Arbitrary enclave pages are forced into the L1 in plaintext using
+//     SGX's secure page swapping: EWB + ELDU decrypt the page through the
+//     cache ("arbitrary encrypted enclave pages can be externally forced
+//     to be decrypted to the L1 cache").
+//  4. The byte is encoded in the probe array as in Meltdown.
+//
+// steal_attestation_key() reproduces the paper's headline consequence:
+// "Foreshadow was used to extract attestation keys of Intel SGX", after
+// which the attacker forges quotes for arbitrary (fake) enclaves.
+#pragma once
+
+#include <optional>
+
+#include "arch/sgx.h"
+#include "attacks/transient/environment.h"
+
+namespace hwsec::attacks {
+
+class ForeshadowAttack {
+ public:
+  struct Config {
+    /// Skip the EWB/ELDU L1-loading step (ablation: the leak must fail
+    /// with a cold L1).
+    bool use_page_swap_loading = true;
+  };
+
+  ForeshadowAttack(hwsec::sim::Machine& machine, hwsec::arch::Sgx& sgx,
+                   hwsec::sim::CoreId core = 0)
+      : ForeshadowAttack(machine, sgx, core, Config{}) {}
+  ForeshadowAttack(hwsec::sim::Machine& machine, hwsec::arch::Sgx& sgx, hwsec::sim::CoreId core,
+                   Config config);
+
+  /// Leaks one byte at `offset` inside the victim enclave's memory.
+  std::optional<std::uint8_t> leak_enclave_byte(hwsec::tee::EnclaveId id, std::uint32_t offset);
+
+  /// Leaks a byte range (page-swapping each containing page into L1).
+  std::vector<std::uint8_t> leak_enclave_range(hwsec::tee::EnclaveId id, std::uint32_t offset,
+                                               std::uint32_t len);
+
+  /// Extracts the quoting enclave's RSA private exponent from EPC memory.
+  /// Returns 0 on failure.
+  hwsec::crypto::u64 steal_attestation_key();
+
+ private:
+  hwsec::arch::Sgx* sgx_;
+  Config config_;
+  UserProcess process_;  ///< runs with OS privilege (malicious kernel).
+  hwsec::sim::VirtAddr entry_ = 0;
+  hwsec::sim::VirtAddr done_ = 0;
+  hwsec::sim::VirtAddr window_va_ = 0x0050'0000;  ///< remap window.
+};
+
+}  // namespace hwsec::attacks

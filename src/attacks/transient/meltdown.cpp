@@ -1,0 +1,74 @@
+#include "attacks/transient/meltdown.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+
+MeltdownAttack::MeltdownAttack(sim::Machine& machine, sim::CoreId core)
+    : process_(machine, core) {
+  process_.setup_probe_array();
+
+  sim::ProgramBuilder b(kCodeBase);
+  // r1 = target kernel VA, r2 = probe base VA.
+  b.label("entry")
+      .lb(sim::R3, sim::R1)      // faulting load; value forwarded transiently.
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)      // probe heat (transient only).
+      .label("done")
+      .halt();
+  const sim::Program program = b.build();
+  entry_ = program.address_of("entry");
+  done_ = program.address_of("done");
+  process_.load_program(program);
+
+  // The attacker's "signal handler": swallow the fault, continue at done.
+  process_.cpu().set_fault_handler(
+      [this](sim::Cpu& cpu, const sim::FaultInfo&) {
+        cpu.set_pc(done_);
+        return sim::FaultAction::kRedirect;
+      });
+}
+
+sim::VirtAddr MeltdownAttack::plant_kernel_secret(const std::string& secret) {
+  const std::uint32_t pages =
+      static_cast<std::uint32_t>(secret.size() / sim::kPageSize) + 1;
+  // Present + writable but NOT user-accessible: classic kernel mapping
+  // inside the process's address space.
+  const sim::PhysAddr phys = process_.map_new(kKernelBase, pages, sim::pte::kWritable);
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    process_.machine().memory().write8(phys + static_cast<sim::PhysAddr>(i),
+                                       static_cast<std::uint8_t>(secret[i]));
+  }
+  return kKernelBase;
+}
+
+std::optional<std::uint8_t> MeltdownAttack::leak_byte(sim::VirtAddr kernel_va) {
+  ++stats_.attempts;
+  process_.flush_probe();
+  process_.activate(sim::Privilege::kUser);
+  sim::Cpu& cpu = process_.cpu();
+  cpu.set_reg(sim::R1, kernel_va);
+  cpu.set_reg(sim::R2, kProbeBase);
+  cpu.run_from(entry_, 64);
+  const auto hot = process_.hottest_probe_line();
+  if (hot.has_value()) {
+    ++stats_.successes;
+  }
+  return hot;
+}
+
+std::string MeltdownAttack::leak_string(sim::VirtAddr kernel_va, std::size_t len,
+                                        std::uint32_t retries) {
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::optional<std::uint8_t> byte;
+    for (std::uint32_t r = 0; r < retries && !byte.has_value(); ++r) {
+      byte = leak_byte(kernel_va + static_cast<sim::VirtAddr>(i));
+    }
+    out.push_back(byte.has_value() ? static_cast<char>(*byte) : '?');
+  }
+  return out;
+}
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,62 @@
+// Meltdown (paper §4.2, [29]): a user process reads kernel memory by
+// exploiting the window between a faulting load and the fault's
+// architectural delivery at retirement.
+//
+// The attack program (built in simulator ISA and executed on the
+// speculative core):
+//
+//     lb   r3, [r1]        ; kernel address — faults, but on vulnerable
+//                          ; silicon the loaded value is forwarded to
+//                          ; the transient window first
+//     shl  r3, r3, 6       ; byte -> probe line offset
+//     add  r3, r2, r3
+//     lb   r4, [r3]        ; heats probe[byte] — the persistent side effect
+//
+// The fault handler (the attacker's signal handler) redirects execution
+// past the sequence; the probe array is then decoded by reload timing.
+// On mitigated silicon (meltdown_fault_forwarding == false) the transient
+// window receives nothing and the probe stays cold.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attacks/transient/environment.h"
+
+namespace hwsec::attacks {
+
+class MeltdownAttack {
+ public:
+  struct Stats {
+    std::uint64_t attempts = 0;
+    std::uint64_t successes = 0;
+  };
+
+  MeltdownAttack(hwsec::sim::Machine& machine, hwsec::sim::CoreId core = 0);
+
+  /// Maps a supervisor-only page at kKernelBase carrying `secret` and
+  /// returns its virtual address (the experiment's victim setup: any
+  /// kernel data works the same way).
+  hwsec::sim::VirtAddr plant_kernel_secret(const std::string& secret);
+
+  /// Leaks one byte from a kernel virtual address; nullopt when the
+  /// transmission failed (mitigated hardware, or noise).
+  std::optional<std::uint8_t> leak_byte(hwsec::sim::VirtAddr kernel_va);
+
+  /// Leaks `len` bytes with `retries` attempts each; unrecovered bytes
+  /// come back as '?'.
+  std::string leak_string(hwsec::sim::VirtAddr kernel_va, std::size_t len,
+                          std::uint32_t retries = 3);
+
+  const Stats& stats() const { return stats_; }
+  UserProcess& process() { return process_; }
+
+ private:
+  UserProcess process_;
+  hwsec::sim::VirtAddr entry_ = 0;
+  hwsec::sim::VirtAddr done_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hwsec::attacks

@@ -1,0 +1,109 @@
+#include "attacks/transient/sgxpectre.h"
+
+#include <stdexcept>
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+
+namespace {
+constexpr sim::VirtAddr kEnclaveBase = 0x00010000;  // enclave linear base.
+}
+
+SgxPectreAttack::SgxPectreAttack(sim::Machine& machine, hwsec::arch::Sgx& sgx,
+                                 const std::string& secret, sim::CoreId core, Config config)
+    : config_(config),
+      sgx_(&sgx),
+      host_(machine, core),
+      enclave_aspace_(machine.create_address_space()) {
+  host_.setup_probe_array();
+
+  // The victim enclave: a bounded-lookup service with a provisioned
+  // secret. Page 0 carries the (measured) code stub and the secret;
+  // page 1 is the service's zeroed lookup array.
+  tee::EnclaveImage image;
+  image.name = "bounded-lookup-service";
+  image.code = {0x5E, 0xC2};
+  image.secret.assign(secret.begin(), secret.end());
+  image.heap_pages = 1;
+  const auto created = sgx.create_enclave(image);
+  if (!created.ok()) {
+    throw std::runtime_error("SgxPectre: enclave creation failed");
+  }
+  victim_ = created.value;
+  const tee::EnclaveInfo* info = sgx.enclave(victim_);
+
+  // OS view of the enclave's linear address space (in SGX the untrusted
+  // OS really does manage enclave page tables; the EPCM validates them).
+  for (std::uint32_t p = 0; p < info->pages; ++p) {
+    enclave_aspace_.map(kEnclaveBase + p * sim::kPageSize, info->phys_of(p * sim::kPageSize),
+                        sim::pte::kUser | sim::pte::kWritable | sim::pte::kExecutable);
+  }
+  // The shared probe array (untrusted host memory the enclave may touch,
+  // as any OCALL buffer would be).
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    enclave_aspace_.map(kProbeBase + p * sim::kPageSize,
+                        host_.probe_phys() + p * sim::kPageSize,
+                        sim::pte::kUser | sim::pte::kWritable);
+  }
+
+  // The enclave's service code. The secret sits at linear offset 2 (after
+  // the 2-byte code stub) in page 0; the bounded array is page 1.
+  const sim::VirtAddr array_va = kEnclaveBase + sim::kPageSize;
+  const sim::VirtAddr secret_va = kEnclaveBase + 2;
+  secret_index_ = secret_va - array_va;  // wraps: the OOB distance.
+
+  sim::ProgramBuilder b(kEnclaveBase + 0x100);  // entry inside page 0.
+  b.label("entry").br(sim::BranchCond::kGeu, sim::R1, sim::R5, "out");
+  if (config_.enclave_has_fence) {
+    b.fence();  // the SDK's post-Spectre hardening.
+  }
+  b.add(sim::R7, sim::R6, sim::R1)
+      .lb(sim::R3, sim::R7)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .label("out")
+      .halt();  // EEXIT.
+  const sim::Program program = b.build();
+  entry_ = program.address_of("entry");
+  host_.cpu().load_program(program, enclave_asid_);
+}
+
+void SgxPectreAttack::call_enclave_service(sim::Word index) {
+  // EENTER: the core switches into the enclave's domain and linear space;
+  // the hosting app chose the call arguments.
+  sim::Cpu& cpu = host_.cpu();
+  const tee::EnclaveInfo* info = sgx_->enclave(victim_);
+  cpu.switch_context(info->domain, sim::Privilege::kUser, enclave_aspace_.root(),
+                     enclave_asid_);
+  cpu.set_reg(sim::R1, index);
+  cpu.set_reg(sim::R2, kProbeBase);
+  cpu.set_reg(sim::R5, bound_);
+  cpu.set_reg(sim::R6, kEnclaveBase + sim::kPageSize);  // array base.
+  cpu.run_from(entry_, 64);
+}
+
+std::optional<std::uint8_t> SgxPectreAttack::leak_secret_byte(std::uint32_t offset) {
+  for (std::uint32_t i = 0; i < config_.training_rounds; ++i) {
+    call_enclave_service(i % bound_);
+  }
+  host_.flush_probe();
+  call_enclave_service(secret_index_ + offset);
+  return host_.hottest_probe_line();
+}
+
+std::string SgxPectreAttack::leak_secret(std::size_t len, std::uint32_t retries) {
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::optional<std::uint8_t> byte;
+    for (std::uint32_t r = 0; r < retries && !byte.has_value(); ++r) {
+      byte = leak_secret_byte(static_cast<std::uint32_t>(i));
+    }
+    out.push_back(byte.has_value() ? static_cast<char>(*byte) : '?');
+  }
+  return out;
+}
+
+}  // namespace hwsec::attacks

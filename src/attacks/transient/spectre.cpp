@@ -1,0 +1,248 @@
+#include "attacks/transient/spectre.h"
+
+namespace hwsec::attacks {
+
+namespace sim = hwsec::sim;
+
+// ---- SpectreV1 --------------------------------------------------------------
+
+SpectreV1::SpectreV1(sim::Machine& machine, sim::CoreId core, Config config)
+    : config_(config), process_(machine, core) {
+  process_.setup_probe_array();
+  array1_phys_ = process_.map_new(kDataBase, 1, sim::pte::kUser | sim::pte::kWritable);
+
+  sim::ProgramBuilder b(kCodeBase);
+  // r1 = index, r5 = bound, r6 = array1 VA, r2 = probe VA.
+  b.label("victim").br(sim::BranchCond::kGeu, sim::R1, sim::R5, "vdone");
+  if (config_.victim_has_fence) {
+    // The software mitigation: serialize right after the bounds check so
+    // the mispredicted path cannot issue the loads.
+    b.fence();
+  }
+  b.add(sim::R7, sim::R6, sim::R1)
+      .lb(sim::R3, sim::R7)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .label("vdone")
+      .halt();
+  const sim::Program program = b.build();
+  victim_entry_ = program.address_of("victim");
+  process_.load_program(program);
+}
+
+sim::Word SpectreV1::plant_secret(const std::string& secret) {
+  constexpr sim::Word kSecretOffset = 0x100;  // past the 16-byte bound.
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    process_.machine().memory().write8(
+        array1_phys_ + kSecretOffset + static_cast<sim::PhysAddr>(i),
+        static_cast<std::uint8_t>(secret[i]));
+  }
+  return kSecretOffset;
+}
+
+void SpectreV1::run_victim(sim::Word index) {
+  process_.activate(sim::Privilege::kUser);
+  sim::Cpu& cpu = process_.cpu();
+  cpu.set_reg(sim::R1, index);
+  cpu.set_reg(sim::R2, kProbeBase);
+  cpu.set_reg(sim::R5, kBound);
+  cpu.set_reg(sim::R6, kDataBase);
+  cpu.run_from(victim_entry_, 64);
+}
+
+std::optional<std::uint8_t> SpectreV1::leak_byte(sim::Word index) {
+  // (Re)train the bounds check toward "in bounds".
+  for (std::uint32_t i = 0; i < config_.training_rounds; ++i) {
+    run_victim(i % kBound);
+  }
+  process_.flush_probe();
+  run_victim(index);
+  return process_.hottest_probe_line();
+}
+
+std::string SpectreV1::leak_string(sim::Word start_index, std::size_t len,
+                                   std::uint32_t retries) {
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::optional<std::uint8_t> byte;
+    for (std::uint32_t r = 0; r < retries && !byte.has_value(); ++r) {
+      byte = leak_byte(start_index + static_cast<sim::Word>(i));
+    }
+    out.push_back(byte.has_value() ? static_cast<char>(*byte) : '?');
+  }
+  return out;
+}
+
+// ---- SpectreV2 --------------------------------------------------------------
+
+namespace {
+/// Attacker processes get a distinct security domain so the experiments
+/// exercise *cross-domain* predictor state.
+constexpr sim::DomainId kSpectreAttackerDomain = 9;
+}  // namespace
+
+SpectreV2::SpectreV2(sim::Machine& machine, sim::CoreId core, std::uint32_t training_rounds)
+    : training_rounds_(training_rounds),
+      victim_(machine, core, sim::kDomainNormal),
+      attacker_(machine, core, kSpectreAttackerDomain) {
+  victim_.setup_probe_array();
+  victim_.map_new(kDataBase, 1, sim::pte::kUser | sim::pte::kWritable);
+
+  // Victim: loads its pointers, then takes an indirect branch to a benign
+  // target. The gadget below the branch is architecturally dead code.
+  sim::ProgramBuilder vb(kCodeBase);
+  vb.label("victim")
+      .li(sim::R6, kDataBase)    // victim-held secret pointer.
+      .li(sim::R2, kProbeBase)   // victim-held (shared) buffer pointer.
+      .li(sim::R1, 0)            // patched below: benign target.
+      .label("indirect")
+      .jr(sim::R1)
+      .label("benign")
+      .halt()
+      .label("gadget")
+      .add(sim::R8, sim::R6, sim::R7)  // r7: attacker-influenced argument.
+      .lb(sim::R3, sim::R8)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .halt();
+  sim::Program vprog = vb.build();
+  victim_entry_ = vprog.address_of("victim");
+  gadget_ = vprog.address_of("gadget");
+  // Patch the benign target into the li (label addresses only exist now).
+  for (auto& inst : vprog.code) {
+    if (inst.op == sim::Opcode::kLoadImm && inst.rd == sim::R1) {
+      inst.imm = vprog.address_of("benign");
+    }
+  }
+  victim_.load_program(vprog);
+  secret_va_ = kDataBase;
+
+  // Attacker trainer: an indirect branch whose virtual address is
+  // CONGRUENT to the victim's in the BTB index (same low bits, one
+  // index-space period higher). On an untagged BTB this aliases exactly;
+  // with tag bits the differing upper address bits are what saves the
+  // victim — the E5 mitigation ablation. A `halt` landing pad sits at the
+  // gadget address so the trainer's own jump has somewhere to go in the
+  // attacker's address space.
+  const std::uint32_t congruence_stride =
+      machine.profile().cpu.predictor.btb_entries * 4;
+  const sim::VirtAddr indirect_va = vprog.address_of("indirect") + congruence_stride;
+  sim::ProgramBuilder ab(indirect_va - 4);
+  ab.label("trainer").nop();  // at indirect_va - 4.
+  ab.jr(sim::R1);             // at indirect_va: BTB-congruent.
+  ab.halt();
+  sim::Program aprog = ab.build();
+  trainer_entry_ = aprog.address_of("trainer");
+  attacker_.load_program(aprog);
+  sim::ProgramBuilder landing(gadget_);
+  landing.halt();
+  attacker_.load_program(landing.build());
+}
+
+void SpectreV2::plant_secret(const std::string& secret) {
+  const auto pte = victim_.aspace().pte_of(kDataBase);
+  if (!pte.has_value()) {
+    return;
+  }
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    victim_.machine().memory().write8(
+        sim::pte::frame(*pte) + static_cast<sim::PhysAddr>(i),
+        static_cast<std::uint8_t>(secret[i]));
+  }
+}
+
+std::optional<std::uint8_t> SpectreV2::leak_byte(std::uint32_t offset) {
+  sim::Cpu& cpu = victim_.cpu();
+
+  // Inject: attacker executes its congruent indirect branch to the gadget.
+  attacker_.activate(sim::Privilege::kUser);
+  for (std::uint32_t i = 0; i < training_rounds_; ++i) {
+    cpu.set_reg(sim::R1, gadget_);
+    cpu.run_from(trainer_entry_, 16);
+  }
+
+  victim_.flush_probe();
+
+  // Victim runs; its indirect branch mispredicts into the gadget.
+  victim_.activate(sim::Privilege::kUser);
+  cpu.set_reg(sim::R7, offset);  // the "argument" the attacker influences.
+  cpu.run_from(victim_entry_, 64);
+
+  return victim_.hottest_probe_line();
+}
+
+// ---- SpectreRsb --------------------------------------------------------------
+
+SpectreRsb::SpectreRsb(sim::Machine& machine, sim::CoreId core)
+    : victim_(machine, core, sim::kDomainNormal),
+      attacker_(machine, core, kSpectreAttackerDomain) {
+  victim_.setup_probe_array();
+  victim_.map_new(kDataBase, 1, sim::pte::kUser | sim::pte::kWritable);
+  secret_va_ = kDataBase;
+
+  sim::ProgramBuilder vb(kCodeBase);
+  vb.label("victim")
+      .li(sim::R6, kDataBase)
+      .li(sim::R2, kProbeBase)
+      .li(sim::R15, 0)  // patched to "legit" below.
+      .ret()
+      .label("legit")
+      .halt()
+      .label("gadget")
+      .add(sim::R8, sim::R6, sim::R7)
+      .lb(sim::R3, sim::R8)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .halt();
+  sim::Program vprog = vb.build();
+  victim_entry_ = vprog.address_of("victim");
+  gadget_ = vprog.address_of("gadget");
+  for (auto& inst : vprog.code) {
+    if (inst.op == sim::Opcode::kLoadImm && inst.rd == sim::R15) {
+      inst.imm = vprog.address_of("legit");
+    }
+  }
+  victim_.load_program(vprog);
+
+  // Attacker: a call placed so its pushed return address IS the victim's
+  // gadget address (the RSB stores raw virtual addresses).
+  sim::ProgramBuilder ab(gadget_ - 4);
+  ab.label("poison").call("landing").label("landing").halt();
+  sim::Program aprog = ab.build();
+  poison_entry_ = aprog.address_of("poison");
+  attacker_.load_program(aprog);
+}
+
+void SpectreRsb::plant_secret(const std::string& secret) {
+  const auto pte = victim_.aspace().pte_of(kDataBase);
+  if (!pte.has_value()) {
+    return;
+  }
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    victim_.machine().memory().write8(
+        sim::pte::frame(*pte) + static_cast<sim::PhysAddr>(i),
+        static_cast<std::uint8_t>(secret[i]));
+  }
+}
+
+std::optional<std::uint8_t> SpectreRsb::leak_byte(std::uint32_t offset) {
+  sim::Cpu& cpu = victim_.cpu();
+
+  // Poison: push the gadget address onto the RSB.
+  attacker_.activate(sim::Privilege::kUser);
+  cpu.run_from(poison_entry_, 8);
+
+  victim_.flush_probe();
+
+  // Victim returns; prediction comes from the poisoned RSB entry.
+  victim_.activate(sim::Privilege::kUser);
+  cpu.set_reg(sim::R7, offset);
+  cpu.run_from(victim_entry_, 64);
+
+  return victim_.hottest_probe_line();
+}
+
+}  // namespace hwsec::attacks

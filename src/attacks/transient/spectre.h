@@ -1,0 +1,110 @@
+// Spectre variants (paper §4.2, [24][27][22]).
+//
+//  * SpectreV1 (PHT, bounds-check bypass): the victim's conditional
+//    bounds check is mistrained with in-bounds calls; an out-of-bounds
+//    call then transiently reads past the array and encodes the byte in
+//    the probe array. Bypasses "all software defenses like bounds
+//    checking" — and the fence variant shows the software mitigation.
+//  * SpectreV2 (BTB, branch target injection): an attacker context
+//    executes an indirect branch at a BTB-congruent virtual address to
+//    inject a gadget address; the victim's indirect branch then
+//    transiently executes the attacker-chosen gadget *in the victim's
+//    context*. Works cross-domain because the BTB is indexed by virtual
+//    address and (by default) untagged — the paper's [21] point.
+//  * SpectreRSB (return stack buffer): the attacker leaves a poisoned
+//    return address in the RSB across a context switch; the victim's
+//    `ret` transiently executes the gadget.
+//
+// Every variant reports whether the probe array received the secret, so
+// benches can sweep mitigations (serializing fence, BTB tagging, IBPB-
+// style flush, speculation off) and watch the channel close.
+#pragma once
+
+#include <optional>
+
+#include "attacks/transient/environment.h"
+
+namespace hwsec::attacks {
+
+/// Bounds-check-bypass attack against a victim gadget in the same
+/// process (the victim models a kernel/sandbox API taking an index).
+class SpectreV1 {
+ public:
+  struct Config {
+    std::uint32_t training_rounds = 8;
+    /// Insert a serializing fence after the bounds check (the software
+    /// mitigation); the leak must then fail.
+    bool victim_has_fence = false;
+  };
+
+  SpectreV1(hwsec::sim::Machine& machine, hwsec::sim::CoreId core)
+      : SpectreV1(machine, core, Config{}) {}
+  SpectreV1(hwsec::sim::Machine& machine, hwsec::sim::CoreId core, Config config);
+
+  /// Places `secret` in the victim's memory OUTSIDE the bounded array and
+  /// returns the out-of-bounds index that reaches its first byte.
+  hwsec::sim::Word plant_secret(const std::string& secret);
+
+  /// Leaks the byte at array1[index] (index may be out of bounds).
+  std::optional<std::uint8_t> leak_byte(hwsec::sim::Word index);
+
+  std::string leak_string(hwsec::sim::Word start_index, std::size_t len,
+                          std::uint32_t retries = 3);
+
+  UserProcess& process() { return process_; }
+
+ private:
+  void run_victim(hwsec::sim::Word index);
+
+  Config config_;
+  UserProcess process_;
+  hwsec::sim::VirtAddr victim_entry_ = 0;
+  hwsec::sim::PhysAddr array1_phys_ = 0;
+  static constexpr hwsec::sim::Word kBound = 16;
+};
+
+/// Branch-target-injection attack: attacker and victim are separate
+/// domains sharing the core's BTB.
+class SpectreV2 {
+ public:
+  explicit SpectreV2(hwsec::sim::Machine& machine, hwsec::sim::CoreId core = 0,
+                     std::uint32_t training_rounds = 4);
+
+  /// Plants a secret in victim memory; the gadget reads it.
+  void plant_secret(const std::string& secret);
+
+  /// One full inject-train/victim-run/probe round for byte `offset` of
+  /// the secret.
+  std::optional<std::uint8_t> leak_byte(std::uint32_t offset);
+
+  UserProcess& victim() { return victim_; }
+
+ private:
+  std::uint32_t training_rounds_;
+  UserProcess victim_;    ///< victim process (owns gadget + secret).
+  UserProcess attacker_;  ///< attacker process (trainer + probe).
+  hwsec::sim::VirtAddr victim_entry_ = 0;
+  hwsec::sim::VirtAddr gadget_ = 0;
+  hwsec::sim::VirtAddr trainer_entry_ = 0;
+  hwsec::sim::VirtAddr secret_va_ = 0;
+};
+
+/// Return-stack-buffer attack: poisoned return address across a domain
+/// switch.
+class SpectreRsb {
+ public:
+  explicit SpectreRsb(hwsec::sim::Machine& machine, hwsec::sim::CoreId core = 0);
+
+  void plant_secret(const std::string& secret);
+  std::optional<std::uint8_t> leak_byte(std::uint32_t offset);
+
+ private:
+  UserProcess victim_;
+  UserProcess attacker_;
+  hwsec::sim::VirtAddr victim_entry_ = 0;
+  hwsec::sim::VirtAddr gadget_ = 0;
+  hwsec::sim::VirtAddr poison_entry_ = 0;
+  hwsec::sim::VirtAddr secret_va_ = 0;
+};
+
+}  // namespace hwsec::attacks

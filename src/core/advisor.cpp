@@ -1,0 +1,200 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/sancus.h"
+#include "arch/sanctuary.h"
+#include "arch/sanctum.h"
+#include "arch/sgx.h"
+#include "arch/smart.h"
+#include "arch/trustlite.h"
+#include "arch/trustzone.h"
+
+namespace hwsec::core {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+
+std::vector<tee::ArchitectureTraits> all_architecture_traits() {
+  std::vector<tee::ArchitectureTraits> traits;
+  {
+    sim::Machine server(sim::MachineProfile::server(), 3001);
+    traits.push_back(arch::Sgx(server, {.provision_quoting_enclave = false}).traits());
+  }
+  {
+    sim::Machine server(sim::MachineProfile::server(), 3002);
+    traits.push_back(arch::Sanctum(server).traits());
+  }
+  {
+    sim::Machine mobile(sim::MachineProfile::mobile(), 3003);
+    traits.push_back(arch::TrustZone(mobile).traits());
+  }
+  {
+    sim::Machine mobile(sim::MachineProfile::mobile(), 3004);
+    traits.push_back(arch::Sanctuary(mobile).traits());
+  }
+  {
+    sim::Machine embedded(sim::MachineProfile::embedded(), 3005);
+    traits.push_back(arch::Smart(embedded).traits());
+  }
+  {
+    sim::Machine embedded(sim::MachineProfile::embedded(), 3006);
+    traits.push_back(arch::Sancus(embedded).traits());
+  }
+  {
+    sim::Machine embedded(sim::MachineProfile::embedded(), 3007);
+    traits.push_back(arch::TrustLite(embedded).traits());
+  }
+  {
+    sim::Machine embedded(sim::MachineProfile::embedded(), 3008);
+    traits.push_back(arch::TyTan(embedded).traits());
+  }
+  return traits;
+}
+
+std::vector<Recommendation> recommend(const Requirements& req) {
+  std::vector<Recommendation> out;
+  for (const auto& t : all_architecture_traits()) {
+    Recommendation r;
+    r.traits = t;
+
+    // Hard platform gate: a TEE designed for another platform class is
+    // not an option at all (the §2 energy/performance argument).
+    if (t.target != req.platform) {
+      r.viable = false;
+      r.cons.push_back("targets " + sim::to_string(t.target) + ", not " +
+                       sim::to_string(req.platform));
+      out.push_back(std::move(r));
+      continue;
+    }
+
+    auto pro = [&r](int points, const std::string& why) {
+      r.score += points;
+      r.pros.push_back(why);
+    };
+    auto con = [&r](int points, const std::string& why, bool hard = false) {
+      r.score -= points;
+      r.cons.push_back(why);
+      if (hard) {
+        r.viable = false;
+      }
+    };
+
+    if (req.multiple_enclaves) {
+      if (t.enclave_capacity == -1) {
+        pro(3, "unlimited mutually isolated enclaves");
+      } else if (t.enclave_capacity == 1) {
+        con(3, "single enclave: all tenants share the secure world (§3.2)", true);
+      } else if (t.enclave_capacity == 0) {
+        con(3, "no code isolation at all (attestation-only design)", true);
+      }
+    }
+    if (req.remote_attestation) {
+      if (t.attestation == tee::AttestationSupport::kRemote ||
+          t.attestation == tee::AttestationSupport::kLocalAndRemote) {
+        pro(2, "remote attestation built in");
+      } else {
+        con(2, "no remote attestation protocol", true);
+      }
+    }
+    if (req.malicious_peripherals) {
+      switch (t.dma_defense) {
+        case tee::DmaDefense::kEncryptedMemory:
+          pro(2, "DMA sees only ciphertext (memory encryption)");
+          break;
+        case tee::DmaDefense::kRangeFilter:
+        case tee::DmaDefense::kRegionAssignment:
+          pro(2, "DMA transactions into protected memory are vetoed");
+          break;
+        case tee::DmaDefense::kNone:
+          con(3, "DMA is outside the threat model: peripherals read secrets (§3.3)");
+          break;
+      }
+    }
+    if (req.cache_sca_threat) {
+      switch (t.cache_defense) {
+        case tee::CacheDefense::kLlcPartitioning:
+          pro(3, "shared-LLC partitioning defeats Prime+Probe (§4.1)");
+          break;
+        case tee::CacheDefense::kExclusionAndFlush:
+          pro(3, "cache exclusion + flush defeats cache SCA, at a memory-latency cost");
+          break;
+        case tee::CacheDefense::kNoSharedCaches:
+          pro(1, "no shared caches exist to attack");
+          break;
+        case tee::CacheDefense::kNone:
+          con(3, "no architectural cache side-channel defense (§4.1; TruSpy/SGX attacks)");
+          break;
+      }
+    }
+    if (req.real_time) {
+      if (t.real_time_capable) {
+        pro(2, "bounded trustlet/enclave latency (real-time capable)");
+      } else {
+        con(2, "no real-time guarantee (e.g. SMART disables interrupts during attestation)");
+      }
+    }
+    if (req.no_vendor_gatekeeping) {
+      if (t.vendor_trust_required) {
+        con(2, "deployment requires a (costly) vendor trust relationship", true);
+      } else {
+        pro(2, "third parties deploy without vendor involvement");
+      }
+    }
+    if (req.existing_hardware_only) {
+      if (t.new_hardware_required) {
+        con(2, "needs new silicon / hardware changes", true);
+      } else {
+        pro(2, "runs on already-shipped hardware");
+      }
+    }
+    if (req.secure_peripheral_io) {
+      if (t.secure_peripheral_channels) {
+        pro(2, "secure channels to peripherals (§3.2 TrustZone capability)");
+      } else {
+        con(2, "no trusted path to peripherals");
+      }
+    }
+    if (req.physical_adversary) {
+      // No surveyed architecture defends crypto against DPA/faults by
+      // itself — the §5 message: pick masked/checked implementations too.
+      r.cons.push_back(
+          "note: physical SCA/fault resistance needs §5 countermeasures in the "
+          "crypto layer regardless of TEE choice");
+    }
+    out.push_back(std::move(r));
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const Recommendation& a, const Recommendation& b) {
+    if (a.viable != b.viable) {
+      return a.viable;
+    }
+    return a.score > b.score;
+  });
+  return out;
+}
+
+std::string render_recommendations(const Requirements& req,
+                                   const std::vector<Recommendation>& ranked) {
+  std::ostringstream os;
+  os << "platform: " << sim::to_string(req.platform) << "\n";
+  int rank = 1;
+  for (const auto& r : ranked) {
+    if (!r.viable && r.traits.target != req.platform) {
+      continue;  // wrong platform class: not worth listing.
+    }
+    os << "  #" << rank++ << " " << r.traits.name << "  (score " << r.score
+       << (r.viable ? "" : ", NOT VIABLE") << ")\n";
+    for (const auto& p : r.pros) {
+      os << "      + " << p << "\n";
+    }
+    for (const auto& c : r.cons) {
+      os << "      - " << c << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hwsec::core

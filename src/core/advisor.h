@@ -1,0 +1,62 @@
+// Architecture selection advisor — the paper's concluding instruction
+// made executable: "it is important to select the optimal security
+// architecture given the energy and performance budget of the
+// application."
+//
+// Input: a platform class plus the application's threat priorities and
+// deployment constraints. Output: every surveyed architecture, scored
+// and ranked, each with the §3–§5 pros/cons that drove its score. The
+// traits come from the live architecture models (the same structs the E2
+// probes validate), not a hand-maintained copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tee/architecture.h"
+
+namespace hwsec::core {
+
+struct Requirements {
+  hwsec::sim::DeviceClass platform = hwsec::sim::DeviceClass::kServer;
+  /// Application needs more than one mutually distrusting enclave.
+  bool multiple_enclaves = false;
+  /// A remote party must verify what is running.
+  bool remote_attestation = false;
+  /// Adversaries with physical proximity (§2's physical adversary).
+  bool physical_adversary = false;
+  /// Peripherals / DMA masters are untrusted (Thunderclap-class).
+  bool malicious_peripherals = false;
+  /// Co-located software may mount cache side-channel attacks (§4.1).
+  bool cache_sca_threat = false;
+  /// Hard real-time deadlines.
+  bool real_time = false;
+  /// Third-party developers must deploy without a device-vendor contract.
+  bool no_vendor_gatekeeping = false;
+  /// Must run on already-shipped silicon.
+  bool existing_hardware_only = false;
+  /// Sensitive peripheral I/O (biometrics, secure display).
+  bool secure_peripheral_io = false;
+};
+
+struct Recommendation {
+  hwsec::tee::ArchitectureTraits traits;
+  int score = 0;
+  bool viable = true;  ///< platform-compatible and no hard-requirement miss.
+  std::vector<std::string> pros;
+  std::vector<std::string> cons;
+};
+
+/// Traits of all eight surveyed architectures, pulled from live model
+/// instances (scratch machines of the right class).
+std::vector<hwsec::tee::ArchitectureTraits> all_architecture_traits();
+
+/// Scores and ranks every architecture against `req` (best first;
+/// non-viable entries sort last with their disqualifying cons).
+std::vector<Recommendation> recommend(const Requirements& req);
+
+/// Renders a ranked recommendation list.
+std::string render_recommendations(const Requirements& req,
+                                   const std::vector<Recommendation>& ranked);
+
+}  // namespace hwsec::core

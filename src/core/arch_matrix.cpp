@@ -1,0 +1,113 @@
+#include "core/arch_matrix.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "arch/domains.h"
+#include "sim/dma.h"
+
+namespace hwsec::core {
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+
+std::string to_string(DmaProbeOutcome o) {
+  switch (o) {
+    case DmaProbeOutcome::kLeakedPlaintext: return "leaked-plaintext";
+    case DmaProbeOutcome::kCiphertextOnly: return "ciphertext-only";
+    case DmaProbeOutcome::kBlocked: return "blocked";
+    case DmaProbeOutcome::kNotProbed: return "not-probed";
+  }
+  return "?";
+}
+
+ArchitectureAssessment assess_architecture(tee::Architecture& arch,
+                                           sim::PhysAddr secret_phys,
+                                           const std::vector<std::uint8_t>& secret,
+                                           const std::function<bool()>& isolation_check) {
+  ArchitectureAssessment a;
+  a.traits = arch.traits();
+
+  // --- capacity probe ----------------------------------------------------
+  std::vector<tee::EnclaveId> created;
+  for (int i = 0; i < 3; ++i) {
+    tee::EnclaveImage image;
+    image.name = "capacity-probe-" + std::to_string(i);
+    image.code = {static_cast<std::uint8_t>(i), 0x42};
+    const auto r = arch.create_enclave(image);
+    if (!r.ok()) {
+      a.capacity_stop = r.error;
+      break;
+    }
+    created.push_back(r.value);
+    ++a.enclaves_created;
+  }
+  for (const tee::EnclaveId id : created) {
+    arch.destroy_enclave(id);
+  }
+
+  // --- attestation probe ---------------------------------------------------
+  tee::Nonce nonce{};
+  for (std::size_t i = 0; i < nonce.size(); ++i) {
+    nonce[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  a.attestation_verified = arch.attestation_round_trip(nonce);
+
+  // --- DMA probe -------------------------------------------------------------
+  if (!secret.empty()) {
+    sim::DmaDevice device(arch.machine().bus(), hwsec::arch::kUntrustedDeviceDomain,
+                          "thunderclap");
+    const auto bytes =
+        device.exfiltrate(secret_phys, static_cast<std::uint32_t>(secret.size()));
+    if (bytes.size() < secret.size()) {
+      a.dma = DmaProbeOutcome::kBlocked;
+    } else if (std::equal(secret.begin(), secret.end(), bytes.begin())) {
+      a.dma = DmaProbeOutcome::kLeakedPlaintext;
+    } else {
+      a.dma = DmaProbeOutcome::kCiphertextOnly;
+    }
+  }
+
+  // --- isolation probe ----------------------------------------------------------
+  if (isolation_check) {
+    a.isolation_enforced = isolation_check();
+  }
+  return a;
+}
+
+std::string render_matrix(const std::vector<ArchitectureAssessment>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(14) << "arch" << std::setw(10) << "class" << std::setw(22)
+     << "software TCB" << std::setw(10) << "enclaves" << std::setw(8) << "memenc"
+     << std::setw(18) << "DMA probe" << std::setw(20) << "cache defense" << std::setw(8)
+     << "attest" << std::setw(10) << "isolated" << "\n";
+  os << std::string(120, '-') << "\n";
+  const auto short_class = [](sim::DeviceClass c) -> std::string {
+    switch (c) {
+      case sim::DeviceClass::kServer: return "server";
+      case sim::DeviceClass::kMobile: return "mobile";
+      case sim::DeviceClass::kEmbedded: return "embedded";
+    }
+    return "?";
+  };
+  for (const auto& a : rows) {
+    std::string capacity;
+    if (a.traits.enclave_capacity == 0) {
+      capacity = "none";
+    } else if (a.traits.enclave_capacity == 1) {
+      capacity = "1";
+    } else {
+      capacity = "N (" + std::to_string(a.enclaves_created) + "+ ok)";
+    }
+    os << std::left << std::setw(14) << a.traits.name << std::setw(10)
+       << short_class(a.traits.target) << std::setw(22) << to_string(a.traits.tcb)
+       << std::setw(10) << capacity << std::setw(8)
+       << (a.traits.memory_encryption ? "yes" : "no") << std::setw(18) << to_string(a.dma)
+       << std::setw(20) << to_string(a.traits.cache_defense) << std::setw(8)
+       << (a.attestation_verified ? "ok" : "-") << std::setw(10)
+       << (a.isolation_enforced ? "yes" : "NO") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hwsec::core

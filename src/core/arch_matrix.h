@@ -1,0 +1,53 @@
+// Section-3 architecture comparison: declarative traits cross-checked
+// with live probes against each architecture model.
+//
+// Probed, not just declared:
+//  * enclave capacity — create enclaves until the design refuses;
+//  * attestation — produce a report and verify it against the platform
+//    verification key;
+//  * DMA resistance — a malicious peripheral reads the architecture's
+//    most sensitive memory; the outcome is classified as plaintext
+//    leaked / ciphertext only / transaction blocked;
+//  * isolation — a foreign CPU context attempts to reach protected
+//    memory through the architecture's own enforcement point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tee/architecture.h"
+
+namespace hwsec::core {
+
+enum class DmaProbeOutcome : std::uint8_t {
+  kLeakedPlaintext,  ///< secret recovered verbatim (no DMA defense).
+  kCiphertextOnly,   ///< transfer succeeded, data unintelligible (SGX MEE).
+  kBlocked,          ///< transaction vetoed (TZASC / Sanctum filter).
+  kNotProbed,
+};
+
+std::string to_string(DmaProbeOutcome o);
+
+struct ArchitectureAssessment {
+  hwsec::tee::ArchitectureTraits traits;
+  int enclaves_created = 0;      ///< probe capped at 3.
+  hwsec::tee::EnclaveError capacity_stop = hwsec::tee::EnclaveError::kOk;
+  bool attestation_verified = false;
+  DmaProbeOutcome dma = DmaProbeOutcome::kNotProbed;
+  bool isolation_enforced = false;
+  std::string notes;
+};
+
+/// Probes `arch`. `secret_phys`/`secret` describe the architecture's most
+/// sensitive resident data for the DMA probe (an enclave secret, the
+/// SMART key, ...). `isolation_check` runs the design's enforcement path
+/// for a foreign access and returns whether it was denied.
+ArchitectureAssessment assess_architecture(
+    hwsec::tee::Architecture& arch, hwsec::sim::PhysAddr secret_phys,
+    const std::vector<std::uint8_t>& secret,
+    const std::function<bool()>& isolation_check);
+
+/// Renders assessment rows as a fixed-width comparison table.
+std::string render_matrix(const std::vector<ArchitectureAssessment>& rows);
+
+}  // namespace hwsec::core

@@ -1,0 +1,65 @@
+#include "core/detector.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hwsec::core {
+
+namespace sim = hwsec::sim;
+
+CacheAttackDetector::CacheAttackDetector(sim::Machine& machine, sim::DomainId victim_domain,
+                                         DetectorConfig config)
+    : machine_(&machine), victim_domain_(victim_domain), config_(config) {}
+
+std::uint64_t CacheAttackDetector::victim_evictions_now() const {
+  return machine_->caches().llc().domain_stats(victim_domain_).evictions;
+}
+
+std::uint64_t CacheAttackDetector::total_misses_now() const {
+  return machine_->caches().llc().stats().misses;
+}
+
+void CacheAttackDetector::begin_window() {
+  if (in_window_) {
+    throw std::logic_error("detector window already open");
+  }
+  in_window_ = true;
+  window_start_evictions_ = victim_evictions_now();
+  window_start_misses_ = total_misses_now();
+}
+
+WindowReading CacheAttackDetector::end_window() {
+  if (!in_window_) {
+    throw std::logic_error("detector window not open");
+  }
+  in_window_ = false;
+  WindowReading reading;
+  reading.victim_evictions = victim_evictions_now() - window_start_evictions_;
+  reading.total_misses = total_misses_now() - window_start_misses_;
+
+  if (!calibrated_) {
+    calibration_samples_.push_back(static_cast<double>(reading.victim_evictions));
+  } else {
+    const double threshold = baseline_mean_ * config_.threshold_factor;
+    reading.flagged = reading.victim_evictions >= config_.min_evictions &&
+                      static_cast<double>(reading.victim_evictions) > threshold;
+    if (reading.flagged) {
+      ++alerts_;
+    }
+  }
+  history_.push_back(reading);
+  return reading;
+}
+
+void CacheAttackDetector::finish_calibration() {
+  if (calibration_samples_.empty()) {
+    baseline_mean_ = 0.0;
+  } else {
+    baseline_mean_ =
+        std::accumulate(calibration_samples_.begin(), calibration_samples_.end(), 0.0) /
+        static_cast<double>(calibration_samples_.size());
+  }
+  calibrated_ = true;
+}
+
+}  // namespace hwsec::core

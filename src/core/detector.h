@@ -1,0 +1,73 @@
+// Cache-attack detection via hardware performance counters (paper §4.1's
+// software countermeasure family, Chiappetta et al. [9]: "Real Time
+// Detection of Cache-based Side-channel Attacks Using Hardware
+// Performance Counters").
+//
+// A Prime+Probe campaign has an unmistakable counter signature: the
+// victim's lines are evicted by a foreign domain at a rate no benign
+// co-tenant produces, and the attacker's own miss volume explodes.
+// The detector samples per-domain LLC statistics over observation
+// windows and flags a window whose victim-eviction pressure exceeds a
+// calibrated baseline multiple.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hwsec::core {
+
+struct DetectorConfig {
+  /// Windows with victim evictions above baseline_mean * threshold_factor
+  /// are flagged.
+  double threshold_factor = 8.0;
+  /// Minimum absolute evictions per window to flag (guards against a
+  /// zero baseline).
+  std::uint64_t min_evictions = 16;
+};
+
+struct WindowReading {
+  std::uint64_t victim_evictions = 0;  ///< victim-owned lines displaced.
+  std::uint64_t total_misses = 0;      ///< whole-LLC miss volume.
+  bool flagged = false;
+};
+
+class CacheAttackDetector {
+ public:
+  CacheAttackDetector(hwsec::sim::Machine& machine, hwsec::sim::DomainId victim_domain,
+                      DetectorConfig config = {});
+
+  /// Calibration: call around `benign_windows` windows of attack-free
+  /// operation; establishes the baseline eviction rate.
+  void begin_window();
+  WindowReading end_window();
+
+  /// Ends calibration; subsequent windows are classified.
+  void finish_calibration();
+  bool calibrated() const { return calibrated_; }
+  double baseline_mean() const { return baseline_mean_; }
+
+  /// Windows flagged since calibration finished.
+  std::uint64_t alerts() const { return alerts_; }
+  const std::vector<WindowReading>& history() const { return history_; }
+
+ private:
+  std::uint64_t victim_evictions_now() const;
+  std::uint64_t total_misses_now() const;
+
+  hwsec::sim::Machine* machine_;
+  hwsec::sim::DomainId victim_domain_;
+  DetectorConfig config_;
+  std::uint64_t window_start_evictions_ = 0;
+  std::uint64_t window_start_misses_ = 0;
+  bool in_window_ = false;
+  bool calibrated_ = false;
+  std::vector<double> calibration_samples_;
+  double baseline_mean_ = 0.0;
+  std::uint64_t alerts_ = 0;
+  std::vector<WindowReading> history_;
+};
+
+}  // namespace hwsec::core

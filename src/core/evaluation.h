@@ -1,0 +1,72 @@
+// Figure-1 evaluation engine: regenerates the paper's adversary-model ×
+// platform importance matrix from *measurements on the simulator*, not
+// from hard-coded shading.
+//
+// Measured per platform class (server / mobile / embedded):
+//  * performance      — MIPS of a reference workload program;
+//  * energy           — nJ per instruction of the same workload;
+//  * microarchitectural attack success — Spectre-PHT, Spectre-BTB,
+//    Meltdown, Foreshadow-class fault forwarding, and an LLC Prime+Probe
+//    run against the platform's machine model;
+//  * classical physical attack success — CPA on an unprotected AES and a
+//    voltage/frequency glitch campaign.
+//
+// Two quantities are modeled, not measured, and documented as such:
+//  * remote/local applicability: §2 states both "are applicable to all
+//    types of computing platforms" — constants;
+//  * physical *exposure*: how plausibly an adversary gets close to the
+//    device (servers sit in locked rooms, IoT devices are in the field).
+//    Importance(physical) = exposure × measured success.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace hwsec::core {
+
+/// One attack actually executed against a platform model.
+struct AttackProbe {
+  std::string name;
+  bool applicable = false;  ///< the hardware feature it needs exists.
+  bool succeeded = false;
+  std::string detail;
+};
+
+struct PlatformEvaluation {
+  std::string platform;
+  hwsec::sim::DeviceClass device_class{};
+
+  // Measured.
+  double mips = 0.0;
+  double nj_per_instruction = 0.0;
+  std::vector<AttackProbe> uarch_probes;
+  std::vector<AttackProbe> physical_probes;
+  double uarch_success_rate = 0.0;
+  double physical_success_rate = 0.0;
+
+  // Modeled (documented above).
+  double physical_exposure = 0.0;
+
+  // Figure-1 importance levels, 0 (light) .. 3 (dark).
+  int remote = 3;
+  int local = 3;
+  int classical_physical = 0;
+  int microarchitectural = 0;
+  int performance = 0;
+  int energy_budget = 0;
+};
+
+/// Runs the reference workload + attack probes for one platform class.
+PlatformEvaluation evaluate_platform(hwsec::sim::DeviceClass device_class,
+                                     std::uint64_t seed = 42);
+
+/// All three Figure-1 columns.
+std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed = 42);
+
+/// Renders the matrix in the paper's layout (rows = adversary models +
+/// requirements, columns = platforms), one shade character per level.
+std::string render_figure1(const std::vector<PlatformEvaluation>& columns);
+
+}  // namespace hwsec::core

@@ -1,0 +1,101 @@
+// AES-128 in three implementations with different side-channel profiles.
+//
+//  * AesTTable       — the classic 4×1 KiB T-table implementation (as in
+//                      OpenSSL before ~2010). Every round does sixteen
+//                      key-dependent table lookups: the canonical victim
+//                      of Evict+Time / Prime+Probe / Flush+Reload (Osvik,
+//                      Shamir, Tromer — the paper's [34]) and of DPA/CPA.
+//  * AesConstantTime — S-box computed arithmetically (GF(2^8) inversion by
+//                      a fixed addition chain); no data-dependent memory
+//                      access, no data-dependent timing. The "software
+//                      countermeasure implemented in the algorithm" the
+//                      paper's §4.1 cites ([3]).
+//  * AesMasked       — first-order Boolean masking: the state is processed
+//                      XOR a fresh random mask and the S-box is recomputed
+//                      per encryption as S'(x ⊕ r_in) = S(x) ⊕ r_out, so
+//                      every leaked intermediate is statistically
+//                      independent of the real data — the §5 masking
+//                      countermeasure.
+//
+// All variants compute byte-identical AES-128 (validated against FIPS-197
+// vectors in the tests) and accept Instrumentation hooks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/instrumentation.h"
+
+namespace hwsec::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// Round keys for AES-128 (11 round keys of 16 bytes).
+struct AesKeySchedule {
+  std::array<std::uint32_t, 44> words{};
+};
+
+/// Expands a 128-bit key (FIPS-197 key schedule).
+AesKeySchedule expand_key(const AesKey& key);
+
+/// The forward S-box (exposed for the DFA and CPA attack code, which — as
+/// in reality — knows the public algorithm).
+const std::array<std::uint8_t, 256>& aes_sbox();
+const std::array<std::uint8_t, 256>& aes_inv_sbox();
+
+/// Table ids reported through Instrumentation::touch by AesTTable.
+/// Tables T0..T3 have 256 4-byte entries each; kSboxTable is the final
+/// round's byte table.
+inline constexpr std::uint32_t kT0 = 0;
+inline constexpr std::uint32_t kT1 = 1;
+inline constexpr std::uint32_t kT2 = 2;
+inline constexpr std::uint32_t kT3 = 3;
+inline constexpr std::uint32_t kSboxTable = 4;
+
+class AesTTable {
+ public:
+  explicit AesTTable(const AesKey& key, Instrumentation instr = {});
+
+  AesBlock encrypt(const AesBlock& plaintext) const;
+
+  /// Encrypt with a fault hook applied to the state entering round
+  /// `fault_round` (1..10); used by the DFA experiments to place a glitch
+  /// precisely. fault_round == 0 means "whatever the Instrumentation
+  /// fault hook decides", i.e. faults may land anywhere.
+  AesBlock encrypt_with_fault_round(const AesBlock& plaintext, std::uint32_t fault_round) const;
+
+  const AesKeySchedule& schedule() const { return schedule_; }
+
+ private:
+  AesKeySchedule schedule_;
+  Instrumentation instr_;
+};
+
+class AesConstantTime {
+ public:
+  explicit AesConstantTime(const AesKey& key, Instrumentation instr = {});
+
+  AesBlock encrypt(const AesBlock& plaintext) const;
+
+ private:
+  AesKeySchedule schedule_;
+  Instrumentation instr_;
+};
+
+class AesMasked {
+ public:
+  /// `rng_seed` drives the mask generator; masks are refreshed per block.
+  AesMasked(const AesKey& key, std::uint64_t rng_seed, Instrumentation instr = {});
+
+  AesBlock encrypt(const AesBlock& plaintext);
+
+ private:
+  AesKeySchedule schedule_;
+  Instrumentation instr_;
+  std::uint64_t rng_state_;
+  std::uint8_t next_mask_byte();
+};
+
+}  // namespace hwsec::crypto

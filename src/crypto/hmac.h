@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// The attestation primitive of the embedded architectures: SMART computes
+// an HMAC over the attested memory region with a ROM-guarded key; TyTAN's
+// secure storage and TrustLite's Trustlet reports use the same construct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace hwsec::crypto {
+
+using HmacKey = std::vector<std::uint8_t>;
+
+/// HMAC-SHA256 of `data` under `key`.
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> data);
+
+/// Constant-time digest comparison (timing-safe verification).
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
+
+}  // namespace hwsec::crypto

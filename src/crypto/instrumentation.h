@@ -1,0 +1,60 @@
+// Instrumentation hooks for "running" the crypto library on the simulated
+// machine.
+//
+// The cryptographic implementations in this module are host-native C++
+// (they compute real AES/SHA/RSA), but every microarchitecturally or
+// physically observable event they produce is routed through these hooks:
+//
+//   touch  — a data-dependent table lookup; the harness forwards it to the
+//            simulated cache hierarchy so cache attacks see real fills and
+//            evictions (src/attacks/cache_*).
+//   leak   — a processed intermediate value; the harness forwards it to
+//            the power-trace recorder (src/sca) which applies a Hamming-
+//            weight + noise leakage model.
+//   fault  — a computed intermediate value offered to the glitch injector
+//            (src/sim/dvfs.h); the returned (possibly corrupted) value is
+//            what the computation continues with.
+//   tick   — a data-dependent amount of work in abstract cost units; the
+//            harness forwards it to the timing model (Kocher-style timing
+//            attacks consume this).
+//
+// All hooks are optional; an un-instrumented instance computes silently.
+// This mirrors how the real attacks work: the algorithm is unchanged, the
+// *platform* observes it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hwsec::crypto {
+
+struct Instrumentation {
+  /// (table_id, element_index) — a lookup into lookup table `table_id`.
+  std::function<void(std::uint32_t, std::uint32_t)> touch;
+  /// An intermediate value was produced (power leakage sample point).
+  std::function<void(std::uint32_t)> leak;
+  /// Offer an intermediate value to the fault injector; returns the value
+  /// to continue with.
+  std::function<std::uint32_t(std::uint32_t)> fault;
+  /// `cost` abstract time units of data-dependent work elapsed.
+  std::function<void(std::uint64_t)> tick;
+
+  void do_touch(std::uint32_t table, std::uint32_t index) const {
+    if (touch) {
+      touch(table, index);
+    }
+  }
+  void do_leak(std::uint32_t value) const {
+    if (leak) {
+      leak(value);
+    }
+  }
+  std::uint32_t do_fault(std::uint32_t value) const { return fault ? fault(value) : value; }
+  void do_tick(std::uint64_t cost) const {
+    if (tick) {
+      tick(cost);
+    }
+  }
+};
+
+}  // namespace hwsec::crypto

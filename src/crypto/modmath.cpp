@@ -1,0 +1,160 @@
+#include "crypto/modmath.h"
+
+#include <stdexcept>
+
+namespace hwsec::crypto {
+
+u64 powmod(u64 base, u64 exp, u64 n) {
+  if (n == 1) {
+    return 0;
+  }
+  u64 result = 1;
+  base %= n;
+  while (exp > 0) {
+    if (exp & 1) {
+      result = mulmod(result, base, n);
+    }
+    base = mulmod(base, base, n);
+    exp >>= 1;
+  }
+  return result;
+}
+
+u64 gcd(u64 a, u64 b) {
+  while (b != 0) {
+    const u64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::optional<u64> invmod(u64 a, u64 n) {
+  // Extended Euclid with signed 128-bit coefficients.
+  i128 t = 0, new_t = 1;
+  i128 r = static_cast<i128>(n), new_r = static_cast<i128>(a % n);
+  while (new_r != 0) {
+    const i128 q = r / new_r;
+    const i128 tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const i128 tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) {
+    return std::nullopt;
+  }
+  if (t < 0) {
+    t += static_cast<i128>(n);
+  }
+  return static_cast<u64>(t);
+}
+
+bool is_prime(u64 n) {
+  if (n < 2) {
+    return false;
+  }
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) {
+      return n == p;
+    }
+  }
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic witness set for 64-bit inputs (Sinclair).
+  for (u64 a : {2ull, 325ull, 9375ull, 28178ull, 450775ull, 9780504ull, 1795265022ull}) {
+    const u64 a_mod = a % n;
+    if (a_mod == 0) {
+      continue;
+    }
+    u64 x = powmod(a_mod, d, n);
+    if (x == 1 || x == n - 1) {
+      continue;
+    }
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) {
+      return false;
+    }
+  }
+  return true;
+}
+
+u64 gen_prime(std::uint32_t bits, hwsec::sim::Rng& rng) {
+  if (bits < 2 || bits > 62) {
+    throw std::invalid_argument("gen_prime supports 2..62 bits");
+  }
+  for (int attempts = 0; attempts < 1'000'000; ++attempts) {
+    u64 candidate = rng.next_u64() & ((1ull << bits) - 1);
+    candidate |= (1ull << (bits - 1)) | 1ull;  // exact bit length, odd.
+    if (is_prime(candidate)) {
+      return candidate;
+    }
+  }
+  throw std::runtime_error("gen_prime failed to find a prime");
+}
+
+Montgomery::Montgomery(u64 modulus) : n_(modulus) {
+  if ((modulus & 1) == 0 || modulus < 3) {
+    throw std::invalid_argument("Montgomery modulus must be odd and >= 3");
+  }
+  // n' = -n^{-1} mod 2^64 by Newton iteration: starting from a seed
+  // correct mod 2, each step doubles the number of correct low bits,
+  // so 6 steps reach 64 bits.
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - n_ * inv;  // doubles the number of correct low bits.
+  }
+  n_prime_ = ~inv + 1;  // -inv mod 2^64.
+
+  r_mod_n_ = static_cast<u64>((static_cast<u128>(1) << 64) % n_);
+  r2_mod_n_ = static_cast<u64>((static_cast<u128>(r_mod_n_) * r_mod_n_) % n_);
+}
+
+u64 Montgomery::reduce(u128 t, bool* extra_reduction) const {
+  const u64 m = static_cast<u64>(t) * n_prime_;
+  const u128 full = t + static_cast<u128>(m) * n_;
+  u64 result = static_cast<u64>(full >> 64);
+  const bool extra = result >= n_;
+  if (extra) {
+    result -= n_;
+  }
+  if (extra_reduction != nullptr) {
+    *extra_reduction = extra;
+  }
+  return result;
+}
+
+u64 Montgomery::to_mont(u64 x) const {
+  return reduce(static_cast<u128>(x % n_) * r2_mod_n_, nullptr);
+}
+
+u64 Montgomery::from_mont(u64 x) const { return reduce(static_cast<u128>(x), nullptr); }
+
+u64 Montgomery::mul(u64 a_mont, u64 b_mont, bool* extra_reduction) const {
+  return reduce(static_cast<u128>(a_mont) * b_mont, extra_reduction);
+}
+
+u64 Montgomery::mul_ct(u64 a_mont, u64 b_mont) const {
+  const u128 t = static_cast<u128>(a_mont) * b_mont;
+  const u64 m = static_cast<u64>(t) * n_prime_;
+  const u128 full = t + static_cast<u128>(m) * n_;
+  const u64 raw = static_cast<u64>(full >> 64);
+  // Unconditional subtract + masked select: no data-dependent event.
+  const u64 reduced = raw - n_;
+  const u64 mask = static_cast<u64>(-static_cast<std::int64_t>(raw >= n_));
+  return (reduced & mask) | (raw & ~mask);
+}
+
+}  // namespace hwsec::crypto

@@ -1,0 +1,82 @@
+// Modular arithmetic over 64-bit moduli, including Montgomery
+// multiplication with observable extra reductions.
+//
+// The RSA in this framework is deliberately "toy-sized" (64-bit modulus,
+// 32-bit primes): the attacks reproduced from the paper's Section 5 —
+// Kocher's timing attack ([23]) and the Boneh–DeMillo–Lipton CRT fault
+// attack ([5]) — depend on the *structure* of the computation (conditional
+// final subtraction in Montgomery reduction; CRT recombination of an
+// intact and a faulted half), not on the operand width. A 64-bit modulus
+// exercises the identical code paths at experiment-friendly speed. This is
+// documented as a substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/rng.h"
+
+namespace hwsec::crypto {
+
+using u64 = std::uint64_t;
+// __extension__ keeps -Wpedantic quiet: __int128 is a GCC/Clang extension,
+// which this library deliberately requires (see CMake's compiler checks).
+__extension__ typedef unsigned __int128 u128;
+__extension__ typedef __int128 i128;
+
+/// (a * b) mod n without overflow.
+constexpr u64 mulmod(u64 a, u64 b, u64 n) {
+  return static_cast<u64>((static_cast<u128>(a) * b) % n);
+}
+
+/// (base ^ exp) mod n, plain square-and-multiply (not side-channel safe;
+/// fine for verification-side math).
+u64 powmod(u64 base, u64 exp, u64 n);
+
+u64 gcd(u64 a, u64 b);
+
+/// Modular inverse of a mod n (n need not be prime); nullopt if gcd != 1.
+std::optional<u64> invmod(u64 a, u64 n);
+
+/// Deterministic Miller–Rabin, valid for all 64-bit inputs.
+bool is_prime(u64 n);
+
+/// Uniform random prime with exactly `bits` bits (2 <= bits <= 62).
+u64 gen_prime(std::uint32_t bits, hwsec::sim::Rng& rng);
+
+/// Montgomery arithmetic mod an odd 64-bit modulus, R = 2^64.
+///
+/// mul() reports whether the *extra reduction* (the conditional final
+/// subtraction) fired. That single data-dependent event is the leakage
+/// the Kocher/Dhem timing attack consumes — and exactly what a
+/// constant-time implementation (always-subtract-and-select) removes.
+class Montgomery {
+ public:
+  explicit Montgomery(u64 modulus);
+
+  u64 modulus() const { return n_; }
+
+  /// Converts into / out of the Montgomery domain.
+  u64 to_mont(u64 x) const;
+  u64 from_mont(u64 x) const;
+
+  /// Montgomery product; sets *extra_reduction when the final conditional
+  /// subtraction was needed (pass nullptr if uninterested).
+  u64 mul(u64 a_mont, u64 b_mont, bool* extra_reduction = nullptr) const;
+
+  /// Constant-time variant: performs the subtraction unconditionally and
+  /// selects the result with a mask. No observable reduction event.
+  u64 mul_ct(u64 a_mont, u64 b_mont) const;
+
+  u64 one() const { return r_mod_n_; }
+
+ private:
+  u64 reduce(u128 t, bool* extra_reduction) const;
+
+  u64 n_;
+  u64 n_prime_;   ///< -n^{-1} mod 2^64.
+  u64 r_mod_n_;   ///< R mod n (Montgomery representation of 1).
+  u64 r2_mod_n_;  ///< R² mod n (for to_mont).
+};
+
+}  // namespace hwsec::crypto

@@ -1,0 +1,113 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+namespace hwsec::crypto {
+
+RsaKeyPair rsa_generate(hwsec::sim::Rng& rng, std::uint32_t prime_bits) {
+  if (prime_bits < 4 || prime_bits > 31) {
+    throw std::invalid_argument("rsa_generate supports 4..31 prime bits");
+  }
+  for (int attempts = 0; attempts < 1000; ++attempts) {
+    const u64 p = gen_prime(prime_bits, rng);
+    const u64 q = gen_prime(prime_bits, rng);
+    if (p == q) {
+      continue;
+    }
+    const u64 n = p * q;
+    const u64 phi = (p - 1) * (q - 1);
+    const u64 e = 65537;
+    const auto d = invmod(e, phi);
+    if (!d.has_value()) {
+      continue;
+    }
+    RsaKeyPair key;
+    key.n = n;
+    key.e = e;
+    key.d = *d;
+    key.p = p;
+    key.q = q;
+    key.dp = *d % (p - 1);
+    key.dq = *d % (q - 1);
+    key.q_inv = invmod(q, p).value();
+    return key;
+  }
+  throw std::runtime_error("rsa_generate failed");
+}
+
+u64 rsa_public(u64 m, const RsaKeyPair& key) { return powmod(m, key.e, key.n); }
+
+u64 rsa_private_naive(u64 c, const RsaKeyPair& key, const Instrumentation& instr) {
+  const Montgomery mont(key.n);
+  const u64 c_mont = mont.to_mont(c % key.n);
+  u64 acc = mont.one();
+  bool extra = false;
+  // MSB-first square-and-multiply: square every bit, multiply on 1-bits.
+  int top = 63;
+  while (top >= 0 && ((key.d >> top) & 1) == 0) {
+    --top;
+  }
+  for (int bit = top; bit >= 0; --bit) {
+    acc = mont.mul(acc, acc, &extra);
+    instr.do_tick(kSquareCost + (extra ? kExtraReductionCost : 0));
+    if ((key.d >> bit) & 1) {
+      acc = mont.mul(acc, c_mont, &extra);
+      instr.do_tick(kMultiplyCost + (extra ? kExtraReductionCost : 0));
+    }
+  }
+  return mont.from_mont(acc);
+}
+
+u64 rsa_private_ladder(u64 c, const RsaKeyPair& key, const Instrumentation& instr) {
+  const Montgomery mont(key.n);
+  const u64 c_mont = mont.to_mont(c % key.n);
+  // Montgomery ladder over all 64 bit positions: one ct-multiply and one
+  // ct-square per bit regardless of the exponent, selected by masking.
+  u64 r0 = mont.one();
+  u64 r1 = c_mont;
+  for (int bit = 63; bit >= 0; --bit) {
+    const u64 b = (key.d >> bit) & 1;
+    const u64 mask = static_cast<u64>(-static_cast<std::int64_t>(b));
+    const u64 product = mont.mul_ct(r0, r1);
+    const u64 sq0 = mont.mul_ct(r0, r0);
+    const u64 sq1 = mont.mul_ct(r1, r1);
+    r0 = (product & mask) | (sq0 & ~mask);
+    r1 = (sq1 & mask) | (product & ~mask);
+    instr.do_tick(kSquareCost + kMultiplyCost);  // uniform cost per bit.
+  }
+  return mont.from_mont(r0);
+}
+
+namespace {
+
+u64 crt_combine(u64 sp, u64 sq, const RsaKeyPair& key) {
+  // Garner: s = sq + q * ((sp - sq) * q_inv mod p).
+  const u64 sp_mod_p = sp % key.p;
+  const u64 sq_mod_p = sq % key.p;
+  const u64 diff = (sp_mod_p + key.p - sq_mod_p) % key.p;
+  const u64 h = mulmod(diff, key.q_inv, key.p);
+  return sq + key.q * h;
+}
+
+}  // namespace
+
+u64 rsa_sign_crt(u64 m, const RsaKeyPair& key, const Instrumentation& instr) {
+  u64 sp = powmod(m % key.p, key.dp, key.p);
+  const u64 sq = powmod(m % key.q, key.dq, key.q);
+  // The p-half intermediate passes through the fault hook (as 32-bit
+  // halves, since the injector operates on machine words).
+  const u64 lo = instr.do_fault(static_cast<std::uint32_t>(sp));
+  const u64 hi = instr.do_fault(static_cast<std::uint32_t>(sp >> 32));
+  sp = (hi << 32) | lo;
+  return crt_combine(sp, sq, key);
+}
+
+u64 rsa_sign_crt_checked(u64 m, const RsaKeyPair& key, const Instrumentation& instr) {
+  const u64 s = rsa_sign_crt(m, key, instr);
+  if (powmod(s, key.e, key.n) != m % key.n) {
+    return 0;  // fault detected: refuse to release the signature.
+  }
+  return s;
+}
+
+}  // namespace hwsec::crypto

@@ -1,0 +1,66 @@
+// RSA over a 64-bit modulus: the Section-5 victim for timing and fault
+// attacks (see modmath.h for why toy-sized operands preserve the attacks).
+//
+// Three private-key paths with different side-channel profiles:
+//  * private_naive  — MSB-first square-and-multiply over Montgomery
+//                     arithmetic. Data-dependent work: the multiply only
+//                     happens for 1-bits and each Montgomery product may
+//                     take an extra reduction. Vulnerable to Kocher-style
+//                     timing analysis (attacks/physical/timing_attack.*).
+//  * private_ladder — Montgomery ladder + constant-time reduction: the
+//                     same operation sequence for every exponent.
+//  * sign_crt       — CRT signature (4× faster, like every real
+//                     implementation) — and the Boneh–DeMillo–Lipton
+//                     single-fault target: one glitched half-exponentiation
+//                     lets the attacker factor n with a gcd.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/instrumentation.h"
+#include "crypto/modmath.h"
+#include "sim/rng.h"
+
+namespace hwsec::crypto {
+
+struct RsaKeyPair {
+  u64 n = 0;     ///< modulus p*q.
+  u64 e = 0;     ///< public exponent.
+  u64 d = 0;     ///< private exponent.
+  u64 p = 0;     ///< prime factor.
+  u64 q = 0;     ///< prime factor.
+  u64 dp = 0;    ///< d mod (p-1).
+  u64 dq = 0;    ///< d mod (q-1).
+  u64 q_inv = 0; ///< q^{-1} mod p.
+};
+
+/// Generates a key with two `prime_bits`-bit primes (default 31 → ~62-bit
+/// modulus) and public exponent 65537 (regenerating if not coprime).
+RsaKeyPair rsa_generate(hwsec::sim::Rng& rng, std::uint32_t prime_bits = 31);
+
+/// m^e mod n.
+u64 rsa_public(u64 m, const RsaKeyPair& key);
+
+/// c^d mod n, leaky square-and-multiply. Emits per-operation cost through
+/// `instr.tick`: kSquareCost/kMultiplyCost base units plus kExtraReduction
+/// when the Montgomery extra reduction fires — the timing side channel.
+u64 rsa_private_naive(u64 c, const RsaKeyPair& key, const Instrumentation& instr = {});
+
+inline constexpr std::uint64_t kSquareCost = 10;
+inline constexpr std::uint64_t kMultiplyCost = 10;
+inline constexpr std::uint64_t kExtraReductionCost = 1;
+
+/// c^d mod n, Montgomery-ladder constant-time (uniform ticks).
+u64 rsa_private_ladder(u64 c, const RsaKeyPair& key, const Instrumentation& instr = {});
+
+/// CRT signature m^d mod n. The p-half result is routed through
+/// `instr.fault` (32-bit halves, low then high) so a glitch lands exactly
+/// where Boneh–DeMillo–Lipton needs it.
+u64 rsa_sign_crt(u64 m, const RsaKeyPair& key, const Instrumentation& instr = {});
+
+/// CRT signature with a verify-before-release countermeasure: recomputes
+/// s^e mod n and refuses (returns 0) on mismatch. Defeats the single-fault
+/// attack at ~+6% cost.
+u64 rsa_sign_crt_checked(u64 m, const RsaKeyPair& key, const Instrumentation& instr = {});
+
+}  // namespace hwsec::crypto

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used as the measurement function for enclave attestation (SGX's
+// MRENCLAVE analogue, Sanctum's measurement, SMART/TrustLite report
+// hashes) and as the compression function under HMAC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hwsec::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Streaming interface.
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+  Sha256Digest finalize();
+
+  /// One-shot helpers.
+  static Sha256Digest hash(std::span<const std::uint8_t> data);
+  static Sha256Digest hash(const std::string& s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// Hex string of a digest (diagnostics, attestation logs).
+std::string to_hex(const Sha256Digest& d);
+
+}  // namespace hwsec::crypto

@@ -1,0 +1,45 @@
+#include "sca/recorder.h"
+
+namespace hwsec::sca {
+
+PowerTraceRecorder::PowerTraceRecorder(RecorderConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void PowerTraceRecorder::begin_trace() {
+  current_.clear();
+  previous_value_ = 0;
+}
+
+void PowerTraceRecorder::on_value(std::uint32_t value) {
+  // Hiding by random delays: dummy samples (pure noise at the baseline
+  // power level) push the real sample to a random position.
+  if (config_.max_jitter > 0) {
+    const std::uint32_t dummies =
+        static_cast<std::uint32_t>(rng_.below(config_.max_jitter + 1));
+    for (std::uint32_t i = 0; i < dummies; ++i) {
+      current_.push_back(rng_.gaussian(0.0, config_.noise_sigma + config_.hiding_noise_sigma));
+    }
+  }
+  const std::uint32_t signal_bits = config_.model == LeakageModel::kHammingWeight
+                                        ? hamming_weight(value)
+                                        : hamming_distance(value, previous_value_);
+  previous_value_ = value;
+  const double sigma = config_.noise_sigma + config_.hiding_noise_sigma;
+  current_.push_back(config_.amplitude * static_cast<double>(signal_bits) +
+                     rng_.gaussian(0.0, sigma));
+}
+
+Trace PowerTraceRecorder::end_trace(std::size_t fixed_length) {
+  Trace out = std::move(current_);
+  current_ = {};
+  if (fixed_length != 0) {
+    const double sigma = config_.noise_sigma + config_.hiding_noise_sigma;
+    while (out.size() < fixed_length) {
+      out.push_back(rng_.gaussian(0.0, sigma));
+    }
+    out.resize(fixed_length);
+  }
+  return out;
+}
+
+}  // namespace hwsec::sca

@@ -1,0 +1,63 @@
+// Power-trace recorder: the simulated oscilloscope.
+//
+// Substitution for physical capture hardware (see DESIGN.md): each leak
+// event from an instrumented victim becomes one sample,
+//
+//     sample = a · HW(value) + N(0, σ)          (Hamming-weight model)
+//  or sample = a · HD(value, previous) + N(0, σ) (Hamming-distance model)
+//
+// which is the standard academic leakage model (Mangard/Oswald/Popp, the
+// paper's [30]). σ is the knob the E7 noise-sensitivity ablation sweeps.
+//
+// The recorder also implements *hiding* countermeasures at the platform
+// level so benches can compare them:
+//   * amplitude noise boost (σ_hiding added on top of σ): noise generators
+//     on-chip;
+//   * random jitter: before each real sample, 0..max_jitter dummy samples
+//     are inserted, misaligning traces in time — the classic effect of
+//     random delays / clock jitter.
+#pragma once
+
+#include <cstdint>
+
+#include "sca/trace.h"
+#include "sim/rng.h"
+
+namespace hwsec::sca {
+
+enum class LeakageModel : std::uint8_t { kHammingWeight, kHammingDistance };
+
+struct RecorderConfig {
+  LeakageModel model = LeakageModel::kHammingWeight;
+  double amplitude = 1.0;       ///< signal scale factor `a`.
+  double noise_sigma = 0.5;     ///< baseline measurement noise σ.
+  double hiding_noise_sigma = 0.0;  ///< extra σ from a hiding countermeasure.
+  std::uint32_t max_jitter = 0;     ///< max dummy samples inserted per event.
+  std::uint64_t seed = 1234;
+};
+
+class PowerTraceRecorder {
+ public:
+  explicit PowerTraceRecorder(RecorderConfig config = {});
+
+  /// Starts a new trace; subsequent on_value calls append to it.
+  void begin_trace();
+
+  /// Records one leak event (wire this as Instrumentation::leak).
+  void on_value(std::uint32_t value);
+
+  /// Finishes the current trace and returns it, padded/truncated to
+  /// `fixed_length` samples if nonzero (misaligned jittered traces must
+  /// still form a rectangular matrix for the statistics).
+  Trace end_trace(std::size_t fixed_length = 0);
+
+  const RecorderConfig& config() const { return config_; }
+
+ private:
+  RecorderConfig config_;
+  hwsec::sim::Rng rng_;
+  Trace current_;
+  std::uint32_t previous_value_ = 0;
+};
+
+}  // namespace hwsec::sca

@@ -1,0 +1,183 @@
+#include "sca/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hwsec::sca {
+
+MeanVar mean_variance(std::span<const double> xs) {
+  MeanVar mv;
+  mv.n = xs.size();
+  if (mv.n == 0) {
+    return mv;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  mv.mean = sum / static_cast<double>(mv.n);
+  if (mv.n > 1) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - mv.mean;
+      ss += d * d;
+    }
+    mv.variance = ss / static_cast<double>(mv.n - 1);
+  }
+  return mv;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("pearson needs two equal series of length >= 2");
+  }
+  const std::size_t n = xs.size();
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+PointCorrelation correlate_hypothesis(const std::vector<Trace>& traces,
+                                      std::span<const double> hypothesis) {
+  PointCorrelation result;
+  if (traces.size() != hypothesis.size() || traces.empty()) {
+    throw std::invalid_argument("one hypothesis value per trace required");
+  }
+  const std::size_t points = traces.front().size();
+  std::vector<double> column(traces.size());
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      column[t] = traces[t].at(p);
+    }
+    const double rho = std::abs(pearson(column, hypothesis));
+    if (rho > result.max_abs_rho) {
+      result.max_abs_rho = rho;
+      result.best_point = p;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Per-point mean and variance over a population of equal-length traces.
+void population_stats(const std::vector<Trace>& population, std::vector<double>& means,
+                      std::vector<double>& vars) {
+  const std::size_t points = population.front().size();
+  means.assign(points, 0.0);
+  vars.assign(points, 0.0);
+  for (const Trace& t : population) {
+    for (std::size_t p = 0; p < points; ++p) {
+      means[p] += t[p];
+    }
+  }
+  const double n = static_cast<double>(population.size());
+  for (double& m : means) {
+    m /= n;
+  }
+  if (population.size() > 1) {
+    for (const Trace& t : population) {
+      for (std::size_t p = 0; p < points; ++p) {
+        const double d = t[p] - means[p];
+        vars[p] += d * d;
+      }
+    }
+    for (double& v : vars) {
+      v /= (n - 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+double max_welch_t(const std::vector<Trace>& population_a,
+                   const std::vector<Trace>& population_b) {
+  if (population_a.size() < 2 || population_b.size() < 2) {
+    throw std::invalid_argument("Welch t-test needs >= 2 traces per population");
+  }
+  std::vector<double> ma, va, mb, vb;
+  population_stats(population_a, ma, va);
+  population_stats(population_b, mb, vb);
+  const std::size_t points = std::min(ma.size(), mb.size());
+  const double na = static_cast<double>(population_a.size());
+  const double nb = static_cast<double>(population_b.size());
+  double max_t = 0.0;
+  for (std::size_t p = 0; p < points; ++p) {
+    const double denom = std::sqrt(va[p] / na + vb[p] / nb);
+    if (denom <= 1e-12) {
+      continue;
+    }
+    max_t = std::max(max_t, std::abs((ma[p] - mb[p]) / denom));
+  }
+  return max_t;
+}
+
+double max_snr(const std::vector<std::vector<Trace>>& classes) {
+  std::vector<std::vector<double>> class_means;
+  std::vector<std::vector<double>> class_vars;
+  std::size_t points = 0;
+  for (const auto& cls : classes) {
+    if (cls.empty()) {
+      continue;
+    }
+    std::vector<double> m, v;
+    population_stats(cls, m, v);
+    points = points == 0 ? m.size() : std::min(points, m.size());
+    class_means.push_back(std::move(m));
+    class_vars.push_back(std::move(v));
+  }
+  if (class_means.size() < 2 || points == 0) {
+    return 0.0;
+  }
+  double best = 0.0;
+  std::vector<double> point_means(class_means.size());
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t c = 0; c < class_means.size(); ++c) {
+      point_means[c] = class_means[c][p];
+    }
+    const MeanVar signal = mean_variance(point_means);
+    double noise = 0.0;
+    for (std::size_t c = 0; c < class_vars.size(); ++c) {
+      noise += class_vars[c][p];
+    }
+    noise /= static_cast<double>(class_vars.size());
+    if (noise > 1e-12) {
+      best = std::max(best, signal.variance / noise);
+    }
+  }
+  return best;
+}
+
+double max_dom(const std::vector<Trace>& population_a, const std::vector<Trace>& population_b) {
+  if (population_a.empty() || population_b.empty()) {
+    return 0.0;
+  }
+  std::vector<double> ma, va, mb, vb;
+  population_stats(population_a, ma, va);
+  population_stats(population_b, mb, vb);
+  const std::size_t points = std::min(ma.size(), mb.size());
+  double best = 0.0;
+  for (std::size_t p = 0; p < points; ++p) {
+    best = std::max(best, std::abs(ma[p] - mb[p]));
+  }
+  return best;
+}
+
+}  // namespace hwsec::sca

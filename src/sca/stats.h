@@ -1,0 +1,52 @@
+// Statistics for side-channel analysis: Pearson correlation (CPA),
+// difference of means (classic DPA), Welch's t-test (TVLA leakage
+// assessment) and signal-to-noise ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sca/trace.h"
+
+namespace hwsec::sca {
+
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) estimator.
+  std::size_t n = 0;
+};
+
+MeanVar mean_variance(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length series; 0 when
+/// either series is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Per-sample-point correlation between a hypothesis vector (one value per
+/// trace) and the trace matrix; returns |rho| maximized over sample points
+/// and the argmax point.
+struct PointCorrelation {
+  double max_abs_rho = 0.0;
+  std::size_t best_point = 0;
+};
+PointCorrelation correlate_hypothesis(const std::vector<Trace>& traces,
+                                      std::span<const double> hypothesis);
+
+/// Welch's t statistic between two trace populations at each sample point;
+/// returns the maximum |t| over points. |t| > 4.5 is the conventional
+/// TVLA threshold for "leaks".
+double max_welch_t(const std::vector<Trace>& population_a,
+                   const std::vector<Trace>& population_b);
+
+inline constexpr double kTvlaThreshold = 4.5;
+
+/// SNR at each point for traces partitioned into classes:
+/// Var_classes(mean) / mean_classes(Var). Returns the max over points.
+double max_snr(const std::vector<std::vector<Trace>>& classes);
+
+/// Difference-of-means (single-bit DPA): |mean(a) - mean(b)| maximized
+/// over sample points.
+double max_dom(const std::vector<Trace>& population_a, const std::vector<Trace>& population_b);
+
+}  // namespace hwsec::sca

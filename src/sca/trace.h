@@ -1,0 +1,44 @@
+// Power-trace containers and leakage helpers.
+//
+// A Trace is one power measurement: a sequence of samples, one per leak
+// event emitted by an instrumented victim (crypto/instrumentation.h). A
+// TraceSet couples traces with the per-encryption public data (plaintext,
+// ciphertext) the statistical attacks condition on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hwsec::sca {
+
+using Trace = std::vector<double>;
+
+/// Hamming weight of a 32-bit value — the canonical CMOS leakage proxy.
+constexpr std::uint32_t hamming_weight(std::uint32_t v) {
+  v = v - ((v >> 1) & 0x55555555u);
+  v = (v & 0x33333333u) + ((v >> 2) & 0x33333333u);
+  return (((v + (v >> 4)) & 0x0F0F0F0Fu) * 0x01010101u) >> 24;
+}
+
+/// Hamming distance between consecutive values (register-overwrite model).
+constexpr std::uint32_t hamming_distance(std::uint32_t a, std::uint32_t b) {
+  return hamming_weight(a ^ b);
+}
+
+struct TraceSet {
+  std::vector<Trace> traces;
+  std::vector<std::array<std::uint8_t, 16>> plaintexts;
+  std::vector<std::array<std::uint8_t, 16>> ciphertexts;
+
+  std::size_t size() const { return traces.size(); }
+  std::size_t samples_per_trace() const { return traces.empty() ? 0 : traces.front().size(); }
+
+  void clear() {
+    traces.clear();
+    plaintexts.clear();
+    ciphertexts.clear();
+  }
+};
+
+}  // namespace hwsec::sca

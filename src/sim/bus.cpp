@@ -1,0 +1,147 @@
+#include "sim/bus.h"
+
+namespace hwsec::sim {
+
+Bus::Bus(PhysicalMemory& mem, CacheHierarchy& caches) : mem_(&mem), caches_(&caches) {}
+
+std::size_t Bus::add_check(PhysCheck check) {
+  checks_.push_back(std::move(check));
+  return checks_.size() - 1;
+}
+
+void Bus::remove_check(std::size_t id) {
+  if (id < checks_.size()) {
+    checks_[id] = nullptr;
+  }
+}
+
+void Bus::clear_checks() { checks_.clear(); }
+
+Fault Bus::run_checks(PhysAddr addr, AccessType type, DomainId domain, Privilege priv,
+                      bool is_dma) const {
+  if (!mem_->contains(addr, 4)) {
+    return Fault::kBusError;
+  }
+  for (const PhysCheck& check : checks_) {
+    if (!check) {
+      continue;
+    }
+    const Fault f = check(addr, type, domain, priv, is_dma);
+    if (f != Fault::kNone) {
+      return f;
+    }
+  }
+  return Fault::kNone;
+}
+
+BusResult Bus::cpu_read(CoreId core, DomainId domain, Privilege priv, PhysAddr addr) {
+  BusResult r;
+  r.fault = run_checks(addr, AccessType::kRead, domain, priv, /*is_dma=*/false);
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  const auto outcome = caches_->access(core, domain, addr, AccessType::kRead);
+  r.latency = outcome.latency;
+  r.level = outcome.level;
+  Word raw = mem_->read32(word_base(addr));
+  if (transform_) {
+    raw = transform_(word_base(addr), raw, domain, /*to_dram=*/false);
+  }
+  r.value = raw;
+  return r;
+}
+
+BusResult Bus::cpu_write(CoreId core, DomainId domain, Privilege priv, PhysAddr addr, Word value) {
+  BusResult r;
+  r.fault = run_checks(addr, AccessType::kWrite, domain, priv, /*is_dma=*/false);
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  const auto outcome = caches_->access(core, domain, addr, AccessType::kWrite);
+  r.latency = outcome.latency;
+  r.level = outcome.level;
+  Word stored = value;
+  if (transform_) {
+    stored = transform_(word_base(addr), value, domain, /*to_dram=*/true);
+  }
+  mem_->write32(word_base(addr), stored);
+  return r;
+}
+
+BusResult Bus::cpu_fetch(CoreId core, DomainId domain, Privilege priv, PhysAddr addr) {
+  BusResult r;
+  r.fault = run_checks(addr, AccessType::kExecute, domain, priv, /*is_dma=*/false);
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  const auto outcome = caches_->fetch(core, domain, addr);
+  r.latency = outcome.latency;
+  r.level = outcome.level;
+  return r;
+}
+
+BusResult Bus::cpu_read8(CoreId core, DomainId domain, Privilege priv, PhysAddr addr) {
+  BusResult r = cpu_read(core, domain, priv, word_base(addr));
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  r.value = (r.value >> (8 * (addr & 3u))) & 0xFFu;
+  return r;
+}
+
+BusResult Bus::cpu_write8(CoreId core, DomainId domain, Privilege priv, PhysAddr addr,
+                          std::uint8_t value) {
+  // Read-modify-write of the containing word so the transform (memory
+  // encryption) always operates on whole words.
+  BusResult r = cpu_read(core, domain, priv, word_base(addr));
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  const std::uint32_t shift = 8 * (addr & 3u);
+  const Word merged =
+      (r.value & ~(0xFFu << shift)) | (static_cast<Word>(value) << shift);
+  const BusResult w = cpu_write(core, domain, priv, word_base(addr), merged);
+  BusResult out = w;
+  out.latency += r.latency;
+  return out;
+}
+
+Word Bus::peek(PhysAddr addr, DomainId domain) const {
+  if (!mem_->contains(addr, 4)) {
+    return 0;
+  }
+  Word raw = mem_->read32(addr & ~3u);
+  if (transform_) {
+    raw = transform_(addr & ~3u, raw, domain, /*to_dram=*/false);
+  }
+  return raw;
+}
+
+BusResult Bus::dma_read(DomainId device_domain, PhysAddr addr) {
+  BusResult r;
+  r.fault = run_checks(addr, AccessType::kRead, device_domain, Privilege::kUser, /*is_dma=*/true);
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  r.latency = dma_latency_;
+  r.level = ServiceLevel::kUncached;
+  r.value = mem_->read32(word_base(addr));  // raw DRAM: no transform, no caches.
+  return r;
+}
+
+BusResult Bus::dma_write(DomainId device_domain, PhysAddr addr, Word value) {
+  BusResult r;
+  r.fault = run_checks(addr, AccessType::kWrite, device_domain, Privilege::kUser, /*is_dma=*/true);
+  if (r.fault != Fault::kNone) {
+    return r;
+  }
+  r.latency = dma_latency_;
+  r.level = ServiceLevel::kUncached;
+  mem_->write32(word_base(addr), value);
+  // Keep caches coherent with the DMA write the way real SoCs do via
+  // snooping: drop any cached copies of the clobbered line.
+  caches_->flush_line(addr);
+  return r;
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,99 @@
+// System bus / interconnect.
+//
+// All physical memory traffic — CPU data, CPU fetch, and DMA — flows
+// through here. The bus is where the surveyed SoC-level protections live:
+//
+//  * PhysCheck hooks: TrustZone's TZASC and Sanctum's DMA range filter are
+//    physical-address firewalls keyed on the initiator's security domain
+//    and on whether the transaction is DMA. Several checks may be stacked;
+//    the first one to veto wins.
+//  * read/write transforms: SGX's memory encryption engine (MEE) sits on
+//    the CPU<->DRAM path. A transform sees CPU traffic only; DMA reads raw
+//    DRAM — which is exactly why SGX survives DMA attacks (the attacker
+//    sees ciphertext) while Sanctum, lacking encryption, must instead veto
+//    the transaction.
+//
+// Timing: cache-hierarchy latency for CPU traffic; a flat latency for DMA
+// (devices do not get to use the CPU caches).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/cache_hierarchy.h"
+#include "sim/memory.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct BusResult {
+  Fault fault = Fault::kNone;
+  Word value = 0;
+  Cycle latency = 0;
+  ServiceLevel level = ServiceLevel::kDram;
+};
+
+class Bus {
+ public:
+  /// Veto hook for physical transactions. `is_dma` distinguishes device
+  /// traffic from CPU traffic (TZASC and Sanctum's filter differ on it).
+  using PhysCheck = std::function<Fault(PhysAddr addr, AccessType type, DomainId domain,
+                                        Privilege priv, bool is_dma)>;
+
+  /// CPU-path data transform (memory encryption). `to_dram == true` means
+  /// the value is about to be written to DRAM (encrypt); false means it
+  /// was just read (decrypt). Transforms see word-aligned traffic.
+  using Transform = std::function<Word(PhysAddr addr, Word value, DomainId domain, bool to_dram)>;
+
+  Bus(PhysicalMemory& mem, CacheHierarchy& caches);
+
+  /// Registers a firewall; returns an id usable with remove_check.
+  std::size_t add_check(PhysCheck check);
+  void remove_check(std::size_t id);
+  void clear_checks();
+
+  /// Installs / clears the (single) memory-encryption transform.
+  void set_transform(Transform t) { transform_ = std::move(t); }
+  void clear_transform() { transform_ = nullptr; }
+
+  // -- CPU-initiated traffic (word-aligned phys addresses) -------------
+  BusResult cpu_read(CoreId core, DomainId domain, Privilege priv, PhysAddr addr);
+  BusResult cpu_write(CoreId core, DomainId domain, Privilege priv, PhysAddr addr, Word value);
+  BusResult cpu_fetch(CoreId core, DomainId domain, Privilege priv, PhysAddr addr);
+
+  /// Byte variants (read-modify-write under the word transform).
+  BusResult cpu_read8(CoreId core, DomainId domain, Privilege priv, PhysAddr addr);
+  BusResult cpu_write8(CoreId core, DomainId domain, Privilege priv, PhysAddr addr,
+                       std::uint8_t value);
+
+  /// Microarchitectural data path: reads the word at `addr` applying the
+  /// CPU-side transform (decryption) but with *no* firewall checks, *no*
+  /// cache state change, and *no* latency. This is exactly the path a
+  /// fault-forwarding load takes — data reaches the transient pipeline
+  /// before any architectural check can veto it.
+  Word peek(PhysAddr addr, DomainId domain) const;
+
+  // -- DMA traffic ------------------------------------------------------
+  BusResult dma_read(DomainId device_domain, PhysAddr addr);
+  BusResult dma_write(DomainId device_domain, PhysAddr addr, Word value);
+
+  PhysicalMemory& memory() { return *mem_; }
+  CacheHierarchy& caches() { return *caches_; }
+
+  Cycle dma_latency() const { return dma_latency_; }
+  void set_dma_latency(Cycle c) { dma_latency_ = c; }
+
+ private:
+  Fault run_checks(PhysAddr addr, AccessType type, DomainId domain, Privilege priv,
+                   bool is_dma) const;
+  PhysAddr word_base(PhysAddr addr) const { return addr & ~3u; }
+
+  PhysicalMemory* mem_;
+  CacheHierarchy* caches_;
+  std::vector<PhysCheck> checks_;  ///< empty slots after removal stay (nullptr).
+  Transform transform_;
+  Cycle dma_latency_ = 100;
+};
+
+}  // namespace hwsec::sim

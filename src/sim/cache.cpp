@@ -1,0 +1,276 @@
+#include "sim/cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hwsec::sim {
+
+std::string to_string(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "LRU";
+    case ReplacementPolicy::kTreePlru: return "tree-PLRU";
+    case ReplacementPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(CacheConfig config, std::uint64_t rng_seed)
+    : config_(std::move(config)), rng_(rng_seed) {
+  if (!is_pow2(config_.line_size)) {
+    throw std::invalid_argument("cache line size must be a power of two");
+  }
+  if (config_.ways == 0 || config_.size_bytes % (config_.ways * config_.line_size) != 0) {
+    throw std::invalid_argument("cache size must be a multiple of ways*line_size");
+  }
+  if (!is_pow2(config_.num_sets())) {
+    throw std::invalid_argument("number of cache sets must be a power of two");
+  }
+  lines_.assign(static_cast<std::size_t>(config_.num_sets()) * config_.ways, Line{});
+  plru_bits_.assign(config_.num_sets(), 0);
+}
+
+Cache::WayRange Cache::ways_for(DomainId domain) const {
+  if (partitions_.empty()) {
+    return {0, config_.ways};
+  }
+  if (auto it = partitions_.find(domain); it != partitions_.end()) {
+    return it->second;
+  }
+  return {0, config_.ways};
+}
+
+Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType type) {
+  const PhysAddr base = line_base(addr);
+  const std::uint32_t set = set_index(addr);
+  const WayRange range = ways_for(domain);
+
+  // Hit path: a domain restricted by a partition can only *hit* within its
+  // partition — that is what makes the partition a side-channel defense and
+  // not just a quota.
+  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
+    Line& line = line_at(set, w);
+    if (line.valid && line.tag_base == base) {
+      line.lru_stamp = ++clock_;
+      if (type == AccessType::kWrite) {
+        line.dirty = true;
+      }
+      touch_plru(set, w);
+      ++stats_.hits;
+      ++per_domain_[domain].hits;
+      return {.hit = true, .evicted_line = std::nullopt, .evicted_domain = kDomainNormal};
+    }
+  }
+
+  // Miss: choose a victim within the domain's ways and fill.
+  ++stats_.misses;
+  ++per_domain_[domain].misses;
+  const std::uint32_t victim_way = choose_victim(set, range);
+  Line& victim = line_at(set, victim_way);
+  AccessResult result;
+  if (victim.valid) {
+    result.evicted_line = victim.tag_base;
+    result.evicted_domain = victim.owner;
+    ++stats_.evictions;
+    ++per_domain_[victim.owner].evictions;
+  }
+  victim.valid = true;
+  victim.tag_base = base;
+  victim.owner = domain;
+  victim.dirty = (type == AccessType::kWrite);
+  victim.lru_stamp = ++clock_;
+  touch_plru(set, victim_way);
+  return result;
+}
+
+bool Cache::probe(PhysAddr addr) const {
+  const PhysAddr base = addr & ~(config_.line_size - 1);
+  const std::uint32_t set = set_index(addr);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const Line& line = line_at(set, w);
+    if (line.valid && line.tag_base == base) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::probe_owned(PhysAddr addr, DomainId domain) const {
+  const PhysAddr base = addr & ~(config_.line_size - 1);
+  const std::uint32_t set = set_index(addr);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const Line& line = line_at(set, w);
+    if (line.valid && line.tag_base == base && line.owner == domain) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::flush_line(PhysAddr addr) {
+  const PhysAddr base = line_base(addr);
+  const std::uint32_t set = set_index(addr);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = line_at(set, w);
+    if (line.valid && line.tag_base == base) {
+      line.valid = false;
+      ++stats_.flushes;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint32_t Cache::flush_domain(DomainId domain) {
+  std::uint32_t dropped = 0;
+  for (Line& line : lines_) {
+    if (line.valid && line.owner == domain) {
+      line.valid = false;
+      ++dropped;
+    }
+  }
+  stats_.flushes += dropped;
+  return dropped;
+}
+
+void Cache::flush_all() {
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+  ++stats_.flushes;
+}
+
+void Cache::set_way_partition(DomainId domain, std::uint32_t first_way, std::uint32_t num_ways) {
+  if (num_ways == 0) {
+    partitions_.erase(domain);
+    return;
+  }
+  if (first_way + num_ways > config_.ways) {
+    throw std::invalid_argument("way partition out of range");
+  }
+  partitions_[domain] = {first_way, num_ways};
+  // Drop lines the domain holds outside its new partition: stale occupancy
+  // in foreign ways would leak the domain's pre-partition footprint.
+  for (std::uint32_t set = 0; set < config_.num_sets(); ++set) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      if (w >= first_way && w < first_way + num_ways) {
+        continue;
+      }
+      Line& line = line_at(set, w);
+      if (line.valid && line.owner == domain) {
+        line.valid = false;
+      }
+    }
+  }
+}
+
+void Cache::set_index_scramble(std::uint64_t key) {
+  scramble_key_ = key;
+  flush_all();  // old placements are meaningless under the new mapping.
+}
+
+void Cache::rekey(std::uint64_t new_key) { set_index_scramble(new_key); }
+
+std::uint32_t Cache::occupancy(PhysAddr addr, DomainId domain) const {
+  const std::uint32_t set = set_index(addr);
+  std::uint32_t count = 0;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const Line& line = line_at(set, w);
+    if (line.valid && line.owner == domain) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+const CacheStats& Cache::domain_stats(DomainId domain) const {
+  return per_domain_[domain];  // default-constructs zeros for unseen domains.
+}
+
+void Cache::reset_stats() {
+  stats_ = {};
+  per_domain_.clear();
+}
+
+std::uint32_t Cache::choose_victim(std::uint32_t set, WayRange range) {
+  assert(range.count > 0);
+  // Invalid line first, regardless of policy.
+  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
+    if (!line_at(set, w).valid) {
+      return w;
+    }
+  }
+  switch (config_.policy) {
+    case ReplacementPolicy::kLru: {
+      std::uint32_t victim = range.first;
+      std::uint64_t oldest = line_at(set, range.first).lru_stamp;
+      for (std::uint32_t w = range.first + 1; w < range.first + range.count; ++w) {
+        if (line_at(set, w).lru_stamp < oldest) {
+          oldest = line_at(set, w).lru_stamp;
+          victim = w;
+        }
+      }
+      return victim;
+    }
+    case ReplacementPolicy::kTreePlru:
+      return plru_victim(set, range);
+    case ReplacementPolicy::kRandom:
+      return range.first + static_cast<std::uint32_t>(rng_.below(range.count));
+  }
+  return range.first;
+}
+
+// Tree-PLRU over the full way array; when a partition restricts the
+// candidate range we walk the tree but clamp the final leaf into range
+// (real partitioned PLRU designs maintain sub-trees; clamping preserves
+// the "approximately least recent" behaviour that matters for eviction-set
+// experiments without modeling vendor-specific sub-tree layouts).
+void Cache::touch_plru(std::uint32_t set, std::uint32_t way) {
+  std::uint32_t& bits = plru_bits_[set];
+  std::uint32_t node = 0;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = config_.ways;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (way < mid) {
+      bits |= (1u << node);  // point away from the touched half.
+      node = 2 * node + 1;
+      hi = mid;
+    } else {
+      bits &= ~(1u << node);
+      node = 2 * node + 2;
+      lo = mid;
+    }
+  }
+}
+
+std::uint32_t Cache::plru_victim(std::uint32_t set, WayRange range) {
+  const std::uint32_t bits = plru_bits_[set];
+  std::uint32_t node = 0;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = config_.ways;
+  while (hi - lo > 1) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (bits & (1u << node)) {
+      node = 2 * node + 1;
+      hi = mid;
+    } else {
+      node = 2 * node + 2;
+      lo = mid;
+    }
+  }
+  if (lo < range.first) {
+    return range.first;
+  }
+  if (lo >= range.first + range.count) {
+    return range.first + range.count - 1;
+  }
+  return lo;
+}
+
+}  // namespace hwsec::sim

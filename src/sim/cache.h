@@ -1,0 +1,178 @@
+// Set-associative cache model with the security controls that the surveyed
+// architectures rely on.
+//
+// A single Cache object models one level (an L1D, L1I, or shared LLC).
+// Composition into a hierarchy lives in sim/cache_hierarchy.h.
+//
+// Security-relevant features:
+//  * every line is tagged with the DomainId that filled it (used by stats
+//    and by flush_domain);
+//  * way partitioning (DAWG / Sanctum-style strict partitioning): a domain
+//    may be restricted to a contiguous range of ways, making Prime+Probe
+//    across the partition impossible;
+//  * line flush (CLFLUSH analogue) and whole-domain flush (used by
+//    Sanctuary/Sanctum on enclave context switches);
+//  * deterministic replacement (LRU / tree-PLRU) or seeded random
+//    replacement, for the eviction-set reliability ablation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+enum class ReplacementPolicy : std::uint8_t {
+  kLru,
+  kTreePlru,
+  kRandom,
+};
+
+std::string to_string(ReplacementPolicy p);
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 8;
+  std::uint32_t line_size = 64;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+  Cycle hit_latency = 4;
+
+  std::uint32_t num_sets() const { return size_bytes / (ways * line_size); }
+};
+
+/// Per-domain and aggregate counters. Hits/misses are counted against the
+/// domain issuing the access; evictions against the domain that owned the
+/// evicted line (the victim of the eviction, which is what a Prime+Probe
+/// attacker cares about).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t flushes = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config, std::uint64_t rng_seed = 1);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Result of a lookup-with-fill.
+  struct AccessResult {
+    bool hit = false;
+    /// Physical line base evicted to make room for the fill (miss only,
+    /// and only if a valid line was displaced). Inclusive hierarchies use
+    /// this for back-invalidation.
+    std::optional<PhysAddr> evicted_line;
+    /// Domain that owned the evicted line.
+    DomainId evicted_domain = kDomainNormal;
+  };
+
+  /// Looks up `addr` on behalf of `domain`; on miss, fills the line,
+  /// evicting per the replacement policy (restricted to the domain's way
+  /// partition if one is configured).
+  AccessResult access(PhysAddr addr, DomainId domain, AccessType type);
+
+  /// Lookup without side effects: true if the line is present (any domain).
+  bool probe(PhysAddr addr) const;
+
+  /// Lookup without side effects restricted to a domain's own lines.
+  bool probe_owned(PhysAddr addr, DomainId domain) const;
+
+  /// Invalidates the line containing `addr` if present; returns whether a
+  /// line was dropped.
+  bool flush_line(PhysAddr addr);
+
+  /// Invalidates every line owned by `domain`; returns the count dropped.
+  std::uint32_t flush_domain(DomainId domain);
+
+  /// Invalidates everything.
+  void flush_all();
+
+  /// Restricts `domain` to ways [first_way, first_way + num_ways). Lines
+  /// the domain currently holds outside its partition are invalidated so
+  /// a partition change cannot leak stale occupancy. Pass num_ways == 0 to
+  /// remove the restriction.
+  void set_way_partition(DomainId domain, std::uint32_t first_way, std::uint32_t num_ways);
+
+  /// True if a way partition is configured for any domain.
+  bool partitioned() const { return !partitions_.empty(); }
+
+  /// Number of valid lines currently owned by `domain` in the set that
+  /// `addr` maps to. Used by tests and by attack heuristics.
+  std::uint32_t occupancy(PhysAddr addr, DomainId domain) const;
+
+  /// Randomized address-to-set mapping (Wang & Lee [40] / CEASER-family):
+  /// with a nonzero key, the set index is a keyed permutation of the line
+  /// address. rekey() installs a fresh key and flushes (a remap epoch):
+  /// any eviction sets an attacker learned become stale.
+  void set_index_scramble(std::uint64_t key);
+  void rekey(std::uint64_t new_key);
+  std::uint64_t scramble_key() const { return scramble_key_; }
+
+  std::uint32_t set_index(PhysAddr addr) const {
+    const std::uint32_t line = addr / config_.line_size;
+    if (scramble_key_ == 0) {
+      return line % config_.num_sets();
+    }
+    // splitmix-style keyed diffusion; sets must only be balanced, not
+    // cryptographically strong, for the modeled property.
+    std::uint64_t x = line ^ scramble_key_;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 31;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 29;
+    return static_cast<std::uint32_t>(x % config_.num_sets());
+  }
+  PhysAddr line_base(PhysAddr addr) const { return addr & ~(config_.line_size - 1); }
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheStats& domain_stats(DomainId domain) const;
+  void reset_stats();
+
+ private:
+  struct Line {
+    bool valid = false;
+    PhysAddr tag_base = 0;  ///< line-aligned physical address.
+    DomainId owner = kDomainNormal;
+    bool dirty = false;
+    std::uint64_t lru_stamp = 0;
+  };
+
+  struct WayRange {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+
+  WayRange ways_for(DomainId domain) const;
+  std::uint32_t choose_victim(std::uint32_t set, WayRange range);
+  Line& line_at(std::uint32_t set, std::uint32_t way) { return lines_[set * config_.ways + way]; }
+  const Line& line_at(std::uint32_t set, std::uint32_t way) const {
+    return lines_[set * config_.ways + way];
+  }
+  void touch_plru(std::uint32_t set, std::uint32_t way);
+  std::uint32_t plru_victim(std::uint32_t set, WayRange range);
+
+  CacheConfig config_;
+  std::vector<Line> lines_;
+  std::vector<std::uint32_t> plru_bits_;  ///< one bitfield of tree bits per set.
+  std::unordered_map<DomainId, WayRange> partitions_;
+  std::uint64_t clock_ = 0;  ///< LRU stamp source.
+  std::uint64_t scramble_key_ = 0;
+  Rng rng_;
+  CacheStats stats_;
+  mutable std::unordered_map<DomainId, CacheStats> per_domain_;
+};
+
+}  // namespace hwsec::sim

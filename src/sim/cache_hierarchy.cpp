@@ -1,0 +1,186 @@
+#include "sim/cache_hierarchy.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hwsec::sim {
+
+CacheHierarchy::CacheHierarchy(HierarchyConfig config) : config_(std::move(config)) {
+  if (config_.num_cores == 0) {
+    throw std::invalid_argument("hierarchy needs at least one core");
+  }
+  if (config_.has_l1) {
+    for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+      CacheConfig d = config_.l1d;
+      CacheConfig i = config_.l1i;
+      d.name += "[" + std::to_string(c) + "]";
+      i.name += "[" + std::to_string(c) + "]";
+      l1d_.push_back(std::make_unique<Cache>(d, config_.rng_seed + 2 * c));
+      l1i_.push_back(std::make_unique<Cache>(i, config_.rng_seed + 2 * c + 1));
+    }
+  }
+  if (config_.has_llc) {
+    llc_ = std::make_unique<Cache>(config_.llc, config_.rng_seed + 1000);
+  }
+}
+
+bool CacheHierarchy::excluded(PhysAddr addr, Exclusion scope_at_least) const {
+  for (const auto& range : uncacheable_) {
+    if (addr >= range.start && addr < range.end) {
+      if (scope_at_least == Exclusion::kSharedOnly) {
+        return true;  // any exclusion covers at least the shared level.
+      }
+      if (range.scope == Exclusion::kAllLevels) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+MemoryAccessOutcome CacheHierarchy::access_through(Cache* l1, CoreId core, DomainId domain,
+                                                   PhysAddr addr, AccessType type) {
+  (void)core;
+  Cycle latency = 0;
+  const bool skip_all = excluded(addr, Exclusion::kAllLevels);
+  const bool skip_shared = excluded(addr, Exclusion::kSharedOnly);
+
+  if (l1 != nullptr && !skip_all) {
+    latency += l1->config().hit_latency;
+    const auto r = l1->access(addr, domain, type);
+    if (r.hit) {
+      return {ServiceLevel::kL1, latency};
+    }
+  }
+  if (llc_ != nullptr && !skip_all && !skip_shared) {
+    latency += llc_->config().hit_latency;
+    const auto r = llc_->access(addr, domain, type);
+    if (!r.hit && config_.inclusive_llc && r.evicted_line.has_value()) {
+      back_invalidate(*r.evicted_line);
+    }
+    if (r.hit) {
+      return {ServiceLevel::kLlc, latency};
+    }
+  }
+  latency += config_.dram_latency;
+  const bool fully_uncached =
+      skip_all || (l1 == nullptr && (llc_ == nullptr || skip_shared));
+  return {fully_uncached ? ServiceLevel::kUncached : ServiceLevel::kDram, latency};
+}
+
+MemoryAccessOutcome CacheHierarchy::access(CoreId core, DomainId domain, PhysAddr addr,
+                                           AccessType type) {
+  Cache* l1 = config_.has_l1 ? l1d_[core].get() : nullptr;
+  return access_through(l1, core, domain, addr, type);
+}
+
+MemoryAccessOutcome CacheHierarchy::fetch(CoreId core, DomainId domain, PhysAddr addr) {
+  Cache* l1 = config_.has_l1 ? l1i_[core].get() : nullptr;
+  return access_through(l1, core, domain, addr, AccessType::kExecute);
+}
+
+bool CacheHierarchy::in_l1d(CoreId core, PhysAddr addr) const {
+  return config_.has_l1 && l1d_[core]->probe(addr);
+}
+
+bool CacheHierarchy::in_llc(PhysAddr addr) const {
+  return llc_ != nullptr && llc_->probe(addr);
+}
+
+void CacheHierarchy::flush_line(PhysAddr addr) {
+  for (auto& c : l1d_) {
+    c->flush_line(addr);
+  }
+  for (auto& c : l1i_) {
+    c->flush_line(addr);
+  }
+  if (llc_ != nullptr) {
+    llc_->flush_line(addr);
+  }
+}
+
+void CacheHierarchy::flush_core_private(CoreId core) {
+  if (!config_.has_l1) {
+    return;
+  }
+  l1d_[core]->flush_all();
+  l1i_[core]->flush_all();
+}
+
+void CacheHierarchy::flush_all() {
+  for (auto& c : l1d_) {
+    c->flush_all();
+  }
+  for (auto& c : l1i_) {
+    c->flush_all();
+  }
+  if (llc_ != nullptr) {
+    llc_->flush_all();
+  }
+}
+
+void CacheHierarchy::flush_domain(DomainId domain) {
+  for (auto& c : l1d_) {
+    c->flush_domain(domain);
+  }
+  for (auto& c : l1i_) {
+    c->flush_domain(domain);
+  }
+  if (llc_ != nullptr) {
+    llc_->flush_domain(domain);
+  }
+}
+
+void CacheHierarchy::add_uncacheable(PhysAddr start, std::uint32_t len, Exclusion scope) {
+  uncacheable_.push_back({start, start + len, scope});
+  // Drop already-cached copies: an exclusion that leaves stale lines
+  // behind would still be probeable.
+  for (PhysAddr a = start & ~(config_.llc.line_size - 1); a < start + len;
+       a += config_.llc.line_size) {
+    flush_line(a);
+  }
+}
+
+void CacheHierarchy::clear_uncacheable() { uncacheable_.clear(); }
+
+Cache& CacheHierarchy::llc() {
+  if (llc_ == nullptr) {
+    throw std::logic_error("hierarchy has no LLC");
+  }
+  return *llc_;
+}
+
+const Cache& CacheHierarchy::llc() const {
+  if (llc_ == nullptr) {
+    throw std::logic_error("hierarchy has no LLC");
+  }
+  return *llc_;
+}
+
+Cache& CacheHierarchy::l1d(CoreId core) { return *l1d_.at(core); }
+const Cache& CacheHierarchy::l1d(CoreId core) const { return *l1d_.at(core); }
+Cache& CacheHierarchy::l1i(CoreId core) { return *l1i_.at(core); }
+const Cache& CacheHierarchy::l1i(CoreId core) const { return *l1i_.at(core); }
+
+void CacheHierarchy::reset_stats() {
+  for (auto& c : l1d_) {
+    c->reset_stats();
+  }
+  for (auto& c : l1i_) {
+    c->reset_stats();
+  }
+  if (llc_ != nullptr) {
+    llc_->reset_stats();
+  }
+}
+
+void CacheHierarchy::back_invalidate(PhysAddr line_base) {
+  for (auto& c : l1d_) {
+    c->flush_line(line_base);
+  }
+  for (auto& c : l1i_) {
+    c->flush_line(line_base);
+  }
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,529 @@
+#include "sim/cpu.h"
+
+#include <cassert>
+
+namespace hwsec::sim {
+
+Cpu::Cpu(CpuConfig config, Bus& bus)
+    : config_(config),
+      bus_(&bus),
+      mmu_(bus.memory(), config.tlb),
+      predictor_(config.predictor) {}
+
+void Cpu::load_program(const Program& program, std::optional<Asid> asid) {
+  programs_.push_back({program, asid});
+}
+
+void Cpu::clear_programs() { programs_.clear(); }
+
+const Instruction* Cpu::instruction_at(VirtAddr pc) const {
+  for (const LoadedProgram& lp : programs_) {
+    if (lp.asid.has_value() && *lp.asid != mmu_.asid()) {
+      continue;
+    }
+    if (const Instruction* inst = lp.program.at(pc)) {
+      return inst;
+    }
+  }
+  return nullptr;
+}
+
+void Cpu::switch_context(DomainId domain, Privilege priv, PhysAddr page_root, Asid asid) {
+  mmu_.set_context(page_root, asid, domain, priv);
+  predictor_.on_domain_switch();
+}
+
+void Cpu::leak_value(Word value) {
+  if (leak_) {
+    leak_(value);
+  }
+}
+
+Word Cpu::alu_result(Word value) {
+  if (injector_ != nullptr) {
+    return injector_->corrupt(value);
+  }
+  return value;
+}
+
+void Cpu::note_service(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kL1: ++stats_.l1_hits; break;
+    case ServiceLevel::kLlc: ++stats_.llc_hits; break;
+    case ServiceLevel::kDram:
+    case ServiceLevel::kUncached: ++stats_.dram_accesses; break;
+  }
+}
+
+RunResult Cpu::run(std::uint64_t max_instructions) {
+  RunResult result;
+  while (result.executed < max_instructions) {
+    const StepOutcome outcome = step();
+    ++result.executed;
+    if (outcome.halt) {
+      result.halted = true;
+      break;
+    }
+    if (outcome.fault_stop) {
+      result.stop_fault = outcome.fault;
+      break;
+    }
+  }
+  return result;
+}
+
+RunResult Cpu::run_from(VirtAddr entry, std::uint64_t max_instructions) {
+  pc_ = entry;
+  return run(max_instructions);
+}
+
+Cpu::StepOutcome Cpu::raise(const FaultInfo& info) {
+  ++stats_.faults_raised;
+  if (!fault_handler_) {
+    return {.halt = false, .fault_stop = true, .fault = info.fault};
+  }
+  switch (fault_handler_(*this, info)) {
+    case FaultAction::kHalt:
+      return {.halt = false, .fault_stop = true, .fault = info.fault};
+    case FaultAction::kSkip:
+      pc_ = info.pc + 4;
+      return {};
+    case FaultAction::kRedirect:
+      return {};  // handler set pc_ itself.
+  }
+  return {};
+}
+
+std::optional<Word> Cpu::transient_fault_value(const TranslateResult& tr, VirtAddr va,
+                                               bool byte_load) {
+  std::optional<Word> word;
+  if (tr.fault == Fault::kProtection && config_.meltdown_fault_forwarding) {
+    // Meltdown: the permission check resolves too late; the physically
+    // translated data is forwarded to dependents. A mitigated core
+    // forwards zero, which we model as "nothing useful": we still forward,
+    // but the zero carries no secret — callers get std::nullopt instead so
+    // the transient window squashes immediately (observationally the
+    // same: the probe array stays cold).
+    word = bus_->peek(tr.phys & ~3u, mmu_.domain());
+  } else if (tr.fault == Fault::kPageNotPresent && config_.l1tf_vulnerable &&
+             tr.l1tf_phys.has_value()) {
+    // Foreshadow / L1 terminal fault: only data already present in this
+    // core's L1D is reachable, and it is reachable in plaintext because
+    // the L1 sits inside the memory-encryption perimeter.
+    if (bus_->caches().in_l1d(config_.id, *tr.l1tf_phys)) {
+      word = bus_->peek(*tr.l1tf_phys & ~3u, mmu_.domain());
+    }
+  }
+  if (!word.has_value()) {
+    return std::nullopt;
+  }
+  if (byte_load) {
+    return (*word >> (8 * (va & 3u))) & 0xFFu;
+  }
+  return word;
+}
+
+void Cpu::run_transient(VirtAddr start_pc, std::optional<Reg> seed_reg, Word seed_value) {
+  if (!config_.speculative_execution) {
+    return;
+  }
+  std::array<Word, kNumRegs> shadow = regs_;
+  if (seed_reg.has_value() && *seed_reg != kZero) {
+    shadow[*seed_reg] = seed_value;
+  }
+  auto sreg = [&shadow](Reg r) -> Word { return r == kZero ? 0 : shadow[r]; };
+  auto set_sreg = [&shadow](Reg r, Word v) {
+    if (r != kZero) {
+      shadow[r] = v;
+    }
+  };
+
+  VirtAddr tpc = start_pc;
+  for (std::uint32_t i = 0; i < config_.speculation_window; ++i) {
+    const TranslateResult ftr = mmu_.translate(tpc, AccessType::kExecute);
+    if (ftr.fault != Fault::kNone) {
+      break;
+    }
+    const BusResult fetch = bus_->cpu_fetch(config_.id, mmu_.domain(), mmu_.privilege(), ftr.phys);
+    if (fetch.fault != Fault::kNone) {
+      break;
+    }
+    const Instruction* inst = instruction_at(tpc);
+    if (inst == nullptr) {
+      break;
+    }
+    ++stats_.transient_executed;
+    VirtAddr next = tpc + 4;
+    bool stop = false;
+    switch (inst->op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kLoadImm:
+        set_sreg(inst->rd, static_cast<Word>(inst->imm));
+        break;
+      case Opcode::kAdd: set_sreg(inst->rd, sreg(inst->rs1) + sreg(inst->rs2)); break;
+      case Opcode::kSub: set_sreg(inst->rd, sreg(inst->rs1) - sreg(inst->rs2)); break;
+      case Opcode::kAnd: set_sreg(inst->rd, sreg(inst->rs1) & sreg(inst->rs2)); break;
+      case Opcode::kOr: set_sreg(inst->rd, sreg(inst->rs1) | sreg(inst->rs2)); break;
+      case Opcode::kXor: set_sreg(inst->rd, sreg(inst->rs1) ^ sreg(inst->rs2)); break;
+      case Opcode::kShl: set_sreg(inst->rd, sreg(inst->rs1) << (sreg(inst->rs2) & 31u)); break;
+      case Opcode::kShr: set_sreg(inst->rd, sreg(inst->rs1) >> (sreg(inst->rs2) & 31u)); break;
+      case Opcode::kMul: set_sreg(inst->rd, sreg(inst->rs1) * sreg(inst->rs2)); break;
+      case Opcode::kAddImm:
+        set_sreg(inst->rd, sreg(inst->rs1) + static_cast<Word>(inst->imm));
+        break;
+      case Opcode::kAndImm:
+        set_sreg(inst->rd, sreg(inst->rs1) & static_cast<Word>(inst->imm));
+        break;
+      case Opcode::kXorImm:
+        set_sreg(inst->rd, sreg(inst->rs1) ^ static_cast<Word>(inst->imm));
+        break;
+      case Opcode::kShlImm:
+        set_sreg(inst->rd, sreg(inst->rs1) << (static_cast<Word>(inst->imm) & 31u));
+        break;
+      case Opcode::kShrImm:
+        set_sreg(inst->rd, sreg(inst->rs1) >> (static_cast<Word>(inst->imm) & 31u));
+        break;
+      case Opcode::kLoad:
+      case Opcode::kLoadByte: {
+        const bool byte_load = inst->op == Opcode::kLoadByte;
+        const VirtAddr va = sreg(inst->rs1) + static_cast<Word>(inst->imm);
+        if (!byte_load && (va & 3u)) {
+          stop = true;
+          break;
+        }
+        const TranslateResult tr = mmu_.translate(va, AccessType::kRead);
+        if (tr.fault != Fault::kNone) {
+          // Exception suppression: no architectural fault from a transient
+          // load — but fault-forwarding silicon still forwards the data.
+          ++stats_.faults_suppressed;
+          const auto forwarded = transient_fault_value(tr, va, byte_load);
+          if (!forwarded.has_value()) {
+            stop = true;
+            break;
+          }
+          set_sreg(inst->rd, *forwarded);
+          break;
+        }
+        // Regular transient load: the cache fill is the persistent side
+        // effect every Spectre variant relies on.
+        const BusResult br = byte_load
+            ? bus_->cpu_read8(config_.id, mmu_.domain(), mmu_.privilege(), tr.phys)
+            : bus_->cpu_read(config_.id, mmu_.domain(), mmu_.privilege(), tr.phys);
+        if (br.fault != Fault::kNone) {
+          stop = true;
+          break;
+        }
+        set_sreg(inst->rd, br.value);
+        break;
+      }
+      case Opcode::kStore:
+      case Opcode::kStoreByte:
+        // Transient stores stay in the store buffer and are squashed;
+        // no memory or cache side effect in this model.
+        break;
+      case Opcode::kBranch: {
+        const Word a = sreg(inst->rs1);
+        const Word b = sreg(inst->rs2);
+        bool taken = false;
+        switch (inst->cond) {
+          case BranchCond::kEq: taken = a == b; break;
+          case BranchCond::kNe: taken = a != b; break;
+          case BranchCond::kLt: taken = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b); break;
+          case BranchCond::kGe: taken = static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b); break;
+          case BranchCond::kLtu: taken = a < b; break;
+          case BranchCond::kGeu: taken = a >= b; break;
+        }
+        if (taken) {
+          next = static_cast<VirtAddr>(inst->imm);
+        }
+        break;
+      }
+      case Opcode::kJump: next = static_cast<VirtAddr>(inst->imm); break;
+      case Opcode::kJumpInd: next = sreg(inst->rs1); break;
+      case Opcode::kCall:
+        set_sreg(kLink, tpc + 4);
+        next = static_cast<VirtAddr>(inst->imm);
+        break;
+      case Opcode::kCallInd:
+        set_sreg(kLink, tpc + 4);
+        next = sreg(inst->rs1);
+        break;
+      case Opcode::kRet: next = sreg(kLink); break;
+      case Opcode::kRdCycle:
+        set_sreg(inst->rd, static_cast<Word>(cycles_));
+        break;
+      case Opcode::kClflush:
+        // A transient CLFLUSH never retires; treated as a no-op.
+        break;
+      case Opcode::kFence:
+      case Opcode::kEcall:
+      case Opcode::kHalt:
+        stop = true;
+        break;
+    }
+    if (stop) {
+      break;
+    }
+    tpc = next;
+  }
+}
+
+Cpu::StepOutcome Cpu::step() {
+  const VirtAddr pc = pc_;
+
+  // ---- fetch ------------------------------------------------------------
+  const TranslateResult ftr = mmu_.translate(pc, AccessType::kExecute);
+  cycles_ += ftr.latency;
+  if (ftr.fault != Fault::kNone) {
+    return raise({.fault = ftr.fault, .pc = pc, .addr = pc, .type = AccessType::kExecute});
+  }
+  if (mpu_ != nullptr) {
+    const Fault f = mpu_->check_fetch(ftr.phys, prev_fetch_phys_);
+    if (f != Fault::kNone) {
+      return raise({.fault = f, .pc = pc, .addr = pc, .type = AccessType::kExecute});
+    }
+  }
+  const BusResult fetch = bus_->cpu_fetch(config_.id, mmu_.domain(), mmu_.privilege(), ftr.phys);
+  cycles_ += fetch.latency;
+  if (fetch.fault != Fault::kNone) {
+    return raise({.fault = fetch.fault, .pc = pc, .addr = pc, .type = AccessType::kExecute});
+  }
+  const Instruction* inst = instruction_at(pc);
+  if (inst == nullptr) {
+    return raise({.fault = Fault::kBusError, .pc = pc, .addr = pc, .type = AccessType::kExecute});
+  }
+  prev_fetch_phys_ = ftr.phys;
+  ++stats_.retired;
+
+  VirtAddr next_pc = pc + 4;
+  StepOutcome outcome;
+
+  auto commit_alu = [&](Reg rd, Word value) {
+    const Word v = alu_result(value);
+    set_reg(rd, v);
+    leak_value(v);
+    cycles_ += config_.alu_latency;
+  };
+
+  switch (inst->op) {
+    case Opcode::kNop:
+      cycles_ += config_.alu_latency;
+      break;
+    case Opcode::kHalt:
+      outcome.halt = true;
+      return outcome;
+    case Opcode::kLoadImm: commit_alu(inst->rd, static_cast<Word>(inst->imm)); break;
+    case Opcode::kAdd: commit_alu(inst->rd, reg(inst->rs1) + reg(inst->rs2)); break;
+    case Opcode::kSub: commit_alu(inst->rd, reg(inst->rs1) - reg(inst->rs2)); break;
+    case Opcode::kAnd: commit_alu(inst->rd, reg(inst->rs1) & reg(inst->rs2)); break;
+    case Opcode::kOr: commit_alu(inst->rd, reg(inst->rs1) | reg(inst->rs2)); break;
+    case Opcode::kXor: commit_alu(inst->rd, reg(inst->rs1) ^ reg(inst->rs2)); break;
+    case Opcode::kShl: commit_alu(inst->rd, reg(inst->rs1) << (reg(inst->rs2) & 31u)); break;
+    case Opcode::kShr: commit_alu(inst->rd, reg(inst->rs1) >> (reg(inst->rs2) & 31u)); break;
+    case Opcode::kMul: commit_alu(inst->rd, reg(inst->rs1) * reg(inst->rs2)); break;
+    case Opcode::kAddImm: commit_alu(inst->rd, reg(inst->rs1) + static_cast<Word>(inst->imm)); break;
+    case Opcode::kAndImm: commit_alu(inst->rd, reg(inst->rs1) & static_cast<Word>(inst->imm)); break;
+    case Opcode::kXorImm: commit_alu(inst->rd, reg(inst->rs1) ^ static_cast<Word>(inst->imm)); break;
+    case Opcode::kShlImm:
+      commit_alu(inst->rd, reg(inst->rs1) << (static_cast<Word>(inst->imm) & 31u));
+      break;
+    case Opcode::kShrImm:
+      commit_alu(inst->rd, reg(inst->rs1) >> (static_cast<Word>(inst->imm) & 31u));
+      break;
+
+    case Opcode::kLoad:
+    case Opcode::kLoadByte: {
+      const bool byte_load = inst->op == Opcode::kLoadByte;
+      const VirtAddr va = reg(inst->rs1) + static_cast<Word>(inst->imm);
+      if (!byte_load && (va & 3u)) {
+        return raise({.fault = Fault::kAlignment, .pc = pc, .addr = va, .type = AccessType::kRead});
+      }
+      const TranslateResult tr = mmu_.translate(va, AccessType::kRead);
+      cycles_ += tr.latency;
+      if (tr.fault != Fault::kNone) {
+        // Meltdown / L1TF: dependents execute transiently with the
+        // forwarded value before the exception is raised at retirement.
+        if (config_.speculative_execution) {
+          if (const auto forwarded = transient_fault_value(tr, va, byte_load)) {
+            run_transient(pc + 4, inst->rd, *forwarded);
+          }
+        }
+        return raise({.fault = tr.fault, .pc = pc, .addr = va, .type = AccessType::kRead});
+      }
+      if (mpu_ != nullptr) {
+        const Fault f = mpu_->check(tr.phys, AccessType::kRead, prev_fetch_phys_);
+        if (f != Fault::kNone) {
+          return raise({.fault = f, .pc = pc, .addr = va, .type = AccessType::kRead});
+        }
+      }
+      const BusResult br = byte_load
+          ? bus_->cpu_read8(config_.id, mmu_.domain(), mmu_.privilege(), tr.phys)
+          : bus_->cpu_read(config_.id, mmu_.domain(), mmu_.privilege(), tr.phys);
+      cycles_ += br.latency;
+      if (br.fault != Fault::kNone) {
+        return raise({.fault = br.fault, .pc = pc, .addr = va, .type = AccessType::kRead});
+      }
+      ++stats_.loads;
+      note_service(br.level);
+      set_reg(inst->rd, br.value);
+      leak_value(br.value);
+      break;
+    }
+
+    case Opcode::kStore:
+    case Opcode::kStoreByte: {
+      const bool byte_store = inst->op == Opcode::kStoreByte;
+      const VirtAddr va = reg(inst->rs1) + static_cast<Word>(inst->imm);
+      if (!byte_store && (va & 3u)) {
+        return raise(
+            {.fault = Fault::kAlignment, .pc = pc, .addr = va, .type = AccessType::kWrite});
+      }
+      const TranslateResult tr = mmu_.translate(va, AccessType::kWrite);
+      cycles_ += tr.latency;
+      if (tr.fault != Fault::kNone) {
+        return raise({.fault = tr.fault, .pc = pc, .addr = va, .type = AccessType::kWrite});
+      }
+      if (mpu_ != nullptr) {
+        const Fault f = mpu_->check(tr.phys, AccessType::kWrite, prev_fetch_phys_);
+        if (f != Fault::kNone) {
+          return raise({.fault = f, .pc = pc, .addr = va, .type = AccessType::kWrite});
+        }
+      }
+      const Word value = reg(inst->rs2);
+      const BusResult br = byte_store
+          ? bus_->cpu_write8(config_.id, mmu_.domain(), mmu_.privilege(), tr.phys,
+                             static_cast<std::uint8_t>(value))
+          : bus_->cpu_write(config_.id, mmu_.domain(), mmu_.privilege(), tr.phys, value);
+      cycles_ += br.latency;
+      if (br.fault != Fault::kNone) {
+        return raise({.fault = br.fault, .pc = pc, .addr = va, .type = AccessType::kWrite});
+      }
+      ++stats_.stores;
+      note_service(br.level);
+      leak_value(value);
+      break;
+    }
+
+    case Opcode::kBranch: {
+      const Word a = reg(inst->rs1);
+      const Word b = reg(inst->rs2);
+      bool taken = false;
+      switch (inst->cond) {
+        case BranchCond::kEq: taken = a == b; break;
+        case BranchCond::kNe: taken = a != b; break;
+        case BranchCond::kLt:
+          taken = static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+          break;
+        case BranchCond::kGe:
+          taken = static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+          break;
+        case BranchCond::kLtu: taken = a < b; break;
+        case BranchCond::kGeu: taken = a >= b; break;
+      }
+      const VirtAddr target = static_cast<VirtAddr>(inst->imm);
+      cycles_ += config_.alu_latency;
+      if (config_.speculative_execution) {
+        const bool predicted = predictor_.pht().predict(pc);
+        if (predicted != taken) {
+          ++stats_.branch_mispredicts;
+          run_transient(predicted ? target : pc + 4, std::nullopt, 0);
+          cycles_ += config_.mispredict_penalty;
+        }
+      }
+      predictor_.pht().update(pc, taken);
+      next_pc = taken ? target : pc + 4;
+      break;
+    }
+
+    case Opcode::kJump:
+      cycles_ += config_.alu_latency;
+      next_pc = static_cast<VirtAddr>(inst->imm);
+      break;
+
+    case Opcode::kJumpInd:
+    case Opcode::kCallInd: {
+      const VirtAddr actual = reg(inst->rs1);
+      cycles_ += config_.alu_latency;
+      if (config_.speculative_execution) {
+        if (const auto predicted = predictor_.btb().predict(pc);
+            predicted.has_value() && *predicted != actual) {
+          ++stats_.indirect_mispredicts;
+          run_transient(*predicted, std::nullopt, 0);
+          cycles_ += config_.mispredict_penalty;
+        }
+      }
+      predictor_.btb().update(pc, actual);
+      if (inst->op == Opcode::kCallInd) {
+        set_reg(kLink, pc + 4);
+        predictor_.rsb().push(pc + 4);
+      }
+      next_pc = actual;
+      break;
+    }
+
+    case Opcode::kCall:
+      cycles_ += config_.alu_latency;
+      set_reg(kLink, pc + 4);
+      predictor_.rsb().push(pc + 4);
+      next_pc = static_cast<VirtAddr>(inst->imm);
+      break;
+
+    case Opcode::kRet: {
+      const VirtAddr actual = reg(kLink);
+      cycles_ += config_.alu_latency;
+      if (config_.speculative_execution) {
+        if (const auto predicted = predictor_.rsb().pop();
+            predicted.has_value() && *predicted != actual) {
+          ++stats_.return_mispredicts;
+          run_transient(*predicted, std::nullopt, 0);
+          cycles_ += config_.mispredict_penalty;
+        }
+      } else {
+        predictor_.rsb().pop();
+      }
+      next_pc = actual;
+      break;
+    }
+
+    case Opcode::kFence:
+      cycles_ += 3;
+      break;
+
+    case Opcode::kClflush: {
+      const VirtAddr va = reg(inst->rs1) + static_cast<Word>(inst->imm);
+      const TranslateResult tr = mmu_.translate(va, AccessType::kRead);
+      cycles_ += tr.latency;
+      if (tr.fault != Fault::kNone) {
+        return raise({.fault = tr.fault, .pc = pc, .addr = va, .type = AccessType::kRead});
+      }
+      bus_->caches().flush_line(tr.phys);
+      cycles_ += 10;
+      break;
+    }
+
+    case Opcode::kRdCycle:
+      set_reg(inst->rd, static_cast<Word>(cycles_));
+      cycles_ += config_.alu_latency;
+      break;
+
+    case Opcode::kEcall: {
+      cycles_ += 20;  // trap entry cost.
+      pc_ = pc + 4;
+      if (!ecall_) {
+        outcome.halt = true;
+        return outcome;
+      }
+      ecall_(*this, static_cast<Word>(inst->imm));
+      return outcome;  // handler controls pc_ from here.
+    }
+  }
+
+  if (cf_hook_ && is_control_flow(inst->op) && inst->op != Opcode::kHalt) {
+    cf_hook_(pc, next_pc);
+  }
+  pc_ = next_pc;
+  return outcome;
+}
+
+}  // namespace hwsec::sim

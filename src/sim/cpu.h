@@ -1,0 +1,221 @@
+// Execution engine of one hart, with the speculative/transient behaviour
+// that Section 4.2 of the paper surveys.
+//
+// The core executes committed instructions in order, but control-flow
+// prediction and faulting loads open *transient windows*:
+//
+//  * mispredicted conditional branches (PHT), indirect branches (BTB) and
+//    returns (RSB) execute up to `speculation_window` instructions down
+//    the predicted-but-wrong path. Transient instructions use a shadow
+//    register file and never write memory, but their *loads fill the
+//    caches* — the side channel every Spectre variant encodes secrets in.
+//
+//  * a load whose translation faults can still forward data transiently:
+//      - protection fault (e.g. user access to a supervisor page) with
+//        `meltdown_fault_forwarding`: the value at the (successfully
+//        translated) physical address is forwarded to the dependent
+//        transient instructions before the fault is raised at retirement —
+//        the Meltdown behaviour. Mitigated cores forward zero.
+//      - terminal fault (present bit clear / reserved bit set) with
+//        `l1tf_vulnerable`: if the *stale frame bits* of the PTE point at
+//        a line currently in this core's L1D, its (plaintext) value is
+//        forwarded — the Foreshadow / L1TF behaviour. L1-miss forwards
+//        nothing.
+//    When the faulting load itself sits inside a transient window the
+//    architectural exception is suppressed entirely (how Meltdown-style
+//    attacks avoid crashing).
+//
+// Embedded profiles construct the core with speculative_execution=false,
+// which removes every transient behaviour at the source — matching the
+// paper's observation that IoT-class cores "do not incorporate the
+// performance enhancements found in high-end CPUs" and are therefore not
+// susceptible to microarchitectural attacks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/bus.h"
+#include "sim/dvfs.h"
+#include "sim/isa.h"
+#include "sim/mmu.h"
+#include "sim/mpu.h"
+#include "sim/predictor.h"
+#include "sim/program.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct CpuConfig {
+  CoreId id = 0;
+  bool speculative_execution = true;
+  std::uint32_t speculation_window = 64;
+  bool meltdown_fault_forwarding = true;  ///< false = mitigated silicon.
+  bool l1tf_vulnerable = true;            ///< false = mitigated silicon.
+  Cycle mispredict_penalty = 15;
+  Cycle alu_latency = 1;
+  PredictorConfig predictor{};
+  TlbConfig tlb{};
+};
+
+struct FaultInfo {
+  Fault fault = Fault::kNone;
+  VirtAddr pc = 0;
+  VirtAddr addr = 0;  ///< faulting data address (0 for fetch faults).
+  AccessType type = AccessType::kRead;
+};
+
+enum class FaultAction : std::uint8_t {
+  kHalt,      ///< stop the run (unhandled fault).
+  kSkip,      ///< retire the faulting instruction as a no-op, continue.
+  kRedirect,  ///< handler set a new pc (exception vector); continue there.
+};
+
+struct CpuStats {
+  std::uint64_t retired = 0;
+  std::uint64_t transient_executed = 0;
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t indirect_mispredicts = 0;
+  std::uint64_t return_mispredicts = 0;
+  std::uint64_t faults_raised = 0;
+  std::uint64_t faults_suppressed = 0;  ///< faulting loads inside transient windows.
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t llc_hits = 0;
+  std::uint64_t dram_accesses = 0;
+};
+
+struct RunResult {
+  bool halted = false;             ///< reached kHalt (vs. instruction budget).
+  std::uint64_t executed = 0;      ///< committed instructions this run.
+  Fault stop_fault = Fault::kNone; ///< set when a kHalt FaultAction ended the run.
+};
+
+class Cpu {
+ public:
+  /// `service` is the kEcall immediate; args/returns by convention in
+  /// r1..r3. The handler runs host-side (it models OS / monitor / SDK
+  /// services) and may switch the CPU's context.
+  using EcallHandler = std::function<void(Cpu&, Word service)>;
+  using FaultHandler = std::function<FaultAction(Cpu&, const FaultInfo&)>;
+  /// Observes every committed result value (for the power-leakage model).
+  using LeakHook = std::function<void(Word value)>;
+  /// Observes every committed control-flow transfer (source pc, target).
+  /// Substrate for control-flow attestation (C-FLAT, the paper's [1]).
+  using ControlFlowHook = std::function<void(VirtAddr from, VirtAddr to)>;
+
+  Cpu(CpuConfig config, Bus& bus);
+
+  const CpuConfig& config() const { return config_; }
+  CoreId id() const { return config_.id; }
+
+  // -- program management ----------------------------------------------
+  /// Makes `program`'s instructions fetchable (fetch permissions are
+  /// still enforced by MMU/MPU; this only registers the decoded code).
+  /// With `asid` set, the program is visible only while that address
+  /// space is active — two processes may then occupy the same virtual
+  /// addresses with different code, as real processes do.
+  void load_program(const Program& program, std::optional<Asid> asid = std::nullopt);
+  void clear_programs();
+
+  // -- architectural state ----------------------------------------------
+  Word reg(Reg r) const { return r == kZero ? 0 : regs_[r]; }
+  void set_reg(Reg r, Word value) {
+    if (r != kZero) {
+      regs_[r] = value;
+    }
+  }
+  VirtAddr pc() const { return pc_; }
+  void set_pc(VirtAddr pc) { pc_ = pc; }
+  Cycle cycles() const { return cycles_; }
+  void add_cycles(Cycle c) { cycles_ += c; }
+
+  /// Switches security context: domain tag, privilege, address space.
+  /// Notifies the branch predictor (flush-on-switch mitigations hook in
+  /// there).
+  void switch_context(DomainId domain, Privilege priv, PhysAddr page_root, Asid asid);
+  DomainId domain() const { return mmu_.domain(); }
+  Privilege privilege() const { return mmu_.privilege(); }
+
+  // -- hooks --------------------------------------------------------------
+  void set_ecall_handler(EcallHandler h) { ecall_ = std::move(h); }
+  void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
+  void set_leak_hook(LeakHook h) { leak_ = std::move(h); }
+  void set_control_flow_hook(ControlFlowHook h) { cf_hook_ = std::move(h); }
+  /// Glitch injector applied to committed ALU results (CLKSCREW et al.).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_mpu(const Mpu* mpu) { mpu_ = mpu; }
+
+  // -- execution ------------------------------------------------------------
+  /// Runs until kHalt, an unhandled fault, or `max_instructions`
+  /// committed instructions.
+  RunResult run(std::uint64_t max_instructions = 1'000'000);
+
+  /// Convenience: set pc and run.
+  RunResult run_from(VirtAddr entry, std::uint64_t max_instructions = 1'000'000);
+
+  Mmu& mmu() { return mmu_; }
+  const Mmu& mmu() const { return mmu_; }
+  BranchPredictor& predictor() { return predictor_; }
+  Bus& bus() { return *bus_; }
+
+  const CpuStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct StepOutcome {
+    bool halt = false;
+    bool fault_stop = false;
+    Fault fault = Fault::kNone;
+  };
+
+  const Instruction* instruction_at(VirtAddr pc) const;
+  StepOutcome step();
+  /// Raises `info` through the fault handler; fills StepOutcome.
+  StepOutcome raise(const FaultInfo& info);
+  void leak_value(Word value);
+  Word alu_result(Word value);  ///< applies the glitch injector.
+  void note_service(ServiceLevel level);
+
+  /// Runs the transient window starting at `start_pc` with a copy of the
+  /// architectural registers (optionally pre-seeding `seed_reg` with the
+  /// microarchitecturally forwarded value of a faulting load).
+  void run_transient(VirtAddr start_pc, std::optional<Reg> seed_reg, Word seed_value);
+
+  /// Resolves the microarchitecturally forwarded value for a faulting
+  /// load, per the Meltdown / L1TF configuration. Returns nullopt when
+  /// nothing forwards (mitigated core, or L1 miss under L1TF).
+  std::optional<Word> transient_fault_value(const TranslateResult& tr, VirtAddr va,
+                                            bool byte_load);
+
+  CpuConfig config_;
+  Bus* bus_;
+  Mmu mmu_;
+  BranchPredictor predictor_;
+  const Mpu* mpu_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+
+  std::array<Word, kNumRegs> regs_{};
+  VirtAddr pc_ = 0;
+  Cycle cycles_ = 0;
+  /// Physical address of the previously fetched instruction, for the
+  /// EA-MPU's "which code is executing" gate and entry-point checks.
+  PhysAddr prev_fetch_phys_ = 0;
+
+  struct LoadedProgram {
+    Program program;
+    std::optional<Asid> asid;
+  };
+  std::vector<LoadedProgram> programs_;
+  EcallHandler ecall_;
+  FaultHandler fault_handler_;
+  LeakHook leak_;
+  ControlFlowHook cf_hook_;
+  CpuStats stats_;
+};
+
+}  // namespace hwsec::sim

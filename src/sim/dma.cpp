@@ -1,0 +1,51 @@
+#include "sim/dma.h"
+
+namespace hwsec::sim {
+
+DmaDevice::DmaDevice(Bus& bus, DomainId domain, std::string name)
+    : bus_(&bus), domain_(domain), name_(std::move(name)) {}
+
+DmaDevice::TransferResult DmaDevice::read_block(PhysAddr src, std::span<Word> out) {
+  TransferResult r;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const BusResult br = bus_->dma_read(domain_, src + static_cast<PhysAddr>(4 * i));
+    r.latency += br.latency;
+    if (br.fault != Fault::kNone) {
+      r.fault = br.fault;
+      return r;
+    }
+    out[i] = br.value;
+    ++r.words_done;
+  }
+  return r;
+}
+
+DmaDevice::TransferResult DmaDevice::write_block(PhysAddr dst, std::span<const Word> in) {
+  TransferResult r;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const BusResult br = bus_->dma_write(domain_, dst + static_cast<PhysAddr>(4 * i), in[i]);
+    r.latency += br.latency;
+    if (br.fault != Fault::kNone) {
+      r.fault = br.fault;
+      return r;
+    }
+    ++r.words_done;
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> DmaDevice::exfiltrate(PhysAddr src, std::uint32_t bytes) {
+  const std::uint32_t words = (bytes + 3) / 4;
+  std::vector<Word> buffer(words, 0);
+  const TransferResult r = read_block(src, buffer);
+  std::vector<std::uint8_t> out;
+  out.reserve(r.words_done * 4);
+  for (std::uint32_t i = 0; i < r.words_done; ++i) {
+    for (std::uint32_t b = 0; b < 4 && out.size() < bytes; ++b) {
+      out.push_back(static_cast<std::uint8_t>(buffer[i] >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+}  // namespace hwsec::sim

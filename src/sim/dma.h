@@ -1,0 +1,55 @@
+// DMA-capable peripheral model.
+//
+// The paper treats DMA attacks (Thunderclap, its [31]) as a first-class
+// threat: a malicious or compromised peripheral reads/writes physical
+// memory without going through the CPU's MMU. Whether that succeeds is
+// decided purely by bus-level protections:
+//   * none (SMART, TrustLite: DMA "not part of the attacker model") —
+//     the device reads anything;
+//   * TrustZone's TZASC / Sanctum's memory-controller filter — the bus
+//     check vetoes the transaction;
+//   * SGX — the transaction *succeeds* but returns MEE ciphertext.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/bus.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+class DmaDevice {
+ public:
+  /// `domain` is the device's bus security attribute (TrustZone gives
+  /// secure-world-assigned devices a secure domain id).
+  DmaDevice(Bus& bus, DomainId domain, std::string name = "dma-device");
+
+  const std::string& name() const { return name_; }
+  DomainId domain() const { return domain_; }
+
+  struct TransferResult {
+    Fault fault = Fault::kNone;
+    std::uint32_t words_done = 0;
+    Cycle latency = 0;
+  };
+
+  /// Reads `out.size()` words starting at `src` into `out`. Stops at the
+  /// first vetoed word (partial reads are visible in words_done).
+  TransferResult read_block(PhysAddr src, std::span<Word> out);
+
+  /// Writes `in` starting at `dst`.
+  TransferResult write_block(PhysAddr dst, std::span<const Word> in);
+
+  /// Convenience: attempts to exfiltrate `bytes` from `src`; returns the
+  /// bytes actually obtained (empty if the very first word was vetoed).
+  std::vector<std::uint8_t> exfiltrate(PhysAddr src, std::uint32_t bytes);
+
+ private:
+  Bus* bus_;
+  DomainId domain_;
+  std::string name_;
+};
+
+}  // namespace hwsec::sim

@@ -1,0 +1,86 @@
+#include "sim/dvfs.h"
+
+#include <cmath>
+
+namespace hwsec::sim {
+
+DvfsController::DvfsController(DvfsConfig config) : config_(std::move(config)) {
+  if (config_.rated_points.empty()) {
+    throw std::invalid_argument("DVFS needs at least one rated point");
+  }
+  point_ = config_.rated_points.front();
+}
+
+void DvfsController::set_point(OperatingPoint p) {
+  if (p.freq_mhz <= 0 || p.voltage <= 0) {
+    throw std::invalid_argument("DVFS point must be positive");
+  }
+  if (enforce_ && p.freq_mhz > stable_freq_mhz(p.voltage)) {
+    throw std::logic_error("DVFS hardware interlock rejected unstable point (" +
+                           std::to_string(p.freq_mhz) + " MHz @ " + std::to_string(p.voltage) +
+                           " V)");
+  }
+  point_ = p;
+}
+
+void DvfsController::set_rated_point(std::size_t index) {
+  point_ = config_.rated_points.at(index);
+}
+
+double DvfsController::overclock_margin_mhz() const {
+  const double margin = point_.freq_mhz - stable_freq_mhz();
+  return margin > 0 ? margin : 0.0;
+}
+
+double DvfsController::fault_probability() const {
+  const double margin = overclock_margin_mhz();
+  if (margin <= 0) {
+    return 0.0;
+  }
+  return 1.0 - std::exp(-margin / config_.tau_mhz);
+}
+
+void FaultInjector::arm_window(std::uint64_t skip_calls, std::uint64_t active_calls) {
+  window_start_ = calls_ + skip_calls;
+  window_end_ = window_start_ + active_calls;
+}
+
+bool FaultInjector::active_now() const {
+  if (window_end_ == 0) {
+    return true;
+  }
+  return calls_ >= window_start_ && calls_ < window_end_;
+}
+
+Word FaultInjector::corrupt(Word value) {
+  const bool in_window = active_now();
+  ++calls_;
+  if (!in_window || probability_ <= 0.0 || !rng_.chance(probability_)) {
+    return value;
+  }
+  ++faults_;
+  switch (model_) {
+    case Model::kSingleBit:
+      return value ^ (1u << rng_.below(32));
+    case Model::kSingleByte: {
+      const std::uint32_t byte = static_cast<std::uint32_t>(rng_.below(4));
+      const Word mask = 0xFFu << (8 * byte);
+      const Word random_byte = static_cast<Word>(rng_.below(256)) << (8 * byte);
+      return (value & ~mask) | random_byte;
+    }
+    case Model::kStuckAtZero: {
+      const std::uint32_t byte = static_cast<std::uint32_t>(rng_.below(4));
+      return value & ~(0xFFu << (8 * byte));
+    }
+  }
+  return value;
+}
+
+void FaultInjector::reset_counters() {
+  calls_ = 0;
+  faults_ = 0;
+  window_start_ = 0;
+  window_end_ = 0;
+}
+
+}  // namespace hwsec::sim

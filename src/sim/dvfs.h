@@ -1,0 +1,137 @@
+// Dynamic voltage and frequency scaling model with a stability envelope.
+//
+// CLKSCREW (Tang et al., the paper's [37]) rests on three hardware facts,
+// all modeled here:
+//  1. DVFS registers are software-accessible from the (untrusted) kernel
+//     with no hardware interlock — set_point() accepts any value unless
+//     enforce_envelope(true) is set (the mitigation knob);
+//  2. frequency and voltage are SoC-global across security boundaries: a
+//     normal-world kernel setting an aggressive point affects secure-world
+//     computation on another core;
+//  3. operating beyond the stability envelope does not halt the chip but
+//     produces intermittent timing faults — modeled as a per-operation
+//     fault probability that grows with the overclock margin.
+//
+// Energy: dynamic energy per cycle scales with C·V²; cycle time with 1/f.
+// These feed the Figure-1 "energy budget" measurements.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct OperatingPoint {
+  double freq_mhz = 1000.0;
+  double voltage = 1.0;
+};
+
+struct DvfsConfig {
+  /// Vendor-rated operating points (the "OPP table").
+  std::vector<OperatingPoint> rated_points{{500, 0.80}, {1000, 0.90}, {1500, 1.00},
+                                           {2000, 1.10}};
+  /// Stability envelope: the maximum stable frequency at voltage V is
+  /// f_max(V) = slope_mhz_per_volt * (V - v_threshold). Rated points are
+  /// expected to sit inside the envelope.
+  double slope_mhz_per_volt = 4000.0;
+  double v_threshold = 0.45;
+  /// Fault-probability shape: p = 1 - exp(-margin_mhz / tau_mhz) for
+  /// operation beyond the envelope.
+  double tau_mhz = 400.0;
+  /// Dynamic energy per cycle at 1.0 V, in nanojoules.
+  double energy_per_cycle_nj_at_1v = 0.5;
+};
+
+class DvfsController {
+ public:
+  explicit DvfsController(DvfsConfig config = {});
+
+  const DvfsConfig& config() const { return config_; }
+  const OperatingPoint& point() const { return point_; }
+
+  /// Programs the DVFS registers. With enforcement off (the CLKSCREW
+  /// precondition) any point is accepted; with enforcement on, points
+  /// outside the stability envelope throw.
+  void set_point(OperatingPoint p);
+
+  /// Selects a vendor-rated point by index.
+  void set_rated_point(std::size_t index);
+
+  /// Hardware interlock (the mitigation the CLKSCREW paper calls for).
+  void enforce_envelope(bool on) { enforce_ = on; }
+  bool envelope_enforced() const { return enforce_; }
+
+  /// Maximum stable frequency at the current voltage.
+  double stable_freq_mhz() const { return stable_freq_mhz(point_.voltage); }
+  double stable_freq_mhz(double voltage) const {
+    return config_.slope_mhz_per_volt * (voltage - config_.v_threshold);
+  }
+
+  /// MHz beyond the envelope (0 when inside).
+  double overclock_margin_mhz() const;
+
+  /// Probability that one vulnerable operation experiences a timing fault
+  /// at the current point.
+  double fault_probability() const;
+
+  /// Energy per cycle at the current point (C·V² scaling).
+  double energy_per_cycle_nj() const {
+    return config_.energy_per_cycle_nj_at_1v * point_.voltage * point_.voltage;
+  }
+
+  /// Wall-clock nanoseconds per cycle at the current point.
+  double ns_per_cycle() const { return 1000.0 / point_.freq_mhz; }
+
+ private:
+  DvfsConfig config_;
+  OperatingPoint point_;
+  bool enforce_ = false;
+};
+
+/// Transient-fault injector driven by a fault probability (from DVFS abuse
+/// or an external glitcher). Victim computations route sensitive
+/// intermediate values through corrupt(); the injector decides per call
+/// whether to flip bits.
+class FaultInjector {
+ public:
+  enum class Model : std::uint8_t {
+    kSingleBit,   ///< flip one uniformly chosen bit (classic glitch model)
+    kSingleByte,  ///< randomize one byte
+    kStuckAtZero, ///< clear one byte (brown-out style)
+  };
+
+  explicit FaultInjector(std::uint64_t seed = 42) : rng_(seed) {}
+
+  void set_probability(double p) { probability_ = p; }
+  double probability() const { return probability_; }
+  void set_model(Model m) { model_ = m; }
+
+  /// Arms the injector for the next `n` calls only (a targeted glitch);
+  /// n == 0 disarms targeting and every call is subject to `probability`.
+  void arm_window(std::uint64_t skip_calls, std::uint64_t active_calls);
+
+  /// Possibly corrupts `value`. Counts calls for window targeting.
+  Word corrupt(Word value);
+
+  std::uint64_t faults_injected() const { return faults_; }
+  std::uint64_t calls() const { return calls_; }
+  void reset_counters();
+
+ private:
+  bool active_now() const;
+
+  Rng rng_;
+  double probability_ = 0.0;
+  Model model_ = Model::kSingleBit;
+  std::uint64_t calls_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t window_start_ = 0;
+  std::uint64_t window_end_ = 0;  ///< 0 = no window (always subject).
+};
+
+}  // namespace hwsec::sim

@@ -1,0 +1,129 @@
+#include "sim/isa.h"
+
+#include <sstream>
+
+namespace hwsec::sim {
+
+std::string to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLoadImm: return "li";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kMul: return "mul";
+    case Opcode::kAddImm: return "addi";
+    case Opcode::kAndImm: return "andi";
+    case Opcode::kXorImm: return "xori";
+    case Opcode::kShlImm: return "shli";
+    case Opcode::kShrImm: return "shri";
+    case Opcode::kLoad: return "lw";
+    case Opcode::kLoadByte: return "lb";
+    case Opcode::kStore: return "sw";
+    case Opcode::kStoreByte: return "sb";
+    case Opcode::kBranch: return "br";
+    case Opcode::kJump: return "j";
+    case Opcode::kJumpInd: return "jr";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallInd: return "callr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kFence: return "fence";
+    case Opcode::kClflush: return "clflush";
+    case Opcode::kRdCycle: return "rdcycle";
+    case Opcode::kEcall: return "ecall";
+  }
+  return "?";
+}
+
+namespace {
+std::string cond_name(BranchCond c) {
+  switch (c) {
+    case BranchCond::kEq: return "eq";
+    case BranchCond::kNe: return "ne";
+    case BranchCond::kLt: return "lt";
+    case BranchCond::kGe: return "ge";
+    case BranchCond::kLtu: return "ltu";
+    case BranchCond::kGeu: return "geu";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string disassemble(const Instruction& inst) {
+  std::ostringstream os;
+  os << to_string(inst.op);
+  switch (inst.op) {
+    case Opcode::kLoadImm:
+    case Opcode::kRdCycle:
+      os << " r" << int(inst.rd) << ", " << inst.imm;
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kMul:
+      os << " r" << int(inst.rd) << ", r" << int(inst.rs1) << ", r" << int(inst.rs2);
+      break;
+    case Opcode::kAddImm:
+    case Opcode::kAndImm:
+    case Opcode::kXorImm:
+    case Opcode::kShlImm:
+    case Opcode::kShrImm:
+      os << " r" << int(inst.rd) << ", r" << int(inst.rs1) << ", " << inst.imm;
+      break;
+    case Opcode::kLoad:
+    case Opcode::kLoadByte:
+      os << " r" << int(inst.rd) << ", [r" << int(inst.rs1) << "+" << inst.imm << "]";
+      break;
+    case Opcode::kStore:
+    case Opcode::kStoreByte:
+      os << " [r" << int(inst.rs1) << "+" << inst.imm << "], r" << int(inst.rs2);
+      break;
+    case Opcode::kBranch:
+      os << "." << cond_name(inst.cond) << " r" << int(inst.rs1) << ", r" << int(inst.rs2)
+         << ", 0x" << std::hex << inst.imm;
+      break;
+    case Opcode::kJump:
+    case Opcode::kCall:
+      os << " 0x" << std::hex << inst.imm;
+      break;
+    case Opcode::kJumpInd:
+    case Opcode::kCallInd:
+      os << " r" << int(inst.rs1);
+      break;
+    case Opcode::kClflush:
+      os << " [r" << int(inst.rs1) << "+" << inst.imm << "]";
+      break;
+    case Opcode::kEcall:
+      os << " " << inst.imm;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+bool is_control_flow(Opcode op) {
+  switch (op) {
+    case Opcode::kBranch:
+    case Opcode::kJump:
+    case Opcode::kJumpInd:
+    case Opcode::kCall:
+    case Opcode::kCallInd:
+    case Opcode::kRet:
+    case Opcode::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,80 @@
+// Instruction set of the simulated machine.
+//
+// A small 32-bit RISC: 16 general-purpose registers (r0 hardwired to
+// zero), load/store, ALU ops, predicted conditional branches, predicted
+// indirect jumps/calls/returns, a serializing fence, CLFLUSH, a cycle
+// counter read, and an environment call.
+//
+// Instructions are kept in decoded form (one struct per instruction); the
+// program counter still advances through the virtual address space in
+// 4-byte steps and instruction *fetches* go through the MMU/MPU and the
+// L1I, so fetch-side permissions and timing are faithful even though no
+// binary encoding exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+/// Register names. kZero reads as 0 and ignores writes.
+enum Reg : std::uint8_t {
+  R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14, R15,
+};
+inline constexpr Reg kZero = R0;
+inline constexpr Reg kLink = R15;  ///< link register written by CALL.
+inline constexpr std::uint32_t kNumRegs = 16;
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,      ///< stop the hart; run() returns.
+  kLoadImm,   ///< rd = imm
+  kAdd,       ///< rd = rs1 + rs2
+  kSub,       ///< rd = rs1 - rs2
+  kAnd,       ///< rd = rs1 & rs2
+  kOr,        ///< rd = rs1 | rs2
+  kXor,       ///< rd = rs1 ^ rs2
+  kShl,       ///< rd = rs1 << (rs2 & 31)
+  kShr,       ///< rd = rs1 >> (rs2 & 31)  (logical)
+  kMul,       ///< rd = low32(rs1 * rs2)
+  kAddImm,    ///< rd = rs1 + imm
+  kAndImm,    ///< rd = rs1 & imm
+  kXorImm,    ///< rd = rs1 ^ imm
+  kShlImm,    ///< rd = rs1 << imm
+  kShrImm,    ///< rd = rs1 >> imm
+  kLoad,      ///< rd = mem32[rs1 + imm]
+  kLoadByte,  ///< rd = mem8[rs1 + imm]  (zero-extended)
+  kStore,     ///< mem32[rs1 + imm] = rs2
+  kStoreByte, ///< mem8[rs1 + imm] = rs2 & 0xff
+  kBranch,    ///< if (rs1 <cond> rs2) pc = imm   — PHT-predicted
+  kJump,      ///< pc = imm                        — direct, unpredicted
+  kJumpInd,   ///< pc = rs1                        — BTB-predicted
+  kCall,      ///< link = pc+4; push RSB; pc = imm
+  kCallInd,   ///< link = pc+4; push RSB; pc = rs1 — BTB-predicted
+  kRet,       ///< pc = link                       — RSB-predicted
+  kFence,     ///< serializes; stops transient execution
+  kClflush,   ///< flush cache line at mem[rs1 + imm] from all levels
+  kRdCycle,   ///< rd = low 32 bits of the cycle counter
+  kEcall,     ///< environment call, service id = imm, arg/ret in r1..r3
+};
+
+enum class BranchCond : std::uint8_t { kEq, kNe, kLt, kGe, kLtu, kGeu };
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Reg rd = kZero;
+  Reg rs1 = kZero;
+  Reg rs2 = kZero;
+  std::int64_t imm = 0;  ///< wide enough for any address or constant.
+  BranchCond cond = BranchCond::kEq;
+};
+
+std::string to_string(Opcode op);
+std::string disassemble(const Instruction& inst);
+
+/// True for instructions that end or redirect control flow.
+bool is_control_flow(Opcode op);
+
+}  // namespace hwsec::sim

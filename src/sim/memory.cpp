@@ -1,0 +1,52 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hwsec::sim {
+
+PhysicalMemory::PhysicalMemory(std::uint32_t bytes) {
+  const std::uint32_t rounded = (bytes + kPageSize - 1) & ~kPageOffsetMask;
+  data_.assign(rounded, 0);
+}
+
+std::uint8_t PhysicalMemory::read8(PhysAddr addr) const {
+  assert(contains(addr));
+  return data_[addr];
+}
+
+void PhysicalMemory::write8(PhysAddr addr, std::uint8_t value) {
+  assert(contains(addr));
+  data_[addr] = value;
+}
+
+Word PhysicalMemory::read32(PhysAddr addr) const {
+  assert(contains(addr, 4));
+  return static_cast<Word>(data_[addr]) | static_cast<Word>(data_[addr + 1]) << 8 |
+         static_cast<Word>(data_[addr + 2]) << 16 | static_cast<Word>(data_[addr + 3]) << 24;
+}
+
+void PhysicalMemory::write32(PhysAddr addr, Word value) {
+  assert(contains(addr, 4));
+  data_[addr] = static_cast<std::uint8_t>(value);
+  data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+  data_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+  data_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+void PhysicalMemory::read_block(PhysAddr addr, std::span<std::uint8_t> out) const {
+  assert(contains(addr, static_cast<std::uint32_t>(out.size())));
+  std::copy_n(data_.begin() + addr, out.size(), out.begin());
+}
+
+void PhysicalMemory::write_block(PhysAddr addr, std::span<const std::uint8_t> in) {
+  assert(contains(addr, static_cast<std::uint32_t>(in.size())));
+  std::copy(in.begin(), in.end(), data_.begin() + addr);
+}
+
+void PhysicalMemory::fill(PhysAddr addr, std::uint32_t len, std::uint8_t value) {
+  assert(contains(addr, len));
+  std::fill_n(data_.begin() + addr, len, value);
+}
+
+}  // namespace hwsec::sim

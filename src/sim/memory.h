@@ -1,0 +1,55 @@
+// Physical DRAM model.
+//
+// A flat byte array with word accessors. DRAM has no security semantics of
+// its own; access control lives in the MMU/MPU (per-architecture) and in
+// the bus (DMA filtering). Memory contents persist across enclave
+// creation/teardown, which is exactly why SGX-class designs add a memory
+// encryption engine (modeled in src/arch/sgx.*).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+class PhysicalMemory {
+ public:
+  /// Creates DRAM of `bytes` size (rounded up to a whole page), zeroed.
+  explicit PhysicalMemory(std::uint32_t bytes);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(data_.size()); }
+
+  bool contains(PhysAddr addr, std::uint32_t len = 1) const {
+    return addr < size() && static_cast<std::uint64_t>(addr) + len <= size();
+  }
+
+  /// Byte accessors. Out-of-range accesses are a programming error and
+  /// abort via assert in debug builds; callers must bounds-check with
+  /// contains() first (the bus does).
+  std::uint8_t read8(PhysAddr addr) const;
+  void write8(PhysAddr addr, std::uint8_t value);
+
+  /// Little-endian 32-bit word accessors. No alignment requirement at the
+  /// DRAM level; alignment faults are raised by the CPU.
+  Word read32(PhysAddr addr) const;
+  void write32(PhysAddr addr, Word value);
+
+  /// Bulk copy helpers, used by loaders, DMA and the SGX paging model.
+  void read_block(PhysAddr addr, std::span<std::uint8_t> out) const;
+  void write_block(PhysAddr addr, std::span<const std::uint8_t> in);
+
+  /// Fills [addr, addr+len) with `value`.
+  void fill(PhysAddr addr, std::uint32_t len, std::uint8_t value);
+
+  /// Direct access to the backing store, for checkpointing in tests.
+  std::span<const std::uint8_t> raw() const { return data_; }
+  std::span<std::uint8_t> raw() { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hwsec::sim

@@ -1,0 +1,106 @@
+#include "sim/mmu.h"
+
+namespace hwsec::sim {
+
+Mmu::Mmu(PhysicalMemory& mem, TlbConfig tlb_config) : mem_(&mem), tlb_(tlb_config) {}
+
+void Mmu::set_context(PhysAddr root, Asid asid, DomainId domain, Privilege priv) {
+  root_ = root;
+  asid_ = asid;
+  domain_ = domain;
+  priv_ = priv;
+  if (!tlb_.config().asid_tagged) {
+    tlb_.flush();
+  }
+}
+
+Fault Mmu::check_flags(Word flags, AccessType type, Privilege priv) const {
+  if (!(flags & pte::kPresent) || (flags & pte::kReserved)) {
+    return Fault::kPageNotPresent;
+  }
+  if (priv == Privilege::kUser && !(flags & pte::kUser)) {
+    return Fault::kProtection;
+  }
+  switch (type) {
+    case AccessType::kWrite:
+      if (!(flags & pte::kWritable)) {
+        return Fault::kProtection;
+      }
+      break;
+    case AccessType::kExecute:
+      if (!(flags & pte::kExecutable)) {
+        return Fault::kProtection;
+      }
+      break;
+    case AccessType::kRead:
+      break;
+  }
+  return Fault::kNone;
+}
+
+TranslateResult Mmu::translate(VirtAddr va, AccessType type) {
+  return translate_as(va, type, priv_);
+}
+
+TranslateResult Mmu::translate_as(VirtAddr va, AccessType type, Privilege priv) {
+  TranslateResult result;
+  if (bare_) {
+    result.phys = va;
+    result.pte_flags = pte::kPresent | pte::kWritable | pte::kUser | pte::kExecutable;
+    return result;
+  }
+
+  if (auto entry = tlb_.lookup(va, asid_)) {
+    result.latency += tlb_.config().hit_latency;
+    result.fault = check_flags(entry->flags, type, priv);
+    result.pte_flags = entry->flags;
+    result.phys = (entry->pfn << kPageShift) | (va & kPageOffsetMask);
+    if (result.fault == Fault::kPageNotPresent) {
+      result.l1tf_phys = result.phys;
+      result.phys = 0;
+    }
+    // On a plain protection fault the translation itself succeeded; the
+    // physical address stays visible in the result. That is the hardware
+    // behaviour Meltdown exploits: the permission check is resolved after
+    // the address is already known to the pipeline.
+    return result;
+  }
+
+  // TLB miss: hardware page walk.
+  result.latency += tlb_.config().walk_latency;
+  ++walks_;
+  const auto walked = walk(*mem_, root_, va);
+  if (!walked.has_value()) {
+    result.fault = Fault::kPageNotPresent;  // no leaf PTE at all: no L1TF candidate.
+    return result;
+  }
+
+  result.pte_flags = walked->flags;
+  result.fault = check_flags(walked->flags, type, priv);
+  if (result.fault == Fault::kPageNotPresent) {
+    // Terminal fault: expose the stale frame bits for the L1TF model, but
+    // architecturally the translation failed.
+    result.l1tf_phys = walked->phys;
+    return result;
+  }
+  if (result.fault != Fault::kNone) {
+    // Protection fault: translation succeeded, access denied — keep the
+    // physical address visible (the Meltdown fault-forwarding condition).
+    result.phys = walked->phys;
+    return result;
+  }
+
+  if (walk_check_) {
+    const Fault f = walk_check_(va, *walked, type, priv, domain_);
+    if (f != Fault::kNone) {
+      result.fault = f;
+      return result;
+    }
+  }
+
+  tlb_.insert(va, walked->phys, walked->flags, asid_);
+  result.phys = walked->phys;
+  return result;
+}
+
+}  // namespace hwsec::sim

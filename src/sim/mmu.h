@@ -1,0 +1,96 @@
+// Memory management unit: TLB + hardware page walker + permission checks.
+//
+// One Mmu instance per core. The walker reads page tables directly from
+// simulated DRAM, so whatever the (untrusted) OS wrote there is what gets
+// enforced — the MMU has no out-of-band knowledge. Architectures hook the
+// walk via a WalkCheck callback:
+//  * Sanctum installs its page-walker invariant checks here (enclave
+//    virtual ranges must resolve to enclave-owned frames, OS mappings must
+//    not reach into enclave frames);
+//  * SGX installs its EPCM ownership check here (an enclave page may only
+//    be touched in enclave mode by its owning enclave).
+//
+// Foreshadow/L1TF support: when the leaf PTE is not-present or has a
+// reserved bit set, translation *fails* architecturally, but the result
+// still carries the stale frame bits of the PTE (`l1tf_phys`). The CPU's
+// transient path uses that to model the L1-terminal-fault behaviour: if
+// that physical line happens to live in the core's L1D, the transient
+// load reads it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/memory.h"
+#include "sim/page_table.h"
+#include "sim/tlb.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct TranslateResult {
+  Fault fault = Fault::kNone;
+  PhysAddr phys = 0;
+  Word pte_flags = 0;
+  Cycle latency = 0;
+  /// Stale physical address candidate on a terminal fault (frame bits of
+  /// the faulting PTE plus the page offset); nullopt when the walk never
+  /// reached a leaf PTE.
+  std::optional<PhysAddr> l1tf_phys;
+};
+
+class Mmu {
+ public:
+  /// Extra check run after a successful walk and before the TLB fill.
+  /// Returning anything but Fault::kNone aborts the translation.
+  using WalkCheck =
+      std::function<Fault(VirtAddr va, const Translation& t, AccessType type, Privilege priv,
+                          DomainId domain)>;
+
+  Mmu(PhysicalMemory& mem, TlbConfig tlb_config);
+
+  /// Installs / replaces the architecture's walk check.
+  void set_walk_check(WalkCheck check) { walk_check_ = std::move(check); }
+
+  /// Switches the translation context. If the TLB is untagged this
+  /// flushes it (hardware behaviour); tagged TLBs keep entries, which is
+  /// what enables cross-context TLB probing.
+  void set_context(PhysAddr root, Asid asid, DomainId domain, Privilege priv);
+
+  /// Disables translation entirely (physical == virtual); embedded,
+  /// MPU-based profiles run in this mode.
+  void set_bare_mode(bool bare) { bare_ = bare; }
+  bool bare_mode() const { return bare_; }
+
+  TranslateResult translate(VirtAddr va, AccessType type);
+
+  /// Translation with an explicit privilege override (the CPU uses the
+  /// context privilege; the DMA path and tests may override).
+  TranslateResult translate_as(VirtAddr va, AccessType type, Privilege priv);
+
+  Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
+
+  PhysAddr root() const { return root_; }
+  Asid asid() const { return asid_; }
+  DomainId domain() const { return domain_; }
+  Privilege privilege() const { return priv_; }
+
+  std::uint64_t walks() const { return walks_; }
+
+ private:
+  Fault check_flags(Word flags, AccessType type, Privilege priv) const;
+
+  PhysicalMemory* mem_;
+  Tlb tlb_;
+  WalkCheck walk_check_;
+  PhysAddr root_ = 0;
+  Asid asid_ = 0;
+  DomainId domain_ = kDomainNormal;
+  Privilege priv_ = Privilege::kSupervisor;
+  bool bare_ = false;
+  std::uint64_t walks_ = 0;
+};
+
+}  // namespace hwsec::sim

@@ -1,0 +1,99 @@
+#include "sim/mpu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hwsec::sim {
+
+std::size_t Mpu::add_region(MpuRegion region) {
+  if (locked_) {
+    throw std::logic_error("MPU configuration is locked");
+  }
+  if (region.end <= region.start) {
+    throw std::invalid_argument("MPU region is empty");
+  }
+  if (region.code_gate_start.has_value() != region.code_gate_end.has_value()) {
+    throw std::invalid_argument("MPU code gate needs both bounds");
+  }
+  for (const MpuRegion& existing : regions_) {
+    const bool overlap = region.start < existing.end && existing.start < region.end;
+    if (overlap) {
+      throw std::invalid_argument("MPU regions must not overlap: " + region.name + " vs " +
+                                  existing.name);
+    }
+  }
+  regions_.push_back(std::move(region));
+  return regions_.size() - 1;
+}
+
+void Mpu::clear() {
+  if (locked_) {
+    throw std::logic_error("MPU configuration is locked");
+  }
+  regions_.clear();
+}
+
+bool Mpu::remove_region(const std::string& name) {
+  if (locked_) {
+    throw std::logic_error("MPU configuration is locked");
+  }
+  const auto before = regions_.size();
+  std::erase_if(regions_, [&name](const MpuRegion& r) { return r.name == name; });
+  return regions_.size() != before;
+}
+
+void Mpu::reset() {
+  locked_ = false;
+  regions_.clear();
+}
+
+const MpuRegion* Mpu::region_of(PhysAddr addr) const {
+  for (const MpuRegion& r : regions_) {
+    if (r.contains(addr)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+Fault Mpu::check(PhysAddr addr, AccessType type, PhysAddr pc) const {
+  const MpuRegion* r = region_of(addr);
+  if (r == nullptr) {
+    return Fault::kNone;  // uncovered memory: flat default-allow map.
+  }
+  if (!r->gate_allows(pc)) {
+    return Fault::kSecurityViolation;
+  }
+  switch (type) {
+    case AccessType::kRead:
+      return r->readable ? Fault::kNone : Fault::kProtection;
+    case AccessType::kWrite:
+      return r->writable ? Fault::kNone : Fault::kProtection;
+    case AccessType::kExecute:
+      return r->executable ? Fault::kNone : Fault::kProtection;
+  }
+  return Fault::kNone;
+}
+
+Fault Mpu::check_fetch(PhysAddr addr, PhysAddr from_pc) const {
+  const MpuRegion* r = region_of(addr);
+  if (r == nullptr) {
+    return Fault::kNone;
+  }
+  if (!r->executable) {
+    return Fault::kProtection;
+  }
+  // Entering a gated code region from outside: only at declared entry
+  // points. Execution already inside the region may continue freely.
+  const bool entering = !r->contains(from_pc);
+  if (entering && !r->entry_points.empty()) {
+    const bool legal = std::find(r->entry_points.begin(), r->entry_points.end(), addr) !=
+                       r->entry_points.end();
+    if (!legal) {
+      return Fault::kSecurityViolation;
+    }
+  }
+  return Fault::kNone;
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,97 @@
+#include "sim/page_table.h"
+
+#include <stdexcept>
+
+namespace hwsec::sim {
+
+AddressSpace::AddressSpace(PhysicalMemory& mem, PhysAddr root, FrameAllocator alloc,
+                           void* alloc_ctx)
+    : mem_(&mem), root_(root), alloc_(alloc), alloc_ctx_(alloc_ctx) {
+  if (root & kPageOffsetMask) {
+    throw std::invalid_argument("page table root must be page-aligned");
+  }
+  mem_->fill(root_, kPageSize, 0);
+}
+
+PhysAddr AddressSpace::leaf_addr(VirtAddr va, bool create) {
+  const PhysAddr l1_entry_addr = root_ + 4 * l1_index(va);
+  Word l1_entry = mem_->read32(l1_entry_addr);
+  if (!(l1_entry & pte::kPresent)) {
+    if (!create) {
+      return 0;
+    }
+    const PhysAddr table = alloc_(alloc_ctx_);
+    if (table & kPageOffsetMask) {
+      throw std::logic_error("frame allocator returned unaligned page");
+    }
+    mem_->fill(table, kPageSize, 0);
+    l1_entry = table | pte::kPresent;
+    mem_->write32(l1_entry_addr, l1_entry);
+  }
+  return pte::frame(l1_entry) + 4 * l2_index(va);
+}
+
+void AddressSpace::map(VirtAddr va, PhysAddr pa, Word flags) {
+  if ((va & kPageOffsetMask) || (pa & kPageOffsetMask)) {
+    throw std::invalid_argument("map requires page-aligned addresses");
+  }
+  const PhysAddr leaf = leaf_addr(va, /*create=*/true);
+  mem_->write32(leaf, (pa & pte::kFrameMask) | (flags & pte::kFlagsMask) | pte::kPresent);
+}
+
+void AddressSpace::unmap(VirtAddr va) {
+  const PhysAddr leaf = leaf_addr(va, /*create=*/false);
+  if (leaf != 0) {
+    mem_->write32(leaf, 0);
+  }
+}
+
+std::optional<Word> AddressSpace::pte_of(VirtAddr va) const {
+  const Word l1_entry = mem_->read32(root_ + 4 * l1_index(va));
+  if (!(l1_entry & pte::kPresent)) {
+    return std::nullopt;
+  }
+  return mem_->read32(pte::frame(l1_entry) + 4 * l2_index(va));
+}
+
+void AddressSpace::set_pte(VirtAddr va, Word raw_entry) {
+  const PhysAddr leaf = leaf_addr(va, /*create=*/false);
+  if (leaf == 0) {
+    throw std::logic_error("set_pte on unmapped 4MiB region");
+  }
+  mem_->write32(leaf, raw_entry);
+}
+
+void AddressSpace::clear_present(VirtAddr va) {
+  if (auto entry = pte_of(va)) {
+    set_pte(va, *entry & ~pte::kPresent);
+  }
+}
+
+void AddressSpace::set_reserved(VirtAddr va) {
+  if (auto entry = pte_of(va)) {
+    set_pte(va, *entry | pte::kReserved);
+  }
+}
+
+void AddressSpace::restore_present(VirtAddr va) {
+  if (auto entry = pte_of(va)) {
+    set_pte(va, (*entry | pte::kPresent) & ~pte::kReserved);
+  }
+}
+
+std::optional<Translation> walk(const PhysicalMemory& mem, PhysAddr root, VirtAddr va) {
+  const Word l1_entry = mem.read32(root + 4 * AddressSpace::l1_index(va));
+  if (!(l1_entry & pte::kPresent)) {
+    return std::nullopt;
+  }
+  const PhysAddr leaf_addr = pte::frame(l1_entry) + 4 * AddressSpace::l2_index(va);
+  const Word leaf = mem.read32(leaf_addr);
+  Translation t;
+  t.phys = pte::frame(leaf) | (va & kPageOffsetMask);
+  t.flags = leaf & pte::kFlagsMask;
+  t.pte_addr = leaf_addr;
+  return t;
+}
+
+}  // namespace hwsec::sim

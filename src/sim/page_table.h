@@ -1,0 +1,97 @@
+// Two-level page tables stored *inside simulated DRAM*.
+//
+// Keeping the tables in simulated memory (rather than a host-side map)
+// matters for fidelity: the paper's Foreshadow discussion hinges on the
+// fact that the untrusted OS owns the page tables and can clear the
+// present bit / set reserved bits of enclave pages at will. An OS-level
+// adversary in this framework edits PTEs through exactly this interface.
+//
+// PTE layout (32-bit, x86-flavoured):
+//   bit  0: P   present
+//   bit  1: W   writable
+//   bit  2: U   user-accessible
+//   bit  3: X   executable
+//   bit  4: RSV reserved (must be zero; abused by the L1TF attack)
+//   bits 12-31: physical frame base
+//
+// Virtual address split: [31:22] level-1 index, [21:12] level-2 index,
+// [11:0] page offset. A level-1 entry with P=0 means the whole 4 MiB
+// region is unmapped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/memory.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+namespace pte {
+inline constexpr Word kPresent = 1u << 0;
+inline constexpr Word kWritable = 1u << 1;
+inline constexpr Word kUser = 1u << 2;
+inline constexpr Word kExecutable = 1u << 3;
+inline constexpr Word kReserved = 1u << 4;
+inline constexpr Word kFlagsMask = 0xFFFu;
+inline constexpr Word kFrameMask = ~kFlagsMask;
+
+constexpr PhysAddr frame(Word entry) { return entry & kFrameMask; }
+}  // namespace pte
+
+/// Decoded translation result produced by a page walk.
+struct Translation {
+  PhysAddr phys = 0;
+  Word flags = 0;       ///< PTE flag bits of the leaf entry.
+  PhysAddr pte_addr = 0;///< physical address of the leaf PTE itself.
+};
+
+/// Owner/editor view of one address space. The OS constructs address
+/// spaces through this class; the MMU only ever *reads* the tables.
+class AddressSpace {
+ public:
+  /// Creates an address space whose root table lives at `root` (one page,
+  /// zeroed by this constructor). The caller owns frame allocation;
+  /// `alloc_frame` is invoked whenever a level-2 table page is needed.
+  using FrameAllocator = PhysAddr (*)(void* ctx);
+  AddressSpace(PhysicalMemory& mem, PhysAddr root, FrameAllocator alloc, void* alloc_ctx);
+
+  PhysAddr root() const { return root_; }
+
+  /// Maps the 4 KiB page at virtual `va` to physical `pa` with `flags`
+  /// (kPresent is implied). Overwrites any existing mapping.
+  void map(VirtAddr va, PhysAddr pa, Word flags);
+
+  /// Removes the mapping (clears the leaf PTE entirely).
+  void unmap(VirtAddr va);
+
+  /// Reads the raw leaf PTE for `va`, if the level-1 entry exists.
+  std::optional<Word> pte_of(VirtAddr va) const;
+
+  /// Rewrites the raw leaf PTE for `va`; the level-1 entry must exist.
+  /// This is the adversarial primitive: clear kPresent, set kReserved,
+  /// or point the frame bits anywhere — the MMU will faithfully use it.
+  void set_pte(VirtAddr va, Word raw_entry);
+
+  /// Convenience adversarial edits.
+  void clear_present(VirtAddr va);
+  void set_reserved(VirtAddr va);
+  void restore_present(VirtAddr va);
+
+  static std::uint32_t l1_index(VirtAddr va) { return va >> 22; }
+  static std::uint32_t l2_index(VirtAddr va) { return (va >> 12) & 0x3FF; }
+
+ private:
+  PhysAddr leaf_addr(VirtAddr va, bool create);
+
+  PhysicalMemory* mem_;
+  PhysAddr root_;
+  FrameAllocator alloc_;
+  void* alloc_ctx_;
+};
+
+/// Stateless page walker used by the MMU: walks the tables rooted at
+/// `root` in `mem`. Returns nullopt if a non-leaf entry is not present.
+std::optional<Translation> walk(const PhysicalMemory& mem, PhysAddr root, VirtAddr va);
+
+}  // namespace hwsec::sim

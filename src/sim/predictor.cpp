@@ -1,0 +1,116 @@
+#include "sim/predictor.h"
+
+#include <stdexcept>
+
+namespace hwsec::sim {
+
+namespace {
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+std::uint32_t log2_of(std::uint32_t v) {
+  std::uint32_t bits = 0;
+  while ((1u << bits) < v) {
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+PatternHistoryTable::PatternHistoryTable(std::uint32_t entries) : entries_(entries) {
+  if (!is_pow2(entries)) {
+    throw std::invalid_argument("PHT entries must be a power of two");
+  }
+  counters_.assign(entries_, 1);  // weakly not-taken.
+}
+
+bool PatternHistoryTable::predict(VirtAddr pc) const { return counters_[index(pc)] >= 2; }
+
+void PatternHistoryTable::update(VirtAddr pc, bool taken) {
+  std::uint8_t& c = counters_[index(pc)];
+  if (taken && c < 3) {
+    ++c;
+  } else if (!taken && c > 0) {
+    --c;
+  }
+}
+
+void PatternHistoryTable::reset() { counters_.assign(entries_, 1); }
+
+BranchTargetBuffer::BranchTargetBuffer(std::uint32_t entries, std::uint32_t tag_bits)
+    : entries_(entries), index_bits_(log2_of(entries)), tag_bits_(tag_bits) {
+  if (!is_pow2(entries)) {
+    throw std::invalid_argument("BTB entries must be a power of two");
+  }
+  table_.assign(entries_, Entry{});
+}
+
+std::optional<VirtAddr> BranchTargetBuffer::predict(VirtAddr pc) const {
+  const Entry& e = table_[index(pc)];
+  if (e.valid && e.tag == tag_of(pc)) {
+    return e.target;
+  }
+  return std::nullopt;
+}
+
+void BranchTargetBuffer::update(VirtAddr pc, VirtAddr target) {
+  Entry& e = table_[index(pc)];
+  e.valid = true;
+  e.tag = tag_of(pc);
+  e.target = target;
+}
+
+void BranchTargetBuffer::flush() { table_.assign(entries_, Entry{}); }
+
+ReturnStackBuffer::ReturnStackBuffer(std::uint32_t depth) {
+  if (depth == 0) {
+    throw std::invalid_argument("RSB depth must be positive");
+  }
+  slots_.assign(depth, 0);
+  ever_written_.assign(depth, false);
+}
+
+void ReturnStackBuffer::push(VirtAddr return_addr) {
+  slots_[top_] = return_addr;
+  ever_written_[top_] = true;
+  top_ = (top_ + 1) % slots_.size();
+  if (occupancy_ < slots_.size()) {
+    ++occupancy_;
+  }
+}
+
+std::optional<VirtAddr> ReturnStackBuffer::pop() {
+  const std::uint32_t slot = (top_ + static_cast<std::uint32_t>(slots_.size()) - 1) %
+                             static_cast<std::uint32_t>(slots_.size());
+  if (occupancy_ > 0) {
+    --occupancy_;
+    top_ = slot;
+    return slots_[slot];
+  }
+  // Underflow: a real RSB wraps and serves a stale entry.
+  top_ = slot;
+  if (ever_written_[slot]) {
+    return slots_[slot];
+  }
+  return std::nullopt;
+}
+
+void ReturnStackBuffer::flush() {
+  occupancy_ = 0;
+  top_ = 0;
+  ever_written_.assign(ever_written_.size(), false);
+}
+
+BranchPredictor::BranchPredictor(PredictorConfig config)
+    : config_(config),
+      pht_(config.pht_entries),
+      btb_(config.btb_entries, config.btb_tag_bits),
+      rsb_(config.rsb_depth) {}
+
+void BranchPredictor::on_domain_switch() {
+  if (config_.flush_on_domain_switch) {
+    pht_.reset();
+    btb_.flush();
+    rsb_.flush();
+  }
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,128 @@
+// Branch prediction structures: pattern history table (PHT), branch target
+// buffer (BTB) and return stack buffer (RSB).
+//
+// These are deliberately modeled with the weaknesses the paper's Section
+// 4.2 attacks exploit:
+//  * the PHT is indexed by (untagged) low PC bits, so an attacker
+//    executing a congruent branch trains the victim's prediction —
+//    Spectre-PHT / bounds-check-bypass;
+//  * the BTB is indexed and (optionally) tagged by a *subset* of virtual-
+//    address bits ("branch prediction buffers are indexed using virtual
+//    addresses … allowing mistraining not only from the same address
+//    space, but also from different processes", §4.2). With tag_bits == 0
+//    any alias from another domain injects targets — Spectre-BTB;
+//  * the RSB is a small circular stack; on underflow it yields stale
+//    entries — Spectre-RSB (Koruyeh et al., the paper's [27]).
+//
+// Mitigation knobs (flush on domain switch ≈ IBPB, tagging ≈ per-context
+// prediction) exist so benches can show the attack disappearing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct PredictorConfig {
+  std::uint32_t pht_entries = 1024;       ///< 2-bit counters; power of two.
+  std::uint32_t btb_entries = 256;        ///< power of two.
+  std::uint32_t btb_tag_bits = 0;         ///< 0 = untagged (vulnerable).
+  std::uint32_t rsb_depth = 16;
+  bool flush_on_domain_switch = false;    ///< IBPB-style mitigation.
+};
+
+class PatternHistoryTable {
+ public:
+  explicit PatternHistoryTable(std::uint32_t entries);
+
+  /// Predicted direction for the branch at `pc`.
+  bool predict(VirtAddr pc) const;
+
+  /// Updates the 2-bit counter with the resolved direction.
+  void update(VirtAddr pc, bool taken);
+
+  void reset();
+
+ private:
+  std::uint32_t index(VirtAddr pc) const { return (pc >> 2) & (entries_ - 1); }
+  std::uint32_t entries_;
+  std::vector<std::uint8_t> counters_;  ///< 0..3 saturating; >=2 means taken.
+};
+
+class BranchTargetBuffer {
+ public:
+  BranchTargetBuffer(std::uint32_t entries, std::uint32_t tag_bits);
+
+  /// Predicted target of the indirect branch at `pc`, if any entry
+  /// matches. With tag_bits == 0 a congruent pc from *any* domain matches.
+  std::optional<VirtAddr> predict(VirtAddr pc) const;
+
+  void update(VirtAddr pc, VirtAddr target);
+
+  void flush();
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint32_t tag = 0;
+    VirtAddr target = 0;
+  };
+  std::uint32_t index(VirtAddr pc) const { return (pc >> 2) & (entries_ - 1); }
+  std::uint32_t tag_of(VirtAddr pc) const {
+    if (tag_bits_ == 0) {
+      return 0;
+    }
+    const std::uint32_t shift = 2 + index_bits_;
+    return (pc >> shift) & ((1u << tag_bits_) - 1);
+  }
+
+  std::uint32_t entries_;
+  std::uint32_t index_bits_;
+  std::uint32_t tag_bits_;
+  std::vector<Entry> table_;
+};
+
+class ReturnStackBuffer {
+ public:
+  explicit ReturnStackBuffer(std::uint32_t depth);
+
+  void push(VirtAddr return_addr);
+
+  /// Pops a prediction. On underflow returns the stale slot content (the
+  /// Spectre-RSB condition) — nullopt only if nothing was ever pushed.
+  std::optional<VirtAddr> pop();
+
+  void flush();
+  std::uint32_t occupancy() const { return occupancy_; }
+
+ private:
+  std::vector<VirtAddr> slots_;
+  std::vector<bool> ever_written_;
+  std::uint32_t top_ = 0;        ///< next push position.
+  std::uint32_t occupancy_ = 0;  ///< live entries (saturates at depth).
+};
+
+/// Per-core bundle with the domain-switch hook.
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(PredictorConfig config);
+
+  PatternHistoryTable& pht() { return pht_; }
+  BranchTargetBuffer& btb() { return btb_; }
+  ReturnStackBuffer& rsb() { return rsb_; }
+  const PredictorConfig& config() const { return config_; }
+
+  /// Called by the CPU when the executing security domain changes.
+  void on_domain_switch();
+
+ private:
+  PredictorConfig config_;
+  PatternHistoryTable pht_;
+  BranchTargetBuffer btb_;
+  ReturnStackBuffer rsb_;
+};
+
+}  // namespace hwsec::sim

@@ -1,0 +1,133 @@
+#include "sim/program.h"
+
+namespace hwsec::sim {
+
+ProgramBuilder& ProgramBuilder::emit(Instruction inst) {
+  code_.push_back(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit_labelled_target(Instruction inst, const std::string& target) {
+  fixups_.emplace_back(code_.size(), target);
+  code_.push_back(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, current_address()).second) {
+    throw std::invalid_argument("duplicate label: " + name);
+  }
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::nop() { return emit({.op = Opcode::kNop}); }
+
+ProgramBuilder& ProgramBuilder::li(Reg rd, std::int64_t imm) {
+  return emit({.op = Opcode::kLoadImm, .rd = rd, .imm = imm});
+}
+
+#define HWSEC_ALU3(NAME, OPC)                                             \
+  ProgramBuilder& ProgramBuilder::NAME(Reg rd, Reg rs1, Reg rs2) {        \
+    return emit({.op = Opcode::OPC, .rd = rd, .rs1 = rs1, .rs2 = rs2});   \
+  }
+HWSEC_ALU3(add, kAdd)
+HWSEC_ALU3(sub, kSub)
+HWSEC_ALU3(and_, kAnd)
+HWSEC_ALU3(or_, kOr)
+HWSEC_ALU3(xor_, kXor)
+HWSEC_ALU3(shl, kShl)
+HWSEC_ALU3(shr, kShr)
+HWSEC_ALU3(mul, kMul)
+#undef HWSEC_ALU3
+
+#define HWSEC_ALUI(NAME, OPC)                                                  \
+  ProgramBuilder& ProgramBuilder::NAME(Reg rd, Reg rs1, std::int64_t imm) {    \
+    return emit({.op = Opcode::OPC, .rd = rd, .rs1 = rs1, .imm = imm});        \
+  }
+HWSEC_ALUI(addi, kAddImm)
+HWSEC_ALUI(andi, kAndImm)
+HWSEC_ALUI(xori, kXorImm)
+HWSEC_ALUI(shli, kShlImm)
+HWSEC_ALUI(shri, kShrImm)
+#undef HWSEC_ALUI
+
+ProgramBuilder& ProgramBuilder::lw(Reg rd, Reg addr_base, std::int64_t offset) {
+  return emit({.op = Opcode::kLoad, .rd = rd, .rs1 = addr_base, .imm = offset});
+}
+
+ProgramBuilder& ProgramBuilder::lb(Reg rd, Reg addr_base, std::int64_t offset) {
+  return emit({.op = Opcode::kLoadByte, .rd = rd, .rs1 = addr_base, .imm = offset});
+}
+
+ProgramBuilder& ProgramBuilder::sw(Reg addr_base, std::int64_t offset, Reg value) {
+  return emit({.op = Opcode::kStore, .rs1 = addr_base, .rs2 = value, .imm = offset});
+}
+
+ProgramBuilder& ProgramBuilder::sb(Reg addr_base, std::int64_t offset, Reg value) {
+  return emit({.op = Opcode::kStoreByte, .rs1 = addr_base, .rs2 = value, .imm = offset});
+}
+
+ProgramBuilder& ProgramBuilder::clflush(Reg addr_base, std::int64_t offset) {
+  return emit({.op = Opcode::kClflush, .rs1 = addr_base, .imm = offset});
+}
+
+ProgramBuilder& ProgramBuilder::br(BranchCond cond, Reg rs1, Reg rs2,
+                                   const std::string& target_label) {
+  return emit_labelled_target(
+      {.op = Opcode::kBranch, .rs1 = rs1, .rs2 = rs2, .cond = cond}, target_label);
+}
+
+ProgramBuilder& ProgramBuilder::jump(const std::string& target_label) {
+  return emit_labelled_target({.op = Opcode::kJump}, target_label);
+}
+
+ProgramBuilder& ProgramBuilder::jump_abs(VirtAddr target) {
+  return emit({.op = Opcode::kJump, .imm = target});
+}
+
+ProgramBuilder& ProgramBuilder::jr(Reg target) {
+  return emit({.op = Opcode::kJumpInd, .rs1 = target});
+}
+
+ProgramBuilder& ProgramBuilder::call(const std::string& target_label) {
+  return emit_labelled_target({.op = Opcode::kCall}, target_label);
+}
+
+ProgramBuilder& ProgramBuilder::call_abs(VirtAddr target) {
+  return emit({.op = Opcode::kCall, .imm = target});
+}
+
+ProgramBuilder& ProgramBuilder::callr(Reg target) {
+  return emit({.op = Opcode::kCallInd, .rs1 = target});
+}
+
+ProgramBuilder& ProgramBuilder::ret() { return emit({.op = Opcode::kRet}); }
+
+ProgramBuilder& ProgramBuilder::fence() { return emit({.op = Opcode::kFence}); }
+
+ProgramBuilder& ProgramBuilder::rdcycle(Reg rd) {
+  return emit({.op = Opcode::kRdCycle, .rd = rd});
+}
+
+ProgramBuilder& ProgramBuilder::ecall(std::int64_t service) {
+  return emit({.op = Opcode::kEcall, .imm = service});
+}
+
+ProgramBuilder& ProgramBuilder::halt() { return emit({.op = Opcode::kHalt}); }
+
+Program ProgramBuilder::build() {
+  Program p;
+  p.base = base_;
+  p.code = code_;
+  p.labels = labels_;
+  for (const auto& [index, label] : fixups_) {
+    auto it = labels_.find(label);
+    if (it == labels_.end()) {
+      throw std::invalid_argument("unresolved label: " + label);
+    }
+    p.code[index].imm = it->second;
+  }
+  return p;
+}
+
+}  // namespace hwsec::sim

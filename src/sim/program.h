@@ -1,0 +1,110 @@
+// Program representation and assembler-style builder.
+//
+// Attack code for the transient-execution experiments is written against
+// this builder. Labels resolve to virtual addresses at build() time, so a
+// program is pinned to its base address — which matters, because BTB/PHT
+// aliasing is a function of the branch instruction's virtual address (a
+// Spectre-BTB attacker deliberately places its training branch at an
+// address congruent to the victim's).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/isa.h"
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct Program {
+  VirtAddr base = 0;
+  std::vector<Instruction> code;
+  std::unordered_map<std::string, VirtAddr> labels;
+
+  VirtAddr address_of(const std::string& label) const {
+    auto it = labels.find(label);
+    if (it == labels.end()) {
+      throw std::out_of_range("unknown label: " + label);
+    }
+    return it->second;
+  }
+
+  VirtAddr end() const { return base + 4 * static_cast<VirtAddr>(code.size()); }
+  std::uint32_t size_bytes() const { return 4 * static_cast<std::uint32_t>(code.size()); }
+
+  /// Instruction at virtual address `pc`, or nullptr if outside.
+  const Instruction* at(VirtAddr pc) const {
+    if (pc < base || pc >= end() || (pc - base) % 4 != 0) {
+      return nullptr;
+    }
+    return &code[(pc - base) / 4];
+  }
+};
+
+class ProgramBuilder {
+ public:
+  /// `base` is the virtual address of the first instruction.
+  explicit ProgramBuilder(VirtAddr base = 0x10000) : base_(base) {}
+
+  // -- labels ---------------------------------------------------------
+  ProgramBuilder& label(const std::string& name);
+  VirtAddr current_address() const { return base_ + 4 * static_cast<VirtAddr>(code_.size()); }
+
+  // -- data movement / ALU --------------------------------------------
+  ProgramBuilder& nop();
+  ProgramBuilder& li(Reg rd, std::int64_t imm);
+  ProgramBuilder& mov(Reg rd, Reg rs) { return addi(rd, rs, 0); }
+  ProgramBuilder& add(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& sub(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& and_(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& or_(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& xor_(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& shl(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& shr(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& mul(Reg rd, Reg rs1, Reg rs2);
+  ProgramBuilder& addi(Reg rd, Reg rs1, std::int64_t imm);
+  ProgramBuilder& andi(Reg rd, Reg rs1, std::int64_t imm);
+  ProgramBuilder& xori(Reg rd, Reg rs1, std::int64_t imm);
+  ProgramBuilder& shli(Reg rd, Reg rs1, std::int64_t imm);
+  ProgramBuilder& shri(Reg rd, Reg rs1, std::int64_t imm);
+
+  // -- memory ----------------------------------------------------------
+  ProgramBuilder& lw(Reg rd, Reg addr_base, std::int64_t offset = 0);
+  ProgramBuilder& lb(Reg rd, Reg addr_base, std::int64_t offset = 0);
+  ProgramBuilder& sw(Reg addr_base, std::int64_t offset, Reg value);
+  ProgramBuilder& sb(Reg addr_base, std::int64_t offset, Reg value);
+  ProgramBuilder& clflush(Reg addr_base, std::int64_t offset = 0);
+
+  // -- control flow ----------------------------------------------------
+  ProgramBuilder& br(BranchCond cond, Reg rs1, Reg rs2, const std::string& target_label);
+  ProgramBuilder& jump(const std::string& target_label);
+  ProgramBuilder& jump_abs(VirtAddr target);
+  ProgramBuilder& jr(Reg target);
+  ProgramBuilder& call(const std::string& target_label);
+  ProgramBuilder& call_abs(VirtAddr target);
+  ProgramBuilder& callr(Reg target);
+  ProgramBuilder& ret();
+
+  // -- misc -------------------------------------------------------------
+  ProgramBuilder& fence();
+  ProgramBuilder& rdcycle(Reg rd);
+  ProgramBuilder& ecall(std::int64_t service);
+  ProgramBuilder& halt();
+
+  /// Resolves labels and returns the finished program.
+  Program build();
+
+ private:
+  ProgramBuilder& emit(Instruction inst);
+  ProgramBuilder& emit_labelled_target(Instruction inst, const std::string& target);
+
+  VirtAddr base_;
+  std::vector<Instruction> code_;
+  std::unordered_map<std::string, VirtAddr> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+}  // namespace hwsec::sim

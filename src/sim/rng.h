@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component (random cache replacement, leakage noise,
+// glitch fault injection) draws from an explicitly seeded Rng so that
+// experiments are reproducible run-to-run. The generator is xoshiro256**,
+// seeded through splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace hwsec::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal deviate (Box–Muller; one value per call, the twin
+  /// is cached).
+  double gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 1e-12);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586;
+    spare_ = mag * std::sin(kTwoPi * u2);
+    have_spare_ = true;
+    return mag * std::cos(kTwoPi * u2);
+  }
+
+  /// Gaussian with explicit mean / standard deviation.
+  double gaussian(double mean, double sigma) { return mean + sigma * gaussian(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace hwsec::sim

@@ -1,0 +1,126 @@
+#include "sim/tlb.h"
+
+#include <stdexcept>
+
+namespace hwsec::sim {
+
+Tlb::Tlb(TlbConfig config) : config_(config) {
+  if (config_.ways == 0 || config_.entries % config_.ways != 0) {
+    throw std::invalid_argument("TLB entries must be a multiple of ways");
+  }
+  entries_.assign(config_.entries, TlbEntry{});
+}
+
+Tlb::WayRange Tlb::ways_for(Asid asid) const {
+  if (partitions_.empty()) {
+    return {0, config_.ways};
+  }
+  if (auto it = partitions_.find(asid); it != partitions_.end()) {
+    return it->second;
+  }
+  return {0, config_.ways};
+}
+
+void Tlb::set_way_partition(Asid asid, std::uint32_t first_way, std::uint32_t num_ways) {
+  if (num_ways == 0) {
+    partitions_.erase(asid);
+    return;
+  }
+  if (first_way + num_ways > config_.ways) {
+    throw std::invalid_argument("TLB way partition out of range");
+  }
+  partitions_[asid] = {first_way, num_ways};
+  // Scrub entries the ASID holds outside its new partition.
+  const std::uint32_t sets = config_.entries / config_.ways;
+  for (std::uint32_t set = 0; set < sets; ++set) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      if (w >= first_way && w < first_way + num_ways) {
+        continue;
+      }
+      TlbEntry& e = entries_[set * config_.ways + w];
+      if (e.valid && e.asid == asid) {
+        e.valid = false;
+      }
+    }
+  }
+}
+
+std::optional<TlbEntry> Tlb::lookup(VirtAddr va, Asid asid) {
+  const std::uint32_t vpn = page_number(va);
+  const std::uint32_t set = set_index(va);
+  const WayRange range = ways_for(asid);
+  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
+    TlbEntry& e = entries_[set * config_.ways + w];
+    if (e.valid && e.vpn == vpn && (!config_.asid_tagged || e.asid == asid)) {
+      e.lru_stamp = ++clock_;
+      ++hits_;
+      return e;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+bool Tlb::present(VirtAddr va, Asid asid) const {
+  const std::uint32_t vpn = page_number(va);
+  const std::uint32_t set = set_index(va);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const TlbEntry& e = entries_[set * config_.ways + w];
+    if (e.valid && e.vpn == vpn && (!config_.asid_tagged || e.asid == asid)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Tlb::insert(VirtAddr va, PhysAddr pa, Word flags, Asid asid) {
+  const std::uint32_t set = set_index(va);
+  const WayRange range = ways_for(asid);
+  std::uint32_t victim = range.first;
+  std::uint64_t oldest = UINT64_MAX;
+  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
+    TlbEntry& e = entries_[set * config_.ways + w];
+    if (!e.valid) {
+      victim = w;
+      break;
+    }
+    if (e.lru_stamp < oldest) {
+      oldest = e.lru_stamp;
+      victim = w;
+    }
+  }
+  TlbEntry& e = entries_[set * config_.ways + victim];
+  e.valid = true;
+  e.vpn = page_number(va);
+  e.pfn = page_number(pa);
+  e.flags = flags;
+  e.asid = asid;
+  e.lru_stamp = ++clock_;
+}
+
+void Tlb::invalidate_page(VirtAddr va) {
+  const std::uint32_t vpn = page_number(va);
+  const std::uint32_t set = set_index(va);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    TlbEntry& e = entries_[set * config_.ways + w];
+    if (e.valid && e.vpn == vpn) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::invalidate_asid(Asid asid) {
+  for (TlbEntry& e : entries_) {
+    if (e.valid && e.asid == asid) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::flush() {
+  for (TlbEntry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,92 @@
+// Translation lookaside buffer.
+//
+// Set-associative, virtually indexed, optionally tagged with an address
+// space identifier (ASID). An untagged TLB must be flushed on every
+// context switch — and a TLB that is *shared* between security domains
+// without tagging is itself a side channel (Gras et al., the paper's
+// [15]); the TLB attack in src/attacks exploits exactly that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct TlbConfig {
+  std::uint32_t entries = 64;
+  std::uint32_t ways = 4;
+  bool asid_tagged = true;
+  Cycle hit_latency = 1;
+  Cycle walk_latency = 20;  ///< cost of a page walk on TLB miss.
+};
+
+using Asid = std::uint16_t;
+
+struct TlbEntry {
+  bool valid = false;
+  std::uint32_t vpn = 0;
+  std::uint32_t pfn = 0;
+  Word flags = 0;
+  Asid asid = 0;
+  std::uint64_t lru_stamp = 0;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(TlbConfig config);
+
+  const TlbConfig& config() const { return config_; }
+
+  /// Lookup; refreshes LRU on hit.
+  std::optional<TlbEntry> lookup(VirtAddr va, Asid asid);
+
+  /// Non-destructive presence check, used by the TLB side-channel attack
+  /// (which in reality infers presence from latency; tests use this to
+  /// validate the latency signal).
+  bool present(VirtAddr va, Asid asid) const;
+
+  /// Inserts a translation (LRU replacement within the set).
+  void insert(VirtAddr va, PhysAddr pa, Word flags, Asid asid);
+
+  /// Invalidates one page's entry across all ASIDs (INVLPG analogue).
+  void invalidate_page(VirtAddr va);
+
+  /// Invalidates all entries of one ASID.
+  void invalidate_asid(Asid asid);
+
+  /// Full flush.
+  void flush();
+
+  /// Restricts `asid` to ways [first_way, first_way + num_ways) — the TLB
+  /// partitioning defense against cross-context TLB occupancy channels
+  /// (Gras et al.). Entries outside the new partition are invalidated.
+  /// num_ways == 0 removes the restriction.
+  void set_way_partition(Asid asid, std::uint32_t first_way, std::uint32_t num_ways);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  std::uint32_t set_index(VirtAddr va) const {
+    return (va >> kPageShift) % (config_.entries / config_.ways);
+  }
+
+ private:
+  struct WayRange {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+  };
+  WayRange ways_for(Asid asid) const;
+
+  TlbConfig config_;
+  std::vector<TlbEntry> entries_;
+  std::unordered_map<Asid, WayRange> partitions_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hwsec::sim

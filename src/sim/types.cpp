@@ -1,0 +1,35 @@
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+std::string to_string(AccessType t) {
+  switch (t) {
+    case AccessType::kRead: return "read";
+    case AccessType::kWrite: return "write";
+    case AccessType::kExecute: return "execute";
+  }
+  return "?";
+}
+
+std::string to_string(Fault f) {
+  switch (f) {
+    case Fault::kNone: return "none";
+    case Fault::kPageNotPresent: return "page-not-present";
+    case Fault::kProtection: return "protection";
+    case Fault::kSecurityViolation: return "security-violation";
+    case Fault::kBusError: return "bus-error";
+    case Fault::kAlignment: return "alignment";
+  }
+  return "?";
+}
+
+std::string to_string(Privilege p) {
+  switch (p) {
+    case Privilege::kUser: return "U";
+    case Privilege::kSupervisor: return "S";
+    case Privilege::kMachine: return "M";
+  }
+  return "?";
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,88 @@
+// Common value types shared by every simulator component.
+//
+// The simulated machine is a 32-bit RISC multiprocessor with physically
+// indexed caches. All quantities that cross module boundaries (addresses,
+// cycle counts, security domains) are defined here so that the rest of the
+// simulator never has to guess widths.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hwsec::sim {
+
+/// Virtual address in a 32-bit address space.
+using VirtAddr = std::uint32_t;
+
+/// Physical address. The simulated machines use at most 1 GiB of DRAM, so
+/// 32 bits suffice; kept distinct from VirtAddr for documentation value.
+using PhysAddr = std::uint32_t;
+
+/// Machine word (register width).
+using Word = std::uint32_t;
+
+/// Double-width word for multiplication results and cycle arithmetic.
+using DWord = std::uint64_t;
+
+/// Monotonic cycle counter. 64-bit: experiments run for billions of cycles.
+using Cycle = std::uint64_t;
+
+/// Identifier of a hardware security domain. Security domains tag bus
+/// transactions and cache lines: 0 is the conventional "untrusted OS /
+/// normal world" domain; enclaves, the secure world, and devices get
+/// their own ids. The interpretation of a domain id is up to the
+/// architecture layer (src/arch); the simulator only compares them.
+using DomainId = std::uint16_t;
+
+inline constexpr DomainId kDomainNormal = 0;
+
+/// Identifier of a CPU core.
+using CoreId = std::uint8_t;
+
+/// Page size used throughout (4 KiB, two-level page tables).
+inline constexpr std::uint32_t kPageShift = 12;
+inline constexpr std::uint32_t kPageSize = 1u << kPageShift;
+inline constexpr std::uint32_t kPageOffsetMask = kPageSize - 1;
+
+/// Returns the page number of an address (virtual or physical).
+constexpr std::uint32_t page_number(std::uint32_t addr) { return addr >> kPageShift; }
+
+/// Returns the page-aligned base of an address.
+constexpr std::uint32_t page_base(std::uint32_t addr) { return addr & ~kPageOffsetMask; }
+
+/// Kind of memory access, used for permission checks and leakage hooks.
+enum class AccessType : std::uint8_t {
+  kRead,
+  kWrite,
+  kExecute,
+};
+
+/// Human-readable name, for diagnostics.
+std::string to_string(AccessType t);
+
+/// Result of a permission / translation check.
+enum class Fault : std::uint8_t {
+  kNone,
+  kPageNotPresent,   ///< PTE present bit clear (or reserved bit abuse).
+  kProtection,       ///< permission bits deny the access.
+  kSecurityViolation,///< access crosses a hardware security boundary.
+  kBusError,         ///< physical address outside DRAM / device windows.
+  kAlignment,        ///< misaligned word access.
+};
+
+std::string to_string(Fault f);
+
+/// Privilege level of the executing context. The simulator keeps this
+/// deliberately small: U (user), S (supervisor / OS), M (machine /
+/// monitor, i.e. the most privileged firmware level used by Sanctum's
+/// security monitor and TrustZone's secure monitor).
+enum class Privilege : std::uint8_t {
+  kUser = 0,
+  kSupervisor = 1,
+  kMachine = 2,
+};
+
+std::string to_string(Privilege p);
+
+}  // namespace hwsec::sim

@@ -1,0 +1,125 @@
+#include "tee/architecture.h"
+
+namespace hwsec::tee {
+
+std::string to_string(TcbType t) {
+  switch (t) {
+    case TcbType::kHardwareOnly: return "hardware-only";
+    case TcbType::kHardwareAndMicrocode: return "hardware+microcode";
+    case TcbType::kMonitor: return "monitor-software";
+    case TcbType::kSecureWorldSoftware: return "secure-world-software";
+    case TcbType::kVendorPrimitives: return "vendor-primitives";
+    case TcbType::kRomLoader: return "ROM/loader";
+  }
+  return "?";
+}
+
+std::string to_string(DmaDefense d) {
+  switch (d) {
+    case DmaDefense::kNone: return "none";
+    case DmaDefense::kRangeFilter: return "range-filter";
+    case DmaDefense::kEncryptedMemory: return "encrypted-memory";
+    case DmaDefense::kRegionAssignment: return "region-assignment";
+  }
+  return "?";
+}
+
+std::string to_string(CacheDefense c) {
+  switch (c) {
+    case CacheDefense::kNone: return "none";
+    case CacheDefense::kLlcPartitioning: return "LLC-partitioning";
+    case CacheDefense::kExclusionAndFlush: return "exclusion+flush";
+    case CacheDefense::kNoSharedCaches: return "no-shared-caches";
+  }
+  return "?";
+}
+
+std::string to_string(AttestationSupport a) {
+  switch (a) {
+    case AttestationSupport::kNone: return "none";
+    case AttestationSupport::kLocal: return "local";
+    case AttestationSupport::kRemote: return "remote";
+    case AttestationSupport::kLocalAndRemote: return "local+remote";
+  }
+  return "?";
+}
+
+std::uint8_t EnclaveContext::read8(std::uint32_t offset) {
+  // Full bus path: firewall checks, cache fill with the enclave's domain
+  // tag, and the memory-encryption transform (SGX stores ciphertext in
+  // DRAM; the CPU path decrypts).
+  const auto r = machine_->bus().cpu_read8(core_, info_->domain,
+                                           hwsec::sim::Privilege::kUser, phys(offset));
+  return static_cast<std::uint8_t>(r.value);
+}
+
+void EnclaveContext::write8(std::uint32_t offset, std::uint8_t value) {
+  machine_->bus().cpu_write8(core_, info_->domain, hwsec::sim::Privilege::kUser, phys(offset),
+                             value);
+}
+
+hwsec::sim::PhysAddr EnclaveContext::phys(std::uint32_t offset) const {
+  return info_->phys_of(offset);
+}
+
+Expected<AttestationReport> Architecture::probe_attestation(const Nonce& nonce) {
+  EnclaveImage probe;
+  probe.name = "attestation-probe";
+  probe.code = {0xde, 0xad, 0xbe, 0xef};
+  const auto created = create_enclave(probe);
+  if (!created.ok()) {
+    return {.value = {}, .error = created.error};
+  }
+  auto report = attest(created.value, nonce);
+  destroy_enclave(created.value);
+  return report;
+}
+
+bool Architecture::attestation_round_trip(const Nonce& nonce) {
+  const auto report = probe_attestation(nonce);
+  if (!report.ok()) {
+    return false;
+  }
+  const auto key = report_verification_key();
+  return !key.empty() && verify_report(key, report.value, nonce);
+}
+
+const EnclaveInfo* Architecture::enclave(EnclaveId id) const {
+  const auto it = enclaves_.find(id);
+  return it == enclaves_.end() ? nullptr : &it->second;
+}
+
+EnclaveInfo& Architecture::register_enclave(EnclaveInfo info) {
+  info.id = next_id_++;
+  auto [it, inserted] = enclaves_.emplace(info.id, std::move(info));
+  return it->second;
+}
+
+EnclaveInfo* Architecture::find_enclave(EnclaveId id) {
+  auto it = enclaves_.find(id);
+  return it == enclaves_.end() ? nullptr : &it->second;
+}
+
+void Architecture::unregister_enclave(EnclaveId id) { enclaves_.erase(id); }
+
+std::uint32_t Architecture::image_pages(const EnclaveImage& image) {
+  const std::size_t bytes = image.code.size() + image.secret.size();
+  const std::uint32_t content_pages =
+      static_cast<std::uint32_t>((bytes + hwsec::sim::kPageSize - 1) / hwsec::sim::kPageSize);
+  return std::max(1u, content_pages) + image.heap_pages;
+}
+
+void Architecture::load_image(const EnclaveImage& image, const EnclaveInfo& info) {
+  for (std::uint32_t p = 0; p < info.pages; ++p) {
+    machine_->memory().fill(info.phys_of(p * hwsec::sim::kPageSize), hwsec::sim::kPageSize, 0);
+  }
+  std::uint32_t offset = 0;
+  for (std::uint8_t byte : image.code) {
+    machine_->memory().write8(info.phys_of(offset++), byte);
+  }
+  for (std::uint8_t byte : image.secret) {
+    machine_->memory().write8(info.phys_of(offset++), byte);
+  }
+}
+
+}  // namespace hwsec::tee

@@ -1,0 +1,183 @@
+// Abstract interface implemented by every hardware-assisted security
+// architecture the paper surveys (src/arch/*), plus the declarative trait
+// matrix the Section-3 comparison (experiment E2) is generated from.
+//
+// Design note: enclave *services* (the sensitive computation, e.g. an AES
+// encryption with a provisioned key) execute as host callbacks while the
+// machine is switched into the enclave's security domain. Their memory
+// accesses and power leakage flow through the simulator via the
+// Instrumentation hooks, so attacks observe them exactly as they would
+// observe ISA-level code — without every experiment having to hand-write
+// AES in simulator assembly. Transient-execution experiments, which *do*
+// depend on pipeline behaviour, run real simulated programs instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/machine.h"
+#include "tee/attestation.h"
+#include "tee/enclave.h"
+
+namespace hwsec::tee {
+
+enum class TcbType : std::uint8_t {
+  kHardwareOnly,          ///< Sancus: zero-software TCB.
+  kHardwareAndMicrocode,  ///< SGX.
+  kMonitor,               ///< Sanctum's security monitor (machine mode).
+  kSecureWorldSoftware,   ///< TrustZone: monitor + all secure-world code.
+  kVendorPrimitives,      ///< Sanctuary: only device-vendor primitives.
+  kRomLoader,             ///< SMART / TrustLite / TyTAN: ROM code (+ loader).
+};
+
+enum class DmaDefense : std::uint8_t {
+  kNone,               ///< device reads anything (SMART, TrustLite, TyTAN).
+  kRangeFilter,        ///< memory-controller veto (Sanctum).
+  kEncryptedMemory,    ///< transaction succeeds, data is ciphertext (SGX).
+  kRegionAssignment,   ///< TZASC-style exclusive assignment (TrustZone, Sanctuary).
+};
+
+enum class CacheDefense : std::uint8_t {
+  kNone,               ///< SGX, TrustZone.
+  kLlcPartitioning,    ///< Sanctum (page coloring) + private-cache flush.
+  kExclusionAndFlush,  ///< Sanctuary: enclave memory uncacheable in shared levels.
+  kNoSharedCaches,     ///< embedded platforms: nothing to attack.
+};
+
+enum class AttestationSupport : std::uint8_t { kNone, kLocal, kRemote, kLocalAndRemote };
+
+std::string to_string(TcbType t);
+std::string to_string(DmaDefense d);
+std::string to_string(CacheDefense c);
+std::string to_string(AttestationSupport a);
+
+/// Declarative Section-3 feature matrix entry. The evaluation engine
+/// (src/core) cross-checks several of these claims with live probes.
+struct ArchitectureTraits {
+  std::string name;
+  std::string reference;  ///< paper citation, e.g. "[16] Intel 2014".
+  hwsec::sim::DeviceClass target = hwsec::sim::DeviceClass::kServer;
+  TcbType tcb = TcbType::kHardwareOnly;
+  /// -1 = unlimited, 0 = none (SMART: attestation only), 1 = single.
+  int enclave_capacity = 0;
+  bool memory_encryption = false;
+  DmaDefense dma_defense = DmaDefense::kNone;
+  CacheDefense cache_defense = CacheDefense::kNone;
+  bool secure_peripheral_channels = false;
+  AttestationSupport attestation = AttestationSupport::kNone;
+  bool code_isolation = false;
+  bool real_time_capable = false;
+  bool secure_boot = false;
+  bool secure_storage = false;
+  /// TrustZone pain: app developers need a trust relationship with the
+  /// device vendor to deploy into the single secure world.
+  bool vendor_trust_required = false;
+  /// Does deploying this design require new hardware (vs. running on
+  /// already-shipped silicon, Sanctuary's selling point)?
+  bool new_hardware_required = true;
+  /// Threat-model coverage flags straight from the paper's text.
+  bool considers_cache_sca = false;
+  bool considers_dma = false;
+};
+
+/// Minimal result type (no exceptions across the architecture API: the
+/// paper's comparisons hinge on *which* error a design returns).
+template <typename T>
+struct Expected {
+  T value{};
+  EnclaveError error = EnclaveError::kOk;
+  bool ok() const { return error == EnclaveError::kOk; }
+};
+
+/// Execution context handed to an enclave service callback.
+class EnclaveContext {
+ public:
+  EnclaveContext(hwsec::sim::Machine& machine, hwsec::sim::CoreId core, const EnclaveInfo& info)
+      : machine_(&machine), core_(core), info_(&info) {}
+
+  hwsec::sim::Machine& machine() { return *machine_; }
+  hwsec::sim::CoreId core() const { return core_; }
+  const EnclaveInfo& info() const { return *info_; }
+  hwsec::sim::DomainId domain() const { return info_->domain; }
+
+  /// Byte accessors into enclave memory. Each access goes through the
+  /// cache hierarchy with the enclave's domain tag (observable timing /
+  /// occupancy) and through DRAM contents (observable by DMA etc.).
+  std::uint8_t read8(std::uint32_t offset);
+  void write8(std::uint32_t offset, std::uint8_t value);
+
+  /// Physical address of an offset inside the enclave region.
+  hwsec::sim::PhysAddr phys(std::uint32_t offset) const;
+
+ private:
+  hwsec::sim::Machine* machine_;
+  hwsec::sim::CoreId core_;
+  const EnclaveInfo* info_;
+};
+
+class Architecture {
+ public:
+  using Service = std::function<void(EnclaveContext&)>;
+
+  explicit Architecture(hwsec::sim::Machine& machine) : machine_(&machine) {}
+  virtual ~Architecture() = default;
+
+  Architecture(const Architecture&) = delete;
+  Architecture& operator=(const Architecture&) = delete;
+
+  virtual const ArchitectureTraits& traits() const = 0;
+
+  hwsec::sim::Machine& machine() { return *machine_; }
+
+  /// Creates (and initializes) an enclave from `image`.
+  virtual Expected<EnclaveId> create_enclave(const EnclaveImage& image) = 0;
+
+  /// Tears an enclave down. Architectures differ in what they scrub.
+  virtual EnclaveError destroy_enclave(EnclaveId id) = 0;
+
+  /// Runs `service` inside the enclave on `core` (world switch / EENTER /
+  /// trustlet entry semantics, including each design's defensive actions
+  /// on entry and exit).
+  virtual EnclaveError call_enclave(EnclaveId id, hwsec::sim::CoreId core,
+                                    const Service& service) = 0;
+
+  /// Produces an attestation report for the enclave.
+  virtual Expected<AttestationReport> attest(EnclaveId id, const Nonce& nonce) = 0;
+
+  /// Capability probe used by the evaluation engine: "attest *something*
+  /// on this platform". The default creates a throwaway enclave and
+  /// attests it; designs without code isolation (SMART) override this
+  /// with their region-attestation primitive.
+  virtual Expected<AttestationReport> probe_attestation(const Nonce& nonce);
+
+  /// The platform verification key for reports from this architecture
+  /// (empty if the design has no attestation).
+  virtual std::vector<std::uint8_t> report_verification_key() const { return {}; }
+
+  /// Full attestation round trip: produce a report via probe_attestation
+  /// and verify it as the relying party would. Designs with per-enclave
+  /// keys (Sancus) override this with their own verification protocol.
+  virtual bool attestation_round_trip(const Nonce& nonce);
+
+  /// Lookup (nullptr if unknown).
+  const EnclaveInfo* enclave(EnclaveId id) const;
+  std::size_t enclave_count() const { return enclaves_.size(); }
+
+ protected:
+  EnclaveInfo& register_enclave(EnclaveInfo info);
+  EnclaveInfo* find_enclave(EnclaveId id);
+  void unregister_enclave(EnclaveId id);
+  /// Copies image code+secret into the enclave's (possibly strided)
+  /// physical pages and zero-fills the remainder.
+  void load_image(const EnclaveImage& image, const EnclaveInfo& info);
+  /// Pages needed for an image.
+  static std::uint32_t image_pages(const EnclaveImage& image);
+
+  hwsec::sim::Machine* machine_;
+  std::map<EnclaveId, EnclaveInfo> enclaves_;
+  EnclaveId next_id_ = 1;
+};
+
+}  // namespace hwsec::tee

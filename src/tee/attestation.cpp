@@ -1,0 +1,77 @@
+#include "tee/attestation.h"
+
+namespace hwsec::tee {
+
+namespace {
+
+std::vector<std::uint8_t> report_body(const AttestationReport& report) {
+  std::vector<std::uint8_t> body;
+  body.insert(body.end(), report.measurement.begin(), report.measurement.end());
+  body.insert(body.end(), report.nonce.begin(), report.nonce.end());
+  body.insert(body.end(), report.user_data.begin(), report.user_data.end());
+  return body;
+}
+
+}  // namespace
+
+AttestationReport make_report(std::span<const std::uint8_t> platform_key,
+                              const hwsec::crypto::Sha256Digest& measurement, const Nonce& nonce,
+                              std::vector<std::uint8_t> user_data) {
+  AttestationReport report;
+  report.measurement = measurement;
+  report.nonce = nonce;
+  report.user_data = std::move(user_data);
+  report.mac = hwsec::crypto::hmac_sha256(platform_key, report_body(report));
+  return report;
+}
+
+bool verify_report(std::span<const std::uint8_t> platform_key, const AttestationReport& report,
+                   const Nonce& expected_nonce) {
+  if (report.nonce != expected_nonce) {
+    return false;
+  }
+  const auto expected = hwsec::crypto::hmac_sha256(platform_key, report_body(report));
+  return hwsec::crypto::digest_equal(expected, report.mac);
+}
+
+hwsec::crypto::Sha256Digest report_digest(const AttestationReport& report) {
+  hwsec::crypto::Sha256 h;
+  h.update(report_body(report));
+  h.update(report.mac);
+  return h.finalize();
+}
+
+namespace {
+
+/// Folds a digest into the RSA message space (toy modulus: see modmath.h).
+hwsec::crypto::u64 digest_to_message(const hwsec::crypto::Sha256Digest& d,
+                                     hwsec::crypto::u64 n) {
+  hwsec::crypto::u64 m = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    m = (m << 8) | d[i];
+  }
+  return m % n;
+}
+
+}  // namespace
+
+Quote make_quote(const AttestationReport& report,
+                 const hwsec::crypto::RsaKeyPair& attestation_key) {
+  Quote q;
+  q.report = report;
+  const auto digest = report_digest(report);
+  q.signature = hwsec::crypto::rsa_sign_crt(digest_to_message(digest, attestation_key.n),
+                                            attestation_key);
+  return q;
+}
+
+bool verify_quote(const Quote& quote, hwsec::crypto::u64 n, hwsec::crypto::u64 e,
+                  std::span<const std::uint8_t> platform_key, const Nonce& expected_nonce) {
+  if (!verify_report(platform_key, quote.report, expected_nonce)) {
+    return false;
+  }
+  const auto digest = report_digest(quote.report);
+  return hwsec::crypto::powmod(quote.signature, e, n) == digest_to_message(digest, n);
+}
+
+}  // namespace hwsec::tee

@@ -1,0 +1,53 @@
+// Attestation primitives: reports (symmetric, HMAC-based local/embedded
+// attestation as in SMART/Sancus/TrustLite and SGX local reports) and
+// quotes (asymmetric remote attestation as in SGX's quoting enclave).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace hwsec::tee {
+
+using Nonce = std::array<std::uint8_t, 16>;
+
+/// A symmetric attestation report: MAC over (measurement, nonce, user
+/// data) with a platform key that only the trusted component can read.
+struct AttestationReport {
+  hwsec::crypto::Sha256Digest measurement{};
+  Nonce nonce{};
+  std::vector<std::uint8_t> user_data;
+  hwsec::crypto::Sha256Digest mac{};
+};
+
+/// Computes the report MAC with `platform_key`.
+AttestationReport make_report(std::span<const std::uint8_t> platform_key,
+                              const hwsec::crypto::Sha256Digest& measurement, const Nonce& nonce,
+                              std::vector<std::uint8_t> user_data = {});
+
+/// Verifies MAC and nonce freshness (caller supplies the expected nonce).
+bool verify_report(std::span<const std::uint8_t> platform_key, const AttestationReport& report,
+                   const Nonce& expected_nonce);
+
+/// A remote-attestation quote: a report countersigned with the platform's
+/// asymmetric attestation key (the artifact Foreshadow famously stole).
+struct Quote {
+  AttestationReport report;
+  hwsec::crypto::u64 signature = 0;  ///< RSA signature over the report hash.
+};
+
+hwsec::crypto::Sha256Digest report_digest(const AttestationReport& report);
+
+/// Signs a report into a quote with the (private) attestation key.
+Quote make_quote(const AttestationReport& report, const hwsec::crypto::RsaKeyPair& attestation_key);
+
+/// Verifies a quote with the public half only (n, e).
+bool verify_quote(const Quote& quote, hwsec::crypto::u64 n, hwsec::crypto::u64 e,
+                  std::span<const std::uint8_t> platform_key, const Nonce& expected_nonce);
+
+}  // namespace hwsec::tee

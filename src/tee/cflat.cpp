@@ -1,0 +1,60 @@
+#include "tee/cflat.h"
+
+namespace hwsec::tee {
+
+namespace sim = hwsec::sim;
+namespace crypto = hwsec::crypto;
+
+CflatMonitor::CflatMonitor(sim::Cpu& cpu) : cpu_(&cpu) {
+  cpu_->set_control_flow_hook(
+      [this](sim::VirtAddr from, sim::VirtAddr to) { on_transfer(from, to); });
+}
+
+CflatMonitor::~CflatMonitor() { cpu_->set_control_flow_hook(nullptr); }
+
+void CflatMonitor::begin() {
+  active_ = true;
+  transfers_ = 0;
+  running_ = crypto::Sha256::hash(std::string{"cflat-seed"});
+}
+
+void CflatMonitor::on_transfer(sim::VirtAddr from, sim::VirtAddr to) {
+  if (!active_) {
+    return;
+  }
+  ++transfers_;
+  crypto::Sha256 h;
+  h.update(running_);
+  std::uint8_t edge[8];
+  for (int i = 0; i < 4; ++i) {
+    edge[i] = static_cast<std::uint8_t>(from >> (8 * i));
+    edge[4 + i] = static_cast<std::uint8_t>(to >> (8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(edge, 8));
+  running_ = h.finalize();
+}
+
+crypto::Sha256Digest CflatMonitor::end() {
+  active_ = false;
+  return running_;
+}
+
+AttestationReport attest_path(std::span<const std::uint8_t> platform_key,
+                              const crypto::Sha256Digest& path_digest, const Nonce& nonce) {
+  return make_report(platform_key, path_digest, nonce);
+}
+
+bool verify_path(std::span<const std::uint8_t> platform_key, const AttestationReport& report,
+                 const Nonce& nonce, const std::vector<crypto::Sha256Digest>& legal_paths) {
+  if (!verify_report(platform_key, report, nonce)) {
+    return false;
+  }
+  for (const auto& legal : legal_paths) {
+    if (crypto::digest_equal(legal, report.measurement)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hwsec::tee

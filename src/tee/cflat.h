@@ -1,0 +1,66 @@
+// Control-flow attestation in the style of C-FLAT (Abera et al., the
+// paper's [1] — the same work its adversary classification builds on).
+//
+// Static attestation (SMART & friends) proves WHAT code is loaded;
+// C-FLAT proves HOW it executed: the prover hash-chains every committed
+// control-flow transfer into a path digest and MACs it with the platform
+// key. The verifier, who knows the program's CFG, precomputes the
+// digests of legal paths; a control-flow hijack — even one that executes
+// only legitimate instructions, like ROP — produces a digest outside
+// that set.
+//
+// The monitor rides the simulator CPU's control-flow hook, standing in
+// for C-FLAT's instrumented trampolines / hardware tracing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "sim/cpu.h"
+#include "tee/attestation.h"
+
+namespace hwsec::tee {
+
+/// Records the control-flow path of one measured execution.
+class CflatMonitor {
+ public:
+  /// Attaches to `cpu`; transfers are recorded between begin() and end().
+  explicit CflatMonitor(hwsec::sim::Cpu& cpu);
+  ~CflatMonitor();
+
+  CflatMonitor(const CflatMonitor&) = delete;
+  CflatMonitor& operator=(const CflatMonitor&) = delete;
+
+  /// Starts a fresh measurement.
+  void begin();
+
+  /// Finishes and returns the path digest: H(... H(H(seed ‖ e1) ‖ e2) ...)
+  /// over the (from, to) transfer sequence.
+  hwsec::crypto::Sha256Digest end();
+
+  std::uint64_t transfers_recorded() const { return transfers_; }
+
+ private:
+  void on_transfer(hwsec::sim::VirtAddr from, hwsec::sim::VirtAddr to);
+
+  hwsec::sim::Cpu* cpu_;
+  bool active_ = false;
+  hwsec::crypto::Sha256Digest running_{};
+  std::uint64_t transfers_ = 0;
+};
+
+/// Prover-side report: the path digest MACed with the platform key,
+/// bound to a verifier nonce (same report format as static attestation,
+/// with the path digest in the measurement field).
+AttestationReport attest_path(std::span<const std::uint8_t> platform_key,
+                              const hwsec::crypto::Sha256Digest& path_digest,
+                              const Nonce& nonce);
+
+/// Verifier-side check: report authenticity + membership of the attested
+/// path in the set of known-legal path digests.
+bool verify_path(std::span<const std::uint8_t> platform_key, const AttestationReport& report,
+                 const Nonce& nonce,
+                 const std::vector<hwsec::crypto::Sha256Digest>& legal_paths);
+
+}  // namespace hwsec::tee

@@ -1,0 +1,28 @@
+#include "tee/enclave.h"
+
+namespace hwsec::tee {
+
+hwsec::crypto::Sha256Digest measure_image(const EnclaveImage& image) {
+  hwsec::crypto::Sha256 h;
+  h.update(image.name);
+  h.update(image.code);
+  const std::uint8_t pages[1] = {static_cast<std::uint8_t>(image.heap_pages)};
+  h.update(std::span<const std::uint8_t>(pages, 1));
+  return h.finalize();
+}
+
+std::string to_string(EnclaveError e) {
+  switch (e) {
+    case EnclaveError::kOk: return "ok";
+    case EnclaveError::kUnsupported: return "unsupported";
+    case EnclaveError::kCapacityExceeded: return "capacity-exceeded";
+    case EnclaveError::kOutOfMemory: return "out-of-memory";
+    case EnclaveError::kNoSuchEnclave: return "no-such-enclave";
+    case EnclaveError::kNotInitialized: return "not-initialized";
+    case EnclaveError::kConfigLocked: return "config-locked";
+    case EnclaveError::kVerificationFailed: return "verification-failed";
+  }
+  return "?";
+}
+
+}  // namespace hwsec::tee

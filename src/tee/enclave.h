@@ -1,0 +1,68 @@
+// Common enclave abstractions shared by every architecture model.
+//
+// An EnclaveImage is what a developer ships: named code + initial data.
+// The *code bytes are measured* (hashed into the enclave identity) while
+// the secret bytes model provisioned secrets (keys) living in enclave
+// memory at runtime — the asset every attack in this framework is after.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "sim/types.h"
+
+namespace hwsec::tee {
+
+using EnclaveId = std::uint32_t;
+inline constexpr EnclaveId kInvalidEnclave = 0;
+
+struct EnclaveImage {
+  std::string name;
+  std::vector<std::uint8_t> code;    ///< measured content.
+  std::vector<std::uint8_t> secret;  ///< provisioned secret data (not measured).
+  std::uint32_t heap_pages = 1;      ///< additional zeroed pages.
+};
+
+/// SHA-256 over the image's measured content (code + name + layout),
+/// the MRENCLAVE analogue.
+hwsec::crypto::Sha256Digest measure_image(const EnclaveImage& image);
+
+enum class EnclaveError : std::uint8_t {
+  kOk,
+  kUnsupported,        ///< architecture has no such capability.
+  kCapacityExceeded,   ///< e.g. TrustZone's single secure world.
+  kOutOfMemory,        ///< EPC / secure RAM exhausted.
+  kNoSuchEnclave,
+  kNotInitialized,
+  kConfigLocked,       ///< TrustLite: regions are static after boot.
+  kVerificationFailed, ///< secure boot signature / measurement mismatch.
+};
+
+std::string to_string(EnclaveError e);
+
+/// Runtime handle state for a created enclave.
+struct EnclaveInfo {
+  EnclaveId id = kInvalidEnclave;
+  std::string name;
+  hwsec::crypto::Sha256Digest measurement{};
+  hwsec::sim::DomainId domain = hwsec::sim::kDomainNormal;
+  hwsec::sim::PhysAddr base = 0;   ///< first owned frame.
+  std::uint32_t pages = 0;
+  /// Distance between consecutive owned frames, in pages. 1 = contiguous;
+  /// Sanctum's page-coloring allocator hands out every num_colors-th
+  /// frame so all enclave frames share one LLC color.
+  std::uint32_t stride_pages = 1;
+  bool initialized = false;
+
+  /// Physical address of a byte offset within the enclave's (possibly
+  /// strided) memory.
+  hwsec::sim::PhysAddr phys_of(std::uint32_t offset) const {
+    const std::uint32_t page = offset / hwsec::sim::kPageSize;
+    return base + page * stride_pages * hwsec::sim::kPageSize +
+           (offset & hwsec::sim::kPageOffsetMask);
+  }
+};
+
+}  // namespace hwsec::tee

@@ -1,0 +1,47 @@
+#include "tee/secure_boot.h"
+
+namespace hwsec::tee {
+
+namespace crypto = hwsec::crypto;
+
+crypto::u64 measurement_message(const crypto::Sha256Digest& digest, crypto::u64 modulus) {
+  crypto::u64 m = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    m = (m << 8) | digest[i];
+  }
+  return m % modulus;
+}
+
+BootStage make_signed_stage(const std::string& name, std::vector<std::uint8_t> image,
+                            const crypto::RsaKeyPair& vendor_key) {
+  BootStage stage;
+  stage.name = name;
+  stage.image = std::move(image);
+  crypto::Sha256 h;
+  h.update(stage.name);
+  h.update(stage.image);
+  stage.signature =
+      crypto::rsa_sign_crt(measurement_message(h.finalize(), vendor_key.n), vendor_key);
+  return stage;
+}
+
+BootResult SecureBootChain::boot(const std::vector<BootStage>& stages) const {
+  BootResult result;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    crypto::Sha256 h;
+    h.update(stages[i].name);
+    h.update(stages[i].image);
+    const crypto::Sha256Digest measurement = h.finalize();
+    const crypto::u64 expected = measurement_message(measurement, n_);
+    if (crypto::powmod(stages[i].signature, e_, n_) != expected) {
+      result.ok = false;
+      result.failed_stage = i;
+      return result;  // refuse to hand off control.
+    }
+    result.measurements.push_back(measurement);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace hwsec::tee

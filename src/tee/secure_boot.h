@@ -1,0 +1,59 @@
+// Signature-verified boot chain (paper §3.2: the TrustZone monitor
+// "verifies all secure world code during boot using digital signatures";
+// §3.3: TyTAN's secure boot).
+//
+// Classic chain-of-trust: each stage's measurement is signed by the
+// device vendor; the ROM verifier checks stages in order and refuses to
+// hand off control past the first mismatch. A flipped bit anywhere in
+// any stage image — or a stage signed by the wrong key — stops the boot
+// exactly there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace hwsec::tee {
+
+struct BootStage {
+  std::string name;                 ///< "monitor", "secure-os", "ta-store"...
+  std::vector<std::uint8_t> image;  ///< the stage's code/data blob.
+  hwsec::crypto::u64 signature = 0; ///< vendor signature over the measurement.
+};
+
+/// Vendor-side signing of a stage image (factory / firmware-release step).
+BootStage make_signed_stage(const std::string& name, std::vector<std::uint8_t> image,
+                            const hwsec::crypto::RsaKeyPair& vendor_key);
+
+struct BootResult {
+  bool ok = false;
+  /// Index of the first stage that failed verification (only meaningful
+  /// when !ok).
+  std::size_t failed_stage = 0;
+  /// Measurements of every verified stage, in boot order — the platform's
+  /// boot-time identity (what attestation later reports against).
+  std::vector<hwsec::crypto::Sha256Digest> measurements;
+};
+
+/// ROM-resident verifier: holds only the vendor's PUBLIC key.
+class SecureBootChain {
+ public:
+  SecureBootChain(hwsec::crypto::u64 vendor_n, hwsec::crypto::u64 vendor_e)
+      : n_(vendor_n), e_(vendor_e) {}
+
+  /// Verifies the stages in order; stops at the first failure.
+  BootResult boot(const std::vector<BootStage>& stages) const;
+
+ private:
+  hwsec::crypto::u64 n_;
+  hwsec::crypto::u64 e_;
+};
+
+/// Measurement-to-message folding shared by signer and verifier.
+hwsec::crypto::u64 measurement_message(const hwsec::crypto::Sha256Digest& digest,
+                                       hwsec::crypto::u64 modulus);
+
+}  // namespace hwsec::tee

@@ -1,0 +1,174 @@
+// Architecture advisor (the paper's conclusion, executable) and SGX
+// sealing / local attestation.
+#include <gtest/gtest.h>
+
+#include "arch/sgx.h"
+#include "core/advisor.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace core = hwsec::core;
+
+namespace {
+
+const core::Recommendation& top_viable(const std::vector<core::Recommendation>& ranked) {
+  for (const auto& r : ranked) {
+    if (r.viable) {
+      return r;
+    }
+  }
+  return ranked.front();
+}
+
+TEST(Advisor, CollectsAllEightArchitectures) {
+  const auto traits = core::all_architecture_traits();
+  ASSERT_EQ(traits.size(), 8u);
+  std::vector<std::string> names;
+  for (const auto& t : traits) {
+    names.push_back(t.name);
+  }
+  for (const char* expected : {"Intel SGX", "Sanctum", "ARM TrustZone", "Sanctuary", "SMART",
+                               "Sancus", "TrustLite", "TyTAN"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end()) << expected;
+  }
+}
+
+TEST(Advisor, CloudMultiTenantWithCacheThreatPicksSanctum) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kServer;
+  req.multiple_enclaves = true;
+  req.remote_attestation = true;
+  req.cache_sca_threat = true;
+  req.malicious_peripherals = true;
+  const auto ranked = core::recommend(req);
+  EXPECT_EQ(top_viable(ranked).traits.name, "Sanctum")
+      << "§4.1: only Sanctum partitions the shared LLC on server-class hardware";
+}
+
+TEST(Advisor, ThirdPartyMobileAppsOnShippedSiliconPickSanctuary) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kMobile;
+  req.multiple_enclaves = true;
+  req.no_vendor_gatekeeping = true;
+  req.existing_hardware_only = true;
+  req.cache_sca_threat = true;
+  const auto ranked = core::recommend(req);
+  EXPECT_EQ(top_viable(ranked).traits.name, "Sanctuary");
+  // And TrustZone must be marked non-viable for this requirement set.
+  for (const auto& r : ranked) {
+    if (r.traits.name == "ARM TrustZone") {
+      EXPECT_FALSE(r.viable) << "single enclave + vendor trust are hard misses";
+    }
+  }
+}
+
+TEST(Advisor, RealTimeSensorWithSecureStoragePicksTyTan) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kEmbedded;
+  req.multiple_enclaves = true;
+  req.remote_attestation = true;
+  req.real_time = true;
+  const auto ranked = core::recommend(req);
+  EXPECT_EQ(top_viable(ranked).traits.name, "TyTAN") << "the §3.3 real-time extension";
+}
+
+TEST(Advisor, AttestationOnlyBudgetStillExcludesIsolationlessDesignsWhenNeeded) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kEmbedded;
+  req.multiple_enclaves = true;
+  const auto ranked = core::recommend(req);
+  for (const auto& r : ranked) {
+    if (r.traits.name == "SMART") {
+      EXPECT_FALSE(r.viable) << "SMART has no code isolation";
+    }
+  }
+}
+
+TEST(Advisor, WrongPlatformClassIsNeverViable) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kEmbedded;
+  const auto ranked = core::recommend(req);
+  for (const auto& r : ranked) {
+    if (r.traits.name == "Intel SGX" || r.traits.name == "Sanctum") {
+      EXPECT_FALSE(r.viable);
+    }
+  }
+}
+
+TEST(Advisor, RenderListsViableOptionsWithReasons) {
+  core::Requirements req;
+  req.platform = sim::DeviceClass::kMobile;
+  req.secure_peripheral_io = true;
+  const auto rendered = core::render_recommendations(req, core::recommend(req));
+  EXPECT_NE(rendered.find("ARM TrustZone"), std::string::npos);
+  EXPECT_NE(rendered.find("Sanctuary"), std::string::npos);
+  EXPECT_NE(rendered.find("+"), std::string::npos);
+}
+
+// ---- SGX sealing & local attestation -------------------------------------
+
+class SgxSealingTest : public ::testing::Test {
+ protected:
+  SgxSealingTest() : machine_(sim::MachineProfile::server(), 3100), sgx_(machine_) {
+    tee::EnclaveImage a;
+    a.name = "alpha";
+    a.code = {0xA1};
+    alpha_ = sgx_.create_enclave(a).value;
+    tee::EnclaveImage b;
+    b.name = "beta";
+    b.code = {0xB2};
+    beta_ = sgx_.create_enclave(b).value;
+  }
+
+  sim::Machine machine_;
+  arch::Sgx sgx_;
+  tee::EnclaveId alpha_ = 0;
+  tee::EnclaveId beta_ = 0;
+};
+
+TEST_F(SgxSealingTest, SealUnsealRoundTripBoundToMeasurement) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  const auto blob = sgx_.seal(alpha_, data);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_NE(blob.value.ciphertext, data);
+  const auto opened = sgx_.unseal(alpha_, blob.value);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value, data);
+  EXPECT_EQ(sgx_.unseal(beta_, blob.value).error, tee::EnclaveError::kVerificationFailed);
+}
+
+TEST_F(SgxSealingTest, SealedDataSurvivesEnclaveTeardown) {
+  const std::vector<std::uint8_t> data = {9, 9, 9};
+  const auto blob = sgx_.seal(alpha_, data);
+  sgx_.destroy_enclave(alpha_);
+  // Relaunch the same (measured-identical) enclave.
+  tee::EnclaveImage a;
+  a.name = "alpha";
+  a.code = {0xA1};
+  const auto relaunched = sgx_.create_enclave(a).value;
+  const auto opened = sgx_.unseal(relaunched, blob.value);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value, data);
+}
+
+TEST_F(SgxSealingTest, TamperedBlobRejected) {
+  auto blob = sgx_.seal(alpha_, std::vector<std::uint8_t>{7});
+  blob.value.ciphertext[0] ^= 1;
+  EXPECT_EQ(sgx_.unseal(alpha_, blob.value).error, tee::EnclaveError::kVerificationFailed);
+}
+
+TEST_F(SgxSealingTest, LocalReportVerifiesOnlyAtTheTarget) {
+  tee::Nonce nonce{};
+  nonce[0] = 0x1A;
+  const auto report = sgx_.local_report(alpha_, beta_, nonce);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value.measurement, sgx_.enclave(alpha_)->measurement);
+  EXPECT_TRUE(sgx_.verify_local_report(beta_, report.value, nonce));
+  EXPECT_FALSE(sgx_.verify_local_report(alpha_, report.value, nonce))
+      << "a report targeted at beta must not verify at alpha";
+  tee::Nonce stale{};
+  EXPECT_FALSE(sgx_.verify_local_report(beta_, report.value, stale)) << "replay";
+}
+
+}  // namespace

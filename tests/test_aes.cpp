@@ -1,0 +1,162 @@
+// AES-128 correctness (FIPS-197 + NIST vectors) and the behavioural
+// contracts of the three side-channel variants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aes.h"
+
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+crypto::AesKey key_from(const std::array<std::uint8_t, 16>& bytes) { return bytes; }
+
+// FIPS-197 Appendix B.
+const crypto::AesKey kFipsKey = key_from({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+const crypto::AesBlock kFipsPlain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                     0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+const crypto::AesBlock kFipsCipher = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                      0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+
+// NIST SP 800-38A F.1.1 (AES-128 ECB), first block.
+const crypto::AesKey kNistKey = kFipsKey;
+const crypto::AesBlock kNistPlain = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+                                     0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+const crypto::AesBlock kNistCipher = {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60,
+                                      0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97};
+
+TEST(AesSbox, MatchesKnownAnchors) {
+  const auto& s = crypto::aes_sbox();
+  EXPECT_EQ(s[0x00], 0x63);
+  EXPECT_EQ(s[0x01], 0x7c);
+  EXPECT_EQ(s[0x53], 0xed);
+  EXPECT_EQ(s[0xff], 0x16);
+}
+
+TEST(AesSbox, InverseIsConsistent) {
+  const auto& s = crypto::aes_sbox();
+  const auto& inv = crypto::aes_inv_sbox();
+  for (int x = 0; x < 256; ++x) {
+    EXPECT_EQ(inv[s[static_cast<std::size_t>(x)]], x);
+  }
+}
+
+TEST(AesSbox, IsAPermutation) {
+  const auto& s = crypto::aes_sbox();
+  std::set<std::uint8_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(AesKeySchedule, Fips197AppendixA) {
+  const auto ks = crypto::expand_key(kFipsKey);
+  EXPECT_EQ(ks.words[0], 0x2b7e1516u);
+  EXPECT_EQ(ks.words[4], 0xa0fafe17u);  // first derived word.
+  EXPECT_EQ(ks.words[43], 0xb6630ca6u); // last word, Appendix A.1.
+}
+
+TEST(AesTTable, Fips197Vector) {
+  crypto::AesTTable aes(kFipsKey);
+  EXPECT_EQ(aes.encrypt(kFipsPlain), kFipsCipher);
+}
+
+TEST(AesTTable, NistEcbVector) {
+  crypto::AesTTable aes(kNistKey);
+  EXPECT_EQ(aes.encrypt(kNistPlain), kNistCipher);
+}
+
+TEST(AesConstantTime, MatchesTTableOnRandomBlocks) {
+  crypto::AesKey key{};
+  for (int i = 0; i < 16; ++i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(17 * i + 3);
+  }
+  crypto::AesTTable reference(key);
+  crypto::AesConstantTime ct(key);
+  crypto::AesBlock block{};
+  for (int trial = 0; trial < 64; ++trial) {
+    for (auto& b : block) {
+      b = static_cast<std::uint8_t>(b * 31 + trial + 7);
+    }
+    EXPECT_EQ(ct.encrypt(block), reference.encrypt(block));
+  }
+}
+
+TEST(AesMasked, MatchesTTableOnRandomBlocks) {
+  crypto::AesTTable reference(kFipsKey);
+  crypto::AesMasked masked(kFipsKey, /*rng_seed=*/555);
+  crypto::AesBlock block = kFipsPlain;
+  for (int trial = 0; trial < 64; ++trial) {
+    EXPECT_EQ(masked.encrypt(block), reference.encrypt(block));
+    block[static_cast<std::size_t>(trial % 16)] ^= static_cast<std::uint8_t>(trial + 1);
+  }
+}
+
+TEST(AesTTable, TouchHookSeesFirstRoundIndices) {
+  // With a known key and plaintext, the first four T0 touches must be
+  // pt[0]^k[0], pt[4]^k[4], pt[8]^k[8], pt[12]^k[12].
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> touches;
+  crypto::Instrumentation instr;
+  instr.touch = [&touches](std::uint32_t table, std::uint32_t index) {
+    touches.emplace_back(table, index);
+  };
+  crypto::AesTTable aes(kFipsKey, instr);
+  aes.encrypt(kFipsPlain);
+
+  // 16 touches per round x 9 T-table rounds + 16 final-round S-box.
+  EXPECT_EQ(touches.size(), 160u);
+  std::vector<std::uint32_t> t0_indices;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (touches[i].first == crypto::kT0) {
+      t0_indices.push_back(touches[i].second);
+    }
+  }
+  ASSERT_EQ(t0_indices.size(), 4u);
+  EXPECT_EQ(t0_indices[0], static_cast<std::uint32_t>(kFipsPlain[0] ^ kFipsKey[0]));
+  EXPECT_EQ(t0_indices[1], static_cast<std::uint32_t>(kFipsPlain[4] ^ kFipsKey[4]));
+  EXPECT_EQ(t0_indices[2], static_cast<std::uint32_t>(kFipsPlain[8] ^ kFipsKey[8]));
+  EXPECT_EQ(t0_indices[3], static_cast<std::uint32_t>(kFipsPlain[12] ^ kFipsKey[12]));
+}
+
+TEST(AesConstantTime, EmitsNoTouches) {
+  std::uint32_t touches = 0;
+  crypto::Instrumentation instr;
+  instr.touch = [&touches](std::uint32_t, std::uint32_t) { ++touches; };
+  crypto::AesConstantTime aes(kFipsKey, instr);
+  aes.encrypt(kFipsPlain);
+  EXPECT_EQ(touches, 0u) << "constant-time AES must not perform table lookups";
+}
+
+TEST(AesTTable, FaultHookFiresOnlyAtRequestedRound) {
+  std::uint32_t fault_calls = 0;
+  crypto::Instrumentation instr;
+  instr.fault = [&fault_calls](std::uint32_t v) {
+    ++fault_calls;
+    return v;
+  };
+  crypto::AesTTable aes(kFipsKey, instr);
+  const auto clean = aes.encrypt_with_fault_round(kFipsPlain, 10);
+  EXPECT_EQ(fault_calls, 4u);  // all four state words offered once.
+  EXPECT_EQ(clean, kFipsCipher) << "identity fault hook must not change the result";
+}
+
+TEST(AesTTable, SingleBitFaultInRound10FlipsExactlyOneByte) {
+  crypto::Instrumentation instr;
+  bool armed = true;
+  instr.fault = [&armed](std::uint32_t v) {
+    if (armed) {
+      armed = false;
+      return v ^ 0x00010000u;  // one bit in one byte of s0.
+    }
+    return v;
+  };
+  crypto::AesTTable aes(kFipsKey, instr);
+  const auto faulty = aes.encrypt_with_fault_round(kFipsPlain, 10);
+  int diffs = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    diffs += faulty[i] != kFipsCipher[i] ? 1 : 0;
+  }
+  EXPECT_EQ(diffs, 1) << "a pre-SubBytes single-bit fault in round 10 stays in one byte";
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+// Embedded architectures: SMART, Sancus, TrustLite, TyTAN (§3.3).
+#include <gtest/gtest.h>
+
+#include "arch/sancus.h"
+#include "arch/smart.h"
+#include "arch/trustlite.h"
+#include "sim/dma.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+
+namespace {
+
+tee::EnclaveImage module_image(const std::string& name = "module") {
+  tee::EnclaveImage i;
+  i.name = name;
+  i.code = {0x11, 0x22};
+  i.secret = {'i', 'o', 't'};
+  return i;
+}
+
+// ---- SMART -----------------------------------------------------------------
+
+class SmartTest : public ::testing::Test {
+ protected:
+  SmartTest() : machine_(sim::MachineProfile::embedded(), 51), smart_(machine_) {}
+  sim::Machine machine_;
+  arch::Smart smart_;
+};
+
+TEST_F(SmartTest, KeyReadableOnlyFromRom) {
+  EXPECT_EQ(smart_.try_key_access(smart_.rom_base() + 0x10), sim::Fault::kNone);
+  EXPECT_EQ(smart_.try_key_access(/*application pc=*/0x80000),
+            sim::Fault::kSecurityViolation);
+}
+
+TEST_F(SmartTest, RomEnterableOnlyAtFirstInstruction) {
+  const auto& mpu = machine_.mpu();
+  EXPECT_EQ(mpu.check_fetch(smart_.rom_base(), /*from=*/0x80000), sim::Fault::kNone);
+  EXPECT_EQ(mpu.check_fetch(smart_.rom_base() + 8, /*from=*/0x80000),
+            sim::Fault::kSecurityViolation)
+      << "mid-routine entry would skip the key-handling prologue";
+}
+
+TEST_F(SmartTest, AttestationReportVerifies) {
+  const sim::PhysAddr region = machine_.alloc_frame();
+  machine_.memory().write32(region, 0xF1F2F3F4);
+  tee::Nonce nonce{};
+  nonce[0] = 1;
+  const auto report = smart_.attest_region(region, 64, nonce);
+  EXPECT_TRUE(tee::verify_report(smart_.report_verification_key(), report, nonce));
+}
+
+TEST_F(SmartTest, AttestationDetectsModifiedCode) {
+  const sim::PhysAddr region = machine_.alloc_frame();
+  tee::Nonce nonce{};
+  const auto before = smart_.attest_region(region, 64, nonce);
+  machine_.memory().write8(region + 5, 0xEE);  // the "malware" writes itself in.
+  const auto after = smart_.attest_region(region, 64, nonce);
+  EXPECT_NE(before.measurement, after.measurement);
+  EXPECT_FALSE(hwsec::crypto::digest_equal(before.mac, after.mac));
+}
+
+TEST_F(SmartTest, AttestationBlocksInterruptsForItsDuration) {
+  const sim::PhysAddr region = machine_.alloc_frame();
+  smart_.attest_region(region, sim::kPageSize, tee::Nonce{});
+  EXPECT_TRUE(smart_.interrupts_enabled()) << "re-enabled afterwards";
+  EXPECT_GT(smart_.last_attestation_cycles(), 100000u)
+      << "a page-sized attestation blocks interrupts for a long time — "
+         "why SMART is unfit for real-time (§3.3)";
+}
+
+TEST_F(SmartTest, NoIsolationPrimitives) {
+  EXPECT_EQ(smart_.create_enclave(module_image()).error, tee::EnclaveError::kUnsupported);
+}
+
+TEST_F(SmartTest, DmaLiftsTheKeyThreatModelGap) {
+  // "does not consider ... DMA attacks in its threat model": the MPU gate
+  // filters CPU accesses only.
+  sim::DmaDevice device(machine_.bus(), arch::kUntrustedDeviceDomain);
+  const auto bytes = device.exfiltrate(smart_.key_phys(), smart_.key_bytes());
+  ASSERT_EQ(bytes.size(), smart_.key_bytes());
+  EXPECT_EQ(bytes, smart_.report_verification_key())
+      << "the attestation key is fully exposed to a DMA-capable peripheral";
+}
+
+TEST_F(SmartTest, IsaLevelGateEndToEnd) {
+  // The gate enforced on REAL simulated execution: the same key-reading
+  // instruction sequence succeeds when fetched from ROM and faults when
+  // fetched from application flash.
+  sim::Cpu& cpu = machine_.cpu(0);
+
+  // ROM-resident routine (placed at the ROM base = its entry point).
+  sim::ProgramBuilder rom(smart_.rom_base());
+  rom.label("rom_entry").lw(sim::R2, sim::R1).halt();
+  const sim::Program rom_prog = rom.build();
+  cpu.load_program(rom_prog);
+
+  // Identical code in application flash.
+  sim::ProgramBuilder app(0x80000);
+  app.label("app_entry").lw(sim::R2, sim::R1).halt();
+  const sim::Program app_prog = app.build();
+  cpu.load_program(app_prog);
+
+  // ROM execution reads the key word.
+  cpu.set_reg(sim::R1, smart_.key_phys());
+  const auto rom_run = cpu.run_from(rom_prog.address_of("rom_entry"), 16);
+  EXPECT_TRUE(rom_run.halted);
+  std::uint32_t expected = 0;
+  const auto key = smart_.report_verification_key();
+  for (int i = 3; i >= 0; --i) {
+    expected = (expected << 8) | key[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(cpu.reg(sim::R2), expected);
+
+  // Application execution of the very same sequence faults at the load.
+  cpu.set_reg(sim::R1, smart_.key_phys());
+  cpu.set_reg(sim::R2, 0);
+  const auto app_run = cpu.run_from(app_prog.address_of("app_entry"), 16);
+  EXPECT_EQ(app_run.stop_fault, sim::Fault::kSecurityViolation);
+  EXPECT_EQ(cpu.reg(sim::R2), 0u) << "no key byte reached the register file";
+}
+
+TEST_F(SmartTest, IsaLevelEntryPointEnforcement) {
+  // Jumping into the middle of the ROM routine (skipping the prologue)
+  // is vetoed by the fetch-side entry-point check.
+  sim::Cpu& cpu = machine_.cpu(0);
+  sim::ProgramBuilder rom(smart_.rom_base());
+  rom.label("rom_entry").nop().label("mid").lw(sim::R2, sim::R1).halt();
+  cpu.load_program(rom.build());
+
+  sim::ProgramBuilder app(0x90000);
+  app.label("jump_mid").jump_abs(smart_.rom_base() + 4).halt();
+  const sim::Program app_prog = app.build();
+  cpu.load_program(app_prog);
+
+  const auto run = cpu.run_from(app_prog.address_of("jump_mid"), 16);
+  EXPECT_EQ(run.stop_fault, sim::Fault::kSecurityViolation)
+      << "mid-routine entry must fault at fetch";
+}
+
+// ---- Sancus ------------------------------------------------------------------
+
+class SancusTest : public ::testing::Test {
+ protected:
+  SancusTest() : machine_(sim::MachineProfile::embedded(), 52), sancus_(machine_) {}
+  sim::Machine machine_;
+  arch::Sancus sancus_;
+};
+
+TEST_F(SancusTest, MultipleIsolatedModules) {
+  const auto a = sancus_.create_enclave(module_image("a"));
+  const auto b = sancus_.create_enclave(module_image("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const tee::EnclaveInfo* ia = sancus_.enclave(a.value);
+  ASSERT_NE(sancus_.enclave(b.value), nullptr);
+  // Module A's code may touch A's data but not B's.
+  EXPECT_EQ(sancus_.try_data_access(a.value, /*pc=*/ia->base), sim::Fault::kNone);
+  EXPECT_EQ(sancus_.try_data_access(b.value, /*pc=*/ia->base),
+            sim::Fault::kSecurityViolation);
+  // Untrusted application code touches neither.
+  EXPECT_EQ(sancus_.try_data_access(a.value, /*pc=*/0x80000),
+            sim::Fault::kSecurityViolation);
+  EXPECT_EQ(sancus_.try_data_access(b.value, /*pc=*/0x80000),
+            sim::Fault::kSecurityViolation);
+}
+
+TEST_F(SancusTest, VendorDerivesTheSameModuleKey) {
+  const auto created = sancus_.create_enclave(module_image());
+  const tee::EnclaveInfo* info = sancus_.enclave(created.value);
+  tee::Nonce nonce{};
+  nonce[4] = 0x44;
+  const auto report = sancus_.attest(created.value, nonce);
+  ASSERT_TRUE(report.ok());
+  const auto vendor_key = sancus_.derive_module_key(info->name, info->measurement);
+  EXPECT_TRUE(tee::verify_report(vendor_key, report.value, nonce));
+  // A module with different code gets a different key.
+  const auto other_key =
+      sancus_.derive_module_key(info->name, tee::measure_image(module_image("other")));
+  EXPECT_FALSE(tee::verify_report(other_key, report.value, nonce));
+}
+
+TEST_F(SancusTest, DestroyRemovesIsolationAndScrubs) {
+  const auto created = sancus_.create_enclave(module_image());
+  const tee::EnclaveInfo* info = sancus_.enclave(created.value);
+  const sim::PhysAddr data = info->base + sim::kPageSize;
+  ASSERT_EQ(machine_.memory().read8(data), 'i');
+  sancus_.destroy_enclave(created.value);
+  EXPECT_EQ(machine_.memory().read8(data), 0u);
+  EXPECT_EQ(machine_.mpu().check(data, sim::AccessType::kRead, 0x80000), sim::Fault::kNone);
+}
+
+// ---- TrustLite -----------------------------------------------------------------
+
+class TrustLiteTest : public ::testing::Test {
+ protected:
+  TrustLiteTest() : machine_(sim::MachineProfile::embedded(), 53), trustlite_(machine_) {}
+  sim::Machine machine_;
+  arch::TrustLite trustlite_;
+};
+
+TEST_F(TrustLiteTest, TrustletsLoadAtBootThenConfigLocks) {
+  const auto a = trustlite_.create_enclave(module_image("a"));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(trustlite_.call_enclave(a.value, 0, [](tee::EnclaveContext&) {}),
+            tee::EnclaveError::kNotInitialized)
+      << "trustlets only become live at boot";
+  ASSERT_EQ(trustlite_.boot(), tee::EnclaveError::kOk);
+  EXPECT_EQ(trustlite_.call_enclave(a.value, 0, [](tee::EnclaveContext&) {}),
+            tee::EnclaveError::kOk);
+  // After boot the EA-MPU is locked: static protection regions.
+  EXPECT_EQ(trustlite_.create_enclave(module_image("late")).error,
+            tee::EnclaveError::kConfigLocked);
+  EXPECT_EQ(trustlite_.destroy_enclave(a.value), tee::EnclaveError::kConfigLocked);
+}
+
+TEST_F(TrustLiteTest, EaMpuGatesTrustletData) {
+  const auto a = trustlite_.create_enclave(module_image("a"));
+  trustlite_.boot();
+  const tee::EnclaveInfo* info = trustlite_.enclave(a.value);
+  EXPECT_EQ(trustlite_.try_data_access(a.value, info->base), sim::Fault::kNone);
+  EXPECT_EQ(trustlite_.try_data_access(a.value, 0x80000), sim::Fault::kSecurityViolation);
+}
+
+TEST_F(TrustLiteTest, AttestationAfterBootVerifies) {
+  const auto a = trustlite_.create_enclave(module_image("a"));
+  trustlite_.boot();
+  tee::Nonce nonce{};
+  nonce[6] = 6;
+  const auto report = trustlite_.attest(a.value, nonce);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(tee::verify_report(trustlite_.report_verification_key(), report.value, nonce));
+}
+
+TEST_F(TrustLiteTest, DmaNotInThreatModel) {
+  const auto a = trustlite_.create_enclave(module_image("a"));
+  trustlite_.boot();
+  const tee::EnclaveInfo* info = trustlite_.enclave(a.value);
+  sim::DmaDevice device(machine_.bus(), arch::kUntrustedDeviceDomain);
+  const auto bytes = device.exfiltrate(info->base + sim::kPageSize, 3);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "iot")
+      << "trustlet data is DMA-readable (the paper's §3.3 criticism)";
+}
+
+// ---- TyTAN -----------------------------------------------------------------------
+
+class TyTanTest : public ::testing::Test {
+ protected:
+  TyTanTest() : machine_(sim::MachineProfile::embedded(), 54), tytan_(machine_) {}
+  sim::Machine machine_;
+  arch::TyTan tytan_;
+};
+
+TEST_F(TyTanTest, SecureBootRefusesTamperedPlatform) {
+  tytan_.tamper_firmware();
+  EXPECT_EQ(tytan_.boot(), tee::EnclaveError::kVerificationFailed);
+}
+
+TEST_F(TyTanTest, DynamicTrustletLoadingAfterBoot) {
+  ASSERT_EQ(tytan_.boot(), tee::EnclaveError::kOk);
+  const auto late = tytan_.create_enclave(module_image("late"));
+  ASSERT_TRUE(late.ok()) << "TyTAN keeps the EA-MPU programmable via its runtime";
+  EXPECT_EQ(tytan_.call_enclave(late.value, 0, [](tee::EnclaveContext&) {}),
+            tee::EnclaveError::kOk);
+  EXPECT_EQ(tytan_.destroy_enclave(late.value), tee::EnclaveError::kOk);
+}
+
+TEST_F(TyTanTest, SealUnsealBoundToMeasurement) {
+  tytan_.boot();
+  const auto a = tytan_.create_enclave(module_image("a"));
+  const auto b = tytan_.create_enclave(module_image("b"));
+  const std::vector<std::uint8_t> data = {0xCA, 0xFE, 0x01};
+  const auto blob = tytan_.seal(a.value, data);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_NE(blob.value.ciphertext, data) << "sealed blob is not plaintext";
+  const auto opened = tytan_.unseal(a.value, blob.value);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value, data);
+  EXPECT_EQ(tytan_.unseal(b.value, blob.value).error, tee::EnclaveError::kVerificationFailed)
+      << "a different trustlet cannot unseal";
+}
+
+TEST_F(TyTanTest, TamperedBlobRejected) {
+  tytan_.boot();
+  const auto a = tytan_.create_enclave(module_image("a"));
+  auto blob = tytan_.seal(a.value, std::vector<std::uint8_t>{1, 2, 3});
+  blob.value.ciphertext[0] ^= 0xFF;
+  EXPECT_EQ(tytan_.unseal(a.value, blob.value).error, tee::EnclaveError::kVerificationFailed);
+}
+
+TEST_F(TyTanTest, RealTimeEntryCostIsBounded) {
+  tytan_.boot();
+  const auto a = tytan_.create_enclave(module_image("a"));
+  const sim::Cycle before = machine_.cpu(0).cycles();
+  tytan_.call_enclave(a.value, 0, [](tee::EnclaveContext&) {});
+  const sim::Cycle entry_exit = machine_.cpu(0).cycles() - before;
+  EXPECT_LE(entry_exit, tytan_.worst_case_entry_cycles())
+      << "bounded trustlet entry/exit is the real-time guarantee";
+}
+
+}  // namespace

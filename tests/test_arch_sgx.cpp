@@ -1,0 +1,177 @@
+// SGX model: EPC/EPCM enforcement, MEE encryption, paging, attestation.
+#include <gtest/gtest.h>
+
+#include "arch/sgx.h"
+#include "attacks/transient/environment.h"
+#include "sim/dma.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+
+namespace {
+
+class SgxTest : public ::testing::Test {
+ protected:
+  SgxTest() : machine_(sim::MachineProfile::server(), 21), sgx_(machine_) {}
+
+  tee::EnclaveImage image(const std::string& name = "app") {
+    tee::EnclaveImage i;
+    i.name = name;
+    i.code = {0xC0, 0xDE};
+    i.secret = {'s', 'e', 'c', 'r', 'e', 't', '!', '!'};
+    return i;
+  }
+
+  sim::Machine machine_;
+  arch::Sgx sgx_;
+};
+
+TEST_F(SgxTest, CreateCallDestroyLifecycle) {
+  const auto created = sgx_.create_enclave(image());
+  ASSERT_TRUE(created.ok());
+  std::string read_back;
+  EXPECT_EQ(sgx_.call_enclave(created.value, 0,
+                              [&read_back](tee::EnclaveContext& ctx) {
+                                for (std::uint32_t i = 0; i < 8; ++i) {
+                                  read_back.push_back(static_cast<char>(ctx.read8(2 + i)));
+                                }
+                              }),
+            tee::EnclaveError::kOk);
+  EXPECT_EQ(read_back, "secret!!") << "the enclave sees its own plaintext";
+  EXPECT_EQ(sgx_.destroy_enclave(created.value), tee::EnclaveError::kOk);
+  EXPECT_EQ(sgx_.destroy_enclave(created.value), tee::EnclaveError::kNoSuchEnclave);
+}
+
+TEST_F(SgxTest, DramHoldsOnlyCiphertext) {
+  const auto created = sgx_.create_enclave(image());
+  ASSERT_TRUE(created.ok());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  // Raw DRAM at the secret's location must NOT contain the plaintext.
+  std::vector<std::uint8_t> raw(8);
+  machine_.memory().read_block(info->base + 2, raw);
+  EXPECT_NE(std::string(raw.begin(), raw.end()), "secret!!");
+  // And the bus peek (CPU-side decrypting path) must.
+  EXPECT_EQ(machine_.bus().peek(info->base + 4, info->domain) & 0xFFu,
+            static_cast<sim::Word>('c'));
+}
+
+TEST_F(SgxTest, DmaSeesCiphertextOnly) {
+  const auto created = sgx_.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  sim::DmaDevice device(machine_.bus(), arch::kUntrustedDeviceDomain);
+  const auto bytes = device.exfiltrate(info->base + 2, 8);
+  ASSERT_EQ(bytes.size(), 8u) << "SGX does not veto the transaction...";
+  EXPECT_NE(std::string(bytes.begin(), bytes.end()), "secret!!")
+      << "...but the MEE makes the data useless";
+}
+
+TEST_F(SgxTest, EpcmBlocksArchitecturalOsAccess) {
+  const auto created = sgx_.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  // Malicious OS maps the EPC frame into its own address space.
+  auto aspace = machine_.create_address_space();
+  aspace.map(0x70000000, sim::page_base(info->base), sim::pte::kWritable | sim::pte::kUser);
+  machine_.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor,
+                                 aspace.root(), 5);
+  const auto r = machine_.cpu(0).mmu().translate(0x70000000, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kSecurityViolation);
+}
+
+TEST_F(SgxTest, EpcmLinearAddressBindingStopsRemappingAttacks) {
+  const auto created = sgx_.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  ASSERT_EQ(sgx_.bind_va(created.value, 0, 0x00010000), tee::EnclaveError::kOk);
+
+  auto aspace = machine_.create_address_space();
+  aspace.map(0x00010000, sim::page_base(info->base), sim::pte::kUser | sim::pte::kWritable);
+  aspace.map(0x00900000, sim::page_base(info->base), sim::pte::kUser | sim::pte::kWritable);
+  machine_.cpu(0).switch_context(info->domain, sim::Privilege::kUser, aspace.root(), 6);
+
+  // The bound linear address translates; the OS's alias does not.
+  EXPECT_EQ(machine_.cpu(0).mmu().translate(0x00010000, sim::AccessType::kRead).fault,
+            sim::Fault::kNone);
+  EXPECT_EQ(machine_.cpu(0).mmu().translate(0x00900000, sim::AccessType::kRead).fault,
+            sim::Fault::kSecurityViolation)
+      << "EPCM records the EADD linear address; remaps are vetoed";
+}
+
+TEST_F(SgxTest, DestroyScrubsEpcFrames) {
+  const auto created = sgx_.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  const sim::PhysAddr base = info->base;
+  sgx_.destroy_enclave(created.value);
+  for (sim::PhysAddr a = base; a < base + sim::kPageSize; a += 4) {
+    ASSERT_EQ(machine_.memory().read32(a), 0u);
+  }
+}
+
+TEST_F(SgxTest, EpcExhaustionReported) {
+  tee::EnclaveImage big = image("big");
+  big.heap_pages = 200;  // EPC is 128 pages (minus the quoting enclave).
+  const auto r = sgx_.create_enclave(big);
+  EXPECT_EQ(r.error, tee::EnclaveError::kOutOfMemory);
+}
+
+TEST_F(SgxTest, EwbElduRoundTripPreservesContentAndLoadsL1) {
+  const auto created = sgx_.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  const sim::PhysAddr secret_line = info->base;
+
+  ASSERT_EQ(sgx_.ewb(created.value, 0), tee::EnclaveError::kOk);
+  // Swapped out: frame is scrubbed.
+  EXPECT_EQ(machine_.memory().read32(secret_line), 0u);
+
+  ASSERT_EQ(sgx_.eldu(created.value, 0, /*core=*/1), tee::EnclaveError::kOk);
+  EXPECT_TRUE(machine_.caches().in_l1d(1, secret_line))
+      << "ELDU decrypts through the target core's L1 (the Foreshadow lever)";
+  // Content restored: the enclave still reads its secret.
+  std::string read_back;
+  sgx_.call_enclave(created.value, 0, [&read_back](tee::EnclaveContext& ctx) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      read_back.push_back(static_cast<char>(ctx.read8(2 + i)));
+    }
+  });
+  EXPECT_EQ(read_back, "secret!!");
+}
+
+TEST_F(SgxTest, LocalAttestationVerifies) {
+  const auto created = sgx_.create_enclave(image());
+  tee::Nonce nonce{};
+  nonce[3] = 9;
+  const auto report = sgx_.attest(created.value, nonce);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(tee::verify_report(sgx_.report_verification_key(), report.value, nonce));
+  EXPECT_EQ(report.value.measurement, tee::measure_image(image()));
+}
+
+TEST_F(SgxTest, RemoteQuoteVerifies) {
+  const auto created = sgx_.create_enclave(image());
+  tee::Nonce nonce{};
+  nonce[0] = 1;
+  const auto quote = sgx_.quote(created.value, nonce);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(tee::verify_quote(quote.value, sgx_.attestation_n(), sgx_.attestation_e(),
+                                sgx_.report_verification_key(), nonce));
+}
+
+TEST_F(SgxTest, NoCacheMaintenanceOnExitByDefault) {
+  const auto created = sgx_.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx_.enclave(created.value);
+  sgx_.call_enclave(created.value, 0, [](tee::EnclaveContext& ctx) { ctx.read8(0); });
+  EXPECT_TRUE(machine_.caches().in_l1d(0, info->base))
+      << "SGX leaves enclave cache lines observable (the §4.1 weakness)";
+}
+
+TEST_F(SgxTest, FlushL1MitigationScrubsOnExit) {
+  arch::Sgx::Config config;
+  config.flush_l1_on_exit = true;
+  sim::Machine machine(sim::MachineProfile::server(), 22);
+  arch::Sgx sgx(machine, config);
+  const auto created = sgx.create_enclave(image());
+  const tee::EnclaveInfo* info = sgx.enclave(created.value);
+  sgx.call_enclave(created.value, 0, [](tee::EnclaveContext& ctx) { ctx.read8(0); });
+  EXPECT_FALSE(machine.caches().in_l1d(0, info->base));
+}
+
+}  // namespace

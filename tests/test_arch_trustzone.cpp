@@ -1,0 +1,187 @@
+// TrustZone and Sanctuary models (the mobile §3.2 pair).
+#include <gtest/gtest.h>
+
+#include "arch/sanctuary.h"
+#include "arch/trustzone.h"
+#include "sim/dma.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+
+namespace {
+
+tee::EnclaveImage ta_image(const std::string& name = "trusted-app") {
+  tee::EnclaveImage i;
+  i.name = name;
+  i.code = {0x7A};
+  i.secret = {'t', 'z'};
+  return i;
+}
+
+class TrustZoneTest : public ::testing::Test {
+ protected:
+  TrustZoneTest() : machine_(sim::MachineProfile::mobile(), 41), tz_(machine_) {}
+
+  sim::Machine machine_;
+  arch::TrustZone tz_;
+};
+
+TEST_F(TrustZoneTest, UnsignedImageIsRejected) {
+  EXPECT_EQ(tz_.create_enclave(ta_image()).error, tee::EnclaveError::kVerificationFailed)
+      << "without the vendor trust relationship, nothing deploys";
+}
+
+TEST_F(TrustZoneTest, SingleEnclaveOnly) {
+  tz_.vendor_sign(ta_image("a"));
+  tz_.vendor_sign(ta_image("b"));
+  ASSERT_TRUE(tz_.create_enclave(ta_image("a")).ok());
+  EXPECT_EQ(tz_.create_enclave(ta_image("b")).error, tee::EnclaveError::kCapacityExceeded)
+      << "TrustZone provides exactly one enclave — the secure world";
+}
+
+TEST_F(TrustZoneTest, NormalWorldCannotTouchSecureRam) {
+  tz_.vendor_sign(ta_image());
+  const auto created = tz_.create_enclave(ta_image());
+  const tee::EnclaveInfo* info = tz_.enclave(created.value);
+  const auto r = machine_.bus().cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor,
+                                         info->base);
+  EXPECT_EQ(r.fault, sim::Fault::kSecurityViolation);
+  // Secure world reads fine.
+  const auto s = machine_.bus().cpu_read(0, arch::kSecureWorldDomain,
+                                         sim::Privilege::kMachine, info->base);
+  EXPECT_EQ(s.fault, sim::Fault::kNone);
+}
+
+TEST_F(TrustZoneTest, DmaRegionAssignmentFiltersDevices) {
+  tz_.vendor_sign(ta_image());
+  const auto created = tz_.create_enclave(ta_image());
+  const tee::EnclaveInfo* info = tz_.enclave(created.value);
+  sim::DmaDevice evil(machine_.bus(), arch::kUntrustedDeviceDomain, "evil");
+  EXPECT_TRUE(evil.exfiltrate(info->base, 8).empty()) << "TZASC vetoes normal-world DMA";
+  sim::DmaDevice secure_dev(machine_.bus(), arch::kSecureDeviceDomain, "fingerprint");
+  EXPECT_EQ(secure_dev.exfiltrate(info->base, 8).size(), 8u)
+      << "secure-world-assigned devices reach secure RAM (secure channels)";
+}
+
+TEST_F(TrustZoneTest, DeviceRegionAssignmentProtectsPeripheralBuffers) {
+  const sim::PhysAddr buffer = machine_.alloc_frame();
+  machine_.memory().write32(buffer, 0x5EC0DE);
+  tz_.assign_device_region(buffer, 1);
+  EXPECT_EQ(machine_.bus().cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor, buffer)
+                .fault,
+            sim::Fault::kSecurityViolation);
+  EXPECT_EQ(machine_.bus()
+                .cpu_read(0, arch::kSecureWorldDomain, sim::Privilege::kMachine, buffer)
+                .value,
+            0x5EC0DEu);
+}
+
+TEST_F(TrustZoneTest, SecureWorldServiceRunsWithSecureDomain) {
+  tz_.vendor_sign(ta_image());
+  const auto created = tz_.create_enclave(ta_image());
+  std::string read_back;
+  EXPECT_EQ(tz_.call_enclave(created.value, 0,
+                             [&read_back](tee::EnclaveContext& ctx) {
+                               read_back.push_back(static_cast<char>(ctx.read8(1)));
+                               read_back.push_back(static_cast<char>(ctx.read8(2)));
+                             }),
+            tee::EnclaveError::kOk);
+  EXPECT_EQ(read_back, "tz");
+  // After the SMC return, the core is back in the normal world.
+  EXPECT_EQ(machine_.cpu(0).domain(), arch::kOsDomain);
+}
+
+TEST_F(TrustZoneTest, NoCacheMaintenanceOnWorldSwitch) {
+  tz_.vendor_sign(ta_image());
+  const auto created = tz_.create_enclave(ta_image());
+  const tee::EnclaveInfo* info = tz_.enclave(created.value);
+  tz_.call_enclave(created.value, 0, [](tee::EnclaveContext& ctx) { ctx.read8(0); });
+  EXPECT_TRUE(machine_.caches().in_llc(info->base))
+      << "secure-world lines stay in the shared cache (the TruSpy condition)";
+}
+
+TEST_F(TrustZoneTest, NoAttestationProtocol) {
+  tz_.vendor_sign(ta_image());
+  const auto created = tz_.create_enclave(ta_image());
+  EXPECT_EQ(tz_.attest(created.value, tee::Nonce{}).error, tee::EnclaveError::kUnsupported);
+}
+
+class SanctuaryTest : public ::testing::Test {
+ protected:
+  SanctuaryTest() : machine_(sim::MachineProfile::mobile(), 42), sanctuary_(machine_) {}
+
+  sim::Machine machine_;
+  arch::Sanctuary sanctuary_;
+};
+
+TEST_F(SanctuaryTest, ManyEnclavesWithoutVendorTrust) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(sanctuary_.create_enclave(ta_image("sa" + std::to_string(i))).ok())
+        << "Sanctuary removes both the capacity and the signing bottleneck";
+  }
+  EXPECT_EQ(sanctuary_.enclave_count(), 5u);
+}
+
+TEST_F(SanctuaryTest, SaMemoryBoundToItsDomain) {
+  const auto a = sanctuary_.create_enclave(ta_image("a"));
+  const auto b = sanctuary_.create_enclave(ta_image("b"));
+  const tee::EnclaveInfo* ia = sanctuary_.enclave(a.value);
+  const tee::EnclaveInfo* ib = sanctuary_.enclave(b.value);
+  // OS cannot read SA memory; SA cannot read the other SA's memory.
+  EXPECT_EQ(machine_.bus().cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor,
+                                    ia->base).fault,
+            sim::Fault::kSecurityViolation);
+  EXPECT_EQ(machine_.bus().cpu_read(1, ia->domain, sim::Privilege::kUser, ib->base).fault,
+            sim::Fault::kSecurityViolation);
+  EXPECT_EQ(machine_.bus().cpu_read(1, ia->domain, sim::Privilege::kUser, ia->base).fault,
+            sim::Fault::kNone);
+}
+
+TEST_F(SanctuaryTest, SaMemoryExcludedFromSharedCache) {
+  const auto created = sanctuary_.create_enclave(ta_image());
+  const tee::EnclaveInfo* info = sanctuary_.enclave(created.value);
+  sanctuary_.call_enclave(created.value, 0, [](tee::EnclaveContext& ctx) {
+    ctx.read8(0);
+    ctx.read8(0);
+  });
+  EXPECT_FALSE(machine_.caches().in_llc(info->base))
+      << "the §4.1 defense: SA lines never reach the shared cache";
+  // And the private caches were flushed on exit.
+  EXPECT_FALSE(machine_.caches().in_l1d(sanctuary_.config().sanctuary_core, info->base));
+}
+
+TEST_F(SanctuaryTest, DmaIntoSaMemoryBlocked) {
+  const auto created = sanctuary_.create_enclave(ta_image());
+  const tee::EnclaveInfo* info = sanctuary_.enclave(created.value);
+  sim::DmaDevice device(machine_.bus(), arch::kUntrustedDeviceDomain);
+  EXPECT_TRUE(device.exfiltrate(info->base, 8).empty());
+}
+
+TEST_F(SanctuaryTest, ExecutionPinnedToSanctuaryCore) {
+  const auto created = sanctuary_.create_enclave(ta_image());
+  sim::CoreId observed = 0xFF;
+  sanctuary_.call_enclave(created.value, /*requested core=*/3,
+                          [&observed](tee::EnclaveContext& ctx) { observed = ctx.core(); });
+  EXPECT_EQ(observed, sanctuary_.config().sanctuary_core);
+}
+
+TEST_F(SanctuaryTest, AttestationViaVendorPrimitivesVerifies) {
+  const auto created = sanctuary_.create_enclave(ta_image());
+  tee::Nonce nonce{};
+  nonce[2] = 0x5A;
+  const auto report = sanctuary_.attest(created.value, nonce);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(tee::verify_report(sanctuary_.report_verification_key(), report.value, nonce));
+}
+
+TEST_F(SanctuaryTest, DestroyRestoresNormalMemory) {
+  const auto created = sanctuary_.create_enclave(ta_image());
+  const sim::PhysAddr base = sanctuary_.enclave(created.value)->base;
+  sanctuary_.destroy_enclave(created.value);
+  EXPECT_EQ(machine_.bus().cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor, base)
+                .fault,
+            sim::Fault::kNone);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Software cache side-channel attacks (§4.1) end-to-end: the three
+// classic attacks against a plain victim, and the architectural defense
+// matrix — SGX/TrustZone (vulnerable) vs. Sanctum (LLC partitioning) vs.
+// Sanctuary (exclusion+flush) vs. constant-time software.
+#include <gtest/gtest.h>
+
+#include "arch/sanctuary.h"
+#include "arch/sanctum.h"
+#include "arch/sgx.h"
+#include "arch/trustzone.h"
+#include "attacks/cache/cache_attacks.h"
+#include "attacks/cache/full_key_recovery.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace attacks = hwsec::attacks;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+const crypto::AesKey kKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                             0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+attacks::VictimFn wrap(attacks::AesCacheVictim& victim) {
+  return [&victim](const crypto::AesBlock& pt) { return victim.encrypt(pt); };
+}
+
+attacks::VictimFn wrap(attacks::EnclaveAesVictim& victim) {
+  return [&victim](const crypto::AesBlock& pt) { return victim.encrypt(pt); };
+}
+
+TEST(EvictionSets, FindsCongruentLinesWithUnrestrictedAllocator) {
+  sim::Machine machine(sim::MachineProfile::server(), 81);
+  attacks::EvictionSetBuilder builder(machine, nullptr);
+  const sim::PhysAddr target = machine.alloc_frame();
+  const auto set = builder.build(target, 16);
+  ASSERT_EQ(set.size(), 16u);
+  const auto& llc = machine.caches().llc();
+  for (const sim::PhysAddr a : set) {
+    EXPECT_EQ(llc.set_index(a), llc.set_index(target));
+  }
+  // Accessing the full set must evict the target from the LLC.
+  machine.touch(0, 0, target);
+  ASSERT_TRUE(machine.caches().in_llc(target));
+  for (const sim::PhysAddr a : set) {
+    machine.touch(0, 0, a);
+  }
+  EXPECT_FALSE(machine.caches().in_llc(target));
+}
+
+TEST(FlushReload, RecoversKeyHighNibblesFromPlainVictim) {
+  sim::Machine machine(sim::MachineProfile::server(), 82);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, /*core=*/1, /*domain=*/7, tables, kKey);
+  attacks::CacheAttackConfig config;
+  config.trials = 800;
+  const auto result = attacks::flush_reload_attack(machine, victim.layout(), wrap(victim),
+                                                   config);
+  EXPECT_EQ(result.correct_nibbles(kKey), 16u);
+  EXPECT_GT(result.mean_margin(), 1.05);
+}
+
+TEST(PrimeProbe, RecoversKeyHighNibblesCrossCore) {
+  sim::Machine machine(sim::MachineProfile::server(), 83);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  attacks::CacheAttackConfig config;
+  config.trials = 800;
+  const auto result = attacks::prime_probe_attack(machine, victim.layout(), wrap(victim),
+                                                  config);
+  EXPECT_GE(result.correct_nibbles(kKey), 15u)
+      << "Prime+Probe needs no shared memory, only a shared LLC";
+}
+
+TEST(EvictTime, RecoversMostNibblesDespiteNoise) {
+  sim::Machine machine(sim::MachineProfile::server(), 84);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  attacks::CacheAttackConfig config;
+  config.trials = 6000;  // Evict+Time is the noisiest of the three.
+  const auto result =
+      attacks::evict_time_attack(machine, victim.layout(), wrap(victim), config);
+  EXPECT_GE(result.correct_nibbles(kKey), 12u);
+}
+
+TEST(CacheDefenses, SgxEnclaveIsStillVulnerableToPrimeProbe) {
+  sim::Machine machine(sim::MachineProfile::server(), 85);
+  arch::Sgx sgx(machine);
+  attacks::EnclaveAesVictim victim(sgx, kKey, /*core=*/1);
+  attacks::CacheAttackConfig config;
+  config.trials = 800;
+  const auto result = attacks::prime_probe_attack(machine, victim.layout(), wrap(victim),
+                                                  config);
+  EXPECT_GE(result.correct_nibbles(kKey), 15u)
+      << "SGX provides no architectural cache SCA protection (§4.1)";
+}
+
+TEST(CacheDefenses, TrustZoneSecureWorldIsVulnerableToPrimeProbe) {
+  sim::Machine machine(sim::MachineProfile::mobile(), 86);
+  arch::TrustZone tz(machine);
+  // Vendor-sign the exact measured identity EnclaveAesVictim deploys
+  // (name + code + heap layout; the key is provisioned, not measured).
+  tee::EnclaveImage image;
+  image.name = "aes-service";
+  image.code = {0xAE, 0x50};
+  image.heap_pages = 2;
+  tz.vendor_sign(image);
+  attacks::EnclaveAesVictim victim(tz, kKey, 0);
+  attacks::CacheAttackConfig config;
+  config.trials = 800;
+  const auto result = attacks::prime_probe_attack(machine, victim.layout(), wrap(victim),
+                                                  config);
+  EXPECT_GE(result.correct_nibbles(kKey), 15u) << "the TruSpy result";
+}
+
+TEST(CacheDefenses, SanctumPartitioningStarvesTheAttack) {
+  sim::Machine machine(sim::MachineProfile::server(), 87);
+  arch::Sanctum sanctum(machine);
+  attacks::EnclaveAesVictim victim(sanctum, kKey, 1);
+  attacks::CacheAttackConfig config;
+  config.trials = 400;
+  // The attacker allocates through the OS allocator: page coloring keeps
+  // every attacker frame out of the enclave's LLC sets.
+  const auto result = attacks::prime_probe_attack(
+      machine, victim.layout(), wrap(victim), config,
+      [&sanctum]() { return sanctum.alloc_os_frame(); });
+  EXPECT_LE(result.correct_nibbles(kKey), 4u)
+      << "with disjoint LLC sets there is nothing to prime or probe";
+}
+
+TEST(CacheDefenses, SanctuaryExclusionBlindsTheAttack) {
+  sim::Machine machine(sim::MachineProfile::mobile(), 88);
+  arch::Sanctuary sanctuary(machine);
+  attacks::EnclaveAesVictim victim(sanctuary, kKey, 1);
+  attacks::CacheAttackConfig config;
+  config.trials = 400;
+  const auto result = attacks::prime_probe_attack(machine, victim.layout(), wrap(victim),
+                                                  config);
+  EXPECT_LE(result.correct_nibbles(kKey), 4u)
+      << "SA table lines never enter the shared cache";
+}
+
+TEST(CacheDefenses, ConstantTimeSoftwareHasNoFootprint) {
+  // The software countermeasure (§4.1 [3]): no table lookups at all.
+  sim::Machine machine(sim::MachineProfile::server(), 89);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  crypto::AesConstantTime ct_aes(kKey);  // un-instrumented: no touches.
+  attacks::TableLayout layout = attacks::layout_tables(tables);
+  attacks::CacheAttackConfig config;
+  config.trials = 400;
+  const auto result = attacks::prime_probe_attack(
+      machine, layout,
+      [&ct_aes](const crypto::AesBlock& pt) {
+        return attacks::AesCacheVictim::Run{ct_aes.encrypt(pt), 0};
+      },
+      config);
+  EXPECT_LE(result.correct_nibbles(kKey), 4u);
+}
+
+TEST(FullKeyRecovery, SecondRoundAttackRecoversAll128Bits) {
+  // The E3 completion: first-round nibbles (64 bits) + Osvik et al.'s
+  // second-round equations (the other 64) = the entire key, via the
+  // cache channel alone.
+  sim::Machine machine(sim::MachineProfile::server(), 91);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  const auto result =
+      attacks::full_key_attack(machine, victim.layout(), wrap(victim), 600);
+  ASSERT_TRUE(result.recovered)
+      << "eq survivors: " << result.equation_survivors[0] << "/"
+      << result.equation_survivors[1] << "/" << result.equation_survivors[2] << "/"
+      << result.equation_survivors[3];
+  EXPECT_EQ(result.key, kKey);
+}
+
+TEST(FullKeyRecovery, WorksAgainstAnSgxEnclaveVictim) {
+  sim::Machine machine(sim::MachineProfile::server(), 92);
+  arch::Sgx sgx(machine);
+  attacks::EnclaveAesVictim victim(sgx, kKey, 1);
+  const auto result =
+      attacks::full_key_attack(machine, victim.layout(), wrap(victim), 600);
+  ASSERT_TRUE(result.recovered);
+  EXPECT_EQ(result.key, kKey);
+}
+
+TEST(FullKeyRecovery, TooFewObservationsFailGracefully) {
+  sim::Machine machine(sim::MachineProfile::server(), 93);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  const auto result =
+      attacks::full_key_attack(machine, victim.layout(), wrap(victim), 16);
+  EXPECT_FALSE(result.recovered);
+}
+
+TEST(FlushReload, MoreTrialsImproveRecovery) {
+  sim::Machine machine(sim::MachineProfile::server(), 90);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  attacks::CacheAttackConfig few;
+  few.trials = 8;
+  attacks::CacheAttackConfig many;
+  many.trials = 600;
+  const auto weak =
+      attacks::flush_reload_attack(machine, victim.layout(), wrap(victim), few);
+  const auto strong =
+      attacks::flush_reload_attack(machine, victim.layout(), wrap(victim), many);
+  EXPECT_LE(weak.correct_nibbles(kKey), strong.correct_nibbles(kKey));
+  EXPECT_EQ(strong.correct_nibbles(kKey), 16u);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Physical attacks (§5) end-to-end: Kocher/Dhem timing attack, the
+// Bellcore RSA-CRT fault attack, AES DFA, and CLKSCREW against the
+// TrustZone secure world.
+#include <gtest/gtest.h>
+
+#include "arch/trustzone.h"
+#include "attacks/physical/clkscrew.h"
+#include "attacks/physical/fault_attacks.h"
+#include "attacks/physical/timing_attack.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace attacks = hwsec::attacks;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+std::uint32_t bit_length(crypto::u64 v) {
+  std::uint32_t bits = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+TEST(TimingAttack, RecoversExponentFromNaiveImplementation) {
+  hwsec::sim::Rng rng(101);
+  const auto key = crypto::rsa_generate(rng);
+  const auto samples = attacks::collect_timing_samples(key, 6000, /*noise_sigma=*/2.0,
+                                              /*constant_time_victim=*/false);
+  auto result = attacks::timing_attack(key.n, samples, bit_length(key.d));
+  attacks::score_against(result, key.d);
+  EXPECT_EQ(result.recovered_d, key.d)
+      << "recovered " << result.bits_correct << "/" << result.bits_decided << " bits";
+}
+
+TEST(TimingAttack, ConstantTimeLadderReducesToGuessing) {
+  hwsec::sim::Rng rng(102);
+  const auto key = crypto::rsa_generate(rng);
+  const auto samples = attacks::collect_timing_samples(key, 6000, /*noise_sigma=*/2.0,
+                                              /*constant_time_victim=*/true);
+  auto result = attacks::timing_attack(key.n, samples, bit_length(key.d));
+  attacks::score_against(result, key.d);
+  EXPECT_NE(result.recovered_d, key.d);
+  EXPECT_LT(result.correct_fraction(), 0.80)
+      << "against uniform-cost exponentiation the per-bit decisions are noise";
+}
+
+TEST(TimingAttack, MoreSamplesImproveRecovery) {
+  hwsec::sim::Rng rng(103);
+  const auto key = crypto::rsa_generate(rng);
+  const auto few = attacks::collect_timing_samples(key, 150, 2.0, false, 7);
+  const auto many = attacks::collect_timing_samples(key, 8000, 2.0, false, 7);
+  auto weak = attacks::timing_attack(key.n, few, bit_length(key.d));
+  auto strong = attacks::timing_attack(key.n, many, bit_length(key.d));
+  attacks::score_against(weak, key.d);
+  attacks::score_against(strong, key.d);
+  EXPECT_LT(weak.bits_correct, strong.bits_correct);
+}
+
+TEST(RsaCrtFault, OneFaultySignatureFactorsTheModulus) {
+  hwsec::sim::Rng rng(104);
+  const auto key = crypto::rsa_generate(rng);
+  const crypto::u64 message = 0xC0FFEE % key.n;
+
+  crypto::Instrumentation glitch;
+  bool armed = true;
+  glitch.fault = [&armed](std::uint32_t v) {
+    if (armed) {
+      armed = false;
+      return v ^ 0x8u;  // one flipped bit in the p-half.
+    }
+    return v;
+  };
+  const crypto::u64 faulty = crypto::rsa_sign_crt(message, key, glitch);
+  ASSERT_NE(faulty, crypto::rsa_sign_crt(message, key));
+
+  const crypto::u64 factor = attacks::rsa_crt_fault_attack(key.n, key.e, message, faulty);
+  ASSERT_NE(factor, 0u);
+  EXPECT_TRUE(factor == key.p || factor == key.q);
+  EXPECT_EQ(key.n % factor, 0u);
+}
+
+TEST(RsaCrtFault, CorrectSignatureYieldsNothing) {
+  hwsec::sim::Rng rng(105);
+  const auto key = crypto::rsa_generate(rng);
+  const crypto::u64 message = 1234;
+  const crypto::u64 good = crypto::rsa_sign_crt(message, key);
+  EXPECT_EQ(attacks::rsa_crt_fault_attack(key.n, key.e, message, good), 0u);
+}
+
+TEST(RsaCrtFault, VerifyBeforeReleaseCountermeasureBlocksTheAttack) {
+  hwsec::sim::Rng rng(106);
+  const auto key = crypto::rsa_generate(rng);
+  crypto::Instrumentation glitch;
+  bool armed = true;
+  glitch.fault = [&armed](std::uint32_t v) {
+    if (armed) {
+      armed = false;
+      return v ^ 0x8u;
+    }
+    return v;
+  };
+  EXPECT_EQ(crypto::rsa_sign_crt_checked(0xBEEF % key.n, key, glitch), 0u)
+      << "the checked path refuses to release the exploitable signature";
+}
+
+TEST(InvertKeySchedule, RoundTripsThroughExpansion) {
+  const crypto::AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                              0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const auto ks = crypto::expand_key(key);
+  const std::array<std::uint32_t, 4> round10 = {ks.words[40], ks.words[41], ks.words[42],
+                                                ks.words[43]};
+  EXPECT_EQ(attacks::invert_key_schedule(round10), key);
+}
+
+TEST(AesDfa, SingleBitFaultsRecoverTheFullKey) {
+  const crypto::AesKey key = {0x10, 0xa5, 0x88, 0x69, 0xd7, 0x4b, 0xe5, 0xa3,
+                              0x74, 0xcf, 0x86, 0x7c, 0xfb, 0x47, 0x38, 0x59};
+  sim::FaultInjector injector(107);
+  injector.set_model(sim::FaultInjector::Model::kSingleBit);
+  injector.set_probability(0.25);  // per state word at the round boundary.
+
+  crypto::Instrumentation instr;
+  instr.fault = [&injector](std::uint32_t v) { return injector.corrupt(v); };
+  crypto::AesTTable leaky(key, instr);
+  crypto::AesTTable clean(key);
+
+  hwsec::sim::Rng rng(108);
+  std::vector<attacks::DfaPair> pairs;
+  while (pairs.size() < 300) {
+    crypto::AesBlock pt;
+    for (auto& b : pt) {
+      b = static_cast<std::uint8_t>(rng.next_u32());
+    }
+    const auto correct = clean.encrypt(pt);
+    const auto faulty = leaky.encrypt_with_fault_round(pt, 10);
+    if (faulty != correct) {
+      pairs.push_back({correct, faulty});
+    }
+  }
+  const auto result = attacks::aes_dfa_attack(pairs);
+  ASSERT_TRUE(result.key_recovered)
+      << "pairs consumed: " << result.pairs_consumed;
+  EXPECT_EQ(result.key, key);
+}
+
+TEST(AesDfa, InsufficientPairsLeaveAmbiguity) {
+  const crypto::AesKey key = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  sim::FaultInjector injector(109);
+  injector.set_probability(0.25);
+  crypto::Instrumentation instr;
+  instr.fault = [&injector](std::uint32_t v) { return injector.corrupt(v); };
+  crypto::AesTTable leaky(key, instr);
+  crypto::AesTTable clean(key);
+  std::vector<attacks::DfaPair> pairs;
+  hwsec::sim::Rng rng(110);
+  while (pairs.size() < 3) {  // far too few to cover 16 positions.
+    crypto::AesBlock pt;
+    for (auto& b : pt) {
+      b = static_cast<std::uint8_t>(rng.next_u32());
+    }
+    const auto correct = clean.encrypt(pt);
+    const auto faulty = leaky.encrypt_with_fault_round(pt, 10);
+    if (faulty != correct) {
+      pairs.push_back({correct, faulty});
+    }
+  }
+  EXPECT_FALSE(attacks::aes_dfa_attack(pairs).key_recovered);
+}
+
+class ClkscrewTest : public ::testing::Test {
+ protected:
+  ClkscrewTest() : machine_(sim::MachineProfile::mobile(), 111), tz_(machine_) {
+    key_ = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04,
+            0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c};
+    tee::EnclaveImage image;
+    image.name = "tz-crypto-service";
+    image.code = {0x77};
+    image.secret.assign(key_.begin(), key_.end());
+    tz_.vendor_sign(image);
+    victim_ = tz_.create_enclave(image).value;
+  }
+
+  /// The secure world's AES service: key never leaves the secure world;
+  /// the computation's round-10 state flows through the SoC's (glitched)
+  /// datapath, i.e. the machine's fault injector.
+  std::function<crypto::AesBlock(const crypto::AesBlock&)> secure_encrypt() {
+    return [this](const crypto::AesBlock& pt) {
+      crypto::AesBlock ct{};
+      tz_.call_enclave(victim_, 0, [this, &pt, &ct](tee::EnclaveContext& ctx) {
+        crypto::AesKey key{};
+        for (std::uint32_t i = 0; i < 16; ++i) {
+          key[i] = ctx.read8(1 + i);
+        }
+        crypto::Instrumentation instr;
+        instr.fault = [&ctx](std::uint32_t v) { return ctx.machine().injector().corrupt(v); };
+        crypto::AesTTable aes(key, instr);
+        ct = aes.encrypt_with_fault_round(pt, 10);
+      });
+      return ct;
+    };
+  }
+
+  sim::Machine machine_;
+  arch::TrustZone tz_;
+  tee::EnclaveId victim_ = tee::kInvalidEnclave;
+  crypto::AesKey key_;
+};
+
+TEST_F(ClkscrewTest, ExtractsSecureWorldKeyWithoutPhysicalAccess) {
+  attacks::ClkscrewConfig config;
+  config.attack_point = {1080.0, 0.70};  // moderately past the envelope:
+  // far enough for faults, close enough that most runs fault a single word.
+  const auto result = attacks::clkscrew_attack(machine_, secure_encrypt(), config);
+  ASSERT_FALSE(result.blocked_by_interlock);
+  EXPECT_GT(result.fault_probability, 0.0);
+  ASSERT_TRUE(result.dfa.key_recovered)
+      << "faulty pairs: " << result.faulty_pairs << ", consumed: "
+      << result.dfa.pairs_consumed;
+  EXPECT_EQ(result.dfa.key, key_)
+      << "normal-world software extracted the secure-world key (CLKSCREW)";
+}
+
+TEST_F(ClkscrewTest, HardwareInterlockBlocksTheAttack) {
+  machine_.dvfs().enforce_envelope(true);
+  attacks::ClkscrewConfig config;
+  config.attack_point = {1080.0, 0.70};
+  const auto result = attacks::clkscrew_attack(machine_, secure_encrypt(), config);
+  EXPECT_TRUE(result.blocked_by_interlock);
+  EXPECT_FALSE(result.dfa.key_recovered);
+}
+
+TEST_F(ClkscrewTest, RatedPointsInduceNoFaults) {
+  attacks::ClkscrewConfig config;
+  config.attack_point = {1500.0, 1.00};  // a rated point: inside envelope.
+  config.max_invocations = 400;
+  const auto result = attacks::clkscrew_attack(machine_, secure_encrypt(), config);
+  EXPECT_EQ(result.fault_probability, 0.0);
+  EXPECT_EQ(result.faulty_pairs, 0u);
+  EXPECT_FALSE(result.dfa.key_recovered);
+}
+
+}  // namespace

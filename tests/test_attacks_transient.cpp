@@ -1,0 +1,233 @@
+// End-to-end transient-execution attacks (§4.2): Meltdown, Spectre
+// PHT/BTB/RSB, Foreshadow — each with its mitigation counter-check.
+#include <gtest/gtest.h>
+
+#include "arch/sgx.h"
+#include "attacks/transient/foreshadow.h"
+#include "attacks/transient/meltdown.h"
+#include "attacks/transient/sgxpectre.h"
+#include "attacks/transient/spectre.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace attacks = hwsec::attacks;
+
+namespace {
+
+TEST(Meltdown, ReadsKernelMemoryFromUserSpace) {
+  sim::Machine machine(sim::MachineProfile::server(), 61);
+  attacks::MeltdownAttack meltdown(machine, 0);
+  const sim::VirtAddr va = meltdown.plant_kernel_secret("TopSecretKernelData");
+  EXPECT_EQ(meltdown.leak_string(va, 19), "TopSecretKernelData");
+}
+
+TEST(Meltdown, MitigatedSiliconLeaksNothing) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.meltdown_fault_forwarding = false;
+  sim::Machine machine(profile, 62);
+  attacks::MeltdownAttack meltdown(machine, 0);
+  const sim::VirtAddr va = meltdown.plant_kernel_secret("X");
+  EXPECT_FALSE(meltdown.leak_byte(va).has_value());
+}
+
+TEST(Meltdown, MobileProfileIsImmune) {
+  // ARM-like cores don't forward across the permission check.
+  sim::Machine machine(sim::MachineProfile::mobile(), 63);
+  attacks::MeltdownAttack meltdown(machine, 0);
+  const sim::VirtAddr va = meltdown.plant_kernel_secret("X");
+  EXPECT_FALSE(meltdown.leak_byte(va).has_value());
+}
+
+TEST(SpectreV1, BoundsCheckBypassLeaksOutOfBounds) {
+  sim::Machine machine(sim::MachineProfile::server(), 64);
+  attacks::SpectreV1 spectre(machine, 0);
+  const sim::Word index = spectre.plant_secret("BYPASS");
+  EXPECT_EQ(spectre.leak_string(index, 6), "BYPASS");
+}
+
+TEST(SpectreV1, FenceMitigationClosesTheWindow) {
+  sim::Machine machine(sim::MachineProfile::server(), 65);
+  attacks::SpectreV1::Config config;
+  config.victim_has_fence = true;
+  attacks::SpectreV1 spectre(machine, 0, config);
+  const sim::Word index = spectre.plant_secret("Z");
+  EXPECT_FALSE(spectre.leak_byte(index).has_value());
+}
+
+TEST(SpectreV1, WorksOnMobileToo) {
+  // Spectre, unlike Meltdown, hits ARM-class cores as well (§4.2).
+  sim::Machine machine(sim::MachineProfile::mobile(), 66);
+  attacks::SpectreV1 spectre(machine, 0);
+  const sim::Word index = spectre.plant_secret("M");
+  const auto byte = spectre.leak_byte(index);
+  ASSERT_TRUE(byte.has_value());
+  EXPECT_EQ(*byte, 'M');
+}
+
+TEST(SpectreV2, CrossDomainTargetInjection) {
+  sim::Machine machine(sim::MachineProfile::server(), 67);
+  attacks::SpectreV2 spectre(machine, 0);
+  spectre.plant_secret("BTI!");
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto byte = spectre.leak_byte(i);
+    ASSERT_TRUE(byte.has_value()) << "offset " << i;
+    EXPECT_EQ(static_cast<char>(*byte), "BTI!"[i]);
+  }
+}
+
+TEST(SpectreV2, BtbTaggingDefeatsInjection) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.predictor.btb_tag_bits = 10;  // per-context-ish tagging.
+  sim::Machine machine(profile, 68);
+  attacks::SpectreV2 spectre(machine, 0);
+  spectre.plant_secret("X");
+  EXPECT_FALSE(spectre.leak_byte(0).has_value());
+}
+
+TEST(SpectreV2, PredictorFlushOnSwitchDefeatsInjection) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.predictor.flush_on_domain_switch = true;  // IBPB-style.
+  sim::Machine machine(profile, 69);
+  attacks::SpectreV2 spectre(machine, 0);
+  spectre.plant_secret("X");
+  EXPECT_FALSE(spectre.leak_byte(0).has_value());
+}
+
+TEST(SpectreRsb, PoisonedReturnAddressLeaks) {
+  sim::Machine machine(sim::MachineProfile::server(), 70);
+  attacks::SpectreRsb spectre(machine, 0);
+  spectre.plant_secret("RSB");
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto byte = spectre.leak_byte(i);
+    ASSERT_TRUE(byte.has_value()) << "offset " << i;
+    EXPECT_EQ(static_cast<char>(*byte), "RSB"[i]);
+  }
+}
+
+TEST(SpectreRsb, RsbFlushOnSwitchDefeatsPoisoning) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.predictor.flush_on_domain_switch = true;
+  sim::Machine machine(profile, 71);
+  attacks::SpectreRsb spectre(machine, 0);
+  spectre.plant_secret("X");
+  EXPECT_FALSE(spectre.leak_byte(0).has_value());
+}
+
+TEST(SgxPectre, LeaksEnclaveSecretsWithoutAnyFault) {
+  // The §4.2 closing concern: transient execution vs. TEEs beyond
+  // Foreshadow. No terminal fault, no L1 staging — the enclave's own
+  // mistrained bounds check reads its own memory transiently.
+  sim::Machine machine(sim::MachineProfile::server(), 74);
+  arch::Sgx sgx(machine);
+  attacks::SgxPectreAttack attack(machine, sgx, "EnclaveApiKey");
+  EXPECT_EQ(attack.leak_secret(13), "EnclaveApiKey");
+}
+
+TEST(SgxPectre, FenceHardenedEnclaveResists) {
+  sim::Machine machine(sim::MachineProfile::server(), 75);
+  arch::Sgx sgx(machine);
+  attacks::SgxPectreAttack::Config config;
+  config.enclave_has_fence = true;
+  attacks::SgxPectreAttack attack(machine, sgx, "S", 0, config);
+  EXPECT_FALSE(attack.leak_secret_byte(0).has_value())
+      << "the SDK's serializing fence closes the window";
+}
+
+TEST(SgxPectre, L1tfFixedSiliconDoesNotHelp) {
+  // Unlike Foreshadow, fixing the terminal fault changes nothing here —
+  // the attack never faults. Only speculation controls matter.
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.l1tf_vulnerable = false;
+  profile.cpu.meltdown_fault_forwarding = false;
+  sim::Machine machine(profile, 76);
+  arch::Sgx sgx(machine);
+  attacks::SgxPectreAttack attack(machine, sgx, "X");
+  const auto byte = attack.leak_secret_byte(0);
+  ASSERT_TRUE(byte.has_value());
+  EXPECT_EQ(*byte, 'X');
+}
+
+class ForeshadowTest : public ::testing::Test {
+ protected:
+  ForeshadowTest()
+      : machine_(sim::MachineProfile::server(), 72), sgx_(machine_) {}
+
+  tee::EnclaveId make_victim(const std::string& secret) {
+    tee::EnclaveImage image;
+    image.name = "victim";
+    image.code = {0xEE};
+    image.secret.assign(secret.begin(), secret.end());
+    return sgx_.create_enclave(image).value;
+  }
+
+  sim::Machine machine_;
+  arch::Sgx sgx_;
+};
+
+TEST_F(ForeshadowTest, ExtractsEnclaveMemoryThroughL1TF) {
+  const tee::EnclaveId victim = make_victim("EnclaveSecret");
+  attacks::ForeshadowAttack foreshadow(machine_, sgx_, 0);
+  const auto bytes = foreshadow.leak_enclave_range(victim, 1, 13);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "EnclaveSecret");
+}
+
+TEST_F(ForeshadowTest, RequiresThePageSwapL1Loading) {
+  const tee::EnclaveId victim = make_victim("S");
+  attacks::ForeshadowAttack::Config config;
+  config.use_page_swap_loading = false;
+  attacks::ForeshadowAttack foreshadow(machine_, sgx_, 0, config);
+  EXPECT_FALSE(foreshadow.leak_enclave_byte(victim, 1).has_value())
+      << "with a cold L1, the terminal fault forwards nothing";
+}
+
+TEST_F(ForeshadowTest, L1tfFixedSiliconIsImmune) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.l1tf_vulnerable = false;
+  sim::Machine machine(profile, 73);
+  arch::Sgx sgx(machine);
+  tee::EnclaveImage image;
+  image.name = "victim";
+  image.code = {0xEE};
+  image.secret = {'S'};
+  const auto victim = sgx.create_enclave(image).value;
+  attacks::ForeshadowAttack foreshadow(machine, sgx, 0);
+  EXPECT_FALSE(foreshadow.leak_enclave_byte(victim, 1).has_value());
+}
+
+TEST_F(ForeshadowTest, StealsAttestationKeyAndForgesQuotes) {
+  // The paper's headline consequence: "Foreshadow was used to extract
+  // attestation keys of Intel SGX" — after which remote attestation
+  // cannot be trusted at all.
+  attacks::ForeshadowAttack foreshadow(machine_, sgx_, 0);
+  const hwsec::crypto::u64 stolen_d = foreshadow.steal_attestation_key();
+  ASSERT_NE(stolen_d, 0u);
+
+  // Forge a quote for malware that never ran in an enclave.
+  hwsec::crypto::RsaKeyPair forged_key;
+  forged_key.n = sgx_.attestation_n();
+  forged_key.e = sgx_.attestation_e();
+  forged_key.d = stolen_d;
+  // Reconstruct CRT parameters? Not needed: sign via plain powmod.
+  tee::Nonce nonce{};
+  nonce[0] = 0x66;
+  tee::AttestationReport fake_report = tee::make_report(
+      sgx_.report_verification_key(), hwsec::crypto::Sha256::hash(std::string{"malware"}),
+      nonce);
+  // (The report key is microcode-held in reality; Foreshadow can read it
+  // from the quoting enclave the same way. For the test we focus on the
+  // asymmetric key, using the report path as given.)
+  tee::Quote forged;
+  forged.report = fake_report;
+  const auto digest = tee::report_digest(fake_report);
+  hwsec::crypto::u64 m = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    m = (m << 8) | digest[i];
+  }
+  forged.signature = hwsec::crypto::powmod(m % forged_key.n, stolen_d, forged_key.n);
+  EXPECT_TRUE(tee::verify_quote(forged, sgx_.attestation_n(), sgx_.attestation_e(),
+                                sgx_.report_verification_key(), nonce))
+      << "with the stolen key, arbitrary 'enclaves' attest successfully";
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Bus firewalls, memory-encryption transforms, and DMA semantics.
+#include <gtest/gtest.h>
+
+#include "sim/bus.h"
+#include "sim/dma.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+class BusTest : public ::testing::Test {
+ protected:
+  BusTest()
+      : mem_(1 << 20),
+        caches_([] {
+          sim::HierarchyConfig h;
+          h.num_cores = 1;
+          return h;
+        }()),
+        bus_(mem_, caches_) {}
+
+  sim::PhysicalMemory mem_;
+  sim::CacheHierarchy caches_;
+  sim::Bus bus_;
+};
+
+TEST_F(BusTest, ReadWriteRoundTrip) {
+  const auto w = bus_.cpu_write(0, 0, sim::Privilege::kSupervisor, 0x1000, 0xCAFEBABE);
+  EXPECT_EQ(w.fault, sim::Fault::kNone);
+  const auto r = bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x1000);
+  EXPECT_EQ(r.value, 0xCAFEBABEu);
+}
+
+TEST_F(BusTest, OutOfDramIsBusError) {
+  const auto r = bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x7FFFFFFF);
+  EXPECT_EQ(r.fault, sim::Fault::kBusError);
+}
+
+TEST_F(BusTest, ChecksVetoByDomain) {
+  bus_.add_check([](sim::PhysAddr addr, sim::AccessType, sim::DomainId domain, sim::Privilege,
+                    bool) {
+    return (addr >= 0x2000 && addr < 0x3000 && domain != 1) ? sim::Fault::kSecurityViolation
+                                                            : sim::Fault::kNone;
+  });
+  EXPECT_EQ(bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x2000).fault,
+            sim::Fault::kSecurityViolation);
+  EXPECT_EQ(bus_.cpu_read(0, 1, sim::Privilege::kSupervisor, 0x2000).fault, sim::Fault::kNone);
+}
+
+TEST_F(BusTest, RemovedCheckStopsApplying) {
+  const auto id = bus_.add_check([](sim::PhysAddr, sim::AccessType, sim::DomainId,
+                                    sim::Privilege, bool) {
+    return sim::Fault::kSecurityViolation;
+  });
+  EXPECT_NE(bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x1000).fault, sim::Fault::kNone);
+  bus_.remove_check(id);
+  EXPECT_EQ(bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x1000).fault, sim::Fault::kNone);
+}
+
+TEST_F(BusTest, TransformEncryptsDramButCpuSeesPlaintext) {
+  // XOR "MEE" over [0x4000, 0x5000).
+  bus_.set_transform([](sim::PhysAddr addr, sim::Word value, sim::DomainId, bool) {
+    if (addr >= 0x4000 && addr < 0x5000) {
+      return value ^ 0xA5A5A5A5u;
+    }
+    return value;
+  });
+  bus_.cpu_write(0, 0, sim::Privilege::kSupervisor, 0x4000, 0x11111111);
+  EXPECT_EQ(bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x4000).value, 0x11111111u);
+  EXPECT_EQ(mem_.read32(0x4000), 0x11111111u ^ 0xA5A5A5A5u) << "DRAM holds ciphertext";
+  // DMA bypasses the transform: ciphertext only.
+  EXPECT_EQ(bus_.dma_read(2, 0x4000).value, 0x11111111u ^ 0xA5A5A5A5u);
+}
+
+TEST_F(BusTest, PeekAppliesTransformWithoutCacheEffects) {
+  bus_.set_transform([](sim::PhysAddr addr, sim::Word value, sim::DomainId, bool) {
+    return addr == 0x4000 ? value ^ 0xFFu : value;
+  });
+  mem_.write32(0x4000, 0x12345678 ^ 0xFF);
+  EXPECT_EQ(bus_.peek(0x4000, 0), 0x12345678u);
+  EXPECT_FALSE(caches_.in_l1d(0, 0x4000));
+}
+
+TEST_F(BusTest, ByteAccessPreservesNeighbors) {
+  bus_.cpu_write(0, 0, sim::Privilege::kSupervisor, 0x1000, 0xAABBCCDD);
+  bus_.cpu_write8(0, 0, sim::Privilege::kSupervisor, 0x1001, 0x55);
+  EXPECT_EQ(bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x1000).value, 0xAABB55DDu);
+  EXPECT_EQ(bus_.cpu_read8(0, 0, sim::Privilege::kSupervisor, 0x1003).value, 0xAAu);
+}
+
+TEST_F(BusTest, DmaWriteInvalidatesCachedCopies) {
+  bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x1000);  // cache it.
+  ASSERT_TRUE(caches_.in_l1d(0, 0x1000));
+  bus_.dma_write(2, 0x1000, 0x99999999);
+  EXPECT_FALSE(caches_.in_l1d(0, 0x1000)) << "snooping keeps caches coherent";
+  EXPECT_EQ(bus_.cpu_read(0, 0, sim::Privilege::kSupervisor, 0x1000).value, 0x99999999u);
+}
+
+TEST_F(BusTest, DmaDeviceBlockTransfers) {
+  sim::DmaDevice dev(bus_, 2, "test-dev");
+  const std::vector<sim::Word> payload = {1, 2, 3, 4};
+  EXPECT_EQ(dev.write_block(0x6000, payload).words_done, 4u);
+  std::vector<sim::Word> readback(4);
+  EXPECT_EQ(dev.read_block(0x6000, readback).words_done, 4u);
+  EXPECT_EQ(readback, payload);
+}
+
+TEST_F(BusTest, DmaExfiltrationStopsAtFirstVeto) {
+  bus_.add_check([](sim::PhysAddr addr, sim::AccessType, sim::DomainId, sim::Privilege,
+                    bool is_dma) {
+    return (is_dma && addr >= 0x6008) ? sim::Fault::kSecurityViolation : sim::Fault::kNone;
+  });
+  sim::DmaDevice dev(bus_, 2, "evil");
+  mem_.write32(0x6000, 0x41414141);
+  mem_.write32(0x6004, 0x42424242);
+  const auto bytes = dev.exfiltrate(0x6000, 16);
+  EXPECT_EQ(bytes.size(), 8u) << "partial exfiltration up to the veto boundary";
+  EXPECT_EQ(bytes[0], 0x41u);
+  EXPECT_EQ(bytes[4], 0x42u);
+}
+
+}  // namespace

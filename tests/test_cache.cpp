@@ -1,0 +1,164 @@
+// Single-level cache model: hit/miss/eviction mechanics, replacement
+// policies, domain tagging, flushes and way partitioning.
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+sim::CacheConfig small_cache(sim::ReplacementPolicy policy = sim::ReplacementPolicy::kLru) {
+  return {.name = "t", .size_bytes = 4096, .ways = 4, .line_size = 64, .policy = policy,
+          .hit_latency = 4};  // 16 sets.
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(sim::Cache({.size_bytes = 100, .ways = 3, .line_size = 64}), std::invalid_argument);
+  EXPECT_THROW(sim::Cache({.size_bytes = 4096, .ways = 4, .line_size = 48}),
+               std::invalid_argument);
+}
+
+TEST(Cache, MissThenHit) {
+  sim::Cache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000, 0, sim::AccessType::kRead).hit);
+  EXPECT_TRUE(cache.access(0x1000, 0, sim::AccessType::kRead).hit);
+  EXPECT_TRUE(cache.access(0x103C, 0, sim::AccessType::kRead).hit) << "same line";
+  EXPECT_FALSE(cache.access(0x1040, 0, sim::AccessType::kRead).hit) << "next line";
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  sim::Cache cache(small_cache());
+  // Set 0 lines: addresses with (addr/64)%16 == 0, i.e. stride 1024.
+  const sim::PhysAddr stride = 64 * 16;
+  for (sim::PhysAddr i = 0; i < 4; ++i) {
+    cache.access(i * stride, 0, sim::AccessType::kRead);
+  }
+  cache.access(0, 0, sim::AccessType::kRead);  // refresh line 0.
+  const auto r = cache.access(4 * stride, 0, sim::AccessType::kRead);
+  ASSERT_TRUE(r.evicted_line.has_value());
+  EXPECT_EQ(*r.evicted_line, stride) << "line 1 was least recently used";
+  EXPECT_TRUE(cache.probe(0));
+  EXPECT_FALSE(cache.probe(stride));
+}
+
+TEST(Cache, EvictionReportsVictimDomain) {
+  sim::Cache cache(small_cache());
+  const sim::PhysAddr stride = 64 * 16;
+  for (sim::PhysAddr i = 0; i < 4; ++i) {
+    cache.access(i * stride, /*domain=*/7, sim::AccessType::kRead);
+  }
+  const auto r = cache.access(4 * stride, /*domain=*/0, sim::AccessType::kRead);
+  ASSERT_TRUE(r.evicted_line.has_value());
+  EXPECT_EQ(r.evicted_domain, 7u);
+  EXPECT_EQ(cache.domain_stats(7).evictions, 1u);
+}
+
+TEST(Cache, FlushLineAndDomainAndAll) {
+  sim::Cache cache(small_cache());
+  cache.access(0x1000, 3, sim::AccessType::kRead);
+  cache.access(0x2000, 4, sim::AccessType::kRead);
+  EXPECT_TRUE(cache.flush_line(0x1000));
+  EXPECT_FALSE(cache.probe(0x1000));
+  EXPECT_TRUE(cache.probe(0x2000));
+  cache.access(0x3000, 4, sim::AccessType::kRead);
+  EXPECT_EQ(cache.flush_domain(4), 2u);
+  EXPECT_FALSE(cache.probe(0x2000));
+  cache.access(0x2000, 4, sim::AccessType::kRead);
+  cache.flush_all();
+  EXPECT_FALSE(cache.probe(0x2000));
+}
+
+TEST(Cache, WayPartitionIsolatesOccupancy) {
+  sim::Cache cache(small_cache());
+  cache.set_way_partition(/*domain=*/1, 0, 2);  // enclave: ways 0-1.
+  cache.set_way_partition(/*domain=*/0, 2, 2);  // OS: ways 2-3.
+  const sim::PhysAddr stride = 64 * 16;
+
+  // Enclave fills its two ways in set 0.
+  cache.access(0 * stride, 1, sim::AccessType::kRead);
+  cache.access(1 * stride, 1, sim::AccessType::kRead);
+  // OS hammers the same set with many lines.
+  for (sim::PhysAddr i = 2; i < 10; ++i) {
+    cache.access(i * stride, 0, sim::AccessType::kRead);
+  }
+  // Enclave lines must have survived: the OS cannot evict across the
+  // partition — the Prime+Probe defense property.
+  EXPECT_TRUE(cache.probe_owned(0, 1));
+  EXPECT_TRUE(cache.probe_owned(stride, 1));
+  EXPECT_EQ(cache.occupancy(0, 1), 2u);
+}
+
+TEST(Cache, PartitionedDomainCannotHitForeignWays) {
+  sim::Cache cache(small_cache());
+  cache.set_way_partition(0, 2, 2);  // OS: ways 2-3.
+  cache.set_way_partition(1, 0, 2);  // enclave: ways 0-1.
+  cache.access(0x1000, 0, sim::AccessType::kRead);  // lands in ways 2-3.
+  EXPECT_EQ(cache.occupancy(0x1000, 0), 1u);
+  // The enclave looks up the same physical line: it sits outside the
+  // enclave's ways, so the lookup must miss (no cross-partition hits).
+  const auto before = cache.domain_stats(1).misses;
+  cache.access(0x1000, 1, sim::AccessType::kRead);
+  EXPECT_EQ(cache.domain_stats(1).misses, before + 1);
+}
+
+TEST(Cache, PartitionChangeDropsOutOfPartitionLines) {
+  sim::Cache cache(small_cache());
+  for (sim::PhysAddr i = 0; i < 4; ++i) {
+    cache.access(i * 64 * 16, 5, sim::AccessType::kRead);  // fills ways 0-3.
+  }
+  cache.set_way_partition(5, 0, 1);
+  EXPECT_LE(cache.occupancy(0, 5), 1u) << "stale occupancy outside the partition must be scrubbed";
+}
+
+TEST(Cache, RandomReplacementIsSeedDeterministic) {
+  sim::Cache a(small_cache(sim::ReplacementPolicy::kRandom), 42);
+  sim::Cache b(small_cache(sim::ReplacementPolicy::kRandom), 42);
+  const sim::PhysAddr stride = 64 * 16;
+  for (sim::PhysAddr i = 0; i < 32; ++i) {
+    const auto ra = a.access(i * stride, 0, sim::AccessType::kRead);
+    const auto rb = b.access(i * stride, 0, sim::AccessType::kRead);
+    EXPECT_EQ(ra.evicted_line.has_value(), rb.evicted_line.has_value());
+    if (ra.evicted_line && rb.evicted_line) {
+      EXPECT_EQ(*ra.evicted_line, *rb.evicted_line);
+    }
+  }
+}
+
+class ReplacementPolicyTest : public ::testing::TestWithParam<sim::ReplacementPolicy> {};
+
+TEST_P(ReplacementPolicyTest, WorkingSetWithinAssociativityAlwaysHits) {
+  sim::Cache cache(small_cache(GetParam()));
+  const sim::PhysAddr stride = 64 * 16;
+  for (int round = 0; round < 3; ++round) {
+    for (sim::PhysAddr i = 0; i < 4; ++i) {
+      cache.access(i * stride, 0, sim::AccessType::kRead);
+    }
+  }
+  // After the first round everything fits: rounds 2-3 are 8 hits.
+  EXPECT_EQ(cache.stats().hits, 8u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST_P(ReplacementPolicyTest, OverfilledSetEvicts) {
+  sim::Cache cache(small_cache(GetParam()));
+  const sim::PhysAddr stride = 64 * 16;
+  for (sim::PhysAddr i = 0; i < 8; ++i) {
+    cache.access(i * stride, 0, sim::AccessType::kRead);
+  }
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  std::uint32_t present = 0;
+  for (sim::PhysAddr i = 0; i < 8; ++i) {
+    present += cache.probe(i * stride) ? 1 : 0;
+  }
+  EXPECT_EQ(present, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplacementPolicyTest,
+                         ::testing::Values(sim::ReplacementPolicy::kLru,
+                                           sim::ReplacementPolicy::kTreePlru,
+                                           sim::ReplacementPolicy::kRandom));
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Multi-core hierarchy: latency ordering, inclusivity (back-invalidation),
+// cross-core visibility, flushes and Sanctuary-style exclusions.
+#include <gtest/gtest.h>
+
+#include "sim/cache_hierarchy.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+sim::HierarchyConfig two_core_config() {
+  sim::HierarchyConfig h;
+  h.num_cores = 2;
+  h.l1d = {.name = "L1D", .size_bytes = 1024, .ways = 2, .line_size = 64,
+           .policy = sim::ReplacementPolicy::kLru, .hit_latency = 4};
+  h.l1i = h.l1d;
+  h.llc = {.name = "LLC", .size_bytes = 16 * 1024, .ways = 4, .line_size = 64,
+           .policy = sim::ReplacementPolicy::kLru, .hit_latency = 30};
+  h.dram_latency = 150;
+  return h;
+}
+
+TEST(Hierarchy, LatencyOrderingL1LlcDram) {
+  sim::CacheHierarchy h(two_core_config());
+  const auto miss = h.access(0, 0, 0x1000, sim::AccessType::kRead);
+  EXPECT_EQ(miss.level, sim::ServiceLevel::kDram);
+  const auto hit = h.access(0, 0, 0x1000, sim::AccessType::kRead);
+  EXPECT_EQ(hit.level, sim::ServiceLevel::kL1);
+  EXPECT_LT(hit.latency, miss.latency);
+
+  // Other core: misses its L1, hits the shared LLC.
+  const auto cross = h.access(1, 0, 0x1000, sim::AccessType::kRead);
+  EXPECT_EQ(cross.level, sim::ServiceLevel::kLlc);
+  EXPECT_GT(cross.latency, hit.latency);
+  EXPECT_LT(cross.latency, miss.latency);
+}
+
+TEST(Hierarchy, FlushLineRemovesFromAllLevelsAllCores) {
+  sim::CacheHierarchy h(two_core_config());
+  h.access(0, 0, 0x2000, sim::AccessType::kRead);
+  h.access(1, 0, 0x2000, sim::AccessType::kRead);
+  h.flush_line(0x2000);
+  EXPECT_FALSE(h.in_l1d(0, 0x2000));
+  EXPECT_FALSE(h.in_l1d(1, 0x2000));
+  EXPECT_FALSE(h.in_llc(0x2000));
+}
+
+TEST(Hierarchy, InclusiveLlcBackInvalidatesL1) {
+  sim::CacheHierarchy h(two_core_config());
+  // LLC: 64 sets, 4 ways. Fill one LLC set beyond capacity and verify a
+  // back-invalidated line also left the owner's L1.
+  const sim::PhysAddr llc_stride = 64 * 64;
+  h.access(0, 0, 0, sim::AccessType::kRead);
+  ASSERT_TRUE(h.in_l1d(0, 0));
+  for (sim::PhysAddr i = 1; i <= 4; ++i) {
+    h.access(1, 0, i * llc_stride, sim::AccessType::kRead);  // evicts line 0 from LLC.
+  }
+  EXPECT_FALSE(h.in_llc(0));
+  EXPECT_FALSE(h.in_l1d(0, 0))
+      << "inclusive LLC eviction must invalidate the private copy "
+         "(the cross-core Prime+Probe mechanism)";
+}
+
+TEST(Hierarchy, FlushCorePrivateLeavesLlc) {
+  sim::CacheHierarchy h(two_core_config());
+  h.access(0, 0, 0x3000, sim::AccessType::kRead);
+  h.flush_core_private(0);
+  EXPECT_FALSE(h.in_l1d(0, 0x3000));
+  EXPECT_TRUE(h.in_llc(0x3000));
+}
+
+TEST(Hierarchy, SharedOnlyExclusionBypassesLlcButNotL1) {
+  sim::CacheHierarchy h(two_core_config());
+  h.add_uncacheable(0x4000, sim::kPageSize, sim::CacheHierarchy::Exclusion::kSharedOnly);
+  const auto first = h.access(0, 0, 0x4000, sim::AccessType::kRead);
+  EXPECT_EQ(first.level, sim::ServiceLevel::kDram);
+  EXPECT_TRUE(h.in_l1d(0, 0x4000));
+  EXPECT_FALSE(h.in_llc(0x4000)) << "Sanctuary exclusion: never in shared cache";
+  const auto second = h.access(0, 0, 0x4000, sim::AccessType::kRead);
+  EXPECT_EQ(second.level, sim::ServiceLevel::kL1);
+}
+
+TEST(Hierarchy, AllLevelExclusionIsFullyUncached) {
+  sim::CacheHierarchy h(two_core_config());
+  h.add_uncacheable(0x5000, sim::kPageSize, sim::CacheHierarchy::Exclusion::kAllLevels);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = h.access(0, 0, 0x5000, sim::AccessType::kRead);
+    EXPECT_EQ(r.level, sim::ServiceLevel::kUncached);
+  }
+  EXPECT_FALSE(h.in_l1d(0, 0x5000));
+}
+
+TEST(Hierarchy, AddingExclusionDropsStaleCopies) {
+  sim::CacheHierarchy h(two_core_config());
+  h.access(0, 0, 0x6000, sim::AccessType::kRead);
+  ASSERT_TRUE(h.in_llc(0x6000));
+  h.add_uncacheable(0x6000, sim::kPageSize, sim::CacheHierarchy::Exclusion::kSharedOnly);
+  EXPECT_FALSE(h.in_llc(0x6000));
+}
+
+TEST(Hierarchy, NoCacheProfileServesEverythingUncached) {
+  sim::HierarchyConfig h = two_core_config();
+  h.num_cores = 1;
+  h.has_l1 = false;
+  h.has_llc = false;
+  h.dram_latency = 2;
+  sim::CacheHierarchy hierarchy(h);
+  const auto r = hierarchy.access(0, 0, 0x1000, sim::AccessType::kRead);
+  EXPECT_EQ(r.level, sim::ServiceLevel::kUncached);
+  EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, FlushDomainScrubsEverywhere) {
+  sim::CacheHierarchy h(two_core_config());
+  h.access(0, 9, 0x7000, sim::AccessType::kRead);
+  h.access(1, 9, 0x7040, sim::AccessType::kRead);
+  h.flush_domain(9);
+  EXPECT_FALSE(h.in_l1d(0, 0x7000));
+  EXPECT_FALSE(h.in_l1d(1, 0x7040));
+  EXPECT_FALSE(h.in_llc(0x7000));
+  EXPECT_FALSE(h.in_llc(0x7040));
+}
+
+}  // namespace

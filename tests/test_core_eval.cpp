@@ -1,0 +1,159 @@
+// Evaluation engine: the measured Figure-1 matrix must reproduce the
+// paper's qualitative shape, and the architecture matrix probes must
+// agree with the declared traits.
+#include <gtest/gtest.h>
+
+#include "arch/sanctum.h"
+#include "arch/sgx.h"
+#include "arch/smart.h"
+#include "core/arch_matrix.h"
+#include "core/evaluation.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace core = hwsec::core;
+
+namespace {
+
+class Figure1Test : public ::testing::Test {
+ protected:
+  static const std::vector<core::PlatformEvaluation>& columns() {
+    static const auto evals = core::evaluate_all_platforms(5);
+    return evals;
+  }
+  static const core::PlatformEvaluation& server() { return columns()[0]; }
+  static const core::PlatformEvaluation& mobile() { return columns()[1]; }
+  static const core::PlatformEvaluation& embedded() { return columns()[2]; }
+};
+
+TEST_F(Figure1Test, RemoteAndLocalApplyEverywhere) {
+  for (const auto& c : columns()) {
+    EXPECT_EQ(c.remote, 3) << c.platform;
+    EXPECT_EQ(c.local, 3) << c.platform;
+  }
+}
+
+TEST_F(Figure1Test, MicroarchitecturalImportanceFallsTowardEmbedded) {
+  EXPECT_GT(server().microarchitectural, mobile().microarchitectural);
+  EXPECT_GT(mobile().microarchitectural, embedded().microarchitectural);
+  EXPECT_EQ(embedded().microarchitectural, 0)
+      << "no speculation + no shared caches = nothing to attack";
+}
+
+TEST_F(Figure1Test, PhysicalImportanceRisesTowardEmbedded) {
+  EXPECT_LT(server().classical_physical, mobile().classical_physical);
+  EXPECT_LE(mobile().classical_physical, embedded().classical_physical);
+  EXPECT_EQ(embedded().classical_physical, 3);
+}
+
+TEST_F(Figure1Test, PerformanceOrderingMatchesPlatforms) {
+  EXPECT_GT(server().mips, mobile().mips);
+  EXPECT_GT(mobile().mips, embedded().mips);
+  EXPECT_GT(server().performance, embedded().performance);
+}
+
+TEST_F(Figure1Test, EnergyBudgetTightensTowardEmbedded) {
+  EXPECT_GT(server().nj_per_instruction, mobile().nj_per_instruction);
+  EXPECT_GT(mobile().nj_per_instruction, embedded().nj_per_instruction);
+  EXPECT_GT(embedded().energy_budget, server().energy_budget);
+}
+
+TEST_F(Figure1Test, ProbesCarryEvidence) {
+  // Server: everything microarchitectural works.
+  for (const auto& probe : server().uarch_probes) {
+    EXPECT_TRUE(probe.succeeded) << probe.name << ": " << probe.detail;
+  }
+  // Mobile: Spectre yes, Meltdown no.
+  bool spectre_ok = false, meltdown_ok = true;
+  for (const auto& probe : mobile().uarch_probes) {
+    if (probe.name == "Spectre-PHT") {
+      spectre_ok = probe.succeeded;
+    }
+    if (probe.name == "Meltdown") {
+      meltdown_ok = probe.succeeded;
+    }
+  }
+  EXPECT_TRUE(spectre_ok);
+  EXPECT_FALSE(meltdown_ok);
+  // Embedded: nothing applicable.
+  for (const auto& probe : embedded().uarch_probes) {
+    EXPECT_FALSE(probe.applicable) << probe.name;
+  }
+}
+
+TEST_F(Figure1Test, RenderProducesAllRows) {
+  const std::string rendered = core::render_figure1(columns());
+  for (const char* row : {"remote attacks", "local attacks", "classical physical attacks",
+                          "microarchitectural attacks", "performance", "energy budget"}) {
+    EXPECT_NE(rendered.find(row), std::string::npos) << row;
+  }
+}
+
+TEST(ArchMatrix, SgxAssessmentMatchesTraits) {
+  sim::Machine machine(sim::MachineProfile::server(), 6);
+  arch::Sgx sgx(machine);
+  tee::EnclaveImage image;
+  image.name = "probe";
+  image.code = {1};
+  image.secret = {'x', 'y', 'z', 'w'};
+  const auto id = sgx.create_enclave(image).value;
+  const tee::EnclaveInfo* info = sgx.enclave(id);
+
+  const auto assessment = core::assess_architecture(
+      sgx, info->base + 1, {'x', 'y', 'z', 'w'}, [&machine, info]() {
+        auto aspace = machine.create_address_space();
+        aspace.map(0x70000000, sim::page_base(info->base), sim::pte::kUser);
+        machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor,
+                                      aspace.root(), 9);
+        return machine.cpu(0).mmu().translate(0x70000000, sim::AccessType::kRead).fault !=
+               sim::Fault::kNone;
+      });
+
+  EXPECT_EQ(assessment.enclaves_created, 3);
+  EXPECT_TRUE(assessment.attestation_verified);
+  EXPECT_EQ(assessment.dma, core::DmaProbeOutcome::kCiphertextOnly);
+  EXPECT_TRUE(assessment.isolation_enforced);
+}
+
+TEST(ArchMatrix, SmartAssessmentShowsTheGaps) {
+  sim::Machine machine(sim::MachineProfile::embedded(), 7);
+  arch::Smart smart(machine);
+  const auto key = smart.report_verification_key();
+  const auto assessment = core::assess_architecture(
+      smart, smart.key_phys(), key, [&smart]() {
+        return smart.try_key_access(0x80000) != sim::Fault::kNone;
+      });
+  EXPECT_EQ(assessment.enclaves_created, 0);
+  EXPECT_EQ(assessment.capacity_stop, tee::EnclaveError::kUnsupported);
+  EXPECT_TRUE(assessment.attestation_verified);
+  EXPECT_EQ(assessment.dma, core::DmaProbeOutcome::kLeakedPlaintext)
+      << "DMA is outside SMART's threat model";
+  EXPECT_TRUE(assessment.isolation_enforced) << "the PC gate itself holds";
+}
+
+TEST(ArchMatrix, SanctumAssessmentBlocksDma) {
+  sim::Machine machine(sim::MachineProfile::server(), 8);
+  arch::Sanctum sanctum(machine);
+  tee::EnclaveImage image;
+  image.name = "probe";
+  image.code = {1};
+  image.secret = {'q'};
+  const auto id = sanctum.create_enclave(image).value;
+  const tee::EnclaveInfo* info = sanctum.enclave(id);
+  const auto assessment =
+      core::assess_architecture(sanctum, info->base + 1, {'q'}, nullptr);
+  EXPECT_EQ(assessment.dma, core::DmaProbeOutcome::kBlocked);
+  EXPECT_TRUE(assessment.attestation_verified);
+}
+
+TEST(ArchMatrix, RenderContainsEveryArchitecture) {
+  std::vector<core::ArchitectureAssessment> rows(2);
+  rows[0].traits.name = "Intel SGX";
+  rows[1].traits.name = "SMART";
+  const std::string rendered = core::render_matrix(rows);
+  EXPECT_NE(rendered.find("Intel SGX"), std::string::npos);
+  EXPECT_NE(rendered.find("SMART"), std::string::npos);
+}
+
+}  // namespace

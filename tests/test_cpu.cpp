@@ -1,0 +1,344 @@
+// Execution-engine semantics: ISA behaviour, prediction-driven transient
+// windows, Meltdown-style fault forwarding and the L1TF path — the unit
+// contracts the §4.2 attacks are built on.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/program.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : machine_(sim::MachineProfile::server(), 11), aspace_(machine_.create_address_space()) {}
+
+  /// Identity-maps `pages` pages at `base` (base must be page-aligned).
+  sim::PhysAddr map_identity(sim::VirtAddr base, std::uint32_t pages, sim::Word flags) {
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      aspace_.map(base + p * sim::kPageSize, base + p * sim::kPageSize, flags);
+    }
+    // Identity frames must exist in DRAM; reserve them if still unused.
+    return base;
+  }
+
+  void start(const sim::Program& program, sim::Privilege priv = sim::Privilege::kSupervisor) {
+    machine_.cpu(0).load_program(program);
+    machine_.cpu(0).switch_context(sim::kDomainNormal, priv, aspace_.root(), 1);
+    machine_.cpu(0).set_pc(program.base);
+  }
+
+  sim::Machine machine_;
+  sim::AddressSpace aspace_;
+};
+
+constexpr sim::VirtAddr kCode = 0x10000;
+constexpr sim::Word kCodeFlags = sim::pte::kUser | sim::pte::kExecutable | sim::pte::kWritable;
+constexpr sim::Word kDataFlags = sim::pte::kUser | sim::pte::kWritable;
+
+TEST_F(CpuTest, AluAndBranchSemantics) {
+  map_identity(kCode, 1, kCodeFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0)
+      .li(sim::R2, 0)
+      .label("loop")
+      .addi(sim::R1, sim::R1, 3)
+      .addi(sim::R2, sim::R2, 1)
+      .li(sim::R3, 10)
+      .br(sim::BranchCond::kLtu, sim::R2, sim::R3, "loop")
+      .shli(sim::R4, sim::R1, 2)
+      .xori(sim::R5, sim::R4, 0xFF)
+      .halt();
+  start(b.build());
+  const auto result = machine_.cpu(0).run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R1), 30u);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R4), 120u);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R5), 120u ^ 0xFFu);
+}
+
+TEST_F(CpuTest, LoadStoreRoundTripAndByteOps) {
+  map_identity(kCode, 1, kCodeFlags);
+  const sim::PhysAddr data = machine_.alloc_frame();
+  aspace_.map(0x20000, data, kDataFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0x20000)
+      .li(sim::R2, 0xDEADBEEF)
+      .sw(sim::R1, 0, sim::R2)
+      .lw(sim::R3, sim::R1)
+      .lb(sim::R4, sim::R1, 3)  // highest byte, little-endian.
+      .li(sim::R5, 0x42)
+      .sb(sim::R1, 5, sim::R5)
+      .lb(sim::R6, sim::R1, 5)
+      .halt();
+  start(b.build());
+  machine_.cpu(0).run();
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R3), 0xDEADBEEFu);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R4), 0xDEu);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R6), 0x42u);
+  EXPECT_EQ(machine_.memory().read32(data), 0xDEADBEEFu);
+}
+
+TEST_F(CpuTest, MisalignedWordLoadFaults) {
+  map_identity(kCode, 1, kCodeFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0x20001).lw(sim::R2, sim::R1).halt();
+  start(b.build());
+  const auto result = machine_.cpu(0).run();
+  EXPECT_EQ(result.stop_fault, sim::Fault::kAlignment);
+}
+
+TEST_F(CpuTest, CallRetAndLinkRegister) {
+  map_identity(kCode, 1, kCodeFlags);
+  sim::ProgramBuilder b(kCode);
+  b.call("fn").li(sim::R2, 7).halt().label("fn").li(sim::R1, 5).ret();
+  start(b.build());
+  machine_.cpu(0).run();
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R1), 5u);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R2), 7u);
+}
+
+TEST_F(CpuTest, RdcycleIsMonotonic) {
+  map_identity(kCode, 1, kCodeFlags);
+  sim::ProgramBuilder b(kCode);
+  b.rdcycle(sim::R1).nop().nop().rdcycle(sim::R2).halt();
+  start(b.build());
+  machine_.cpu(0).run();
+  EXPECT_GT(machine_.cpu(0).reg(sim::R2), machine_.cpu(0).reg(sim::R1));
+}
+
+TEST_F(CpuTest, MispredictedBranchExecutesTransiently) {
+  map_identity(kCode, 1, kCodeFlags);
+  const sim::PhysAddr probe = machine_.alloc_frame();
+  aspace_.map(0x30000, probe, kDataFlags);
+
+  // Branch is ALWAYS taken (skipping the probe load); the PHT starts at
+  // weakly-not-taken, so the first execution mispredicts and the
+  // fall-through runs transiently, heating the probe line.
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 1)
+      .li(sim::R2, 0x30000)
+      .br(sim::BranchCond::kNe, sim::R1, sim::R0, "skip")
+      .lw(sim::R3, sim::R2)  // transient only.
+      .label("skip")
+      .halt();
+  start(b.build());
+  machine_.caches().flush_all();
+  machine_.cpu(0).run();
+
+  EXPECT_GT(machine_.cpu(0).stats().branch_mispredicts, 0u);
+  EXPECT_GT(machine_.cpu(0).stats().transient_executed, 0u);
+  EXPECT_TRUE(machine_.caches().in_l1d(0, probe))
+      << "the transient load's cache fill must persist (the Spectre channel)";
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R3), 0u)
+      << "architectural state must be squashed";
+}
+
+TEST_F(CpuTest, FenceStopsTransientWindow) {
+  map_identity(kCode, 1, kCodeFlags);
+  const sim::PhysAddr probe = machine_.alloc_frame();
+  aspace_.map(0x30000, probe, kDataFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 1)
+      .li(sim::R2, 0x30000)
+      .br(sim::BranchCond::kNe, sim::R1, sim::R0, "skip")
+      .fence()
+      .lw(sim::R3, sim::R2)
+      .label("skip")
+      .halt();
+  start(b.build());
+  machine_.caches().flush_all();
+  machine_.cpu(0).run();
+  EXPECT_FALSE(machine_.caches().in_l1d(0, probe))
+      << "a fence on the mispredicted path must stop the transient loads";
+}
+
+TEST_F(CpuTest, SpeculationWindowBoundsTransientExecution) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.speculation_window = 8;
+  sim::Machine machine(profile, 14);
+  auto aspace = machine.create_address_space();
+  aspace.map(kCode, kCode, kCodeFlags);
+  const sim::PhysAddr early = machine.alloc_frame();
+  const sim::PhysAddr late = machine.alloc_frame();
+  aspace.map(0x30000, early, kDataFlags);
+  aspace.map(0x31000, late, kDataFlags);
+
+  // Mispredicted fall-through: a load within the window and one beyond it
+  // (window = 8 transient instructions; the second load is number 10).
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 1)
+      .li(sim::R2, 0x30000)
+      .li(sim::R3, 0x31000)
+      .br(sim::BranchCond::kNe, sim::R1, sim::R0, "skip")
+      .lw(sim::R4, sim::R2)  // transient #1: inside the window.
+      .nop().nop().nop().nop().nop().nop().nop().nop()  // #2..#9.
+      .lw(sim::R5, sim::R3)  // transient #10: beyond the window.
+      .label("skip")
+      .halt();
+  machine.cpu(0).load_program(b.build());
+  machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor,
+                                aspace.root(), 1);
+  machine.caches().flush_all();
+  machine.cpu(0).run_from(kCode);
+  EXPECT_TRUE(machine.caches().in_l1d(0, early)) << "inside the window: executed";
+  EXPECT_FALSE(machine.caches().in_l1d(0, late)) << "beyond the window: squashed";
+}
+
+TEST_F(CpuTest, InOrderCoreHasNoTransientWindow) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.speculative_execution = false;
+  sim::Machine machine(profile, 12);
+  auto aspace = machine.create_address_space();
+  for (std::uint32_t p = 0; p < 1; ++p) {
+    aspace.map(kCode, kCode, kCodeFlags);
+  }
+  const sim::PhysAddr probe = machine.alloc_frame();
+  aspace.map(0x30000, probe, kDataFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 1)
+      .li(sim::R2, 0x30000)
+      .br(sim::BranchCond::kNe, sim::R1, sim::R0, "skip")
+      .lw(sim::R3, sim::R2)
+      .label("skip")
+      .halt();
+  machine.cpu(0).load_program(b.build());
+  machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor, aspace.root(), 1);
+  machine.caches().flush_all();
+  machine.cpu(0).run_from(kCode);
+  EXPECT_EQ(machine.cpu(0).stats().transient_executed, 0u);
+  EXPECT_FALSE(machine.caches().in_l1d(0, probe));
+}
+
+TEST_F(CpuTest, MeltdownForwardingHeatsProbeBeforeFault) {
+  map_identity(kCode, 1, kCodeFlags);
+  // Kernel page: present, NOT user-accessible, with a known byte.
+  const sim::PhysAddr kernel = machine_.alloc_frame();
+  aspace_.map(0x40000, kernel, sim::pte::kWritable);
+  machine_.memory().write8(kernel, 0x5C);
+  // Probe array: user page.
+  const sim::PhysAddr probe = machine_.alloc_frames(8);  // covers 256*64 bytes... 4 pages needed
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    aspace_.map(0x50000 + p * sim::kPageSize, probe + p * sim::kPageSize, kDataFlags);
+  }
+
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0x40000)
+      .li(sim::R2, 0x50000)
+      .lb(sim::R3, sim::R1)      // user reads kernel: faults.
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .halt();
+  start(b.build(), sim::Privilege::kUser);
+  machine_.caches().flush_all();
+  const auto result = machine_.cpu(0).run();
+
+  EXPECT_EQ(result.stop_fault, sim::Fault::kProtection) << "the fault must still be raised";
+  EXPECT_TRUE(machine_.caches().in_l1d(0, probe + 0x5Cu * 64))
+      << "the dependent transient load must have heated probe[secret]";
+}
+
+TEST_F(CpuTest, MitigatedCoreForwardsNothing) {
+  sim::MachineProfile profile = sim::MachineProfile::server();
+  profile.cpu.meltdown_fault_forwarding = false;
+  sim::Machine machine(profile, 13);
+  auto aspace = machine.create_address_space();
+  aspace.map(kCode, kCode, kCodeFlags);
+  const sim::PhysAddr kernel = machine.alloc_frame();
+  aspace.map(0x40000, kernel, sim::pte::kWritable);
+  machine.memory().write8(kernel, 0x5C);
+  const sim::PhysAddr probe = machine.alloc_frames(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    aspace.map(0x50000 + p * sim::kPageSize, probe + p * sim::kPageSize, kDataFlags);
+  }
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0x40000)
+      .li(sim::R2, 0x50000)
+      .lb(sim::R3, sim::R1)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .halt();
+  machine.cpu(0).load_program(b.build());
+  machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kUser, aspace.root(), 1);
+  machine.caches().flush_all();
+  machine.cpu(0).run_from(kCode);
+  EXPECT_FALSE(machine.caches().in_l1d(0, probe + 0x5Cu * 64));
+}
+
+TEST_F(CpuTest, L1tfForwardsOnlyL1ResidentLines) {
+  map_identity(kCode, 1, kCodeFlags);
+  const sim::PhysAddr secret_frame = machine_.alloc_frame();
+  machine_.memory().write8(secret_frame, 0x7B);
+  const sim::PhysAddr probe = machine_.alloc_frames(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    aspace_.map(0x50000 + p * sim::kPageSize, probe + p * sim::kPageSize, kDataFlags);
+  }
+  // Not-present mapping whose stale frame bits point at the secret.
+  aspace_.map(0x60000, secret_frame, kDataFlags);
+  aspace_.clear_present(0x60000);
+
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0x60000)
+      .li(sim::R2, 0x50000)
+      .lb(sim::R3, sim::R1)
+      .shli(sim::R3, sim::R3, 6)
+      .add(sim::R3, sim::R2, sim::R3)
+      .lb(sim::R4, sim::R3)
+      .halt();
+  const auto program = b.build();
+
+  // Cold L1: terminal fault forwards nothing.
+  start(program, sim::Privilege::kUser);
+  machine_.caches().flush_all();
+  machine_.cpu(0).run();
+  EXPECT_FALSE(machine_.caches().in_l1d(0, probe + 0x7Bu * 64));
+
+  // Hot L1: the same access now leaks the line's content.
+  machine_.touch(0, 42, secret_frame);  // someone (an enclave) loads it.
+  machine_.cpu(0).mmu().tlb().flush();
+  machine_.cpu(0).set_pc(program.base);
+  machine_.cpu(0).run();
+  EXPECT_TRUE(machine_.caches().in_l1d(0, probe + 0x7Bu * 64))
+      << "L1-resident data must be reachable through the terminal fault";
+}
+
+TEST_F(CpuTest, FaultHandlerSkipAndRedirect) {
+  map_identity(kCode, 1, kCodeFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 0x40000)  // unmapped.
+      .lw(sim::R2, sim::R1)
+      .li(sim::R3, 1)
+      .halt();
+  start(b.build());
+  int faults = 0;
+  machine_.cpu(0).set_fault_handler([&faults](sim::Cpu&, const sim::FaultInfo& info) {
+    ++faults;
+    EXPECT_EQ(info.fault, sim::Fault::kPageNotPresent);
+    return sim::FaultAction::kSkip;
+  });
+  const auto result = machine_.cpu(0).run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(faults, 1);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R3), 1u) << "execution continues after kSkip";
+}
+
+TEST_F(CpuTest, EcallInvokesHandlerAndResumesAfter) {
+  map_identity(kCode, 1, kCodeFlags);
+  sim::ProgramBuilder b(kCode);
+  b.li(sim::R1, 5).ecall(0x77).li(sim::R2, 9).halt();
+  start(b.build());
+  sim::Word seen_service = 0;
+  machine_.cpu(0).set_ecall_handler([&seen_service](sim::Cpu& cpu, sim::Word service) {
+    seen_service = service;
+    cpu.set_reg(sim::R3, cpu.reg(sim::R1) + 1);
+  });
+  machine_.cpu(0).run();
+  EXPECT_EQ(seen_service, 0x77u);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R3), 6u);
+  EXPECT_EQ(machine_.cpu(0).reg(sim::R2), 9u);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// DVFS stability envelope, fault-probability model and glitch injector.
+#include <gtest/gtest.h>
+
+#include "sim/dvfs.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+TEST(Dvfs, RatedPointsAreStable) {
+  sim::DvfsController dvfs;
+  for (std::size_t i = 0; i < dvfs.config().rated_points.size(); ++i) {
+    dvfs.set_rated_point(i);
+    EXPECT_EQ(dvfs.overclock_margin_mhz(), 0.0)
+        << "rated point " << i << " must sit inside the envelope";
+    EXPECT_EQ(dvfs.fault_probability(), 0.0);
+  }
+}
+
+TEST(Dvfs, OverclockRaisesFaultProbabilityMonotonically) {
+  sim::DvfsController dvfs;
+  const double voltage = 0.9;
+  double previous = 0.0;
+  for (double f = dvfs.stable_freq_mhz(voltage) + 100; f < 6000; f += 400) {
+    dvfs.set_point({f, voltage});
+    const double p = dvfs.fault_probability();
+    EXPECT_GT(p, previous);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(Dvfs, LowerVoltageShrinksTheEnvelope) {
+  sim::DvfsController dvfs;
+  // The CLKSCREW trick: reduce voltage so a given frequency becomes
+  // unstable without being an absurd overclock.
+  EXPECT_LT(dvfs.stable_freq_mhz(0.7), dvfs.stable_freq_mhz(1.1));
+  dvfs.set_point({2000, 1.10});
+  const double p_high_v = dvfs.fault_probability();
+  dvfs.set_point({2000, 0.70});
+  const double p_low_v = dvfs.fault_probability();
+  EXPECT_GT(p_low_v, p_high_v);
+}
+
+TEST(Dvfs, EnvelopeInterlockRejectsUnstablePoints) {
+  sim::DvfsController dvfs;
+  dvfs.enforce_envelope(true);
+  EXPECT_THROW(dvfs.set_point({9000, 0.8}), std::logic_error);
+  EXPECT_NO_THROW(dvfs.set_point({1000, 0.9}));
+}
+
+TEST(Dvfs, EnergyScalesWithVoltageSquared) {
+  sim::DvfsController dvfs;
+  dvfs.set_point({1000, 1.0});
+  const double e1 = dvfs.energy_per_cycle_nj();
+  dvfs.set_point({1000, 2.0});
+  EXPECT_DOUBLE_EQ(dvfs.energy_per_cycle_nj(), 4.0 * e1);
+}
+
+TEST(Dvfs, CycleTimeInvertsFrequency) {
+  sim::DvfsController dvfs;
+  dvfs.set_point({500, 0.9});
+  EXPECT_DOUBLE_EQ(dvfs.ns_per_cycle(), 2.0);
+  dvfs.set_point({2000, 0.9});
+  EXPECT_DOUBLE_EQ(dvfs.ns_per_cycle(), 0.5);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverCorrupts) {
+  sim::FaultInjector inj(1);
+  inj.set_probability(0.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(inj.corrupt(0x12345678), 0x12345678u);
+  }
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+TEST(FaultInjector, SingleBitModelFlipsExactlyOneBit) {
+  sim::FaultInjector inj(2);
+  inj.set_probability(1.0);
+  for (int i = 0; i < 200; ++i) {
+    const sim::Word out = inj.corrupt(0xFFFF0000);
+    const sim::Word diff = out ^ 0xFFFF0000u;
+    EXPECT_NE(diff, 0u);
+    EXPECT_EQ(diff & (diff - 1), 0u) << "exactly one bit";
+  }
+}
+
+TEST(FaultInjector, WindowTargetsSpecificCalls) {
+  sim::FaultInjector inj(3);
+  inj.set_probability(1.0);
+  inj.arm_window(/*skip=*/3, /*active=*/2);
+  int corrupted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.corrupt(0) != 0) {
+      ++corrupted;
+    }
+  }
+  EXPECT_EQ(corrupted, 2) << "only calls 3 and 4 are inside the glitch window";
+}
+
+TEST(FaultInjector, FrequencyTracksProbability) {
+  sim::FaultInjector inj(4);
+  inj.set_probability(0.3);
+  int faults = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (inj.corrupt(0xABCD) != 0xABCD) {
+      ++faults;
+    }
+  }
+  EXPECT_NEAR(faults / 10000.0, 0.3, 0.03);
+}
+
+}  // namespace

@@ -1,0 +1,212 @@
+// Cross-module integration scenarios: OS-style process isolation with
+// syscalls, TrustZone secure peripheral channels, defense-in-depth
+// (architectural defense + detector), and platform-profile economics.
+#include <gtest/gtest.h>
+
+#include "arch/sanctum.h"
+#include "arch/trustlite.h"
+#include "arch/trustzone.h"
+#include "attacks/cache/cache_attacks.h"
+#include "core/detector.h"
+#include "sim/dma.h"
+#include "sim/machine.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+namespace attacks = hwsec::attacks;
+namespace core = hwsec::core;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+// ---- scenario 1: two processes + kernel syscall ---------------------------
+
+TEST(OsScenario, ProcessesAreIsolatedAndSyscallsCrossPrivilege) {
+  sim::Machine machine(sim::MachineProfile::server(), 2101);
+  sim::Cpu& cpu = machine.cpu(0);
+
+  // Two address spaces mapping the SAME virtual page to different frames.
+  auto as_a = machine.create_address_space();
+  auto as_b = machine.create_address_space();
+  const sim::PhysAddr frame_a = machine.alloc_frame();
+  const sim::PhysAddr frame_b = machine.alloc_frame();
+  constexpr sim::VirtAddr kData = 0x00500000;
+  as_a.map(kData, frame_a, sim::pte::kUser | sim::pte::kWritable);
+  as_b.map(kData, frame_b, sim::pte::kUser | sim::pte::kWritable);
+
+  // Program: write a marker, ecall(1) to ask the kernel for its pid into
+  // r3, read the marker back.
+  sim::ProgramBuilder b(0x10000);
+  b.label("main")
+      .li(sim::R1, kData)
+      .sw(sim::R1, 0, sim::R5)  // r5 = per-process marker.
+      .ecall(1)
+      .lw(sim::R6, sim::R1)
+      .halt();
+  const sim::Program program = b.build();
+  // Shared text segment: both processes run the same binary (same VAs).
+  const sim::PhysAddr text = machine.alloc_frame();
+  as_a.map(0x10000, text, sim::pte::kUser | sim::pte::kExecutable);
+  as_b.map(0x10000, text, sim::pte::kUser | sim::pte::kExecutable);
+  cpu.load_program(program);
+
+  int syscalls = 0;
+  cpu.set_ecall_handler([&syscalls](sim::Cpu& c, sim::Word service) {
+    ASSERT_EQ(service, 1u);
+    ++syscalls;
+    // Kernel work happens at supervisor privilege conceptually; it
+    // returns the current ASID as "pid".
+    c.set_reg(sim::R3, c.mmu().asid());
+  });
+
+  // Run as process A.
+  cpu.switch_context(sim::kDomainNormal, sim::Privilege::kUser, as_a.root(), 1);
+  cpu.set_reg(sim::R5, 0xAAAA);
+  cpu.run_from(program.address_of("main"), 64);
+  EXPECT_EQ(cpu.reg(sim::R6), 0xAAAAu);
+  EXPECT_EQ(cpu.reg(sim::R3), 1u);
+
+  // Run as process B: same VA, different physical page — A's data is
+  // invisible.
+  cpu.switch_context(sim::kDomainNormal, sim::Privilege::kUser, as_b.root(), 2);
+  cpu.set_reg(sim::R5, 0xBBBB);
+  cpu.run_from(program.address_of("main"), 64);
+  EXPECT_EQ(cpu.reg(sim::R6), 0xBBBBu);
+  EXPECT_EQ(cpu.reg(sim::R3), 2u);
+
+  // Physical isolation held.
+  EXPECT_EQ(machine.memory().read32(frame_a), 0xAAAAu);
+  EXPECT_EQ(machine.memory().read32(frame_b), 0xBBBBu);
+  EXPECT_EQ(syscalls, 2);
+}
+
+// ---- scenario 2: TrustZone secure peripheral channel ------------------------
+
+TEST(TrustZoneScenario, FingerprintReaderChannelIsEndToEndSecure) {
+  // The §3.2 capability SGX/Sanctum lack: "TrustZone can … establish
+  // secure channels between peripherals and sensitive apps."
+  sim::Machine machine(sim::MachineProfile::mobile(), 2102);
+  arch::TrustZone tz(machine);
+
+  // The fingerprint reader's DMA buffer, assigned to the secure world.
+  const sim::PhysAddr buffer = machine.alloc_frame();
+  tz.assign_device_region(buffer, 1);
+
+  // The (secure-attributed) sensor writes a fingerprint template.
+  sim::DmaDevice sensor(machine.bus(), arch::kSecureDeviceDomain, "fp-reader");
+  const std::vector<sim::Word> fingerprint = {0xF1A6E301, 0xF1A6E302, 0xF1A6E303};
+  ASSERT_EQ(sensor.write_block(buffer, fingerprint).fault, sim::Fault::kNone);
+
+  // Normal-world software cannot read it; a normal-world DMA device
+  // cannot either.
+  EXPECT_EQ(machine.bus().cpu_read(0, arch::kOsDomain, sim::Privilege::kSupervisor, buffer)
+                .fault,
+            sim::Fault::kSecurityViolation);
+  sim::DmaDevice evil(machine.bus(), arch::kUntrustedDeviceDomain, "evil");
+  EXPECT_TRUE(evil.exfiltrate(buffer, 12).empty());
+
+  // The secure-world TA consumes the template.
+  tee::EnclaveImage ta;
+  ta.name = "fp-matcher";
+  ta.code = {0xF9};
+  tz.vendor_sign(ta);
+  const auto id = tz.create_enclave(ta).value;
+  sim::Word first_word = 0;
+  tz.call_enclave(id, 0, [&machine, &first_word, buffer](tee::EnclaveContext&) {
+    first_word = machine.bus()
+                     .cpu_read(0, arch::kSecureWorldDomain, sim::Privilege::kMachine, buffer)
+                     .value;
+  });
+  EXPECT_EQ(first_word, 0xF1A6E301u);
+}
+
+// ---- scenario 3: defense in depth -------------------------------------------
+
+TEST(DefenseInDepth, SanctumStarvesTheAttackAndTheDetectorStaysQuiet) {
+  // With partitioning in place the attacker cannot even create the
+  // counter signature the detector watches for — the two §4.1 defense
+  // layers compose.
+  // High nibbles must be varied: an attack that learns nothing guesses
+  // all-zero nibbles, which would trivially "match" a low-nibble key.
+  const crypto::AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                              0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  sim::Machine machine(sim::MachineProfile::server(), 2103);
+  arch::Sanctum sanctum(machine);
+  attacks::EnclaveAesVictim victim(sanctum, key, 1);
+  const sim::DomainId victim_domain = sanctum.enclave(victim.enclave_id())->domain;
+
+  core::CacheAttackDetector detector(machine, victim_domain);
+  hwsec::sim::Rng rng(2104);
+  for (int w = 0; w < 5; ++w) {
+    detector.begin_window();
+    for (int i = 0; i < 10; ++i) {
+      crypto::AesBlock pt;
+      for (auto& byte : pt) {
+        byte = static_cast<std::uint8_t>(rng.next_u32());
+      }
+      victim.encrypt(pt);
+    }
+    detector.end_window();
+  }
+  detector.finish_calibration();
+
+  detector.begin_window();
+  attacks::CacheAttackConfig config;
+  config.trials = 100;
+  const auto result = attacks::prime_probe_attack(
+      machine, victim.layout(),
+      [&victim](const crypto::AesBlock& pt) { return victim.encrypt(pt); }, config,
+      [&sanctum] { return sanctum.alloc_os_frame(); });
+  const auto reading = detector.end_window();
+
+  EXPECT_LE(result.correct_nibbles(key), 4u) << "partitioning holds";
+  EXPECT_EQ(reading.victim_evictions, 0u)
+      << "disjoint LLC sets: the attacker never displaces a victim line";
+}
+
+// ---- scenario 4: platform economics ------------------------------------------
+
+TEST(PlatformEconomics, SecurityArchitectureCostsScaleWithPlatformClass) {
+  // §2: "non-functional requirements … determine which security
+  // architectures the computing platforms are capable of integrating".
+  // Same enclave service, three platforms: the entry/exit overhead in
+  // *energy* must shrink dramatically down the spectrum.
+  auto energy_for_call = [](sim::MachineProfile profile, auto make_arch) {
+    sim::Machine machine(profile, 2105);
+    auto architecture = make_arch(machine);
+    tee::EnclaveImage image;
+    image.name = "svc";
+    image.code = {1};
+    const auto id = architecture->create_enclave(image).value;
+    sim::Cycle before = 0;
+    for (std::uint32_t c = 0; c < machine.num_cores(); ++c) {
+      before += machine.cpu(static_cast<sim::CoreId>(c)).cycles();
+    }
+    architecture->call_enclave(id, 0, [](tee::EnclaveContext& ctx) {
+      for (int i = 0; i < 64; ++i) {
+        ctx.read8(0);
+      }
+    });
+    sim::Cycle after = 0;
+    for (std::uint32_t c = 0; c < machine.num_cores(); ++c) {
+      after += machine.cpu(static_cast<sim::CoreId>(c)).cycles();
+    }
+    return static_cast<double>(after - before) * machine.dvfs().energy_per_cycle_nj();
+  };
+
+  const double server_cost =
+      energy_for_call(sim::MachineProfile::server(), [](sim::Machine& m) {
+        return std::make_unique<arch::Sanctum>(m);
+      });
+  const double embedded_cost =
+      energy_for_call(sim::MachineProfile::embedded(), [](sim::Machine& m) {
+        auto t = std::make_unique<arch::TyTan>(m);
+        t->boot();
+        return t;
+      });
+  EXPECT_GT(server_cost, 10.0 * embedded_cost)
+      << "server TEE call " << server_cost << " nJ vs embedded " << embedded_cost << " nJ";
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Machine composition: profiles, frame allocation, coloring, touch port,
+// energy/time accounting.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+TEST(Machine, ProfilesReflectPlatformClasses) {
+  const auto server = sim::MachineProfile::server();
+  const auto mobile = sim::MachineProfile::mobile();
+  const auto embedded = sim::MachineProfile::embedded();
+
+  EXPECT_TRUE(server.cpu.speculative_execution);
+  EXPECT_TRUE(server.cpu.meltdown_fault_forwarding);
+  EXPECT_TRUE(mobile.cpu.speculative_execution);
+  EXPECT_FALSE(mobile.cpu.meltdown_fault_forwarding) << "ARM-like cores gate forwarding";
+  EXPECT_FALSE(embedded.cpu.speculative_execution);
+  EXPECT_FALSE(embedded.hierarchy.has_llc);
+  EXPECT_FALSE(embedded.has_mmu);
+  // Energy budget ordering: server >> mobile >> embedded.
+  EXPECT_GT(server.energy.per_instruction_nj, mobile.energy.per_instruction_nj);
+  EXPECT_GT(mobile.energy.per_instruction_nj, embedded.energy.per_instruction_nj);
+}
+
+TEST(Machine, FrameAllocatorIsPageAlignedAndZeroed) {
+  sim::Machine m(sim::MachineProfile::server(), 1);
+  const sim::PhysAddr a = m.alloc_frame();
+  const sim::PhysAddr b = m.alloc_frame();
+  EXPECT_EQ(a % sim::kPageSize, 0u);
+  EXPECT_EQ(b, a + sim::kPageSize);
+  EXPECT_EQ(m.memory().read32(a), 0u);
+}
+
+TEST(Machine, AllocExhaustionThrows) {
+  sim::MachineProfile p = sim::MachineProfile::embedded();  // 1 MiB.
+  sim::Machine m(p, 1);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10000; ++i) {
+          m.alloc_frame();
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(Machine, ColoredFramesHaveRequestedColor) {
+  sim::Machine m(sim::MachineProfile::server(), 1);
+  for (std::uint32_t color = 0; color < 8; ++color) {
+    const sim::PhysAddr f = m.alloc_frame_colored(color, 8);
+    EXPECT_EQ(m.frame_color(f, 8), color);
+  }
+}
+
+TEST(Machine, ColorPartitionsLlcSets) {
+  sim::Machine m(sim::MachineProfile::server(), 1);
+  const auto& llc = m.caches().llc();
+  const sim::PhysAddr f_red = m.alloc_frame_colored(1, 8);
+  const sim::PhysAddr f_blue = m.alloc_frame_colored(2, 8);
+  // Every line of a color-1 frame maps to a different LLC set than every
+  // line of a color-2 frame — the Sanctum invariant.
+  for (sim::PhysAddr a = 0; a < sim::kPageSize; a += 64) {
+    for (sim::PhysAddr b = 0; b < sim::kPageSize; b += 64) {
+      ASSERT_NE(llc.set_index(f_red + a), llc.set_index(f_blue + b));
+    }
+  }
+}
+
+TEST(Machine, TouchPortDrivesCaches) {
+  sim::Machine m(sim::MachineProfile::server(), 1);
+  const sim::PhysAddr f = m.alloc_frame();
+  const auto miss = m.touch(0, 0, f);
+  const auto hit = m.touch(0, 0, f);
+  EXPECT_GT(miss.latency, hit.latency);
+  m.flush_line(f);
+  EXPECT_GT(m.touch(0, 0, f).latency, hit.latency);
+}
+
+TEST(Machine, EnergyAndTimeAccumulateWithWork) {
+  sim::Machine m(sim::MachineProfile::server(), 1);
+  EXPECT_EQ(m.energy_nj(), 0.0);
+  sim::ProgramBuilder b(0x2000);
+  b.li(sim::R1, 1).li(sim::R2, 2).add(sim::R3, sim::R1, sim::R2).halt();
+  sim::Program prog = b.build();
+  m.cpu(0).mmu().set_bare_mode(true);
+  m.cpu(0).load_program(prog);
+  m.cpu(0).run_from(prog.base);
+  EXPECT_GT(m.energy_nj(), 0.0);
+  EXPECT_GT(m.elapsed_ns(), 0.0);
+  EXPECT_EQ(m.total_retired(), 4u);
+  m.reset_stats();
+  EXPECT_EQ(m.total_retired(), 0u);
+}
+
+TEST(Machine, EmbeddedCoresAreBareModeWithMpu) {
+  sim::Machine m(sim::MachineProfile::embedded(), 1);
+  EXPECT_TRUE(m.cpu(0).mmu().bare_mode());
+  EXPECT_EQ(m.num_cores(), 1u);
+}
+
+}  // namespace

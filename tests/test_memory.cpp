@@ -1,0 +1,53 @@
+// Physical DRAM model.
+#include <gtest/gtest.h>
+
+#include "sim/memory.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+TEST(Memory, SizeRoundsUpToPage) {
+  sim::PhysicalMemory mem(sim::kPageSize + 1);
+  EXPECT_EQ(mem.size(), 2 * sim::kPageSize);
+}
+
+TEST(Memory, ZeroInitialized) {
+  sim::PhysicalMemory mem(sim::kPageSize);
+  for (sim::PhysAddr a = 0; a < sim::kPageSize; a += 512) {
+    EXPECT_EQ(mem.read8(a), 0u);
+  }
+}
+
+TEST(Memory, ByteAndWordRoundTrip) {
+  sim::PhysicalMemory mem(sim::kPageSize);
+  mem.write32(0x100, 0x11223344);
+  EXPECT_EQ(mem.read32(0x100), 0x11223344u);
+  // Little-endian byte order.
+  EXPECT_EQ(mem.read8(0x100), 0x44u);
+  EXPECT_EQ(mem.read8(0x103), 0x11u);
+  mem.write8(0x101, 0xAB);
+  EXPECT_EQ(mem.read32(0x100), 0x1122AB44u);
+}
+
+TEST(Memory, BlockCopyAndFill) {
+  sim::PhysicalMemory mem(sim::kPageSize);
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  mem.write_block(0x10, data);
+  std::vector<std::uint8_t> out(5);
+  mem.read_block(0x10, out);
+  EXPECT_EQ(out, data);
+  mem.fill(0x10, 5, 0xEE);
+  mem.read_block(0x10, out);
+  EXPECT_EQ(out, std::vector<std::uint8_t>(5, 0xEE));
+}
+
+TEST(Memory, ContainsBoundsChecks) {
+  sim::PhysicalMemory mem(sim::kPageSize);
+  EXPECT_TRUE(mem.contains(0));
+  EXPECT_TRUE(mem.contains(sim::kPageSize - 4, 4));
+  EXPECT_FALSE(mem.contains(sim::kPageSize - 3, 4));
+  EXPECT_FALSE(mem.contains(sim::kPageSize));
+}
+
+}  // namespace

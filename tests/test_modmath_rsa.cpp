@@ -1,0 +1,167 @@
+// Modular arithmetic, Montgomery reduction, and RSA round trips —
+// including the structural properties the §5 attacks rely on.
+#include <gtest/gtest.h>
+
+#include "crypto/modmath.h"
+#include "crypto/rsa.h"
+#include "sim/rng.h"
+
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+TEST(ModMath, PowmodSmallCases) {
+  EXPECT_EQ(crypto::powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(crypto::powmod(3, 0, 7), 1u);
+  EXPECT_EQ(crypto::powmod(0, 5, 7), 0u);
+  EXPECT_EQ(crypto::powmod(7, 1, 13), 7u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(crypto::powmod(123456789, 1000000006, 1000000007), 1u);
+}
+
+TEST(ModMath, GcdAndInverse) {
+  EXPECT_EQ(crypto::gcd(12, 18), 6u);
+  EXPECT_EQ(crypto::gcd(17, 31), 1u);
+  const auto inv = crypto::invmod(3, 11);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv * 3) % 11, 1u);
+  EXPECT_FALSE(crypto::invmod(6, 9).has_value());
+}
+
+TEST(ModMath, MillerRabinKnownPrimesAndComposites) {
+  EXPECT_TRUE(crypto::is_prime(2));
+  EXPECT_TRUE(crypto::is_prime(3));
+  EXPECT_TRUE(crypto::is_prime(2147483647ull));        // 2^31-1.
+  EXPECT_TRUE(crypto::is_prime(67280421310721ull));    // factor of F_6.
+  EXPECT_FALSE(crypto::is_prime(1));
+  EXPECT_FALSE(crypto::is_prime(561));                 // Carmichael.
+  EXPECT_FALSE(crypto::is_prime(3215031751ull));       // strong pseudoprime to 2,3,5,7.
+  EXPECT_FALSE(crypto::is_prime(2147483647ull * 3));
+}
+
+TEST(ModMath, GenPrimeHasExactBitLength) {
+  hwsec::sim::Rng rng(1);
+  for (std::uint32_t bits : {8u, 16u, 31u}) {
+    const crypto::u64 p = crypto::gen_prime(bits, rng);
+    EXPECT_TRUE(crypto::is_prime(p));
+    EXPECT_GE(p, 1ull << (bits - 1));
+    EXPECT_LT(p, 1ull << bits);
+  }
+}
+
+class MontgomeryTest : public ::testing::TestWithParam<crypto::u64> {};
+
+TEST_P(MontgomeryTest, MulMatchesSchoolbook) {
+  const crypto::u64 n = GetParam();
+  const crypto::Montgomery mont(n);
+  hwsec::sim::Rng rng(n);
+  for (int i = 0; i < 200; ++i) {
+    const crypto::u64 a = rng.next_u64() % n;
+    const crypto::u64 b = rng.next_u64() % n;
+    const crypto::u64 am = mont.to_mont(a);
+    const crypto::u64 bm = mont.to_mont(b);
+    EXPECT_EQ(mont.from_mont(mont.mul(am, bm)), crypto::mulmod(a, b, n));
+    EXPECT_EQ(mont.from_mont(mont.mul_ct(am, bm)), crypto::mulmod(a, b, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, MontgomeryTest,
+                         ::testing::Values(2147483647ull,            // prime
+                                           0x7fffffffffffffe7ull,    // large prime
+                                           3ull * 2147483647ull,     // composite
+                                           1000000007ull * 998244353ull));
+
+TEST(Montgomery, ExtraReductionsOccurForLargeModuli) {
+  // P(extra reduction) ≈ n / (4·2^64): only moduli that use most of the
+  // word width produce a usable timing signal. This is exactly why the
+  // RSA key generator targets ~62-bit moduli.
+  const crypto::Montgomery mont(0x7fffffffffffffe7ull);
+  hwsec::sim::Rng rng(0xF00D);
+  int extras = 0;
+  for (int i = 0; i < 2000; ++i) {
+    bool extra = false;
+    mont.mul(rng.next_u64() % mont.modulus(), rng.next_u64() % mont.modulus(), &extra);
+    extras += extra ? 1 : 0;
+  }
+  EXPECT_GT(extras, 50);
+  EXPECT_LT(extras, 1950);
+}
+
+TEST(Montgomery, ExtraReductionsVanishForSmallModuli) {
+  const crypto::Montgomery mont(2147483647ull);
+  hwsec::sim::Rng rng(0xF00D);
+  int extras = 0;
+  for (int i = 0; i < 2000; ++i) {
+    bool extra = false;
+    mont.mul(rng.next_u64() % mont.modulus(), rng.next_u64() % mont.modulus(), &extra);
+    extras += extra ? 1 : 0;
+  }
+  EXPECT_LT(extras, 5) << "a 31-bit modulus leaves the timing channel silent";
+}
+
+TEST(Rsa, RoundTripSignVerify) {
+  hwsec::sim::Rng rng(77);
+  const auto key = crypto::rsa_generate(rng);
+  EXPECT_EQ(key.p * key.q, key.n);
+  for (crypto::u64 m : {2ull, 12345ull, 999999999ull}) {
+    const crypto::u64 c = crypto::rsa_public(m % key.n, key);
+    EXPECT_EQ(crypto::rsa_private_naive(c, key), m % key.n);
+    EXPECT_EQ(crypto::rsa_private_ladder(c, key), m % key.n);
+    const crypto::u64 s = crypto::rsa_sign_crt(m % key.n, key);
+    EXPECT_EQ(crypto::rsa_public(s, key), m % key.n);
+  }
+}
+
+TEST(Rsa, CrtEqualsDirectExponentiation) {
+  hwsec::sim::Rng rng(31);
+  const auto key = crypto::rsa_generate(rng);
+  for (crypto::u64 m = 2; m < 50; ++m) {
+    EXPECT_EQ(crypto::rsa_sign_crt(m, key), crypto::powmod(m, key.d, key.n));
+  }
+}
+
+TEST(Rsa, NaiveLeaksDataDependentTime) {
+  hwsec::sim::Rng rng(5);
+  const auto key = crypto::rsa_generate(rng);
+  std::uint64_t t1 = 0, t2 = 0;
+  crypto::Instrumentation i1, i2;
+  i1.tick = [&t1](std::uint64_t c) { t1 += c; };
+  i2.tick = [&t2](std::uint64_t c) { t2 += c; };
+  crypto::rsa_private_naive(2, key, i1);
+  crypto::rsa_private_naive(key.n - 2, key, i2);
+  // Different ciphertexts take different extra-reduction paths: the total
+  // cost must not be constant across inputs.
+  EXPECT_NE(t1, t2);
+}
+
+TEST(Rsa, LadderIsConstantTime) {
+  hwsec::sim::Rng rng(5);
+  const auto key = crypto::rsa_generate(rng);
+  std::uint64_t t1 = 0, t2 = 0;
+  crypto::Instrumentation i1, i2;
+  i1.tick = [&t1](std::uint64_t c) { t1 += c; };
+  i2.tick = [&t2](std::uint64_t c) { t2 += c; };
+  crypto::rsa_private_ladder(2, key, i1);
+  crypto::rsa_private_ladder(key.n - 2, key, i2);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(Rsa, CheckedSignRefusesFaultyResult) {
+  hwsec::sim::Rng rng(13);
+  const auto key = crypto::rsa_generate(rng);
+  crypto::Instrumentation faulting;
+  bool first = true;
+  faulting.fault = [&first](std::uint32_t v) {
+    if (first) {
+      first = false;
+      return v ^ 0x40u;
+    }
+    return v;
+  };
+  EXPECT_EQ(crypto::rsa_sign_crt_checked(1234, key, faulting), 0u)
+      << "verify-before-release must refuse a glitched signature";
+  crypto::Instrumentation clean;
+  EXPECT_NE(crypto::rsa_sign_crt_checked(1234, key, clean), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Execution-aware MPU: permissions, code gates, entry points, locking.
+#include <gtest/gtest.h>
+
+#include "sim/mpu.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+TEST(Mpu, UncoveredMemoryDefaultsToAllow) {
+  sim::Mpu mpu;
+  EXPECT_EQ(mpu.check(0x1234, sim::AccessType::kWrite, 0), sim::Fault::kNone);
+}
+
+TEST(Mpu, PermissionBitsEnforced) {
+  sim::Mpu mpu;
+  mpu.add_region({.name = "rom", .start = 0x1000, .end = 0x2000, .readable = true,
+                  .writable = false, .executable = true});
+  EXPECT_EQ(mpu.check(0x1800, sim::AccessType::kRead, 0), sim::Fault::kNone);
+  EXPECT_EQ(mpu.check(0x1800, sim::AccessType::kWrite, 0), sim::Fault::kProtection);
+}
+
+TEST(Mpu, OverlappingRegionsRejected) {
+  sim::Mpu mpu;
+  mpu.add_region({.name = "a", .start = 0x1000, .end = 0x2000});
+  EXPECT_THROW(mpu.add_region({.name = "b", .start = 0x1800, .end = 0x2800}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(mpu.add_region({.name = "c", .start = 0x2000, .end = 0x3000}));
+}
+
+TEST(Mpu, CodeGateAdmitsOnlyGatedPc) {
+  sim::Mpu mpu;
+  // SMART's central invariant: the key region reads only while PC is in ROM.
+  mpu.add_region({.name = "key", .start = 0x5000, .end = 0x6000, .readable = true,
+                  .writable = false, .executable = false, .code_gate_start = 0x1000,
+                  .code_gate_end = 0x2000});
+  EXPECT_EQ(mpu.check(0x5000, sim::AccessType::kRead, /*pc=*/0x1400), sim::Fault::kNone);
+  EXPECT_EQ(mpu.check(0x5000, sim::AccessType::kRead, /*pc=*/0x9000),
+            sim::Fault::kSecurityViolation);
+  EXPECT_EQ(mpu.check(0x5000, sim::AccessType::kRead, /*pc=*/0x2000),
+            sim::Fault::kSecurityViolation)
+      << "gate end is exclusive";
+}
+
+TEST(Mpu, EntryPointsRestrictRegionEntry) {
+  sim::Mpu mpu;
+  mpu.add_region({.name = "code", .start = 0x1000, .end = 0x2000, .readable = true,
+                  .writable = false, .executable = true, .code_gate_start = std::nullopt,
+                  .code_gate_end = std::nullopt, .entry_points = {0x1000}});
+  // Entering at the declared entry point: fine.
+  EXPECT_EQ(mpu.check_fetch(0x1000, /*from=*/0x8000), sim::Fault::kNone);
+  // Jumping into the middle from outside: vetoed (would skip the prologue).
+  EXPECT_EQ(mpu.check_fetch(0x1100, /*from=*/0x8000), sim::Fault::kSecurityViolation);
+  // Sequential execution inside the region: fine.
+  EXPECT_EQ(mpu.check_fetch(0x1104, /*from=*/0x1100), sim::Fault::kNone);
+}
+
+TEST(Mpu, NonExecutableRegionRejectsFetch) {
+  sim::Mpu mpu;
+  mpu.add_region({.name = "data", .start = 0x3000, .end = 0x4000, .readable = true,
+                  .writable = true, .executable = false});
+  EXPECT_EQ(mpu.check_fetch(0x3000, 0x1000), sim::Fault::kProtection);
+}
+
+TEST(Mpu, LockPreventsReconfiguration) {
+  sim::Mpu mpu;
+  mpu.add_region({.name = "a", .start = 0x1000, .end = 0x2000});
+  mpu.lock();
+  EXPECT_THROW(mpu.add_region({.name = "b", .start = 0x3000, .end = 0x4000}), std::logic_error);
+  EXPECT_THROW(mpu.clear(), std::logic_error);
+  EXPECT_THROW(mpu.remove_region("a"), std::logic_error);
+  mpu.reset();
+  EXPECT_FALSE(mpu.locked());
+  EXPECT_TRUE(mpu.regions().empty());
+}
+
+TEST(Mpu, RemoveRegionByName) {
+  sim::Mpu mpu;
+  mpu.add_region({.name = "a", .start = 0x1000, .end = 0x2000});
+  EXPECT_TRUE(mpu.remove_region("a"));
+  EXPECT_FALSE(mpu.remove_region("a"));
+  EXPECT_EQ(mpu.check(0x1000, sim::AccessType::kWrite, 0), sim::Fault::kNone);
+}
+
+TEST(Mpu, EmptyAndHalfConfiguredRegionsRejected) {
+  sim::Mpu mpu;
+  EXPECT_THROW(mpu.add_region({.name = "e", .start = 0x1000, .end = 0x1000}),
+               std::invalid_argument);
+  EXPECT_THROW(mpu.add_region({.name = "g", .start = 0x1000, .end = 0x2000,
+                               .code_gate_start = 0x100, .code_gate_end = std::nullopt}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Page tables in simulated DRAM + MMU translation, permission checks,
+// walk-check hooks and the L1TF-relevant fault reporting.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/mmu.h"
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest()
+      : machine_(sim::MachineProfile::server(), 3),
+        aspace_(machine_.create_address_space()),
+        mmu_(machine_.cpu(0).mmu()) {
+    mmu_.set_context(aspace_.root(), 1, sim::kDomainNormal, sim::Privilege::kUser);
+  }
+
+  sim::Machine machine_;
+  sim::AddressSpace aspace_;
+  sim::Mmu& mmu_;
+};
+
+TEST_F(MmuTest, BasicTranslation) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser | sim::pte::kWritable);
+  const auto r = mmu_.translate(0x40000123, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kNone);
+  EXPECT_EQ(r.phys, frame + 0x123);
+}
+
+TEST_F(MmuTest, UnmappedFaults) {
+  const auto r = mmu_.translate(0x50000000, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kPageNotPresent);
+  EXPECT_FALSE(r.l1tf_phys.has_value()) << "no leaf PTE => no stale frame bits";
+}
+
+TEST_F(MmuTest, UserCannotReachSupervisorPage) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kWritable);  // no kUser.
+  const auto r = mmu_.translate(0x40000000, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kProtection);
+  // Meltdown precondition: the physical address is still resolved.
+  EXPECT_EQ(r.phys, frame);
+}
+
+TEST_F(MmuTest, WriteToReadOnlyFaults) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  EXPECT_EQ(mmu_.translate(0x40000000, sim::AccessType::kRead).fault, sim::Fault::kNone);
+  EXPECT_EQ(mmu_.translate(0x40000000, sim::AccessType::kWrite).fault, sim::Fault::kProtection);
+}
+
+TEST_F(MmuTest, ExecuteRequiresExecutableBit) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  EXPECT_EQ(mmu_.translate(0x40000000, sim::AccessType::kExecute).fault,
+            sim::Fault::kProtection);
+  aspace_.map(0x40000000, frame, sim::pte::kUser | sim::pte::kExecutable);
+  mmu_.tlb().flush();
+  EXPECT_EQ(mmu_.translate(0x40000000, sim::AccessType::kExecute).fault, sim::Fault::kNone);
+}
+
+TEST_F(MmuTest, ClearedPresentBitExposesStaleFrameBits) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  aspace_.clear_present(0x40000000);
+  const auto r = mmu_.translate(0x40000777, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kPageNotPresent);
+  ASSERT_TRUE(r.l1tf_phys.has_value());
+  EXPECT_EQ(*r.l1tf_phys, frame + 0x777) << "the L1TF candidate address";
+}
+
+TEST_F(MmuTest, ReservedBitBehavesLikeTerminalFault) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  aspace_.set_reserved(0x40000000);
+  const auto r = mmu_.translate(0x40000000, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kPageNotPresent);
+  ASSERT_TRUE(r.l1tf_phys.has_value());
+}
+
+TEST_F(MmuTest, RestorePresentUndoesAdversarialEdit) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  aspace_.clear_present(0x40000000);
+  aspace_.restore_present(0x40000000);
+  EXPECT_EQ(mmu_.translate(0x40000000, sim::AccessType::kRead).fault, sim::Fault::kNone);
+}
+
+TEST_F(MmuTest, WalkCheckVetoesTranslation) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser | sim::pte::kWritable);
+  mmu_.set_walk_check([frame](sim::VirtAddr, const sim::Translation& t, sim::AccessType,
+                              sim::Privilege, sim::DomainId) {
+    return sim::page_base(t.phys) == frame ? sim::Fault::kSecurityViolation : sim::Fault::kNone;
+  });
+  const auto r = mmu_.translate(0x40000000, sim::AccessType::kRead);
+  EXPECT_EQ(r.fault, sim::Fault::kSecurityViolation);
+  // The veto must also have kept the TLB clean.
+  EXPECT_FALSE(mmu_.tlb().present(0x40000000, 1));
+}
+
+TEST_F(MmuTest, TlbCachesTranslationsAndCountsWalks) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  const auto miss = mmu_.translate(0x40000000, sim::AccessType::kRead);
+  const std::uint64_t walks = mmu_.walks();
+  const auto hit = mmu_.translate(0x40000000, sim::AccessType::kRead);
+  EXPECT_EQ(mmu_.walks(), walks) << "second translation must be a TLB hit";
+  EXPECT_LT(hit.latency, miss.latency);
+}
+
+TEST_F(MmuTest, BareModeIsIdentity) {
+  mmu_.set_bare_mode(true);
+  const auto r = mmu_.translate(0x1234, sim::AccessType::kWrite);
+  EXPECT_EQ(r.fault, sim::Fault::kNone);
+  EXPECT_EQ(r.phys, 0x1234u);
+}
+
+TEST_F(MmuTest, UnmapRemovesLeaf) {
+  const sim::PhysAddr frame = machine_.alloc_frame();
+  aspace_.map(0x40000000, frame, sim::pte::kUser);
+  aspace_.unmap(0x40000000);
+  mmu_.tlb().flush();
+  EXPECT_EQ(mmu_.translate(0x40000000, sim::AccessType::kRead).fault,
+            sim::Fault::kPageNotPresent);
+}
+
+TEST(PageTable, TwoLevelStructureSharesL2Tables) {
+  sim::Machine machine(sim::MachineProfile::server(), 4);
+  auto aspace = machine.create_address_space();
+  const sim::PhysAddr f1 = machine.alloc_frame();
+  const sim::PhysAddr f2 = machine.alloc_frame();
+  // Same 4 MiB region: one L2 table; different regions: two.
+  aspace.map(0x40000000, f1, sim::pte::kUser);
+  aspace.map(0x40001000, f2, sim::pte::kUser);
+  const auto w1 = walk(machine.memory(), aspace.root(), 0x40000000);
+  const auto w2 = walk(machine.memory(), aspace.root(), 0x40001000);
+  ASSERT_TRUE(w1.has_value());
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(sim::page_base(w1->pte_addr), sim::page_base(w2->pte_addr));
+  EXPECT_EQ(w1->phys, f1);
+  EXPECT_EQ(w2->phys, f2);
+}
+
+}  // namespace

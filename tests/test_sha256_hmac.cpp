@@ -1,0 +1,112 @@
+// SHA-256 against FIPS 180-4 / NIST vectors; HMAC-SHA256 against RFC 4231.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(crypto::to_hex(crypto::Sha256::hash(std::string{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(crypto::to_hex(crypto::Sha256::hash(std::string{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(crypto::to_hex(crypto::Sha256::hash(
+                std::string{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  crypto::Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.update(chunk);
+  }
+  EXPECT_EQ(crypto::to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingSplitMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog and then some";
+  const auto expected = crypto::Sha256::hash(msg);
+  for (std::size_t split = 1; split < msg.size(); split += 7) {
+    crypto::Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(Sha256, FinalizeTwiceThrows) {
+  crypto::Sha256 h;
+  h.update(std::string{"x"});
+  h.finalize();
+  EXPECT_THROW(h.finalize(), std::logic_error);
+}
+
+TEST(Sha256, PaddingBoundaryLengths) {
+  // 55/56/63/64 bytes straddle the length-field boundary of the padding.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string msg(len, 'q');
+    crypto::Sha256 one;
+    one.update(msg);
+    crypto::Sha256 two;
+    for (char c : msg) {
+      two.update(std::string(1, c));
+    }
+    EXPECT_EQ(one.finalize(), two.finalize()) << "length " << len;
+  }
+}
+
+// RFC 4231 test case 2: key "Jefe", data "what do ya want for nothing?".
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const auto mac = crypto::hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()),
+                                    key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                    data.size()));
+  EXPECT_EQ(crypto::to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1: 20 bytes of 0x0b, data "Hi There".
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string data = "Hi There";
+  const auto mac = crypto::hmac_sha256(
+      key, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                         data.size()));
+  EXPECT_EQ(crypto::to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6: 131-byte key (forces the key-hashing path).
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const auto mac = crypto::hmac_sha256(
+      key, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                         data.size()));
+  EXPECT_EQ(crypto::to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqualIsExact) {
+  crypto::Sha256Digest a{};
+  crypto::Sha256Digest b{};
+  EXPECT_TRUE(crypto::digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(crypto::digest_equal(a, b));
+}
+
+}  // namespace

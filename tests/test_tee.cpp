@@ -1,0 +1,169 @@
+// TEE framework: measurement, reports, quotes, and the enclave-context
+// data path.
+#include <gtest/gtest.h>
+
+#include "tee/architecture.h"
+#include "tee/attestation.h"
+#include "tee/enclave.h"
+#include "tee/secure_boot.h"
+
+namespace tee = hwsec::tee;
+namespace crypto = hwsec::crypto;
+
+namespace {
+
+tee::EnclaveImage demo_image() {
+  tee::EnclaveImage image;
+  image.name = "demo";
+  image.code = {1, 2, 3, 4};
+  image.secret = {9, 9};
+  return image;
+}
+
+TEST(Measurement, DependsOnCodeAndNameButNotSecret) {
+  const auto base = tee::measure_image(demo_image());
+
+  tee::EnclaveImage renamed = demo_image();
+  renamed.name = "other";
+  EXPECT_NE(tee::measure_image(renamed), base);
+
+  tee::EnclaveImage patched = demo_image();
+  patched.code[0] ^= 1;
+  EXPECT_NE(tee::measure_image(patched), base);
+
+  tee::EnclaveImage other_secret = demo_image();
+  other_secret.secret = {7};
+  EXPECT_EQ(tee::measure_image(other_secret), base)
+      << "provisioned secrets must not change the measured identity";
+}
+
+TEST(Attestation, ReportRoundTrip) {
+  const std::vector<std::uint8_t> key(32, 0x11);
+  tee::Nonce nonce{};
+  nonce[0] = 0xAB;
+  const auto m = tee::measure_image(demo_image());
+  const auto report = tee::make_report(key, m, nonce, {0xDE, 0xAD});
+  EXPECT_TRUE(tee::verify_report(key, report, nonce));
+}
+
+TEST(Attestation, WrongKeyNonceOrTamperFails) {
+  const std::vector<std::uint8_t> key(32, 0x11);
+  const std::vector<std::uint8_t> wrong_key(32, 0x22);
+  tee::Nonce nonce{};
+  const auto m = tee::measure_image(demo_image());
+  auto report = tee::make_report(key, m, nonce);
+
+  EXPECT_FALSE(tee::verify_report(wrong_key, report, nonce));
+
+  tee::Nonce other_nonce{};
+  other_nonce[5] = 1;
+  EXPECT_FALSE(tee::verify_report(key, report, other_nonce)) << "replayed nonce";
+
+  report.measurement[0] ^= 1;
+  EXPECT_FALSE(tee::verify_report(key, report, nonce)) << "tampered measurement";
+}
+
+TEST(Attestation, QuoteSignAndVerify) {
+  hwsec::sim::Rng rng(42);
+  const auto attestation_key = crypto::rsa_generate(rng);
+  const std::vector<std::uint8_t> platform_key(32, 0x33);
+  tee::Nonce nonce{};
+  nonce[1] = 0x77;
+  const auto report =
+      tee::make_report(platform_key, tee::measure_image(demo_image()), nonce);
+  const auto quote = tee::make_quote(report, attestation_key);
+  EXPECT_TRUE(tee::verify_quote(quote, attestation_key.n, attestation_key.e, platform_key,
+                                nonce));
+  tee::Quote bad = quote;
+  bad.signature ^= 1;
+  EXPECT_FALSE(tee::verify_quote(bad, attestation_key.n, attestation_key.e, platform_key,
+                                 nonce));
+}
+
+TEST(Attestation, ForgedQuoteNeedsThePrivateKey) {
+  hwsec::sim::Rng rng(43);
+  const auto real_key = crypto::rsa_generate(rng);
+  const auto attacker_key = crypto::rsa_generate(rng);
+  const std::vector<std::uint8_t> platform_key(32, 0x44);
+  tee::Nonce nonce{};
+  const auto report =
+      tee::make_report(platform_key, tee::measure_image(demo_image()), nonce);
+  // Signed with the attacker's own key: must not verify against the real
+  // public key. (The Foreshadow test shows what happens once the real
+  // private key leaks.)
+  const auto forged = tee::make_quote(report, attacker_key);
+  EXPECT_FALSE(tee::verify_quote(forged, real_key.n, real_key.e, platform_key, nonce));
+}
+
+TEST(EnclaveInfo, StridedPhysicalLayout) {
+  tee::EnclaveInfo info;
+  info.base = 0x100000;
+  info.pages = 3;
+  info.stride_pages = 8;
+  EXPECT_EQ(info.phys_of(0), 0x100000u);
+  EXPECT_EQ(info.phys_of(100), 0x100064u);
+  EXPECT_EQ(info.phys_of(hwsec::sim::kPageSize), 0x100000u + 8 * hwsec::sim::kPageSize);
+  EXPECT_EQ(info.phys_of(2 * hwsec::sim::kPageSize + 4),
+            0x100000u + 16 * hwsec::sim::kPageSize + 4);
+}
+
+class SecureBootTest : public ::testing::Test {
+ protected:
+  SecureBootTest() {
+    hwsec::sim::Rng rng(4242);
+    vendor_key_ = crypto::rsa_generate(rng);
+    stages_ = {tee::make_signed_stage("monitor", {0x4D, 0x4F, 0x4E}, vendor_key_),
+               tee::make_signed_stage("secure-os", {0x4F, 0x53, 0x21, 0x99}, vendor_key_),
+               tee::make_signed_stage("ta-store", {0x54, 0x41}, vendor_key_)};
+  }
+
+  crypto::RsaKeyPair vendor_key_;
+  std::vector<tee::BootStage> stages_;
+};
+
+TEST_F(SecureBootTest, IntactChainBootsAndYieldsMeasurements) {
+  tee::SecureBootChain rom(vendor_key_.n, vendor_key_.e);
+  const auto result = rom.boot(stages_);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.measurements.size(), 3u);
+  EXPECT_NE(result.measurements[0], result.measurements[1]);
+}
+
+TEST_F(SecureBootTest, TamperedStageStopsTheBootExactlyThere) {
+  tee::SecureBootChain rom(vendor_key_.n, vendor_key_.e);
+  auto tampered = stages_;
+  tampered[1].image[0] ^= 0x01;  // one flipped bit in the secure OS.
+  const auto result = rom.boot(tampered);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_stage, 1u);
+  EXPECT_EQ(result.measurements.size(), 1u) << "only the monitor was accepted";
+}
+
+TEST_F(SecureBootTest, WrongVendorKeyRejectedAtStageZero) {
+  hwsec::sim::Rng rng(777);
+  const auto attacker_key = crypto::rsa_generate(rng);
+  auto resigned = stages_;
+  resigned[0] = tee::make_signed_stage("monitor", {0x4D, 0x4F, 0x4E}, attacker_key);
+  tee::SecureBootChain rom(vendor_key_.n, vendor_key_.e);
+  const auto result = rom.boot(resigned);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_stage, 0u);
+}
+
+TEST_F(SecureBootTest, RenamedStageFailsEvenWithSameBytes) {
+  // The name is part of the measured identity (anti-rollback/role-swap).
+  tee::SecureBootChain rom(vendor_key_.n, vendor_key_.e);
+  auto renamed = stages_;
+  renamed[2].name = "ta-store-v0-rollback";
+  const auto result = rom.boot(renamed);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_stage, 2u);
+}
+
+TEST(EnclaveError, AllValuesStringify) {
+  for (int e = 0; e <= static_cast<int>(tee::EnclaveError::kVerificationFailed); ++e) {
+    EXPECT_NE(tee::to_string(static_cast<tee::EnclaveError>(e)), "?");
+  }
+}
+
+}  // namespace
