@@ -1,0 +1,153 @@
+// E12 — campaign-engine scaling: throughput and determinism of the
+// parallel trial engine that drives every other experiment.
+//
+// Runs a Figure-1-style campaign (each trial: build a fresh mobile
+// Machine from the trial seed, mount Spectre-PHT, record whether the
+// planted byte leaked) at several worker counts and reports:
+//   * trials/sec sequential (workers=1) vs. parallel;
+//   * the per-worker scaling curve (speedup over sequential);
+//   * a determinism check: every worker count must reproduce the
+//     workers=1 result vector bit for bit.
+// Machine-readable results land in BENCH_campaign.json (path override:
+// HWSEC_BENCH_JSON) for CI to archive.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "attacks/transient/spectre.h"
+#include "core/campaign.h"
+#include "sim/machine.h"
+#include "table.h"
+
+namespace sim = hwsec::sim;
+namespace core = hwsec::core;
+namespace attacks = hwsec::attacks;
+
+namespace {
+
+/// One campaign trial: fresh machine, fresh attack, outcome encoded so
+/// that any divergence (success flag OR leaked value) breaks equality.
+struct TrialResult {
+  bool leaked = false;
+  std::uint32_t value = 0;
+
+  bool operator==(const TrialResult& other) const {
+    return leaked == other.leaked && value == other.value;
+  }
+};
+
+TrialResult spectre_trial(const core::TrialContext& ctx) {
+  sim::Machine machine(sim::MachineProfile::mobile(), ctx.seed);
+  attacks::SpectreV1 spectre(machine, 0);
+  const sim::Word index = spectre.plant_secret("K");
+  const auto byte = spectre.leak_byte(index);
+  TrialResult r;
+  r.leaked = byte.has_value() && *byte == 'K';
+  r.value = byte.value_or(0xFFFF);
+  return r;
+}
+
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const std::size_t parsed = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  return parsed == 0 ? fallback : parsed;  // unparseable/zero -> default.
+}
+
+void BM_Campaign32Trials(benchmark::State& state) {
+  sim::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_campaign<TrialResult>(pool, 2019, 32, spectre_trial));
+  }
+}
+BENCHMARK(BM_Campaign32Trials)->Arg(1)->Arg(4)->Iterations(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hwsec::bench::Table;
+
+  const std::size_t trials = env_size_t("HWSEC_CAMPAIGN_TRIALS", 400);
+  const unsigned host_cores = sim::ThreadPool::default_workers();
+
+  hwsec::bench::section("E12 — campaign engine: Spectre-PHT trials/sec vs. workers");
+  std::cout << "(" << trials << " trials per run, " << host_cores
+            << " host workers available)\n";
+  Table t({"workers", "seconds", "trials/sec", "speedup", "bit-identical"},
+          {9, 10, 12, 9, 14});
+  t.print_header();
+
+  struct Point {
+    unsigned workers = 0;
+    double seconds = 0.0;
+    double trials_per_sec = 0.0;
+    double speedup = 0.0;
+    bool deterministic = false;
+  };
+  std::vector<Point> curve;
+  std::vector<TrialResult> baseline;
+
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = core::run_campaign<TrialResult>(
+        {.seed = 2019, .trials = trials, .workers = workers}, spectre_trial);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    Point p;
+    p.workers = workers;
+    p.seconds = elapsed.count();
+    p.trials_per_sec = static_cast<double>(trials) / p.seconds;
+    if (workers == 1) {
+      baseline = results;
+      p.speedup = 1.0;
+      p.deterministic = true;
+    } else {
+      p.speedup = curve.front().seconds / p.seconds;
+      p.deterministic = results == baseline;
+    }
+    curve.push_back(p);
+    t.print_row(p.workers, p.seconds, p.trials_per_sec, p.speedup,
+                p.deterministic ? "YES" : "DIVERGED");
+  }
+  std::cout << "(speedup saturates at the host core count; bit-identical must\n"
+               " read YES everywhere — the engine's determinism contract)\n";
+
+  // ---- machine-readable record for CI ----------------------------------
+  const char* json_path_env = std::getenv("HWSEC_BENCH_JSON");
+  const std::string json_path =
+      json_path_env != nullptr && *json_path_env != '\0' ? json_path_env : "BENCH_campaign.json";
+  bool all_deterministic = true;
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"experiment\": \"campaign_scaling\",\n"
+       << "  \"trial_body\": \"spectre_pht_mobile\",\n"
+       << "  \"trials\": " << trials << ",\n"
+       << "  \"host_workers\": " << host_cores << ",\n"
+       << "  \"sequential_trials_per_sec\": " << curve.front().trials_per_sec << ",\n"
+       << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const Point& p = curve[i];
+    all_deterministic = all_deterministic && p.deterministic;
+    json << "    {\"workers\": " << p.workers << ", \"seconds\": " << p.seconds
+         << ", \"trials_per_sec\": " << p.trials_per_sec << ", \"speedup\": " << p.speedup
+         << ", \"deterministic\": " << (p.deterministic ? "true" : "false") << "}"
+         << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false") << "\n"
+       << "}\n";
+  std::ofstream(json_path) << json.str();
+  std::cout << "wrote " << json_path << "\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return all_deterministic ? 0 : 1;
+}

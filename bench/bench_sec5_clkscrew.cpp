@@ -12,6 +12,7 @@
 
 #include "arch/trustzone.h"
 #include "attacks/physical/clkscrew.h"
+#include "core/campaign.h"
 #include "table.h"
 
 namespace sim = hwsec::sim;
@@ -69,13 +70,30 @@ int main(int argc, char** argv) {
   Table t({"freq (MHz)", "fault prob", "invocations", "faulty pairs", "key recovered"},
           {12, 12, 13, 14, 14});
   t.print_header();
-  for (const double freq : {800.0, 900.0, 1000.0, 1080.0, 1200.0, 1600.0, 2600.0}) {
-    TzSetup setup(900 + static_cast<std::uint64_t>(freq));
-    attacks::ClkscrewConfig config;
-    config.attack_point = {freq, 0.70};
-    const auto r = attacks::clkscrew_attack(*setup.machine, setup.secure_encrypt(), config);
-    t.print_row(freq, r.fault_probability, r.invocations, r.faulty_pairs,
-                r.dfa.key_recovered && r.dfa.key == kKey ? "YES" : "no");
+  {
+    // Campaign port: each frequency point is one independent trial (its own
+    // mobile Machine + TrustZone world, seeded 900+freq as before) — the
+    // sweep runs across host cores and prints in frequency order.
+    const std::vector<double> freqs = {800.0, 900.0, 1000.0, 1080.0, 1200.0, 1600.0, 2600.0};
+    struct SweepRow {
+      double freq = 0.0;
+      attacks::ClkscrewResult result;
+    };
+    const auto rows = hwsec::core::run_campaign<SweepRow>(
+        {.seed = 900, .trials = freqs.size()},
+        [&freqs](const hwsec::core::TrialContext& ctx) {
+          const double freq = freqs[ctx.index];
+          TzSetup setup(900 + static_cast<std::uint64_t>(freq));
+          attacks::ClkscrewConfig config;
+          config.attack_point = {freq, 0.70};
+          return SweepRow{freq,
+                          attacks::clkscrew_attack(*setup.machine, setup.secure_encrypt(), config)};
+        });
+    for (const SweepRow& row : rows) {
+      t.print_row(row.freq, row.result.fault_probability, row.result.invocations,
+                  row.result.faulty_pairs,
+                  row.result.dfa.key_recovered && row.result.dfa.key == kKey ? "YES" : "no");
+    }
   }
   std::cout << "(too slow: no faults; sweet spot ~1000-1200 MHz; far past the envelope\n"
                " every word glitches and the multi-byte corruptions are useless for DFA)\n";

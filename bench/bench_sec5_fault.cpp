@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "attacks/physical/fault_attacks.h"
+#include "core/campaign.h"
 #include "sim/dvfs.h"
 #include "sim/rng.h"
 #include "table.h"
@@ -128,20 +129,37 @@ int main(int argc, char** argv) {
   Table g({"margin (MHz past envelope)", "fault prob (model)", "fault rate (measured)"},
           {28, 20, 22});
   g.print_header();
-  sim::DvfsController dvfs;
-  const double v = 0.9;
-  for (const double margin : {0.0, 50.0, 150.0, 400.0, 800.0, 1600.0}) {
-    dvfs.set_point({dvfs.stable_freq_mhz(v) + margin, v});
-    sim::FaultInjector injector(860);
-    injector.set_probability(dvfs.fault_probability());
-    int faults = 0;
-    const int n = 4000;
-    for (int i = 0; i < n; ++i) {
-      if (injector.corrupt(0x5A5A5A5A) != 0x5A5A5A5A) {
-        ++faults;
-      }
+  {
+    // Campaign port: each margin point is one independent trial (its own
+    // DVFS controller and injector, fixed seed) — measured concurrently,
+    // printed in sweep order.
+    const std::vector<double> margins = {0.0, 50.0, 150.0, 400.0, 800.0, 1600.0};
+    struct GlitchRow {
+      double margin = 0.0;
+      double model_prob = 0.0;
+      double measured_rate = 0.0;
+    };
+    const double v = 0.9;
+    const auto rows = hwsec::core::run_campaign<GlitchRow>(
+        {.seed = 860, .trials = margins.size()},
+        [&margins, v](const hwsec::core::TrialContext& ctx) {
+          const double margin = margins[ctx.index];
+          sim::DvfsController dvfs;
+          dvfs.set_point({dvfs.stable_freq_mhz(v) + margin, v});
+          sim::FaultInjector injector(860);
+          injector.set_probability(dvfs.fault_probability());
+          int faults = 0;
+          const int n = 4000;
+          for (int i = 0; i < n; ++i) {
+            if (injector.corrupt(0x5A5A5A5A) != 0x5A5A5A5A) {
+              ++faults;
+            }
+          }
+          return GlitchRow{margin, dvfs.fault_probability(), static_cast<double>(faults) / n};
+        });
+    for (const GlitchRow& row : rows) {
+      g.print_row(row.margin, row.model_prob, row.measured_rate);
     }
-    g.print_row(margin, dvfs.fault_probability(), static_cast<double>(faults) / n);
   }
 
   benchmark::Initialize(&argc, argv);

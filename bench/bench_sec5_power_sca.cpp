@@ -15,6 +15,7 @@
 
 #include "attacks/physical/power_analysis.h"
 #include "attacks/physical/timing_attack.h"
+#include "core/campaign.h"
 #include "sca/cpa.h"
 #include "sca/second_order.h"
 #include "table.h"
@@ -35,7 +36,9 @@ std::uint32_t cpa_bytes(attacks::AesVariant variant, std::size_t traces, double 
   rec.hiding_noise_sigma = hiding_sigma;
   rec.max_jitter = jitter;
   rec.seed = seed;
-  const auto set = attacks::collect_aes_traces(kKey, variant, traces, rec, seed * 3 + 1);
+  // Parallel capture + parallel 16-byte CPA; both are deterministic for
+  // any worker count, so the printed numbers are stable run to run.
+  const auto set = attacks::collect_aes_traces_parallel(kKey, variant, traces, rec, seed * 3 + 1);
   return sca::cpa_attack_key(set).correct_bytes(kKey);
 }
 
@@ -117,9 +120,20 @@ int main(int argc, char** argv) {
   hwsec::bench::section("E7b — ablation: measurement noise sigma vs. traces-to-success");
   Table n({"sigma", "traces to >=14/16"}, {8, 20});
   n.print_header();
-  for (const double sigma : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    n.print_row(sigma, traces_to_success(attacks::AesVariant::kTTable, sigma, 0, 0.0, 32768,
-                                         static_cast<std::uint64_t>(sigma * 100) + 17));
+  {
+    // Campaign port: one independent trial per noise level, printed in
+    // sweep order.
+    const std::vector<double> sigmas = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+    const auto needed = hwsec::core::run_campaign<std::size_t>(
+        {.seed = 17, .trials = sigmas.size()},
+        [&sigmas](const hwsec::core::TrialContext& ctx) {
+          const double sigma = sigmas[ctx.index];
+          return traces_to_success(attacks::AesVariant::kTTable, sigma, 0, 0.0, 32768,
+                                   static_cast<std::uint64_t>(sigma * 100) + 17);
+        });
+    for (std::size_t i = 0; i < sigmas.size(); ++i) {
+      n.print_row(sigmas[i], needed[i]);
+    }
   }
   std::cout << "(classic SNR scaling: traces grow ~quadratically with noise)\n";
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Smoke-runs every experiment binary (tables print; the google-benchmark
+# timing loops are skipped via --benchmark_filter=skip) and produces the
+# campaign-engine scaling record BENCH_campaign.json.
+#
+# Usage: bench/run_all.sh [build-dir]   (default: build)
+# Knobs: HWSEC_CAMPAIGN_TRIALS  trials per scaling run (default 400)
+#        HWSEC_BENCH_JSON       output path for BENCH_campaign.json
+set -eu
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+BENCHES="
+bench_fig1_matrix
+bench_sec3_architectures
+bench_sec41_cache_attacks
+bench_sec41_defenses
+bench_sec41_other_channels
+bench_sec42_spectre
+bench_sec42_meltdown_foreshadow
+bench_sec5_power_sca
+bench_sec5_fault
+bench_sec5_clkscrew
+bench_sim_microbench
+bench_conclusion_advisor
+"
+
+for b in $BENCHES; do
+  echo "==== $b ===="
+  "$BENCH_DIR/$b" --benchmark_filter=skip
+  echo
+done
+
+echo "==== bench_campaign (writes ${HWSEC_BENCH_JSON:-BENCH_campaign.json}) ===="
+"$BENCH_DIR/bench_campaign" --benchmark_filter=skip

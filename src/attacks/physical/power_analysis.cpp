@@ -3,16 +3,22 @@
 #include <memory>
 
 #include "sim/rng.h"
+#include "sim/thread_pool.h"
 
 namespace hwsec::attacks {
 
 namespace crypto = hwsec::crypto;
 namespace sca = hwsec::sca;
 
-sca::TraceSet collect_aes_traces(const crypto::AesKey& key, AesVariant variant,
-                                 std::size_t count, const sca::RecorderConfig& recorder_config,
-                                 std::uint64_t seed) {
-  hwsec::sim::Rng rng(seed);
+namespace {
+
+/// Shared capture body: `count` traces with plaintexts drawn from
+/// `plaintext_seed`, recorder noise from `recorder_config.seed`, and masks
+/// (masked variant) from `mask_seed`.
+sca::TraceSet capture(const crypto::AesKey& key, AesVariant variant, std::size_t count,
+                      const sca::RecorderConfig& recorder_config, std::uint64_t plaintext_seed,
+                      std::uint64_t mask_seed) {
+  hwsec::sim::Rng rng(plaintext_seed);
   sca::PowerTraceRecorder recorder(recorder_config);
 
   crypto::Instrumentation instr;
@@ -34,7 +40,7 @@ sca::TraceSet collect_aes_traces(const crypto::AesKey& key, AesVariant variant,
       ct = std::make_unique<crypto::AesConstantTime>(key, instr);
       break;
     case AesVariant::kMasked:
-      masked = std::make_unique<crypto::AesMasked>(key, seed ^ 0xABCD, instr);
+      masked = std::make_unique<crypto::AesMasked>(key, mask_seed, instr);
       break;
   }
 
@@ -54,6 +60,60 @@ sca::TraceSet collect_aes_traces(const crypto::AesKey& key, AesVariant variant,
     set.traces.push_back(recorder.end_trace(fixed_length));
     set.plaintexts.push_back(pt);
     set.ciphertexts.push_back(ctxt);
+  }
+  return set;
+}
+
+}  // namespace
+
+sca::TraceSet collect_aes_traces(const crypto::AesKey& key, AesVariant variant,
+                                 std::size_t count, const sca::RecorderConfig& recorder_config,
+                                 std::uint64_t seed) {
+  return capture(key, variant, count, recorder_config, seed, seed ^ 0xABCD);
+}
+
+sca::TraceSet collect_aes_traces_parallel(const crypto::AesKey& key, AesVariant variant,
+                                          std::size_t count,
+                                          const sca::RecorderConfig& recorder_config,
+                                          std::uint64_t seed, std::size_t batch,
+                                          unsigned workers) {
+  if (batch == 0) {
+    batch = 64;
+  }
+  const std::size_t num_batches = (count + batch - 1) / batch;
+  std::vector<sca::TraceSet> parts(num_batches);
+
+  // Each batch is one campaign trial: all of its randomness (plaintexts,
+  // measurement noise, masks) derives from (seed, batch index), never from
+  // scheduling — so concatenating the parts in index order reproduces the
+  // same TraceSet at any worker count.
+  auto body = [&](hwsec::sim::ThreadPool& pool) {
+    pool.parallel_for(num_batches, [&](std::size_t b) {
+      const std::uint64_t derived = hwsec::sim::derive_seed(seed, b);
+      const std::size_t n = std::min(batch, count - b * batch);
+      sca::RecorderConfig rec = recorder_config;
+      rec.seed = hwsec::sim::derive_seed(derived, 1);
+      parts[b] = capture(key, variant, n, rec, hwsec::sim::derive_seed(derived, 2),
+                         hwsec::sim::derive_seed(derived, 3));
+    });
+  };
+  if (workers == 0) {
+    body(hwsec::sim::ThreadPool::shared());  // no per-call thread spawn.
+  } else {
+    hwsec::sim::ThreadPool pool(workers);
+    body(pool);
+  }
+
+  sca::TraceSet set;
+  set.traces.reserve(count);
+  set.plaintexts.reserve(count);
+  set.ciphertexts.reserve(count);
+  for (sca::TraceSet& part : parts) {
+    for (std::size_t i = 0; i < part.traces.size(); ++i) {
+      set.traces.push_back(std::move(part.traces[i]));
+      set.plaintexts.push_back(part.plaintexts[i]);
+      set.ciphertexts.push_back(part.ciphertexts[i]);
+    }
   }
   return set;
 }

@@ -24,6 +24,17 @@ hwsec::sca::TraceSet collect_aes_traces(const hwsec::crypto::AesKey& key, AesVar
                                         const hwsec::sca::RecorderConfig& recorder_config,
                                         std::uint64_t seed = 31337);
 
+/// Parallel capture: the campaign-engine port of collect_aes_traces.
+/// `count` traces are produced in batches of `batch` per task; batch b
+/// derives its plaintext/noise/mask seeds from sim::derive_seed(seed, b),
+/// so the assembled TraceSet is bit-identical for any worker count
+/// (including 1). The plaintext stream differs from the sequential
+/// collector's — statistically equivalent, not sample-identical.
+hwsec::sca::TraceSet collect_aes_traces_parallel(
+    const hwsec::crypto::AesKey& key, AesVariant variant, std::size_t count,
+    const hwsec::sca::RecorderConfig& recorder_config, std::uint64_t seed = 31337,
+    std::size_t batch = 64, unsigned workers = 0);
+
 /// Number of leak samples one encryption emits (used to size fixed-length
 /// traces under jitter): 160 S-box leaks, plus two leading mask-load
 /// leaks in the masked variant (samples 0/1 = m_in/m_out — the

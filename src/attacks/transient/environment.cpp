@@ -4,13 +4,11 @@ namespace hwsec::attacks {
 
 namespace sim = hwsec::sim;
 
-sim::Asid UserProcess::next_asid_ = 1;
-
 UserProcess::UserProcess(sim::Machine& machine, sim::CoreId core, sim::DomainId domain)
     : machine_(&machine),
       core_(core),
       domain_(domain),
-      asid_(next_asid_++),
+      asid_(machine.allocate_asid()),
       aspace_(machine.create_address_space()) {}
 
 sim::PhysAddr UserProcess::map_new(sim::VirtAddr va, std::uint32_t pages, sim::Word flags) {

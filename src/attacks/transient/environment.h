@@ -65,8 +65,6 @@ class UserProcess {
   hwsec::sim::Asid asid_;
   hwsec::sim::AddressSpace aspace_;
   hwsec::sim::PhysAddr probe_phys_ = 0;
-
-  static hwsec::sim::Asid next_asid_;
 };
 
 }  // namespace hwsec::attacks

@@ -1,0 +1,93 @@
+// Deterministic parallel campaign engine.
+//
+// Every experiment in the reproduction (E1–E11) is a Monte-Carlo campaign:
+// hundreds of independent attack trials, glitch sweeps at many DVFS points,
+// thousands of captured power traces. This engine fans those trials out
+// across host cores while keeping results *bit-identical to the sequential
+// run regardless of worker count or scheduling*.
+//
+// The determinism contract:
+//  * trial i receives the seed sim::derive_seed(campaign.seed, i) — a pure
+//    function of the campaign seed and the trial index, independent of
+//    which worker runs the trial or when;
+//  * each trial constructs its own state (its own sim::Machine, Rng,
+//    recorder, ...) from that seed; trials share no mutable state;
+//  * results land in a pre-sized vector at slot i.
+// Hence run_campaign(seed, workers=1) and run_campaign(seed, workers=N)
+// return identical vectors, for any N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/thread_pool.h"
+
+namespace hwsec::core {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;  ///< campaign master seed.
+  std::size_t trials = 0;  ///< number of independent trials.
+  unsigned workers = 0;    ///< 0 = ThreadPool::default_workers().
+};
+
+/// Identity of one trial, handed to the trial body.
+struct TrialContext {
+  std::size_t index = 0;   ///< 0 .. trials-1, stable across worker counts.
+  std::uint64_t seed = 0;  ///< derive_seed(campaign seed, index).
+};
+
+/// Runs `config.trials` independent trials of `body` and returns their
+/// results in trial order. `body` must be callable concurrently from
+/// multiple threads and must derive all randomness from its TrialContext.
+template <typename Result>
+std::vector<Result> run_campaign(const CampaignConfig& config,
+                                 const std::function<Result(const TrialContext&)>& body) {
+  std::vector<Result> results(config.trials);
+  auto run_on = [&](hwsec::sim::ThreadPool& pool) {
+    pool.parallel_for(config.trials, [&](std::size_t i) {
+      results[i] = body(TrialContext{i, hwsec::sim::derive_seed(config.seed, i)});
+    });
+  };
+  if (config.workers == 0) {
+    run_on(hwsec::sim::ThreadPool::shared());  // no per-campaign thread spawn.
+  } else {
+    hwsec::sim::ThreadPool pool(config.workers);
+    run_on(pool);
+  }
+  return results;
+}
+
+/// Same, but reusing a caller-owned pool (avoids per-campaign thread spawn
+/// for repeated small campaigns, e.g. inside a benchmark loop).
+template <typename Result>
+std::vector<Result> run_campaign(hwsec::sim::ThreadPool& pool, std::uint64_t seed,
+                                 std::size_t trials,
+                                 const std::function<Result(const TrialContext&)>& body) {
+  std::vector<Result> results(trials);
+  pool.parallel_for(trials, [&](std::size_t i) {
+    results[i] = body(TrialContext{i, hwsec::sim::derive_seed(seed, i)});
+  });
+  return results;
+}
+
+/// Summary of a campaign of scalar outcomes (used by bench_campaign and
+/// the sweep benches for machine-readable records).
+struct CampaignSummary {
+  std::size_t trials = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+CampaignSummary summarize(const std::vector<double>& outcomes);
+
+/// Runs a list of heterogeneous independent tasks (each its own closure)
+/// across `workers` threads. Task k must derive all randomness from inputs
+/// fixed before the call, so completion order cannot affect results. Used
+/// by the Figure-1 evaluation to fan its attack probes out.
+void run_parallel_tasks(const std::vector<std::function<void()>>& tasks, unsigned workers = 0);
+
+}  // namespace hwsec::core

@@ -7,6 +7,7 @@
 #include "attacks/physical/power_analysis.h"
 #include "attacks/transient/meltdown.h"
 #include "attacks/transient/spectre.h"
+#include "core/campaign.h"
 #include "sca/cpa.h"
 #include "sim/program.h"
 
@@ -88,7 +89,8 @@ int level_from(double value, double t1, double t2, double t3) {
 
 }  // namespace
 
-PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_t seed) {
+PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_t seed,
+                                     unsigned workers) {
   PlatformEvaluation eval;
   eval.device_class = device_class;
 
@@ -100,19 +102,27 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
   }
   eval.platform = profile.name;
 
+  const bool speculative = profile.cpu.speculative_execution;
+  const bool has_caches = profile.hierarchy.has_llc;
+
+  // The workload and every probe build their own Machine from a fixed seed
+  // (seed .. seed+5, same values as the historical sequential code) and
+  // write to their own slot, so the fan-out below is bit-identical to the
+  // sequential run at any worker count.
+  eval.uarch_probes.resize(3);
+  eval.physical_probes.resize(2);
+  std::vector<std::function<void()>> tasks;
+
   // ---- non-functional requirements (measured) -------------------------
-  {
+  tasks.push_back([&eval, profile, seed] {
     sim::Machine machine(profile, seed);
     const WorkloadResult w = run_reference_workload(machine);
     eval.mips = w.mips;
     eval.nj_per_instruction = w.nj_per_instruction;
-  }
+  });
 
   // ---- microarchitectural probes --------------------------------------
-  const bool speculative = profile.cpu.speculative_execution;
-  const bool has_caches = profile.hierarchy.has_llc;
-
-  {
+  tasks.push_back([&eval, profile, seed, speculative] {
     AttackProbe p{.name = "Spectre-PHT", .applicable = speculative && profile.has_mmu, .succeeded = false, .detail = {}};
     if (p.applicable) {
       sim::Machine machine(profile, seed + 1);
@@ -124,9 +134,9 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     } else {
       p.detail = "no speculative execution";
     }
-    eval.uarch_probes.push_back(p);
-  }
-  {
+    eval.uarch_probes[0] = p;
+  });
+  tasks.push_back([&eval, profile, seed, speculative] {
     AttackProbe p{.name = "Meltdown", .applicable = speculative && profile.has_mmu, .succeeded = false, .detail = {}};
     if (p.applicable) {
       sim::Machine machine(profile, seed + 2);
@@ -139,9 +149,9 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     } else {
       p.detail = "no speculative execution";
     }
-    eval.uarch_probes.push_back(p);
-  }
-  {
+    eval.uarch_probes[1] = p;
+  });
+  tasks.push_back([&eval, profile, seed, has_caches] {
     AttackProbe p{.name = "LLC Prime+Probe", .applicable = has_caches, .succeeded = false, .detail = {}};
     if (p.applicable) {
       sim::Machine machine(profile, seed + 3);
@@ -161,11 +171,11 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     } else {
       p.detail = "no shared caches";
     }
-    eval.uarch_probes.push_back(p);
-  }
+    eval.uarch_probes[2] = p;
+  });
 
   // ---- classical physical probes ---------------------------------------
-  {
+  tasks.push_back([&eval, seed] {
     AttackProbe p{.name = "CPA on AES", .applicable = true, .succeeded = false, .detail = {}};
     const hwsec::crypto::AesKey key = {0x10, 0xa5, 0x88, 0x69, 0xd7, 0x4b, 0xe5, 0xa3,
                                        0x74, 0xcf, 0x86, 0x7c, 0xfb, 0x47, 0x38, 0x59};
@@ -178,9 +188,9 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     std::ostringstream os;
     os << result.correct_bytes(key) << "/16 key bytes";
     p.detail = os.str();
-    eval.physical_probes.push_back(p);
-  }
-  {
+    eval.physical_probes[0] = p;
+  });
+  tasks.push_back([&eval, profile, seed] {
     AttackProbe p{.name = "voltage/clock glitch", .applicable = true, .succeeded = false, .detail = {}};
     sim::Machine machine(profile, seed + 5);
     // Drive the platform's DVFS past its envelope and count induced
@@ -201,8 +211,10 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     std::ostringstream os;
     os << faults << "/200 operations glitched";
     p.detail = os.str();
-    eval.physical_probes.push_back(p);
-  }
+    eval.physical_probes[1] = p;
+  });
+
+  run_parallel_tasks(tasks, workers);
 
   auto success_rate = [](const std::vector<AttackProbe>& probes) {
     if (probes.empty()) {
@@ -237,10 +249,18 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
   return eval;
 }
 
-std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed) {
-  return {evaluate_platform(sim::DeviceClass::kServer, seed),
-          evaluate_platform(sim::DeviceClass::kMobile, seed),
-          evaluate_platform(sim::DeviceClass::kEmbedded, seed)};
+std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed, unsigned workers) {
+  const sim::DeviceClass classes[] = {sim::DeviceClass::kServer, sim::DeviceClass::kMobile,
+                                      sim::DeviceClass::kEmbedded};
+  std::vector<PlatformEvaluation> evals(3);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < 3; ++i) {
+    tasks.push_back([&evals, &classes, i, seed, workers] {
+      evals[i] = evaluate_platform(classes[i], seed, workers);
+    });
+  }
+  run_parallel_tasks(tasks, workers);
+  return evals;
 }
 
 std::string render_figure1(const std::vector<PlatformEvaluation>& columns) {

@@ -59,11 +59,16 @@ struct PlatformEvaluation {
 };
 
 /// Runs the reference workload + attack probes for one platform class.
+/// The workload and each probe build their own Machine from a fixed
+/// per-probe seed and run concurrently on `workers` threads (0 = host
+/// default); results are bit-identical at any worker count.
 PlatformEvaluation evaluate_platform(hwsec::sim::DeviceClass device_class,
-                                     std::uint64_t seed = 42);
+                                     std::uint64_t seed = 42, unsigned workers = 0);
 
-/// All three Figure-1 columns.
-std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed = 42);
+/// All three Figure-1 columns, evaluated concurrently (deterministic —
+/// each platform's evaluation depends only on (device_class, seed)).
+std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed = 42,
+                                                       unsigned workers = 0);
 
 /// Renders the matrix in the paper's layout (rows = adversary models +
 /// requirements, columns = platforms), one shade character per level.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sca/stats.h"
+#include "sim/thread_pool.h"
 
 namespace hwsec::sca {
 
@@ -153,21 +154,24 @@ ByteAttackResult dpa_attack_byte(const TraceSet& set, std::size_t byte_index, st
   return result;
 }
 
+// The 16 byte attacks are independent pure functions of the (shared,
+// read-only) trace set, so fanning them across the pool is bit-identical
+// to the sequential loop at any worker count.
 KeyAttackResult cpa_attack_key(const TraceSet& set) {
   KeyAttackResult result;
-  for (std::size_t i = 0; i < 16; ++i) {
+  hwsec::sim::ThreadPool::shared().parallel_for(16, [&](std::size_t i) {
     result.bytes[i] = cpa_attack_byte(set, i);
     result.recovered[i] = result.bytes[i].best_guess;
-  }
+  });
   return result;
 }
 
 KeyAttackResult dpa_attack_key(const TraceSet& set, std::uint32_t bit) {
   KeyAttackResult result;
-  for (std::size_t i = 0; i < 16; ++i) {
+  hwsec::sim::ThreadPool::shared().parallel_for(16, [&](std::size_t i) {
     result.bytes[i] = dpa_attack_byte(set, i, bit);
     result.recovered[i] = result.bytes[i].best_guess;
-  }
+  });
   return result;
 }
 

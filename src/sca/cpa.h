@@ -56,10 +56,13 @@ struct KeyAttackResult {
   }
 };
 
-/// Runs cpa_attack_byte on all 16 bytes.
+/// Runs cpa_attack_byte on all 16 bytes. The byte attacks are independent
+/// and fan out across the shared thread pool; results are bit-identical to
+/// the sequential loop at any worker count.
 KeyAttackResult cpa_attack_key(const TraceSet& set);
 
-/// Runs dpa_attack_byte on all 16 bytes.
+/// Runs dpa_attack_byte on all 16 bytes (parallel, deterministic — see
+/// cpa_attack_key).
 KeyAttackResult dpa_attack_key(const TraceSet& set, std::uint32_t bit = 0);
 
 }  // namespace hwsec::sca

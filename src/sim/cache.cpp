@@ -62,14 +62,14 @@ Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType typ
       }
       touch_plru(set, w);
       ++stats_.hits;
-      ++per_domain_[domain].hits;
+      ++domain_slot(domain).hits;
       return {.hit = true, .evicted_line = std::nullopt, .evicted_domain = kDomainNormal};
     }
   }
 
   // Miss: choose a victim within the domain's ways and fill.
   ++stats_.misses;
-  ++per_domain_[domain].misses;
+  ++domain_slot(domain).misses;
   const std::uint32_t victim_way = choose_victim(set, range);
   Line& victim = line_at(set, victim_way);
   AccessResult result;
@@ -77,7 +77,7 @@ Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType typ
     result.evicted_line = victim.tag_base;
     result.evicted_domain = victim.owner;
     ++stats_.evictions;
-    ++per_domain_[victim.owner].evictions;
+    ++domain_slot(victim.owner).evictions;
   }
   victim.valid = true;
   victim.tag_base = base;
@@ -189,7 +189,7 @@ std::uint32_t Cache::occupancy(PhysAddr addr, DomainId domain) const {
 }
 
 const CacheStats& Cache::domain_stats(DomainId domain) const {
-  return per_domain_[domain];  // default-constructs zeros for unseen domains.
+  return domain_slot(domain);  // zero-filled slot for unseen domains.
 }
 
 void Cache::reset_stats() {

@@ -164,6 +164,18 @@ class Cache {
   void touch_plru(std::uint32_t set, std::uint32_t way);
   std::uint32_t plru_victim(std::uint32_t set, WayRange range);
 
+  /// Per-domain stats slot, growing the flat array on first sight of a
+  /// domain. DomainIds are small dense integers, so a vector indexed by id
+  /// replaces two unordered_map lookups per access on the hottest path in
+  /// the simulator. Growth invalidates previously returned references —
+  /// callers read counters immediately (and did under the map, too).
+  CacheStats& domain_slot(DomainId domain) const {
+    if (domain >= per_domain_.size()) {
+      per_domain_.resize(static_cast<std::size_t>(domain) + 1);
+    }
+    return per_domain_[domain];
+  }
+
   CacheConfig config_;
   std::vector<Line> lines_;
   std::vector<std::uint32_t> plru_bits_;  ///< one bitfield of tree bits per set.
@@ -172,7 +184,7 @@ class Cache {
   std::uint64_t scramble_key_ = 0;
   Rng rng_;
   CacheStats stats_;
-  mutable std::unordered_map<DomainId, CacheStats> per_domain_;
+  mutable std::vector<CacheStats> per_domain_;  ///< indexed by DomainId.
 };
 
 }  // namespace hwsec::sim

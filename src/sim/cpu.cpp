@@ -11,17 +11,43 @@ Cpu::Cpu(CpuConfig config, Bus& bus)
       predictor_(config.predictor) {}
 
 void Cpu::load_program(const Program& program, std::optional<Asid> asid) {
-  programs_.push_back({program, asid});
+  LoadedProgram lp{program, asid, program.base, program.end(), true};
+  for (const LoadedProgram& other : programs_) {
+    if (lp.base < other.end && other.base < lp.end) {
+      lp.unique_range = false;
+      break;
+    }
+  }
+  programs_.push_back(std::move(lp));
+  last_hit_ = kNoProgram;
 }
 
-void Cpu::clear_programs() { programs_.clear(); }
+void Cpu::clear_programs() {
+  programs_.clear();
+  last_hit_ = kNoProgram;
+}
 
 const Instruction* Cpu::instruction_at(VirtAddr pc) const {
-  for (const LoadedProgram& lp : programs_) {
+  // Fast path: the program that served the previous fetch. Only taken when
+  // its range overlaps no other program, so the answer is identical to the
+  // load-order scan below.
+  if (last_hit_ < programs_.size()) {
+    const LoadedProgram& lp = programs_[last_hit_];
+    if (pc >= lp.base && pc < lp.end && lp.unique_range &&
+        (!lp.asid.has_value() || *lp.asid == mmu_.asid())) {
+      return lp.program.at(pc);
+    }
+  }
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    const LoadedProgram& lp = programs_[i];
+    if (pc < lp.base || pc >= lp.end) {
+      continue;
+    }
     if (lp.asid.has_value() && *lp.asid != mmu_.asid()) {
       continue;
     }
     if (const Instruction* inst = lp.program.at(pc)) {
+      last_hit_ = i;
       return inst;
     }
   }
@@ -31,10 +57,11 @@ const Instruction* Cpu::instruction_at(VirtAddr pc) const {
 void Cpu::switch_context(DomainId domain, Privilege priv, PhysAddr page_root, Asid asid) {
   mmu_.set_context(page_root, asid, domain, priv);
   predictor_.on_domain_switch();
+  last_hit_ = kNoProgram;  // the new address space may resolve pc differently.
 }
 
 void Cpu::leak_value(Word value) {
-  if (leak_) {
+  if (has_leak_) {
     leak_(value);
   }
 }
@@ -519,7 +546,7 @@ Cpu::StepOutcome Cpu::step() {
     }
   }
 
-  if (cf_hook_ && is_control_flow(inst->op) && inst->op != Opcode::kHalt) {
+  if (has_cf_hook_ && is_control_flow(inst->op) && inst->op != Opcode::kHalt) {
     cf_hook_(pc, next_pc);
   }
   pc_ = next_pc;

@@ -144,8 +144,14 @@ class Cpu {
   // -- hooks --------------------------------------------------------------
   void set_ecall_handler(EcallHandler h) { ecall_ = std::move(h); }
   void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
-  void set_leak_hook(LeakHook h) { leak_ = std::move(h); }
-  void set_control_flow_hook(ControlFlowHook h) { cf_hook_ = std::move(h); }
+  void set_leak_hook(LeakHook h) {
+    leak_ = std::move(h);
+    has_leak_ = static_cast<bool>(leak_);
+  }
+  void set_control_flow_hook(ControlFlowHook h) {
+    cf_hook_ = std::move(h);
+    has_cf_hook_ = static_cast<bool>(cf_hook_);
+  }
   /// Glitch injector applied to committed ALU results (CLKSCREW et al.).
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   void set_mpu(const Mpu* mpu) { mpu_ = mpu; }
@@ -209,12 +215,29 @@ class Cpu {
   struct LoadedProgram {
     Program program;
     std::optional<Asid> asid;
+    VirtAddr base = 0;  ///< cached program.base (avoids an indirection on reject).
+    VirtAddr end = 0;   ///< cached program.end().
+    /// True when this program's [base, end) overlaps no earlier-loaded
+    /// program's range: the last-hit cache may then answer directly without
+    /// violating the load-order priority of the sequential scan.
+    bool unique_range = true;
   };
   std::vector<LoadedProgram> programs_;
+  /// Index of the program that served the previous fetch. Straight-line and
+  /// loop execution hit the same program on almost every fetch (and every
+  /// transient step), turning the O(programs) scan into O(1). Invalidated
+  /// on load_program/clear_programs/switch_context.
+  mutable std::size_t last_hit_ = kNoProgram;
+  static constexpr std::size_t kNoProgram = static_cast<std::size_t>(-1);
   EcallHandler ecall_;
   FaultHandler fault_handler_;
   LeakHook leak_;
   ControlFlowHook cf_hook_;
+  /// Hoisted null-checks for the per-commit hooks: a plain bool test on the
+  /// commit path instead of a std::function engaged-state load per retired
+  /// instruction.
+  bool has_leak_ = false;
+  bool has_cf_hook_ = false;
   CpuStats stats_;
 };
 

@@ -107,6 +107,13 @@ class Machine {
   /// Creates an address space with a freshly allocated root table.
   AddressSpace create_address_space();
 
+  /// Hands out the next free ASID. Per-machine (not global) so that a
+  /// trial owning its own Machine sees ASIDs that depend only on its own
+  /// construction order — never on what other threads are doing.
+  /// Hardcoded ASIDs in the attack library start at 40; a machine hosts
+  /// far fewer processes than that.
+  Asid allocate_asid() { return next_asid_++; }
+
   // -- native instrumentation ports --------------------------------------
   /// Issues a data access to the cache hierarchy on behalf of
   /// host-instrumented victim code (e.g. the AES T-table lookups of the
@@ -146,6 +153,7 @@ class Machine {
   Rng rng_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   PhysAddr next_frame_;
+  Asid next_asid_ = 1;
 };
 
 }  // namespace hwsec::sim

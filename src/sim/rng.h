@@ -11,6 +11,26 @@
 
 namespace hwsec::sim {
 
+/// One splitmix64 step: advances `state` and returns the next value of the
+/// stream. The standard seed-expansion / seed-derivation primitive.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Derives the seed of stream element `index` from a base seed. Each index
+/// yields a statistically independent seed, and the mapping depends only on
+/// (base_seed, index) — the property the parallel campaign engine relies on
+/// to make trial results independent of worker count and scheduling.
+inline std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  std::uint64_t state = base_seed ^ (0xd1b54a32d192ed03ull * (index + 1));
+  std::uint64_t s = splitmix64(state);
+  return s ^ splitmix64(state);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }

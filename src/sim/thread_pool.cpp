@@ -1,0 +1,181 @@
+#include "sim/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace hwsec::sim {
+
+namespace {
+
+/// True while this thread is executing inside a parallel_for region (as a
+/// pool worker or as the participating caller). Nested parallel_for calls
+/// from such a thread run inline, which keeps composed parallel layers
+/// deadlock-free on a fixed-size pool.
+thread_local bool tl_in_parallel_region = false;
+
+}  // namespace
+
+/// One parallel_for invocation: an atomic work cursor plus completion
+/// bookkeeping. Lives on the caller's stack; workers detach before the
+/// caller is allowed to return.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t next = 0;       ///< cursor; guarded by m.
+  std::size_t completed = 0;  ///< finished fn calls; guarded by m.
+  int attached = 0;           ///< workers currently draining; guarded by m.
+  std::exception_ptr error;   ///< first failure; guarded by m.
+};
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_(workers == 0 ? default_workers() : workers) {
+  for (unsigned i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+unsigned ThreadPool::default_workers() {
+  if (const char* env = std::getenv("HWSEC_WORKERS")) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::drain(Batch& batch) {
+  const bool was_in_region = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lk(batch.m);
+      if (batch.next >= batch.n) {
+        break;
+      }
+      index = batch.next++;
+    }
+    try {
+      (*batch.fn)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(batch.m);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(batch.m);
+      ++batch.completed;
+    }
+    batch.done_cv.notify_all();
+  }
+  tl_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    std::uint64_t grabbed_epoch = 0;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      work_cv_.wait(lk, [this] { return stop_ || pending_ != nullptr; });
+      if (stop_) {
+        return;
+      }
+      batch = pending_;
+      grabbed_epoch = epoch_;
+      std::lock_guard<std::mutex> blk(batch->m);
+      ++batch->attached;
+    }
+    drain(*batch);
+    {
+      // Notify under the lock: the moment attached hits 0 the caller may
+      // destroy the (stack-allocated) batch, so no touch may follow the
+      // unlock.
+      std::lock_guard<std::mutex> blk(batch->m);
+      --batch->attached;
+      batch->done_cv.notify_all();
+    }
+    // Wait for the caller to retire this batch before looking for work
+    // again, so an exhausted batch is not re-grabbed in a hot spin. The
+    // epoch (not the pointer) is compared: a retired batch's stack slot can
+    // be reused by the next publish.
+    std::unique_lock<std::mutex> lk(mutex_);
+    work_cv_.wait(lk, [this, grabbed_epoch] { return stop_ || epoch_ != grabbed_epoch; });
+    if (stop_) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_ <= 1 || n == 1 || tl_in_parallel_region) {
+    const bool was_in_region = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        fn(i);
+      }
+    } catch (...) {
+      tl_in_parallel_region = was_in_region;
+      throw;
+    }
+    tl_in_parallel_region = was_in_region;
+    return;
+  }
+
+  // One batch at a time; a second top-level caller blocks here until the
+  // pool frees up (nested calls never reach this — they ran inline above).
+  std::lock_guard<std::mutex> submit_lk(submit_mutex_);
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    pending_ = &batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  drain(batch);
+  {
+    // Retire the batch: no new workers may attach past this point.
+    std::lock_guard<std::mutex> lk(mutex_);
+    pending_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(batch.m);
+    batch.done_cv.wait(lk, [&batch] { return batch.completed == batch.n && batch.attached == 0; });
+    if (batch.error) {
+      std::rethrow_exception(batch.error);
+    }
+  }
+}
+
+}  // namespace hwsec::sim

@@ -1,0 +1,68 @@
+// Fixed-size worker pool for fanning independent simulation trials across
+// host cores.
+//
+// The pool is deliberately minimal: `parallel_for(n, fn)` runs fn(0..n-1)
+// with the calling thread participating, and blocks until every index has
+// completed. Work is handed out through an atomic cursor, so scheduling is
+// nondeterministic — which is fine, because every consumer in this codebase
+// keys its randomness off the *index* (see sim::derive_seed), never off
+// execution order. That is the determinism contract of the campaign engine:
+// trial i's result is a pure function of (campaign seed, i).
+//
+// Nested parallel_for calls from inside a pool task execute inline on the
+// worker, so composed parallel layers (platforms × probes × key bytes)
+// cannot deadlock on a fixed-size pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwsec::sim {
+
+class ThreadPool {
+ public:
+  /// `workers` == 0 picks default_workers(). A pool of size 1 never spawns
+  /// threads: parallel_for degrades to a plain loop on the caller.
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return workers_; }
+
+  /// Runs fn(0), fn(1), ..., fn(n-1) across the pool plus the calling
+  /// thread; returns when all have completed. Exceptions thrown by fn are
+  /// captured and the first one is rethrown on the caller after the loop
+  /// drains. Reentrant calls from a pool task run inline.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Host parallelism: HWSEC_WORKERS if set and positive, else
+  /// hardware_concurrency (at least 1).
+  static unsigned default_workers();
+
+  /// Process-wide pool of default_workers() size, for call sites that have
+  /// no pool handed to them (e.g. cpa_attack_key's 16 byte attacks).
+  static ThreadPool& shared();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void drain(Batch& batch);
+
+  unsigned workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex submit_mutex_;  ///< serializes top-level batches.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  Batch* pending_ = nullptr;    ///< batch workers should join, if any.
+  std::uint64_t epoch_ = 0;     ///< bumped on publish/retire (ABA guard).
+  bool stop_ = false;
+};
+
+}  // namespace hwsec::sim
