@@ -21,6 +21,7 @@
 
 #include "attacks/transient/spectre.h"
 #include "core/campaign.h"
+#include "core/resilience/resilient.h"
 #include "sim/machine.h"
 #include "table.h"
 
@@ -97,9 +98,23 @@ int main(int argc, char** argv) {
 
   for (const unsigned workers : {1u, 2u, 4u, 8u}) {
     const auto start = std::chrono::steady_clock::now();
-    const auto results = core::run_campaign<TrialResult>(
-        {.seed = 2019, .trials = trials, .workers = workers}, spectre_trial);
+    // The resilient runner is now the engine under test: same determinism
+    // contract as run_campaign, plus per-slot fault containment.
+    const auto outcomes = core::run_campaign_resilient<TrialResult>(
+        {.seed = 2019, .trials = trials, .workers = workers}, {}, spectre_trial);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+    std::vector<TrialResult> results;
+    results.reserve(outcomes.size());
+    std::size_t failed = 0;
+    for (const auto& o : outcomes) {
+      if (o.ok()) {
+        results.push_back(o.value());
+      } else {
+        ++failed;
+        std::cerr << "trial failed: " << o.error->what() << "\n";
+      }
+    }
 
     Point p;
     p.workers = workers;
@@ -108,10 +123,10 @@ int main(int argc, char** argv) {
     if (workers == 1) {
       baseline = results;
       p.speedup = 1.0;
-      p.deterministic = true;
+      p.deterministic = failed == 0;
     } else {
       p.speedup = curve.front().seconds / p.seconds;
-      p.deterministic = results == baseline;
+      p.deterministic = failed == 0 && results == baseline;
     }
     curve.push_back(p);
     t.print_row(p.workers, p.seconds, p.trials_per_sec, p.speedup,
@@ -144,8 +159,13 @@ int main(int argc, char** argv) {
   json << "  ],\n"
        << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false") << "\n"
        << "}\n";
-  std::ofstream(json_path) << json.str();
-  std::cout << "wrote " << json_path << "\n";
+  // Atomic write: a run killed mid-write can never leave a torn JSON for
+  // CI to archive — it sees the previous complete file or the new one.
+  if (core::write_file_atomic(json_path, json.str())) {
+    std::cout << "wrote " << json_path << "\n";
+  } else {
+    std::cerr << "failed to write " << json_path << "\n";
+  }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

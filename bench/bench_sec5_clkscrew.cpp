@@ -13,6 +13,7 @@
 #include "arch/trustzone.h"
 #include "attacks/physical/clkscrew.h"
 #include "core/campaign.h"
+#include "core/resilience/resilient.h"
 #include "table.h"
 
 namespace sim = hwsec::sim;
@@ -71,25 +72,36 @@ int main(int argc, char** argv) {
           {12, 12, 13, 14, 14});
   t.print_header();
   {
-    // Campaign port: each frequency point is one independent trial (its own
-    // mobile Machine + TrustZone world, seeded 900+freq as before) — the
-    // sweep runs across host cores and prints in frequency order.
+    // Resilient campaign: each frequency point is one independent trial
+    // (its own mobile Machine + TrustZone world, seeded 900+freq as
+    // before) — the sweep runs across host cores and prints in frequency
+    // order. Each trial arms the per-trial cycle-budget watchdog on its
+    // machine, so a wedged secure-world invocation would surface as a
+    // structured TimedOut row instead of hanging the whole sweep.
     const std::vector<double> freqs = {800.0, 900.0, 1000.0, 1080.0, 1200.0, 1600.0, 2600.0};
     struct SweepRow {
       double freq = 0.0;
       attacks::ClkscrewResult result;
     };
-    const auto rows = hwsec::core::run_campaign<SweepRow>(
-        {.seed = 900, .trials = freqs.size()},
+    hwsec::core::ResilienceConfig res;
+    res.trial_cycle_budget = 500'000'000;  // generous: only a wedged guest hits it.
+    const auto rows = hwsec::core::run_campaign_resilient<SweepRow>(
+        {.seed = 900, .trials = freqs.size()}, res,
         [&freqs](const hwsec::core::TrialContext& ctx) {
           const double freq = freqs[ctx.index];
           TzSetup setup(900 + static_cast<std::uint64_t>(freq));
+          setup.machine->arm_watchdog(ctx.watchdog);
           attacks::ClkscrewConfig config;
           config.attack_point = {freq, 0.70};
           return SweepRow{freq,
                           attacks::clkscrew_attack(*setup.machine, setup.secure_encrypt(), config)};
         });
-    for (const SweepRow& row : rows) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (!rows[i].ok()) {
+        t.print_row(freqs[i], std::string("error: ") + rows[i].error->what(), "", "", "");
+        continue;
+      }
+      const SweepRow& row = rows[i].value();
       t.print_row(row.freq, row.result.fault_probability, row.result.invocations,
                   row.result.faulty_pairs,
                   row.result.dfa.key_recovered && row.result.dfa.key == kKey ? "YES" : "no");

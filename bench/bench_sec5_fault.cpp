@@ -14,6 +14,7 @@
 
 #include "attacks/physical/fault_attacks.h"
 #include "core/campaign.h"
+#include "core/resilience/resilient.h"
 #include "sim/dvfs.h"
 #include "sim/rng.h"
 #include "table.h"
@@ -130,9 +131,10 @@ int main(int argc, char** argv) {
           {28, 20, 22});
   g.print_header();
   {
-    // Campaign port: each margin point is one independent trial (its own
-    // DVFS controller and injector, fixed seed) — measured concurrently,
-    // printed in sweep order.
+    // Resilient campaign: each margin point is one independent trial (its
+    // own DVFS controller and injector, fixed seed) — measured
+    // concurrently, printed in sweep order; a throwing point reports its
+    // structured error without sinking the sweep.
     const std::vector<double> margins = {0.0, 50.0, 150.0, 400.0, 800.0, 1600.0};
     struct GlitchRow {
       double margin = 0.0;
@@ -140,8 +142,8 @@ int main(int argc, char** argv) {
       double measured_rate = 0.0;
     };
     const double v = 0.9;
-    const auto rows = hwsec::core::run_campaign<GlitchRow>(
-        {.seed = 860, .trials = margins.size()},
+    const auto rows = hwsec::core::run_campaign_resilient<GlitchRow>(
+        {.seed = 860, .trials = margins.size()}, {},
         [&margins, v](const hwsec::core::TrialContext& ctx) {
           const double margin = margins[ctx.index];
           sim::DvfsController dvfs;
@@ -157,8 +159,13 @@ int main(int argc, char** argv) {
           }
           return GlitchRow{margin, dvfs.fault_probability(), static_cast<double>(faults) / n};
         });
-    for (const GlitchRow& row : rows) {
-      g.print_row(row.margin, row.model_prob, row.measured_rate);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].ok()) {
+        const GlitchRow& row = rows[i].value();
+        g.print_row(row.margin, row.model_prob, row.measured_rate);
+      } else {
+        g.print_row(margins[i], std::string("error: ") + rows[i].error->what(), "");
+      }
     }
   }
 

@@ -16,6 +16,7 @@
 #include "attacks/physical/power_analysis.h"
 #include "attacks/physical/timing_attack.h"
 #include "core/campaign.h"
+#include "core/resilience/resilient.h"
 #include "sca/cpa.h"
 #include "sca/second_order.h"
 #include "table.h"
@@ -121,18 +122,23 @@ int main(int argc, char** argv) {
   Table n({"sigma", "traces to >=14/16"}, {8, 20});
   n.print_header();
   {
-    // Campaign port: one independent trial per noise level, printed in
-    // sweep order.
+    // Resilient campaign: one independent trial per noise level, printed
+    // in sweep order. A trial that throws only blanks its own row (the
+    // sweep keeps going and reports the structured error instead).
     const std::vector<double> sigmas = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
-    const auto needed = hwsec::core::run_campaign<std::size_t>(
-        {.seed = 17, .trials = sigmas.size()},
+    const auto needed = hwsec::core::run_campaign_resilient<std::size_t>(
+        {.seed = 17, .trials = sigmas.size()}, {},
         [&sigmas](const hwsec::core::TrialContext& ctx) {
           const double sigma = sigmas[ctx.index];
           return traces_to_success(attacks::AesVariant::kTTable, sigma, 0, 0.0, 32768,
                                    static_cast<std::uint64_t>(sigma * 100) + 17);
         });
     for (std::size_t i = 0; i < sigmas.size(); ++i) {
-      n.print_row(sigmas[i], needed[i]);
+      if (needed[i].ok()) {
+        n.print_row(sigmas[i], needed[i].value());
+      } else {
+        n.print_row(sigmas[i], std::string("error: ") + needed[i].error->what());
+      }
     }
   }
   std::cout << "(classic SNR scaling: traces grow ~quadratically with noise)\n";

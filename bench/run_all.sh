@@ -1,41 +1,73 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Smoke-runs every experiment binary (tables print; the google-benchmark
 # timing loops are skipped via --benchmark_filter=skip) and produces the
 # campaign-engine scaling record BENCH_campaign.json.
 #
+# Hardened for unattended CI use: each binary runs under a wall-clock
+# timeout, a failing or hanging binary is reported and counted instead of
+# silently truncating the sweep, and the script exits non-zero if any
+# experiment failed.
+#
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 # Knobs: HWSEC_CAMPAIGN_TRIALS  trials per scaling run (default 400)
 #        HWSEC_BENCH_JSON       output path for BENCH_campaign.json
-set -eu
+#        HWSEC_BENCH_TIMEOUT    per-binary timeout in seconds (default 900)
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 BENCH_DIR="$BUILD_DIR/bench"
+TIMEOUT_SECS="${HWSEC_BENCH_TIMEOUT:-900}"
 
 if [ ! -d "$BENCH_DIR" ]; then
   echo "error: $BENCH_DIR not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 1
 fi
 
-BENCHES="
-bench_fig1_matrix
-bench_sec3_architectures
-bench_sec41_cache_attacks
-bench_sec41_defenses
-bench_sec41_other_channels
-bench_sec42_spectre
-bench_sec42_meltdown_foreshadow
-bench_sec5_power_sca
-bench_sec5_fault
-bench_sec5_clkscrew
-bench_sim_microbench
-bench_conclusion_advisor
-"
+# coreutils timeout is present everywhere we run CI; degrade gracefully
+# (no wall-clock guard) where it is missing rather than failing outright.
+if command -v timeout >/dev/null 2>&1; then
+  run_guarded() { timeout --signal=KILL "$TIMEOUT_SECS" "$@"; }
+else
+  echo "warning: 'timeout' not found; benches run without a wall-clock guard" >&2
+  run_guarded() { "$@"; }
+fi
 
-for b in $BENCHES; do
+BENCHES=(
+  bench_fig1_matrix
+  bench_sec3_architectures
+  bench_sec41_cache_attacks
+  bench_sec41_defenses
+  bench_sec41_other_channels
+  bench_sec42_spectre
+  bench_sec42_meltdown_foreshadow
+  bench_sec5_power_sca
+  bench_sec5_fault
+  bench_sec5_clkscrew
+  bench_sim_microbench
+  bench_conclusion_advisor
+  bench_campaign
+)
+
+failures=0
+failed_names=()
+for b in "${BENCHES[@]}"; do
   echo "==== $b ===="
-  "$BENCH_DIR/$b" --benchmark_filter=skip
+  rc=0
+  run_guarded "$BENCH_DIR/$b" --benchmark_filter=skip || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    if [ "$rc" -ge 124 ]; then
+      echo "FAIL: $b timed out or was killed (exit $rc, limit ${TIMEOUT_SECS}s)" >&2
+    else
+      echo "FAIL: $b exited with status $rc" >&2
+    fi
+    failures=$((failures + 1))
+    failed_names+=("$b")
+  fi
   echo
 done
 
-echo "==== bench_campaign (writes ${HWSEC_BENCH_JSON:-BENCH_campaign.json}) ===="
-"$BENCH_DIR/bench_campaign" --benchmark_filter=skip
+if [ "$failures" -ne 0 ]; then
+  echo "== $failures experiment(s) FAILED: ${failed_names[*]}" >&2
+  exit 1
+fi
+echo "== all ${#BENCHES[@]} experiments passed (BENCH_campaign.json: ${HWSEC_BENCH_JSON:-BENCH_campaign.json})"

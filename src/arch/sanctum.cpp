@@ -1,6 +1,6 @@
 #include "arch/sanctum.h"
 
-#include <stdexcept>
+#include "sim/sim_error.h"
 
 namespace hwsec::arch {
 
@@ -11,7 +11,8 @@ Sanctum::Sanctum(sim::Machine& machine, Config config)
     : Architecture(machine), config_(config) {
   if (config_.num_colors < 2 || (config_.num_colors & (config_.num_colors - 1)) != 0 ||
       64 % config_.num_colors != 0) {
-    throw std::invalid_argument("num_colors must be a power of two dividing 64");
+    throw SimError(hwsec::ErrorKind::kConfigError,
+                   "num_colors must be a power of two dividing 64");
   }
   // Upper half of the color space is the enclave pool; the OS allocates
   // from the lower half. Disjoint colors => disjoint LLC sets.
@@ -121,7 +122,9 @@ tee::Expected<tee::EnclaveId> Sanctum::create_enclave(const tee::EnclaveImage& i
     const sim::PhysAddr frame = machine_->alloc_frame_colored(color, config_.num_colors);
     if (frame != info.base + p * config_.num_colors * sim::kPageSize) {
       // The bump allocator guarantees this layout; anything else is a bug.
-      throw std::logic_error("Sanctum: colored frames not evenly strided");
+      throw SimError(hwsec::ErrorKind::kInternalError,
+                     "Sanctum: colored frames not evenly strided")
+          .with_machine(machine_->profile().name);
     }
   }
   info.initialized = true;

@@ -1,6 +1,6 @@
 #include "arch/sgx.h"
 
-#include <stdexcept>
+#include "sim/sim_error.h"
 
 namespace hwsec::arch {
 
@@ -61,7 +61,9 @@ Sgx::Sgx(sim::Machine& machine, Config config)
     }
     const auto created = create_enclave(qe);
     if (!created.ok()) {
-      throw std::runtime_error("SGX: failed to provision quoting enclave");
+      throw SimError(hwsec::ErrorKind::kInternalError,
+                     "SGX: failed to provision quoting enclave: " + tee::to_string(created.error))
+          .with_machine(machine_->profile().name);
     }
     quoting_enclave_id_ = created.value;
   }

@@ -24,6 +24,10 @@
 #include "sim/rng.h"
 #include "sim/thread_pool.h"
 
+namespace hwsec::sim {
+struct TrialWatchdog;
+}
+
 namespace hwsec::core {
 
 struct CampaignConfig {
@@ -36,6 +40,10 @@ struct CampaignConfig {
 struct TrialContext {
   std::size_t index = 0;   ///< 0 .. trials-1, stable across worker counts.
   std::uint64_t seed = 0;  ///< derive_seed(campaign seed, index).
+  /// Armed by the resilient runner (null under plain run_campaign). A body
+  /// that simulates guest code should pass it to Machine::arm_watchdog so
+  /// runaway guests convert into structured TimedOut outcomes.
+  sim::TrialWatchdog* watchdog = nullptr;
 };
 
 /// Runs `config.trials` independent trials of `body` and returns their

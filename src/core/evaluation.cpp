@@ -8,6 +8,7 @@
 #include "attacks/transient/meltdown.h"
 #include "attacks/transient/spectre.h"
 #include "core/campaign.h"
+#include "core/resilience/resilient.h"
 #include "sca/cpa.h"
 #include "sim/program.h"
 
@@ -214,7 +215,16 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     eval.physical_probes[1] = p;
   });
 
-  run_parallel_tasks(tasks, workers);
+  // Fan out with fault containment: a probe that throws only blanks its
+  // own slot; the names below mirror the push order above.
+  static const char* kTaskNames[] = {"workload",   "Spectre-PHT", "Meltdown",
+                                     "LLC Prime+Probe", "CPA on AES", "voltage/clock glitch"};
+  const auto task_errors = run_parallel_tasks_resilient(tasks, workers);
+  for (std::size_t i = 0; i < task_errors.size(); ++i) {
+    if (task_errors[i].has_value()) {
+      eval.errors.push_back(std::string(kTaskNames[i]) + ": " + task_errors[i]->what());
+    }
+  }
 
   auto success_rate = [](const std::vector<AttackProbe>& probes) {
     if (probes.empty()) {
@@ -259,7 +269,13 @@ std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed, unsig
       evals[i] = evaluate_platform(classes[i], seed, workers);
     });
   }
-  run_parallel_tasks(tasks, workers);
+  const auto task_errors = run_parallel_tasks_resilient(tasks, workers);
+  for (std::size_t i = 0; i < task_errors.size(); ++i) {
+    if (task_errors[i].has_value()) {
+      evals[i].device_class = classes[i];
+      evals[i].errors.push_back(std::string("platform evaluation: ") + task_errors[i]->what());
+    }
+  }
   return evals;
 }
 

@@ -49,6 +49,11 @@ struct PlatformEvaluation {
   // Modeled (documented above).
   double physical_exposure = 0.0;
 
+  /// Probes that failed outright (threw), as "task: SimError text". A
+  /// failed probe no longer sinks the whole evaluation: its slot keeps the
+  /// zero/false defaults and the failure is reported here instead.
+  std::vector<std::string> errors;
+
   // Figure-1 importance levels, 0 (light) .. 3 (dark).
   int remote = 3;
   int local = 3;

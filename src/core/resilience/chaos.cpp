@@ -1,0 +1,44 @@
+#include "core/resilience/chaos.h"
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "sim/rng.h"
+
+namespace hwsec::core {
+
+ChaosInjector::ChaosInjector(const ChaosConfig& config, std::size_t trial_index,
+                             unsigned attempt)
+    : config_(config),
+      stream_seed_(hwsec::sim::derive_seed(hwsec::sim::derive_seed(config.seed, trial_index),
+                                           attempt)) {}
+
+void ChaosInjector::inject() {
+  if (!config_.enabled()) {
+    return;
+  }
+  hwsec::sim::Rng rng(stream_seed_);
+  // Every die is rolled regardless of the previous outcomes, so each
+  // decision depends only on (seed, trial, attempt) — never on which other
+  // injections were configured.
+  const bool delay = rng.chance(config_.delay_probability);
+  const std::uint32_t delay_us =
+      config_.max_delay_us == 0 ? 0 : static_cast<std::uint32_t>(rng.below(config_.max_delay_us + 1));
+  const bool fail_alloc = rng.chance(config_.bad_alloc_probability);
+  const bool fail_throw = rng.chance(config_.throw_probability);
+
+  if (delay && delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  if (fail_alloc) {
+    throw std::bad_alloc();
+  }
+  if (fail_throw) {
+    throw std::runtime_error("chaos: injected trial exception");
+  }
+}
+
+}  // namespace hwsec::core

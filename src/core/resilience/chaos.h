@@ -1,0 +1,45 @@
+// Self-chaos harness: the paper's fault-injection mindset (Section 5)
+// turned on our own framework.
+//
+// A ChaosInjector deterministically injects the failure modes a long
+// unattended sweep actually meets — thrown trial exceptions, host
+// allocation failure, scheduling delays — keyed by (chaos seed, trial
+// index, attempt). The injected pattern is a pure function of those
+// three values, so a chaos campaign's outcome vector is bit-identical at
+// any worker count, which is what lets the tests prove the containment
+// layer works rather than just hoping it does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hwsec::core {
+
+struct ChaosConfig {
+  std::uint64_t seed = 0xC4A05;        ///< chaos stream seed (independent of the campaign seed).
+  double throw_probability = 0.0;      ///< inject std::runtime_error before the trial body.
+  double bad_alloc_probability = 0.0;  ///< inject std::bad_alloc before the trial body.
+  double delay_probability = 0.0;      ///< sleep the worker before the trial body.
+  std::uint32_t max_delay_us = 500;    ///< upper bound for an injected delay.
+
+  bool enabled() const {
+    return throw_probability > 0.0 || bad_alloc_probability > 0.0 || delay_probability > 0.0;
+  }
+};
+
+class ChaosInjector {
+ public:
+  ChaosInjector(const ChaosConfig& config, std::size_t trial_index, unsigned attempt);
+
+  /// Rolls delay, allocation-failure, and exception injection in a fixed
+  /// order (all three dice are always thrown, so the decisions stay
+  /// independent). May sleep; may throw std::bad_alloc or
+  /// std::runtime_error. No-op when the config is disabled.
+  void inject();
+
+ private:
+  const ChaosConfig& config_;
+  std::uint64_t stream_seed_;
+};
+
+}  // namespace hwsec::core

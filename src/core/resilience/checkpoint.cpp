@@ -1,0 +1,167 @@
+#include "core/resilience/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hwsec::core {
+
+namespace {
+
+std::string hex_encode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const unsigned char b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out.empty() ? "-" : out;  // "-" keeps empty payloads tokenizable.
+}
+
+bool hex_decode(const std::string& hex, std::string& out) {
+  out.clear();
+  if (hex == "-") {
+    return true;
+  }
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  auto nibble = [](char c, int& v) {
+    if (c >= '0' && c <= '9') { v = c - '0'; return true; }
+    if (c >= 'a' && c <= 'f') { v = c - 'a' + 10; return true; }
+    return false;
+  };
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = 0, lo = 0;
+    if (!nibble(hex[i], hi) || !nibble(hex[i + 1], lo)) {
+      return false;
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+CheckpointFile::CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes)
+    : seed_(seed), trials_(trials), result_bytes_(result_bytes) {}
+
+bool CheckpointFile::load(const std::string& path) {
+  records_.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return false;
+  }
+  {
+    std::ostringstream expected;
+    expected << "hwsec-checkpoint v1 seed=" << seed_ << " trials=" << trials_
+             << " result_bytes=" << result_bytes_;
+    if (line != expected.str()) {
+      return false;
+    }
+  }
+  std::map<std::size_t, CheckpointRecord> parsed;
+  bool saw_end = false;
+  std::size_t declared = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "end") {
+      if (!(fields >> declared)) {
+        return false;
+      }
+      saw_end = true;
+      break;
+    }
+    std::size_t index = 0;
+    unsigned attempts = 0;
+    CheckpointRecord rec;
+    if (tag == "ok") {
+      std::string hex;
+      if (!(fields >> index >> attempts >> hex)) {
+        return false;
+      }
+      rec.ok = true;
+      if (!hex_decode(hex, rec.payload) || rec.payload.size() != result_bytes_) {
+        return false;
+      }
+    } else if (tag == "err") {
+      unsigned kind = 0;
+      std::string detail_hex;
+      std::string machine_hex;
+      if (!(fields >> index >> attempts >> kind >> detail_hex >> machine_hex)) {
+        return false;
+      }
+      rec.ok = false;
+      rec.kind = static_cast<std::uint8_t>(kind);
+      if (!hex_decode(detail_hex, rec.detail) || !hex_decode(machine_hex, rec.machine)) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    if (index >= trials_) {
+      return false;
+    }
+    rec.attempts = attempts == 0 ? 1 : attempts;
+    parsed[index] = std::move(rec);
+  }
+  if (!saw_end || declared != parsed.size()) {
+    return false;
+  }
+  records_ = std::move(parsed);
+  return true;
+}
+
+void CheckpointFile::record(std::size_t index, CheckpointRecord rec) {
+  records_[index] = std::move(rec);
+}
+
+bool CheckpointFile::save(const std::string& path) const {
+  std::ostringstream out;
+  out << "hwsec-checkpoint v1 seed=" << seed_ << " trials=" << trials_
+      << " result_bytes=" << result_bytes_ << "\n";
+  for (const auto& [index, rec] : records_) {
+    if (rec.ok) {
+      out << "ok " << index << " " << rec.attempts << " " << hex_encode(rec.payload) << "\n";
+    } else {
+      out << "err " << index << " " << rec.attempts << " " << static_cast<unsigned>(rec.kind)
+          << " " << hex_encode(rec.detail) << " " << hex_encode(rec.machine) << "\n";
+    }
+  }
+  out << "end " << records_.size() << "\n";
+  return write_file_atomic(path, out.str());
+}
+
+}  // namespace hwsec::core

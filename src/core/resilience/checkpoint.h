@@ -1,0 +1,72 @@
+// Crash-safe persistence for long campaigns.
+//
+// Two layers:
+//  * write_file_atomic — write-to-temp + std::rename, so a reader (or a
+//    resumed run) only ever sees the previous complete file or the new
+//    complete file, never a torn write. Used for every BENCH_*.json and
+//    for checkpoint saves.
+//  * CheckpointFile — a keyed store of completed trial slots for one
+//    campaign, identified by (campaign seed, trial count, result size).
+//    The resilient runner saves it periodically; on restart, load()
+//    restores finished slots and the runner re-executes only the rest.
+//    Because trial i's result is a pure function of (seed, i), a resumed
+//    campaign is bit-identical to an uninterrupted one.
+//
+// File format (text, one record per line, hex-encoded payloads):
+//   hwsec-checkpoint v1 seed=<u64> trials=<n> result_bytes=<k>
+//   ok <index> <attempts> <hex result bytes>
+//   err <index> <attempts> <kind> <hex detail> <hex machine>
+//   end <record count>
+// A file whose header does not match the campaign, or whose trailer is
+// missing/inconsistent, is ignored wholesale (the campaign starts fresh).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hwsec::core {
+
+/// Atomically replaces `path` with `content`. Returns false (leaving any
+/// previous file intact) if the temporary cannot be written or renamed.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+struct CheckpointRecord {
+  bool ok = false;
+  unsigned attempts = 1;
+  std::string payload;    ///< raw Result bytes when ok.
+  std::uint8_t kind = 0;  ///< ErrorKind when !ok.
+  std::string detail;     ///< error detail when !ok.
+  std::string machine;    ///< machine profile attribution when !ok (may be empty).
+};
+
+class CheckpointFile {
+ public:
+  CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes);
+
+  /// Restores records from `path`. Returns true iff the file exists, its
+  /// header matches this campaign, and every record parses; otherwise the
+  /// store is left empty.
+  bool load(const std::string& path);
+
+  /// Inserts or replaces the record for `index`. Not thread-safe; the
+  /// caller serializes (the resilient runner holds one mutex around
+  /// record+save).
+  void record(std::size_t index, CheckpointRecord rec);
+
+  const std::map<std::size_t, CheckpointRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Serializes the store and writes it via write_file_atomic. Best
+  /// effort: returns false on I/O failure (the campaign keeps running).
+  bool save(const std::string& path) const;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t trials_;
+  std::size_t result_bytes_;
+  std::map<std::size_t, CheckpointRecord> records_;
+};
+
+}  // namespace hwsec::core

@@ -1,0 +1,65 @@
+#include "core/resilience/monitor.h"
+
+namespace hwsec::core {
+
+WallClockMonitor::WallClockMonitor(std::chrono::milliseconds timeout) : timeout_(timeout) {}
+
+WallClockMonitor::~WallClockMonitor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+WallClockMonitor::Registration WallClockMonitor::watch(sim::TrialWatchdog& watchdog) {
+  if (timeout_.count() <= 0) {
+    return Registration();
+  }
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    entries_[id] = Entry{&watchdog, std::chrono::steady_clock::now() + timeout_};
+    if (!thread_.joinable()) {
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+  cv_.notify_all();
+  return Registration(this, id);
+}
+
+void WallClockMonitor::Registration::release() {
+  if (monitor_ != nullptr) {
+    monitor_->unwatch(id_);
+    monitor_ = nullptr;
+  }
+}
+
+void WallClockMonitor::unwatch(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(id);
+}
+
+void WallClockMonitor::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto next_wake = now + timeout_;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.deadline <= now) {
+        it->second.watchdog->cancel.store(true, std::memory_order_relaxed);
+        it = entries_.erase(it);  // fired once; the trial will see it.
+      } else {
+        next_wake = std::min(next_wake, it->second.deadline);
+        ++it;
+      }
+    }
+    cv_.wait_until(lock, next_wake);
+  }
+}
+
+}  // namespace hwsec::core

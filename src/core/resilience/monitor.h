@@ -1,0 +1,84 @@
+// Wall-clock watchdog for trials that stop making simulated progress.
+//
+// The cycle budget in sim::TrialWatchdog is the deterministic first line of
+// defence, but it only fires if the guest keeps committing instructions. A
+// trial wedged on the host side (chaos delay, pathological host code) needs
+// a real-time backstop: WallClockMonitor runs one background thread that
+// flips the `cancel` flag of every registered watchdog whose deadline has
+// passed. The cancelled Cpu then raises ErrorKind::kTimedOut at its next
+// poll point. Cancellation timing is inherently nondeterministic, which is
+// why resilient campaigns treat it as a last resort and lean on cycle
+// budgets for reproducible timeouts.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sim/watchdog.h"
+
+namespace hwsec::core {
+
+class WallClockMonitor {
+ public:
+  /// `timeout` applies to every registered trial; zero disables the
+  /// monitor entirely (watch() returns an inert registration and no
+  /// thread is ever started).
+  explicit WallClockMonitor(std::chrono::milliseconds timeout);
+  ~WallClockMonitor();
+
+  WallClockMonitor(const WallClockMonitor&) = delete;
+  WallClockMonitor& operator=(const WallClockMonitor&) = delete;
+
+  /// RAII handle: the watchdog is monitored while the registration is
+  /// alive and forgotten when it is destroyed (normal trial completion).
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(WallClockMonitor* monitor, std::uint64_t id)
+        : monitor_(monitor), id_(id) {}
+    Registration(Registration&& other) noexcept { *this = std::move(other); }
+    Registration& operator=(Registration&& other) noexcept {
+      release();
+      monitor_ = other.monitor_;
+      id_ = other.id_;
+      other.monitor_ = nullptr;
+      return *this;
+    }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration() { release(); }
+
+   private:
+    void release();
+
+    WallClockMonitor* monitor_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Starts the deadline clock for `watchdog`. The watchdog must outlive
+  /// the returned registration.
+  Registration watch(sim::TrialWatchdog& watchdog);
+
+ private:
+  struct Entry {
+    sim::TrialWatchdog* watchdog = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void unwatch(std::uint64_t id);
+  void loop();
+
+  const std::chrono::milliseconds timeout_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;  ///< started lazily by the first watch().
+};
+
+}  // namespace hwsec::core

@@ -1,0 +1,206 @@
+// Fault-contained campaign runner (the tentpole of the resilience layer).
+//
+// run_campaign_resilient has the same determinism contract as run_campaign
+// — trial i is a pure function of (campaign seed, i) — but adds:
+//  * containment: a throwing trial becomes a SimError in its own slot; all
+//    other slots hold exactly the fault-free values, at any worker count;
+//  * policy: fail-fast (stop scheduling, rethrow lowest-index failure),
+//    collect (default), or bounded same-seed retry for transient host
+//    faults (the trial body itself stays deterministic, so retry only
+//    helps against injected/host-side failures — which is the point);
+//  * watchdogs: a per-trial cycle budget (deterministic TimedOut) plus an
+//    optional wall-clock backstop (nondeterministic, last resort);
+//  * crash safety: periodic atomic checkpoints keyed by the campaign
+//    identity; a killed sweep resumes bit-identically, re-running only
+//    unfinished slots;
+//  * self-chaos: seeded fault injection ahead of the trial body, for
+//    exercising all of the above deterministically in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/resilience/chaos.h"
+#include "core/resilience/checkpoint.h"
+#include "core/resilience/monitor.h"
+#include "core/resilience/outcome.h"
+#include "sim/rng.h"
+#include "sim/watchdog.h"
+
+namespace hwsec::core {
+
+struct ResilienceConfig {
+  FailurePolicy policy = FailurePolicy::kCollect;
+  /// Attempts per trial under kRetry (>=1); other policies always run one.
+  unsigned max_attempts = 3;
+  /// Simulated-cycle budget per trial; 0 disables. Exceeding it raises a
+  /// deterministic ErrorKind::kTimedOut from inside the Cpu.
+  sim::Cycle trial_cycle_budget = 0;
+  /// Wall-clock budget per trial attempt; zero disables. Nondeterministic
+  /// backstop for trials wedged on the host side.
+  std::chrono::milliseconds wall_clock_timeout{0};
+  /// When non-empty, completed slots are checkpointed here atomically and
+  /// restored on the next run with the same (seed, trials, Result).
+  std::string checkpoint_path;
+  /// Save the checkpoint after this many newly completed trials (and once
+  /// more at the end). Minimum 1.
+  std::size_t checkpoint_every = 16;
+  /// Self-chaos injection (disabled by default).
+  ChaosConfig chaos;
+};
+
+namespace detail {
+
+/// Converts the in-flight exception into the taxonomy: SimError passes
+/// through untouched, std::bad_alloc maps to kResourceExhausted, any other
+/// std::exception (and anything else) to kInternalError.
+SimError wrap_current_exception();
+
+}  // namespace detail
+
+/// Runs `config.trials` trials of `body` with fault containment. Returns
+/// one TrialOutcome per slot, in trial order. Under kFailFast a failure
+/// stops new trials from starting and the lowest-index SimError is thrown
+/// after in-flight trials drain (their slots are still checkpointed).
+template <typename Result>
+std::vector<TrialOutcome<Result>> run_campaign_resilient(
+    const CampaignConfig& config, const ResilienceConfig& res,
+    const std::function<Result(const TrialContext&)>& body) {
+  constexpr bool kCheckpointable =
+      std::is_trivially_copyable_v<Result> && std::is_default_constructible_v<Result>;
+  const bool checkpointing = !res.checkpoint_path.empty();
+  if (checkpointing && !kCheckpointable) {
+    throw SimError(ErrorKind::kConfigError,
+                   "checkpointing requires a trivially copyable, default-constructible "
+                   "Result type");
+  }
+
+  std::vector<TrialOutcome<Result>> outcomes(config.trials);
+  CheckpointFile checkpoint(config.seed, config.trials, sizeof(Result));
+  if (checkpointing && checkpoint.load(res.checkpoint_path)) {
+    for (const auto& [index, rec] : checkpoint.records()) {
+      TrialOutcome<Result>& out = outcomes[index];
+      out.from_checkpoint = true;
+      out.attempts = rec.attempts;
+      if (rec.ok) {
+        if constexpr (kCheckpointable) {
+          Result restored{};
+          std::memcpy(&restored, rec.payload.data(), sizeof(Result));
+          out.result = restored;
+        }
+      } else {
+        SimError err(static_cast<ErrorKind>(rec.kind), rec.detail);
+        if (!rec.machine.empty()) {
+          err.with_machine(rec.machine);
+        }
+        err.with_trial(index, hwsec::sim::derive_seed(config.seed, index));
+        out.error = std::move(err);
+      }
+    }
+  }
+
+  WallClockMonitor monitor(res.wall_clock_timeout);
+  std::mutex checkpoint_mutex;
+  std::size_t completions_since_save = 0;
+  const std::size_t checkpoint_every = res.checkpoint_every == 0 ? 1 : res.checkpoint_every;
+  std::atomic<bool> tripped{false};
+  std::mutex failure_mutex;
+  std::optional<std::pair<std::size_t, SimError>> first_failure;
+
+  auto run_slot = [&](std::size_t i) {
+    TrialOutcome<Result>& out = outcomes[i];
+    if (out.from_checkpoint) {
+      return;  // restored slot; never re-run.
+    }
+    if (res.policy == FailurePolicy::kFailFast &&
+        tripped.load(std::memory_order_acquire)) {
+      out.skipped = true;
+      return;
+    }
+    const std::uint64_t seed = hwsec::sim::derive_seed(config.seed, i);
+    const unsigned attempts_allowed =
+        res.policy == FailurePolicy::kRetry ? std::max(1u, res.max_attempts) : 1u;
+    for (unsigned attempt = 1; attempt <= attempts_allowed; ++attempt) {
+      out.attempts = attempt;
+      hwsec::sim::TrialWatchdog watchdog;
+      watchdog.cycle_budget = res.trial_cycle_budget;
+      auto registration = monitor.watch(watchdog);
+      try {
+        ChaosInjector(res.chaos, i, attempt).inject();
+        out.result = body(TrialContext{i, seed, &watchdog});
+        out.error.reset();
+        break;
+      } catch (...) {
+        out.error = detail::wrap_current_exception().with_trial(i, seed);
+        out.result.reset();
+      }
+    }
+    if (!out.ok() && res.policy == FailurePolicy::kFailFast) {
+      tripped.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!first_failure.has_value() || i < first_failure->first) {
+        first_failure.emplace(i, *out.error);
+      }
+    }
+    if (checkpointing) {
+      if constexpr (kCheckpointable) {
+        CheckpointRecord rec;
+        rec.attempts = out.attempts;
+        if (out.ok()) {
+          rec.ok = true;
+          rec.payload.assign(reinterpret_cast<const char*>(&*out.result), sizeof(Result));
+        } else {
+          rec.ok = false;
+          rec.kind = static_cast<std::uint8_t>(out.error->kind());
+          rec.detail = out.error->detail();
+          rec.machine = out.error->machine();
+        }
+        std::lock_guard<std::mutex> lock(checkpoint_mutex);
+        checkpoint.record(i, std::move(rec));
+        if (++completions_since_save >= checkpoint_every) {
+          completions_since_save = 0;
+          checkpoint.save(res.checkpoint_path);
+        }
+      }
+    }
+  };
+
+  auto run_on = [&](hwsec::sim::ThreadPool& pool) {
+    pool.parallel_for(config.trials, run_slot);
+  };
+  if (config.workers == 0) {
+    run_on(hwsec::sim::ThreadPool::shared());
+  } else {
+    hwsec::sim::ThreadPool pool(config.workers);
+    run_on(pool);
+  }
+
+  if (checkpointing) {
+    std::lock_guard<std::mutex> lock(checkpoint_mutex);
+    checkpoint.save(res.checkpoint_path);
+  }
+  if (res.policy == FailurePolicy::kFailFast) {
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    if (first_failure.has_value()) {
+      throw first_failure->second;
+    }
+  }
+  return outcomes;
+}
+
+/// Fault-contained variant of run_parallel_tasks: every task runs, and the
+/// returned vector holds task k's wrapped exception (or nullopt on
+/// success). The caller decides what a partial fan-out means.
+std::vector<std::optional<SimError>> run_parallel_tasks_resilient(
+    const std::vector<std::function<void()>>& tasks, unsigned workers = 0);
+
+}  // namespace hwsec::core

@@ -1,6 +1,6 @@
 #include "crypto/modmath.h"
 
-#include <stdexcept>
+#include "sim/sim_error.h"
 
 namespace hwsec::crypto {
 
@@ -93,7 +93,7 @@ bool is_prime(u64 n) {
 
 u64 gen_prime(std::uint32_t bits, hwsec::sim::Rng& rng) {
   if (bits < 2 || bits > 62) {
-    throw std::invalid_argument("gen_prime supports 2..62 bits");
+    throw hwsec::SimError(hwsec::ErrorKind::kConfigError, "gen_prime supports 2..62 bits");
   }
   for (int attempts = 0; attempts < 1'000'000; ++attempts) {
     u64 candidate = rng.next_u64() & ((1ull << bits) - 1);
@@ -102,12 +102,12 @@ u64 gen_prime(std::uint32_t bits, hwsec::sim::Rng& rng) {
       return candidate;
     }
   }
-  throw std::runtime_error("gen_prime failed to find a prime");
+  throw hwsec::SimError(hwsec::ErrorKind::kInternalError, "gen_prime failed to find a prime");
 }
 
 Montgomery::Montgomery(u64 modulus) : n_(modulus) {
   if ((modulus & 1) == 0 || modulus < 3) {
-    throw std::invalid_argument("Montgomery modulus must be odd and >= 3");
+    throw hwsec::SimError(hwsec::ErrorKind::kConfigError, "Montgomery modulus must be odd and >= 3");
   }
   // n' = -n^{-1} mod 2^64 by Newton iteration: starting from a seed
   // correct mod 2, each step doubles the number of correct low bits,

@@ -1,12 +1,12 @@
 #include "crypto/rsa.h"
 
-#include <stdexcept>
+#include "sim/sim_error.h"
 
 namespace hwsec::crypto {
 
 RsaKeyPair rsa_generate(hwsec::sim::Rng& rng, std::uint32_t prime_bits) {
   if (prime_bits < 4 || prime_bits > 31) {
-    throw std::invalid_argument("rsa_generate supports 4..31 prime bits");
+    throw hwsec::SimError(hwsec::ErrorKind::kConfigError, "rsa_generate supports 4..31 prime bits");
   }
   for (int attempts = 0; attempts < 1000; ++attempts) {
     const u64 p = gen_prime(prime_bits, rng);
@@ -32,7 +32,8 @@ RsaKeyPair rsa_generate(hwsec::sim::Rng& rng, std::uint32_t prime_bits) {
     key.q_inv = invmod(q, p).value();
     return key;
   }
-  throw std::runtime_error("rsa_generate failed");
+  throw hwsec::SimError(hwsec::ErrorKind::kInternalError,
+                        "rsa_generate failed to find a valid key pair in 1000 attempts");
 }
 
 u64 rsa_public(u64 m, const RsaKeyPair& key) { return powmod(m, key.e, key.n); }

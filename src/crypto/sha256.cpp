@@ -1,7 +1,8 @@
 #include "crypto/sha256.h"
 
 #include <cstring>
-#include <stdexcept>
+
+#include "sim/sim_error.h"
 
 namespace hwsec::crypto {
 
@@ -30,7 +31,7 @@ Sha256::Sha256()
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   if (finalized_) {
-    throw std::logic_error("Sha256::update after finalize");
+    throw hwsec::SimError(hwsec::ErrorKind::kConfigError, "Sha256::update after finalize");
   }
   total_bytes_ += data.size();
   std::size_t offset = 0;
@@ -53,7 +54,7 @@ void Sha256::update(const std::string& s) {
 
 Sha256Digest Sha256::finalize() {
   if (finalized_) {
-    throw std::logic_error("Sha256::finalize called twice");
+    throw hwsec::SimError(hwsec::ErrorKind::kConfigError, "Sha256::finalize called twice");
   }
   finalized_ = true;
   const std::uint64_t bit_length = total_bytes_ * 8;

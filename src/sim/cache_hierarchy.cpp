@@ -1,13 +1,14 @@
 #include "sim/cache_hierarchy.h"
 
 #include <cassert>
-#include <stdexcept>
+
+#include "sim/sim_error.h"
 
 namespace hwsec::sim {
 
 CacheHierarchy::CacheHierarchy(HierarchyConfig config) : config_(std::move(config)) {
   if (config_.num_cores == 0) {
-    throw std::invalid_argument("hierarchy needs at least one core");
+    throw SimError(ErrorKind::kConfigError, "hierarchy needs at least one core");
   }
   if (config_.has_l1) {
     for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
@@ -145,14 +146,14 @@ void CacheHierarchy::clear_uncacheable() { uncacheable_.clear(); }
 
 Cache& CacheHierarchy::llc() {
   if (llc_ == nullptr) {
-    throw std::logic_error("hierarchy has no LLC");
+    throw SimError(ErrorKind::kConfigError, "hierarchy has no LLC");
   }
   return *llc_;
 }
 
 const Cache& CacheHierarchy::llc() const {
   if (llc_ == nullptr) {
-    throw std::logic_error("hierarchy has no LLC");
+    throw SimError(ErrorKind::kConfigError, "hierarchy has no LLC");
   }
   return *llc_;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/sim_error.h"
+
 namespace hwsec::sim {
 
 Cpu::Cpu(CpuConfig config, Bus& bus)
@@ -82,9 +84,28 @@ void Cpu::note_service(ServiceLevel level) {
   }
 }
 
+void Cpu::check_watchdog(std::uint64_t executed) const {
+  if (watchdog_->cycle_budget != 0 && cycles_ >= watchdog_->cycle_budget) {
+    throw SimError(ErrorKind::kTimedOut,
+                   "cycle budget of " + std::to_string(watchdog_->cycle_budget) +
+                       " exhausted at pc=" + std::to_string(pc_) + " after " +
+                       std::to_string(cycles_) + " cycles");
+  }
+  // The cancel flag is asynchronous host state; poll it only every 1024
+  // committed instructions to keep the commit loop cheap.
+  if ((executed & 0x3FF) == 0 && watchdog_->cancel.load(std::memory_order_relaxed)) {
+    throw SimError(ErrorKind::kTimedOut,
+                   "wall-clock watchdog cancelled the trial at pc=" + std::to_string(pc_) +
+                       " after " + std::to_string(cycles_) + " cycles");
+  }
+}
+
 RunResult Cpu::run(std::uint64_t max_instructions) {
   RunResult result;
   while (result.executed < max_instructions) {
+    if (watchdog_ != nullptr) {
+      check_watchdog(result.executed);
+    }
     const StepOutcome outcome = step();
     ++result.executed;
     if (outcome.halt) {

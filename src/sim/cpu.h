@@ -46,6 +46,7 @@
 #include "sim/predictor.h"
 #include "sim/program.h"
 #include "sim/types.h"
+#include "sim/watchdog.h"
 
 namespace hwsec::sim {
 
@@ -155,6 +156,10 @@ class Cpu {
   /// Glitch injector applied to committed ALU results (CLKSCREW et al.).
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   void set_mpu(const Mpu* mpu) { mpu_ = mpu; }
+  /// Arms (or with nullptr disarms) the per-trial watchdog. While armed,
+  /// run() throws SimError(kTimedOut) when the cycle budget is exhausted or
+  /// the wall-clock monitor sets the cancel flag.
+  void set_watchdog(const TrialWatchdog* watchdog) { watchdog_ = watchdog; }
 
   // -- execution ------------------------------------------------------------
   /// Runs until kHalt, an unhandled fault, or `max_instructions`
@@ -181,6 +186,8 @@ class Cpu {
 
   const Instruction* instruction_at(VirtAddr pc) const;
   StepOutcome step();
+  /// Throws SimError(kTimedOut) if the armed watchdog tripped.
+  void check_watchdog(std::uint64_t executed) const;
   /// Raises `info` through the fault handler; fills StepOutcome.
   StepOutcome raise(const FaultInfo& info);
   void leak_value(Word value);
@@ -204,6 +211,7 @@ class Cpu {
   BranchPredictor predictor_;
   const Mpu* mpu_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  const TrialWatchdog* watchdog_ = nullptr;
 
   std::array<Word, kNumRegs> regs_{};
   VirtAddr pc_ = 0;

@@ -1,6 +1,6 @@
 #include "sim/machine.h"
 
-#include <stdexcept>
+#include "sim/sim_error.h"
 
 namespace hwsec::sim {
 
@@ -141,7 +141,14 @@ PhysAddr Machine::alloc_frames(std::uint32_t n) {
   const PhysAddr base = next_frame_;
   const std::uint64_t end = static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(n) * kPageSize;
   if (end > memory_.size()) {
-    throw std::runtime_error("machine '" + profile_.name + "' is out of physical frames");
+    const std::uint64_t total = memory_.size() / kPageSize;
+    const std::uint64_t free = (memory_.size() - next_frame_) / kPageSize;
+    throw SimError(ErrorKind::kResourceExhausted,
+                   "out of physical frames: requested " + std::to_string(n) + " frame(s) (" +
+                       std::to_string(static_cast<std::uint64_t>(n) * kPageSize / 1024) +
+                       " KiB) but only " + std::to_string(free) + " of " +
+                       std::to_string(total) + " frames are free")
+        .with_machine(profile_.name);
   }
   next_frame_ = static_cast<PhysAddr>(end);
   memory_.fill(base, n * kPageSize, 0);
@@ -158,7 +165,8 @@ std::uint32_t Machine::frame_color(PhysAddr frame, std::uint32_t num_colors) con
 
 PhysAddr Machine::alloc_frame_colored(std::uint32_t color, std::uint32_t num_colors) {
   if (num_colors == 0) {
-    throw std::invalid_argument("num_colors must be positive");
+    throw SimError(ErrorKind::kConfigError, "num_colors must be positive")
+        .with_machine(profile_.name);
   }
   // Skip frames until the color matches. Skipped frames are simply leaked;
   // acceptable for experiment-scale allocation.
@@ -168,7 +176,9 @@ PhysAddr Machine::alloc_frame_colored(std::uint32_t color, std::uint32_t num_col
     }
     alloc_frame();  // discard.
   }
-  throw std::logic_error("unreachable: color not found within num_colors frames");
+  throw SimError(ErrorKind::kInternalError,
+                 "unreachable: color not found within num_colors frames")
+      .with_machine(profile_.name);
 }
 
 AddressSpace Machine::create_address_space() {
@@ -182,6 +192,12 @@ PhysAddr Machine::alloc_frame_trampoline(void* ctx) {
 
 MemoryAccessOutcome Machine::touch(CoreId core, DomainId domain, PhysAddr addr, AccessType type) {
   return caches_.access(core, domain, addr, type);
+}
+
+void Machine::arm_watchdog(const TrialWatchdog* watchdog) {
+  for (auto& cpu : cpus_) {
+    cpu->set_watchdog(watchdog);
+  }
 }
 
 Cycle Machine::observe_latency(Cycle latency) {

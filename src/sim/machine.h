@@ -129,6 +129,11 @@ class Machine {
   /// timer (the default) returns the input unchanged.
   Cycle observe_latency(Cycle latency);
 
+  /// Arms (nullptr: disarms) a per-trial watchdog on every core. While
+  /// armed, guest execution that exceeds the watchdog's cycle budget — or
+  /// that the wall-clock monitor cancels — raises SimError(kTimedOut).
+  void arm_watchdog(const TrialWatchdog* watchdog);
+
   // -- whole-machine measurements (Figure 1 rows) -------------------------
   /// Total energy consumed so far across all cores, in nanojoules, at the
   /// current DVFS voltage.

@@ -1,25 +1,26 @@
 #include "sim/mpu.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "sim/sim_error.h"
 
 namespace hwsec::sim {
 
 std::size_t Mpu::add_region(MpuRegion region) {
   if (locked_) {
-    throw std::logic_error("MPU configuration is locked");
+    throw SimError(ErrorKind::kConfigError, "MPU configuration is locked");
   }
   if (region.end <= region.start) {
-    throw std::invalid_argument("MPU region is empty");
+    throw SimError(ErrorKind::kConfigError, "MPU region is empty");
   }
   if (region.code_gate_start.has_value() != region.code_gate_end.has_value()) {
-    throw std::invalid_argument("MPU code gate needs both bounds");
+    throw SimError(ErrorKind::kConfigError, "MPU code gate needs both bounds");
   }
   for (const MpuRegion& existing : regions_) {
     const bool overlap = region.start < existing.end && existing.start < region.end;
     if (overlap) {
-      throw std::invalid_argument("MPU regions must not overlap: " + region.name + " vs " +
-                                  existing.name);
+      throw SimError(ErrorKind::kConfigError, "MPU regions must not overlap: " + region.name +
+                                               " vs " + existing.name);
     }
   }
   regions_.push_back(std::move(region));
@@ -28,14 +29,14 @@ std::size_t Mpu::add_region(MpuRegion region) {
 
 void Mpu::clear() {
   if (locked_) {
-    throw std::logic_error("MPU configuration is locked");
+    throw SimError(ErrorKind::kConfigError, "MPU configuration is locked");
   }
   regions_.clear();
 }
 
 bool Mpu::remove_region(const std::string& name) {
   if (locked_) {
-    throw std::logic_error("MPU configuration is locked");
+    throw SimError(ErrorKind::kConfigError, "MPU configuration is locked");
   }
   const auto before = regions_.size();
   std::erase_if(regions_, [&name](const MpuRegion& r) { return r.name == name; });

@@ -1,6 +1,6 @@
 #include "sim/page_table.h"
 
-#include <stdexcept>
+#include "sim/sim_error.h"
 
 namespace hwsec::sim {
 
@@ -8,7 +8,7 @@ AddressSpace::AddressSpace(PhysicalMemory& mem, PhysAddr root, FrameAllocator al
                            void* alloc_ctx)
     : mem_(&mem), root_(root), alloc_(alloc), alloc_ctx_(alloc_ctx) {
   if (root & kPageOffsetMask) {
-    throw std::invalid_argument("page table root must be page-aligned");
+    throw SimError(ErrorKind::kConfigError, "page table root must be page-aligned");
   }
   mem_->fill(root_, kPageSize, 0);
 }
@@ -22,7 +22,7 @@ PhysAddr AddressSpace::leaf_addr(VirtAddr va, bool create) {
     }
     const PhysAddr table = alloc_(alloc_ctx_);
     if (table & kPageOffsetMask) {
-      throw std::logic_error("frame allocator returned unaligned page");
+      throw SimError(ErrorKind::kInternalError, "frame allocator returned unaligned page");
     }
     mem_->fill(table, kPageSize, 0);
     l1_entry = table | pte::kPresent;
@@ -33,7 +33,7 @@ PhysAddr AddressSpace::leaf_addr(VirtAddr va, bool create) {
 
 void AddressSpace::map(VirtAddr va, PhysAddr pa, Word flags) {
   if ((va & kPageOffsetMask) || (pa & kPageOffsetMask)) {
-    throw std::invalid_argument("map requires page-aligned addresses");
+    throw SimError(ErrorKind::kConfigError, "map requires page-aligned addresses");
   }
   const PhysAddr leaf = leaf_addr(va, /*create=*/true);
   mem_->write32(leaf, (pa & pte::kFrameMask) | (flags & pte::kFlagsMask) | pte::kPresent);
@@ -57,7 +57,7 @@ std::optional<Word> AddressSpace::pte_of(VirtAddr va) const {
 void AddressSpace::set_pte(VirtAddr va, Word raw_entry) {
   const PhysAddr leaf = leaf_addr(va, /*create=*/false);
   if (leaf == 0) {
-    throw std::logic_error("set_pte on unmapped 4MiB region");
+    throw SimError(ErrorKind::kConfigError, "set_pte on unmapped 4MiB region");
   }
   mem_->write32(leaf, raw_entry);
 }

@@ -1,0 +1,48 @@
+#include "sim/sim_error.h"
+
+namespace hwsec {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kConfigError: return "ConfigError";
+    case ErrorKind::kGuestFault: return "GuestFault";
+    case ErrorKind::kResourceExhausted: return "ResourceExhausted";
+    case ErrorKind::kTimedOut: return "TimedOut";
+    case ErrorKind::kInternalError: return "InternalError";
+  }
+  return "?";
+}
+
+SimError::SimError(ErrorKind kind, std::string detail)
+    : std::runtime_error(detail), kind_(kind), detail_(std::move(detail)) {
+  recompose();
+}
+
+SimError& SimError::with_machine(std::string profile_name) {
+  machine_ = std::move(profile_name);
+  recompose();
+  return *this;
+}
+
+SimError& SimError::with_trial(std::size_t index, std::uint64_t seed) {
+  if (!has_trial_) {
+    has_trial_ = true;
+    trial_index_ = index;
+    trial_seed_ = seed;
+    recompose();
+  }
+  return *this;
+}
+
+void SimError::recompose() {
+  what_ = std::string(to_string(kind_)) + ": " + detail_;
+  if (!machine_.empty()) {
+    what_ += " [machine=" + machine_ + "]";
+  }
+  if (has_trial_) {
+    what_ += " [trial=" + std::to_string(trial_index_) +
+             " seed=" + std::to_string(trial_seed_) + "]";
+  }
+}
+
+}  // namespace hwsec

@@ -1,0 +1,76 @@
+// Structured error taxonomy for the whole framework.
+//
+// Every failure the simulator, the architecture layers, or the crypto
+// substrate can raise is one of five kinds:
+//
+//   kConfigError        — the experiment asked for something impossible
+//                         (overlapping MPU regions, unaligned mappings,
+//                         invalid cache geometry, misused crypto objects);
+//   kGuestFault         — a simulated guest program misbehaved in a way the
+//                         trial body considers fatal (unexpected halt fault,
+//                         corrupted protocol state);
+//   kResourceExhausted  — a finite simulated or host resource ran out
+//                         (physical frames, EPC pages, host memory);
+//   kTimedOut           — a watchdog fired: the trial exceeded its cycle
+//                         budget, or the wall-clock monitor cancelled it;
+//   kInternalError      — an invariant of the framework itself broke, or an
+//                         unrecognized exception escaped a trial.
+//
+// SimError derives from std::runtime_error so legacy call sites that catch
+// (or tests that EXPECT_THROW) std::runtime_error keep working. On top of
+// the kind it carries the context an unattended 10k-trial sweep needs to
+// diagnose a single bad slot after the fact: which machine profile the
+// error came from, and — filled in by the campaign layer as the error
+// crosses it — the trial index and derived seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hwsec {
+
+enum class ErrorKind : std::uint8_t {
+  kConfigError,
+  kGuestFault,
+  kResourceExhausted,
+  kTimedOut,
+  kInternalError,
+};
+
+const char* to_string(ErrorKind kind);
+
+class SimError : public std::runtime_error {
+ public:
+  SimError(ErrorKind kind, std::string detail);
+
+  ErrorKind kind() const { return kind_; }
+  const std::string& detail() const { return detail_; }
+  const std::string& machine() const { return machine_; }
+  bool has_trial() const { return has_trial_; }
+  std::size_t trial_index() const { return trial_index_; }
+  std::uint64_t trial_seed() const { return trial_seed_; }
+
+  /// Attaches the machine profile name the error originated on.
+  SimError& with_machine(std::string profile_name);
+  /// Attaches trial identity; called by the campaign layer when the error
+  /// crosses a trial boundary. Idempotent — the first attribution wins, so
+  /// a nested campaign cannot overwrite the inner trial's identity.
+  SimError& with_trial(std::size_t index, std::uint64_t seed);
+
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  void recompose();
+
+  ErrorKind kind_;
+  std::string detail_;
+  std::string machine_;
+  bool has_trial_ = false;
+  std::size_t trial_index_ = 0;
+  std::uint64_t trial_seed_ = 0;
+  std::string what_;
+};
+
+}  // namespace hwsec

@@ -28,7 +28,12 @@ struct ThreadPool::Batch {
   std::size_t next = 0;       ///< cursor; guarded by m.
   std::size_t completed = 0;  ///< finished fn calls; guarded by m.
   int attached = 0;           ///< workers currently draining; guarded by m.
-  std::exception_ptr error;   ///< first failure; guarded by m.
+  /// Failure with the lowest index; guarded by m. Every index still runs
+  /// after a failure, so at drain end this is the lowest-index failure of
+  /// the whole batch — which exception the caller sees is therefore
+  /// deterministic, independent of worker count and scheduling.
+  std::exception_ptr error;
+  std::size_t error_index = static_cast<std::size_t>(-1);
 };
 
 ThreadPool::ThreadPool(unsigned workers)
@@ -81,8 +86,9 @@ void ThreadPool::drain(Batch& batch) {
       (*batch.fn)(index);
     } catch (...) {
       std::lock_guard<std::mutex> lk(batch.m);
-      if (!batch.error) {
+      if (!batch.error || index < batch.error_index) {
         batch.error = std::current_exception();
+        batch.error_index = index;
       }
     }
     {

@@ -37,8 +37,9 @@ class ThreadPool {
 
   /// Runs fn(0), fn(1), ..., fn(n-1) across the pool plus the calling
   /// thread; returns when all have completed. Exceptions thrown by fn are
-  /// captured and the first one is rethrown on the caller after the loop
-  /// drains. Reentrant calls from a pool task run inline.
+  /// captured and the one from the LOWEST failing index is rethrown on the
+  /// caller after the loop drains — deterministic at any worker count.
+  /// Reentrant calls from a pool task run inline.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Host parallelism: HWSEC_WORKERS if set and positive, else

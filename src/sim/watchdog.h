@@ -1,0 +1,32 @@
+// Per-trial watchdog shared between the campaign layer and the execution
+// engine.
+//
+// A trial arms one TrialWatchdog on its Machine (Machine::arm_watchdog);
+// the Cpu checks it on the commit path and converts a trip into a thrown
+// SimError of kind kTimedOut, which the resilient campaign runner records
+// as a structured per-slot outcome.
+//
+// Two independent triggers:
+//  * cycle_budget — a *deterministic* deadline in simulated cycles. A guest
+//    that spins forever exhausts the budget at the same simulated point on
+//    every run, so the resulting TimedOut outcome is bit-identical at any
+//    worker count.
+//  * cancel — set asynchronously by the wall-clock monitor for trials that
+//    hang in host code. Inherently nondeterministic (it reflects host
+//    timing); a backstop, not the primary mechanism. Cooperative: only
+//    code that polls the flag (the Cpu commit loop) can be cancelled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace hwsec::sim {
+
+struct TrialWatchdog {
+  Cycle cycle_budget = 0;          ///< 0 = no cycle deadline.
+  std::atomic<bool> cancel{false}; ///< set by the wall-clock monitor.
+};
+
+}  // namespace hwsec::sim

@@ -73,6 +73,62 @@ TEST(ThreadPool, PropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, FirstExceptionSelectionIsDeterministic) {
+  // Two indices throw with distinct messages; the pool must rethrow the
+  // LOWEST failing index regardless of which worker hit its failure
+  // first. Repeat to shake out scheduling luck.
+  for (int round = 0; round < 20; ++round) {
+    sim::ThreadPool pool(4);
+    try {
+      pool.parallel_for(16, [](std::size_t i) {
+        if (i == 3 || i == 11) {
+          throw std::runtime_error("failed at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "failed at 3");
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionFromNestedParallelForPropagates) {
+  sim::ThreadPool pool(2);
+  std::atomic<int> outer_done{0};
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(4, [outer](std::size_t inner) {
+                                     if (outer == 1 && inner == 2) {
+                                       throw std::runtime_error("nested failure");
+                                     }
+                                   });
+                                   outer_done.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // The failing outer iteration never increments; the other three drain.
+  EXPECT_EQ(outer_done.load(), 3);
+}
+
+TEST(ThreadPool, ExceptionDuringCallerParticipationStillDrains) {
+  // Every index throws, so whichever indices the *caller* thread claims
+  // while participating in the drain also throw. All indices must still
+  // be visited exactly once and exactly one exception must surface.
+  sim::ThreadPool pool(2);
+  std::vector<std::atomic<int>> visited(64);
+  try {
+    pool.parallel_for(visited.size(), [&](std::size_t i) {
+      visited[i].fetch_add(1);
+      throw std::runtime_error("failed at " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "failed at 0");  // lowest index wins.
+  }
+  for (const auto& v : visited) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
 TEST(ThreadPool, ConcurrentTopLevelSubmitsSerialize) {
   sim::ThreadPool pool(2);
   std::atomic<int> total{0};
@@ -132,6 +188,17 @@ TEST(Campaign, SummarizeComputesMoments) {
   EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 4.0);
   EXPECT_DOUBLE_EQ(s.sum, 10.0);
+}
+
+TEST(Campaign, SummarizeEmptyOutcomesIsZeroed) {
+  // A sweep whose every trial failed hands summarize() an empty vector;
+  // the summary must be all zeros, never NaN or garbage.
+  const auto s = core::summarize({});
+  EXPECT_EQ(s.trials, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.sum, 0.0);
 }
 
 // ---- trace-capture campaign ------------------------------------------

@@ -1,7 +1,9 @@
 // Execution-aware MPU: permissions, code gates, entry points, locking.
+// Configuration mistakes surface as SimError(kConfigError).
 #include <gtest/gtest.h>
 
 #include "sim/mpu.h"
+#include "sim/sim_error.h"
 
 namespace sim = hwsec::sim;
 
@@ -24,7 +26,7 @@ TEST(Mpu, OverlappingRegionsRejected) {
   sim::Mpu mpu;
   mpu.add_region({.name = "a", .start = 0x1000, .end = 0x2000});
   EXPECT_THROW(mpu.add_region({.name = "b", .start = 0x1800, .end = 0x2800}),
-               std::invalid_argument);
+               hwsec::SimError);
   EXPECT_NO_THROW(mpu.add_region({.name = "c", .start = 0x2000, .end = 0x3000}));
 }
 
@@ -66,9 +68,9 @@ TEST(Mpu, LockPreventsReconfiguration) {
   sim::Mpu mpu;
   mpu.add_region({.name = "a", .start = 0x1000, .end = 0x2000});
   mpu.lock();
-  EXPECT_THROW(mpu.add_region({.name = "b", .start = 0x3000, .end = 0x4000}), std::logic_error);
-  EXPECT_THROW(mpu.clear(), std::logic_error);
-  EXPECT_THROW(mpu.remove_region("a"), std::logic_error);
+  EXPECT_THROW(mpu.add_region({.name = "b", .start = 0x3000, .end = 0x4000}), hwsec::SimError);
+  EXPECT_THROW(mpu.clear(), hwsec::SimError);
+  EXPECT_THROW(mpu.remove_region("a"), hwsec::SimError);
   mpu.reset();
   EXPECT_FALSE(mpu.locked());
   EXPECT_TRUE(mpu.regions().empty());
@@ -85,10 +87,10 @@ TEST(Mpu, RemoveRegionByName) {
 TEST(Mpu, EmptyAndHalfConfiguredRegionsRejected) {
   sim::Mpu mpu;
   EXPECT_THROW(mpu.add_region({.name = "e", .start = 0x1000, .end = 0x1000}),
-               std::invalid_argument);
+               hwsec::SimError);
   EXPECT_THROW(mpu.add_region({.name = "g", .start = 0x1000, .end = 0x2000,
                                .code_gate_start = 0x100, .code_gate_end = std::nullopt}),
-               std::invalid_argument);
+               hwsec::SimError);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "sim/sim_error.h"
 
 namespace crypto = hwsec::crypto;
 
@@ -49,7 +50,7 @@ TEST(Sha256, FinalizeTwiceThrows) {
   crypto::Sha256 h;
   h.update(std::string{"x"});
   h.finalize();
-  EXPECT_THROW(h.finalize(), std::logic_error);
+  EXPECT_THROW(h.finalize(), hwsec::SimError);
 }
 
 TEST(Sha256, PaddingBoundaryLengths) {
