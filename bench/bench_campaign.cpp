@@ -12,15 +12,18 @@
 // HWSEC_BENCH_JSON) for CI to archive.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "attacks/transient/spectre.h"
 #include "core/campaign.h"
+#include "core/machine_pool.h"
 #include "core/resilience/resilient.h"
 #include "sim/machine.h"
 #include "table.h"
@@ -31,7 +34,7 @@ namespace attacks = hwsec::attacks;
 
 namespace {
 
-/// One campaign trial: fresh machine, fresh attack, outcome encoded so
+/// One campaign trial: pooled machine, fresh attack, outcome encoded so
 /// that any divergence (success flag OR leaked value) breaks equality.
 struct TrialResult {
   bool leaked = false;
@@ -42,11 +45,34 @@ struct TrialResult {
   }
 };
 
+/// Setup-vs-run breakdown, accumulated only during the sequential pass
+/// (parallel passes would fold scheduler contention into the numbers).
+std::atomic<std::uint64_t> g_setup_ns{0};
+std::atomic<std::uint64_t> g_run_ns{0};
+std::atomic<std::uint64_t> g_timed_trials{0};
+std::atomic<bool> g_record_breakdown{false};
+
 TrialResult spectre_trial(const core::TrialContext& ctx) {
-  sim::Machine machine(sim::MachineProfile::mobile(), ctx.seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Machine acquisition is the "setup" under test: a pool reset-reuse when
+  // the campaign runner supplies a pool, a full construction otherwise.
+  auto machine_lease =
+      core::acquire_machine(ctx.machines, sim::MachineProfile::mobile(), ctx.seed);
+  sim::Machine& machine = *machine_lease;
+  const auto t1 = std::chrono::steady_clock::now();
   attacks::SpectreV1 spectre(machine, 0);
   const sim::Word index = spectre.plant_secret("K");
   const auto byte = spectre.leak_byte(index);
+  const auto t2 = std::chrono::steady_clock::now();
+  if (g_record_breakdown.load(std::memory_order_relaxed)) {
+    g_setup_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count(),
+        std::memory_order_relaxed);
+    g_run_ns.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1).count(),
+        std::memory_order_relaxed);
+    g_timed_trials.fetch_add(1, std::memory_order_relaxed);
+  }
   TrialResult r;
   r.leaked = byte.has_value() && *byte == 'K';
   r.value = byte.value_or(0xFFFF);
@@ -60,6 +86,15 @@ std::size_t env_size_t(const char* name, std::size_t fallback) {
   }
   const std::size_t parsed = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
   return parsed == 0 ? fallback : parsed;  // unparseable/zero -> default.
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const double parsed = std::strtod(value, nullptr);
+  return parsed <= 0.0 ? fallback : parsed;
 }
 
 void BM_Campaign32Trials(benchmark::State& state) {
@@ -96,13 +131,29 @@ int main(int argc, char** argv) {
   std::vector<Point> curve;
   std::vector<TrialResult> baseline;
 
+  // One machine pool shared by every worker-count run: the determinism
+  // check below then also validates that machines reset-reused across
+  // whole campaigns reproduce the sequential results bit for bit.
+  core::MachinePool machine_pool;
+
+  // Untimed warmup at the widest worker count: pool construction and the
+  // one-off 16 MiB memory snapshot per machine happen here, so the timed
+  // passes (and the setup-vs-run breakdown) measure steady-state
+  // reset-reuse rather than cold builds.
+  core::run_campaign_resilient<TrialResult>({.seed = 2019, .trials = 32, .workers = 8},
+                                            {.machines = &machine_pool}, spectre_trial);
+
   for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    g_record_breakdown.store(workers == 1);
     const auto start = std::chrono::steady_clock::now();
     // The resilient runner is now the engine under test: same determinism
-    // contract as run_campaign, plus per-slot fault containment.
+    // contract as run_campaign, plus per-slot fault containment and
+    // snapshot/reset machine pooling.
     const auto outcomes = core::run_campaign_resilient<TrialResult>(
-        {.seed = 2019, .trials = trials, .workers = workers}, {}, spectre_trial);
+        {.seed = 2019, .trials = trials, .workers = workers},
+        {.machines = &machine_pool}, spectre_trial);
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    g_record_breakdown.store(false);
 
     std::vector<TrialResult> results;
     results.reserve(outcomes.size());
@@ -135,6 +186,21 @@ int main(int argc, char** argv) {
   std::cout << "(speedup saturates at the host core count; bit-identical must\n"
                " read YES everywhere — the engine's determinism contract)\n";
 
+  // ---- setup-vs-run breakdown (sequential pass) ------------------------
+  const std::uint64_t timed = g_timed_trials.load();
+  const double setup_ns_mean =
+      timed == 0 ? 0.0 : static_cast<double>(g_setup_ns.load()) / static_cast<double>(timed);
+  const double run_ns_mean =
+      timed == 0 ? 0.0 : static_cast<double>(g_run_ns.load()) / static_cast<double>(timed);
+  const double setup_fraction =
+      setup_ns_mean + run_ns_mean <= 0.0 ? 0.0
+                                         : setup_ns_mean / (setup_ns_mean + run_ns_mean);
+  std::cout << "per-trial breakdown (sequential): setup "
+            << setup_ns_mean / 1000.0 << " us, run " << run_ns_mean / 1000.0 << " us ("
+            << setup_fraction * 100.0 << "% setup)\n"
+            << "machine pool: " << machine_pool.machines_built() << " built, "
+            << machine_pool.leases_served() << " leases served\n";
+
   // ---- machine-readable record for CI ----------------------------------
   const char* json_path_env = std::getenv("HWSEC_BENCH_JSON");
   const std::string json_path =
@@ -146,7 +212,13 @@ int main(int argc, char** argv) {
        << "  \"trial_body\": \"spectre_pht_mobile\",\n"
        << "  \"trials\": " << trials << ",\n"
        << "  \"host_workers\": " << host_cores << ",\n"
+       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
        << "  \"sequential_trials_per_sec\": " << curve.front().trials_per_sec << ",\n"
+       << "  \"setup_ns_mean\": " << setup_ns_mean << ",\n"
+       << "  \"run_ns_mean\": " << run_ns_mean << ",\n"
+       << "  \"setup_fraction\": " << setup_fraction << ",\n"
+       << "  \"pool_machines_built\": " << machine_pool.machines_built() << ",\n"
+       << "  \"pool_leases_served\": " << machine_pool.leases_served() << ",\n"
        << "  \"scaling\": [\n";
   for (std::size_t i = 0; i < curve.size(); ++i) {
     const Point& p = curve[i];
@@ -167,7 +239,18 @@ int main(int argc, char** argv) {
     std::cerr << "failed to write " << json_path << "\n";
   }
 
+  // ---- perf smoke floor (CI) -------------------------------------------
+  // HWSEC_CAMPAIGN_MIN_TPS sets a sequential trials/sec floor; a run below
+  // it fails, catching setup-cost regressions before they land.
+  const double min_tps = env_double("HWSEC_CAMPAIGN_MIN_TPS", 0.0);
+  bool fast_enough = true;
+  if (min_tps > 0.0) {
+    fast_enough = curve.front().trials_per_sec >= min_tps;
+    std::cout << "perf floor: " << curve.front().trials_per_sec << " trials/sec vs. floor "
+              << min_tps << " -> " << (fast_enough ? "OK" : "REGRESSION") << "\n";
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return all_deterministic ? 0 : 1;
+  return all_deterministic && fast_enough ? 0 : 1;
 }

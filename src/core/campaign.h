@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/machine_pool.h"
 #include "sim/rng.h"
 #include "sim/thread_pool.h"
 
@@ -44,6 +45,13 @@ struct TrialContext {
   /// that simulates guest code should pass it to Machine::arm_watchdog so
   /// runaway guests convert into structured TimedOut outcomes.
   sim::TrialWatchdog* watchdog = nullptr;
+  /// Snapshot/reset machine pool for this campaign. Bodies should obtain
+  /// machines via acquire_machine(ctx.machines, profile, ctx.seed) instead
+  /// of constructing sim::Machine directly: the pool hands back a
+  /// reset-reused machine bit-identical to fresh construction, amortizing
+  /// per-trial setup. Null when the runner offers no pooling; the helper
+  /// then builds a fresh machine, so bodies need no fallback of their own.
+  MachinePool* machines = nullptr;
 };
 
 /// Runs `config.trials` independent trials of `body` and returns their
@@ -53,9 +61,11 @@ template <typename Result>
 std::vector<Result> run_campaign(const CampaignConfig& config,
                                  const std::function<Result(const TrialContext&)>& body) {
   std::vector<Result> results(config.trials);
+  MachinePool machines;
   auto run_on = [&](hwsec::sim::ThreadPool& pool) {
     pool.parallel_for(config.trials, [&](std::size_t i) {
-      results[i] = body(TrialContext{i, hwsec::sim::derive_seed(config.seed, i)});
+      results[i] =
+          body(TrialContext{i, hwsec::sim::derive_seed(config.seed, i), nullptr, &machines});
     });
   };
   if (config.workers == 0) {
@@ -68,14 +78,17 @@ std::vector<Result> run_campaign(const CampaignConfig& config,
 }
 
 /// Same, but reusing a caller-owned pool (avoids per-campaign thread spawn
-/// for repeated small campaigns, e.g. inside a benchmark loop).
+/// for repeated small campaigns, e.g. inside a benchmark loop). The
+/// machine pool still lives per call: pooled machines carry no state
+/// between campaigns.
 template <typename Result>
 std::vector<Result> run_campaign(hwsec::sim::ThreadPool& pool, std::uint64_t seed,
                                  std::size_t trials,
                                  const std::function<Result(const TrialContext&)>& body) {
   std::vector<Result> results(trials);
+  MachinePool machines;
   pool.parallel_for(trials, [&](std::size_t i) {
-    results[i] = body(TrialContext{i, hwsec::sim::derive_seed(seed, i)});
+    results[i] = body(TrialContext{i, hwsec::sim::derive_seed(seed, i), nullptr, &machines});
   });
   return results;
 }

@@ -91,9 +91,14 @@ int level_from(double value, double t1, double t2, double t3) {
 }  // namespace
 
 PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_t seed,
-                                     unsigned workers) {
+                                     unsigned workers, MachinePool* machines) {
   PlatformEvaluation eval;
   eval.device_class = device_class;
+
+  MachinePool local_machines;
+  if (machines == nullptr) {
+    machines = &local_machines;
+  }
 
   sim::MachineProfile profile;
   switch (device_class) {
@@ -115,18 +120,20 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
   std::vector<std::function<void()>> tasks;
 
   // ---- non-functional requirements (measured) -------------------------
-  tasks.push_back([&eval, profile, seed] {
-    sim::Machine machine(profile, seed);
+  tasks.push_back([&eval, profile, seed, machines] {
+    auto machine_lease = acquire_machine(machines, profile, seed);
+    sim::Machine& machine = *machine_lease;
     const WorkloadResult w = run_reference_workload(machine);
     eval.mips = w.mips;
     eval.nj_per_instruction = w.nj_per_instruction;
   });
 
   // ---- microarchitectural probes --------------------------------------
-  tasks.push_back([&eval, profile, seed, speculative] {
+  tasks.push_back([&eval, profile, seed, speculative, machines] {
     AttackProbe p{.name = "Spectre-PHT", .applicable = speculative && profile.has_mmu, .succeeded = false, .detail = {}};
     if (p.applicable) {
-      sim::Machine machine(profile, seed + 1);
+      auto machine_lease = acquire_machine(machines, profile, seed + 1);
+      sim::Machine& machine = *machine_lease;
       attacks::SpectreV1 spectre(machine, 0);
       const sim::Word index = spectre.plant_secret("K");
       const auto byte = spectre.leak_byte(index);
@@ -137,10 +144,11 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     }
     eval.uarch_probes[0] = p;
   });
-  tasks.push_back([&eval, profile, seed, speculative] {
+  tasks.push_back([&eval, profile, seed, speculative, machines] {
     AttackProbe p{.name = "Meltdown", .applicable = speculative && profile.has_mmu, .succeeded = false, .detail = {}};
     if (p.applicable) {
-      sim::Machine machine(profile, seed + 2);
+      auto machine_lease = acquire_machine(machines, profile, seed + 2);
+      sim::Machine& machine = *machine_lease;
       attacks::MeltdownAttack meltdown(machine, 0);
       const sim::VirtAddr va = meltdown.plant_kernel_secret("S");
       const auto byte = meltdown.leak_byte(va);
@@ -152,10 +160,11 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     }
     eval.uarch_probes[1] = p;
   });
-  tasks.push_back([&eval, profile, seed, has_caches] {
+  tasks.push_back([&eval, profile, seed, has_caches, machines] {
     AttackProbe p{.name = "LLC Prime+Probe", .applicable = has_caches, .succeeded = false, .detail = {}};
     if (p.applicable) {
-      sim::Machine machine(profile, seed + 3);
+      auto machine_lease = acquire_machine(machines, profile, seed + 3);
+      sim::Machine& machine = *machine_lease;
       const hwsec::crypto::AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
                                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
       const sim::PhysAddr tables = machine.alloc_frames(2);
@@ -191,9 +200,10 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     p.detail = os.str();
     eval.physical_probes[0] = p;
   });
-  tasks.push_back([&eval, profile, seed] {
+  tasks.push_back([&eval, profile, seed, machines] {
     AttackProbe p{.name = "voltage/clock glitch", .applicable = true, .succeeded = false, .detail = {}};
-    sim::Machine machine(profile, seed + 5);
+    auto machine_lease = acquire_machine(machines, profile, seed + 5);
+    sim::Machine& machine = *machine_lease;
     // Drive the platform's DVFS past its envelope and count induced
     // faults over 200 sensitive operations.
     const auto& cfg = machine.dvfs().config();
@@ -259,14 +269,19 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
   return eval;
 }
 
-std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed, unsigned workers) {
+std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed, unsigned workers,
+                                                       MachinePool* machines) {
   const sim::DeviceClass classes[] = {sim::DeviceClass::kServer, sim::DeviceClass::kMobile,
                                       sim::DeviceClass::kEmbedded};
+  MachinePool local_machines;
+  if (machines == nullptr) {
+    machines = &local_machines;  // one pool backs all three columns.
+  }
   std::vector<PlatformEvaluation> evals(3);
   std::vector<std::function<void()>> tasks;
   for (std::size_t i = 0; i < 3; ++i) {
-    tasks.push_back([&evals, &classes, i, seed, workers] {
-      evals[i] = evaluate_platform(classes[i], seed, workers);
+    tasks.push_back([&evals, &classes, i, seed, workers, machines] {
+      evals[i] = evaluate_platform(classes[i], seed, workers, machines);
     });
   }
   const auto task_errors = run_parallel_tasks_resilient(tasks, workers);

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/machine_pool.h"
 #include "sim/machine.h"
 
 namespace hwsec::core {
@@ -64,16 +65,23 @@ struct PlatformEvaluation {
 };
 
 /// Runs the reference workload + attack probes for one platform class.
-/// The workload and each probe build their own Machine from a fixed
+/// The workload and each probe obtain their own Machine from a fixed
 /// per-probe seed and run concurrently on `workers` threads (0 = host
-/// default); results are bit-identical at any worker count.
+/// default); results are bit-identical at any worker count. With
+/// `machines` supplied, probes lease reset-reused machines from the pool
+/// (bit-identical to fresh construction); repeated evaluations then skip
+/// the per-probe Machine construction cost.
 PlatformEvaluation evaluate_platform(hwsec::sim::DeviceClass device_class,
-                                     std::uint64_t seed = 42, unsigned workers = 0);
+                                     std::uint64_t seed = 42, unsigned workers = 0,
+                                     MachinePool* machines = nullptr);
 
 /// All three Figure-1 columns, evaluated concurrently (deterministic —
-/// each platform's evaluation depends only on (device_class, seed)).
+/// each platform's evaluation depends only on (device_class, seed)). A
+/// pool created per call (or the caller's, when supplied) backs all
+/// probe machines.
 std::vector<PlatformEvaluation> evaluate_all_platforms(std::uint64_t seed = 42,
-                                                       unsigned workers = 0);
+                                                       unsigned workers = 0,
+                                                       MachinePool* machines = nullptr);
 
 /// Renders the matrix in the paper's layout (rows = adversary models +
 /// requirements, columns = platforms), one shade character per level.

@@ -56,6 +56,11 @@ struct ResilienceConfig {
   std::size_t checkpoint_every = 16;
   /// Self-chaos injection (disabled by default).
   ChaosConfig chaos;
+  /// Snapshot/reset machine pool handed to trial bodies via
+  /// TrialContext::machines. Null (default): the runner creates a pool for
+  /// this campaign. Supply one to reuse machines across campaigns (e.g. a
+  /// benchmark loop running many short sweeps on the same profile).
+  MachinePool* machines = nullptr;
 };
 
 namespace detail {
@@ -108,6 +113,8 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
     }
   }
 
+  MachinePool local_machines;
+  MachinePool* machines = res.machines != nullptr ? res.machines : &local_machines;
   WallClockMonitor monitor(res.wall_clock_timeout);
   std::mutex checkpoint_mutex;
   std::size_t completions_since_save = 0;
@@ -136,7 +143,7 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
       auto registration = monitor.watch(watchdog);
       try {
         ChaosInjector(res.chaos, i, attempt).inject();
-        out.result = body(TrialContext{i, seed, &watchdog});
+        out.result = body(TrialContext{i, seed, &watchdog, machines});
         out.error.reset();
         break;
       } catch (...) {

@@ -7,6 +7,7 @@ PowerTraceRecorder::PowerTraceRecorder(RecorderConfig config)
 
 void PowerTraceRecorder::begin_trace() {
   current_.clear();
+  current_.reserve(reserve_hint_);
   previous_value_ = 0;
 }
 
@@ -30,6 +31,7 @@ void PowerTraceRecorder::on_value(std::uint32_t value) {
 }
 
 Trace PowerTraceRecorder::end_trace(std::size_t fixed_length) {
+  reserve_hint_ = fixed_length != 0 ? fixed_length : current_.size();
   Trace out = std::move(current_);
   current_ = {};
   if (fixed_length != 0) {

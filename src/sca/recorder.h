@@ -57,6 +57,11 @@ class PowerTraceRecorder {
   RecorderConfig config_;
   hwsec::sim::Rng rng_;
   Trace current_;
+  /// Length of the previously finished trace. Traces in a capture campaign
+  /// are near-identical in length, so begin_trace() reserves this up front
+  /// and the per-sample push_back path never reallocates after the first
+  /// trace.
+  std::size_t reserve_hint_ = 0;
   std::uint32_t previous_value_ = 0;
 };
 

@@ -84,6 +84,25 @@ class Bus {
   Cycle dma_latency() const { return dma_latency_; }
   void set_dma_latency(Cycle c) { dma_latency_ = c; }
 
+  // -- snapshot / restore (Machine::snapshot) ---------------------------
+  /// Captures the installed firewalls (including tombstoned slots, so
+  /// check ids stay stable across a restore), the MEE transform, and the
+  /// DMA latency. std::function copies share the callable's captured
+  /// state; architecture hooks capture pointers into their owning Machine,
+  /// which is why MachineSnapshot restores are owner-checked.
+  struct Snapshot {
+    std::vector<PhysCheck> checks;
+    Transform transform;
+    Cycle dma_latency = 100;
+  };
+
+  Snapshot snapshot() const { return {checks_, transform_, dma_latency_}; }
+  void restore(const Snapshot& snap) {
+    checks_ = snap.checks;
+    transform_ = snap.transform;
+    dma_latency_ = snap.dma_latency;
+  }
+
  private:
   Fault run_checks(PhysAddr addr, AccessType type, DomainId domain, Privilege priv,
                    bool is_dma) const;

@@ -1,5 +1,6 @@
 #include "sim/cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -36,11 +37,8 @@ Cache::Cache(CacheConfig config, std::uint64_t rng_seed)
 }
 
 Cache::WayRange Cache::ways_for(DomainId domain) const {
-  if (partitions_.empty()) {
-    return {0, config_.ways};
-  }
-  if (auto it = partitions_.find(domain); it != partitions_.end()) {
-    return it->second;
+  if (domain < partition_lut_.size() && partition_lut_[domain].count != 0) {
+    return partition_lut_[domain];
   }
   return {0, config_.ways};
 }
@@ -56,6 +54,7 @@ Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType typ
   for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
     Line& line = line_at(set, w);
     if (line.valid && line.tag_base == base) {
+      mark_touched(set, w);  // LRU stamp / dirty bit / PLRU update.
       line.lru_stamp = ++clock_;
       if (type == AccessType::kWrite) {
         line.dirty = true;
@@ -71,6 +70,7 @@ Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType typ
   ++stats_.misses;
   ++domain_slot(domain).misses;
   const std::uint32_t victim_way = choose_victim(set, range);
+  mark_touched(set, victim_way);  // fill overwrites the victim line.
   Line& victim = line_at(set, victim_way);
   AccessResult result;
   if (victim.valid) {
@@ -118,6 +118,7 @@ bool Cache::flush_line(PhysAddr addr) {
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
     Line& line = line_at(set, w);
     if (line.valid && line.tag_base == base) {
+      mark_touched(set, w);
       line.valid = false;
       ++stats_.flushes;
       return true;
@@ -127,6 +128,7 @@ bool Cache::flush_line(PhysAddr addr) {
 }
 
 std::uint32_t Cache::flush_domain(DomainId domain) {
+  coarse_dirty_ = true;  // touches arbitrary sets; journal can't cover it.
   std::uint32_t dropped = 0;
   for (Line& line : lines_) {
     if (line.valid && line.owner == domain) {
@@ -139,6 +141,7 @@ std::uint32_t Cache::flush_domain(DomainId domain) {
 }
 
 void Cache::flush_all() {
+  coarse_dirty_ = true;
   for (Line& line : lines_) {
     line.valid = false;
   }
@@ -146,14 +149,24 @@ void Cache::flush_all() {
 }
 
 void Cache::set_way_partition(DomainId domain, std::uint32_t first_way, std::uint32_t num_ways) {
+  coarse_dirty_ = true;  // partition table + line sweep across all sets.
   if (num_ways == 0) {
-    partitions_.erase(domain);
+    if (domain < partition_lut_.size() && partition_lut_[domain].count != 0) {
+      partition_lut_[domain] = {};
+      --partitions_installed_;
+    }
     return;
   }
   if (first_way + num_ways > config_.ways) {
     throw std::invalid_argument("way partition out of range");
   }
-  partitions_[domain] = {first_way, num_ways};
+  if (domain >= partition_lut_.size()) {
+    partition_lut_.resize(static_cast<std::size_t>(domain) + 1);
+  }
+  if (partition_lut_[domain].count == 0) {
+    ++partitions_installed_;
+  }
+  partition_lut_[domain] = {first_way, num_ways};
   // Drop lines the domain holds outside its new partition: stale occupancy
   // in foreign ways would leak the domain's pre-partition footprint.
   for (std::uint32_t set = 0; set < config_.num_sets(); ++set) {
@@ -195,6 +208,43 @@ const CacheStats& Cache::domain_stats(DomainId domain) const {
 void Cache::reset_stats() {
   stats_ = {};
   per_domain_.clear();
+}
+
+void Cache::begin_set_tracking() {
+  tracking_ = true;
+  coarse_dirty_ = false;
+  touched_lines_.clear();
+  touched_epoch_.assign(lines_.size(), 0);
+  epoch_ = 1;
+}
+
+void Cache::restore_from(const Cache& snap) {
+  if (!tracking_ || coarse_dirty_ || lines_.size() != snap.lines_.size()) {
+    // `snap` was copied right after begin_set_tracking() on this cache, so
+    // a full copy-assign also restores a clean, armed journal.
+    *this = snap;
+    return;
+  }
+  for (const std::uint32_t index : touched_lines_) {
+    lines_[index] = snap.lines_[index];
+    const std::uint32_t set = index / config_.ways;
+    plru_bits_[set] = snap.plru_bits_[set];
+  }
+  // Scalar and small per-domain state is cheap enough to restore always.
+  partition_lut_ = snap.partition_lut_;
+  partitions_installed_ = snap.partitions_installed_;
+  clock_ = snap.clock_;
+  scramble_key_ = snap.scramble_key_;
+  rng_ = snap.rng_;
+  stats_ = snap.stats_;
+  per_domain_ = snap.per_domain_;
+  // Re-arm the journal: an epoch bump invalidates all touched_epoch_
+  // stamps without an array-wide clear.
+  touched_lines_.clear();
+  if (++epoch_ == 0) {
+    std::fill(touched_epoch_.begin(), touched_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
 }
 
 std::uint32_t Cache::choose_victim(std::uint32_t set, WayRange range) {

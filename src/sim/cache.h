@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/rng.h"
@@ -107,7 +106,7 @@ class Cache {
   void set_way_partition(DomainId domain, std::uint32_t first_way, std::uint32_t num_ways);
 
   /// True if a way partition is configured for any domain.
-  bool partitioned() const { return !partitions_.empty(); }
+  bool partitioned() const { return partitions_installed_ > 0; }
 
   /// Number of valid lines currently owned by `domain` in the set that
   /// `addr` maps to. Used by tests and by attack heuristics.
@@ -141,6 +140,20 @@ class Cache {
   const CacheStats& domain_stats(DomainId domain) const;
   void reset_stats();
 
+  /// Arms the touched-set journal (the cache-array analogue of the
+  /// dirty-page bitmap in PhysicalMemory): from here on, every mutation
+  /// records which set it touched, so a later restore_from() copies back
+  /// only those sets instead of the whole line array. Whole-cache
+  /// operations (flush_all / flush_domain / partition or scramble changes)
+  /// poison the journal and force a full copy on the next restore.
+  void begin_set_tracking();
+
+  /// Restores this cache to the state captured in `snap` (a copy of this
+  /// cache taken right after begin_set_tracking()). Uses the touched-set
+  /// fast path when the journal is clean, a full copy-assign otherwise;
+  /// either way the journal is re-armed so the next trial starts fresh.
+  void restore_from(const Cache& snap);
+
  private:
   struct Line {
     bool valid = false;
@@ -164,6 +177,26 @@ class Cache {
   void touch_plru(std::uint32_t set, std::uint32_t way);
   std::uint32_t plru_victim(std::uint32_t set, WayRange range);
 
+  /// Journals one line as touched since the last begin_set_tracking() /
+  /// restore_from(). Granularity is the line, not the set: a trial that
+  /// fills one way of hundreds of large sets (typical probe-array access
+  /// patterns) then restores hundreds of lines, not hundreds of full way
+  /// arrays. The epoch check makes repeat touches O(1) without clearing a
+  /// bitmap per reset. PLRU bits only change alongside a line touch in the
+  /// same set, so the line journal covers them too (restore_from derives
+  /// the set as index / ways).
+  void mark_touched(std::uint32_t set, std::uint32_t way) {
+    if (!tracking_) {
+      return;
+    }
+    const std::uint32_t index = set * config_.ways + way;
+    if (touched_epoch_[index] == epoch_) {
+      return;
+    }
+    touched_epoch_[index] = epoch_;
+    touched_lines_.push_back(index);
+  }
+
   /// Per-domain stats slot, growing the flat array on first sight of a
   /// domain. DomainIds are small dense integers, so a vector indexed by id
   /// replaces two unordered_map lookups per access on the hottest path in
@@ -179,12 +212,26 @@ class Cache {
   CacheConfig config_;
   std::vector<Line> lines_;
   std::vector<std::uint32_t> plru_bits_;  ///< one bitfield of tree bits per set.
-  std::unordered_map<DomainId, WayRange> partitions_;
+  /// Way partitions as a flat table indexed by DomainId (domains are small
+  /// dense integers). A slot with count == 0 — including every id beyond
+  /// the table — means "unrestricted". Replaces a per-access
+  /// unordered_map::find on the hottest path in the simulator.
+  std::vector<WayRange> partition_lut_;
+  std::uint32_t partitions_installed_ = 0;
   std::uint64_t clock_ = 0;  ///< LRU stamp source.
   std::uint64_t scramble_key_ = 0;
   Rng rng_;
   CacheStats stats_;
   mutable std::vector<CacheStats> per_domain_;  ///< indexed by DomainId.
+
+  // Touched-line journal (see begin_set_tracking). epoch_ stamps entries
+  // in touched_epoch_ so re-arming after a restore is a counter bump, not
+  // an array-wide clear.
+  bool tracking_ = false;
+  bool coarse_dirty_ = false;  ///< a whole-cache mutation bypassed the journal.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> touched_epoch_;  ///< per line: epoch of last touch.
+  std::vector<std::uint32_t> touched_lines_;  ///< line indices touched this epoch.
 };
 
 }  // namespace hwsec::sim

@@ -175,6 +175,43 @@ void CacheHierarchy::reset_stats() {
   }
 }
 
+CacheHierarchy::Snapshot CacheHierarchy::snapshot() {
+  Snapshot snap;
+  snap.l1d.reserve(l1d_.size());
+  snap.l1i.reserve(l1i_.size());
+  // Arm each journal *before* copying, so the copies carry a clean, armed
+  // journal and a full-copy restore re-arms for free.
+  for (const auto& c : l1d_) {
+    c->begin_set_tracking();
+    snap.l1d.push_back(*c);
+  }
+  for (const auto& c : l1i_) {
+    c->begin_set_tracking();
+    snap.l1i.push_back(*c);
+  }
+  if (llc_ != nullptr) {
+    llc_->begin_set_tracking();
+    snap.llc.push_back(*llc_);
+  }
+  snap.uncacheable = uncacheable_;
+  return snap;
+}
+
+void CacheHierarchy::restore(const Snapshot& snap) {
+  assert(snap.l1d.size() == l1d_.size() && snap.l1i.size() == l1i_.size() &&
+         snap.llc.size() == (llc_ != nullptr ? 1u : 0u));
+  for (std::size_t i = 0; i < l1d_.size(); ++i) {
+    l1d_[i]->restore_from(snap.l1d[i]);
+  }
+  for (std::size_t i = 0; i < l1i_.size(); ++i) {
+    l1i_[i]->restore_from(snap.l1i[i]);
+  }
+  if (llc_ != nullptr) {
+    llc_->restore_from(snap.llc.front());
+  }
+  uncacheable_ = snap.uncacheable;
+}
+
 void CacheHierarchy::back_invalidate(PhysAddr line_base) {
   for (auto& c : l1d_) {
     c->flush_line(line_base);

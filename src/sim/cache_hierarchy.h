@@ -93,13 +93,30 @@ class CacheHierarchy {
 
   void reset_stats();
 
- private:
   struct UncacheableRange {
     PhysAddr start;
     PhysAddr end;  // exclusive
     Exclusion scope;
   };
 
+  // -- snapshot / restore (Machine::snapshot) ---------------------------
+  /// Value copies of every cache level plus the uncacheable ranges. Cache
+  /// objects are plain data (lines, PLRU bits, partition LUT, RNG), so a
+  /// copy captures replacement state exactly. Taking a snapshot also arms
+  /// each cache's touched-set journal, so restore() copies back only the
+  /// sets mutated since the snapshot (full copy when a whole-cache
+  /// operation bypassed the journal).
+  struct Snapshot {
+    std::vector<Cache> l1d;
+    std::vector<Cache> l1i;
+    std::vector<Cache> llc;  ///< empty or one element.
+    std::vector<UncacheableRange> uncacheable;
+  };
+
+  Snapshot snapshot();
+  void restore(const Snapshot& snap);
+
+ private:
   bool excluded(PhysAddr addr, Exclusion scope_at_least) const;
   MemoryAccessOutcome access_through(Cache* l1, CoreId core, DomainId domain, PhysAddr addr,
                                      AccessType type);

@@ -1,5 +1,6 @@
 #include "sim/cpu.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/sim_error.h"
@@ -13,35 +14,80 @@ Cpu::Cpu(CpuConfig config, Bus& bus)
       predictor_(config.predictor) {}
 
 void Cpu::load_program(const Program& program, std::optional<Asid> asid) {
-  LoadedProgram lp{program, asid, program.base, program.end(), true};
-  for (const LoadedProgram& other : programs_) {
-    if (lp.base < other.end && other.base < lp.end) {
-      lp.unique_range = false;
-      break;
-    }
-  }
-  programs_.push_back(std::move(lp));
-  last_hit_ = kNoProgram;
+  dirty_ = true;
+  programs_.push_back(LoadedProgram{program, asid, program.base, program.end()});
+  fetch_valid_ = false;
 }
 
 void Cpu::clear_programs() {
+  dirty_ = true;
   programs_.clear();
-  last_hit_ = kNoProgram;
+  fetch_valid_ = false;
+}
+
+void Cpu::rebuild_fetch_table() const {
+  fetch_valid_ = true;
+  fetch_asid_ = mmu_.asid();
+  fetch_flat_ok_ = false;
+  fetch_slots_.clear();
+  fetch_lo_ = 0;
+
+  VirtAddr lo = ~VirtAddr{0};
+  VirtAddr hi = 0;
+  bool any = false;
+  for (const LoadedProgram& lp : programs_) {
+    if (lp.asid.has_value() && *lp.asid != fetch_asid_) {
+      continue;  // invisible under this ASID; excluded from the table.
+    }
+    if (lp.base % 4 != 0) {
+      return;  // misaligned base breaks the shared slot grid: scan path.
+    }
+    any = true;
+    lo = std::min(lo, lp.base);
+    hi = std::max(hi, lp.end);
+  }
+  if (!any) {
+    fetch_flat_ok_ = true;  // empty table; every lookup misses.
+    return;
+  }
+  const std::uint64_t span = (static_cast<std::uint64_t>(hi) - lo) / 4;
+  if (span > kMaxFetchSlots) {
+    return;  // programs too far apart to index densely: scan path.
+  }
+  fetch_lo_ = lo;
+  fetch_slots_.assign(static_cast<std::size_t>(span), kNoSlot);
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    const LoadedProgram& lp = programs_[i];
+    if (lp.asid.has_value() && *lp.asid != fetch_asid_) {
+      continue;
+    }
+    const std::size_t first = (lp.base - lo) / 4;
+    for (std::size_t s = 0; s < lp.program.code.size(); ++s) {
+      if (fetch_slots_[first + s] == kNoSlot) {
+        fetch_slots_[first + s] = static_cast<std::uint32_t>(i);  // load order wins.
+      }
+    }
+  }
+  fetch_flat_ok_ = true;
 }
 
 const Instruction* Cpu::instruction_at(VirtAddr pc) const {
-  // Fast path: the program that served the previous fetch. Only taken when
-  // its range overlaps no other program, so the answer is identical to the
-  // load-order scan below.
-  if (last_hit_ < programs_.size()) {
-    const LoadedProgram& lp = programs_[last_hit_];
-    if (pc >= lp.base && pc < lp.end && lp.unique_range &&
-        (!lp.asid.has_value() || *lp.asid == mmu_.asid())) {
-      return lp.program.at(pc);
-    }
+  if (!fetch_valid_ || fetch_asid_ != mmu_.asid()) {
+    rebuild_fetch_table();
   }
-  for (std::size_t i = 0; i < programs_.size(); ++i) {
-    const LoadedProgram& lp = programs_[i];
+  if (fetch_flat_ok_) {
+    const VirtAddr off = pc - fetch_lo_;  // below-lo pcs wrap to huge offsets.
+    if ((off & 3u) == 0 && (off >> 2) < fetch_slots_.size()) {
+      const std::uint32_t p = fetch_slots_[off >> 2];
+      if (p != kNoSlot) {
+        const LoadedProgram& lp = programs_[p];
+        return &lp.program.code[(pc - lp.base) / 4];
+      }
+    }
+    return nullptr;
+  }
+  // Fallback: the original load-order scan (misaligned/spread-out programs).
+  for (const LoadedProgram& lp : programs_) {
     if (pc < lp.base || pc >= lp.end) {
       continue;
     }
@@ -49,7 +95,6 @@ const Instruction* Cpu::instruction_at(VirtAddr pc) const {
       continue;
     }
     if (const Instruction* inst = lp.program.at(pc)) {
-      last_hit_ = i;
       return inst;
     }
   }
@@ -57,9 +102,10 @@ const Instruction* Cpu::instruction_at(VirtAddr pc) const {
 }
 
 void Cpu::switch_context(DomainId domain, Privilege priv, PhysAddr page_root, Asid asid) {
+  dirty_ = true;
   mmu_.set_context(page_root, asid, domain, priv);
   predictor_.on_domain_switch();
-  last_hit_ = kNoProgram;  // the new address space may resolve pc differently.
+  fetch_valid_ = false;  // the new address space may resolve pc differently.
 }
 
 void Cpu::leak_value(Word value) {
@@ -101,6 +147,7 @@ void Cpu::check_watchdog(std::uint64_t executed) const {
 }
 
 RunResult Cpu::run(std::uint64_t max_instructions) {
+  dirty_ = true;
   RunResult result;
   while (result.executed < max_instructions) {
     if (watchdog_ != nullptr) {

@@ -127,13 +127,20 @@ class Cpu {
   Word reg(Reg r) const { return r == kZero ? 0 : regs_[r]; }
   void set_reg(Reg r, Word value) {
     if (r != kZero) {
+      dirty_ = true;
       regs_[r] = value;
     }
   }
   VirtAddr pc() const { return pc_; }
-  void set_pc(VirtAddr pc) { pc_ = pc; }
+  void set_pc(VirtAddr pc) {
+    dirty_ = true;
+    pc_ = pc;
+  }
   Cycle cycles() const { return cycles_; }
-  void add_cycles(Cycle c) { cycles_ += c; }
+  void add_cycles(Cycle c) {
+    dirty_ = true;
+    cycles_ += c;
+  }
 
   /// Switches security context: domain tag, privilege, address space.
   /// Notifies the branch predictor (flush-on-switch mitigations hook in
@@ -143,22 +150,39 @@ class Cpu {
   Privilege privilege() const { return mmu_.privilege(); }
 
   // -- hooks --------------------------------------------------------------
-  void set_ecall_handler(EcallHandler h) { ecall_ = std::move(h); }
-  void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
+  void set_ecall_handler(EcallHandler h) {
+    dirty_ = true;
+    ecall_ = std::move(h);
+  }
+  void set_fault_handler(FaultHandler h) {
+    dirty_ = true;
+    fault_handler_ = std::move(h);
+  }
   void set_leak_hook(LeakHook h) {
+    dirty_ = true;
     leak_ = std::move(h);
     has_leak_ = static_cast<bool>(leak_);
   }
   void set_control_flow_hook(ControlFlowHook h) {
+    dirty_ = true;
     cf_hook_ = std::move(h);
     has_cf_hook_ = static_cast<bool>(cf_hook_);
   }
   /// Glitch injector applied to committed ALU results (CLKSCREW et al.).
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-  void set_mpu(const Mpu* mpu) { mpu_ = mpu; }
+  void set_fault_injector(FaultInjector* injector) {
+    dirty_ = true;
+    injector_ = injector;
+  }
+  void set_mpu(const Mpu* mpu) {
+    dirty_ = true;
+    mpu_ = mpu;
+  }
   /// Arms (or with nullptr disarms) the per-trial watchdog. While armed,
   /// run() throws SimError(kTimedOut) when the cycle budget is exhausted or
-  /// the wall-clock monitor sets the cancel flag.
+  /// the wall-clock monitor sets the cancel flag. Arming is per-trial
+  /// transient state, deliberately *not* part of the snapshot dirtiness:
+  /// the machine pool disarms on every lease release, and a restored
+  /// watchdog pointer would dangle past its trial anyway.
   void set_watchdog(const TrialWatchdog* watchdog) { watchdog_ = watchdog; }
 
   // -- execution ------------------------------------------------------------
@@ -169,13 +193,34 @@ class Cpu {
   /// Convenience: set pc and run.
   RunResult run_from(VirtAddr entry, std::uint64_t max_instructions = 1'000'000);
 
-  Mmu& mmu() { return mmu_; }
+  /// Non-const accessors conservatively mark the core dirty: callers can
+  /// mutate MMU/predictor state through the reference without the Cpu
+  /// seeing it, and the snapshot layer must assume they did.
+  Mmu& mmu() {
+    dirty_ = true;
+    return mmu_;
+  }
   const Mmu& mmu() const { return mmu_; }
-  BranchPredictor& predictor() { return predictor_; }
+  BranchPredictor& predictor() {
+    dirty_ = true;
+    return predictor_;
+  }
   Bus& bus() { return *bus_; }
 
   const CpuStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  void reset_stats() {
+    dirty_ = true;
+    stats_ = {};
+  }
+
+  // -- snapshot support (Machine::snapshot) ------------------------------
+  /// Dirty-since-snapshot flag: Machine::snapshot() calls mark_clean() on
+  /// every core before copying it, and Machine::reset_to() skips the
+  /// (predictor/TLB/program-table) copy for cores still clean — in
+  /// single-core trials that is every core but core 0. Every mutating
+  /// member function and non-const accessor sets the flag.
+  void mark_clean() { dirty_ = false; }
+  bool dirty() const { return dirty_; }
 
  private:
   struct StepOutcome {
@@ -225,18 +270,27 @@ class Cpu {
     std::optional<Asid> asid;
     VirtAddr base = 0;  ///< cached program.base (avoids an indirection on reject).
     VirtAddr end = 0;   ///< cached program.end().
-    /// True when this program's [base, end) overlaps no earlier-loaded
-    /// program's range: the last-hit cache may then answer directly without
-    /// violating the load-order priority of the sequential scan.
-    bool unique_range = true;
   };
   std::vector<LoadedProgram> programs_;
-  /// Index of the program that served the previous fetch. Straight-line and
-  /// loop execution hit the same program on almost every fetch (and every
-  /// transient step), turning the O(programs) scan into O(1). Invalidated
-  /// on load_program/clear_programs/switch_context.
-  mutable std::size_t last_hit_ = kNoProgram;
-  static constexpr std::size_t kNoProgram = static_cast<std::size_t>(-1);
+
+  /// Flat fetch table: slot (pc - fetch_lo_) >> 2 holds the index of the
+  /// program serving that pc (kNoSlot: no program). Built lazily for the
+  /// programs visible under the current ASID, making instruction_at an
+  /// array index instead of a range scan. Slots hold indices rather than
+  /// Instruction pointers so a copied Cpu (machine snapshots) carries a
+  /// table that is valid against its own programs_ vector. Invalidated on
+  /// load_program/clear_programs/switch_context; ASID changes applied
+  /// directly at the MMU are caught by the fetch_asid_ check. Programs
+  /// with misaligned bases or a pathologically wide address spread fall
+  /// back to the load-order linear scan (fetch_flat_ok_ == false).
+  void rebuild_fetch_table() const;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr std::uint64_t kMaxFetchSlots = 1u << 20;  ///< 4 MiB pc span.
+  mutable std::vector<std::uint32_t> fetch_slots_;
+  mutable VirtAddr fetch_lo_ = 0;
+  mutable Asid fetch_asid_ = 0;
+  mutable bool fetch_valid_ = false;
+  mutable bool fetch_flat_ok_ = false;
   EcallHandler ecall_;
   FaultHandler fault_handler_;
   LeakHook leak_;
@@ -246,6 +300,9 @@ class Cpu {
   /// instruction.
   bool has_leak_ = false;
   bool has_cf_hook_ = false;
+  /// See mark_clean(); starts true so a restore before any snapshot-side
+  /// mark_clean() never skips the copy.
+  bool dirty_ = true;
   CpuStats stats_;
 };
 

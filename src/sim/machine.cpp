@@ -135,6 +135,56 @@ Machine::Machine(MachineProfile profile, std::uint64_t seed)
   }
 }
 
+MachineSnapshot Machine::snapshot() {
+  MachineSnapshot snap{.owner = this,
+                       .memory = memory_.snapshot(),
+                       .caches = caches_.snapshot(),
+                       .bus = bus_.snapshot(),
+                       .mpu = mpu_,
+                       .dvfs = dvfs_,
+                       .injector = injector_,
+                       .rng = rng_,
+                       .cpus = {},
+                       .next_frame = next_frame_,
+                       .next_asid = next_asid_};
+  snap.cpus.reserve(cpus_.size());
+  for (const auto& cpu : cpus_) {
+    // Clean before copying: the copies then carry a clean flag, and
+    // reset_to can skip cores nothing mutated since this snapshot.
+    cpu->mark_clean();
+    snap.cpus.push_back(*cpu);
+  }
+  return snap;
+}
+
+void Machine::reset_to(const MachineSnapshot& snap) {
+  if (snap.owner != this) {
+    throw SimError(ErrorKind::kConfigError,
+                   "machine snapshot restored on a different machine than it was taken from")
+        .with_machine(profile_.name);
+  }
+  memory_.restore(snap.memory);
+  caches_.restore(snap.caches);
+  bus_.restore(snap.bus);
+  mpu_ = snap.mpu;
+  dvfs_ = snap.dvfs;
+  injector_ = snap.injector;
+  rng_ = snap.rng;
+  for (std::size_t c = 0; c < cpus_.size(); ++c) {
+    if (cpus_[c]->dirty()) {
+      *cpus_[c] = snap.cpus[c];
+    }
+  }
+  next_frame_ = snap.next_frame;
+  next_asid_ = snap.next_asid;
+}
+
+void Machine::reseed(std::uint64_t seed) {
+  // Mirrors the constructor's seed derivations exactly.
+  injector_ = FaultInjector(seed ^ 0xFA57);
+  rng_ = Rng(seed);
+}
+
 PhysAddr Machine::alloc_frame() { return alloc_frames(1); }
 
 PhysAddr Machine::alloc_frames(std::uint32_t n) {

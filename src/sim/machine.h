@@ -74,6 +74,31 @@ struct MachineProfile {
   static MachineProfile embedded();
 };
 
+class Machine;
+
+/// Full machine state captured by Machine::snapshot(): registers, MMU/TLB
+/// and predictor state (inside the Cpu copies), page-table frames and all
+/// other DRAM (inside the memory snapshot), cache/PLRU arrays, bus
+/// firewalls/transform, MPU, DVFS and fault-injector state, the machine
+/// RNG, and the frame/ASID allocation cursors.
+///
+/// A snapshot is tied to the Machine it was taken from (component copies
+/// hold callbacks that capture pointers into that machine); reset_to()
+/// rejects snapshots from any other instance.
+struct MachineSnapshot {
+  const Machine* owner = nullptr;
+  PhysicalMemory::Snapshot memory;
+  CacheHierarchy::Snapshot caches;
+  Bus::Snapshot bus;
+  Mpu mpu;
+  DvfsController dvfs;
+  FaultInjector injector;
+  Rng rng;
+  std::vector<Cpu> cpus;
+  PhysAddr next_frame = 0;
+  Asid next_asid = 1;
+};
+
 class Machine {
  public:
   explicit Machine(MachineProfile profile, std::uint64_t seed = 0xC0FFEE);
@@ -144,6 +169,27 @@ class Machine {
   std::uint64_t total_retired() const;
 
   void reset_stats();
+
+  // -- snapshot / reset (trial pooling) ---------------------------------
+  /// Captures the complete machine state. Taking a snapshot enables
+  /// dirty-page tracking in DRAM, so a later reset_to() copies back only
+  /// the pages the trial touched. The canonical use is one snapshot of the
+  /// pristine post-construction state, restored between campaign trials
+  /// (see core/machine_pool.h).
+  MachineSnapshot snapshot();
+
+  /// Restores a snapshot previously taken from *this machine*; snapshots
+  /// are not transferable (their component copies carry callbacks bound to
+  /// the owning machine) and a foreign snapshot throws kConfigError.
+  /// reset_to(snapshot()) followed by reseed(s) is bit-identical to a
+  /// fresh Machine(profile, s) — the determinism suites enforce this.
+  void reset_to(const MachineSnapshot& snap);
+
+  /// Re-derives the seed-dependent state (machine RNG and glitch-fault
+  /// injector) exactly as the constructor would for `seed`. Everything
+  /// else the constructor builds is seed-independent, which is what makes
+  /// reset_to + reseed equivalent to fresh construction.
+  void reseed(std::uint64_t seed);
 
  private:
   static PhysAddr alloc_frame_trampoline(void* ctx);

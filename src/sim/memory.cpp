@@ -1,6 +1,7 @@
 #include "sim/memory.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace hwsec::sim {
@@ -17,6 +18,7 @@ std::uint8_t PhysicalMemory::read8(PhysAddr addr) const {
 
 void PhysicalMemory::write8(PhysAddr addr, std::uint8_t value) {
   assert(contains(addr));
+  mark_dirty(addr, 1);
   data_[addr] = value;
 }
 
@@ -28,6 +30,7 @@ Word PhysicalMemory::read32(PhysAddr addr) const {
 
 void PhysicalMemory::write32(PhysAddr addr, Word value) {
   assert(contains(addr, 4));
+  mark_dirty(addr, 4);
   data_[addr] = static_cast<std::uint8_t>(value);
   data_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
   data_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
@@ -41,12 +44,62 @@ void PhysicalMemory::read_block(PhysAddr addr, std::span<std::uint8_t> out) cons
 
 void PhysicalMemory::write_block(PhysAddr addr, std::span<const std::uint8_t> in) {
   assert(contains(addr, static_cast<std::uint32_t>(in.size())));
+  if (!in.empty()) {
+    mark_dirty(addr, static_cast<std::uint32_t>(in.size()));
+  }
   std::copy(in.begin(), in.end(), data_.begin() + addr);
 }
 
 void PhysicalMemory::fill(PhysAddr addr, std::uint32_t len, std::uint8_t value) {
   assert(contains(addr, len));
+  if (len != 0) {
+    mark_dirty(addr, len);
+  }
   std::fill_n(data_.begin() + addr, len, value);
+}
+
+PhysicalMemory::Snapshot PhysicalMemory::snapshot() {
+  Snapshot snap;
+  snap.image = data_;
+  tracking_ = true;
+  raw_dirty_ = false;
+  dirty_.assign((data_.size() / kPageSize + 63) / 64, 0);
+  return snap;
+}
+
+void PhysicalMemory::restore(const Snapshot& snap) {
+  assert(snap.image.size() == data_.size());
+  if (!tracking_ || raw_dirty_) {
+    // No tracking (snapshot taken elsewhere) or the fast path was poisoned
+    // by a mutable raw() span: fall back to a full-image copy.
+    data_ = snap.image;
+  } else {
+    const std::uint32_t pages = static_cast<std::uint32_t>(data_.size() / kPageSize);
+    for (std::uint32_t word = 0; word < dirty_.size(); ++word) {
+      std::uint64_t bits = dirty_[word];
+      while (bits != 0) {
+        const std::uint32_t bit = static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t page = word * 64 + bit;
+        if (page >= pages) {
+          break;
+        }
+        const std::size_t off = static_cast<std::size_t>(page) * kPageSize;
+        std::copy_n(snap.image.begin() + off, kPageSize, data_.begin() + off);
+      }
+    }
+  }
+  tracking_ = true;
+  raw_dirty_ = false;
+  dirty_.assign((data_.size() / kPageSize + 63) / 64, 0);
+}
+
+std::uint32_t PhysicalMemory::dirty_page_count() const {
+  std::uint32_t count = 0;
+  for (const std::uint64_t word : dirty_) {
+    count += static_cast<std::uint32_t>(std::popcount(word));
+  }
+  return count;
 }
 
 }  // namespace hwsec::sim

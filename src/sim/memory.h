@@ -5,6 +5,13 @@
 // the bus (DMA filtering). Memory contents persist across enclave
 // creation/teardown, which is exactly why SGX-class designs add a memory
 // encryption engine (modeled in src/arch/sgx.*).
+//
+// Snapshot/restore: snapshot() captures the full image and turns on
+// dirty-page tracking (one bit per 4 KiB page, set by every write path).
+// restore() copies back only the pages dirtied since the snapshot, so the
+// cost of resetting a machine between campaign trials scales with the
+// trial's write footprint, not with DRAM size. The snapshot/reset layer in
+// sim/machine.h builds on this.
 #pragma once
 
 #include <cstdint>
@@ -44,12 +51,52 @@ class PhysicalMemory {
   /// Fills [addr, addr+len) with `value`.
   void fill(PhysAddr addr, std::uint32_t len, std::uint8_t value);
 
-  /// Direct access to the backing store, for checkpointing in tests.
+  // -- snapshot / dirty-page restore ------------------------------------
+  struct Snapshot {
+    std::vector<std::uint8_t> image;
+  };
+
+  /// Captures the current contents and enables dirty-page tracking from
+  /// this point on. Subsequent snapshots restart tracking.
+  Snapshot snapshot();
+
+  /// Restores the snapshot image, copying back only pages dirtied since
+  /// snapshot() (a full copy if tracking was bypassed via mutable raw()).
+  /// Tracking stays enabled with a clean slate, so a machine can be
+  /// restored repeatedly from the same snapshot. The snapshot must come
+  /// from this memory (asserted via size).
+  void restore(const Snapshot& snap);
+
+  /// Dirty pages since the last snapshot()/restore(), for tests and for
+  /// reasoning about restore cost.
+  std::uint32_t dirty_page_count() const;
+
+  /// Direct access to the backing store, for checkpointing in tests. The
+  /// mutable overload bypasses dirty tracking, so using it while a
+  /// snapshot is live poisons the fast path: the next restore() falls
+  /// back to a full-image copy (correct, just slower).
   std::span<const std::uint8_t> raw() const { return data_; }
-  std::span<std::uint8_t> raw() { return data_; }
+  std::span<std::uint8_t> raw() {
+    raw_dirty_ = true;
+    return data_;
+  }
 
  private:
+  void mark_dirty(PhysAddr addr, std::uint32_t len) {
+    if (!tracking_) {
+      return;
+    }
+    const std::uint32_t first = addr >> kPageShift;
+    const std::uint32_t last = (addr + len - 1) >> kPageShift;
+    for (std::uint32_t p = first; p <= last; ++p) {
+      dirty_[p >> 6] |= 1ull << (p & 63);
+    }
+  }
+
   std::vector<std::uint8_t> data_;
+  std::vector<std::uint64_t> dirty_;  ///< bitmap, one bit per page.
+  bool tracking_ = false;
+  bool raw_dirty_ = false;  ///< mutable raw() handed out since snapshot.
 };
 
 }  // namespace hwsec::sim

@@ -12,24 +12,30 @@ Tlb::Tlb(TlbConfig config) : config_(config) {
 }
 
 Tlb::WayRange Tlb::ways_for(Asid asid) const {
-  if (partitions_.empty()) {
-    return {0, config_.ways};
-  }
-  if (auto it = partitions_.find(asid); it != partitions_.end()) {
-    return it->second;
+  if (asid < partition_lut_.size() && partition_lut_[asid].count != 0) {
+    return partition_lut_[asid];
   }
   return {0, config_.ways};
 }
 
 void Tlb::set_way_partition(Asid asid, std::uint32_t first_way, std::uint32_t num_ways) {
   if (num_ways == 0) {
-    partitions_.erase(asid);
+    if (asid < partition_lut_.size() && partition_lut_[asid].count != 0) {
+      partition_lut_[asid] = {};
+      --partitions_installed_;
+    }
     return;
   }
   if (first_way + num_ways > config_.ways) {
     throw std::invalid_argument("TLB way partition out of range");
   }
-  partitions_[asid] = {first_way, num_ways};
+  if (asid >= partition_lut_.size()) {
+    partition_lut_.resize(static_cast<std::size_t>(asid) + 1);
+  }
+  if (partition_lut_[asid].count == 0) {
+    ++partitions_installed_;
+  }
+  partition_lut_[asid] = {first_way, num_ways};
   // Scrub entries the ASID holds outside its new partition.
   const std::uint32_t sets = config_.entries / config_.ways;
   for (std::uint32_t set = 0; set < sets; ++set) {

@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.h"
@@ -83,7 +82,11 @@ class Tlb {
 
   TlbConfig config_;
   std::vector<TlbEntry> entries_;
-  std::unordered_map<Asid, WayRange> partitions_;
+  /// Way partitions as a flat table indexed by Asid; count == 0 (and any
+  /// id beyond the table) means "unrestricted". Same flat-LUT idiom as
+  /// Cache::partition_lut_ — lookup() runs on the translation hot path.
+  std::vector<WayRange> partition_lut_;
+  std::uint32_t partitions_installed_ = 0;
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -1,0 +1,199 @@
+// Machine snapshot / reset: the reset-reuse equivalence contract behind
+// the campaign machine pool (core/machine_pool.h).
+//
+// Contract under test: for any profile and seed,
+//
+//     Machine m(profile, s0); auto snap = m.snapshot();
+//     ... arbitrary trial ...
+//     m.reset_to(snap); m.reseed(s);
+//
+// leaves `m` bit-identical to a freshly constructed Machine(profile, s).
+// Each of the paper's eight architectures runs the same workload —
+// enclave lifecycle through the generic tee::Architecture interface plus
+// raw machine activity (frame allocation, memory writes, cache traffic,
+// RNG draws) — on a fresh machine and on a reset-reused one, and the
+// resulting state fingerprints must match exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/sanctuary.h"
+#include "arch/sanctum.h"
+#include "arch/sancus.h"
+#include "arch/sgx.h"
+#include "arch/smart.h"
+#include "arch/trustlite.h"
+#include "arch/trustzone.h"
+#include "sim/machine.h"
+#include "sim/sim_error.h"
+
+namespace sim = hwsec::sim;
+namespace tee = hwsec::tee;
+namespace arch = hwsec::arch;
+
+namespace {
+
+using Fingerprint = std::vector<std::uint64_t>;
+
+void fold_digest(Fingerprint& fp, const hwsec::crypto::Sha256Digest& digest) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the digest bytes.
+  for (const std::uint8_t b : digest) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  fp.push_back(h);
+}
+
+/// Runs one representative trial against `m` and fingerprints everything
+/// it produced: enclave-interface results, attestation MACs, cache and
+/// CPU counters, memory contents, the frame allocator cursor, and the
+/// machine RNG stream position. Any state the reset layer failed to
+/// restore shows up as a diverging fingerprint on the next run.
+template <typename Arch>
+Fingerprint run_workload(sim::Machine& m) {
+  Arch architecture(m);
+  Fingerprint fp;
+
+  // Enclave lifecycle through the generic interface. Capacity-0 designs
+  // (SMART) return a deterministic error, which fingerprints equally well.
+  tee::EnclaveImage image;
+  image.name = "probe";
+  image.code = {0xAA, 0xBB, 0xCC, 0xDD};
+  image.secret = {'s', '3', 'c'};
+  const auto created = architecture.create_enclave(image);
+  fp.push_back(static_cast<std::uint64_t>(created.error));
+  fp.push_back(created.value);
+  if (created.ok()) {
+    std::uint64_t observed = 0;
+    const auto call_error =
+        architecture.call_enclave(created.value, 0, [&observed](tee::EnclaveContext& ctx) {
+          ctx.write8(0, 0x5A);
+          observed = static_cast<std::uint64_t>(ctx.read8(0)) << 8 | ctx.read8(1);
+        });
+    fp.push_back(static_cast<std::uint64_t>(call_error));
+    fp.push_back(observed);
+  }
+  tee::Nonce nonce{};
+  nonce[0] = 7;
+  const auto report = architecture.probe_attestation(nonce);
+  fp.push_back(static_cast<std::uint64_t>(report.error));
+  if (report.ok()) {
+    fold_digest(fp, report.value.measurement);
+    fold_digest(fp, report.value.mac);
+  }
+
+  // Raw machine activity: allocator, DRAM, cache hierarchy, CPU state.
+  const sim::PhysAddr frame = m.alloc_frame();
+  fp.push_back(frame);
+  m.memory().write32(frame, 0x0DDC0DE5u);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    const sim::PhysAddr addr = (frame + i * 4096u + i * 64u) % (1u << 20);
+    m.caches().access(0, sim::kDomainNormal, addr, sim::AccessType::kRead);
+  }
+  fp.push_back(m.memory().read32(frame));
+  if (m.profile().hierarchy.has_l1) {
+    fp.push_back(m.caches().l1d(0).stats().hits);
+    fp.push_back(m.caches().l1d(0).stats().misses);
+  }
+  if (m.profile().hierarchy.has_llc) {
+    fp.push_back(m.caches().llc().stats().hits);
+    fp.push_back(m.caches().llc().stats().misses);
+    fp.push_back(m.caches().llc().stats().evictions);
+  }
+  fp.push_back(m.cpu(0).cycles());
+  fp.push_back(m.cpu(0).stats().retired);
+  fp.push_back(m.rng().next_u64());  // last: captures the RNG stream position.
+  return fp;
+}
+
+/// The actual equivalence check. Two fresh machines establish that the
+/// workload is deterministic at all; the third machine then runs it via
+/// snapshot → run → reset_to + reseed → run (twice, to catch journal
+/// re-arming bugs) and every run must reproduce the fresh fingerprint.
+template <typename Arch>
+void expect_reset_matches_fresh(const sim::MachineProfile& profile, std::uint64_t seed) {
+  sim::Machine fresh_a(profile, seed);
+  const Fingerprint expected = run_workload<Arch>(fresh_a);
+  sim::Machine fresh_b(profile, seed);
+  ASSERT_EQ(run_workload<Arch>(fresh_b), expected) << "workload itself is nondeterministic";
+
+  sim::Machine pooled(profile, seed);
+  const sim::MachineSnapshot snap = pooled.snapshot();
+  EXPECT_EQ(run_workload<Arch>(pooled), expected) << "first (pre-reset) run diverged";
+  for (int reuse = 0; reuse < 2; ++reuse) {
+    pooled.reset_to(snap);
+    pooled.reseed(seed);
+    EXPECT_EQ(run_workload<Arch>(pooled), expected) << "reuse #" << reuse << " diverged";
+  }
+}
+
+// ---- the eight surveyed architectures, on their native profiles --------
+
+TEST(MachineSnapshot, SgxResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::Sgx>(sim::MachineProfile::server(), 21);
+}
+
+TEST(MachineSnapshot, SanctumResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::Sanctum>(sim::MachineProfile::server(), 31);
+}
+
+TEST(MachineSnapshot, TrustZoneResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::TrustZone>(sim::MachineProfile::mobile(), 41);
+}
+
+TEST(MachineSnapshot, SanctuaryResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::Sanctuary>(sim::MachineProfile::mobile(), 42);
+}
+
+TEST(MachineSnapshot, SmartResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::Smart>(sim::MachineProfile::embedded(), 51);
+}
+
+TEST(MachineSnapshot, SancusResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::Sancus>(sim::MachineProfile::embedded(), 52);
+}
+
+TEST(MachineSnapshot, TrustLiteResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::TrustLite>(sim::MachineProfile::embedded(), 53);
+}
+
+TEST(MachineSnapshot, TyTanResetBitIdenticalToFresh) {
+  expect_reset_matches_fresh<arch::TyTan>(sim::MachineProfile::embedded(), 54);
+}
+
+// ---- snapshot-layer edge cases -----------------------------------------
+
+TEST(MachineSnapshot, ForeignSnapshotRejected) {
+  sim::Machine a(sim::MachineProfile::embedded(), 1);
+  sim::Machine b(sim::MachineProfile::embedded(), 1);
+  const sim::MachineSnapshot snap = a.snapshot();
+  EXPECT_THROW(b.reset_to(snap), hwsec::SimError)
+      << "component copies carry internal pointers; restoring onto another "
+         "machine must be refused, not silently corrupt it";
+}
+
+TEST(MachineSnapshot, DirtyPageTrackingCoversTrialWrites) {
+  sim::Machine m(sim::MachineProfile::mobile(), 3);
+  const sim::MachineSnapshot snap = m.snapshot();
+  EXPECT_EQ(m.memory().dirty_page_count(), 0u);
+  const sim::PhysAddr frame = m.alloc_frame();  // zero-fill dirties the frame.
+  m.memory().write32(frame, 0xDEADBEEF);
+  m.memory().write8(frame + sim::kPageSize - 1, 0xEE);
+  EXPECT_GE(m.memory().dirty_page_count(), 1u);
+  m.reset_to(snap);
+  EXPECT_EQ(m.memory().read32(frame), 0u) << "restore missed a dirty page";
+  EXPECT_EQ(m.memory().dirty_page_count(), 0u) << "restore must re-arm tracking";
+}
+
+TEST(MachineSnapshot, MutableRawSpanForcesFullRestore) {
+  sim::Machine m(sim::MachineProfile::embedded(), 4);
+  const sim::MachineSnapshot snap = m.snapshot();
+  // Writes through the raw span bypass the dirty-page bookkeeping; the
+  // restore must notice the poisoned fast path and full-copy instead.
+  auto raw = m.memory().raw();
+  raw[100] = 0x77;
+  m.reset_to(snap);
+  EXPECT_EQ(m.memory().read8(100), 0u);
+}
+
+}  // namespace

@@ -329,6 +329,55 @@ TEST(Resilience, ChaosOutcomeVectorIsBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+// ---- machine pool under the resilient runner ---------------------------
+
+/// Trial body leasing a machine (pooled reset-reuse when `pool` is set,
+/// fresh construction when nullptr) and fingerprinting what it computed.
+std::uint64_t leased_machine_trial(const core::TrialContext& ctx, core::MachinePool* pool) {
+  auto lease = core::acquire_machine(pool, sim::MachineProfile::mobile(), ctx.seed);
+  sim::Machine& m = *lease;
+  const sim::PhysAddr frame = m.alloc_frame();
+  m.memory().write32(frame, static_cast<sim::Word>(ctx.seed));
+  m.caches().access(0, sim::kDomainNormal, frame, sim::AccessType::kRead);
+  return static_cast<std::uint64_t>(m.memory().read32(frame)) << 32 ^ m.rng().next_u64() ^ frame;
+}
+
+TEST(Resilience, PooledMachinesBitIdenticalToFreshUnderChaos) {
+  core::ResilienceConfig res;
+  res.policy = core::FailurePolicy::kRetry;
+  res.max_attempts = 10;
+  res.chaos.throw_probability = 0.25;
+
+  // Reference: the same chaotic campaign with per-trial fresh construction.
+  const auto reference = core::run_campaign_resilient<std::uint64_t>(
+      {.seed = 77, .trials = 24, .workers = 1}, res,
+      [](const core::TrialContext& ctx) { return leased_machine_trial(ctx, nullptr); });
+
+  // Pooled runs must reproduce it bit for bit at every worker count — also
+  // when a chaos throw abandons a lease mid-trial and the machine goes
+  // back to the pool dirty, to be reset on the retry's acquire.
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    core::MachinePool pool;
+    core::ResilienceConfig pooled_res = res;
+    pooled_res.machines = &pool;
+    const auto outcomes = core::run_campaign_resilient<std::uint64_t>(
+        {.seed = 77, .trials = 24, .workers = workers}, pooled_res,
+        [](const core::TrialContext& ctx) { return leased_machine_trial(ctx, ctx.machines); });
+    ASSERT_EQ(outcomes.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(outcomes[i].ok(), reference[i].ok()) << "slot " << i << ", " << workers << "w";
+      EXPECT_EQ(outcomes[i].attempts, reference[i].attempts) << "slot " << i;
+      if (reference[i].ok()) {
+        EXPECT_EQ(outcomes[i].value(), reference[i].value()) << "slot " << i << ", " << workers << "w";
+      } else {
+        EXPECT_STREQ(outcomes[i].error->what(), reference[i].error->what()) << "slot " << i;
+      }
+    }
+    EXPECT_LE(pool.machines_built(), workers) << "more machines than concurrent workers";
+    EXPECT_GT(pool.leases_served(), pool.machines_built()) << "pool was never actually reused";
+  }
+}
+
 // ---- checkpoint / resume ----------------------------------------------
 
 TEST(Checkpoint, RoundTripsOkAndErrorRecords) {
