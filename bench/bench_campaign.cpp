@@ -10,20 +10,37 @@
 //     workers=1 result vector bit for bit.
 // Machine-readable results land in BENCH_campaign.json (path override:
 // HWSEC_BENCH_JSON) for CI to archive.
+//
+// The worker sweep is clamped to hardware_concurrency: a "speedup" row
+// measured with more workers than cores is scheduler noise presented as
+// scaling data (the seed repo once recorded workers=4 speedup=1.27 on a
+// 1-core host). HWSEC_CAMPAIGN_OVERSUBSCRIBE=1 re-enables the full sweep
+// for scheduler experiments; those rows are then marked
+// "oversubscribed": true and never feed the HWSEC_CAMPAIGN_MIN_TPS floor.
+//
+// Observability: HWSEC_TRACE_OUT=<path> captures a Chrome trace_event
+// JSON (trial/setup/body and pool spans — load it in Perfetto), and
+// --metrics-json=<path> (or HWSEC_METRICS_JSON) dumps the merged metrics
+// registry (trial counters, pool accounting, latency histograms) for the
+// CI scrape-and-assert step.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "attacks/transient/spectre.h"
 #include "core/campaign.h"
 #include "core/machine_pool.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/resilience/resilient.h"
 #include "sim/machine.h"
 #include "table.h"
@@ -31,6 +48,7 @@
 namespace sim = hwsec::sim;
 namespace core = hwsec::core;
 namespace attacks = hwsec::attacks;
+namespace obs = hwsec::obs;
 
 namespace {
 
@@ -60,6 +78,7 @@ TrialResult spectre_trial(const core::TrialContext& ctx) {
       core::acquire_machine(ctx.machines, sim::MachineProfile::mobile(), ctx.seed);
   sim::Machine& machine = *machine_lease;
   const auto t1 = std::chrono::steady_clock::now();
+  obs::Span body_span("trial_body", static_cast<std::int64_t>(ctx.index), "trial");
   attacks::SpectreV1 spectre(machine, 0);
   const sim::Word index = spectre.plant_secret("K");
   const auto byte = spectre.leak_byte(index);
@@ -97,6 +116,11 @@ double env_double(const char* name, double fallback) {
   return parsed <= 0.0 ? fallback : parsed;
 }
 
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
 void BM_Campaign32Trials(benchmark::State& state) {
   sim::ThreadPool pool(static_cast<unsigned>(state.range(0)));
   for (auto _ : state) {
@@ -111,15 +135,33 @@ BENCHMARK(BM_Campaign32Trials)->Arg(1)->Arg(4)->Iterations(2)->Unit(benchmark::k
 int main(int argc, char** argv) {
   using hwsec::bench::Table;
 
+  // --metrics-json=<path> (HWSEC_METRICS_JSON fallback): merged metrics
+  // registry snapshot, written after the sweep.
+  std::string metrics_path;
+  if (const char* env = std::getenv("HWSEC_METRICS_JSON"); env != nullptr && *env != '\0') {
+    metrics_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_path = argv[i] + std::strlen(kFlag);
+      // Remove the flag so benchmark::Initialize below doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      --i;
+    }
+  }
+
   const std::size_t trials = env_size_t("HWSEC_CAMPAIGN_TRIALS", 400);
   const unsigned host_cores = sim::ThreadPool::default_workers();
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const bool allow_oversubscribed = env_flag("HWSEC_CAMPAIGN_OVERSUBSCRIBE");
 
   hwsec::bench::section("E12 — campaign engine: Spectre-PHT trials/sec vs. workers");
   std::cout << "(" << trials << " trials per run, " << host_cores
-            << " host workers available)\n";
-  Table t({"workers", "seconds", "trials/sec", "speedup", "bit-identical"},
-          {9, 10, 12, 9, 14});
-  t.print_header();
+            << " host workers available, " << hardware << " hardware threads)\n";
 
   struct Point {
     unsigned workers = 0;
@@ -127,7 +169,26 @@ int main(int argc, char** argv) {
     double trials_per_sec = 0.0;
     double speedup = 0.0;
     bool deterministic = false;
+    bool oversubscribed = false;
   };
+  std::vector<unsigned> sweep;
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    if (workers <= hardware) {
+      sweep.push_back(workers);
+    } else if (allow_oversubscribed) {
+      sweep.push_back(workers);  // kept, but marked and excluded from the floor.
+    }
+  }
+  if (!allow_oversubscribed && sweep.size() < 4) {
+    std::cout << "(sweep clamped to " << hardware
+              << " hardware threads; oversubscribed rows are scheduler noise —\n"
+                 " set HWSEC_CAMPAIGN_OVERSUBSCRIBE=1 to measure them anyway)\n";
+  }
+
+  Table t({"workers", "seconds", "trials/sec", "speedup", "bit-identical"},
+          {9, 10, 12, 9, 14});
+  t.print_header();
+
   std::vector<Point> curve;
   std::vector<TrialResult> baseline;
 
@@ -136,17 +197,18 @@ int main(int argc, char** argv) {
   // whole campaigns reproduce the sequential results bit for bit.
   core::MachinePool machine_pool;
 
-  // Untimed warmup at the widest worker count: pool construction and the
-  // one-off 16 MiB memory snapshot per machine happen here, so the timed
-  // passes (and the setup-vs-run breakdown) measure steady-state
+  // Untimed warmup at the widest swept worker count: pool construction and
+  // the one-off 16 MiB memory snapshot per machine happen here, so the
+  // timed passes (and the setup-vs-run breakdown) measure steady-state
   // reset-reuse rather than cold builds.
-  core::run_campaign_resilient<TrialResult>({.seed = 2019, .trials = 32, .workers = 8},
-                                            {.machines = &machine_pool}, spectre_trial);
+  core::run_campaign_resilient<TrialResult>(
+      {.seed = 2019, .trials = 32, .workers = sweep.back()}, {.machines = &machine_pool},
+      spectre_trial);
 
-  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+  for (const unsigned workers : sweep) {
     g_record_breakdown.store(workers == 1);
     const auto start = std::chrono::steady_clock::now();
-    // The resilient runner is now the engine under test: same determinism
+    // The resilient runner is the engine under test: same determinism
     // contract as run_campaign, plus per-slot fault containment and
     // snapshot/reset machine pooling.
     const auto outcomes = core::run_campaign_resilient<TrialResult>(
@@ -171,6 +233,7 @@ int main(int argc, char** argv) {
     p.workers = workers;
     p.seconds = elapsed.count();
     p.trials_per_sec = static_cast<double>(trials) / p.seconds;
+    p.oversubscribed = workers > hardware;
     if (workers == 1) {
       baseline = results;
       p.speedup = 1.0;
@@ -181,7 +244,9 @@ int main(int argc, char** argv) {
     }
     curve.push_back(p);
     t.print_row(p.workers, p.seconds, p.trials_per_sec, p.speedup,
-                p.deterministic ? "YES" : "DIVERGED");
+                p.deterministic       ? (p.oversubscribed ? "YES (oversub)" : "YES")
+                : p.oversubscribed    ? "DIVERGED (oversub)"
+                                      : "DIVERGED");
   }
   std::cout << "(speedup saturates at the host core count; bit-identical must\n"
                " read YES everywhere — the engine's determinism contract)\n";
@@ -225,7 +290,8 @@ int main(int argc, char** argv) {
     all_deterministic = all_deterministic && p.deterministic;
     json << "    {\"workers\": " << p.workers << ", \"seconds\": " << p.seconds
          << ", \"trials_per_sec\": " << p.trials_per_sec << ", \"speedup\": " << p.speedup
-         << ", \"deterministic\": " << (p.deterministic ? "true" : "false") << "}"
+         << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
+         << ", \"oversubscribed\": " << (p.oversubscribed ? "true" : "false") << "}"
          << (i + 1 < curve.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
@@ -239,15 +305,42 @@ int main(int argc, char** argv) {
     std::cerr << "failed to write " << json_path << "\n";
   }
 
+  // ---- observability records -------------------------------------------
+  if (!metrics_path.empty()) {
+    if (core::write_file_atomic(metrics_path, obs::MetricsRegistry::instance().to_json())) {
+      std::cout << "wrote " << metrics_path << "\n";
+    } else {
+      std::cerr << "failed to write " << metrics_path << "\n";
+    }
+  }
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!tracer.autodump_path().empty()) {
+    // The atexit hook writes this too; writing here as well guarantees a
+    // complete trace even if the benchmark-library pass below aborts.
+    if (tracer.write(tracer.autodump_path())) {
+      std::cout << "wrote " << tracer.autodump_path() << "\n";
+    }
+  }
+
   // ---- perf smoke floor (CI) -------------------------------------------
   // HWSEC_CAMPAIGN_MIN_TPS sets a sequential trials/sec floor; a run below
-  // it fails, catching setup-cost regressions before they land.
+  // it fails, catching setup-cost regressions before they land. Only
+  // non-oversubscribed rows are eligible — the floor reads the sequential
+  // (workers=1) row, which by construction never oversubscribes, so small
+  // CI runners can't flake it with scheduler noise.
   const double min_tps = env_double("HWSEC_CAMPAIGN_MIN_TPS", 0.0);
   bool fast_enough = true;
   if (min_tps > 0.0) {
-    fast_enough = curve.front().trials_per_sec >= min_tps;
-    std::cout << "perf floor: " << curve.front().trials_per_sec << " trials/sec vs. floor "
-              << min_tps << " -> " << (fast_enough ? "OK" : "REGRESSION") << "\n";
+    for (const Point& p : curve) {
+      if (p.oversubscribed) {
+        continue;  // scheduler noise never trips (or excuses) the floor.
+      }
+      if (p.workers == 1) {
+        fast_enough = p.trials_per_sec >= min_tps;
+        std::cout << "perf floor: " << p.trials_per_sec << " trials/sec vs. floor "
+                  << min_tps << " -> " << (fast_enough ? "OK" : "REGRESSION") << "\n";
+      }
+    }
   }
 
   benchmark::Initialize(&argc, argv);

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/machine_pool.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "sim/rng.h"
 #include "sim/thread_pool.h"
 
@@ -57,6 +59,24 @@ struct TrialContext {
 /// Runs `config.trials` independent trials of `body` and returns their
 /// results in trial order. `body` must be callable concurrently from
 /// multiple threads and must derive all randomness from its TrialContext.
+namespace detail {
+
+/// Shared per-trial instrumentation: a "trial" span plus the
+/// campaign_trials_completed counter. Observability never touches the
+/// trial's seed or state, so results stay bit-identical with it on or off.
+struct TrialObs {
+  static const obs::Counter& completed() {
+    static const obs::Counter c = obs::counter("campaign_trials_completed");
+    return c;
+  }
+  static const obs::Histogram& trial_us() {
+    static const obs::Histogram h = obs::histogram("trial_us");
+    return h;
+  }
+};
+
+}  // namespace detail
+
 template <typename Result>
 std::vector<Result> run_campaign(const CampaignConfig& config,
                                  const std::function<Result(const TrialContext&)>& body) {
@@ -64,8 +84,11 @@ std::vector<Result> run_campaign(const CampaignConfig& config,
   MachinePool machines;
   auto run_on = [&](hwsec::sim::ThreadPool& pool) {
     pool.parallel_for(config.trials, [&](std::size_t i) {
+      obs::ScopedTimer trial_timer(detail::TrialObs::trial_us());
+      obs::Span trial_span("trial", static_cast<std::int64_t>(i), "trial");
       results[i] =
           body(TrialContext{i, hwsec::sim::derive_seed(config.seed, i), nullptr, &machines});
+      detail::TrialObs::completed().add(1);
     });
   };
   if (config.workers == 0) {
@@ -88,7 +111,10 @@ std::vector<Result> run_campaign(hwsec::sim::ThreadPool& pool, std::uint64_t see
   std::vector<Result> results(trials);
   MachinePool machines;
   pool.parallel_for(trials, [&](std::size_t i) {
+    obs::ScopedTimer trial_timer(detail::TrialObs::trial_us());
+    obs::Span trial_span("trial", static_cast<std::int64_t>(i), "trial");
     results[i] = body(TrialContext{i, hwsec::sim::derive_seed(seed, i), nullptr, &machines});
+    detail::TrialObs::completed().add(1);
   });
   return results;
 }

@@ -8,6 +8,7 @@
 #include "attacks/transient/meltdown.h"
 #include "attacks/transient/spectre.h"
 #include "core/campaign.h"
+#include "core/obs/trace.h"
 #include "core/resilience/resilient.h"
 #include "sca/cpa.h"
 #include "sim/program.h"
@@ -92,6 +93,8 @@ int level_from(double value, double t1, double t2, double t3) {
 
 PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_t seed,
                                      unsigned workers, MachinePool* machines) {
+  obs::Span eval_span("evaluate_platform", static_cast<std::int64_t>(device_class),
+                      "device_class");
   PlatformEvaluation eval;
   eval.device_class = device_class;
 
@@ -121,6 +124,7 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
 
   // ---- non-functional requirements (measured) -------------------------
   tasks.push_back([&eval, profile, seed, machines] {
+    obs::Span probe_span("probe:workload");
     auto machine_lease = acquire_machine(machines, profile, seed);
     sim::Machine& machine = *machine_lease;
     const WorkloadResult w = run_reference_workload(machine);
@@ -130,6 +134,7 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
 
   // ---- microarchitectural probes --------------------------------------
   tasks.push_back([&eval, profile, seed, speculative, machines] {
+    obs::Span probe_span("probe:spectre_pht");
     AttackProbe p{.name = "Spectre-PHT", .applicable = speculative && profile.has_mmu, .succeeded = false, .detail = {}};
     if (p.applicable) {
       auto machine_lease = acquire_machine(machines, profile, seed + 1);
@@ -145,6 +150,7 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     eval.uarch_probes[0] = p;
   });
   tasks.push_back([&eval, profile, seed, speculative, machines] {
+    obs::Span probe_span("probe:meltdown");
     AttackProbe p{.name = "Meltdown", .applicable = speculative && profile.has_mmu, .succeeded = false, .detail = {}};
     if (p.applicable) {
       auto machine_lease = acquire_machine(machines, profile, seed + 2);
@@ -161,6 +167,7 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     eval.uarch_probes[1] = p;
   });
   tasks.push_back([&eval, profile, seed, has_caches, machines] {
+    obs::Span probe_span("probe:prime_probe");
     AttackProbe p{.name = "LLC Prime+Probe", .applicable = has_caches, .succeeded = false, .detail = {}};
     if (p.applicable) {
       auto machine_lease = acquire_machine(machines, profile, seed + 3);
@@ -186,6 +193,7 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
 
   // ---- classical physical probes ---------------------------------------
   tasks.push_back([&eval, seed] {
+    obs::Span probe_span("probe:cpa_aes");
     AttackProbe p{.name = "CPA on AES", .applicable = true, .succeeded = false, .detail = {}};
     const hwsec::crypto::AesKey key = {0x10, 0xa5, 0x88, 0x69, 0xd7, 0x4b, 0xe5, 0xa3,
                                        0x74, 0xcf, 0x86, 0x7c, 0xfb, 0x47, 0x38, 0x59};
@@ -201,6 +209,7 @@ PlatformEvaluation evaluate_platform(sim::DeviceClass device_class, std::uint64_
     eval.physical_probes[0] = p;
   });
   tasks.push_back([&eval, profile, seed, machines] {
+    obs::Span probe_span("probe:glitch");
     AttackProbe p{.name = "voltage/clock glitch", .applicable = true, .succeeded = false, .detail = {}};
     auto machine_lease = acquire_machine(machines, profile, seed + 5);
     sim::Machine& machine = *machine_lease;

@@ -1,6 +1,30 @@
 #include "core/machine_pool.h"
 
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
+
 namespace hwsec::core {
+
+namespace {
+
+// Pool counters, registered once. The contract the obs tests assert:
+// pool_leases_served counts every acquire (pooled machines only),
+// pool_machines_built counts constructions, pool_resets counts
+// snapshot-restores — so leases == builds + resets, always.
+const obs::Counter& pool_leases_counter() {
+  static const obs::Counter c = obs::counter("pool_leases_served");
+  return c;
+}
+const obs::Counter& pool_builds_counter() {
+  static const obs::Counter c = obs::counter("pool_machines_built");
+  return c;
+}
+const obs::Counter& pool_resets_counter() {
+  static const obs::Counter c = obs::counter("pool_resets");
+  return c;
+}
+
+}  // namespace
 
 void MachineLease::release() {
   if (pool_ != nullptr && machine_ != nullptr) {
@@ -12,6 +36,8 @@ void MachineLease::release() {
 }
 
 MachineLease MachinePool::acquire(const sim::MachineProfile& profile, std::uint64_t seed) {
+  obs::Span acquire_span("pool_acquire");
+  pool_leases_counter().add(1);
   std::unique_lock<std::mutex> lock(mutex_);
   ++leases_;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -27,6 +53,10 @@ MachineLease MachinePool::acquire(const sim::MachineProfile& profile, std::uint6
       // live behind unique_ptr, so the reference survives reallocation).
       sim::MachineSnapshot* pristine = e.pristine.get();
       lock.unlock();
+      pool_resets_counter().add(1);
+      static const obs::Histogram kResetNs = obs::histogram("pool_reset_us");
+      obs::ScopedTimer reset_timer(kResetNs);
+      obs::Span reset_span("pool_reset", static_cast<std::int64_t>(i), "slot");
       lease.machine_->reset_to(*pristine);
       lease.machine_->reseed(seed);
       return lease;
@@ -37,6 +67,8 @@ MachineLease MachinePool::acquire(const sim::MachineProfile& profile, std::uint6
   // No free machine of this profile: build one (outside the lock — the
   // construction is exactly the cost the pool exists to amortize, and
   // first-round builds should proceed in parallel).
+  pool_builds_counter().add(1);
+  obs::Span build_span("machine_build");
   auto entry = std::make_unique<Entry>();
   entry->machine = std::make_unique<sim::Machine>(profile, seed);
   entry->pristine = std::make_unique<sim::MachineSnapshot>(entry->machine->snapshot());
@@ -74,6 +106,12 @@ std::uint64_t MachinePool::leases_served() const {
 
 MachineLease acquire_machine(MachinePool* pool, const sim::MachineProfile& profile,
                              std::uint64_t seed) {
+  // The "trial setup" span of every pooled campaign body: machine
+  // acquisition (pool reset-reuse or fresh construction); everything after
+  // it in the trial is body time.
+  static const obs::Histogram kSetupUs = obs::histogram("trial_setup_us");
+  obs::ScopedTimer setup_timer(kSetupUs);
+  obs::Span setup_span("trial_setup");
   if (pool != nullptr) {
     return pool->acquire(profile, seed);
   }

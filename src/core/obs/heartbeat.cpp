@@ -1,0 +1,47 @@
+#include "core/obs/heartbeat.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace hwsec::obs {
+
+Heartbeat::Heartbeat(std::chrono::milliseconds interval, std::function<std::string()> line)
+    : line_(std::move(line)) {
+  if (interval.count() > 0 && line_) {
+    thread_ = std::thread([this, interval] { loop(interval); });
+  }
+}
+
+Heartbeat::~Heartbeat() {
+  if (thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+}
+
+void Heartbeat::loop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+    lock.unlock();
+    // Format and emit without the lock: the formatter may be slow (it
+    // scrapes counters) and must never delay the destructor.
+    const std::string line = line_();
+    std::cerr << line << std::endl;  // flush: heartbeats exist for live logs.
+    lock.lock();
+  }
+}
+
+std::chrono::milliseconds heartbeat_interval_from_env() {
+  const char* value = std::getenv("HWSEC_HEARTBEAT_MS");
+  if (value == nullptr || *value == '\0') {
+    return std::chrono::milliseconds(0);
+  }
+  const long parsed = std::strtol(value, nullptr, 10);
+  return std::chrono::milliseconds(parsed > 0 ? parsed : 0);
+}
+
+}  // namespace hwsec::obs

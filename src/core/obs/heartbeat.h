@@ -1,0 +1,48 @@
+// Periodic campaign heartbeat for unattended runs.
+//
+// A million-trial sweep in CI is invisible between its start line and its
+// summary; when it wedges, the log gives no clue how far it got. Heartbeat
+// runs one background thread that emits a caller-formatted progress line
+// (trials done, trials/sec, retry and watchdog counters, pool stats) every
+// interval, so a hung or thrashing campaign is diagnosable from the log
+// alone. Inert when the interval is zero/negative or no formatter is
+// given: no thread is started, construction is free.
+//
+// The resilient campaign runner arms one of these automatically when
+// HWSEC_HEARTBEAT_MS is set (or ResilienceConfig::heartbeat is explicit).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace hwsec::obs {
+
+class Heartbeat {
+ public:
+  /// Emits `line()` to stderr every `interval` until destruction. The
+  /// formatter runs on the heartbeat thread and must be thread-safe.
+  Heartbeat(std::chrono::milliseconds interval, std::function<std::string()> line);
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+ private:
+  void loop(std::chrono::milliseconds interval);
+
+  std::function<std::string()> line_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Heartbeat interval from HWSEC_HEARTBEAT_MS (zero when unset/invalid —
+/// heartbeats off).
+std::chrono::milliseconds heartbeat_interval_from_env();
+
+}  // namespace hwsec::obs

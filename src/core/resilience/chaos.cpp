@@ -6,9 +6,21 @@
 #include <string>
 #include <thread>
 
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "sim/rng.h"
 
 namespace hwsec::core {
+
+namespace {
+
+void note_injection(const char* kind) {
+  static const obs::Counter kInjections = obs::counter("chaos_injections");
+  kInjections.add(1);
+  obs::Tracer::instance().instant(kind);
+}
+
+}  // namespace
 
 ChaosInjector::ChaosInjector(const ChaosConfig& config, std::size_t trial_index,
                              unsigned attempt)
@@ -31,12 +43,15 @@ void ChaosInjector::inject() {
   const bool fail_throw = rng.chance(config_.throw_probability);
 
   if (delay && delay_us > 0) {
+    note_injection("chaos_delay");
     std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
   }
   if (fail_alloc) {
+    note_injection("chaos_bad_alloc");
     throw std::bad_alloc();
   }
   if (fail_throw) {
+    note_injection("chaos_throw");
     throw std::runtime_error("chaos: injected trial exception");
   }
 }

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
+
 namespace hwsec::core {
 
 namespace {
@@ -149,6 +152,12 @@ void CheckpointFile::record(std::size_t index, CheckpointRecord rec) {
 }
 
 bool CheckpointFile::save(const std::string& path) const {
+  static const obs::Counter kSaves = obs::counter("checkpoint_saves");
+  static const obs::Histogram kSaveUs = obs::histogram("checkpoint_save_us");
+  kSaves.add(1);
+  obs::ScopedTimer save_timer(kSaveUs);
+  obs::Span save_span("checkpoint_save", static_cast<std::int64_t>(records_.size()),
+                      "records");
   std::ostringstream out;
   out << "hwsec-checkpoint v1 seed=" << seed_ << " trials=" << trials_
       << " result_bytes=" << result_bytes_ << "\n";

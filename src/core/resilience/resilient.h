@@ -23,12 +23,16 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/obs/heartbeat.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/resilience/chaos.h"
 #include "core/resilience/checkpoint.h"
 #include "core/resilience/monitor.h"
@@ -61,6 +65,10 @@ struct ResilienceConfig {
   /// this campaign. Supply one to reuse machines across campaigns (e.g. a
   /// benchmark loop running many short sweeps on the same profile).
   MachinePool* machines = nullptr;
+  /// Progress-heartbeat period. Negative (default): take the period from
+  /// HWSEC_HEARTBEAT_MS (unset/0 = off). Zero: off. Positive: emit one
+  /// progress line to stderr per period while the campaign runs.
+  std::chrono::milliseconds heartbeat{-1};
 };
 
 namespace detail {
@@ -123,9 +131,40 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
   std::mutex failure_mutex;
   std::optional<std::pair<std::size_t, SimError>> first_failure;
 
+  // Campaign observability. The counters feed the CI scrape-and-assert
+  // step (a clean non-chaos campaign must end with zero retries and zero
+  // watchdog trips) and the heartbeat line below; none of it reads or
+  // writes trial state, so results stay bit-identical with it on or off.
+  static const obs::Counter kFailed = obs::counter("campaign_trials_failed");
+  static const obs::Counter kRetries = obs::counter("campaign_trial_retries");
+  static const obs::Counter kWatchdogTrips = obs::counter("watchdog_trips");
+  static const obs::Counter kRestored = obs::counter("campaign_trials_restored");
+  std::atomic<std::size_t> heartbeat_done{0};
+  std::atomic<std::size_t> heartbeat_failed{0};
+  std::atomic<std::size_t> heartbeat_retries{0};
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const std::chrono::milliseconds heartbeat_period =
+      res.heartbeat.count() < 0 ? obs::heartbeat_interval_from_env() : res.heartbeat;
+  obs::Heartbeat heartbeat(heartbeat_period, [&, campaign_start] {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_start)
+            .count();
+    const std::size_t done = heartbeat_done.load(std::memory_order_relaxed);
+    std::ostringstream line;
+    line << "[campaign seed=" << config.seed << "] " << done << "/" << config.trials
+         << " trials, " << static_cast<std::uint64_t>(elapsed > 0.0 ? done / elapsed : 0.0)
+         << " trials/sec, retries=" << heartbeat_retries.load(std::memory_order_relaxed)
+         << ", failed=" << heartbeat_failed.load(std::memory_order_relaxed)
+         << ", pool: " << machines->machines_built() << " built / "
+         << machines->leases_served() << " leases";
+    return line.str();
+  });
+
   auto run_slot = [&](std::size_t i) {
     TrialOutcome<Result>& out = outcomes[i];
     if (out.from_checkpoint) {
+      kRestored.add(1);
+      heartbeat_done.fetch_add(1, std::memory_order_relaxed);
       return;  // restored slot; never re-run.
     }
     if (res.policy == FailurePolicy::kFailFast &&
@@ -136,8 +175,15 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
     const std::uint64_t seed = hwsec::sim::derive_seed(config.seed, i);
     const unsigned attempts_allowed =
         res.policy == FailurePolicy::kRetry ? std::max(1u, res.max_attempts) : 1u;
+    obs::ScopedTimer trial_timer(detail::TrialObs::trial_us());
+    obs::Span trial_span("trial", static_cast<std::int64_t>(i), "trial");
     for (unsigned attempt = 1; attempt <= attempts_allowed; ++attempt) {
       out.attempts = attempt;
+      if (attempt > 1) {
+        kRetries.add(1);
+        heartbeat_retries.fetch_add(1, std::memory_order_relaxed);
+        obs::Tracer::instance().instant("trial_retry", static_cast<std::int64_t>(i), "trial");
+      }
       hwsec::sim::TrialWatchdog watchdog;
       watchdog.cycle_budget = res.trial_cycle_budget;
       auto registration = monitor.watch(watchdog);
@@ -149,7 +195,18 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
       } catch (...) {
         out.error = detail::wrap_current_exception().with_trial(i, seed);
         out.result.reset();
+        if (out.error->kind() == ErrorKind::kTimedOut) {
+          kWatchdogTrips.add(1);
+          obs::Tracer::instance().instant("watchdog_trip", static_cast<std::int64_t>(i),
+                                          "trial");
+        }
       }
+    }
+    detail::TrialObs::completed().add(1);
+    heartbeat_done.fetch_add(1, std::memory_order_relaxed);
+    if (!out.ok()) {
+      kFailed.add(1);
+      heartbeat_failed.fetch_add(1, std::memory_order_relaxed);
     }
     if (!out.ok() && res.policy == FailurePolicy::kFailFast) {
       tripped.store(true, std::memory_order_release);

@@ -3,8 +3,43 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace hwsec::sca {
+
+namespace {
+
+/// Kahan-compensated accumulator. Power traces carry a large DC component
+/// (baseline power plus noise floor), so naive `sum += x` loses the signal
+/// bits once the running sum grows: at a 1e9 baseline over 1e5 samples the
+/// naive unbiased variance is off by ~25% (see the Stats regression
+/// tests). Compensation keeps the error at the rounding of the *inputs*,
+/// independent of n.
+struct KahanSum {
+  double sum = 0.0;
+  double compensation = 0.0;
+
+  void add(double value) {
+    const double y = value - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+};
+
+/// Mean of xs via a shifted, compensated sum: accumulating (x - xs[0])
+/// removes the DC component before it can swamp the mantissa, and Kahan
+/// compensation absorbs what rounding remains.
+double shifted_mean(std::span<const double> xs) {
+  const double shift = xs.front();
+  KahanSum sum;
+  for (const double x : xs) {
+    sum.add(x - shift);
+  }
+  return shift + sum.sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
 
 MeanVar mean_variance(std::span<const double> xs) {
   MeanVar mv;
@@ -12,18 +47,14 @@ MeanVar mean_variance(std::span<const double> xs) {
   if (mv.n == 0) {
     return mv;
   }
-  double sum = 0.0;
-  for (double x : xs) {
-    sum += x;
-  }
-  mv.mean = sum / static_cast<double>(mv.n);
+  mv.mean = shifted_mean(xs);
   if (mv.n > 1) {
-    double ss = 0.0;
-    for (double x : xs) {
+    KahanSum ss;
+    for (const double x : xs) {
       const double d = x - mv.mean;
-      ss += d * d;
+      ss.add(d * d);
     }
-    mv.variance = ss / static_cast<double>(mv.n - 1);
+    mv.variance = ss.sum / static_cast<double>(mv.n - 1);
   }
   return mv;
 }
@@ -33,25 +64,20 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     throw std::invalid_argument("pearson needs two equal series of length >= 2");
   }
   const std::size_t n = xs.size();
-  double mx = 0.0, my = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    mx += xs[i];
-    my += ys[i];
-  }
-  mx /= static_cast<double>(n);
-  my /= static_cast<double>(n);
-  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  const double mx = shifted_mean(xs);
+  const double my = shifted_mean(ys);
+  KahanSum sxy, sxx, syy;
   for (std::size_t i = 0; i < n; ++i) {
     const double dx = xs[i] - mx;
     const double dy = ys[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
+    sxy.add(dx * dy);
+    sxx.add(dx * dx);
+    syy.add(dy * dy);
   }
-  if (sxx <= 0.0 || syy <= 0.0) {
+  if (sxx.sum <= 0.0 || syy.sum <= 0.0) {
     return 0.0;
   }
-  return sxy / std::sqrt(sxx * syy);
+  return sxy.sum / std::sqrt(sxx.sum * syy.sum);
 }
 
 PointCorrelation correlate_hypothesis(const std::vector<Trace>& traces,
@@ -60,13 +86,57 @@ PointCorrelation correlate_hypothesis(const std::vector<Trace>& traces,
   if (traces.size() != hypothesis.size() || traces.empty()) {
     throw std::invalid_argument("one hypothesis value per trace required");
   }
+  if (traces.size() < 2) {
+    throw std::invalid_argument("correlation needs >= 2 traces");
+  }
+  const std::size_t n = traces.size();
   const std::size_t points = traces.front().size();
-  std::vector<double> column(traces.size());
-  for (std::size_t p = 0; p < points; ++p) {
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-      column[t] = traces[t].at(p);
+  // Ragged inputs used to surface as a std::out_of_range from a deep
+  // Trace::at() inside the point loop; validate the whole matrix up front
+  // with an error that names the offender.
+  for (std::size_t t = 0; t < n; ++t) {
+    if (traces[t].size() != points) {
+      throw std::invalid_argument("ragged trace matrix: trace " + std::to_string(t) + " has " +
+                                  std::to_string(traces[t].size()) + " points, expected " +
+                                  std::to_string(points));
     }
-    const double rho = std::abs(pearson(column, hypothesis));
+  }
+  if (points == 0) {
+    return result;
+  }
+
+  // CPA runs this for every key guess of every campaign trial, so the
+  // hypothesis statistics — mean, centered values, sum of squares — are
+  // hoisted out of the point loop instead of being re-derived per point
+  // (the old code called pearson() per point: O(points * n) redundant
+  // hypothesis work per invocation).
+  std::vector<double> h_dev(n);
+  const double h_mean = shifted_mean(hypothesis);
+  KahanSum shh;
+  for (std::size_t t = 0; t < n; ++t) {
+    h_dev[t] = hypothesis[t] - h_mean;
+    shh.add(h_dev[t] * h_dev[t]);
+  }
+  if (shh.sum <= 0.0) {
+    return result;  // constant hypothesis correlates with nothing.
+  }
+
+  std::vector<double> column(n);
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t t = 0; t < n; ++t) {
+      column[t] = traces[t][p];
+    }
+    const double x_mean = shifted_mean(column);
+    KahanSum sxy, sxx;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double dx = column[t] - x_mean;
+      sxy.add(dx * h_dev[t]);
+      sxx.add(dx * dx);
+    }
+    if (sxx.sum <= 0.0) {
+      continue;  // constant sample point.
+    }
+    const double rho = std::abs(sxy.sum) / std::sqrt(sxx.sum * shh.sum);
     if (rho > result.max_abs_rho) {
       result.max_abs_rho = rho;
       result.best_point = p;
@@ -78,25 +148,37 @@ PointCorrelation correlate_hypothesis(const std::vector<Trace>& traces,
 namespace {
 
 /// Per-point mean and variance over a population of equal-length traces.
+/// Trace-major iteration (cache-friendly over Trace rows) with per-point
+/// shifted, compensated accumulators: the shift is the first trace's
+/// value at that point, which removes the shared DC component exactly.
 void population_stats(const std::vector<Trace>& population, std::vector<double>& means,
                       std::vector<double>& vars) {
   const std::size_t points = population.front().size();
+  const Trace& reference = population.front();
   means.assign(points, 0.0);
   vars.assign(points, 0.0);
+  std::vector<double> comp(points, 0.0);
   for (const Trace& t : population) {
     for (std::size_t p = 0; p < points; ++p) {
-      means[p] += t[p];
+      const double y = (t[p] - reference[p]) - comp[p];
+      const double s = means[p] + y;
+      comp[p] = (s - means[p]) - y;
+      means[p] = s;
     }
   }
   const double n = static_cast<double>(population.size());
-  for (double& m : means) {
-    m /= n;
+  for (std::size_t p = 0; p < points; ++p) {
+    means[p] = reference[p] + means[p] / n;
   }
   if (population.size() > 1) {
+    std::fill(comp.begin(), comp.end(), 0.0);
     for (const Trace& t : population) {
       for (std::size_t p = 0; p < points; ++p) {
         const double d = t[p] - means[p];
-        vars[p] += d * d;
+        const double y = d * d - comp[p];
+        const double s = vars[p] + y;
+        comp[p] = (s - vars[p]) - y;
+        vars[p] = s;
       }
     }
     for (double& v : vars) {

@@ -1,6 +1,12 @@
 // Statistics for side-channel analysis: Pearson correlation (CPA),
 // difference of means (classic DPA), Welch's t-test (TVLA leakage
 // assessment) and signal-to-noise ratio.
+//
+// All accumulation is DC-shifted and Kahan-compensated: power traces ride
+// on a large constant baseline (supply power + noise floor), and naive
+// running sums lose the signal bits against it — at a 1e9 baseline the
+// naive unbiased variance of a 1e5-sample series is off by ~25%. See the
+// Stats.*Offset* regression tests.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +31,12 @@ double pearson(std::span<const double> xs, std::span<const double> ys);
 
 /// Per-sample-point correlation between a hypothesis vector (one value per
 /// trace) and the trace matrix; returns |rho| maximized over sample points
-/// and the argmax point.
+/// and the argmax point. Requires >= 2 traces, one hypothesis value per
+/// trace, and a rectangular matrix — a ragged one throws
+/// std::invalid_argument naming the offending trace (never a deep
+/// out_of_range from inside the point loop). Hypothesis statistics are
+/// computed once, not per point: this is the inner loop of every CPA
+/// campaign.
 struct PointCorrelation {
   double max_abs_rho = 0.0;
   std::size_t best_point = 0;

@@ -1,0 +1,37 @@
+// Compile-time gated observability probe for the Cpu commit path.
+//
+// The commit loop is the hottest code in the whole framework (~10^8
+// simulated instructions/sec), so even a relaxed atomic load per run() is
+// budgeted: the probe below compiles to *nothing* unless the build enables
+// the HWSEC_OBS_CPU CMake option. With the option ON, the macro calls a
+// process-global hook pointer (null until the observability layer installs
+// its probe via obs::install_cpu_probe()), keeping the sim layer free of
+// any dependency on core/obs — dependencies still flow strictly upward.
+#pragma once
+
+#include <cstdint>
+
+#if defined(HWSEC_OBS_CPU)
+
+namespace hwsec::sim {
+
+/// Called with the number of instructions a Cpu::run() invocation
+/// committed. Installed by obs::install_cpu_probe(); null = no probe.
+using CpuCommitHook = void (*)(std::uint64_t committed);
+extern CpuCommitHook g_cpu_commit_hook;
+
+}  // namespace hwsec::sim
+
+#define HWSEC_OBS_CPU_COMMITTED(n)                  \
+  do {                                              \
+    if (::hwsec::sim::g_cpu_commit_hook != nullptr) \
+      ::hwsec::sim::g_cpu_commit_hook(n);           \
+  } while (0)
+
+#else
+
+#define HWSEC_OBS_CPU_COMMITTED(n) \
+  do {                             \
+  } while (0)
+
+#endif

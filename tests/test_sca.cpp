@@ -2,6 +2,10 @@
 // on synthetic and real instrumented traces.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
 #include "attacks/physical/power_analysis.h"
 #include "sca/cpa.h"
 #include "sca/recorder.h"
@@ -39,6 +43,103 @@ TEST(Stats, PearsonPerfectAndNone) {
   EXPECT_NEAR(sca::pearson(xs, ys), 1.0, 1e-12);
   EXPECT_NEAR(sca::pearson(xs, anti), -1.0, 1e-12);
   EXPECT_EQ(sca::pearson(xs, flat), 0.0);
+}
+
+TEST(Stats, OffsetVarianceSurvivesLargeDcComponent) {
+  // Regression for the naive-accumulation bug: a power trace's samples ride
+  // on a huge DC baseline. At offset 1e9 with a 1e-3 signal over 1e5
+  // samples, the old `sum += x` / `ss += d*d` code reported variance
+  // ~1.25e-6 against a true ~1.0e-6 (25% off); the shifted, compensated
+  // accumulators recover it to ~1e-7 relative.
+  constexpr std::size_t kN = 100000;
+  constexpr double kOffset = 1e9 + 0.7;  // non-dyadic: partial sums must round.
+  constexpr double kAmplitude = 1e-3;
+  std::vector<double> xs(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    xs[i] = kOffset + (i < kN / 2 ? kAmplitude : -kAmplitude);
+  }
+  // Exact reference from the block structure: deviations are +-amplitude
+  // around the (stored-value) mean, up to the rounding of the inputs.
+  long double mean = 0.0L;
+  for (const double x : xs) {
+    mean += static_cast<long double>(x) / kN;
+  }
+  long double ss = 0.0L;
+  for (const double x : xs) {
+    const long double d = static_cast<long double>(x) - mean;
+    ss += d * d;
+  }
+  const double expected = static_cast<double>(ss / (kN - 1));
+
+  const auto mv = sca::mean_variance(xs);
+  EXPECT_NEAR(mv.mean, static_cast<double>(mean), 1e-6);
+  EXPECT_NEAR(mv.variance, expected, expected * 1e-3);  // old code: ~25% off.
+}
+
+TEST(Stats, OffsetPearsonStaysExact) {
+  // Perfectly correlated series at a 1e9 baseline must still give rho = 1.
+  std::vector<double> xs(5000), ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double signal = static_cast<double>(i % 17) * 1e-3;
+    xs[i] = 1e9 + 0.7 + signal;
+    ys[i] = 2e9 + 0.3 + 2.0 * signal;
+  }
+  EXPECT_NEAR(sca::pearson(xs, ys), 1.0, 1e-9);
+}
+
+TEST(Stats, CorrelateHypothesisRejectsRaggedTraces) {
+  // A ragged matrix must fail fast with invalid_argument, not surface as a
+  // std::out_of_range from a deep at() inside the point loop (the old
+  // behavior this test pins down).
+  std::vector<sca::Trace> traces = {{1.0, 2.0, 3.0}, {4.0, 5.0}, {6.0, 7.0, 8.0}};
+  const std::vector<double> hypothesis = {1.0, 2.0, 3.0};
+  EXPECT_THROW(sca::correlate_hypothesis(traces, hypothesis), std::invalid_argument);
+}
+
+TEST(Stats, CorrelateHypothesisMatchesPerPointPearson) {
+  // The hoisted one-pass hypothesis statistics must agree with the naive
+  // per-point pearson() definition.
+  hwsec::sim::Rng rng(11);
+  std::vector<sca::Trace> traces;
+  std::vector<double> hypothesis;
+  for (int t = 0; t < 40; ++t) {
+    sca::Trace trace;
+    for (int p = 0; p < 8; ++p) {
+      trace.push_back(rng.gaussian(5.0, 2.0) + (p == 5 ? 0.8 * t : 0.0));
+    }
+    traces.push_back(std::move(trace));
+    hypothesis.push_back(static_cast<double>(t));
+  }
+  const auto result = sca::correlate_hypothesis(traces, hypothesis);
+  double best_rho = 0.0;
+  std::size_t best_point = 0;
+  std::vector<double> column(traces.size());
+  for (std::size_t p = 0; p < traces.front().size(); ++p) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      column[t] = traces[t][p];
+    }
+    const double rho = std::abs(sca::pearson(column, hypothesis));
+    if (rho > best_rho) {
+      best_rho = rho;
+      best_point = p;
+    }
+  }
+  EXPECT_NEAR(result.max_abs_rho, best_rho, 1e-12);
+  EXPECT_EQ(result.best_point, best_point);
+  EXPECT_EQ(result.best_point, 5u);  // the planted leaky point.
+}
+
+TEST(Stats, OffsetWelchTDoesNotFalselyDetectLeakage) {
+  // Identical distributions riding a 1e9 baseline: the t statistic must
+  // stay far below the TVLA threshold even though every centered sum runs
+  // against the DC component.
+  hwsec::sim::Rng rng(9);
+  std::vector<sca::Trace> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back({1e9 + 0.7 + rng.gaussian(0.0, 1e-3)});
+    b.push_back({1e9 + 0.7 + rng.gaussian(0.0, 1e-3)});
+  }
+  EXPECT_LT(sca::max_welch_t(a, b), sca::kTvlaThreshold);
 }
 
 TEST(Stats, WelchTSeparatesShiftedPopulations) {
