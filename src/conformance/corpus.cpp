@@ -1,0 +1,215 @@
+#include "conformance/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hwsec::conformance {
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+const char* cond_name(sim::BranchCond c) {
+  switch (c) {
+    case sim::BranchCond::kEq: return "eq";
+    case sim::BranchCond::kNe: return "ne";
+    case sim::BranchCond::kLt: return "lt";
+    case sim::BranchCond::kGe: return "ge";
+    case sim::BranchCond::kLtu: return "ltu";
+    case sim::BranchCond::kGeu: return "geu";
+  }
+  return "eq";
+}
+
+const std::unordered_map<std::string, sim::Opcode>& opcode_table() {
+  static const std::unordered_map<std::string, sim::Opcode> table = [] {
+    std::unordered_map<std::string, sim::Opcode> t;
+    // kRdCycle is deliberately absent: a corpus program must stay
+    // oracle-predictable.
+    for (int op = 0; op <= static_cast<int>(sim::Opcode::kEcall); ++op) {
+      const auto code = static_cast<sim::Opcode>(op);
+      if (code != sim::Opcode::kRdCycle) {
+        t.emplace(sim::to_string(code), code);
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+const std::unordered_map<std::string, sim::BranchCond>& cond_table() {
+  static const std::unordered_map<std::string, sim::BranchCond> table = {
+      {"eq", sim::BranchCond::kEq},   {"ne", sim::BranchCond::kNe},
+      {"lt", sim::BranchCond::kLt},   {"ge", sim::BranchCond::kGe},
+      {"ltu", sim::BranchCond::kLtu}, {"geu", sim::BranchCond::kGeu},
+  };
+  return table;
+}
+
+std::string imm_to_string(std::int64_t imm) {
+  if (imm >= -4096 && imm < 4096) {
+    return std::to_string(imm);
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(imm));
+  return buf;
+}
+
+void serialize_program(std::ostringstream& out, const char* name, const sim::Program& p) {
+  char base[24];
+  std::snprintf(base, sizeof base, "0x%x", p.base);
+  out << "program " << name << ' ' << base << '\n';
+  for (const sim::Instruction& inst : p.code) {
+    out << sim::to_string(inst.op) << " r" << static_cast<int>(inst.rd) << " r"
+        << static_cast<int>(inst.rs1) << " r" << static_cast<int>(inst.rs2) << ' '
+        << cond_name(inst.cond) << ' ' << imm_to_string(inst.imm) << '\n';
+  }
+}
+
+sim::Reg parse_reg(const std::string& tok) {
+  if (tok.size() < 2 || tok[0] != 'r') {
+    throw std::invalid_argument("corpus: bad register token '" + tok + "'");
+  }
+  const int n = std::stoi(tok.substr(1));
+  if (n < 0 || n >= static_cast<int>(sim::kNumRegs)) {
+    throw std::invalid_argument("corpus: register out of range '" + tok + "'");
+  }
+  return static_cast<sim::Reg>(n);
+}
+
+std::int64_t parse_imm(const std::string& tok) {
+  // Hex immediates serialize as the raw 64-bit pattern; reinterpret so a
+  // round-trip of a negative value is exact.
+  if (tok.rfind("0x", 0) == 0 || tok.rfind("-0x", 0) == 0) {
+    return static_cast<std::int64_t>(std::stoull(tok, nullptr, 16));
+  }
+  return std::stoll(tok, nullptr, 10);
+}
+
+}  // namespace
+
+std::string serialize_corpus(FuzzArch arch, const GeneratedCase& test) {
+  std::ostringstream out;
+  out << "# hwsec conformance corpus (minimized failing case)\n";
+  out << "arch " << to_string(arch) << '\n';
+  serialize_program(out, "normal", test.normal);
+  serialize_program(out, "enclave", test.enclave);
+  return out.str();
+}
+
+CorpusCase parse_corpus(const std::string& text) {
+  CorpusCase out;
+  bool saw_arch = false;
+  sim::Program* current = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head) || head[0] == '#') {
+      continue;
+    }
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("corpus line " + std::to_string(lineno) + ": " + why);
+    };
+    if (head == "arch") {
+      std::string name;
+      if (!(tokens >> name)) {
+        fail("missing architecture name");
+      }
+      out.arch = fuzz_arch_from_string(name);
+      saw_arch = true;
+    } else if (head == "program") {
+      std::string which;
+      std::string base;
+      if (!(tokens >> which >> base)) {
+        fail("program header needs '<name> <base>'");
+      }
+      if (which == "normal") {
+        current = &out.test.normal;
+      } else if (which == "enclave") {
+        current = &out.test.enclave;
+      } else {
+        fail("unknown program name '" + which + "'");
+      }
+      current->base = static_cast<sim::VirtAddr>(std::stoull(base, nullptr, 0));
+      current->code.clear();
+    } else {
+      if (current == nullptr) {
+        fail("instruction before any 'program' header");
+      }
+      const auto op = opcode_table().find(head);
+      if (op == opcode_table().end()) {
+        fail("unknown or rejected opcode '" + head + "'");
+      }
+      std::string rd;
+      std::string rs1;
+      std::string rs2;
+      std::string cond;
+      std::string imm;
+      if (!(tokens >> rd >> rs1 >> rs2 >> cond >> imm)) {
+        fail("instruction needs 6 fields: <op> <rd> <rs1> <rs2> <cond> <imm>");
+      }
+      const auto c = cond_table().find(cond);
+      if (c == cond_table().end()) {
+        fail("unknown branch condition '" + cond + "'");
+      }
+      current->code.push_back(sim::Instruction{.op = op->second,
+                                               .rd = parse_reg(rd),
+                                               .rs1 = parse_reg(rs1),
+                                               .rs2 = parse_reg(rs2),
+                                               .imm = parse_imm(imm),
+                                               .cond = c->second});
+    }
+  }
+  if (!saw_arch) {
+    throw std::invalid_argument("corpus: missing 'arch' line");
+  }
+  if (out.test.normal.code.empty()) {
+    throw std::invalid_argument("corpus: missing or empty 'program normal'");
+  }
+  return out;
+}
+
+CorpusCase load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("corpus: cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse_corpus(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+void write_corpus_file(const std::string& path, FuzzArch arch, const GeneratedCase& test) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("corpus: cannot write " + path);
+  }
+  out << serialize_corpus(arch, test);
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".corpus") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace hwsec::conformance

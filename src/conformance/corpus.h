@@ -1,0 +1,46 @@
+// Corpus files: minimized failing programs, persisted for regression.
+//
+// A corpus file is a line-oriented text serialization of one generated
+// case (architecture + both programs), written by the fuzzer after
+// shrinking and replayed by ctest (tests/corpus/*.corpus). The format is
+// deliberately trivial — one instruction per line, fixed six fields — so
+// a failing program can be read, edited, and re-run by hand:
+//
+//   # optional comments
+//   arch sgx
+//   program normal 0x400000
+//   li r5 r0 r0 eq 0x410000
+//   lw r3 r5 r0 eq 0
+//   halt r0 r0 r0 eq 0
+//   program enclave 0x402000
+//   ecall r0 r0 r0 eq 2
+//   halt r0 r0 r0 eq 0
+//
+// The parser rejects rdcycle (not oracle-predictable) and unknown
+// mnemonics, so a corpus file can never smuggle in a program the
+// differential cannot judge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "conformance/generator.h"
+
+namespace hwsec::conformance {
+
+struct CorpusCase {
+  FuzzArch arch{};
+  GeneratedCase test;
+};
+
+std::string serialize_corpus(FuzzArch arch, const GeneratedCase& test);
+/// Throws std::invalid_argument on malformed input.
+CorpusCase parse_corpus(const std::string& text);
+
+CorpusCase load_corpus_file(const std::string& path);  ///< throws on I/O error.
+void write_corpus_file(const std::string& path, FuzzArch arch, const GeneratedCase& test);
+
+/// Sorted *.corpus paths under `dir`; empty if the directory is missing.
+std::vector<std::string> list_corpus_files(const std::string& dir);
+
+}  // namespace hwsec::conformance

@@ -1,0 +1,278 @@
+#include "conformance/differ.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "conformance/reference.h"
+#include "crypto/sha256.h"
+
+namespace hwsec::conformance {
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+constexpr std::size_t kMaxMismatches = 12;
+constexpr sim::Word kProbeSentinel = 0x51E11u;
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool has_secret_prefix(sim::Word w) { return (w & 0xFFFF0000u) == 0xA5EC0000u; }
+
+void note(TrialVerdict& v, std::string msg) {
+  v.diverged = true;
+  if (v.mismatches.size() < kMaxMismatches) {
+    v.mismatches.push_back(std::move(msg));
+  }
+}
+
+void note_invariant(TrialVerdict& v, std::string msg) {
+  v.invariant_violated = true;
+  if (v.mismatches.size() < kMaxMismatches) {
+    v.mismatches.push_back(std::move(msg));
+  }
+}
+
+sim::Program halt_stub_program(const EnvSpec& spec) {
+  sim::Program p;
+  p.base = spec.halt_stub;
+  p.code.push_back(sim::Instruction{.op = sim::Opcode::kHalt});
+  return p;
+}
+
+std::uint32_t read32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// SHA-256 over the measured region as the attestation engine would see it:
+/// word-wise, after undoing the MEE transform.
+template <typename Read32>
+std::array<std::uint8_t, 32> measure_region(const EnvSpec& spec, Read32&& read32) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(spec.measured_end - spec.measured_start);
+  for (sim::PhysAddr a = spec.measured_start; a < spec.measured_end; a += 4) {
+    sim::Word w = read32(a);
+    if (spec.in_mee(a)) {
+      w = mee_word(a, w);
+    }
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  return crypto::Sha256::hash(bytes);
+}
+
+ArchContext build_arch_context(FuzzArch arch) {
+  ArchContext ctx;
+  ctx.spec = make_env_spec(arch);
+  ctx.profile = fuzz_machine_profile(arch);
+  // The baseline DRAM image is seed-independent: a Machine's seed feeds
+  // only its RNG and glitch injector, and install_env writes the same
+  // bytes for every trial of an arch.
+  sim::Machine machine(ctx.profile, /*seed=*/1);
+  MachineRunLog log;
+  ctx.secret_frame = install_env(machine, ctx.spec, log);
+  const auto raw = std::as_const(machine.memory()).raw();
+  ctx.baseline.assign(raw.begin(), raw.end());
+  ctx.baseline_measurement = measure_region(
+      ctx.spec, [&](sim::PhysAddr a) { return read32_le(ctx.baseline.data() + a); });
+  return ctx;
+}
+
+void diff_faults(TrialVerdict& v, const std::vector<FaultRecord>& machine,
+                 const std::vector<FaultRecord>& oracle) {
+  if (machine == oracle) {
+    return;
+  }
+  std::string msg = "fault log differs: machine has " + std::to_string(machine.size()) +
+                    " records, oracle " + std::to_string(oracle.size());
+  const std::size_t n = std::min(machine.size(), oracle.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(machine[i] == oracle[i])) {
+      msg += "; first divergent record #" + std::to_string(i) + ": machine {" +
+             sim::to_string(machine[i].fault) + " pc=" + hex(machine[i].pc) +
+             " addr=" + hex(machine[i].addr) + " " + sim::to_string(machine[i].type) +
+             "} oracle {" + sim::to_string(oracle[i].fault) + " pc=" + hex(oracle[i].pc) +
+             " addr=" + hex(oracle[i].addr) + " " + sim::to_string(oracle[i].type) + "}";
+      break;
+    }
+  }
+  note(v, std::move(msg));
+}
+
+/// Directed deny-is-fault probe: from the normal context, a load of the
+/// enclave-owned secret page must fault — and must not succeed with a
+/// zeroed (or any) value. Runs after the diff, so the extra faults and
+/// register writes it produces perturb nothing that is still compared.
+void probe_secret_denial(TrialVerdict& v, const EnvSpec& spec, sim::Machine& machine,
+                         MachineRunLog& log) {
+  sim::Cpu& cpu = machine.cpu(0);
+  cpu.switch_context(spec.normal.domain, spec.normal.priv, spec.page_root, spec.normal.asid);
+  const std::size_t faults_before = log.faults.size();
+
+  sim::Program probe;
+  probe.base = spec.halt_stub + 16;  // inside the executable halt-stub page.
+  probe.code = {
+      sim::Instruction{.op = sim::Opcode::kLoadImm, .rd = sim::R11,
+                       .imm = static_cast<std::int64_t>(spec.secret_base)},
+      sim::Instruction{.op = sim::Opcode::kLoadImm, .rd = sim::R12, .imm = kProbeSentinel},
+      sim::Instruction{.op = sim::Opcode::kLoad, .rd = sim::R12, .rs1 = sim::R11},
+      sim::Instruction{.op = sim::Opcode::kHalt},
+  };
+  cpu.load_program(probe);
+  cpu.run_from(probe.base, 16);
+
+  const bool faulted = log.faults.size() > faults_before;
+  const sim::Word got = cpu.reg(sim::R12);
+  if (!faulted) {
+    if (got == 0) {
+      note_invariant(v, "secret-page deny is silent zero: probe load from " +
+                            hex(spec.secret_base) + " succeeded with value 0");
+    } else {
+      note_invariant(v, "cross-domain read of enclave-owned page allowed: probe load from " +
+                            hex(spec.secret_base) + " returned " + hex(got));
+    }
+    if (has_secret_prefix(got)) {
+      v.secret_leak = true;
+    }
+  } else if (got != kProbeSentinel) {
+    note_invariant(v, "secret-page probe faulted but still produced a value: " + hex(got));
+    if (has_secret_prefix(got)) {
+      v.secret_leak = true;
+    }
+  }
+}
+
+}  // namespace
+
+const ArchContext& arch_context(FuzzArch arch) {
+  static const std::array<ArchContext, std::size(kAllFuzzArchs)> contexts = [] {
+    std::array<ArchContext, std::size(kAllFuzzArchs)> all{};
+    for (std::size_t i = 0; i < std::size(kAllFuzzArchs); ++i) {
+      all[i] = build_arch_context(kAllFuzzArchs[i]);
+    }
+    return all;
+  }();
+  return contexts[static_cast<std::size_t>(arch)];
+}
+
+TrialVerdict run_case(const ArchContext& arch, const GeneratedCase& test, std::uint64_t seed,
+                      core::MachinePool* pool, MachineVariant variant, BugInjection inject) {
+  const EnvSpec& spec = arch.spec;
+  TrialVerdict v;
+  v.arch = spec.arch;
+  v.seed = seed;
+
+  // Oracle run against the shared immutable baseline.
+  ReferenceInterpreter ref(spec, arch.baseline,
+                           {halt_stub_program(spec), test.normal, test.enclave});
+  const ReferenceResult oracle = ref.run(spec.code_base, kTrialBudget);
+
+  // Machine run. Pooled machines are bit-identical to fresh construction;
+  // the fuzzer runs both variants to keep that claim under test.
+  core::MachineLease lease = core::acquire_machine(
+      variant == MachineVariant::kFresh ? nullptr : pool, arch.profile, seed);
+  sim::Machine& machine = *lease;
+  MachineRunLog log;
+  install_env(machine, spec, log, inject);
+  sim::Cpu& cpu = machine.cpu(0);
+  cpu.load_program(test.normal);
+  cpu.load_program(test.enclave);
+  const sim::RunResult run = cpu.run_from(spec.code_base, kTrialBudget);
+
+  // ---- architectural diff ----------------------------------------------
+  for (std::uint32_t r = 1; r < sim::kNumRegs; ++r) {
+    const sim::Word mv = cpu.reg(static_cast<sim::Reg>(r));
+    const sim::Word ov = oracle.regs[r];
+    if (mv != ov) {
+      std::string msg = "r";
+      msg += std::to_string(r);
+      msg += ": machine=" + hex(mv) + " oracle=" + hex(ov);
+      note(v, std::move(msg));
+      if (has_secret_prefix(mv)) {
+        v.secret_leak = true;
+      }
+    }
+  }
+  if (cpu.pc() != oracle.pc) {
+    note(v, "pc: machine=" + hex(cpu.pc()) + " oracle=" + hex(oracle.pc));
+  }
+  if (run.halted != oracle.halted) {
+    std::string msg = "halted: machine=";
+    msg += run.halted ? "yes" : "no";
+    msg += " oracle=";
+    msg += oracle.halted ? "yes" : "no";
+    note(v, std::move(msg));
+  }
+  if (run.executed != oracle.executed) {
+    note(v, "executed: machine=" + std::to_string(run.executed) + " oracle=" +
+                std::to_string(oracle.executed));
+  }
+  if (cpu.domain() != oracle.final_domain) {
+    note(v, "final domain: machine=" + std::to_string(cpu.domain()) + " oracle=" +
+                std::to_string(oracle.final_domain));
+  }
+  if (cpu.privilege() != oracle.final_priv) {
+    note(v, "final privilege: machine=" + sim::to_string(cpu.privilege()) + " oracle=" +
+                sim::to_string(oracle.final_priv));
+  }
+  if (log.leak_hash != oracle.leak_hash) {
+    note(v, "leak-trace hash: machine=" + hex(log.leak_hash) + " oracle=" +
+                hex(oracle.leak_hash));
+  }
+  diff_faults(v, log.faults, oracle.faults);
+
+  // ---- memory diff: every DRAM page vs baseline-or-overlay -------------
+  const auto dram = std::as_const(machine.memory()).raw();
+  const ShadowMemory& omem = ref.memory();
+  const std::uint32_t pages = static_cast<std::uint32_t>(dram.size()) / sim::kPageSize;
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const std::uint8_t* mp = dram.data() + static_cast<std::size_t>(p) * sim::kPageSize;
+    const std::span<const std::uint8_t> op = omem.page(p);
+    if (std::memcmp(mp, op.data(), sim::kPageSize) == 0) {
+      continue;
+    }
+    for (std::uint32_t off = 0; off < sim::kPageSize; off += 4) {
+      const sim::Word mw = read32_le(mp + off);
+      const sim::Word ow = read32_le(op.data() + off);
+      if (mw != ow) {
+        const sim::PhysAddr addr = p * sim::kPageSize + off;
+        note(v, "memory at " + hex(addr) + ": machine=" + hex(mw) + " oracle=" + hex(ow));
+        if (has_secret_prefix(mw)) {
+          v.secret_leak = true;
+        }
+        break;  // first divergent word per page is enough detail.
+      }
+    }
+  }
+
+  // ---- attestation-measurement invariant --------------------------------
+  const auto machine_meas =
+      measure_region(spec, [&](sim::PhysAddr a) { return read32_le(dram.data() + a); });
+  const auto oracle_meas = measure_region(spec, [&](sim::PhysAddr a) { return omem.read32(a); });
+  if (machine_meas != oracle_meas) {
+    note_invariant(v, "attestation measurement diverged between machine and oracle");
+  }
+  if (!oracle.enclave_wrote_measured && machine_meas != arch.baseline_measurement) {
+    note_invariant(v, "attestation measurement moved without an enclave write");
+  }
+
+  // ---- deny-is-fault invariant ------------------------------------------
+  probe_secret_denial(v, spec, machine, log);
+
+  return v;
+}
+
+TrialVerdict run_trial(FuzzArch arch, std::uint64_t seed, core::MachinePool* pool,
+                       MachineVariant variant, BugInjection inject) {
+  const ArchContext& ctx = arch_context(arch);
+  return run_case(ctx, generate_case(ctx.spec, seed), seed, pool, variant, inject);
+}
+
+}  // namespace hwsec::conformance

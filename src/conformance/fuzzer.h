@@ -1,0 +1,70 @@
+// Fuzzing front-end: campaigns of differential trials, shrinking, corpus.
+//
+// run_fuzz() fans trials out through core::run_campaign, so the fuzzer
+// inherits the engine's determinism contract (trial i's verdict depends
+// only on (campaign seed, i) — identical at any worker count), its machine
+// pool, and its observability (per-trial spans plus the
+// conformance_trials / conformance_divergences counters).
+//
+// Trial i runs architecture archs[i % archs.size()], so a smoke budget
+// spreads evenly across all eight profiles; every fresh_every-th trial
+// builds its machine from scratch instead of leasing from the pool,
+// keeping the snapshot/reset path itself under differential test.
+//
+// Failures are shrunk sequentially after the campaign (shrinking re-runs
+// the differential hundreds of times; doing it inside trial bodies would
+// destroy the smoke budget) and optionally written to a corpus directory
+// for ctest replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conformance/differ.h"
+#include "conformance/shrink.h"
+
+namespace hwsec::conformance {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t trials = 1000;
+  unsigned workers = 0;  ///< 0 = ThreadPool default.
+  /// Every Nth trial uses a fresh-built machine instead of the pool
+  /// (0: always pooled).
+  std::size_t fresh_every = 16;
+  BugInjection inject = BugInjection::kNone;
+  std::vector<FuzzArch> archs{std::begin(kAllFuzzArchs), std::end(kAllFuzzArchs)};
+  /// Directory for minimized failing cases ("" = don't persist).
+  std::string corpus_dir;
+  /// At most this many failures are shrunk/persisted; the rest are only
+  /// counted (shrinking is ~100 differential runs per failure).
+  std::size_t max_shrunk = 8;
+};
+
+struct FuzzFailure {
+  TrialVerdict verdict;    ///< the original (unshrunk) trial's verdict.
+  GeneratedCase shrunk;    ///< minimized reproducer.
+  std::size_t instructions = 0;  ///< non-nop instructions after shrinking.
+  std::string corpus_path;       ///< "" unless persisted.
+};
+
+struct FuzzReport {
+  std::size_t trials = 0;
+  std::size_t divergences = 0;       ///< failing trials (diff or invariant).
+  std::size_t secret_leaks = 0;
+  std::vector<FuzzFailure> failures; ///< shrunk subset, <= max_shrunk.
+
+  bool ok() const { return divergences == 0; }
+};
+
+FuzzReport run_fuzz(const FuzzConfig& config);
+
+/// Replays one corpus file differentially (fresh machine, no injection).
+TrialVerdict replay_corpus_file(const std::string& path);
+
+/// Reads HWSEC_FUZZ_TRIALS / HWSEC_FUZZ_SEED / HWSEC_FUZZ_WORKERS from the
+/// environment over the given defaults (the CI smoke and long-run knobs).
+FuzzConfig fuzz_config_from_env(FuzzConfig defaults);
+
+}  // namespace hwsec::conformance

@@ -1,0 +1,217 @@
+#include "conformance/generator.h"
+
+#include <string>
+
+#include "sim/rng.h"
+
+namespace hwsec::conformance {
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+// Register convention (see generator.h): r1..r8 scratch/ALU, r9..r12 loop
+// counters, r13 computed-jump target, r14 enclave link (never generated),
+// r15 call link (written only by kCall/kCallInd).
+sim::Reg scratch(sim::Rng& rng) { return static_cast<sim::Reg>(1 + rng.below(8)); }
+sim::Reg any_src(sim::Rng& rng) { return static_cast<sim::Reg>(rng.below(14)); }
+sim::Reg counter(sim::Rng& rng) { return static_cast<sim::Reg>(9 + rng.below(4)); }
+
+std::int64_t rand_imm(sim::Rng& rng) {
+  for (;;) {
+    std::uint32_t v = 0;
+    switch (rng.below(4)) {
+      case 0: v = rng.below(16); break;                      // tiny constants.
+      case 1: v = rng.below(4096); break;                    // page-offset sized.
+      case 2: v = static_cast<std::uint32_t>(-static_cast<std::int32_t>(rng.below(64))); break;
+      default: v = rng.next_u32(); break;                    // anything.
+    }
+    if ((v & 0xFFFF0000u) != 0xA5EC0000u) {  // never fabricate a secret.
+      return static_cast<std::int64_t>(v);
+    }
+  }
+}
+
+sim::VirtAddr pick_addr(const EnvSpec& spec, sim::Rng& rng) {
+  std::uint64_t total = 0;
+  for (const EnvSpec::AddressSeed& s : spec.address_pool) {
+    total += s.weight;
+  }
+  std::uint64_t roll = rng.below(total);
+  for (const EnvSpec::AddressSeed& s : spec.address_pool) {
+    if (roll < s.weight) {
+      return s.addr;
+    }
+    roll -= s.weight;
+  }
+  return spec.data_base;
+}
+
+class CaseBuilder {
+ public:
+  CaseBuilder(const EnvSpec& spec, sim::Rng& rng) : spec_(spec), rng_(rng) {}
+
+  sim::Program build_normal() {
+    sim::ProgramBuilder b(spec_.code_base);
+    const std::size_t target = 24 + rng_.below(41);  // 24..64 instructions.
+    while (b.current_address() < spec_.code_base + 4 * target) {
+      segment(b, /*depth=*/0, /*in_enclave=*/false);
+    }
+    b.halt();
+    return b.build();
+  }
+
+  sim::Program build_enclave() {
+    sim::ProgramBuilder b(spec_.enclave_code);
+    const std::size_t target = 8 + rng_.below(17);  // 8..24 instructions.
+    while (b.current_address() < spec_.enclave_code + 4 * target) {
+      segment(b, /*depth=*/0, /*in_enclave=*/true);
+    }
+    b.ecall(kSvcExitEnclave);
+    b.halt();  // backstop if the exit path is ever faulted over.
+    return b.build();
+  }
+
+ private:
+  void alu(sim::ProgramBuilder& b) {
+    const sim::Reg rd = scratch(rng_);
+    const sim::Reg a = any_src(rng_);
+    const sim::Reg c = any_src(rng_);
+    switch (rng_.below(9)) {
+      case 0: b.li(rd, rand_imm(rng_)); break;
+      case 1: b.add(rd, a, c); break;
+      case 2: b.sub(rd, a, c); break;
+      case 3: b.xor_(rd, a, c); break;
+      case 4: b.and_(rd, a, c); break;
+      case 5: b.or_(rd, a, c); break;
+      case 6: b.mul(rd, a, c); break;
+      case 7: b.addi(rd, a, rand_imm(rng_)); break;
+      default: b.shri(rd, a, rng_.below(32)); break;
+    }
+  }
+
+  void memory_op(sim::ProgramBuilder& b) {
+    sim::VirtAddr addr = pick_addr(spec_, rng_);
+    // Wander around the seed address; occasionally misalign a word access.
+    addr += 4 * rng_.below(8);
+    if (rng_.chance(0.08)) {
+      addr += rng_.below(4);
+    }
+    const std::int64_t off = 4 * static_cast<std::int64_t>(rng_.below(4));
+    b.li(sim::R5, addr);
+    switch (rng_.below(4)) {
+      case 0: b.lw(scratch(rng_), sim::R5, off); break;
+      case 1: b.lb(scratch(rng_), sim::R5, off + static_cast<std::int64_t>(rng_.below(4))); break;
+      case 2: b.sw(sim::R5, off, scratch(rng_)); break;
+      default: b.sb(sim::R5, off + static_cast<std::int64_t>(rng_.below(4)), scratch(rng_)); break;
+    }
+  }
+
+  void loop(sim::ProgramBuilder& b, int depth, bool in_enclave) {
+    const sim::Reg c = counter(rng_);
+    const std::string head = label("loop");
+    b.li(c, 1 + rng_.below(6));
+    b.label(head);
+    const int body = 1 + static_cast<int>(rng_.below(3));
+    for (int i = 0; i < body; ++i) {
+      segment(b, depth + 1, in_enclave);
+    }
+    b.addi(c, c, -1);
+    b.br(sim::BranchCond::kNe, c, sim::kZero, head);
+  }
+
+  void forward_branch(sim::ProgramBuilder& b) {
+    const std::string skip = label("skip");
+    const auto cond = static_cast<sim::BranchCond>(rng_.below(6));
+    b.br(cond, any_src(rng_), any_src(rng_), skip);
+    const int filler = 1 + static_cast<int>(rng_.below(3));
+    for (int i = 0; i < filler; ++i) {
+      alu(b);  // architecturally skipped or not; transiently maybe both.
+    }
+    b.label(skip);
+  }
+
+  void call_block(sim::ProgramBuilder& b) {
+    const std::string fn = label("fn");
+    const std::string cont = label("cont");
+    b.call(fn);
+    b.jump(cont);
+    b.label(fn);
+    alu(b);
+    if (rng_.chance(0.5)) {
+      alu(b);
+    }
+    b.ret();
+    b.label(cont);
+  }
+
+  void computed_jump(sim::ProgramBuilder& b) {
+    const int filler = 1 + static_cast<int>(rng_.below(3));
+    // li is at current_address(); jr follows it; the target skips `filler`
+    // instructions past the jr. Forward-only, so it cannot form a loop.
+    const sim::VirtAddr target = b.current_address() + 8 + 4 * static_cast<sim::VirtAddr>(filler);
+    b.li(sim::R13, target);
+    b.jr(sim::R13);
+    for (int i = 0; i < filler; ++i) {
+      alu(b);
+    }
+  }
+
+  void environment_call(sim::ProgramBuilder& b, bool in_enclave) {
+    // In the enclave, never re-enter (budget-burning ping-pong) — exercise
+    // the privilege services and an unknown id instead.
+    static constexpr sim::Word kNormalSvcs[] = {kSvcEnterEnclave, kSvcEnterEnclave,
+                                                kSvcSupervisor,   kSvcUser,
+                                                kSvcExitEnclave,  7};
+    static constexpr sim::Word kEnclaveSvcs[] = {kSvcSupervisor, kSvcUser, 7};
+    const sim::Word svc = in_enclave ? kEnclaveSvcs[rng_.below(3)] : kNormalSvcs[rng_.below(6)];
+    b.ecall(svc);
+  }
+
+  void segment(sim::ProgramBuilder& b, int depth, bool in_enclave) {
+    const std::uint64_t roll = rng_.below(100);
+    if (roll < 30) {
+      const int burst = 1 + static_cast<int>(rng_.below(4));
+      for (int i = 0; i < burst; ++i) {
+        alu(b);
+      }
+    } else if (roll < 58) {
+      memory_op(b);
+    } else if (roll < 66 && depth < 2) {
+      loop(b, depth, in_enclave);
+    } else if (roll < 76) {
+      forward_branch(b);
+    } else if (roll < 82 && depth == 0) {
+      call_block(b);
+    } else if (roll < 88 && depth == 0) {
+      computed_jump(b);
+    } else if (roll < 94) {
+      const sim::VirtAddr addr = pick_addr(spec_, rng_);
+      b.li(sim::R6, addr);
+      b.clflush(sim::R6, 4 * static_cast<std::int64_t>(rng_.below(4)));
+    } else if (roll < 97) {
+      b.fence();
+    } else {
+      environment_call(b, in_enclave);
+    }
+  }
+
+  std::string label(const char* stem) { return std::string(stem) + std::to_string(next_label_++); }
+
+  const EnvSpec& spec_;
+  sim::Rng& rng_;
+  int next_label_ = 0;
+};
+
+}  // namespace
+
+GeneratedCase generate_case(const EnvSpec& spec, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  CaseBuilder cb(spec, rng);
+  GeneratedCase out;
+  out.normal = cb.build_normal();
+  out.enclave = cb.build_enclave();
+  return out;
+}
+
+}  // namespace hwsec::conformance

@@ -1,0 +1,43 @@
+// Seeded, constraint-aware random program generator.
+//
+// Produces a pair of decoded programs per trial — a normal-world program
+// and an enclave/trustlet program reached through the kSvcEnterEnclave
+// ecall — biased toward the behaviours the differential actually wants to
+// stress: loads/stores across every interesting address class (legal data,
+// read-only, supervisor, not-present, unmapped, enclave-owned secret),
+// bounded loops, forward branches that mispredict, computed jumps, calls
+// and returns, clflush, enclave enter/exit, and fault-raising accesses.
+//
+// Constraints that keep a random program oracle-checkable:
+//  * never emits kRdCycle (timing is microarchitectural by definition);
+//  * never materializes an immediate with the secret 0xA5EC prefix, so a
+//    secret value appearing where the machine and oracle disagree is a
+//    leak, not a collision;
+//  * loops are counter-bounded (trip <= 6, nesting <= 2) and every other
+//    backward transfer is impossible by construction, so all programs
+//    terminate well inside the trial budget;
+//  * r14 is reserved as the enclave return link: only the ecall services
+//    write it.
+#pragma once
+
+#include <cstdint>
+
+#include "conformance/env.h"
+#include "sim/program.h"
+
+namespace hwsec::conformance {
+
+/// Step budget both executions run under. Generated programs terminate in
+/// far fewer steps; the budget is a backstop for fault storms and for
+/// service-id sequences that re-enter the enclave.
+inline constexpr std::uint64_t kTrialBudget = 4096;
+
+struct GeneratedCase {
+  sim::Program normal;   ///< at spec.code_base; ends in kHalt.
+  sim::Program enclave;  ///< at spec.enclave_code; ends in kSvcExitEnclave + kHalt.
+};
+
+/// Deterministic: depends only on (spec.arch-derived layout, seed).
+GeneratedCase generate_case(const EnvSpec& spec, std::uint64_t seed);
+
+}  // namespace hwsec::conformance

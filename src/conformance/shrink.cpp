@@ -1,0 +1,120 @@
+#include "conformance/shrink.h"
+
+#include <algorithm>
+
+namespace hwsec::conformance {
+
+namespace sim = hwsec::sim;
+
+namespace {
+
+bool is_nop(const sim::Instruction& inst) { return inst.op == sim::Opcode::kNop; }
+
+struct Shrinker {
+  const ArchContext& arch;
+  BugInjection inject;
+  std::size_t runs = 0;
+
+  bool still_fails(const GeneratedCase& candidate) {
+    ++runs;
+    // Fresh machine, fixed seed: the verdict of a candidate must depend
+    // only on its instructions, never on pooling or the original seed.
+    return run_case(arch, candidate, /*seed=*/0, /*pool=*/nullptr, MachineVariant::kFresh,
+                    inject)
+        .failed();
+  }
+
+  /// Nops out [begin, begin+len) of one program if the case still fails.
+  bool try_nop_chunk(GeneratedCase& test, sim::Program GeneratedCase::*prog, std::size_t begin,
+                     std::size_t len) {
+    GeneratedCase candidate = test;
+    std::vector<sim::Instruction>& code = (candidate.*prog).code;
+    bool changed = false;
+    for (std::size_t i = begin; i < begin + len && i < code.size(); ++i) {
+      if (!is_nop(code[i])) {
+        code[i] = sim::Instruction{};  // kNop.
+        changed = true;
+      }
+    }
+    if (!changed || !still_fails(candidate)) {
+      return false;
+    }
+    test = std::move(candidate);
+    return true;
+  }
+
+  void nop_pass(GeneratedCase& test, sim::Program GeneratedCase::*prog) {
+    const std::size_t n = (test.*prog).code.size();
+    if (n == 0) {
+      return;
+    }
+    for (std::size_t chunk = std::max<std::size_t>(n / 2, 1);; chunk /= 2) {
+      for (std::size_t begin = 0; begin < n; begin += chunk) {
+        try_nop_chunk(test, prog, begin, chunk);
+      }
+      if (chunk == 1) {
+        break;
+      }
+    }
+  }
+
+  /// Drops trailing nops (keeping the final instruction, normally kHalt).
+  bool try_truncate_tail(GeneratedCase& test, sim::Program GeneratedCase::*prog) {
+    GeneratedCase candidate = test;
+    std::vector<sim::Instruction>& code = (candidate.*prog).code;
+    if (code.size() < 2) {
+      return false;
+    }
+    const sim::Instruction last = code.back();
+    std::size_t keep = code.size() - 1;
+    while (keep > 0 && is_nop(code[keep - 1])) {
+      --keep;
+    }
+    if (keep == code.size() - 1) {
+      return false;
+    }
+    code.resize(keep);
+    code.push_back(last);
+    if (!still_fails(candidate)) {
+      return false;
+    }
+    test = std::move(candidate);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::size_t case_instruction_count(const GeneratedCase& test) {
+  const auto count = [](const sim::Program& p) {
+    return static_cast<std::size_t>(
+        std::count_if(p.code.begin(), p.code.end(),
+                      [](const sim::Instruction& i) { return !is_nop(i); }));
+  };
+  return count(test.normal) + count(test.enclave);
+}
+
+ShrinkResult shrink_case(const ArchContext& arch, GeneratedCase test, BugInjection inject) {
+  Shrinker s{arch, inject};
+  if (!s.still_fails(test)) {
+    const std::size_t instructions = case_instruction_count(test);
+    return {std::move(test), instructions, s.runs};
+  }
+  for (;;) {
+    const std::size_t before = case_instruction_count(test) + test.normal.code.size() +
+                               test.enclave.code.size();
+    s.nop_pass(test, &GeneratedCase::normal);
+    s.nop_pass(test, &GeneratedCase::enclave);
+    s.try_truncate_tail(test, &GeneratedCase::normal);
+    s.try_truncate_tail(test, &GeneratedCase::enclave);
+    const std::size_t after = case_instruction_count(test) + test.normal.code.size() +
+                              test.enclave.code.size();
+    if (after == before) {
+      break;
+    }
+  }
+  const std::size_t instructions = case_instruction_count(test);
+  return {std::move(test), instructions, s.runs};
+}
+
+}  // namespace hwsec::conformance

@@ -1,0 +1,43 @@
+// Test-case minimization: greedy instruction deletion, address-stable.
+//
+// Generated programs are position-dependent (branch targets, computed
+// jumps and the enclave entry are absolute addresses), so the shrinker
+// never *removes* instructions mid-program — that would slide every
+// successor to a new address and almost always change the failure into a
+// different program rather than a smaller one. Instead it:
+//
+//  1. replaces chunks of instructions with kNop, halving the chunk size
+//     down to 1 (ddmin-style), keeping a replacement only if the verdict
+//     still fails;
+//  2. truncates runs of trailing nops before the final kHalt (the only
+//     deletion that moves an address — the halt's own — and is re-verified
+//     like any other candidate);
+//  3. repeats until a full pass changes nothing.
+//
+// Every candidate is judged by a fresh differential run, so the result is
+// guaranteed to still fail — what lands in tests/corpus/ reproduces, by
+// construction.
+#pragma once
+
+#include <cstddef>
+
+#include "conformance/differ.h"
+#include "conformance/generator.h"
+
+namespace hwsec::conformance {
+
+struct ShrinkResult {
+  GeneratedCase test;
+  std::size_t instructions = 0;  ///< non-nop instructions across both programs.
+  std::size_t runs = 0;          ///< differential executions spent shrinking.
+};
+
+/// Number of non-nop instructions in both programs.
+std::size_t case_instruction_count(const GeneratedCase& test);
+
+/// Minimizes `test`, which must fail under exactly these parameters
+/// (checked; returns it unshrunk with runs == 1 if it does not fail).
+ShrinkResult shrink_case(const ArchContext& arch, GeneratedCase test,
+                         BugInjection inject = BugInjection::kNone);
+
+}  // namespace hwsec::conformance

@@ -1,0 +1,102 @@
+// Golden-file regression test for the Figure-1 evaluation matrix.
+//
+// Serializes the discrete, deterministic outputs of
+// core::evaluate_all_platforms(seed=42) — importance levels, probe
+// applicability/success booleans, success-rate ratios, modeled exposure —
+// to JSON and compares byte-for-byte against tests/golden/figure1.json.
+// Floating-point *measurements* (MIPS, nJ/instruction) are deliberately
+// excluded: they move with legitimate timing-model tuning, while the
+// matrix itself must not drift silently.
+//
+// To regenerate after an intentional change:
+//   HWSEC_UPDATE_GOLDEN=1 ./build/tests/test_golden_figure1
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/evaluation.h"
+
+namespace core = hwsec::core;
+
+namespace {
+
+std::string ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+void append_probes(std::ostringstream& out, const char* key,
+                   const std::vector<core::AttackProbe>& probes) {
+  out << "      \"" << key << "\": [\n";
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    out << "        {\"name\": \"" << probes[i].name << "\", \"applicable\": "
+        << (probes[i].applicable ? "true" : "false") << ", \"succeeded\": "
+        << (probes[i].succeeded ? "true" : "false") << "}" << (i + 1 < probes.size() ? "," : "")
+        << "\n";
+  }
+  out << "      ]";
+}
+
+std::string serialize(const std::vector<core::PlatformEvaluation>& columns) {
+  std::ostringstream out;
+  out << "{\n  \"figure1\": [\n";
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const core::PlatformEvaluation& e = columns[c];
+    out << "    {\n"
+        << "      \"platform\": \"" << e.platform << "\",\n"
+        << "      \"levels\": {\"remote\": " << e.remote << ", \"local\": " << e.local
+        << ", \"classical_physical\": " << e.classical_physical
+        << ", \"microarchitectural\": " << e.microarchitectural
+        << ", \"performance\": " << e.performance << ", \"energy_budget\": " << e.energy_budget
+        << "},\n"
+        << "      \"uarch_success_rate\": " << ratio(e.uarch_success_rate) << ",\n"
+        << "      \"physical_success_rate\": " << ratio(e.physical_success_rate) << ",\n"
+        << "      \"physical_exposure\": " << ratio(e.physical_exposure) << ",\n";
+    append_probes(out, "uarch_probes", e.uarch_probes);
+    out << ",\n";
+    append_probes(out, "physical_probes", e.physical_probes);
+    out << "\n    }" << (c + 1 < columns.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string golden_path() { return std::string(HWSEC_GOLDEN_DIR) + "/figure1.json"; }
+
+}  // namespace
+
+TEST(GoldenFigure1, MatrixMatchesGoldenFile) {
+  const std::vector<core::PlatformEvaluation> columns = core::evaluate_all_platforms(42);
+  ASSERT_EQ(columns.size(), 3u);
+  for (const core::PlatformEvaluation& e : columns) {
+    EXPECT_TRUE(e.errors.empty()) << e.platform << ": " << e.errors.front();
+  }
+  const std::string current = serialize(columns);
+
+  if (std::getenv("HWSEC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << current;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with HWSEC_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(current, expected.str())
+      << "Figure-1 matrix drifted from tests/golden/figure1.json. If the change is\n"
+         "intentional, regenerate with: HWSEC_UPDATE_GOLDEN=1 ./test_golden_figure1";
+}
+
+TEST(GoldenFigure1, SerializationIsDeterministic) {
+  const std::string a = serialize(core::evaluate_all_platforms(42));
+  const std::string b = serialize(core::evaluate_all_platforms(42));
+  EXPECT_EQ(a, b);
+}

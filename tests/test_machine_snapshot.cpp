@@ -16,9 +16,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "arch/sanctuary.h"
+#include "conformance/differ.h"
+#include "core/campaign.h"
 #include "arch/sanctum.h"
 #include "arch/sancus.h"
 #include "arch/sgx.h"
@@ -194,6 +197,37 @@ TEST(MachineSnapshot, MutableRawSpanForcesFullRestore) {
   raw[100] = 0x77;
   m.reset_to(snap);
   EXPECT_EQ(m.memory().read8(100), 0u);
+}
+
+// ---- conformance-fuzzer differential: pooled reset vs fresh build ------
+//
+// The differential fuzzer executes generated programs, traps faults, and
+// walks page tables — a far harsher reset-equivalence workload than the
+// enclave lifecycle above. Running the same campaign on pool-leased
+// machines and on freshly constructed ones must yield bit-identical
+// verdict sequences at any worker count.
+
+namespace conf = hwsec::conformance;
+namespace core = hwsec::core;
+
+std::vector<conf::TrialVerdict> fuzz_campaign(unsigned workers, conf::MachineVariant variant) {
+  const std::function<conf::TrialVerdict(const core::TrialContext&)> body =
+      [variant](const core::TrialContext& ctx) {
+        const conf::FuzzArch arch =
+            conf::kAllFuzzArchs[ctx.index % std::size(conf::kAllFuzzArchs)];
+        return conf::run_trial(arch, ctx.seed, ctx.machines, variant);
+      };
+  return core::run_campaign({.seed = 0x5EED, .trials = 40, .workers = workers}, body);
+}
+
+TEST(MachineSnapshot, FuzzerPooledMatchesFreshAtAnyWorkerCount) {
+  const std::vector<conf::TrialVerdict> fresh = fuzz_campaign(1, conf::MachineVariant::kFresh);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    EXPECT_EQ(fuzz_campaign(workers, conf::MachineVariant::kPooled), fresh)
+        << "pooled campaign at workers=" << workers << " diverged from fresh machines";
+    EXPECT_EQ(fuzz_campaign(workers, conf::MachineVariant::kFresh), fresh)
+        << "fresh campaign at workers=" << workers << " is worker-count dependent";
+  }
 }
 
 }  // namespace
