@@ -45,9 +45,7 @@ void UserProcess::setup_probe_array() {
 }
 
 void UserProcess::flush_probe() {
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    machine_->flush_line(probe_phys_ + i * kProbeStride);
-  }
+  machine_->flush_lines(probe_phys_, kProbeStride, 256);
 }
 
 std::optional<std::uint8_t> UserProcess::hottest_probe_line(sim::Cycle hit_threshold) {

@@ -71,6 +71,7 @@ MachineLease MachinePool::acquire(const sim::MachineProfile& profile, std::uint6
   obs::Span build_span("machine_build");
   auto entry = std::make_unique<Entry>();
   entry->machine = std::make_unique<sim::Machine>(profile, seed);
+  entry->machine->set_uop_cache(uop_cache_);
   entry->pristine = std::make_unique<sim::MachineSnapshot>(entry->machine->snapshot());
   entry->profile_name = profile.name;
   entry->in_use = true;

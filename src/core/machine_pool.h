@@ -115,6 +115,10 @@ class MachinePool {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;
   std::uint64_t leases_ = 0;
+  /// Decoded-program cache shared by every pooled machine: trials across
+  /// the whole pool decode each distinct program once. Installed before
+  /// the pristine snapshot so reset-reuse keeps the wiring.
+  std::shared_ptr<sim::UopCache> uop_cache_ = std::make_shared<sim::UopCache>();
 };
 
 /// Campaign-body helper: acquires from `pool` when the campaign runner

@@ -53,6 +53,18 @@ class Bus {
   void remove_check(std::size_t id);
   void clear_checks();
 
+  /// True if any firewall is installed (tombstoned slots excluded). The
+  /// CPU's fetch memo arms only on check-free buses: a PhysCheck may be
+  /// stateful, so its invocation cannot be skipped on replay.
+  bool has_checks() const {
+    for (const PhysCheck& check : checks_) {
+      if (check) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Installs / clears the (single) memory-encryption transform.
   void set_transform(Transform t) { transform_ = std::move(t); }
   void clear_transform() { transform_ = nullptr; }

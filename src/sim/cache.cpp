@@ -1,6 +1,7 @@
 #include "sim/cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -19,6 +20,14 @@ namespace {
 
 bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
+std::uint32_t log2_pow2(std::uint32_t v) {
+  std::uint32_t shift = 0;
+  while ((1u << shift) < v) {
+    ++shift;
+  }
+  return shift;
+}
+
 }  // namespace
 
 Cache::Cache(CacheConfig config, std::uint64_t rng_seed)
@@ -32,7 +41,14 @@ Cache::Cache(CacheConfig config, std::uint64_t rng_seed)
   if (!is_pow2(config_.num_sets())) {
     throw std::invalid_argument("number of cache sets must be a power of two");
   }
+  if (config_.ways > 32) {
+    throw std::invalid_argument("at most 32 ways supported (valid-way bitmask)");
+  }
+  line_shift_ = log2_pow2(config_.line_size);
+  set_mask_ = config_.num_sets() - 1;
   lines_.assign(static_cast<std::size_t>(config_.num_sets()) * config_.ways, Line{});
+  valid_ways_.assign(config_.num_sets(), 0);
+  occupied_sets_.assign((config_.num_sets() + 63) / 64, 0);
   plru_bits_.assign(config_.num_sets(), 0);
 }
 
@@ -41,51 +57,6 @@ Cache::WayRange Cache::ways_for(DomainId domain) const {
     return partition_lut_[domain];
   }
   return {0, config_.ways};
-}
-
-Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType type) {
-  const PhysAddr base = line_base(addr);
-  const std::uint32_t set = set_index(addr);
-  const WayRange range = ways_for(domain);
-
-  // Hit path: a domain restricted by a partition can only *hit* within its
-  // partition — that is what makes the partition a side-channel defense and
-  // not just a quota.
-  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
-    Line& line = line_at(set, w);
-    if (line.valid && line.tag_base == base) {
-      mark_touched(set, w);  // LRU stamp / dirty bit / PLRU update.
-      line.lru_stamp = ++clock_;
-      if (type == AccessType::kWrite) {
-        line.dirty = true;
-      }
-      touch_plru(set, w);
-      ++stats_.hits;
-      ++domain_slot(domain).hits;
-      return {.hit = true, .evicted_line = std::nullopt, .evicted_domain = kDomainNormal};
-    }
-  }
-
-  // Miss: choose a victim within the domain's ways and fill.
-  ++stats_.misses;
-  ++domain_slot(domain).misses;
-  const std::uint32_t victim_way = choose_victim(set, range);
-  mark_touched(set, victim_way);  // fill overwrites the victim line.
-  Line& victim = line_at(set, victim_way);
-  AccessResult result;
-  if (victim.valid) {
-    result.evicted_line = victim.tag_base;
-    result.evicted_domain = victim.owner;
-    ++stats_.evictions;
-    ++domain_slot(victim.owner).evictions;
-  }
-  victim.valid = true;
-  victim.tag_base = base;
-  victim.owner = domain;
-  victim.dirty = (type == AccessType::kWrite);
-  victim.lru_stamp = ++clock_;
-  touch_plru(set, victim_way);
-  return result;
 }
 
 bool Cache::probe(PhysAddr addr) const {
@@ -112,28 +83,20 @@ bool Cache::probe_owned(PhysAddr addr, DomainId domain) const {
   return false;
 }
 
-bool Cache::flush_line(PhysAddr addr) {
-  const PhysAddr base = line_base(addr);
-  const std::uint32_t set = set_index(addr);
-  for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    Line& line = line_at(set, w);
-    if (line.valid && line.tag_base == base) {
-      mark_touched(set, w);
-      line.valid = false;
-      ++stats_.flushes;
-      return true;
-    }
-  }
-  return false;
-}
-
 std::uint32_t Cache::flush_domain(DomainId domain) {
   coarse_dirty_ = true;  // touches arbitrary sets; journal can't cover it.
+  ++removal_epoch_;
   std::uint32_t dropped = 0;
-  for (Line& line : lines_) {
-    if (line.valid && line.owner == domain) {
-      line.valid = false;
-      ++dropped;
+  for (std::uint32_t set = 0; set <= set_mask_; ++set) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Line& line = line_at(set, w);
+      if (line.valid && line.owner == domain) {
+        line.valid = false;
+        valid_ways_[set] &= ~(1u << w);
+        mark_occupancy(set);
+        --valid_lines_;
+        ++dropped;
+      }
     }
   }
   stats_.flushes += dropped;
@@ -142,14 +105,19 @@ std::uint32_t Cache::flush_domain(DomainId domain) {
 
 void Cache::flush_all() {
   coarse_dirty_ = true;
+  ++removal_epoch_;
   for (Line& line : lines_) {
     line.valid = false;
   }
+  std::fill(valid_ways_.begin(), valid_ways_.end(), 0u);
+  std::fill(occupied_sets_.begin(), occupied_sets_.end(), std::uint64_t{0});
+  valid_lines_ = 0;
   ++stats_.flushes;
 }
 
 void Cache::set_way_partition(DomainId domain, std::uint32_t first_way, std::uint32_t num_ways) {
   coarse_dirty_ = true;  // partition table + line sweep across all sets.
+  ++removal_epoch_;      // the hit predicate (ways_for) changes shape.
   if (num_ways == 0) {
     if (domain < partition_lut_.size() && partition_lut_[domain].count != 0) {
       partition_lut_[domain] = {};
@@ -177,9 +145,25 @@ void Cache::set_way_partition(DomainId domain, std::uint32_t first_way, std::uin
       Line& line = line_at(set, w);
       if (line.valid && line.owner == domain) {
         line.valid = false;
+        valid_ways_[set] &= ~(1u << w);
+        mark_occupancy(set);
+        --valid_lines_;
       }
     }
   }
+}
+
+std::optional<std::uint32_t> Cache::find_way(PhysAddr addr, DomainId domain) const {
+  const PhysAddr base = line_base(addr);
+  const std::uint32_t set = set_index(addr);
+  const WayRange range = ways_for(domain);
+  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
+    const Line& line = line_at(set, w);
+    if (line.valid && line.tag_base == base) {
+      return (set << 8) | w;
+    }
+  }
+  return std::nullopt;
 }
 
 void Cache::set_index_scramble(std::uint64_t key) {
@@ -219,17 +203,38 @@ void Cache::begin_set_tracking() {
 }
 
 void Cache::restore_from(const Cache& snap) {
+  // removal_epoch_ stays monotonic across restores (never rolled back to
+  // the snapshot's value): any fetch memo armed against pre-restore state
+  // must observe a change, whichever restore path runs.
+  const std::uint64_t epoch_after = removal_epoch_ + 1;
   if (!tracking_ || coarse_dirty_ || lines_.size() != snap.lines_.size()) {
     // `snap` was copied right after begin_set_tracking() on this cache, so
     // a full copy-assign also restores a clean, armed journal.
     *this = snap;
+    removal_epoch_ = epoch_after;
     return;
   }
   for (const std::uint32_t index : touched_lines_) {
-    lines_[index] = snap.lines_[index];
+    Line& cur = lines_[index];
+    const Line& old = snap.lines_[index];
     const std::uint32_t set = index / config_.ways;
-    plru_bits_[set] = snap.plru_bits_[set];
+    if (cur.valid != old.valid) {
+      const std::uint32_t bit = 1u << (index - set * config_.ways);
+      if (old.valid) {
+        valid_ways_[set] |= bit;
+        ++valid_lines_;
+      } else {
+        valid_ways_[set] &= ~bit;
+        --valid_lines_;
+      }
+      mark_occupancy(set);
+    }
+    cur = old;
+    if (config_.policy == ReplacementPolicy::kTreePlru) {
+      plru_bits_[set] = snap.plru_bits_[set];  // dead state under LRU/random.
+    }
   }
+  removal_epoch_ = epoch_after;
   // Scalar and small per-domain state is cheap enough to restore always.
   partition_lut_ = snap.partition_lut_;
   partitions_installed_ = snap.partitions_installed_;
@@ -249,11 +254,13 @@ void Cache::restore_from(const Cache& snap) {
 
 std::uint32_t Cache::choose_victim(std::uint32_t set, WayRange range) {
   assert(range.count > 0);
-  // Invalid line first, regardless of policy.
-  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
-    if (!line_at(set, w).valid) {
-      return w;
-    }
+  // Invalid line first (lowest way index, as the linear scan used to pick),
+  // regardless of policy. One bit-scan instead of walking the Line array.
+  const std::uint32_t range_mask =
+      (range.count >= 32 ? ~0u : ((1u << range.count) - 1u) << range.first);
+  const std::uint32_t invalid = ~valid_ways_[set] & range_mask;
+  if (invalid != 0) {
+    return static_cast<std::uint32_t>(std::countr_zero(invalid));
   }
   switch (config_.policy) {
     case ReplacementPolicy::kLru: {

@@ -16,6 +16,7 @@
 //    replacement, for the eviction-set reliability ablation.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -121,9 +122,13 @@ class Cache {
   std::uint64_t scramble_key() const { return scramble_key_; }
 
   std::uint32_t set_index(PhysAddr addr) const {
-    const std::uint32_t line = addr / config_.line_size;
+    // line_size and num_sets are powers of two (enforced at construction),
+    // so the division/modulo reduce to shift/mask — set_index sits on the
+    // hottest path in the simulator and the two hardware divides that used
+    // to live here were measurable in whole-campaign profiles.
+    const std::uint32_t line = addr >> line_shift_;
     if (scramble_key_ == 0) {
-      return line % config_.num_sets();
+      return line & set_mask_;
     }
     // splitmix-style keyed diffusion; sets must only be balanced, not
     // cryptographically strong, for the modeled property.
@@ -132,9 +137,41 @@ class Cache {
     x ^= x >> 31;
     x *= 0x94d049bb133111ebull;
     x ^= x >> 29;
-    return static_cast<std::uint32_t>(x % config_.num_sets());
+    return static_cast<std::uint32_t>(x) & set_mask_;
   }
   PhysAddr line_base(PhysAddr addr) const { return addr & ~(config_.line_size - 1); }
+
+  /// True when no line in the whole cache is valid. Lets the hierarchy's
+  /// flush paths skip caches that never held anything (the common case for
+  /// the non-active cores' private caches in single-core trials).
+  bool empty() const { return valid_lines_ == 0; }
+
+  /// Monotonic counter bumped whenever a *valid* line is dropped or
+  /// displaced, or the hit predicate changes shape (way partitions,
+  /// scramble rekey, whole-cache flushes, snapshot restores roll it back
+  /// together with the line array). While the counter is unchanged, a line
+  /// observed valid at (set, way) is still there with the same tag and the
+  /// same domain visibility — the foundation of the CPU's fetch memo.
+  std::uint64_t removal_epoch() const { return removal_epoch_; }
+
+  /// Locates the way holding `addr`'s line as a hit by `domain` would find
+  /// it (honoring the domain's way partition). Returns (set << 8) | way,
+  /// or nullopt when access() would miss. Read-only.
+  std::optional<std::uint32_t> find_way(PhysAddr addr, DomainId domain) const;
+
+  /// Replays the side effects of a *hit* previously located by
+  /// find_way(): LRU stamp, PLRU touch, hit counters, touch journal —
+  /// bit-identical to the hit path of access() for a read. Callers must
+  /// ensure removal_epoch() is unchanged since the line was located.
+  void repeat_hit(std::uint32_t set, std::uint32_t way, DomainId domain) {
+    mark_touched(set, way);
+    line_at(set, way).lru_stamp = ++clock_;
+    if (config_.policy == ReplacementPolicy::kTreePlru) {
+      touch_plru(set, way);  // mirrors the hit path of access() exactly.
+    }
+    ++stats_.hits;
+    ++domain_slot(domain).hits;
+  }
 
   const CacheStats& stats() const { return stats_; }
   const CacheStats& domain_stats(DomainId domain) const;
@@ -155,10 +192,14 @@ class Cache {
   void restore_from(const Cache& snap);
 
  private:
+  /// Field order packs the line into 16 bytes (tag+owner+flags in one
+  /// 8-byte word, stamp in the other): the line array is the simulator's
+  /// hottest data structure and its footprint is what the host's caches
+  /// have to absorb on every probe sweep.
   struct Line {
-    bool valid = false;
     PhysAddr tag_base = 0;  ///< line-aligned physical address.
     DomainId owner = kDomainNormal;
+    bool valid = false;
     bool dirty = false;
     std::uint64_t lru_stamp = 0;
   };
@@ -210,7 +251,29 @@ class Cache {
   }
 
   CacheConfig config_;
+  std::uint32_t line_shift_ = 6;  ///< log2(line_size), for set_index.
+  std::uint32_t set_mask_ = 0;    ///< num_sets - 1, for set_index.
   std::vector<Line> lines_;
+  std::uint32_t valid_lines_ = 0;  ///< total valid lines, for empty().
+  std::uint64_t removal_epoch_ = 0;
+  /// Per-set bitmask of valid ways. Gives flush_line an O(1) miss and the
+  /// victim chooser an O(1) invalid-way scan instead of walking the ways.
+  std::vector<std::uint32_t> valid_ways_;
+  /// One bit per set: set holds at least one valid line (bit set iff
+  /// valid_ways_[set] != 0). Probe-array flush sweeps test this 2 KiB
+  /// bitmap instead of loading scattered words of the (for an LLC, 64 KiB)
+  /// valid_ways_ array — the sweep's working set then fits the host L1.
+  std::vector<std::uint64_t> occupied_sets_;
+  bool set_occupied(std::uint32_t set) const {
+    return (occupied_sets_[set >> 6] >> (set & 63)) & 1u;
+  }
+  void mark_occupancy(std::uint32_t set) {
+    if (valid_ways_[set] != 0) {
+      occupied_sets_[set >> 6] |= std::uint64_t{1} << (set & 63);
+    } else {
+      occupied_sets_[set >> 6] &= ~(std::uint64_t{1} << (set & 63));
+    }
+  }
   std::vector<std::uint32_t> plru_bits_;  ///< one bitfield of tree bits per set.
   /// Way partitions as a flat table indexed by DomainId (domains are small
   /// dense integers). A slot with count == 0 — including every id beyond
@@ -229,9 +292,113 @@ class Cache {
   // an array-wide clear.
   bool tracking_ = false;
   bool coarse_dirty_ = false;  ///< a whole-cache mutation bypassed the journal.
-  std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> touched_epoch_;  ///< per line: epoch of last touch.
+  /// u8 on purpose: the stamp array is loaded on every access, and the
+  /// narrow type quarters its footprint. Wrap-around is handled by the
+  /// restore path (a full clear every 255 re-arms).
+  std::uint8_t epoch_ = 0;
+  std::vector<std::uint8_t> touched_epoch_;  ///< per line: epoch of last touch.
   std::vector<std::uint32_t> touched_lines_;  ///< line indices touched this epoch.
 };
+
+// access() and flush_line() are defined inline: a single probe-array trial
+// issues hundreds of each (the 256-line scan misses twice per line, the
+// pre-scan flush sweeps every level), so the call overhead and the lost
+// cross-call hoisting were measurable in whole-campaign profiles.
+
+inline Cache::AccessResult Cache::access(PhysAddr addr, DomainId domain, AccessType type) {
+  const PhysAddr base = line_base(addr);
+  const std::uint32_t set = set_index(addr);
+  const WayRange range = ways_for(domain);
+
+  // Hit path: a domain restricted by a partition can only *hit* within its
+  // partition — that is what makes the partition a side-channel defense and
+  // not just a quota. Scanning the valid-way mask instead of the Line array
+  // makes a miss in a sparse set (every probe-array scan after a flush) a
+  // single word load; countr_zero preserves the ascending way order of the
+  // linear scan it replaces.
+  const std::uint32_t range_mask =
+      (range.count >= 32 ? ~0u : ((1u << range.count) - 1u) << range.first);
+  std::uint32_t mask = valid_ways_[set] & range_mask;
+  while (mask != 0) {
+    const std::uint32_t w = static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    Line& line = line_at(set, w);
+    if (line.tag_base == base) {
+      mark_touched(set, w);  // LRU stamp / dirty bit / PLRU update.
+      line.lru_stamp = ++clock_;
+      if (type == AccessType::kWrite) {
+        line.dirty = true;
+      }
+      if (config_.policy == ReplacementPolicy::kTreePlru) {
+        touch_plru(set, w);  // the tree bits are dead state under LRU/random.
+      }
+      ++stats_.hits;
+      ++domain_slot(domain).hits;
+      return {.hit = true, .evicted_line = std::nullopt, .evicted_domain = kDomainNormal};
+    }
+  }
+
+  // Miss: choose a victim within the domain's ways and fill. The invalid-way
+  // case (every fill into a set that is not yet full — all of a probe-array
+  // sweep after its flush) stays inline; only a genuinely full set pays the
+  // policy walk in choose_victim.
+  ++stats_.misses;
+  ++domain_slot(domain).misses;
+  const std::uint32_t invalid_ways = ~valid_ways_[set] & range_mask;
+  const std::uint32_t victim_way =
+      invalid_ways != 0 ? static_cast<std::uint32_t>(std::countr_zero(invalid_ways))
+                        : choose_victim(set, range);
+  mark_touched(set, victim_way);  // fill overwrites the victim line.
+  Line& victim = line_at(set, victim_way);
+  AccessResult result;
+  if (victim.valid) {
+    result.evicted_line = victim.tag_base;
+    result.evicted_domain = victim.owner;
+    ++stats_.evictions;
+    ++domain_slot(victim.owner).evictions;
+    ++removal_epoch_;  // a valid line was displaced.
+  } else {
+    ++valid_lines_;
+    valid_ways_[set] |= 1u << victim_way;
+    mark_occupancy(set);
+  }
+  victim.valid = true;
+  victim.tag_base = base;
+  victim.owner = domain;
+  victim.dirty = (type == AccessType::kWrite);
+  victim.lru_stamp = ++clock_;
+  if (config_.policy == ReplacementPolicy::kTreePlru) {
+    touch_plru(set, victim_way);
+  }
+  return result;
+}
+
+inline bool Cache::flush_line(PhysAddr addr) {
+  const std::uint32_t set = set_index(addr);
+  // Probe-array sweeps flush hundreds of mostly-absent lines per trial; the
+  // occupancy bitmap answers those misses from ~2 KiB of state instead of
+  // scattered loads across the full per-set way-mask array.
+  if (!set_occupied(set)) {
+    return false;  // no valid line in the set, so certainly not this one.
+  }
+  std::uint32_t mask = valid_ways_[set];
+  const PhysAddr base = line_base(addr);
+  do {
+    const std::uint32_t w = static_cast<std::uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+    Line& line = line_at(set, w);
+    if (line.tag_base == base) {
+      mark_touched(set, w);
+      line.valid = false;
+      valid_ways_[set] &= ~(1u << w);
+      mark_occupancy(set);
+      --valid_lines_;
+      ++removal_epoch_;
+      ++stats_.flushes;
+      return true;
+    }
+  } while (mask != 0);
+  return false;
+}
 
 }  // namespace hwsec::sim

@@ -100,6 +100,27 @@ void CacheHierarchy::flush_line(PhysAddr addr) {
   }
 }
 
+void CacheHierarchy::flush_lines(PhysAddr base, std::uint32_t stride, std::uint32_t count) {
+  const auto sweep = [&](Cache& c) {
+    if (c.empty()) {
+      return;
+    }
+    PhysAddr a = base;
+    for (std::uint32_t i = 0; i < count; ++i, a += stride) {
+      c.flush_line(a);
+    }
+  };
+  for (auto& c : l1d_) {
+    sweep(*c);
+  }
+  for (auto& c : l1i_) {
+    sweep(*c);
+  }
+  if (llc_ != nullptr) {
+    sweep(*llc_);
+  }
+}
+
 void CacheHierarchy::flush_core_private(CoreId core) {
   if (!config_.has_l1) {
     return;
@@ -133,6 +154,7 @@ void CacheHierarchy::flush_domain(DomainId domain) {
 }
 
 void CacheHierarchy::add_uncacheable(PhysAddr start, std::uint32_t len, Exclusion scope) {
+  ++exclusion_epoch_;
   uncacheable_.push_back({start, start + len, scope});
   // Drop already-cached copies: an exclusion that leaves stale lines
   // behind would still be probeable.
@@ -142,7 +164,10 @@ void CacheHierarchy::add_uncacheable(PhysAddr start, std::uint32_t len, Exclusio
   }
 }
 
-void CacheHierarchy::clear_uncacheable() { uncacheable_.clear(); }
+void CacheHierarchy::clear_uncacheable() {
+  ++exclusion_epoch_;
+  uncacheable_.clear();
+}
 
 Cache& CacheHierarchy::llc() {
   if (llc_ == nullptr) {
@@ -210,6 +235,7 @@ void CacheHierarchy::restore(const Snapshot& snap) {
     llc_->restore_from(snap.llc.front());
   }
   uncacheable_ = snap.uncacheable;
+  ++exclusion_epoch_;  // monotonic: invalidates memos armed pre-restore.
 }
 
 void CacheHierarchy::back_invalidate(PhysAddr line_base) {

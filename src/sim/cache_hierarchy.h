@@ -66,6 +66,14 @@ class CacheHierarchy {
   /// CLFLUSH analogue: removes the line from every level on every core.
   void flush_line(PhysAddr addr);
 
+  /// Batch CLFLUSH over `count` addresses `stride` bytes apart, starting at
+  /// `base`. Equivalent to calling flush_line() per address (the per-cache
+  /// flushes are independent, so reordering cache-outer is unobservable),
+  /// but skips caches that are entirely empty — the common case for the
+  /// other cores' private caches — turning the probe-array flush loop from
+  /// addresses x caches scans into a handful of cache visits.
+  void flush_lines(PhysAddr base, std::uint32_t stride, std::uint32_t count);
+
   /// Flushes core-private caches only (enclave context switch in
   /// Sanctuary/Sanctum).
   void flush_core_private(CoreId core);
@@ -116,6 +124,11 @@ class CacheHierarchy {
   Snapshot snapshot();
   void restore(const Snapshot& snap);
 
+  /// Monotonic counter bumped whenever the uncacheable-range set changes
+  /// (add/clear/restore). While unchanged, an address observed cacheable
+  /// stays cacheable — part of the CPU fetch memo's validity predicate.
+  std::uint64_t exclusion_epoch() const { return exclusion_epoch_; }
+
  private:
   bool excluded(PhysAddr addr, Exclusion scope_at_least) const;
   MemoryAccessOutcome access_through(Cache* l1, CoreId core, DomainId domain, PhysAddr addr,
@@ -127,6 +140,7 @@ class CacheHierarchy {
   std::vector<std::unique_ptr<Cache>> l1i_;
   std::unique_ptr<Cache> llc_;
   std::vector<UncacheableRange> uncacheable_;
+  std::uint64_t exclusion_epoch_ = 0;
 };
 
 }  // namespace hwsec::sim

@@ -16,11 +16,16 @@ Cpu::Cpu(CpuConfig config, Bus& bus)
     : config_(config),
       bus_(&bus),
       mmu_(bus.memory(), config.tlb),
-      predictor_(config.predictor) {}
+      predictor_(config.predictor),
+      backend_(dispatch_backend_from_env()) {}
 
 void Cpu::load_program(const Program& program, std::optional<Asid> asid) {
   dirty_ = true;
-  programs_.push_back(LoadedProgram{program, asid, program.base, program.end()});
+  auto decoded = uop_cache_ != nullptr ? uop_cache_->get_or_decode(program)
+                                       : decode_program(program);
+  const VirtAddr base = decoded->base;
+  const VirtAddr end = decoded->end;
+  programs_.push_back(LoadedProgram{std::move(decoded), asid, base, end});
   fetch_valid_ = false;
 }
 
@@ -67,7 +72,7 @@ void Cpu::rebuild_fetch_table() const {
       continue;
     }
     const std::size_t first = (lp.base - lo) / 4;
-    for (std::size_t s = 0; s < lp.program.code.size(); ++s) {
+    for (std::size_t s = 0; s < lp.decoded->code.size(); ++s) {
       if (fetch_slots_[first + s] == kNoSlot) {
         fetch_slots_[first + s] = static_cast<std::uint32_t>(i);  // load order wins.
       }
@@ -86,7 +91,7 @@ const Instruction* Cpu::instruction_at(VirtAddr pc) const {
       const std::uint32_t p = fetch_slots_[off >> 2];
       if (p != kNoSlot) {
         const LoadedProgram& lp = programs_[p];
-        return &lp.program.code[(pc - lp.base) / 4];
+        return &lp.decoded->code[(pc - lp.base) / 4];
       }
     }
     return nullptr;
@@ -99,7 +104,7 @@ const Instruction* Cpu::instruction_at(VirtAddr pc) const {
     if (lp.asid.has_value() && *lp.asid != mmu_.asid()) {
       continue;
     }
-    if (const Instruction* inst = lp.program.at(pc)) {
+    if (const Instruction* inst = lp.decoded->at(pc)) {
       return inst;
     }
   }
@@ -110,7 +115,10 @@ void Cpu::switch_context(DomainId domain, Privilege priv, PhysAddr page_root, As
   dirty_ = true;
   mmu_.set_context(page_root, asid, domain, priv);
   predictor_.on_domain_switch();
-  fetch_valid_ = false;  // the new address space may resolve pc differently.
+  // No fetch-table invalidation: the table is a pure function of programs_
+  // (load_program / clear_programs invalidate) and the active ASID, and
+  // every consumer re-checks fetch_asid_ against mmu_.asid() before use —
+  // so a context switch back to the same address space keeps the table.
 }
 
 void Cpu::leak_value(Word value) {
@@ -151,8 +159,7 @@ void Cpu::check_watchdog(std::uint64_t executed) const {
   }
 }
 
-RunResult Cpu::run(std::uint64_t max_instructions) {
-  dirty_ = true;
+RunResult Cpu::run_switch(std::uint64_t max_instructions) {
   RunResult result;
   while (result.executed < max_instructions) {
     if (watchdog_ != nullptr) {
@@ -168,6 +175,52 @@ RunResult Cpu::run(std::uint64_t max_instructions) {
       result.stop_fault = outcome.fault;
       break;
     }
+  }
+  return result;
+}
+
+RunResult Cpu::run(std::uint64_t max_instructions) {
+  dirty_ = true;
+  RunResult result;
+  // The MPU (prev_fetch_phys_-relative execute gates) and the glitch
+  // injector thread through every committed value; both are rare,
+  // embedded-profile features, so they keep the legacy interpreter rather
+  // than a third micro-op specialization.
+  if (backend_ == DispatchBackend::kSwitch || mpu_ != nullptr || injector_ != nullptr) {
+    result = run_switch(max_instructions);
+    HWSEC_OBS_CPU_COMMITTED(result.executed);
+    return result;
+  }
+  bool force_step = false;
+  while (result.executed < max_instructions) {
+    if (force_step) {
+      // One instruction through the generic interpreter: ecalls (whose
+      // handlers may swap programs, hooks, or the whole context) and pcs
+      // the flat fetch table cannot resolve. Afterwards re-evaluate which
+      // micro-op specialization applies.
+      force_step = false;
+      if (watchdog_ != nullptr) {
+        check_watchdog(result.executed);
+      }
+      const StepOutcome outcome = step();
+      ++result.executed;
+      if (outcome.halt) {
+        result.halted = true;
+        break;
+      }
+      if (outcome.fault_stop) {
+        result.stop_fault = outcome.fault;
+        break;
+      }
+      continue;
+    }
+    const bool hooked = has_leak_ || has_cf_hook_ || watchdog_ != nullptr;
+    const UopExit exit = hooked ? run_uops<true>(result, max_instructions)
+                                : run_uops<false>(result, max_instructions);
+    if (exit == UopExit::kDone) {
+      break;
+    }
+    force_step = exit == UopExit::kStep;
   }
   // Compile-time no-op unless HWSEC_OBS_CPU is ON: the commit loop's
   // instruction count is observable without a single instruction of cost

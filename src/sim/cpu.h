@@ -38,7 +38,10 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "sim/bus.h"
+#include "sim/dispatch.h"
 #include "sim/dvfs.h"
 #include "sim/isa.h"
 #include "sim/mmu.h"
@@ -46,6 +49,7 @@
 #include "sim/predictor.h"
 #include "sim/program.h"
 #include "sim/types.h"
+#include "sim/uop.h"
 #include "sim/watchdog.h"
 
 namespace hwsec::sim {
@@ -122,6 +126,20 @@ class Cpu {
   /// addresses with different code, as real processes do.
   void load_program(const Program& program, std::optional<Asid> asid = std::nullopt);
   void clear_programs();
+
+  /// Installs the shared decoded-program cache consulted by load_program
+  /// (nullptr: decode privately per load). The cache must outlive the Cpu;
+  /// the machine pool owns one per pool and installs it before taking the
+  /// pristine snapshot, so pooled trials never re-decode a program.
+  void set_uop_cache(UopCache* cache) { uop_cache_ = cache; }
+
+  /// Overrides the commit-loop interpreter for this core (tests and
+  /// per-backend benchmarking; normal construction follows HWSEC_DISPATCH).
+  void set_dispatch_backend(DispatchBackend backend) {
+    dirty_ = true;
+    backend_ = backend;
+  }
+  DispatchBackend dispatch_backend() const { return backend_; }
 
   // -- architectural state ----------------------------------------------
   Word reg(Reg r) const { return r == kZero ? 0 : regs_[r]; }
@@ -229,8 +247,27 @@ class Cpu {
     Fault fault = Fault::kNone;
   };
 
+  /// Why the micro-op core handed control back to run().
+  enum class UopExit : std::uint8_t {
+    kDone,    ///< run finished (halt, fault stop, or budget exhausted).
+    kStep,    ///< execute exactly one instruction via step(), then re-enter.
+    kResync,  ///< a fault handler ran; re-evaluate hooks/backend and re-enter.
+  };
+
   const Instruction* instruction_at(VirtAddr pc) const;
   StepOutcome step();
+  RunResult run_switch(std::uint64_t max_instructions);
+
+  /// Micro-op commit loop (sim/dispatch.cpp). Hooked=false is the
+  /// branchless fast path, entered only when no leak hook, no control-flow
+  /// hook and no watchdog is armed (the MPU and the glitch injector force
+  /// the legacy interpreter outright); Hooked=true keeps micro-op dispatch
+  /// but re-validates hook state and polls the watchdog per instruction.
+  /// Updates `result` in place; `pc_` is materialized at every point where
+  /// host code (hooks, handlers, thrown errors) can observe it.
+  template <bool Hooked>
+  UopExit run_uops(RunResult& result, std::uint64_t max_instructions);
+
   /// Throws SimError(kTimedOut) if the armed watchdog tripped.
   void check_watchdog(std::uint64_t executed) const;
   /// Raises `info` through the fault handler; fills StepOutcome.
@@ -266,12 +303,48 @@ class Cpu {
   PhysAddr prev_fetch_phys_ = 0;
 
   struct LoadedProgram {
-    Program program;
+    /// Immutable decoded form, shared across machines via the UopCache.
+    /// instruction_at and the transient-window executor serve from
+    /// decoded->code; the micro-op core executes decoded->uops.
+    std::shared_ptr<const DecodedProgram> decoded;
     std::optional<Asid> asid;
-    VirtAddr base = 0;  ///< cached program.base (avoids an indirection on reject).
-    VirtAddr end = 0;   ///< cached program.end().
+    VirtAddr base = 0;  ///< cached decoded->base (avoids an indirection on reject).
+    VirtAddr end = 0;   ///< cached decoded->end.
   };
   std::vector<LoadedProgram> programs_;
+  UopCache* uop_cache_ = nullptr;
+  DispatchBackend backend_ = DispatchBackend::kUops;
+
+  /// Fetch memo: replays the side effects of an instruction fetch whose
+  /// translation hit the TLB and whose line hit the L1I, without
+  /// re-entering the MMU and bus layers. An entry records where the hit
+  /// landed plus every removal epoch its validity depends on; epochs are
+  /// monotonic (including across snapshot restores), so "all epochs
+  /// unchanged and same context word" proves bit-for-bit that the full
+  /// path would produce the same latency, stats deltas and LRU/PLRU
+  /// touches the replay applies. Armed only when the bus has no firewall
+  /// checks and the MMU is translating (bare-mode cores take the MPU /
+  /// legacy path anyway).
+  struct FetchMemo {
+    VirtAddr pc = ~VirtAddr{0};  ///< sentinel: misaligned, never matches.
+    PhysAddr phys = 0;
+    Cycle latency = 0;  ///< TLB hit latency + L1I hit latency.
+    std::uint32_t tlb_index = 0;
+    std::uint32_t l1i_set = 0;
+    std::uint32_t l1i_way = 0;
+    std::uint64_t ctx = 0;  ///< packed asid/domain/priv + bus-check bit.
+    std::uint64_t tlb_epoch = 0;
+    std::uint64_t l1i_epoch = 0;
+    std::uint64_t excl_epoch = 0;
+  };
+  static constexpr std::uint32_t kFetchMemoSlots = 64;  ///< direct-mapped.
+  std::uint64_t fetch_ctx() const {
+    return static_cast<std::uint64_t>(mmu_.asid()) << 32 |
+           static_cast<std::uint64_t>(mmu_.domain()) << 8 |
+           static_cast<std::uint64_t>(mmu_.privilege()) << 1 |
+           static_cast<std::uint64_t>(bus_->has_checks());
+  }
+  std::array<FetchMemo, kFetchMemoSlots> fetch_memo_{};
 
   /// Flat fetch table: slot (pc - fetch_lo_) >> 2 holds the index of the
   /// program serving that pc (kNoSlot: no program). Built lazily for the

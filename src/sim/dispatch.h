@@ -1,0 +1,34 @@
+// Dispatch-backend selection for the CPU commit loop.
+//
+// Two interpreters execute committed instructions:
+//  * kUops — the predecoded micro-op core (sim/dispatch.cpp): computed-goto
+//    threaded dispatch on GCC/Clang (plain switch elsewhere), plus a fetch
+//    memo that replays TLB/L1I hit side effects for already-seen pcs
+//    without re-entering the MMU and bus layers. The default.
+//  * kSwitch — the original per-step decode interpreter (Cpu::step), kept
+//    fully intact both as the portability fallback and as the reference
+//    half of differential testing: the conformance fuzzer runs the same
+//    corpus under both backends and diffs the full architectural and
+//    microarchitectural outcome.
+//
+// Selection: HWSEC_DISPATCH=uops|switch in the environment (read once per
+// process), overridable per Cpu via set_dispatch_backend for tests and
+// per-backend benchmark rows.
+#pragma once
+
+#include <string>
+
+namespace hwsec::sim {
+
+enum class DispatchBackend : std::uint8_t {
+  kUops,
+  kSwitch,
+};
+
+std::string to_string(DispatchBackend backend);
+
+/// Backend selected by HWSEC_DISPATCH (default kUops; unknown values fall
+/// back to kUops). Resolved once and cached for the process lifetime.
+DispatchBackend dispatch_backend_from_env();
+
+}  // namespace hwsec::sim

@@ -69,6 +69,13 @@ struct Instruction {
   Reg rs2 = kZero;
   std::int64_t imm = 0;  ///< wide enough for any address or constant.
   BranchCond cond = BranchCond::kEq;
+
+  // Field-wise (memcmp would compare padding); used by the decoded-program
+  // cache to confirm identity after a content-hash match.
+  friend bool operator==(const Instruction& a, const Instruction& b) {
+    return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2 && a.imm == b.imm &&
+           a.cond == b.cond;
+  }
 };
 
 std::string to_string(Opcode op);

@@ -179,6 +179,13 @@ void Machine::reset_to(const MachineSnapshot& snap) {
   next_asid_ = snap.next_asid;
 }
 
+void Machine::set_uop_cache(const std::shared_ptr<UopCache>& cache) {
+  uop_cache_ = cache;
+  for (auto& cpu : cpus_) {
+    cpu->set_uop_cache(uop_cache_.get());
+  }
+}
+
 void Machine::reseed(std::uint64_t seed) {
   // Mirrors the constructor's seed derivations exactly.
   injector_ = FaultInjector(seed ^ 0xFA57);

@@ -148,6 +148,17 @@ class Machine {
                             AccessType type = AccessType::kRead);
   /// CLFLUSH from instrumented code.
   void flush_line(PhysAddr addr) { caches_.flush_line(addr); }
+  /// Batch CLFLUSH of `count` lines at `base`, `base + stride`, ... from
+  /// instrumented code (probe-array eviction). One hierarchy sweep instead
+  /// of count independent flush_line calls.
+  void flush_lines(PhysAddr base, std::uint32_t stride, std::uint32_t count) {
+    caches_.flush_lines(base, stride, count);
+  }
+
+  /// Installs a shared decoded-program cache on every core (nullptr:
+  /// detach). The cache must outlive the machine; the machine pool owns
+  /// one per pool and installs it before taking the pristine snapshot.
+  void set_uop_cache(const std::shared_ptr<UopCache>& cache);
 
   /// What an attacker's timer reports for a true duration of `latency`
   /// cycles, under the platform's TimeWarp-style timer policy. A perfect
@@ -203,6 +214,7 @@ class Machine {
   FaultInjector injector_;
   Rng rng_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::shared_ptr<UopCache> uop_cache_;  ///< keeps the shared cache alive.
   PhysAddr next_frame_;
   Asid next_asid_ = 1;
 };

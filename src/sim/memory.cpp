@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 
 namespace hwsec::sim {
 
@@ -52,9 +53,33 @@ void PhysicalMemory::write_block(PhysAddr addr, std::span<const std::uint8_t> in
 
 void PhysicalMemory::fill(PhysAddr addr, std::uint32_t len, std::uint8_t value) {
   assert(contains(addr, len));
-  if (len != 0) {
-    mark_dirty(addr, len);
+  if (len == 0) {
+    return;
   }
+  if (value == 0 && tracking_ && !raw_dirty_ && !zero_snap_.empty()) {
+    // Zeroing a page that was zero at snapshot time and is still clean is a
+    // no-op: the bytes are already zero. Skipping the write also keeps the
+    // page out of the dirty set, so the next restore() skips it too. This
+    // makes the allocator's zero-fill of freshly mapped frames (the bulk of
+    // per-trial setup writes) nearly free on pooled machines.
+    const std::uint32_t first = addr >> kPageShift;
+    const std::uint32_t last = (addr + len - 1) >> kPageShift;
+    for (std::uint32_t p = first; p <= last; ++p) {
+      const bool skippable = (dirty_[p >> 6] & (1ull << (p & 63))) == 0 &&
+                             (zero_snap_[p >> 6] & (1ull << (p & 63))) != 0;
+      if (skippable) {
+        continue;
+      }
+      const PhysAddr page_base = p << kPageShift;
+      const PhysAddr lo = std::max(addr, page_base);
+      const PhysAddr hi = std::min<std::uint64_t>(static_cast<std::uint64_t>(addr) + len,
+                                                  page_base + kPageSize);
+      mark_dirty(lo, static_cast<std::uint32_t>(hi - lo));
+      std::fill_n(data_.begin() + lo, hi - lo, value);
+    }
+    return;
+  }
+  mark_dirty(addr, len);
   std::fill_n(data_.begin() + addr, len, value);
 }
 
@@ -63,7 +88,26 @@ PhysicalMemory::Snapshot PhysicalMemory::snapshot() {
   snap.image = data_;
   tracking_ = true;
   raw_dirty_ = false;
-  dirty_.assign((data_.size() / kPageSize + 63) / 64, 0);
+  const std::size_t words = (data_.size() / kPageSize + 63) / 64;
+  dirty_.assign(words, 0);
+  // Record which pages are all-zero in the snapshot image (see fill()).
+  zero_snap_.assign(words, 0);
+  const std::uint32_t pages = static_cast<std::uint32_t>(data_.size() / kPageSize);
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    const std::uint8_t* page = data_.data() + static_cast<std::size_t>(p) * kPageSize;
+    bool zero = true;
+    for (std::uint32_t i = 0; i < kPageSize; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, page + i, 8);
+      if (w != 0) {
+        zero = false;
+        break;
+      }
+    }
+    if (zero) {
+      zero_snap_[p >> 6] |= 1ull << (p & 63);
+    }
+  }
   return snap;
 }
 

@@ -95,6 +95,9 @@ class PhysicalMemory {
 
   std::vector<std::uint8_t> data_;
   std::vector<std::uint64_t> dirty_;  ///< bitmap, one bit per page.
+  /// Pages that were all-zero in the snapshot image; lets fill(..., 0) of a
+  /// still-clean zero page skip both the write and the dirty bit.
+  std::vector<std::uint64_t> zero_snap_;
   bool tracking_ = false;
   bool raw_dirty_ = false;  ///< mutable raw() handed out since snapshot.
 };

@@ -8,6 +8,10 @@ Tlb::Tlb(TlbConfig config) : config_(config) {
   if (config_.ways == 0 || config_.entries % config_.ways != 0) {
     throw std::invalid_argument("TLB entries must be a multiple of ways");
   }
+  num_sets_ = config_.entries / config_.ways;
+  if ((num_sets_ & (num_sets_ - 1)) == 0) {
+    set_mask_ = num_sets_ - 1;
+  }
   entries_.assign(config_.entries, TlbEntry{});
 }
 
@@ -19,6 +23,7 @@ Tlb::WayRange Tlb::ways_for(Asid asid) const {
 }
 
 void Tlb::set_way_partition(Asid asid, std::uint32_t first_way, std::uint32_t num_ways) {
+  ++removal_epoch_;  // the hit predicate (ways_for) changes shape.
   if (num_ways == 0) {
     if (asid < partition_lut_.size() && partition_lut_[asid].count != 0) {
       partition_lut_[asid] = {};
@@ -67,6 +72,20 @@ std::optional<TlbEntry> Tlb::lookup(VirtAddr va, Asid asid) {
   return std::nullopt;
 }
 
+std::optional<std::uint32_t> Tlb::find_index(VirtAddr va, Asid asid) const {
+  const std::uint32_t vpn = page_number(va);
+  const std::uint32_t set = set_index(va);
+  const WayRange range = ways_for(asid);
+  for (std::uint32_t w = range.first; w < range.first + range.count; ++w) {
+    const std::uint32_t index = set * config_.ways + w;
+    const TlbEntry& e = entries_[index];
+    if (e.valid && e.vpn == vpn && (!config_.asid_tagged || e.asid == asid)) {
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
 bool Tlb::present(VirtAddr va, Asid asid) const {
   const std::uint32_t vpn = page_number(va);
   const std::uint32_t set = set_index(va);
@@ -96,6 +115,9 @@ void Tlb::insert(VirtAddr va, PhysAddr pa, Word flags, Asid asid) {
     }
   }
   TlbEntry& e = entries_[set * config_.ways + victim];
+  if (e.valid) {
+    ++removal_epoch_;  // a valid translation is being displaced.
+  }
   e.valid = true;
   e.vpn = page_number(va);
   e.pfn = page_number(pa);
@@ -111,6 +133,7 @@ void Tlb::invalidate_page(VirtAddr va) {
     TlbEntry& e = entries_[set * config_.ways + w];
     if (e.valid && e.vpn == vpn) {
       e.valid = false;
+      ++removal_epoch_;
     }
   }
 }
@@ -119,11 +142,13 @@ void Tlb::invalidate_asid(Asid asid) {
   for (TlbEntry& e : entries_) {
     if (e.valid && e.asid == asid) {
       e.valid = false;
+      ++removal_epoch_;
     }
   }
 }
 
 void Tlb::flush() {
+  ++removal_epoch_;
   for (TlbEntry& e : entries_) {
     e.valid = false;
   }

@@ -70,7 +70,31 @@ class Tlb {
   std::uint64_t misses() const { return misses_; }
 
   std::uint32_t set_index(VirtAddr va) const {
-    return (va >> kPageShift) % (config_.entries / config_.ways);
+    // All stock profiles use a power-of-two set count, masked; fall back to
+    // modulo for exotic hand-built configs (set_mask_ == 0 then).
+    const std::uint32_t vpn = va >> kPageShift;
+    return set_mask_ != 0 || num_sets_ == 1 ? (vpn & set_mask_) : vpn % num_sets_;
+  }
+
+  /// Monotonic counter bumped whenever a valid entry is dropped, displaced
+  /// or the hit predicate changes (way partitions, flushes). Same contract
+  /// as Cache::removal_epoch(): while unchanged, an entry observed valid at
+  /// an index is still there, same vpn/pfn/flags/asid.
+  std::uint64_t removal_epoch() const { return removal_epoch_; }
+
+  /// Locates the entry index that lookup(va, asid) would hit, or nullopt if
+  /// it would miss. Read-only (no LRU refresh, no counters).
+  std::optional<std::uint32_t> find_index(VirtAddr va, Asid asid) const;
+
+  /// Entry contents by index (for memo arming). Caller guarantees the index
+  /// came from find_index() under an unchanged removal_epoch().
+  const TlbEntry& entry_at(std::uint32_t index) const { return entries_[index]; }
+
+  /// Replays the side effects of a hit on the entry at `index`: LRU stamp
+  /// refresh and the hit counter — bit-identical to lookup()'s hit path.
+  void repeat_hit(std::uint32_t index) {
+    entries_[index].lru_stamp = ++clock_;
+    ++hits_;
   }
 
  private:
@@ -81,6 +105,9 @@ class Tlb {
   WayRange ways_for(Asid asid) const;
 
   TlbConfig config_;
+  std::uint32_t num_sets_ = 1;
+  std::uint32_t set_mask_ = 0;  ///< num_sets - 1 when power of two, else 0.
+  std::uint64_t removal_epoch_ = 0;
   std::vector<TlbEntry> entries_;
   /// Way partitions as a flat table indexed by Asid; count == 0 (and any
   /// id beyond the table) means "unrestricted". Same flat-LUT idiom as

@@ -1,0 +1,126 @@
+#include "sim/uop.h"
+
+namespace hwsec::sim {
+
+namespace {
+
+UopKind lower_opcode(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return UopKind::kNop;
+    case Opcode::kHalt: return UopKind::kHalt;
+    case Opcode::kLoadImm: return UopKind::kLoadImm;
+    case Opcode::kAdd: return UopKind::kAdd;
+    case Opcode::kSub: return UopKind::kSub;
+    case Opcode::kAnd: return UopKind::kAnd;
+    case Opcode::kOr: return UopKind::kOr;
+    case Opcode::kXor: return UopKind::kXor;
+    case Opcode::kShl: return UopKind::kShl;
+    case Opcode::kShr: return UopKind::kShr;
+    case Opcode::kMul: return UopKind::kMul;
+    case Opcode::kAddImm: return UopKind::kAddImm;
+    case Opcode::kAndImm: return UopKind::kAndImm;
+    case Opcode::kXorImm: return UopKind::kXorImm;
+    case Opcode::kShlImm: return UopKind::kShlImm;
+    case Opcode::kShrImm: return UopKind::kShrImm;
+    case Opcode::kLoad: return UopKind::kLoad;
+    case Opcode::kLoadByte: return UopKind::kLoadByte;
+    case Opcode::kStore: return UopKind::kStore;
+    case Opcode::kStoreByte: return UopKind::kStoreByte;
+    case Opcode::kBranch: return UopKind::kBranch;
+    case Opcode::kJump: return UopKind::kJump;
+    case Opcode::kJumpInd: return UopKind::kJumpInd;
+    case Opcode::kCall: return UopKind::kCall;
+    case Opcode::kCallInd: return UopKind::kCallInd;
+    case Opcode::kRet: return UopKind::kRet;
+    case Opcode::kFence: return UopKind::kFence;
+    case Opcode::kClflush: return UopKind::kClflush;
+    case Opcode::kRdCycle: return UopKind::kRdCycle;
+    case Opcode::kEcall: return UopKind::kEcall;
+  }
+  return UopKind::kNop;
+}
+
+Uop lower_instruction(const Instruction& inst) {
+  Uop u;
+  u.kind = lower_opcode(inst.op);
+  u.rd = static_cast<std::uint8_t>(inst.rd);
+  u.rs1 = static_cast<std::uint8_t>(inst.rs1);
+  u.rs2 = static_cast<std::uint8_t>(inst.rs2);
+  u.cond = inst.cond;
+  u.imm = static_cast<Word>(inst.imm);
+  if (inst.op == Opcode::kShlImm || inst.op == Opcode::kShrImm) {
+    u.imm &= 31u;  // the ALU masks shift amounts; bake it in.
+  }
+  return u;
+}
+
+}  // namespace
+
+std::uint64_t program_identity(const Program& program) {
+  // FNV-1a; collisions are resolved by structural equality in the cache,
+  // so the hash only has to spread well.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(program.base);
+  mix(program.code.size());
+  for (const Instruction& inst : program.code) {
+    mix(static_cast<std::uint64_t>(inst.op) | static_cast<std::uint64_t>(inst.rd) << 8 |
+        static_cast<std::uint64_t>(inst.rs1) << 16 | static_cast<std::uint64_t>(inst.rs2) << 24 |
+        static_cast<std::uint64_t>(inst.cond) << 32);
+    mix(static_cast<std::uint64_t>(inst.imm));
+  }
+  return h;
+}
+
+std::shared_ptr<const DecodedProgram> decode_program(const Program& program) {
+  auto decoded = std::make_shared<DecodedProgram>();
+  decoded->base = program.base;
+  decoded->end = program.end();
+  decoded->code = program.code;
+  decoded->uops.reserve(program.code.size());
+  for (const Instruction& inst : program.code) {
+    decoded->uops.push_back(lower_instruction(inst));
+  }
+  decoded->identity = program_identity(program);
+  return decoded;
+}
+
+std::shared_ptr<const DecodedProgram> UopCache::get_or_decode(const Program& program) {
+  const std::uint64_t id = program_identity(program);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = by_hash_.find(id); it != by_hash_.end()) {
+      for (const auto& candidate : it->second) {
+        if (candidate->base == program.base && candidate->code == program.code) {
+          return candidate;
+        }
+      }
+    }
+  }
+  // Decode outside the lock; worst case two threads race and one copy wins.
+  auto decoded = decode_program(program);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_ >= kMaxEntries) {
+    by_hash_.clear();  // outstanding shared_ptrs keep their programs alive.
+    entries_ = 0;
+  }
+  auto& bucket = by_hash_[id];
+  for (const auto& candidate : bucket) {
+    if (candidate->base == program.base && candidate->code == program.code) {
+      return candidate;  // lost the race; reuse the established copy.
+    }
+  }
+  bucket.push_back(decoded);
+  ++entries_;
+  return decoded;
+}
+
+std::size_t UopCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace hwsec::sim

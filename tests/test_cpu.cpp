@@ -325,6 +325,274 @@ TEST_F(CpuTest, FaultHandlerSkipAndRedirect) {
   EXPECT_EQ(machine_.cpu(0).reg(sim::R3), 1u) << "execution continues after kSkip";
 }
 
+// ---- dispatch-backend bit-identity ----------------------------------------
+// The micro-op core must be observably indistinguishable from the legacy
+// switch interpreter. Each scenario below is run twice on identically
+// seeded machines — once per backend — and the complete outcome (run
+// result, registers, pc, cycle count, every stat counter, hook traces,
+// fault log) must match bit for bit.
+
+struct BackendObserved {
+  sim::RunResult run;
+  std::vector<sim::Word> regs;
+  sim::VirtAddr pc = 0;
+  sim::Cycle cycles = 0;
+  sim::CpuStats stats;
+  std::vector<sim::Word> leaks;
+  std::vector<std::pair<sim::VirtAddr, sim::VirtAddr>> edges;
+  std::vector<std::pair<sim::Fault, sim::VirtAddr>> faults;
+  std::uint64_t l1d_hits = 0;
+  std::uint64_t l1d_misses = 0;
+};
+
+void expect_backend_identical(const BackendObserved& uops, const BackendObserved& legacy) {
+  EXPECT_EQ(uops.run.halted, legacy.run.halted);
+  EXPECT_EQ(uops.run.executed, legacy.run.executed);
+  EXPECT_EQ(uops.run.stop_fault, legacy.run.stop_fault);
+  EXPECT_EQ(uops.regs, legacy.regs);
+  EXPECT_EQ(uops.pc, legacy.pc);
+  EXPECT_EQ(uops.cycles, legacy.cycles);
+  EXPECT_EQ(uops.stats.retired, legacy.stats.retired);
+  EXPECT_EQ(uops.stats.transient_executed, legacy.stats.transient_executed);
+  EXPECT_EQ(uops.stats.branch_mispredicts, legacy.stats.branch_mispredicts);
+  EXPECT_EQ(uops.stats.indirect_mispredicts, legacy.stats.indirect_mispredicts);
+  EXPECT_EQ(uops.stats.return_mispredicts, legacy.stats.return_mispredicts);
+  EXPECT_EQ(uops.stats.faults_raised, legacy.stats.faults_raised);
+  EXPECT_EQ(uops.stats.faults_suppressed, legacy.stats.faults_suppressed);
+  EXPECT_EQ(uops.stats.loads, legacy.stats.loads);
+  EXPECT_EQ(uops.stats.stores, legacy.stats.stores);
+  EXPECT_EQ(uops.stats.l1_hits, legacy.stats.l1_hits);
+  EXPECT_EQ(uops.stats.llc_hits, legacy.stats.llc_hits);
+  EXPECT_EQ(uops.stats.dram_accesses, legacy.stats.dram_accesses);
+  EXPECT_EQ(uops.leaks, legacy.leaks);
+  EXPECT_EQ(uops.edges, legacy.edges);
+  EXPECT_EQ(uops.faults, legacy.faults);
+  EXPECT_EQ(uops.l1d_hits, legacy.l1d_hits);
+  EXPECT_EQ(uops.l1d_misses, legacy.l1d_misses);
+}
+
+class BackendIdentityTest : public ::testing::Test {
+ protected:
+  /// Builds a fresh machine, hands it to `scenario` for setup (mapping,
+  /// program, hooks), runs from `entry`, and captures everything the two
+  /// interpreters could possibly disagree on. `hooked` additionally arms a
+  /// leak hook and a control-flow hook, driving the Hooked=true template
+  /// instantiation of the micro-op core.
+  BackendObserved observe(
+      sim::DispatchBackend backend, bool hooked, sim::VirtAddr entry,
+      const std::function<void(sim::Machine&, sim::AddressSpace&, BackendObserved&)>& scenario) {
+    sim::Machine machine(sim::MachineProfile::server(), 77);
+    sim::AddressSpace aspace = machine.create_address_space();
+    machine.cpu(0).set_dispatch_backend(backend);
+    BackendObserved out;
+    if (hooked) {
+      machine.cpu(0).set_leak_hook([&out](sim::Word v) { out.leaks.push_back(v); });
+      machine.cpu(0).set_control_flow_hook([&out](sim::VirtAddr from, sim::VirtAddr to) {
+        out.edges.emplace_back(from, to);
+      });
+    }
+    scenario(machine, aspace, out);
+    machine.caches().flush_all();
+    out.run = machine.cpu(0).run_from(entry);
+    for (std::uint32_t r = 0; r < sim::kNumRegs; ++r) {
+      out.regs.push_back(machine.cpu(0).reg(static_cast<sim::Reg>(r)));
+    }
+    out.pc = machine.cpu(0).pc();
+    out.cycles = machine.cpu(0).cycles();
+    out.stats = machine.cpu(0).stats();
+    out.l1d_hits = machine.caches().l1d(0).stats().hits;
+    out.l1d_misses = machine.caches().l1d(0).stats().misses;
+    return out;
+  }
+
+  void compare_backends(
+      bool hooked, sim::VirtAddr entry,
+      const std::function<void(sim::Machine&, sim::AddressSpace&, BackendObserved&)>& scenario) {
+    const auto uops = observe(sim::DispatchBackend::kUops, hooked, entry, scenario);
+    const auto legacy = observe(sim::DispatchBackend::kSwitch, hooked, entry, scenario);
+    expect_backend_identical(uops, legacy);
+  }
+};
+
+/// Exercises every opcode (and both branch outcomes, plus a shift amount
+/// beyond 31 whose masking the decoder pre-applies).
+sim::Program full_opcode_program() {
+  sim::ProgramBuilder b(kCode);
+  b.nop()
+      .li(sim::R1, 0x20000)
+      .li(sim::R2, 0xDEADBEEF)
+      .sw(sim::R1, 0, sim::R2)
+      .lw(sim::R3, sim::R1)
+      .lb(sim::R4, sim::R1, 2)
+      .li(sim::R5, 0x42)
+      .sb(sim::R1, 5, sim::R5)
+      .add(sim::R6, sim::R3, sim::R5)
+      .sub(sim::R7, sim::R6, sim::R5)
+      .and_(sim::R8, sim::R6, sim::R7)
+      .or_(sim::R9, sim::R6, sim::R7)
+      .xor_(sim::R10, sim::R6, sim::R7)
+      .li(sim::R11, 3)
+      .shl(sim::R12, sim::R9, sim::R11)
+      .shr(sim::R13, sim::R9, sim::R11)
+      .mul(sim::R14, sim::R11, sim::R11)
+      .addi(sim::R14, sim::R14, 7)
+      .andi(sim::R14, sim::R14, 0xFF)
+      .xori(sim::R14, sim::R14, 0x0F)
+      .shli(sim::R15, sim::R14, 33)  // decoder pre-masks to 1.
+      .shri(sim::R15, sim::R15, 1)
+      .br(sim::BranchCond::kEq, sim::R1, sim::R1, "taken")
+      .li(sim::R4, 0xBAD)  // skipped.
+      .label("taken")
+      .br(sim::BranchCond::kNe, sim::R1, sim::R1, "nottaken")
+      .li(sim::R5, 0x111)  // falls through.
+      .label("nottaken")
+      .br(sim::BranchCond::kLt, sim::R0, sim::R11, "lt")
+      .label("lt")
+      .br(sim::BranchCond::kGe, sim::R11, sim::R0, "ge")
+      .label("ge")
+      .br(sim::BranchCond::kLtu, sim::R0, sim::R11, "ltu")
+      .label("ltu")
+      .br(sim::BranchCond::kGeu, sim::R11, sim::R0, "geu")
+      .label("geu")
+      .jump("jmp")
+      .li(sim::R6, 0xBAD)
+      .label("jmp")
+      .call("fn")
+      .li(sim::R7, 0x222)
+      .clflush(sim::R1)
+      .fence()
+      .rdcycle(sim::R8)
+      .ecall(0x31)
+      .li(sim::R9, 0x333)
+      .halt()
+      .label("fn")
+      .li(sim::R10, 0x444)
+      .ret();
+  return b.build();
+}
+
+TEST_F(BackendIdentityTest, FullOpcodeSetMatchesSwitch) {
+  for (const bool hooked : {false, true}) {
+    compare_backends(hooked, kCode,
+                     [](sim::Machine& machine, sim::AddressSpace& aspace, BackendObserved&) {
+                       aspace.map(kCode, kCode, kCodeFlags);
+                       const sim::PhysAddr data = machine.alloc_frame();
+                       aspace.map(0x20000, data, kDataFlags);
+                       machine.cpu(0).set_ecall_handler([](sim::Cpu& cpu, sim::Word service) {
+                         cpu.set_reg(sim::R11, service + cpu.reg(sim::R5));
+                       });
+                       machine.cpu(0).load_program(full_opcode_program());
+                       machine.cpu(0).switch_context(sim::kDomainNormal,
+                                                     sim::Privilege::kSupervisor,
+                                                     aspace.root(), 1);
+                     });
+  }
+}
+
+TEST_F(BackendIdentityTest, IndirectJumpCallAndMispredictsMatchSwitch) {
+  for (const bool hooked : {false, true}) {
+    compare_backends(hooked, kCode,
+                     [](sim::Machine& machine, sim::AddressSpace& aspace, BackendObserved&) {
+                       aspace.map(kCode, kCode, kCodeFlags);
+                       sim::ProgramBuilder b(kCode);
+                       // jr/callr/ret all mispredict on first sight (cold
+                       // BTB/RSB), covering the indirect transient windows.
+                       // The jr/callr targets are fixed addresses, so the
+                       // blocks are padded to known offsets with nops.
+                       b.li(sim::R1, 0)
+                           .label("loop")
+                           .li(sim::R2, kCode + 0x40)
+                           .jr(sim::R2);
+                       for (int i = 0; i < 13; ++i) {
+                         b.nop();  // land at instruction 16 = kCode + 0x40.
+                       }
+                       b.label("land")
+                           .li(sim::R3, kCode + 0x60)
+                           .callr(sim::R3)
+                           .addi(sim::R1, sim::R1, 1)
+                           .li(sim::R4, 3)
+                           .br(sim::BranchCond::kLtu, sim::R1, sim::R4, "loop")
+                           .halt();
+                       b.nop().nop();  // fn at instruction 24 = kCode + 0x60.
+                       b.label("fn").addi(sim::R5, sim::R5, 1).ret();
+                       machine.cpu(0).load_program(b.build());
+                       machine.cpu(0).switch_context(sim::kDomainNormal,
+                                                     sim::Privilege::kSupervisor,
+                                                     aspace.root(), 1);
+                     });
+  }
+}
+
+TEST_F(BackendIdentityTest, FaultSkipRedirectAndHaltMatchSwitch) {
+  for (const sim::FaultAction action :
+       {sim::FaultAction::kSkip, sim::FaultAction::kRedirect, sim::FaultAction::kHalt}) {
+    for (const bool hooked : {false, true}) {
+      compare_backends(
+          hooked, kCode,
+          [action](sim::Machine& machine, sim::AddressSpace& aspace, BackendObserved& out) {
+            aspace.map(kCode, kCode, kCodeFlags);
+            sim::ProgramBuilder b(kCode);
+            b.li(sim::R1, 0x40000)  // unmapped: every load below faults.
+                .lw(sim::R2, sim::R1)
+                .li(sim::R3, 1)
+                .lb(sim::R4, sim::R1)
+                .li(sim::R5, 2)
+                .halt()
+                .label("vector")
+                .li(sim::R6, 0xEC)
+                .halt();
+            const sim::Program program = b.build();
+            const sim::VirtAddr vector = program.address_of("vector");
+            machine.cpu(0).set_fault_handler(
+                [action, vector, &out](sim::Cpu& cpu, const sim::FaultInfo& info) {
+                  out.faults.emplace_back(info.fault, info.pc);
+                  if (action == sim::FaultAction::kRedirect) {
+                    cpu.set_pc(vector);
+                  }
+                  return action;
+                });
+            machine.cpu(0).load_program(program);
+            machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor,
+                                          aspace.root(), 1);
+          });
+    }
+  }
+}
+
+TEST_F(BackendIdentityTest, TransientWindowAndMeltdownForwardingMatchSwitch) {
+  for (const bool hooked : {false, true}) {
+    compare_backends(
+        hooked, kCode,
+        [](sim::Machine& machine, sim::AddressSpace& aspace, BackendObserved&) {
+          aspace.map(kCode, kCode, kCodeFlags);
+          const sim::PhysAddr kernel = machine.alloc_frame();
+          aspace.map(0x40000, kernel, sim::pte::kWritable);  // supervisor-only.
+          machine.memory().write8(kernel, 0x5C);
+          const sim::PhysAddr probe = machine.alloc_frames(4);
+          for (std::uint32_t p = 0; p < 4; ++p) {
+            aspace.map(0x50000 + p * sim::kPageSize, probe + p * sim::kPageSize, kDataFlags);
+          }
+          sim::ProgramBuilder b(kCode);
+          // A mispredicted branch with transient loads, then a Meltdown
+          // forwarding sequence: both transient paths in one scenario.
+          b.li(sim::R1, 1)
+              .li(sim::R2, 0x50000)
+              .br(sim::BranchCond::kNe, sim::R1, sim::R0, "skip")
+              .lw(sim::R3, sim::R2)  // transient only.
+              .label("skip")
+              .li(sim::R1, 0x40000)
+              .lb(sim::R3, sim::R1)  // user reads kernel: faults + forwards.
+              .shli(sim::R3, sim::R3, 6)
+              .add(sim::R3, sim::R2, sim::R3)
+              .lb(sim::R4, sim::R3)
+              .halt();
+          machine.cpu(0).load_program(b.build());
+          machine.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kUser,
+                                        aspace.root(), 1);
+        });
+  }
+}
+
 TEST_F(CpuTest, EcallInvokesHandlerAndResumesAfter) {
   map_identity(kCode, 1, kCodeFlags);
   sim::ProgramBuilder b(kCode);

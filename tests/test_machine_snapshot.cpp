@@ -199,6 +199,64 @@ TEST(MachineSnapshot, MutableRawSpanForcesFullRestore) {
   EXPECT_EQ(m.memory().read8(100), 0u);
 }
 
+// ---- decoded-program cache vs snapshot/reset ---------------------------
+
+/// The pooled UopCache hands out shared_ptr<const DecodedProgram>; machine
+/// resets copy the CPU's program table (shared_ptrs included) back from the
+/// pristine snapshot. Two hazards are pinned here: (1) the decoded cache
+/// must survive reset_to — trials after a reset re-serve the same decoded
+/// object instead of re-decoding; (2) clear_programs + loading a different
+/// program at the same base must execute the *new* code (no stale decoded
+/// pointer can outlive the table it was registered in).
+TEST(MachineSnapshot, UopCacheSurvivesResetWithoutStaleReuse) {
+  constexpr sim::VirtAddr kCode = 0x10000;
+  constexpr sim::Word kCodeFlags = sim::pte::kUser | sim::pte::kExecutable;
+
+  auto cache = std::make_shared<sim::UopCache>();
+  sim::Machine m(sim::MachineProfile::server(), 21);
+  m.set_uop_cache(cache);
+  auto aspace = m.create_address_space();
+  aspace.map(kCode, kCode, kCodeFlags);
+
+  sim::ProgramBuilder b1(kCode);
+  b1.li(sim::R1, 0xAAAA).addi(sim::R1, sim::R1, 1).halt();
+  const sim::Program prog1 = b1.build();
+
+  const sim::MachineSnapshot snap = m.snapshot();
+  m.cpu(0).load_program(prog1);
+  m.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor, aspace.root(), 1);
+  m.cpu(0).run_from(kCode);
+  EXPECT_EQ(m.cpu(0).reg(sim::R1), 0xAAABu);
+  EXPECT_EQ(cache->size(), 1u);
+
+  // Reset and rerun: the decoded form is served from the shared cache (no
+  // growth), and execution is unchanged.
+  m.reset_to(snap);
+  m.cpu(0).load_program(prog1);
+  m.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor, aspace.root(), 1);
+  m.cpu(0).run_from(kCode);
+  EXPECT_EQ(m.cpu(0).reg(sim::R1), 0xAAABu);
+  EXPECT_EQ(cache->size(), 1u) << "reset must not force a re-decode of a cached program";
+
+  // Same base, different content, after clear_programs: must execute the
+  // new instructions (distinct cache entry, no stale decoded reuse).
+  m.cpu(0).clear_programs();
+  sim::ProgramBuilder b2(kCode);
+  b2.li(sim::R1, 0x5555).addi(sim::R1, sim::R1, 2).halt();
+  m.cpu(0).load_program(b2.build());
+  m.cpu(0).run_from(kCode);
+  EXPECT_EQ(m.cpu(0).reg(sim::R1), 0x5557u) << "stale decoded program executed after clear";
+  EXPECT_EQ(cache->size(), 2u);
+
+  // Reset again: the snapshot predates every load_program, so the restored
+  // CPU has no programs; running from the (unmapped-in-table) entry must
+  // not touch any stale decoded storage.
+  m.reset_to(snap);
+  m.cpu(0).switch_context(sim::kDomainNormal, sim::Privilege::kSupervisor, aspace.root(), 1);
+  const auto result = m.cpu(0).run_from(kCode);
+  EXPECT_FALSE(result.halted) << "no program is loaded; the fetch must fault, not execute";
+}
+
 // ---- conformance-fuzzer differential: pooled reset vs fresh build ------
 //
 // The differential fuzzer executes generated programs, traps faults, and
