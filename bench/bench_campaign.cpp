@@ -11,6 +11,11 @@
 // Machine-readable results land in BENCH_campaign.json (path override:
 // HWSEC_BENCH_JSON) for CI to archive.
 //
+// E12b extends the sweep across process boundaries: the sharded supervisor
+// (core/shard) runs the same campaign at 1/2/4 worker processes plus a
+// worker-kill chaos row, and every merged vector must be bit-identical to
+// the in-process reference (HWSEC_SHARD_TRIALS overrides the trial count).
+//
 // The worker sweep is clamped to hardware_concurrency: a "speedup" row
 // measured with more workers than cores is scheduler noise presented as
 // scaling data (the seed repo once recorded workers=4 speedup=1.27 on a
@@ -25,6 +30,7 @@
 // CI scrape-and-assert step.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -42,6 +48,8 @@
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "core/resilience/resilient.h"
+#include "core/shard/supervisor.h"
+#include "core/shutdown.h"
 #include "sim/dispatch.h"
 #include "sim/machine.h"
 #include "sim/program.h"
@@ -145,6 +153,11 @@ BENCHMARK(BM_Campaign32Trials)->Arg(1)->Arg(4)->Iterations(2)->Unit(benchmark::k
 int main(int argc, char** argv) {
   using hwsec::bench::Table;
 
+  // SIGTERM/SIGINT stop the sweep between campaigns, flush every artifact
+  // (JSON, metrics, trace) below, and exit 128+signal — a partial sweep is
+  // reported as partial, never silently truncated.
+  core::install_graceful_shutdown();
+
   // --metrics-json=<path> (HWSEC_METRICS_JSON fallback): merged metrics
   // registry snapshot, written after the sweep.
   std::string metrics_path;
@@ -216,6 +229,9 @@ int main(int argc, char** argv) {
       spectre_trial);
 
   for (const unsigned workers : sweep) {
+    if (core::shutdown_requested()) {
+      break;
+    }
     g_record_breakdown.store(workers == 1);
     const auto start = std::chrono::steady_clock::now();
     // The resilient runner is the engine under test: same determinism
@@ -235,7 +251,9 @@ int main(int argc, char** argv) {
         results.push_back(o.value());
       } else {
         ++failed;
-        std::cerr << "trial failed: " << o.error->what() << "\n";
+        if (o.error.has_value()) {
+          std::cerr << "trial failed: " << o.error->what() << "\n";
+        }
       }
     }
 
@@ -311,6 +329,9 @@ int main(int argc, char** argv) {
     bt.print_header();
     for (const sim::DispatchBackend backend :
          {sim::DispatchBackend::kUops, sim::DispatchBackend::kSwitch}) {
+      if (core::shutdown_requested()) {
+        break;
+      }
       BackendPoint bp;
       bp.backend = backend;
 
@@ -358,6 +379,92 @@ int main(int argc, char** argv) {
                  " against the workers=1 baseline — a whole-campaign differential)\n";
   }
 
+  // ---- sharded multi-process supervisor --------------------------------
+  // Same engine, process-level parallelism: fork N workers, feed shards
+  // over pipes, merge by trial index. Every row must be bit-identical to
+  // the in-process reference — including the chaos row, where seeded
+  // worker SIGKILLs force deaths, shard migrations, and respawns.
+  struct ShardPoint {
+    unsigned processes = 0;
+    bool chaos = false;
+    double seconds = 0.0;
+    double trials_per_sec = 0.0;
+    double speedup = 0.0;
+    bool deterministic = false;
+    core::shard::ShardStats stats;
+  };
+  std::vector<ShardPoint> shard_curve;
+  const std::size_t shard_trials =
+      env_size_t("HWSEC_SHARD_TRIALS", std::min<std::size_t>(trials, 200));
+  if (!core::shutdown_requested()) {
+    hwsec::bench::section("E12b — sharded campaigns: multi-process supervisor");
+    std::cout << "(" << shard_trials << " trials per run; fork/pipe/merge must not change"
+              << " a single byte)\n";
+    std::vector<TrialResult> shard_baseline;
+    double shard_seq_seconds = 0.0;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto outcomes = core::run_campaign_resilient<TrialResult>(
+          {.seed = 2027, .trials = shard_trials, .workers = 1}, {}, spectre_trial);
+      shard_seq_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      shard_baseline.reserve(outcomes.size());
+      for (const auto& o : outcomes) {
+        if (o.ok()) {
+          shard_baseline.push_back(o.value());
+        }
+      }
+    }
+    Table st({"procs", "chaos", "seconds", "trials/sec", "speedup", "bit-identical",
+              "deaths", "respawns", "migrations"},
+             {7, 7, 10, 12, 9, 14, 8, 10, 11});
+    st.print_header();
+    struct ShardRow {
+      unsigned procs;
+      bool chaos;
+    };
+    for (const ShardRow row : {ShardRow{1, false}, ShardRow{2, false}, ShardRow{4, false},
+                               ShardRow{4, true}}) {
+      if (core::shutdown_requested()) {
+        break;
+      }
+      core::ResilienceConfig res;
+      core::shard::ShardConfig shard;
+      shard.processes = row.procs;
+      if (row.chaos) {
+        res.chaos.worker_kill_probability = 0.02;
+      }
+      core::shard::ShardStats stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto outcomes = core::shard::run_campaign_sharded<TrialResult>(
+          {.seed = 2027, .trials = shard_trials, .workers = 1}, res, shard, spectre_trial,
+          &stats);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      std::vector<TrialResult> results;
+      results.reserve(outcomes.size());
+      for (const auto& o : outcomes) {
+        if (o.ok()) {
+          results.push_back(o.value());
+        }
+      }
+      ShardPoint p;
+      p.processes = row.procs;
+      p.chaos = row.chaos;
+      p.seconds = secs;
+      p.trials_per_sec = static_cast<double>(shard_trials) / secs;
+      p.speedup = shard_seq_seconds / secs;
+      p.deterministic = !core::shutdown_requested() && results == shard_baseline;
+      p.stats = stats;
+      shard_curve.push_back(p);
+      st.print_row(p.processes, p.chaos ? "kill" : "-", p.seconds, p.trials_per_sec,
+                   p.speedup, p.deterministic ? "YES" : "DIVERGED", p.stats.worker_deaths,
+                   p.stats.worker_respawns, p.stats.migrations);
+    }
+    std::cout << "(chaos row: seeded worker SIGKILLs — the supervisor migrates each dead\n"
+                 " worker's shard and respawns it; the merged vector must still match)\n";
+  }
+
   // ---- machine-readable record for CI ----------------------------------
   const char* json_path_env = std::getenv("HWSEC_BENCH_JSON");
   const std::string json_path =
@@ -400,6 +507,23 @@ int main(int argc, char** argv) {
          << (i + 1 < curve.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"sharded_scaling\": [\n";
+  for (std::size_t i = 0; i < shard_curve.size(); ++i) {
+    const ShardPoint& p = shard_curve[i];
+    all_deterministic = all_deterministic && p.deterministic;
+    json << "    {\"processes\": " << p.processes
+         << ", \"chaos_kill\": " << (p.chaos ? "true" : "false")
+         << ", \"seconds\": " << p.seconds << ", \"trials_per_sec\": " << p.trials_per_sec
+         << ", \"speedup\": " << p.speedup
+         << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
+         << ", \"worker_deaths\": " << p.stats.worker_deaths
+         << ", \"worker_respawns\": " << p.stats.worker_respawns
+         << ", \"migrations\": " << p.stats.migrations
+         << ", \"duplicate_trials\": " << p.stats.duplicate_trials
+         << ", \"fallback_trials\": " << p.stats.fallback_trials << "}"
+         << (i + 1 < shard_curve.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
        << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false") << "\n"
        << "}\n";
   // Atomic write: a run killed mid-write can never leave a torn JSON for
@@ -425,6 +549,16 @@ int main(int argc, char** argv) {
     if (tracer.write(tracer.autodump_path())) {
       std::cout << "wrote " << tracer.autodump_path() << "\n";
     }
+  }
+
+  // ---- graceful shutdown exit ------------------------------------------
+  // Everything above (results JSON, metrics, trace) is already flushed; a
+  // signal-interrupted sweep exits with the conventional 128+signal so the
+  // caller knows the artifacts describe a partial run.
+  if (core::shutdown_requested()) {
+    std::cerr << "shutdown requested (signal " << core::shutdown_signal()
+              << "); artifacts flushed, exiting " << core::shutdown_exit_code() << "\n";
+    return core::shutdown_exit_code();
   }
 
   // ---- perf smoke floor (CI) -------------------------------------------

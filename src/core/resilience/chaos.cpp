@@ -28,6 +28,21 @@ ChaosInjector::ChaosInjector(const ChaosConfig& config, std::size_t trial_index,
       stream_seed_(hwsec::sim::derive_seed(hwsec::sim::derive_seed(config.seed, trial_index),
                                            attempt)) {}
 
+WorkerFault ChaosInjector::roll_worker_fault() const {
+  if (!config_.worker_faults_enabled()) {
+    return WorkerFault::kNone;
+  }
+  // A separate stream (salted off the per-(trial, attempt) seed) keeps the
+  // in-trial dice in inject() byte-for-byte unchanged.
+  hwsec::sim::Rng rng(hwsec::sim::derive_seed(stream_seed_, 0x51CC177));
+  const bool kill = rng.chance(config_.worker_kill_probability);
+  const bool stop = rng.chance(config_.worker_stop_probability);
+  if (kill) {
+    return WorkerFault::kKill;
+  }
+  return stop ? WorkerFault::kStop : WorkerFault::kNone;
+}
+
 void ChaosInjector::inject() {
   if (!config_.enabled()) {
     return;

@@ -21,10 +21,27 @@ struct ChaosConfig {
   double bad_alloc_probability = 0.0;  ///< inject std::bad_alloc before the trial body.
   double delay_probability = 0.0;      ///< sleep the worker before the trial body.
   std::uint32_t max_delay_us = 500;    ///< upper bound for an injected delay.
+  /// Worker-process chaos, honored ONLY by shard worker processes (the
+  /// sharded supervisor's children) — never by in-process runners, where a
+  /// self-SIGKILL would take the whole campaign down. Keyed by
+  /// (seed, trial index, shard-assignment attempt), so a migrated shard
+  /// rolls fresh dice and a chaos campaign still converges.
+  double worker_kill_probability = 0.0;  ///< raise(SIGKILL) before a trial.
+  double worker_stop_probability = 0.0;  ///< raise(SIGSTOP): a hang, caught by heartbeat age.
 
   bool enabled() const {
     return throw_probability > 0.0 || bad_alloc_probability > 0.0 || delay_probability > 0.0;
   }
+  bool worker_faults_enabled() const {
+    return worker_kill_probability > 0.0 || worker_stop_probability > 0.0;
+  }
+};
+
+/// Deterministic worker-process fault decision (shard workers only).
+enum class WorkerFault : std::uint8_t {
+  kNone,
+  kKill,  ///< the worker SIGKILLs itself: an abrupt crash.
+  kStop,  ///< the worker SIGSTOPs itself: a hang the heartbeat must catch.
 };
 
 class ChaosInjector {
@@ -36,6 +53,13 @@ class ChaosInjector {
   /// independent). May sleep; may throw std::bad_alloc or
   /// std::runtime_error. No-op when the config is disabled.
   void inject();
+
+  /// Rolls the worker-process fault dice on a stream independent of the
+  /// in-trial dice above (inject()'s decisions are unchanged by enabling
+  /// worker faults, so sharded chaos campaigns stay bit-identical to the
+  /// in-process reference). Pure decision — the caller (a shard worker)
+  /// raises the signal.
+  WorkerFault roll_worker_fault() const;
 
  private:
   const ChaosConfig& config_;

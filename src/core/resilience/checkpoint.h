@@ -13,16 +13,20 @@
 //    campaign is bit-identical to an uninterrupted one.
 //
 // File format (text, one record per line, hex-encoded payloads):
-//   hwsec-checkpoint v1 seed=<u64> trials=<n> result_bytes=<k>
+//   hwsec-checkpoint v2 seed=<u64> trials=<n> result_bytes=<k>
 //   ok <index> <attempts> <hex result bytes>
 //   err <index> <attempts> <kind> <hex detail> <hex machine>
-//   end <record count>
-// A file whose header does not match the campaign, or whose trailer is
-// missing/inconsistent, is ignored wholesale (the campaign starts fresh).
+//   end <record count> <fnv1a-64 of header+records, 16 hex digits>
+// load() never throws: a file whose header does not match the campaign,
+// whose trailer is missing/inconsistent (a torn write), or whose content
+// checksum disagrees (a bit flip inside otherwise well-formed hex) is
+// ignored wholesale with a stderr warning — the campaign starts fresh.
+// v1 files (no checksum) are likewise rejected as a header mismatch.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -46,8 +50,10 @@ class CheckpointFile {
   CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes);
 
   /// Restores records from `path`. Returns true iff the file exists, its
-  /// header matches this campaign, and every record parses; otherwise the
-  /// store is left empty.
+  /// header matches this campaign, every record parses, and the content
+  /// checksum verifies; otherwise the store is left empty. Never throws:
+  /// a rejected (present but damaged) file logs a warning and bumps the
+  /// checkpoint_load_rejected counter; an absent file is silently fresh.
   bool load(const std::string& path);
 
   /// Inserts or replaces the record for `index`. Not thread-safe; the
@@ -63,6 +69,9 @@ class CheckpointFile {
   bool save(const std::string& path) const;
 
  private:
+  bool load_or_reject(std::istream& in, const std::string& path);
+  static void warn_rejected(const std::string& path, const std::string& reason);
+
   std::uint64_t seed_;
   std::size_t trials_;
   std::size_t result_bytes_;

@@ -31,6 +31,7 @@
 
 #include "core/campaign.h"
 #include "core/obs/heartbeat.h"
+#include "core/shutdown.h"
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "core/resilience/chaos.h"
@@ -77,6 +78,54 @@ namespace detail {
 /// through untouched, std::bad_alloc maps to kResourceExhausted, any other
 /// std::exception (and anything else) to kInternalError.
 SimError wrap_current_exception();
+
+/// Runs one trial with the full resilience semantics — retry attempts,
+/// chaos injection keyed by (chaos seed, index, attempt), cycle-budget
+/// watchdog, wall-clock registration, exception wrapping with trial
+/// attribution. The single source of truth for per-trial behavior: the
+/// in-process resilient runner and the shard worker both call it, which is
+/// what makes an N-process sharded campaign bit-identical to the 1-process
+/// run — there is only one trial execution path to diverge from.
+template <typename Result>
+TrialOutcome<Result> execute_trial(std::size_t index, std::uint64_t campaign_seed,
+                                   const ResilienceConfig& res, MachinePool* machines,
+                                   WallClockMonitor& monitor,
+                                   const std::function<Result(const TrialContext&)>& body) {
+  static const obs::Counter kRetries = obs::counter("campaign_trial_retries");
+  static const obs::Counter kWatchdogTrips = obs::counter("watchdog_trips");
+  TrialOutcome<Result> out;
+  const std::uint64_t seed = hwsec::sim::derive_seed(campaign_seed, index);
+  const unsigned attempts_allowed =
+      res.policy == FailurePolicy::kRetry ? std::max(1u, res.max_attempts) : 1u;
+  obs::ScopedTimer trial_timer(TrialObs::trial_us());
+  obs::Span trial_span("trial", static_cast<std::int64_t>(index), "trial");
+  for (unsigned attempt = 1; attempt <= attempts_allowed; ++attempt) {
+    out.attempts = attempt;
+    if (attempt > 1) {
+      kRetries.add(1);
+      obs::Tracer::instance().instant("trial_retry", static_cast<std::int64_t>(index),
+                                      "trial");
+    }
+    hwsec::sim::TrialWatchdog watchdog;
+    watchdog.cycle_budget = res.trial_cycle_budget;
+    auto registration = monitor.watch(watchdog);
+    try {
+      ChaosInjector(res.chaos, index, attempt).inject();
+      out.result = body(TrialContext{index, seed, &watchdog, machines});
+      out.error.reset();
+      break;
+    } catch (...) {
+      out.error = wrap_current_exception().with_trial(index, seed);
+      out.result.reset();
+      if (out.error->kind() == ErrorKind::kTimedOut) {
+        kWatchdogTrips.add(1);
+        obs::Tracer::instance().instant("watchdog_trip", static_cast<std::int64_t>(index),
+                                        "trial");
+      }
+    }
+  }
+  return out;
+}
 
 }  // namespace detail
 
@@ -136,8 +185,6 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
   // watchdog trips) and the heartbeat line below; none of it reads or
   // writes trial state, so results stay bit-identical with it on or off.
   static const obs::Counter kFailed = obs::counter("campaign_trials_failed");
-  static const obs::Counter kRetries = obs::counter("campaign_trial_retries");
-  static const obs::Counter kWatchdogTrips = obs::counter("watchdog_trips");
   static const obs::Counter kRestored = obs::counter("campaign_trials_restored");
   std::atomic<std::size_t> heartbeat_done{0};
   std::atomic<std::size_t> heartbeat_failed{0};
@@ -172,35 +219,16 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
       out.skipped = true;
       return;
     }
-    const std::uint64_t seed = hwsec::sim::derive_seed(config.seed, i);
-    const unsigned attempts_allowed =
-        res.policy == FailurePolicy::kRetry ? std::max(1u, res.max_attempts) : 1u;
-    obs::ScopedTimer trial_timer(detail::TrialObs::trial_us());
-    obs::Span trial_span("trial", static_cast<std::int64_t>(i), "trial");
-    for (unsigned attempt = 1; attempt <= attempts_allowed; ++attempt) {
-      out.attempts = attempt;
-      if (attempt > 1) {
-        kRetries.add(1);
-        heartbeat_retries.fetch_add(1, std::memory_order_relaxed);
-        obs::Tracer::instance().instant("trial_retry", static_cast<std::int64_t>(i), "trial");
-      }
-      hwsec::sim::TrialWatchdog watchdog;
-      watchdog.cycle_budget = res.trial_cycle_budget;
-      auto registration = monitor.watch(watchdog);
-      try {
-        ChaosInjector(res.chaos, i, attempt).inject();
-        out.result = body(TrialContext{i, seed, &watchdog, machines});
-        out.error.reset();
-        break;
-      } catch (...) {
-        out.error = detail::wrap_current_exception().with_trial(i, seed);
-        out.result.reset();
-        if (out.error->kind() == ErrorKind::kTimedOut) {
-          kWatchdogTrips.add(1);
-          obs::Tracer::instance().instant("watchdog_trip", static_cast<std::int64_t>(i),
-                                          "trial");
-        }
-      }
+    // Graceful shutdown (SIGTERM/SIGINT with install_graceful_shutdown):
+    // stop starting trials; in-flight ones finish and the final checkpoint
+    // save below still runs, so an operator Ctrl-C loses nothing completed.
+    if (shutdown_requested()) {
+      out.skipped = true;
+      return;
+    }
+    out = detail::execute_trial<Result>(i, config.seed, res, machines, monitor, body);
+    if (out.attempts > 1) {
+      heartbeat_retries.fetch_add(out.attempts - 1, std::memory_order_relaxed);
     }
     detail::TrialObs::completed().add(1);
     heartbeat_done.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,626 @@
+#include "core/shard/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <deque>
+#include <thread>
+
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
+#include "core/shard/wire.h"
+#include "core/shutdown.h"
+
+namespace hwsec::core::shard::detail_shard {
+
+namespace {
+
+struct Obs {
+  static const obs::Counter& assignments() {
+    static const obs::Counter c = obs::counter("shard_assignments");
+    return c;
+  }
+  static const obs::Counter& migrations() {
+    static const obs::Counter c = obs::counter("shard_migrations");
+    return c;
+  }
+  static const obs::Counter& deaths() {
+    static const obs::Counter c = obs::counter("shard_worker_deaths");
+    return c;
+  }
+  static const obs::Counter& hangs() {
+    static const obs::Counter c = obs::counter("shard_worker_hangs");
+    return c;
+  }
+  static const obs::Counter& respawns() {
+    static const obs::Counter c = obs::counter("shard_worker_respawns");
+    return c;
+  }
+  static const obs::Counter& duplicates() {
+    static const obs::Counter c = obs::counter("shard_duplicate_trials");
+    return c;
+  }
+  static const obs::Counter& fallback() {
+    static const obs::Counter c = obs::counter("shard_fallback_trials");
+    return c;
+  }
+  static const obs::Gauge& live_workers() {
+    static const obs::Gauge g = obs::gauge("shard_live_workers");
+    return g;
+  }
+  static const obs::Gauge& heartbeat_age_ms() {
+    static const obs::Gauge g = obs::gauge("shard_heartbeat_age_ms");
+    return g;
+  }
+};
+
+using Clock = std::chrono::steady_clock;
+
+struct Assignment {
+  std::uint64_t shard_id = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint32_t attempt = 0;   ///< how many times this range was (re)assigned before.
+  bool split_done = false;     ///< straggler tail already migrated once.
+};
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int cmd_fd = -1;  ///< supervisor -> worker.
+  int out_fd = -1;  ///< worker -> supervisor.
+  FrameBuffer inbuf;
+  Clock::time_point last_seen;
+  std::optional<Assignment> current;
+  bool alive = false;
+  bool kill_sent = false;  ///< hang detector already SIGKILLed it.
+
+  bool idle() const { return alive && !current.has_value(); }
+};
+
+class Supervisor {
+ public:
+  Supervisor(const ShardJob& job, const ShardConfig& config, const ResilienceConfig& res)
+      : job_(job),
+        config_(config),
+        res_(res),
+        checkpointing_(!res.checkpoint_path.empty()),
+        checkpoint_(job.seed, job.trials, job.result_bytes) {}
+
+  SupervisorResult run() {
+    obs::Span span("shard_campaign", static_cast<std::int64_t>(job_.trials), "trials");
+    load_checkpoint();
+    plan_shards();
+
+    if (config_.processes == 0) {
+      run_fallback();
+      finish();
+      return std::move(result_);
+    }
+
+    SigpipeIgnore no_sigpipe;
+    workers_.resize(config_.processes);
+    for (auto& worker : workers_) {
+      spawn(worker);
+    }
+
+    while (!done() && !should_stop()) {
+      pump_events();
+      reap_exits();
+      detect_hangs();
+      respawn_dead();
+      assign_work();
+      migrate_stragglers();
+    }
+
+    shutdown_fleet();
+    if (!done() && !result_.shutdown && !result_.failfast_tripped) {
+      // Every fork avenue is exhausted but trials remain: finish them here.
+      // Robustness means the campaign converges even with zero workers.
+      run_fallback();
+    }
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  // ---- planning ---------------------------------------------------------
+
+  void load_checkpoint() {
+    if (!checkpointing_ || !checkpoint_.load(res_.checkpoint_path)) {
+      return;
+    }
+    for (const auto& [index, rec] : checkpoint_.records()) {
+      result_.records[index] = rec;
+      result_.restored.insert(index);
+    }
+  }
+
+  void plan_shards() {
+    const std::size_t auto_size =
+        config_.processes == 0
+            ? job_.trials
+            : std::max<std::size_t>(1, job_.trials / (std::size_t{config_.processes} * 4));
+    const std::size_t shard_size =
+        config_.shard_size == 0 ? std::max<std::size_t>(1, auto_size) : config_.shard_size;
+    std::uint64_t next_id = 0;
+    for (std::size_t begin = 0; begin < job_.trials; begin += shard_size) {
+      const std::size_t end = std::min(job_.trials, begin + shard_size);
+      // Skip shards whose every trial is already restored from checkpoint.
+      bool has_pending = false;
+      for (std::size_t i = begin; i < end && !has_pending; ++i) {
+        has_pending = result_.records.count(i) == 0;
+      }
+      if (has_pending) {
+        pending_.push_back(Assignment{next_id, begin, end, 0, false});
+      }
+      ++next_id;
+    }
+    result_.stats.shards_total = pending_.size();
+  }
+
+  bool done() const { return result_.records.size() == job_.trials; }
+
+  bool should_stop() {
+    if (shutdown_requested()) {
+      result_.shutdown = true;
+      return true;
+    }
+    if (result_.failfast_tripped) {
+      // Drain: stop once no worker still holds a shard (in-flight shards
+      // finish and their slots are recorded/checkpointed, matching the
+      // in-process fail-fast contract).
+      return std::none_of(workers_.begin(), workers_.end(),
+                          [](const WorkerProc& w) { return w.alive && w.current; });
+    }
+    // No way to make progress? (all dead, respawn budget gone) -> fallback.
+    const bool any_alive = std::any_of(workers_.begin(), workers_.end(),
+                                       [](const WorkerProc& w) { return w.alive; });
+    return !any_alive && result_.stats.worker_respawns >= config_.max_respawns;
+  }
+
+  // ---- process management ----------------------------------------------
+
+  void spawn(WorkerProc& worker) {
+    int cmd_pipe[2];
+    int out_pipe[2];
+    if (pipe(cmd_pipe) != 0) {
+      return;
+    }
+    if (pipe(out_pipe) != 0) {
+      close(cmd_pipe[0]);
+      close(cmd_pipe[1]);
+      return;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      for (const int fd : {cmd_pipe[0], cmd_pipe[1], out_pipe[0], out_pipe[1]}) {
+        close(fd);
+      }
+      return;
+    }
+    if (pid == 0) {
+      // Child: keep only our two pipe ends, drop every other worker's.
+      close(cmd_pipe[1]);
+      close(out_pipe[0]);
+      for (const WorkerProc& other : workers_) {
+        if (other.cmd_fd >= 0) close(other.cmd_fd);
+        if (other.out_fd >= 0) close(other.out_fd);
+      }
+      WorkerEnv env;
+      env.heartbeat_interval = config_.heartbeat_interval;
+      env.chaos = res_.chaos;
+      int code = 1;
+      try {
+        const TrialRunner runner = job_.make_runner();
+        code = worker_loop(cmd_pipe[0], out_pipe[1], env, runner);
+      } catch (...) {
+        code = 4;  // runner construction failed; supervisor migrates.
+      }
+      _exit(code);  // never unwind into the forked parent's state.
+    }
+    close(cmd_pipe[0]);
+    close(out_pipe[1]);
+    fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
+    worker = WorkerProc{};
+    worker.pid = pid;
+    worker.cmd_fd = cmd_pipe[1];
+    worker.out_fd = out_pipe[0];
+    worker.last_seen = Clock::now();
+    worker.alive = true;
+    Obs::live_workers().set(static_cast<std::int64_t>(live_count()));
+  }
+
+  std::size_t live_count() const {
+    return static_cast<std::size_t>(std::count_if(
+        workers_.begin(), workers_.end(), [](const WorkerProc& w) { return w.alive; }));
+  }
+
+  void close_worker_fds(WorkerProc& worker) {
+    if (worker.cmd_fd >= 0) {
+      close(worker.cmd_fd);
+      worker.cmd_fd = -1;
+    }
+    if (worker.out_fd >= 0) {
+      close(worker.out_fd);
+      worker.out_fd = -1;
+    }
+  }
+
+  /// A worker stopped being useful (exit, hang-kill, corrupt stream):
+  /// salvage its unfinished shard for the survivors and account the death.
+  void handle_death(WorkerProc& worker, bool hang) {
+    if (!worker.alive) {
+      return;
+    }
+    worker.alive = false;
+    close_worker_fds(worker);
+    if (stopping_) {
+      // Told to exit; an exit during teardown is obedience, not a death.
+      Obs::live_workers().set(static_cast<std::int64_t>(live_count()));
+      return;
+    }
+    result_.stats.worker_deaths += 1;
+    Obs::deaths().add(1);
+    if (hang) {
+      result_.stats.worker_hangs += 1;
+      Obs::hangs().add(1);
+    }
+    obs::Tracer::instance().instant(hang ? "shard_worker_hang" : "shard_worker_death",
+                                    static_cast<std::int64_t>(worker.pid), "pid");
+    if (worker.current.has_value()) {
+      Assignment migrated = *worker.current;
+      migrated.attempt += 1;
+      migrated.split_done = false;
+      worker.current.reset();
+      if (has_pending_trials(migrated)) {
+        pending_.push_front(migrated);  // recover lost work first.
+        result_.stats.migrations += 1;
+        Obs::migrations().add(1);
+      }
+    }
+    Obs::live_workers().set(static_cast<std::int64_t>(live_count()));
+  }
+
+  void reap_exits() {
+    for (auto& worker : workers_) {
+      if (worker.pid < 0) {
+        continue;
+      }
+      int status = 0;
+      const pid_t got = waitpid(worker.pid, &status, WNOHANG);
+      if (got == worker.pid) {
+        worker.pid = -1;
+        handle_death(worker, /*hang=*/worker.kill_sent);
+      }
+    }
+  }
+
+  void detect_hangs() {
+    if (config_.hang_timeout.count() <= 0) {
+      return;
+    }
+    const auto now = Clock::now();
+    std::int64_t max_age_ms = 0;
+    for (auto& worker : workers_) {
+      if (!worker.alive || worker.kill_sent) {
+        continue;
+      }
+      const auto age =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - worker.last_seen);
+      max_age_ms = std::max<std::int64_t>(max_age_ms, age.count());
+      if (age > config_.hang_timeout) {
+        // SIGKILL works on stopped processes too — this is the SIGSTOP
+        // recovery path. The death is accounted when waitpid reaps it.
+        kill(worker.pid, SIGKILL);
+        worker.kill_sent = true;
+      }
+    }
+    Obs::heartbeat_age_ms().set(max_age_ms);
+  }
+
+  void respawn_dead() {
+    if (pending_.empty() && done()) {
+      return;
+    }
+    const auto now = Clock::now();
+    for (auto& worker : workers_) {
+      if (worker.alive || worker.pid >= 0) {
+        continue;  // alive, or dead-but-unreaped.
+      }
+      if (result_.stats.worker_respawns >= config_.max_respawns) {
+        return;
+      }
+      if (!respawn_after_.has_value()) {
+        // Exponential backoff: 2^respawns * base, capped at 64x.
+        const auto shift = std::min<std::uint64_t>(result_.stats.worker_respawns, 6);
+        respawn_after_ = now + config_.respawn_backoff * (1 << shift);
+      }
+      if (now < *respawn_after_) {
+        return;  // back off before forking a replacement.
+      }
+      respawn_after_.reset();
+      // The attempt spends budget whether or not fork() succeeds, so a
+      // host that cannot fork converges to the in-process fallback instead
+      // of spinning on retries forever.
+      result_.stats.worker_respawns += 1;
+      Obs::respawns().add(1);
+      spawn(worker);
+      return;  // at most one respawn per loop pass keeps backoff honest.
+    }
+  }
+
+  // ---- scheduling -------------------------------------------------------
+
+  bool has_pending_trials(const Assignment& shard) const {
+    for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+      if (result_.records.count(static_cast<std::size_t>(i)) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void assign_work() {
+    if (result_.failfast_tripped || result_.shutdown) {
+      return;
+    }
+    for (auto& worker : workers_) {
+      if (pending_.empty()) {
+        return;
+      }
+      if (!worker.idle()) {
+        continue;
+      }
+      Assignment shard = pending_.front();
+      pending_.pop_front();
+      if (!has_pending_trials(shard)) {
+        continue;  // a duplicate/straggler split fully absorbed elsewhere.
+      }
+      AssignPayload payload;
+      payload.shard_id = shard.shard_id;
+      payload.begin = shard.begin;
+      payload.end = shard.end;
+      payload.attempt = shard.attempt;
+      payload.done_mask.assign((shard.end - shard.begin + 7) / 8, 0);
+      for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+        if (result_.records.count(static_cast<std::size_t>(i)) != 0) {
+          payload.done_mask[static_cast<std::size_t>((i - shard.begin) >> 3)] |=
+              static_cast<std::uint8_t>(1u << ((i - shard.begin) & 7));
+        }
+      }
+      if (!write_frame(worker.cmd_fd, Frame{FrameType::kAssign, encode_assign(payload)})) {
+        pending_.push_front(shard);
+        handle_death(worker, /*hang=*/false);  // EPIPE: it died before we noticed.
+        continue;
+      }
+      worker.current = shard;
+      result_.stats.assignments += 1;
+      Obs::assignments().add(1);
+    }
+  }
+
+  /// Straggler migration: the queue is dry, someone is idle, and a busy
+  /// worker still owes many trials — peel off the tail half of its
+  /// unfinished range for the idle one. Both may compute the overlap;
+  /// records merge idempotently because trial bytes are index-pure.
+  void migrate_stragglers() {
+    if (!pending_.empty() || result_.failfast_tripped) {
+      return;
+    }
+    const bool anyone_idle = std::any_of(workers_.begin(), workers_.end(),
+                                         [](const WorkerProc& w) { return w.idle(); });
+    if (!anyone_idle) {
+      return;
+    }
+    for (auto& worker : workers_) {
+      if (!worker.alive || !worker.current.has_value() || worker.current->split_done) {
+        continue;
+      }
+      std::vector<std::uint64_t> unfinished;
+      for (std::uint64_t i = worker.current->begin; i < worker.current->end; ++i) {
+        if (result_.records.count(static_cast<std::size_t>(i)) == 0) {
+          unfinished.push_back(i);
+        }
+      }
+      if (unfinished.size() < 4) {
+        continue;  // not worth the duplicate work.
+      }
+      Assignment tail;
+      tail.shard_id = worker.current->shard_id;
+      tail.begin = unfinished[unfinished.size() / 2];
+      tail.end = worker.current->end;
+      tail.attempt = worker.current->attempt + 1;
+      worker.current->split_done = true;
+      pending_.push_back(tail);
+      result_.stats.migrations += 1;
+      Obs::migrations().add(1);
+      obs::Tracer::instance().instant("shard_straggler_split",
+                                      static_cast<std::int64_t>(tail.begin), "begin");
+      return;  // one split per pass.
+    }
+  }
+
+  // ---- event pump -------------------------------------------------------
+
+  void pump_events() {
+    std::vector<pollfd> fds;
+    std::vector<WorkerProc*> owners;
+    for (auto& worker : workers_) {
+      if (worker.alive && worker.out_fd >= 0) {
+        fds.push_back(pollfd{worker.out_fd, POLLIN, 0});
+        owners.push_back(&worker);
+      }
+    }
+    const int timeout_ms = 20;
+    if (fds.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+      return;
+    }
+    const int ready = poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready <= 0) {
+      return;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      WorkerProc& worker = *owners[i];
+      const bool open = drain_fd(worker.out_fd, worker.inbuf);
+      Frame frame;
+      while (worker.inbuf.next(frame)) {
+        handle_frame(worker, frame);
+      }
+      if (worker.inbuf.corrupt() || !open) {
+        if (worker.inbuf.corrupt() && worker.pid >= 0) {
+          kill(worker.pid, SIGKILL);  // desynchronized stream: fail hard.
+        }
+        // EOF before exit is reaped later; only treat a corrupt stream as
+        // an immediate death (EOF alone resolves via waitpid).
+        if (worker.inbuf.corrupt()) {
+          handle_death(worker, /*hang=*/false);
+        }
+      }
+    }
+  }
+
+  void handle_frame(WorkerProc& worker, const Frame& frame) {
+    worker.last_seen = Clock::now();
+    switch (frame.type) {
+      case FrameType::kHeartbeat:
+        break;
+      case FrameType::kTrial: {
+        TrialPayload trial;
+        if (!decode_trial(frame.payload, trial) || trial.index >= job_.trials ||
+            (trial.record.ok && trial.record.payload.size() != job_.result_bytes)) {
+          worker.inbuf = FrameBuffer{};  // poison-equivalent: drop the worker.
+          if (worker.pid >= 0) {
+            kill(worker.pid, SIGKILL);
+          }
+          handle_death(worker, /*hang=*/false);
+          return;
+        }
+        record_trial(static_cast<std::size_t>(trial.index), std::move(trial.record));
+        break;
+      }
+      case FrameType::kShardDone: {
+        std::uint64_t shard_id = 0;
+        if (decode_shard_done(frame.payload, shard_id) && worker.current.has_value() &&
+            worker.current->shard_id == shard_id) {
+          worker.current.reset();
+        }
+        break;
+      }
+      default:
+        break;  // forward-compatible: ignore unknown frames from this version.
+    }
+  }
+
+  void record_trial(std::size_t index, CheckpointRecord rec) {
+    if (result_.records.count(index) != 0) {
+      result_.stats.duplicate_trials += 1;  // straggler overlap: idempotent.
+      Obs::duplicates().add(1);
+      return;
+    }
+    if (!rec.ok && res_.policy == FailurePolicy::kFailFast) {
+      result_.failfast_tripped = true;
+    }
+    if (checkpointing_) {
+      checkpoint_.record(index, rec);
+      if (++completions_since_save_ >= std::max<std::size_t>(1, res_.checkpoint_every)) {
+        completions_since_save_ = 0;
+        checkpoint_.save(res_.checkpoint_path);
+      }
+    }
+    result_.records[index] = std::move(rec);
+    result_.stats.trials_executed += 1;
+  }
+
+  // ---- teardown ---------------------------------------------------------
+
+  void shutdown_fleet() {
+    stopping_ = true;
+    for (auto& worker : workers_) {
+      if (worker.alive && worker.cmd_fd >= 0) {
+        write_frame(worker.cmd_fd, Frame{FrameType::kShutdown, {}});
+        close(worker.cmd_fd);
+        worker.cmd_fd = -1;
+      }
+    }
+    // Grace period: workers drain their current shard, see the shutdown
+    // frame (or EOF) and exit; anything still alive after it is killed.
+    const auto deadline = Clock::now() + std::chrono::milliseconds(2000);
+    while (Clock::now() < deadline) {
+      pump_events();  // keep merging records workers flush while draining.
+      reap_exits();
+      if (std::none_of(workers_.begin(), workers_.end(),
+                       [](const WorkerProc& w) { return w.pid >= 0; })) {
+        break;
+      }
+    }
+    for (auto& worker : workers_) {
+      if (worker.pid >= 0) {
+        kill(worker.pid, SIGKILL);
+        waitpid(worker.pid, nullptr, 0);
+        worker.pid = -1;
+        handle_death(worker, /*hang=*/false);
+      }
+      close_worker_fds(worker);
+    }
+    Obs::live_workers().set(0);
+  }
+
+  void run_fallback() {
+    const TrialRunner runner = job_.make_runner();
+    for (std::size_t i = 0; i < job_.trials; ++i) {
+      if (shutdown_requested()) {
+        result_.shutdown = true;
+        break;
+      }
+      if (result_.failfast_tripped) {
+        break;
+      }
+      if (result_.records.count(i) != 0) {
+        continue;
+      }
+      record_trial(i, runner(i));
+      result_.stats.fallback_trials += 1;
+      Obs::fallback().add(1);
+    }
+  }
+
+  void finish() {
+    if (checkpointing_) {
+      checkpoint_.save(res_.checkpoint_path);
+    }
+  }
+
+  const ShardJob& job_;
+  const ShardConfig& config_;
+  const ResilienceConfig& res_;
+  const bool checkpointing_;
+  CheckpointFile checkpoint_;
+  std::size_t completions_since_save_ = 0;
+  std::deque<Assignment> pending_;
+  std::vector<WorkerProc> workers_;
+  std::optional<Clock::time_point> respawn_after_;
+  bool stopping_ = false;
+  SupervisorResult result_;
+};
+
+}  // namespace
+
+SupervisorResult run_sharded(const ShardJob& job, const ShardConfig& config,
+                             const ResilienceConfig& res) {
+  if (job.make_runner == nullptr) {
+    throw SimError(ErrorKind::kConfigError, "sharded campaign without a trial runner");
+  }
+  Supervisor supervisor(job, config, res);
+  return supervisor.run();
+}
+
+}  // namespace hwsec::core::shard::detail_shard

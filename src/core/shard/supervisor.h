@@ -1,0 +1,206 @@
+// Multi-process sharded campaign supervisor.
+//
+// run_campaign_sharded splits a campaign's trial range into seed-sharded
+// chunks, forks N worker processes (each with its own MachinePool and
+// WallClockMonitor), feeds them shard assignments over pipes using the
+// versioned wire format in wire.h, and merges the per-shard outcome
+// streams deterministically: trial i's record is a pure function of
+// (campaign seed, i) — the same detail::execute_trial the in-process
+// resilient runner uses — so the merged vector is bit-identical to the
+// 1-process run at any shard count and any worker count.
+//
+// Robustness is the contract (the failure matrix lives in DESIGN.md S21):
+//  * worker crash  — waitpid notices the exit; unfinished trials of its
+//    in-flight shard are re-enqueued for survivors (a retry-policy event,
+//    not an error) and the worker is respawned under an exponential-backoff
+//    budget;
+//  * worker hang   — a heartbeat thread in each worker beats every
+//    heartbeat_interval; a worker whose last beat is older than
+//    hang_timeout is SIGKILLed and handled as a crash (this is how a
+//    SIGSTOP — or a scheduler wedge — is caught);
+//  * straggler     — when the queue drains and a worker still holds many
+//    unfinished trials, the tail half of its shard is migrated to an idle
+//    survivor; duplicate completions are idempotent because both processes
+//    compute identical bytes for the same index;
+//  * supervisor crash — completed trials are persisted through the
+//    existing atomic checkpoint layer (CheckpointFile keyed by the
+//    campaign identity); a restarted supervisor reloads it and re-executes
+//    only missing slots, at any new worker/shard count;
+//  * total worker loss — when the respawn budget is exhausted the
+//    supervisor finishes the remaining trials in-process, so the campaign
+//    converges even if every fork dies.
+//
+// Graceful shutdown: SIGTERM/SIGINT (install_graceful_shutdown) stops
+// shard assignment, drains workers, saves a final checkpoint, and returns
+// the partial outcome vector with unfinished slots marked `skipped`.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/resilience/resilient.h"
+#include "core/shard/worker.h"
+
+namespace hwsec::core::shard {
+
+struct ShardConfig {
+  /// Worker processes to fork. 1 still exercises the full fork/pipe path;
+  /// 0 runs everything in-process (degenerate, for comparison harnesses).
+  unsigned processes = 2;
+  /// Trials per shard. 0 = auto: spread the campaign so each worker sees
+  /// several shards (max(1, trials / (processes * 4))) — small enough for
+  /// migration to matter, large enough to amortize frame traffic.
+  std::size_t shard_size = 0;
+  /// Worker heartbeat period (liveness beacons on the result pipe).
+  std::chrono::milliseconds heartbeat_interval{25};
+  /// A worker silent for longer than this is presumed hung, SIGKILLed, and
+  /// its shard migrated. 0 disables hang detection (crash-only recovery).
+  std::chrono::milliseconds hang_timeout{2000};
+  /// Total worker respawns allowed across the campaign (the retry budget
+  /// of the process layer). Exhausting it shifts remaining work in-process.
+  unsigned max_respawns = 8;
+  /// Base respawn delay; doubles per respawn already spent (capped at
+  /// 64x), so a crash-looping fleet backs off instead of fork-bombing.
+  std::chrono::milliseconds respawn_backoff{5};
+};
+
+/// Recovery/scheduling telemetry for one sharded run (also exported as obs
+/// counters: shard_assignments, shard_migrations, shard_worker_respawns,
+/// shard_worker_deaths, shard_worker_hangs, shard_duplicate_trials,
+/// shard_fallback_trials).
+struct ShardStats {
+  std::uint64_t shards_total = 0;       ///< shards in the initial plan.
+  std::uint64_t assignments = 0;        ///< assignment frames sent (incl. re-assignments).
+  std::uint64_t migrations = 0;         ///< shards re-enqueued after a death/hang/straggler split.
+  std::uint64_t worker_deaths = 0;      ///< workers that exited without being told to.
+  std::uint64_t worker_hangs = 0;       ///< workers killed by the heartbeat-age detector.
+  std::uint64_t worker_respawns = 0;    ///< replacement workers forked.
+  std::uint64_t duplicate_trials = 0;   ///< idempotently-ignored duplicate records.
+  std::uint64_t fallback_trials = 0;    ///< trials finished in-process after worker loss.
+  std::uint64_t trials_executed = 0;    ///< fresh trial records (not checkpoint-restored).
+};
+
+namespace detail_shard {
+
+/// Type-erased campaign the supervisor core runs (the Result type lives
+/// only in the template wrapper below).
+struct ShardJob {
+  std::uint64_t seed = 0;
+  std::size_t trials = 0;
+  std::size_t result_bytes = 0;
+  /// Builds a trial runner. Called once inside each forked worker (so every
+  /// worker owns a private MachinePool) and once more for the in-process
+  /// fallback path.
+  std::function<TrialRunner()> make_runner;
+};
+
+struct SupervisorResult {
+  std::map<std::size_t, CheckpointRecord> records;  ///< merged, keyed by trial index.
+  std::set<std::size_t> restored;                   ///< loaded from checkpoint, not re-run.
+  ShardStats stats;
+  bool shutdown = false;       ///< graceful shutdown left trials unfinished.
+  bool failfast_tripped = false;  ///< kFailFast saw a failed record.
+};
+
+/// The supervisor core: fork, schedule, supervise, merge. Implemented in
+/// supervisor.cpp; deterministic merge is by trial index.
+SupervisorResult run_sharded(const ShardJob& job, const ShardConfig& config,
+                             const ResilienceConfig& res);
+
+}  // namespace detail_shard
+
+/// Sharded analogue of run_campaign_resilient. Same determinism contract —
+/// and additionally bit-identical to the in-process runner itself, which
+/// bench_campaign and test_shard assert. Requires a trivially copyable
+/// Result (records cross a process boundary). CampaignConfig::workers is
+/// ignored: inside a worker process trials run sequentially; parallelism
+/// is the process count.
+///
+/// Under FailurePolicy::kFailFast the supervisor stops scheduling once a
+/// failed record arrives and the lowest-index SimError is thrown after the
+/// fleet drains (matching the in-process runner's contract).
+template <typename Result>
+std::vector<TrialOutcome<Result>> run_campaign_sharded(
+    const CampaignConfig& config, const ResilienceConfig& res, const ShardConfig& shard,
+    const std::function<Result(const TrialContext&)>& body, ShardStats* stats_out = nullptr) {
+  static_assert(std::is_default_constructible_v<Result>,
+                "sharded campaigns rebuild Result values from wire bytes");
+  if constexpr (!std::is_trivially_copyable_v<Result>) {
+    throw SimError(ErrorKind::kConfigError,
+                   "sharded campaigns require a trivially copyable Result type");
+  } else {
+    detail_shard::ShardJob job;
+    job.seed = config.seed;
+    job.trials = config.trials;
+    job.result_bytes = sizeof(Result);
+    job.make_runner = [&config, &res, &body]() -> TrialRunner {
+      // One pool + monitor per worker process (and per fallback episode).
+      auto machines = std::make_shared<MachinePool>();
+      auto monitor = std::make_shared<WallClockMonitor>(res.wall_clock_timeout);
+      return [machines, monitor, &config, &res, &body](std::size_t index) {
+        const TrialOutcome<Result> out = detail::execute_trial<Result>(
+            index, config.seed, res, machines.get(), *monitor, body);
+        CheckpointRecord rec;
+        rec.attempts = out.attempts;
+        if (out.ok()) {
+          rec.ok = true;
+          rec.payload.assign(reinterpret_cast<const char*>(&*out.result), sizeof(Result));
+        } else {
+          rec.ok = false;
+          rec.kind = static_cast<std::uint8_t>(out.error->kind());
+          rec.detail = out.error->detail();
+          rec.machine = out.error->machine();
+        }
+        return rec;
+      };
+    };
+
+    const detail_shard::SupervisorResult merged = detail_shard::run_sharded(job, shard, res);
+    if (stats_out != nullptr) {
+      *stats_out = merged.stats;
+    }
+
+    std::vector<TrialOutcome<Result>> outcomes(config.trials);
+    for (std::size_t i = 0; i < config.trials; ++i) {
+      const auto it = merged.records.find(i);
+      if (it == merged.records.end()) {
+        outcomes[i].skipped = true;  // graceful shutdown or fail-fast drain.
+        continue;
+      }
+      const CheckpointRecord& rec = it->second;
+      TrialOutcome<Result>& out = outcomes[i];
+      out.attempts = rec.attempts;
+      out.from_checkpoint = merged.restored.count(i) != 0;
+      if (rec.ok) {
+        Result restored{};
+        std::memcpy(&restored, rec.payload.data(), sizeof(Result));
+        out.result = restored;
+      } else {
+        SimError err(static_cast<ErrorKind>(rec.kind), rec.detail);
+        if (!rec.machine.empty()) {
+          err.with_machine(rec.machine);
+        }
+        err.with_trial(i, hwsec::sim::derive_seed(config.seed, i));
+        out.error = std::move(err);
+      }
+    }
+    if (merged.failfast_tripped) {
+      for (const auto& out : outcomes) {
+        if (out.error.has_value()) {
+          throw *out.error;  // lowest index wins: outcomes iterate in order.
+        }
+      }
+    }
+    return outcomes;
+  }
+}
+
+}  // namespace hwsec::core::shard

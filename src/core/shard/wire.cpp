@@ -1,0 +1,268 @@
+#include "core/shard/wire.h"
+
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hwsec::core::shard {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 12;  // magic u32, version u16, type u16, length u32.
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>(v >> 8 & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>(v >> shift & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>(v >> shift & 0xFF));
+  }
+}
+
+void put_bytes(std::string& out, const std::string& bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+/// Bounds-checked little-endian reader; every get_* fails cleanly on a
+/// truncated payload instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool get_u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool get_u16(std::uint16_t& v) {
+    std::uint64_t wide = 0;
+    if (!get_le(2, wide)) return false;
+    v = static_cast<std::uint16_t>(wide);
+    return true;
+  }
+  bool get_u32(std::uint32_t& v) {
+    std::uint64_t wide = 0;
+    if (!get_le(4, wide)) return false;
+    v = static_cast<std::uint32_t>(wide);
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) { return get_le(8, v); }
+  bool get_bytes(std::string& out) {
+    std::uint32_t n = 0;
+    if (!get_u32(n) || pos_ + n > data_.size()) return false;
+    out.assign(data_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool get_le(std::size_t bytes, std::uint64_t& v) {
+    if (pos_ + bytes > data_.size()) return false;
+    v = 0;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += bytes;
+    return true;
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t got = ::read(fd, data, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) {
+      return false;  // EOF mid-frame.
+    }
+    data += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// Parses and validates a frame header. Returns false on magic/version
+/// mismatch (a desynchronized or cross-build stream).
+bool parse_header(const char* raw, FrameType& type, std::uint32_t& length) {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t type_raw = 0;
+  std::memcpy(&magic, raw, 4);
+  std::memcpy(&version, raw + 4, 2);
+  std::memcpy(&type_raw, raw + 6, 2);
+  std::memcpy(&length, raw + 8, 4);
+  if (magic != kWireMagic || version != kWireVersion) {
+    return false;
+  }
+  type = static_cast<FrameType>(type_raw);
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const Frame& frame) {
+  std::string wire;
+  wire.reserve(kHeaderBytes + frame.payload.size());
+  put_u32(wire, kWireMagic);
+  put_u16(wire, kWireVersion);
+  put_u16(wire, static_cast<std::uint16_t>(frame.type));
+  put_u32(wire, static_cast<std::uint32_t>(frame.payload.size()));
+  wire.append(frame.payload);
+  return write_all(fd, wire.data(), wire.size());
+}
+
+bool read_frame(int fd, Frame& out) {
+  char header[kHeaderBytes];
+  if (!read_all(fd, header, sizeof(header))) {
+    return false;
+  }
+  std::uint32_t length = 0;
+  if (!parse_header(header, out.type, length)) {
+    return false;
+  }
+  out.payload.resize(length);
+  return length == 0 || read_all(fd, out.payload.data(), length);
+}
+
+bool FrameBuffer::next(Frame& out) {
+  if (corrupt_ || buffer_.size() < kHeaderBytes) {
+    return false;
+  }
+  std::uint32_t length = 0;
+  if (!parse_header(buffer_.data(), out.type, length)) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buffer_.size() < kHeaderBytes + length) {
+    return false;
+  }
+  out.payload.assign(buffer_, kHeaderBytes, length);
+  buffer_.erase(0, kHeaderBytes + length);
+  return true;
+}
+
+bool drain_fd(int fd, FrameBuffer& buffer) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) {
+      return false;  // peer closed.
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+std::string encode_assign(const AssignPayload& assign) {
+  std::string out;
+  put_u64(out, assign.shard_id);
+  put_u64(out, assign.begin);
+  put_u64(out, assign.end);
+  put_u32(out, assign.attempt);
+  std::string mask(assign.done_mask.begin(), assign.done_mask.end());
+  put_bytes(out, mask);
+  return out;
+}
+
+bool decode_assign(const std::string& payload, AssignPayload& out) {
+  Reader r(payload);
+  std::string mask;
+  if (!r.get_u64(out.shard_id) || !r.get_u64(out.begin) || !r.get_u64(out.end) ||
+      !r.get_u32(out.attempt) || !r.get_bytes(mask) || !r.exhausted()) {
+    return false;
+  }
+  out.done_mask.assign(mask.begin(), mask.end());
+  return out.begin <= out.end;
+}
+
+std::string encode_trial(const TrialPayload& trial) {
+  std::string out;
+  put_u64(out, trial.index);
+  out.push_back(trial.record.ok ? 1 : 0);
+  put_u32(out, trial.record.attempts);
+  out.push_back(static_cast<char>(trial.record.kind));
+  put_bytes(out, trial.record.payload);
+  put_bytes(out, trial.record.detail);
+  put_bytes(out, trial.record.machine);
+  return out;
+}
+
+bool decode_trial(const std::string& payload, TrialPayload& out) {
+  Reader r(payload);
+  std::uint8_t ok = 0;
+  std::uint8_t kind = 0;
+  std::uint32_t attempts = 0;
+  if (!r.get_u64(out.index) || !r.get_u8(ok) || !r.get_u32(attempts) || !r.get_u8(kind) ||
+      !r.get_bytes(out.record.payload) || !r.get_bytes(out.record.detail) ||
+      !r.get_bytes(out.record.machine) || !r.exhausted()) {
+    return false;
+  }
+  out.record.ok = ok != 0;
+  out.record.attempts = attempts == 0 ? 1 : attempts;
+  out.record.kind = kind;
+  return true;
+}
+
+std::string encode_shard_done(std::uint64_t shard_id) {
+  std::string out;
+  put_u64(out, shard_id);
+  return out;
+}
+
+bool decode_shard_done(const std::string& payload, std::uint64_t& shard_id) {
+  Reader r(payload);
+  return r.get_u64(shard_id) && r.exhausted();
+}
+
+SigpipeIgnore::SigpipeIgnore() : previous_(new struct sigaction) {
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  installed_ =
+      sigaction(SIGPIPE, &ignore, static_cast<struct sigaction*>(previous_)) == 0;
+}
+
+SigpipeIgnore::~SigpipeIgnore() {
+  if (installed_) {
+    sigaction(SIGPIPE, static_cast<struct sigaction*>(previous_), nullptr);
+  }
+  delete static_cast<struct sigaction*>(previous_);
+}
+
+}  // namespace hwsec::core::shard

@@ -1,0 +1,134 @@
+// Versioned wire format for the shard supervisor <-> worker pipes.
+//
+// Every message is one frame: a 12-byte header (magic u32, version u16,
+// type u16, payload length u32) followed by a little-endian payload. The magic rejects a
+// desynchronized or foreign stream outright; the version field makes the
+// protocol evolvable — a worker from a future build that speaks v2 is
+// detected at the first frame instead of silently misparsing trial bytes
+// (the failure matrix in DESIGN.md S21 treats that as a worker death, which
+// the supervisor already survives).
+//
+// Frames (supervisor -> worker):
+//   kAssign    shard_id, [begin, end) trial range, assignment attempt, and
+//              a done-bitmap of indices already restored from checkpoint
+//              (the worker skips those, so a resumed campaign re-executes
+//              only missing slots even though shards stay contiguous);
+//   kShutdown  drain and _exit(0).
+// Frames (worker -> supervisor):
+//   kTrial     one completed trial: index + the same record schema the
+//              checkpoint layer persists (ok/attempts/payload or
+//              kind/detail/machine) — the supervisor merges by index, so
+//              a duplicate delivery (straggler migration races) is
+//              idempotent by construction;
+//   kShardDone shard_id finished;
+//   kHeartbeat liveness beacon from the worker's heartbeat thread; its age
+//              is the supervisor's hang detector (a SIGSTOPped worker stops
+//              beating and gets killed + migrated).
+//
+// All reads/writes are EINTR-safe full-buffer loops; FrameBuffer
+// incrementally reassembles frames from a non-blocking fd so the
+// supervisor can multiplex every worker with one poll() loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resilience/checkpoint.h"
+
+namespace hwsec::core::shard {
+
+inline constexpr std::uint32_t kWireMagic = 0x43535748u;  // "HWSC", little-endian.
+inline constexpr std::uint16_t kWireVersion = 1;
+
+enum class FrameType : std::uint16_t {
+  kAssign = 1,
+  kShutdown = 2,
+  kTrial = 3,
+  kShardDone = 4,
+  kHeartbeat = 5,
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Writes one frame; retries partial writes and EINTR. Returns false on any
+/// unrecoverable error (EPIPE after the peer died — callers treat that as a
+/// worker-death event, never a crash; pair with SigpipeIgnore below).
+bool write_frame(int fd, const Frame& frame);
+
+/// Blocking full-frame read (worker side: the command pipe is its inbox).
+/// Returns false on EOF, short read, bad magic, or version mismatch.
+bool read_frame(int fd, Frame& out);
+
+/// Incremental frame reassembly for the supervisor's non-blocking fds.
+class FrameBuffer {
+ public:
+  void append(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Extracts the next complete frame. Returns false when more bytes are
+  /// needed. A corrupt header (bad magic/version) poisons the stream:
+  /// corrupt() turns true and no further frames are produced.
+  bool next(Frame& out);
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buffer_;
+  bool corrupt_ = false;
+};
+
+/// Reads whatever is available from a non-blocking fd into `buffer`.
+/// Returns false when the fd reached EOF or a hard error (worker gone).
+bool drain_fd(int fd, FrameBuffer& buffer);
+
+// ---- payload codecs ----------------------------------------------------
+
+struct AssignPayload {
+  std::uint64_t shard_id = 0;
+  std::uint64_t begin = 0;    ///< first global trial index in the shard.
+  std::uint64_t end = 0;      ///< one past the last index.
+  std::uint32_t attempt = 0;  ///< assignment incarnation (0 = first try).
+  /// Bit i set => trial (begin + i) is already done; the worker skips it.
+  std::vector<std::uint8_t> done_mask;
+
+  bool done(std::uint64_t index) const {
+    const std::uint64_t off = index - begin;
+    return (off >> 3) < done_mask.size() &&
+           (done_mask[static_cast<std::size_t>(off >> 3)] >> (off & 7) & 1) != 0;
+  }
+};
+
+struct TrialPayload {
+  std::uint64_t index = 0;
+  CheckpointRecord record;  ///< same schema the checkpoint layer persists.
+};
+
+std::string encode_assign(const AssignPayload& assign);
+bool decode_assign(const std::string& payload, AssignPayload& out);
+
+std::string encode_trial(const TrialPayload& trial);
+bool decode_trial(const std::string& payload, TrialPayload& out);
+
+std::string encode_shard_done(std::uint64_t shard_id);
+bool decode_shard_done(const std::string& payload, std::uint64_t& shard_id);
+
+/// RAII SIGPIPE suppressor: a supervisor writing an assignment to a worker
+/// that just died must see EPIPE (a recoverable event), not take the whole
+/// campaign down with an unhandled signal. Restores the previous handler.
+class SigpipeIgnore {
+ public:
+  SigpipeIgnore();
+  ~SigpipeIgnore();
+  SigpipeIgnore(const SigpipeIgnore&) = delete;
+  SigpipeIgnore& operator=(const SigpipeIgnore&) = delete;
+
+ private:
+  bool installed_ = false;
+  void* previous_;  ///< opaque storage for the saved sigaction.
+};
+
+}  // namespace hwsec::core::shard

@@ -1,0 +1,127 @@
+#include "core/shard/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <thread>
+
+#include "core/shard/wire.h"
+
+namespace hwsec::core::shard {
+
+namespace {
+
+/// Serializes frame writes from the trial loop and the heartbeat thread
+/// onto one pipe. Frames are small, but interleaved partial writes would
+/// corrupt the stream, so every write holds the lock for the full frame.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  bool send(FrameType type, std::string payload = {}) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return write_frame(fd_, Frame{type, std::move(payload)});
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+/// Background liveness beacon. Joinable and stopped before the worker
+/// exits normally; when the worker SIGKILLs itself the thread dies with
+/// the process, which is exactly the silence the supervisor listens for.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(FrameWriter& writer, std::chrono::milliseconds interval)
+      : writer_(writer), interval_(interval) {
+    if (interval_.count() > 0) {
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+      lock.unlock();
+      writer_.send(FrameType::kHeartbeat);
+      lock.lock();
+      cv_.wait_for(lock, interval_, [this] { return stopping_; });
+    }
+  }
+
+  FrameWriter& writer_;
+  const std::chrono::milliseconds interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+int worker_loop(int cmd_fd, int out_fd, const WorkerEnv& env, const TrialRunner& run_trial) {
+  // The supervisor owns our lifetime; if it dies, writes fail with EPIPE
+  // (not a fatal signal) and the loop exits.
+  SigpipeIgnore no_sigpipe;
+  FrameWriter writer(out_fd);
+  HeartbeatThread heartbeat(writer, env.heartbeat_interval);
+
+  Frame frame;
+  while (read_frame(cmd_fd, frame)) {
+    if (frame.type == FrameType::kShutdown) {
+      return 0;
+    }
+    if (frame.type != FrameType::kAssign) {
+      continue;  // unknown-but-valid frame type: ignore (forward compat).
+    }
+    AssignPayload assign;
+    if (!decode_assign(frame.payload, assign)) {
+      return 2;  // malformed assignment: die loudly; the supervisor migrates.
+    }
+    for (std::uint64_t index = assign.begin; index < assign.end; ++index) {
+      if (assign.done(index)) {
+        continue;  // restored from checkpoint; never re-run finished trials.
+      }
+      // Seeded self-fault BEFORE the trial: the crash loses this trial's
+      // result (it was never reported), forcing the supervisor down the
+      // migrate-and-retry path. Keyed by assignment attempt, so the retry
+      // rolls fresh dice and the campaign converges.
+      const WorkerFault fault =
+          ChaosInjector(env.chaos, static_cast<std::size_t>(index), assign.attempt + 1)
+              .roll_worker_fault();
+      if (fault == WorkerFault::kKill) {
+        raise(SIGKILL);
+      } else if (fault == WorkerFault::kStop) {
+        raise(SIGSTOP);  // hangs here until the supervisor SIGKILLs us.
+      }
+      TrialPayload trial;
+      trial.index = index;
+      trial.record = run_trial(static_cast<std::size_t>(index));
+      if (!writer.send(FrameType::kTrial, encode_trial(trial))) {
+        return 3;  // supervisor gone; nothing left to report to.
+      }
+    }
+    if (!writer.send(FrameType::kShardDone, encode_shard_done(assign.shard_id))) {
+      return 3;
+    }
+  }
+  return 0;  // command pipe EOF: supervisor closed us out.
+}
+
+}  // namespace hwsec::core::shard

@@ -1,0 +1,47 @@
+// Shard worker: the child-process half of the sharded campaign engine.
+//
+// A worker is forked by the supervisor and lives entirely inside
+// worker_loop(): read an assignment frame, execute the shard's trials in
+// index order (skipping indices the done-bitmap marks as restored from
+// checkpoint), stream one kTrial frame back per completed trial, announce
+// kShardDone, repeat until kShutdown or pipe EOF. Each worker owns its own
+// MachinePool and WallClockMonitor — processes share nothing but pipes, so
+// a worker crash can corrupt nothing outside its own address space.
+//
+// A detached heartbeat thread writes kHeartbeat frames every
+// heartbeat_interval; the supervisor's hang detector keys off their age
+// (a SIGSTOPped or wedged worker stops beating and is killed + migrated).
+//
+// Worker-kill chaos: before each trial the worker rolls
+// ChaosInjector::roll_worker_fault() keyed by (chaos seed, trial index,
+// assignment attempt) and raises SIGKILL/SIGSTOP on itself at the seeded
+// points — the recovery path is tested by the same fault-injection
+// discipline as the trial path. The roll never feeds trial execution, so
+// chaos changes *which process* computes a trial, never its bytes.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+#include "core/resilience/chaos.h"
+#include "core/resilience/checkpoint.h"
+
+namespace hwsec::core::shard {
+
+/// Executes one trial by global index and returns the serialized record
+/// (the type-erasure seam: the template layer closes over the Result type,
+/// the worker only moves bytes).
+using TrialRunner = std::function<CheckpointRecord(std::size_t index)>;
+
+struct WorkerEnv {
+  std::chrono::milliseconds heartbeat_interval{50};
+  ChaosConfig chaos;  ///< only the worker_* fields are read here.
+};
+
+/// Runs the worker protocol over (cmd_fd from supervisor, out_fd to
+/// supervisor). Returns the process exit code; the caller _exit()s with it
+/// immediately (never unwinds back into forked test/benchmark state).
+int worker_loop(int cmd_fd, int out_fd, const WorkerEnv& env, const TrialRunner& run_trial);
+
+}  // namespace hwsec::core::shard

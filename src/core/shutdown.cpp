@@ -1,0 +1,37 @@
+#include "core/shutdown.h"
+
+#include <csignal>
+
+namespace hwsec::core {
+
+namespace {
+
+// Async-signal-safe state: the handler performs exactly one store.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void on_shutdown_signal(int signal) { g_shutdown_signal = signal; }
+
+}  // namespace
+
+void install_graceful_shutdown() {
+  struct sigaction action {};
+  action.sa_handler = on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: the campaign loops poll the flag at trial boundaries; no
+  // need to make every blocking syscall in the process EINTR-aware.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+bool shutdown_requested() { return g_shutdown_signal != 0; }
+
+int shutdown_signal() { return static_cast<int>(g_shutdown_signal); }
+
+int shutdown_exit_code() {
+  return g_shutdown_signal == 0 ? 0 : 128 + static_cast<int>(g_shutdown_signal);
+}
+
+void reset_shutdown_for_test() { g_shutdown_signal = 0; }
+
+}  // namespace hwsec::core

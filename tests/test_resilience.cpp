@@ -26,6 +26,8 @@
 #include "core/resilience/checkpoint.h"
 #include "core/resilience/monitor.h"
 #include "core/resilience/resilient.h"
+#include "core/shard/supervisor.h"
+#include "core/shutdown.h"
 #include "sim/machine.h"
 #include "sim/program.h"
 #include "sim/rng.h"
@@ -589,6 +591,223 @@ TEST(Checkpoint, KilledCampaignResumesBitIdentically) {
   EXPECT_GT(restored, 0u) << "checkpoint restored nothing";
   EXPECT_EQ(static_cast<std::size_t>(executed.load()), cfg.trials - restored);
   std::remove(path.c_str());
+}
+
+// ---- checkpoint corruption: load must warn and fall back, never throw --
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+/// Writes a valid 6-slot checkpoint and returns its on-disk bytes.
+std::string write_sample_checkpoint(const std::string& path) {
+  core::CheckpointFile save(55, 6, sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < 6; ++i) {
+    core::CheckpointRecord rec;
+    rec.ok = true;
+    const std::uint64_t v = sim::derive_seed(55, i);
+    rec.payload.assign(reinterpret_cast<const char*>(&v), sizeof(v));
+    save.record(i, rec);
+  }
+  EXPECT_TRUE(save.save(path));
+  return read_file(path);
+}
+
+TEST(Checkpoint, TruncatedFileIsRejectedNotFatal) {
+  const std::string path = ckpt_path("truncated");
+  const std::string intact = write_sample_checkpoint(path);
+  // Chop the file at several depths — mid-trailer, mid-record, mid-header.
+  for (const std::size_t keep :
+       {intact.size() - 3, intact.size() / 2, std::size_t{10}, std::size_t{0}}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(intact.data(), static_cast<std::streamsize>(keep));
+    }
+    core::CheckpointFile load(55, 6, sizeof(std::uint64_t));
+    EXPECT_FALSE(load.load(path)) << "accepted a file truncated to " << keep << " bytes";
+    EXPECT_EQ(load.size(), 0u) << "partial restore from a torn file";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BitFlippedPayloadIsCaughtByChecksum) {
+  const std::string path = ckpt_path("bitflip");
+  const std::string intact = write_sample_checkpoint(path);
+  // Flip one payload hex digit to a DIFFERENT valid hex digit: the line
+  // grammar still parses, so only the content checksum can catch it.
+  const std::size_t ok_line = intact.find("\nok ");
+  ASSERT_NE(ok_line, std::string::npos);
+  // The last payload hex char of the first record line.
+  const std::size_t digit = intact.find('\n', ok_line + 1) - 1;
+  std::string corrupt = intact;
+  corrupt[digit] = corrupt[digit] == 'a' ? 'b' : 'a';
+  ASSERT_NE(corrupt, intact);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << corrupt;
+  }
+  core::CheckpointFile load(55, 6, sizeof(std::uint64_t));
+  EXPECT_FALSE(load.load(path)) << "a bit flip inside well-formed hex was restored";
+  EXPECT_EQ(load.size(), 0u);
+  // The intact bytes still load (the corruption above is what broke it).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << intact;
+  }
+  EXPECT_TRUE(load.load(path));
+  EXPECT_EQ(load.size(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageAndBinaryFilesFallBackToFreshRun) {
+  const std::string path = ckpt_path("garbage");
+  for (const std::string content :
+       {std::string("not a checkpoint at all\n"), std::string("\x00\xFF\x7F garbage", 12),
+        std::string("hwsec-checkpoint v1 seed=55 trials=6 result_bytes=8\nend 0\n")}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << content;
+    }
+    core::CheckpointFile load(55, 6, sizeof(std::uint64_t));
+    EXPECT_FALSE(load.load(path));  // v1 (pre-checksum) files are rejected too.
+    EXPECT_EQ(load.size(), 0u);
+  }
+  // A campaign pointed at the garbage file starts fresh and succeeds.
+  core::ResilienceConfig res;
+  res.checkpoint_path = path;
+  const auto outcomes = core::run_campaign_resilient<std::uint64_t>(
+      {.seed = 55, .trials = 6, .workers = 1}, res,
+      [](const core::TrialContext& ctx) { return ctx.seed + 1; });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << "slot " << i;
+    EXPECT_FALSE(outcomes[i].from_checkpoint);
+    EXPECT_EQ(outcomes[i].value(), sim::derive_seed(55, i) + 1);
+  }
+  std::remove(path.c_str());
+}
+
+// ---- graceful shutdown -------------------------------------------------
+
+TEST(Shutdown, SigtermFlushesCheckpointAndExits143) {
+  const std::string path = ckpt_path("sigterm");
+  std::remove(path.c_str());
+  const core::CampaignConfig cfg{.seed = 31337, .trials = 40, .workers = 2};
+
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child: a cooperative campaign binary — handler installed, slow trials,
+    // per-trial checkpoints; exits with the conventional 128+signal code.
+    core::install_graceful_shutdown();
+    core::ResilienceConfig res;
+    res.checkpoint_path = path;
+    res.checkpoint_every = 1;
+    core::run_campaign_resilient<std::uint64_t>(
+        cfg, res, [](const core::TrialContext& ctx) -> std::uint64_t {
+          std::this_thread::sleep_for(std::chrono::milliseconds(4));
+          return ctx.seed ^ 0xD00D;
+        });
+    _exit(core::shutdown_exit_code());
+  }
+  // Parent: wait for the first checkpoint, then request shutdown.
+  for (int i = 0; i < 5000; ++i) {
+    if (std::ifstream(path).good()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(std::ifstream(path).good()) << "child never checkpointed";
+  kill(child, SIGTERM);
+  int status = 0;
+  waitpid(child, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status)) << "child died instead of exiting gracefully";
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+
+  // The flushed checkpoint must parse, and resuming from it must complete
+  // the campaign bit-identically to an undisturbed run.
+  core::CheckpointFile flushed(cfg.seed, cfg.trials, sizeof(std::uint64_t));
+  EXPECT_TRUE(flushed.load(path)) << "graceful shutdown left no valid checkpoint";
+  EXPECT_GT(flushed.size(), 0u);
+
+  const auto reference = core::run_campaign_resilient<std::uint64_t>(
+      cfg, core::ResilienceConfig{},
+      [](const core::TrialContext& ctx) -> std::uint64_t { return ctx.seed ^ 0xD00D; });
+  core::ResilienceConfig res;
+  res.checkpoint_path = path;
+  const auto resumed = core::run_campaign_resilient<std::uint64_t>(
+      cfg, res, [](const core::TrialContext& ctx) -> std::uint64_t {
+        return ctx.seed ^ 0xD00D;
+      });
+  std::size_t restored = 0;
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    ASSERT_TRUE(resumed[i].ok()) << "slot " << i;
+    EXPECT_EQ(resumed[i].value(), reference[i].value()) << "slot " << i;
+    restored += resumed[i].from_checkpoint ? 1 : 0;
+  }
+  EXPECT_GT(restored, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Shutdown, RequestSkipsRemainingTrialsAndMarksThem) {
+  core::reset_shutdown_for_test();
+  core::install_graceful_shutdown();
+  std::atomic<int> executed{0};
+  const auto outcomes = core::run_campaign_resilient<int>(
+      {.seed = 3, .trials = 12, .workers = 1}, {},
+      [&executed](const core::TrialContext& ctx) -> int {
+        executed.fetch_add(1);
+        if (ctx.index == 4) {
+          raise(SIGTERM);  // handler sets the flag; nothing is interrupted.
+        }
+        return static_cast<int>(ctx.index);
+      });
+  core::reset_shutdown_for_test();
+  EXPECT_EQ(executed.load(), 5);  // trials 0..4 ran; the rest were skipped.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i <= 4) {
+      ASSERT_TRUE(outcomes[i].ok()) << "slot " << i;
+      EXPECT_FALSE(outcomes[i].skipped);
+    } else {
+      EXPECT_TRUE(outcomes[i].skipped) << "slot " << i;
+      EXPECT_FALSE(outcomes[i].ok());
+      EXPECT_FALSE(outcomes[i].error.has_value());
+    }
+  }
+}
+
+// ---- sharded campaigns under fire --------------------------------------
+
+TEST(Shard, KilledWorkerMidRunStillMergesBitIdentically) {
+  // Reference: the undisturbed in-process single-worker campaign.
+  const core::CampaignConfig cfg{.seed = 909, .trials = 48, .workers = 1};
+  const std::function<std::uint64_t(const core::TrialContext&)> body =
+      [](const core::TrialContext& ctx) -> std::uint64_t {
+        return ctx.seed * 31 + ctx.index;
+      };
+  const auto reference =
+      core::run_campaign_resilient<std::uint64_t>(cfg, core::ResilienceConfig{}, body);
+
+  // Sharded run with seeded worker SIGKILLs: workers die mid-shard, the
+  // supervisor migrates their unfinished trials and respawns. The merged
+  // vector must not differ in a single byte.
+  core::ResilienceConfig res;
+  res.chaos.worker_kill_probability = 0.08;
+  core::shard::ShardConfig shard;
+  shard.processes = 2;
+  shard.shard_size = 6;
+  core::shard::ShardStats stats;
+  const auto sharded = core::shard::run_campaign_sharded<std::uint64_t>(
+      cfg, res, shard, body, &stats);
+  ASSERT_EQ(sharded.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_TRUE(sharded[i].ok()) << "slot " << i;
+    EXPECT_EQ(sharded[i].value(), reference[i].value()) << "slot " << i;
+  }
+  // The chaos stream is deterministic: with p=0.08 over 48 trials at least
+  // one worker certainly died, so this run actually exercised recovery.
+  EXPECT_GT(stats.worker_deaths, 0u) << "chaos injected no deaths; test is vacuous";
+  EXPECT_GT(stats.migrations, 0u);
 }
 
 // ---- atomic file writes -----------------------------------------------
