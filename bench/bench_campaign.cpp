@@ -193,6 +193,7 @@ int main(int argc, char** argv) {
     double speedup = 0.0;
     bool deterministic = false;
     bool oversubscribed = false;
+    double peak_rss_mib = 0.0;  ///< process high-water mark after this row.
   };
   std::vector<unsigned> sweep;
   for (const unsigned workers : {1u, 2u, 4u, 8u}) {
@@ -262,6 +263,7 @@ int main(int argc, char** argv) {
     p.seconds = elapsed.count();
     p.trials_per_sec = static_cast<double>(trials) / p.seconds;
     p.oversubscribed = workers > hardware;
+    p.peak_rss_mib = hwsec::bench::peak_rss_mib();
     if (workers == 1) {
       baseline = results;
       p.speedup = 1.0;
@@ -390,12 +392,22 @@ int main(int argc, char** argv) {
     double seconds = 0.0;
     double trials_per_sec = 0.0;
     double speedup = 0.0;
+    double setup_seconds = 0.0;  ///< per-run fork/pipe/warmup cost (see below).
     bool deterministic = false;
+    double peak_rss_mib = 0.0;
     core::shard::ShardStats stats;
   };
   std::vector<ShardPoint> shard_curve;
+  // Steady-state sizing: at the old 64-trial default the fork/pipe/machine
+  // setup dominated the measurement and the speedup column read < 1
+  // (0.07x at 4 procs in early BENCH_campaign.json) — a setup artifact
+  // misreading as a scaling regression. The default now sizes the run so
+  // trial work dominates the ~40ms-per-process setup (8192 trials is
+  // ~0.5s of sequential work); the setup cost itself is also measured
+  // separately and reported as its own column, so whatever fixed cost
+  // remains is attributable instead of silently folded into "speedup".
   const std::size_t shard_trials =
-      env_size_t("HWSEC_SHARD_TRIALS", std::min<std::size_t>(trials, 200));
+      env_size_t("HWSEC_SHARD_TRIALS", std::max<std::size_t>(trials, 8192));
   if (!core::shutdown_requested()) {
     hwsec::bench::section("E12b — sharded campaigns: multi-process supervisor");
     std::cout << "(" << shard_trials << " trials per run; fork/pipe/merge must not change"
@@ -415,9 +427,9 @@ int main(int argc, char** argv) {
         }
       }
     }
-    Table st({"procs", "chaos", "seconds", "trials/sec", "speedup", "bit-identical",
-              "deaths", "respawns", "migrations"},
-             {7, 7, 10, 12, 9, 14, 8, 10, 11});
+    Table st({"procs", "chaos", "setup s", "seconds", "trials/sec", "speedup",
+              "bit-identical", "deaths", "respawns", "migrations"},
+             {7, 7, 9, 10, 12, 9, 14, 8, 10, 11});
     st.print_header();
     struct ShardRow {
       unsigned procs;
@@ -433,6 +445,20 @@ int main(int argc, char** argv) {
       shard.processes = row.procs;
       if (row.chaos) {
         res.chaos.worker_kill_probability = 0.02;
+      }
+      // Per-process setup cost, measured as its own quantity: a sharded run
+      // with one trial per process is all fork/pipe/merge overhead (the
+      // single trial per worker is noise at ~60us). This is the fixed cost
+      // the old 64-trial default was unintentionally measuring.
+      double setup_secs = 0.0;
+      {
+        core::shard::ShardConfig setup_shard = shard;
+        const auto s0 = std::chrono::steady_clock::now();
+        (void)core::shard::run_campaign_sharded<TrialResult>(
+            {.seed = 2027, .trials = row.procs, .workers = 1}, res, setup_shard,
+            spectre_trial, nullptr);
+        setup_secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - s0).count();
       }
       core::shard::ShardStats stats;
       const auto t0 = std::chrono::steady_clock::now();
@@ -454,12 +480,14 @@ int main(int argc, char** argv) {
       p.seconds = secs;
       p.trials_per_sec = static_cast<double>(shard_trials) / secs;
       p.speedup = shard_seq_seconds / secs;
+      p.setup_seconds = setup_secs;
       p.deterministic = !core::shutdown_requested() && results == shard_baseline;
+      p.peak_rss_mib = hwsec::bench::peak_rss_mib();
       p.stats = stats;
       shard_curve.push_back(p);
-      st.print_row(p.processes, p.chaos ? "kill" : "-", p.seconds, p.trials_per_sec,
-                   p.speedup, p.deterministic ? "YES" : "DIVERGED", p.stats.worker_deaths,
-                   p.stats.worker_respawns, p.stats.migrations);
+      st.print_row(p.processes, p.chaos ? "kill" : "-", p.setup_seconds, p.seconds,
+                   p.trials_per_sec, p.speedup, p.deterministic ? "YES" : "DIVERGED",
+                   p.stats.worker_deaths, p.stats.worker_respawns, p.stats.migrations);
     }
     std::cout << "(chaos row: seeded worker SIGKILLs — the supervisor migrates each dead\n"
                  " worker's shard and respawns it; the merged vector must still match)\n";
@@ -503,7 +531,8 @@ int main(int argc, char** argv) {
     json << "    {\"workers\": " << p.workers << ", \"seconds\": " << p.seconds
          << ", \"trials_per_sec\": " << p.trials_per_sec << ", \"speedup\": " << p.speedup
          << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
-         << ", \"oversubscribed\": " << (p.oversubscribed ? "true" : "false") << "}"
+         << ", \"oversubscribed\": " << (p.oversubscribed ? "true" : "false")
+         << ", \"peak_rss_mib\": " << p.peak_rss_mib << "}"
          << (i + 1 < curve.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
@@ -514,7 +543,8 @@ int main(int argc, char** argv) {
     json << "    {\"processes\": " << p.processes
          << ", \"chaos_kill\": " << (p.chaos ? "true" : "false")
          << ", \"seconds\": " << p.seconds << ", \"trials_per_sec\": " << p.trials_per_sec
-         << ", \"speedup\": " << p.speedup
+         << ", \"speedup\": " << p.speedup << ", \"setup_seconds\": " << p.setup_seconds
+         << ", \"peak_rss_mib\": " << p.peak_rss_mib
          << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
          << ", \"worker_deaths\": " << p.stats.worker_deaths
          << ", \"worker_respawns\": " << p.stats.worker_respawns
@@ -524,6 +554,8 @@ int main(int argc, char** argv) {
          << (i + 1 < shard_curve.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"shard_trials\": " << shard_trials << ",\n"
+       << "  \"peak_rss_mib\": " << hwsec::bench::peak_rss_mib() << ",\n"
        << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false") << "\n"
        << "}\n";
   // Atomic write: a run killed mid-write can never leave a torn JSON for

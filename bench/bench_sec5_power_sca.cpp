@@ -16,9 +16,11 @@
 #include "attacks/physical/power_analysis.h"
 #include "attacks/physical/timing_attack.h"
 #include "core/campaign.h"
+#include "core/capture.h"
 #include "core/resilience/resilient.h"
 #include "sca/cpa.h"
 #include "sca/second_order.h"
+#include "sca/streaming.h"
 #include "table.h"
 
 namespace attacks = hwsec::attacks;
@@ -37,10 +39,17 @@ std::uint32_t cpa_bytes(attacks::AesVariant variant, std::size_t traces, double 
   rec.hiding_noise_sigma = hiding_sigma;
   rec.max_jitter = jitter;
   rec.seed = seed;
-  // Parallel capture + parallel 16-byte CPA; both are deterministic for
-  // any worker count, so the printed numbers are stable run to run.
-  const auto set = attacks::collect_aes_traces_parallel(kKey, variant, traces, rec, seed * 3 + 1);
-  return sca::cpa_attack_key(set).correct_bytes(kKey);
+  // Streaming pipeline: batched capture feeds a single-pass accumulator,
+  // so trace memory stays at one capture window regardless of `traces`.
+  // The batch stream is identical to collect_aes_traces_parallel's, and
+  // the finalized scores match the materialized cpa_attack_key to 1e-9
+  // (the equivalence gate in bench_sca_streaming/test_sca), so the
+  // printed numbers are unchanged from the materialized pipeline's.
+  hwsec::core::BatchedCaptureConfig capture;
+  capture.seed = seed * 3 + 1;
+  capture.total_traces = traces;
+  const auto acc = hwsec::core::run_streaming_cpa_campaign(capture, kKey, variant, rec);
+  return acc.finalize_key().correct_bytes(kKey);
 }
 
 /// Minimum traces (from a geometric sweep) for >= 14/16 bytes.
@@ -105,7 +114,11 @@ int main(int argc, char** argv) {
       rec.seed = 16;
       const auto set =
           attacks::collect_aes_traces(kKey, attacks::AesVariant::kMasked, traces, rec, 49);
-      const auto r = sca::second_order_cpa_key(set, 1);
+      // Streaming second-order accumulator over the same capture stream;
+      // ranking matches sca::second_order_cpa_key (equivalence suite).
+      sca::StreamingSecondOrderCpa acc(set.traces.front().size(), 1);
+      acc.add_batch(set);
+      const auto r = acc.finalize_key();
       if (traces == 4000u) {
         bytes_4000 = r.correct_bytes(kKey);
       }

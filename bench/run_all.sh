@@ -10,7 +10,10 @@
 #
 # Usage: bench/run_all.sh [build-dir]   (default: build)
 # Knobs: HWSEC_CAMPAIGN_TRIALS  trials per scaling run (default 400)
+#        HWSEC_SHARD_TRIALS     trials per sharded run (default >= 1024)
 #        HWSEC_BENCH_JSON       output path for BENCH_campaign.json
+#        HWSEC_STREAM_TRACES    streaming-SCA campaign size (default 10^6)
+#        HWSEC_STREAM_JSON      output path for BENCH_sca_streaming.json
 #        HWSEC_BENCH_TIMEOUT    per-binary timeout in seconds (default 900)
 set -euo pipefail
 
@@ -46,6 +49,7 @@ BENCHES=(
   bench_sim_microbench
   bench_conclusion_advisor
   bench_campaign
+  bench_sca_streaming
 )
 
 failures=0

@@ -5,6 +5,8 @@
 // quote it directly.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <iomanip>
 #include <iostream>
@@ -13,6 +15,17 @@
 #include <vector>
 
 namespace hwsec::bench {
+
+/// Peak resident set size of this process in MiB (getrusage ru_maxrss,
+/// which Linux reports in KiB). Monotone over the process lifetime, so
+/// benches that gate on memory sample it right after the phase under test.
+inline double peak_rss_mib() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 class Table {
  public:

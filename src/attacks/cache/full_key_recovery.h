@@ -22,10 +22,14 @@
 #pragma once
 
 #include <array>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "attacks/cache/cache_attacks.h"
+#include "sca/trace_store.h"
 
 namespace hwsec::attacks {
 
@@ -45,6 +49,39 @@ std::vector<LineObservation> collect_line_observations(hwsec::sim::Machine& mach
                                                        std::uint64_t trials,
                                                        const CacheAttackConfig& config);
 
+/// Streaming collection: same observation stream (same rng derivation),
+/// delivered to `sink` one at a time instead of materialized. The vector
+/// overload above is this with a push_back sink.
+void collect_line_observations_into(hwsec::sim::Machine& machine, const TableLayout& layout,
+                                    const VictimFn& victim, std::uint64_t trials,
+                                    const CacheAttackConfig& config,
+                                    const std::function<void(const LineObservation&)>& sink);
+
+/// Chunked on-disk observation log (40-byte fixed records over
+/// sca::ChunkedRecordWriter): capture appends, recovery replays — peak
+/// memory one chunk, independent of trial count.
+class LineObservationLogWriter {
+ public:
+  explicit LineObservationLogWriter(const std::string& dir);
+  void append(const LineObservation& obs);
+  std::size_t size() const;
+  void finalize();
+
+ private:
+  std::unique_ptr<hwsec::sca::ChunkedRecordWriter> writer_;
+};
+
+class LineObservationLogReader {
+ public:
+  explicit LineObservationLogReader(const std::string& dir);
+  std::size_t size() const;
+  /// Sequential replay in append order.
+  void replay(const std::function<void(const LineObservation&)>& visit) const;
+
+ private:
+  std::unique_ptr<hwsec::sca::ChunkedRecordReader> reader_;
+};
+
 struct FullKeyResult {
   bool recovered = false;
   hwsec::crypto::AesKey key{};
@@ -56,9 +93,31 @@ struct FullKeyResult {
 /// Runs the two-stage attack over the observations.
 FullKeyResult recover_full_key(const std::vector<LineObservation>& observations);
 
+/// Replays an observation stream in order; callable multiple times (the
+/// streaming recovery makes five passes: one vote pass + one elimination
+/// pass per second-round equation).
+using ObservationReplayFn =
+    std::function<void(const std::function<void(const LineObservation&)>&)>;
+
+/// Streaming recovery: identical result to recover_full_key over the same
+/// stream, restructured so each pass is sequential over the source (an
+/// on-disk log, a generator, ...) and memory stays O(frontier), never
+/// O(observations). All frontier bases are filtered in a single shared
+/// pass per equation.
+FullKeyResult recover_full_key_streaming(const ObservationReplayFn& replay);
+
 /// Convenience: collect + recover against a victim.
 FullKeyResult full_key_attack(hwsec::sim::Machine& machine, const TableLayout& layout,
                               const VictimFn& victim, std::uint64_t trials = 600,
                               const CacheAttackConfig& config = {});
+
+/// Bounded-memory convenience: streams observations into a chunked log at
+/// `log_dir`, then recovers by replaying it. Same observation stream as
+/// full_key_attack (same rng derivation), so the recovered key matches;
+/// peak memory is one chunk plus the candidate frontier.
+FullKeyResult full_key_attack_streaming(hwsec::sim::Machine& machine, const TableLayout& layout,
+                                        const VictimFn& victim, std::uint64_t trials,
+                                        const std::string& log_dir,
+                                        const CacheAttackConfig& config = {});
 
 }  // namespace hwsec::attacks

@@ -25,9 +25,12 @@ sca::TraceSet capture(const crypto::AesKey& key, AesVariant variant, std::size_t
   instr.leak = [&recorder](std::uint32_t value) { recorder.on_value(value); };
 
   // Jitter misaligns traces; keep the matrix rectangular at a length that
-  // accommodates the worst case.
+  // accommodates the worst case. The recorder is fresh per batch, so seed
+  // its capacity hint with the known length — otherwise the first trace of
+  // every batch re-grows its buffer.
   const std::size_t fixed_length =
       kAesSamplesPerTrace * (1 + recorder_config.max_jitter);
+  recorder.set_reserve_hint(fixed_length);
 
   std::unique_ptr<crypto::AesTTable> ttable;
   std::unique_ptr<crypto::AesConstantTime> ct;
@@ -72,6 +75,17 @@ sca::TraceSet collect_aes_traces(const crypto::AesKey& key, AesVariant variant,
   return capture(key, variant, count, recorder_config, seed, seed ^ 0xABCD);
 }
 
+sca::TraceSet collect_aes_trace_batch(const crypto::AesKey& key, AesVariant variant,
+                                      std::size_t batch_index, std::size_t count,
+                                      const sca::RecorderConfig& recorder_config,
+                                      std::uint64_t seed) {
+  const std::uint64_t derived = hwsec::sim::derive_seed(seed, batch_index);
+  sca::RecorderConfig rec = recorder_config;
+  rec.seed = hwsec::sim::derive_seed(derived, 1);
+  return capture(key, variant, count, rec, hwsec::sim::derive_seed(derived, 2),
+                 hwsec::sim::derive_seed(derived, 3));
+}
+
 sca::TraceSet collect_aes_traces_parallel(const crypto::AesKey& key, AesVariant variant,
                                           std::size_t count,
                                           const sca::RecorderConfig& recorder_config,
@@ -89,12 +103,8 @@ sca::TraceSet collect_aes_traces_parallel(const crypto::AesKey& key, AesVariant 
   // same TraceSet at any worker count.
   auto body = [&](hwsec::sim::ThreadPool& pool) {
     pool.parallel_for(num_batches, [&](std::size_t b) {
-      const std::uint64_t derived = hwsec::sim::derive_seed(seed, b);
       const std::size_t n = std::min(batch, count - b * batch);
-      sca::RecorderConfig rec = recorder_config;
-      rec.seed = hwsec::sim::derive_seed(derived, 1);
-      parts[b] = capture(key, variant, n, rec, hwsec::sim::derive_seed(derived, 2),
-                         hwsec::sim::derive_seed(derived, 3));
+      parts[b] = collect_aes_trace_batch(key, variant, b, n, recorder_config, seed);
     });
   };
   if (workers == 0) {

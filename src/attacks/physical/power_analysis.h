@@ -24,6 +24,18 @@ hwsec::sca::TraceSet collect_aes_traces(const hwsec::crypto::AesKey& key, AesVar
                                         const hwsec::sca::RecorderConfig& recorder_config,
                                         std::uint64_t seed = 31337);
 
+/// One batch of the deterministic batched capture stream: `count` traces
+/// whose plaintext/noise/mask randomness derives purely from
+/// sim::derive_seed(seed, batch_index). collect_aes_traces_parallel is the
+/// concatenation of these batches in index order; streaming drivers
+/// (core/capture) call this directly so a bounded capture window feeds
+/// accumulators without ever assembling the full TraceSet.
+hwsec::sca::TraceSet collect_aes_trace_batch(const hwsec::crypto::AesKey& key,
+                                             AesVariant variant, std::size_t batch_index,
+                                             std::size_t count,
+                                             const hwsec::sca::RecorderConfig& recorder_config,
+                                             std::uint64_t seed = 31337);
+
 /// Parallel capture: the campaign-engine port of collect_aes_traces.
 /// `count` traces are produced in batches of `batch` per task; batch b
 /// derives its plaintext/noise/mask seeds from sim::derive_seed(seed, b),

@@ -31,6 +31,11 @@ ByteAttackResult cpa_attack_byte(const TraceSet& set, std::size_t byte_index) {
   // plaintext byte, so the 256-guess sweep reduces to statistics over 256
   // plaintext-value classes: one O(n·points) pass builds per-class trace
   // sums, after which every guess costs O(256·points) regardless of n.
+  // Samples are accumulated relative to the first trace (per point) so the
+  // shared DC baseline cancels before Σx² can swamp the mantissa — Pearson
+  // is invariant under the shift, and sxx below would otherwise lose the
+  // signal entirely at a 1e9 baseline (see the Sca DC-offset tests).
+  const Trace& reference = set.traces.front();
   std::vector<double> class_sums(256 * points, 0.0);
   std::array<double, 256> class_counts{};
   std::vector<double> sum_x(points, 0.0);
@@ -41,7 +46,7 @@ ByteAttackResult cpa_attack_byte(const TraceSet& set, std::size_t byte_index) {
     double* row = &class_sums[static_cast<std::size_t>(v) * points];
     const Trace& trace = set.traces[t];
     for (std::size_t p = 0; p < points; ++p) {
-      const double x = trace[p];
+      const double x = trace[p] - reference[p];
       row[p] += x;
       sum_x[p] += x;
       sum_xx[p] += x * x;
@@ -101,7 +106,9 @@ ByteAttackResult dpa_attack_byte(const TraceSet& set, std::size_t byte_index, st
   const std::size_t points = set.traces.front().size();
 
   // Same class-sum reduction as CPA: the selection bit depends on the
-  // trace only through its plaintext byte.
+  // trace only through its plaintext byte. Shifted like CPA — the shift
+  // cancels in the difference of class means.
+  const Trace& reference = set.traces.front();
   std::vector<double> class_sums(256 * points, 0.0);
   std::array<double, 256> class_counts{};
   for (std::size_t t = 0; t < n; ++t) {
@@ -110,7 +117,7 @@ ByteAttackResult dpa_attack_byte(const TraceSet& set, std::size_t byte_index, st
     double* row = &class_sums[static_cast<std::size_t>(v) * points];
     const Trace& trace = set.traces[t];
     for (std::size_t p = 0; p < points; ++p) {
-      row[p] += trace[p];
+      row[p] += trace[p] - reference[p];
     }
   }
 

@@ -1,5 +1,7 @@
 #include "sca/recorder.h"
 
+#include <algorithm>
+
 namespace hwsec::sca {
 
 PowerTraceRecorder::PowerTraceRecorder(RecorderConfig config)
@@ -31,7 +33,10 @@ void PowerTraceRecorder::on_value(std::uint32_t value) {
 }
 
 Trace PowerTraceRecorder::end_trace(std::size_t fixed_length) {
-  reserve_hint_ = fixed_length != 0 ? fixed_length : current_.size();
+  // High-water: never shrink a hint the capture driver pre-seeded with the
+  // known fixed trace length (jittered traces vary slightly in length).
+  reserve_hint_ =
+      std::max(reserve_hint_, fixed_length != 0 ? fixed_length : current_.size());
   Trace out = std::move(current_);
   current_ = {};
   if (fixed_length != 0) {

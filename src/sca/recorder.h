@@ -53,14 +53,21 @@ class PowerTraceRecorder {
 
   const RecorderConfig& config() const { return config_; }
 
+  /// Pre-seeds the trace-capacity hint normally learned from the first
+  /// end_trace(). Batched capture builds a fresh recorder per batch; the
+  /// driver knows the fixed trace length up front and passes it here so
+  /// the first trace of every batch records reallocation-free too.
+  void set_reserve_hint(std::size_t samples) { reserve_hint_ = samples; }
+  std::size_t reserve_hint() const { return reserve_hint_; }
+
  private:
   RecorderConfig config_;
   hwsec::sim::Rng rng_;
   Trace current_;
-  /// Length of the previously finished trace. Traces in a capture campaign
-  /// are near-identical in length, so begin_trace() reserves this up front
-  /// and the per-sample push_back path never reallocates after the first
-  /// trace.
+  /// High-water trace length (learned from finished traces, or pre-seeded
+  /// via set_reserve_hint). Traces in a capture campaign are near-identical
+  /// in length, so begin_trace() reserves this up front and the per-sample
+  /// push_back path never reallocates after the first trace.
   std::size_t reserve_hint_ = 0;
   std::uint32_t previous_value_ = 0;
 };

@@ -17,15 +17,28 @@ ByteAttackResult second_order_cpa_byte(const TraceSet& set, std::size_t byte_ind
   }
 
   // Center every point, then build the combined trace: product of the
-  // centered mask sample with each centered point.
+  // centered mask sample with each centered point. Means via shifted,
+  // compensated sums (shift = first trace, per point) so a large DC
+  // baseline doesn't bias the centering that the product amplifies.
+  const Trace& reference = set.traces.front();
   std::vector<double> means(points, 0.0);
+  std::vector<double> comp(points, 0.0);
   for (const Trace& t : set.traces) {
     for (std::size_t p = 0; p < points; ++p) {
-      means[p] += t[p];
+      const double y = (t[p] - reference[p]) - comp[p];
+      const double s = means[p] + y;
+      comp[p] = (s - means[p]) - y;
+      means[p] = s;
     }
   }
-  for (double& m : means) {
-    m /= static_cast<double>(n);
+  // Keep the means *relative to the reference* — re-adding a 1e9 baseline
+  // would round the mean at the baseline's ulp (~2e-7) and that constant
+  // error, multiplied into the product, perturbs the correlations at
+  // ~1e-8. Centering as (t − reference) − mean_rel keeps every operand
+  // O(signal): the nearby-subtraction is exact, the mean accurate to
+  // ~1e-16 relative.
+  for (std::size_t p = 0; p < points; ++p) {
+    means[p] /= static_cast<double>(n);
   }
 
   TraceSet combined;
@@ -33,9 +46,10 @@ ByteAttackResult second_order_cpa_byte(const TraceSet& set, std::size_t byte_ind
   combined.traces.reserve(n);
   for (const Trace& t : set.traces) {
     Trace c(points);
-    const double mask_centered = t[mask_sample] - means[mask_sample];
+    const double mask_centered =
+        (t[mask_sample] - reference[mask_sample]) - means[mask_sample];
     for (std::size_t p = 0; p < points; ++p) {
-      c[p] = mask_centered * (t[p] - means[p]);
+      c[p] = mask_centered * ((t[p] - reference[p]) - means[p]);
     }
     combined.traces.push_back(std::move(c));
   }

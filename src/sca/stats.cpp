@@ -83,7 +83,12 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
 PointCorrelation correlate_hypothesis(const std::vector<Trace>& traces,
                                       std::span<const double> hypothesis) {
   PointCorrelation result;
-  if (traces.size() != hypothesis.size() || traces.empty()) {
+  if (traces.empty()) {
+    // Empty set used to fall through to the size-mismatch message below;
+    // name the actual problem.
+    throw std::invalid_argument("correlate_hypothesis: empty trace set");
+  }
+  if (traces.size() != hypothesis.size()) {
     throw std::invalid_argument("one hypothesis value per trace required");
   }
   if (traces.size() < 2) {

@@ -4,6 +4,10 @@
 // Sanctuary (exclusion+flush) vs. constant-time software.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "arch/sanctuary.h"
 #include "arch/sanctum.h"
 #include "arch/sgx.h"
@@ -191,6 +195,91 @@ TEST(FullKeyRecovery, TooFewObservationsFailGracefully) {
   const auto result =
       attacks::full_key_attack(machine, victim.layout(), wrap(victim), 16);
   EXPECT_FALSE(result.recovered);
+}
+
+TEST(FullKeyRecovery, StreamingRecoveryMatchesMaterialized) {
+  // The five-pass streaming recovery must reproduce the in-memory solver
+  // bit for bit on the same observation stream.
+  sim::Machine machine(sim::MachineProfile::server(), 94);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  const auto observations = attacks::collect_line_observations(
+      machine, victim.layout(), wrap(victim), 600, {});
+  const auto materialized = attacks::recover_full_key(observations);
+  const auto streaming = attacks::recover_full_key_streaming(
+      [&observations](const std::function<void(const attacks::LineObservation&)>& visit) {
+        for (const auto& obs : observations) {
+          visit(obs);
+        }
+      });
+  ASSERT_TRUE(materialized.recovered);
+  EXPECT_EQ(streaming.recovered, materialized.recovered);
+  EXPECT_EQ(streaming.key, materialized.key);
+  EXPECT_EQ(streaming.first_round_nibbles_correct, materialized.first_round_nibbles_correct);
+  EXPECT_EQ(streaming.equation_survivors, materialized.equation_survivors);
+  EXPECT_EQ(streaming.key, kKey);
+}
+
+TEST(FullKeyRecovery, ObservationLogRoundTripsExactly) {
+  sim::Machine machine(sim::MachineProfile::server(), 95);
+  const sim::PhysAddr tables = machine.alloc_frames(2);
+  attacks::AesCacheVictim victim(machine, 1, 7, tables, kKey);
+  const auto observations = attacks::collect_line_observations(
+      machine, victim.layout(), wrap(victim), 100, {});
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("hwsec-obslog-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    attacks::LineObservationLogWriter writer(dir.string());
+    for (const auto& obs : observations) {
+      writer.append(obs);
+    }
+    EXPECT_EQ(writer.size(), observations.size());
+    writer.finalize();
+  }
+  attacks::LineObservationLogReader reader(dir.string());
+  EXPECT_EQ(reader.size(), observations.size());
+  std::size_t i = 0;
+  reader.replay([&](const attacks::LineObservation& obs) {
+    ASSERT_LT(i, observations.size());
+    EXPECT_EQ(obs.plaintext, observations[i].plaintext);
+    EXPECT_EQ(obs.ciphertext, observations[i].ciphertext);
+    EXPECT_EQ(obs.lines, observations[i].lines);
+    ++i;
+  });
+  EXPECT_EQ(i, observations.size());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(FullKeyRecovery, StreamingAttackMatchesMaterializedAttack) {
+  // Two identically-seeded machines see the same victim stream, so the
+  // log-backed streaming attack must land on the same key as the
+  // materializing one.
+  sim::Machine machine_a(sim::MachineProfile::server(), 96);
+  const sim::PhysAddr tables_a = machine_a.alloc_frames(2);
+  attacks::AesCacheVictim victim_a(machine_a, 1, 7, tables_a, kKey);
+  const auto materialized =
+      attacks::full_key_attack(machine_a, victim_a.layout(), wrap(victim_a), 600);
+
+  sim::Machine machine_b(sim::MachineProfile::server(), 96);
+  const sim::PhysAddr tables_b = machine_b.alloc_frames(2);
+  attacks::AesCacheVictim victim_b(machine_b, 1, 7, tables_b, kKey);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("hwsec-streamattack-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const auto streaming = attacks::full_key_attack_streaming(
+      machine_b, victim_b.layout(), wrap(victim_b), 600, dir.string());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  ASSERT_TRUE(materialized.recovered);
+  ASSERT_TRUE(streaming.recovered);
+  EXPECT_EQ(streaming.key, materialized.key);
+  EXPECT_EQ(streaming.key, kKey);
+  EXPECT_EQ(streaming.equation_survivors, materialized.equation_survivors);
 }
 
 TEST(FlushReload, MoreTrialsImproveRecovery) {

@@ -2,15 +2,22 @@
 // on synthetic and real instrumented traces.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <vector>
 
 #include "attacks/physical/power_analysis.h"
+#include "core/capture.h"
 #include "sca/cpa.h"
 #include "sca/recorder.h"
 #include "sca/second_order.h"
 #include "sca/stats.h"
+#include "sca/streaming.h"
+#include "sca/trace_store.h"
 
 namespace sca = hwsec::sca;
 namespace crypto = hwsec::crypto;
@@ -310,6 +317,464 @@ TEST(Tvla, FixedVsRandomDetectsLeakyImplementation) {
   EXPECT_GT(make_populations(attacks::AesVariant::kTTable, 1), sca::kTvlaThreshold);
   EXPECT_LT(make_populations(attacks::AesVariant::kMasked, 2), sca::kTvlaThreshold + 2.0)
       << "masked implementation should show (near-)no first-order leakage";
+}
+
+TEST(Stats, CorrelateHypothesisRejectsEmptyTraceSet) {
+  // Empty input must be a clear invalid_argument, not a division by zero
+  // or an out_of_range from the first matrix access.
+  const std::vector<sca::Trace> traces;
+  const std::vector<double> hypothesis;
+  try {
+    sca::correlate_hypothesis(traces, hypothesis);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty trace set"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Recorder, ReserveHintPersistsAcrossTraces) {
+  // The batched capture loop sets the hint once (to the fixed trace
+  // length) and every subsequent begin_trace must reuse it instead of
+  // re-growing the sample buffer from scratch.
+  sca::PowerTraceRecorder rec({.model = sca::LeakageModel::kHammingWeight, .amplitude = 1.0,
+                               .noise_sigma = 0.0, .hiding_noise_sigma = 0.0, .max_jitter = 0,
+                               .seed = 3});
+  rec.set_reserve_hint(64);
+  EXPECT_EQ(rec.reserve_hint(), 64u);
+  for (int t = 0; t < 3; ++t) {
+    rec.begin_trace();
+    rec.on_value(0xFF);
+    (void)rec.end_trace();
+    EXPECT_EQ(rec.reserve_hint(), 64u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming accumulators (sca/streaming.h): single-pass equivalents of the
+// materialized engines. The contract under test: identical key-byte
+// ranking, best/second scores within 1e-9 relative, at any batch split.
+// ---------------------------------------------------------------------------
+
+constexpr double kRelTol = 1e-9;
+constexpr double kDcOffset = 1e9 + 0.7;  // non-dyadic: partial sums must round.
+
+/// Shifts every sample of a capture by a large DC baseline — the
+/// adversarial numeric fixture every Offset* regression test uses.
+sca::TraceSet with_offset(sca::TraceSet set, double offset) {
+  for (auto& trace : set.traces) {
+    for (double& x : trace) {
+      x += offset;
+    }
+  }
+  return set;
+}
+
+void expect_key_results_close(const sca::KeyAttackResult& materialized,
+                              const sca::KeyAttackResult& streaming) {
+  EXPECT_EQ(materialized.recovered, streaming.recovered);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(materialized.bytes[i].best_guess, streaming.bytes[i].best_guess) << "byte " << i;
+    // Near-zero wrong-guess correlations are cancellation-dominated, so
+    // the relative bound is asserted where it is well-conditioned: on the
+    // ranking-relevant best/second scores.
+    EXPECT_NEAR(materialized.bytes[i].best_score, streaming.bytes[i].best_score,
+                kRelTol * std::max(1.0, std::abs(materialized.bytes[i].best_score)))
+        << "byte " << i;
+    EXPECT_NEAR(materialized.bytes[i].second_score, streaming.bytes[i].second_score,
+                kRelTol * std::max(1.0, std::abs(materialized.bytes[i].second_score)))
+        << "byte " << i;
+  }
+}
+
+TEST(StreamingEquivalence, CpaMatchesMaterialized) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 1.0;
+  rec.seed = 21;
+  const auto set = attacks::collect_aes_traces(kKey, attacks::AesVariant::kTTable, 600, rec, 21);
+  for (const double offset : {0.0, kDcOffset}) {
+    const auto fixture = offset == 0.0 ? set : with_offset(set, offset);
+    sca::StreamingCpa acc(fixture.samples_per_trace());
+    acc.add_batch(fixture);
+    EXPECT_EQ(acc.traces(), fixture.size());
+    expect_key_results_close(sca::cpa_attack_key(fixture), acc.finalize_key());
+  }
+}
+
+TEST(StreamingEquivalence, DpaMatchesMaterialized) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 0.3;
+  rec.seed = 22;
+  const auto set = attacks::collect_aes_traces(kKey, attacks::AesVariant::kTTable, 800, rec, 22);
+  for (const double offset : {0.0, kDcOffset}) {
+    const auto fixture = offset == 0.0 ? set : with_offset(set, offset);
+    sca::StreamingCpa acc(fixture.samples_per_trace());
+    acc.add_batch(fixture);
+    expect_key_results_close(sca::dpa_attack_key(fixture, 0), acc.finalize_dpa_key(0));
+  }
+}
+
+TEST(StreamingEquivalence, SecondOrderMatchesMaterialized) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 0.25;
+  rec.seed = 23;
+  const auto set = attacks::collect_aes_traces(kKey, attacks::AesVariant::kMasked, 1200, rec, 23);
+  for (const double offset : {0.0, kDcOffset}) {
+    const auto fixture = offset == 0.0 ? set : with_offset(set, offset);
+    sca::StreamingSecondOrderCpa acc(fixture.samples_per_trace(), /*mask_sample=*/1);
+    acc.add_batch(fixture);
+    expect_key_results_close(sca::second_order_cpa_key(fixture, 1), acc.finalize_key());
+  }
+}
+
+TEST(StreamingEquivalence, WelchTAndDomMatchMaterialized) {
+  // Two populations with a planted shift on point 1, riding the 1e9
+  // baseline: streamed t and DoM must match the materialized statistics.
+  hwsec::sim::Rng rng(31);
+  std::vector<sca::Trace> a, b;
+  sca::StreamingWelchT wt(2);
+  for (int i = 0; i < 200; ++i) {
+    a.push_back({kDcOffset + rng.gaussian(0.0, 1.0), kDcOffset + rng.gaussian(0.0, 1.0)});
+    b.push_back({kDcOffset + rng.gaussian(0.0, 1.0), kDcOffset + rng.gaussian(2.0, 1.0)});
+    wt.add(0, a.back());
+    wt.add(1, b.back());
+  }
+  const double t_ref = sca::max_welch_t(a, b);
+  const double dom_ref = sca::max_dom(a, b);
+  EXPECT_NEAR(wt.max_t(), t_ref, kRelTol * std::max(1.0, std::abs(t_ref)));
+  EXPECT_NEAR(wt.max_dom(), dom_ref, kRelTol * std::max(1.0, std::abs(dom_ref)));
+  EXPECT_GT(wt.max_t(), sca::kTvlaThreshold);
+}
+
+TEST(StreamingEquivalence, SnrMatchesMaterialized) {
+  hwsec::sim::Rng rng(32);
+  constexpr std::size_t kClasses = 8;
+  std::vector<std::vector<sca::Trace>> classes(kClasses);
+  sca::StreamingSnr snr(kClasses, 2);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    for (int i = 0; i < 60; ++i) {
+      sca::Trace t = {kDcOffset + static_cast<double>(c) + rng.gaussian(0.0, 0.5),
+                      kDcOffset + rng.gaussian(0.0, 0.5)};
+      classes[c].push_back(t);
+      snr.add(c, t);
+    }
+  }
+  const double ref = sca::max_snr(classes);
+  EXPECT_NEAR(snr.max_snr(), ref, kRelTol * std::max(1.0, std::abs(ref)));
+  EXPECT_GT(snr.max_snr(), 1.0);  // the planted class signal dominates noise.
+}
+
+// ---------------------------------------------------------------------------
+// merge(): worker-count independence and determinism.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingMerge, CpaWorkerSplitsAgree) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 1.0;
+  rec.seed = 41;
+  const auto set = attacks::collect_aes_traces(kKey, attacks::AesVariant::kTTable, 512, rec, 41);
+  const auto offset_set = with_offset(set, kDcOffset);
+  const std::size_t points = set.samples_per_trace();
+  constexpr std::size_t kBatch = 64;  // 8 batches.
+
+  auto batch_partial = [&](const sca::TraceSet& fixture, std::size_t b) {
+    sca::StreamingCpa acc(points);
+    for (std::size_t i = b * kBatch; i < (b + 1) * kBatch; ++i) {
+      acc.add(fixture.traces[i], fixture.plaintexts[i]);
+    }
+    return acc;
+  };
+  for (const auto* fixture : {&set, &offset_set}) {
+    // workers=1: in-order single accumulator — the reference, and
+    // bit-deterministic across repeats.
+    sca::StreamingCpa one(points);
+    one.add_batch(*fixture);
+    sca::StreamingCpa one_again(points);
+    one_again.add_batch(*fixture);
+    const auto ref = one.finalize_key();
+    {
+      const auto again = one_again.finalize_key();
+      for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(ref.bytes[i].best_score, again.bytes[i].best_score) << "not bit-deterministic";
+      }
+    }
+    // workers=2 and workers=8: merge partials in batch-index order.
+    for (const std::size_t workers : {2u, 8u}) {
+      sca::StreamingCpa merged(points);
+      const std::size_t per_worker = 8 / workers;
+      for (std::size_t w = 0; w < workers; ++w) {
+        sca::StreamingCpa partial(points);
+        for (std::size_t b = w * per_worker; b < (w + 1) * per_worker; ++b) {
+          partial.merge(batch_partial(*fixture, b));
+        }
+        merged.merge(partial);
+      }
+      EXPECT_EQ(merged.traces(), fixture->size());
+      expect_key_results_close(ref, merged.finalize_key());
+    }
+  }
+}
+
+TEST(StreamingMerge, SecondOrderWorkerSplitsAgree) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 0.25;
+  rec.seed = 42;
+  const auto set = attacks::collect_aes_traces(kKey, attacks::AesVariant::kMasked, 512, rec, 42);
+  const auto offset_set = with_offset(set, kDcOffset);
+  const std::size_t points = set.samples_per_trace();
+  constexpr std::size_t kBatch = 64;
+
+  for (const auto* fixture : {&set, &offset_set}) {
+    sca::StreamingSecondOrderCpa ref_acc(points, 1);
+    ref_acc.add_batch(*fixture);
+    const auto ref = ref_acc.finalize_key();
+    for (const std::size_t workers : {2u, 8u}) {
+      sca::StreamingSecondOrderCpa merged(points, 1);
+      const std::size_t per_worker = 8 / workers;
+      for (std::size_t w = 0; w < workers; ++w) {
+        sca::StreamingSecondOrderCpa partial(points, 1);
+        for (std::size_t b = w * per_worker; b < (w + 1) * per_worker; ++b) {
+          for (std::size_t i = b * kBatch; i < (b + 1) * kBatch; ++i) {
+            partial.add(fixture->traces[i], fixture->plaintexts[i]);
+          }
+        }
+        merged.merge(partial);
+      }
+      expect_key_results_close(ref, merged.finalize_key());
+    }
+  }
+}
+
+TEST(StreamingMerge, PopulationMergeIsAssociative) {
+  // (a ⊕ b) ⊕ c vs. a ⊕ (b ⊕ c), different shift bases on every partial
+  // (offset fixture), must agree to 1e-9 relative on mean and variance.
+  hwsec::sim::Rng rng(43);
+  std::vector<sca::Trace> chunks[3];
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      chunks[c].push_back({kDcOffset + rng.gaussian(static_cast<double>(c), 1.0)});
+    }
+  }
+  auto accumulate = [](const std::vector<sca::Trace>& traces) {
+    sca::PopulationAccumulator acc(1);
+    for (const auto& t : traces) {
+      acc.add(t);
+    }
+    return acc;
+  };
+  sca::PopulationAccumulator left = accumulate(chunks[0]);
+  left.merge(accumulate(chunks[1]));
+  left.merge(accumulate(chunks[2]));
+  sca::PopulationAccumulator bc = accumulate(chunks[1]);
+  bc.merge(accumulate(chunks[2]));
+  sca::PopulationAccumulator right = accumulate(chunks[0]);
+  right.merge(bc);
+  ASSERT_EQ(left.traces(), 150u);
+  ASSERT_EQ(right.traces(), 150u);
+  EXPECT_NEAR(left.mean(0), right.mean(0), kRelTol * std::abs(left.mean(0)));
+  EXPECT_NEAR(left.variance(0), right.variance(0), kRelTol * std::max(1.0, left.variance(0)));
+}
+
+TEST(StreamingMerge, MismatchedGeometryThrows) {
+  sca::StreamingCpa a(4), b(8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  sca::StreamingCpa acc(4);
+  const std::array<std::uint8_t, 16> pt{};
+  const std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(acc.add(wrong, pt), std::invalid_argument);
+  EXPECT_THROW(acc.finalize_byte(0), std::invalid_argument);  // < 4 traces.
+  sca::StreamingSecondOrderCpa so_a(4, 1), so_b(4, 2);
+  EXPECT_THROW(so_a.merge(so_b), std::invalid_argument);  // mask sample differs.
+}
+
+// ---------------------------------------------------------------------------
+// Batched capture (core/capture.h): the delivered stream must be the
+// materialized parallel collector's, batch for batch.
+// ---------------------------------------------------------------------------
+
+TEST(BatchedCapture, StreamMatchesParallelCollector) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 1.0;
+  rec.seed = 51;
+  constexpr std::size_t kTotal = 300;  // ragged tail: 4 full batches + 44.
+  const auto reference = attacks::collect_aes_traces_parallel(
+      kKey, attacks::AesVariant::kTTable, kTotal, rec, /*seed=*/51, /*batch=*/64);
+  for (const unsigned workers : {1u, 2u}) {
+    hwsec::core::BatchedCaptureConfig config;
+    config.seed = 51;
+    config.total_traces = kTotal;
+    config.workers = workers;
+    sca::TraceSet assembled;
+    std::size_t last_batch = 0;
+    bool in_order = true;
+    const std::size_t captured = hwsec::core::capture_aes_power_batches(
+        config, kKey, attacks::AesVariant::kTTable, rec,
+        [&](std::size_t batch_index, const sca::TraceSet& batch) {
+          in_order = in_order && (assembled.traces.empty() || batch_index == last_batch + 1);
+          last_batch = batch_index;
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            assembled.traces.push_back(batch.traces[i]);
+            assembled.plaintexts.push_back(batch.plaintexts[i]);
+            assembled.ciphertexts.push_back(batch.ciphertexts[i]);
+          }
+        });
+    EXPECT_EQ(captured, kTotal);
+    EXPECT_TRUE(in_order);
+    EXPECT_EQ(assembled.traces, reference.traces) << "workers=" << workers;
+    EXPECT_EQ(assembled.plaintexts, reference.plaintexts);
+    EXPECT_EQ(assembled.ciphertexts, reference.ciphertexts);
+  }
+}
+
+TEST(BatchedCapture, StreamingCampaignMatchesMaterializedCpa) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 1.0;
+  rec.seed = 52;
+  constexpr std::size_t kTotal = 400;
+  const auto set = attacks::collect_aes_traces_parallel(kKey, attacks::AesVariant::kTTable,
+                                                        kTotal, rec, /*seed=*/52);
+  hwsec::core::BatchedCaptureConfig config;
+  config.seed = 52;
+  config.total_traces = kTotal;
+  const auto acc =
+      hwsec::core::run_streaming_cpa_campaign(config, kKey, attacks::AesVariant::kTTable, rec);
+  EXPECT_EQ(acc.traces(), kTotal);
+  expect_key_results_close(sca::cpa_attack_key(set), acc.finalize_key());
+}
+
+// ---------------------------------------------------------------------------
+// Chunked trace store (sca/trace_store.h): exact round-trip, corruption
+// rejected with a clear error instead of a crash or a silent short read.
+// ---------------------------------------------------------------------------
+
+/// Scratch store directory, removed on scope exit.
+struct TempStoreDir {
+  std::filesystem::path path;
+  explicit TempStoreDir(const std::string& name)
+      : path(std::filesystem::temp_directory_path() /
+             (name + "-" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempStoreDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+sca::TraceSet small_capture(std::uint64_t seed, std::size_t count = 50) {
+  sca::RecorderConfig rec;
+  rec.noise_sigma = 0.5;
+  rec.seed = seed;
+  return attacks::collect_aes_traces(kKey, attacks::AesVariant::kTTable, count, rec, seed);
+}
+
+TEST(TraceStore, RoundTripIsExact) {
+  TempStoreDir dir("hwsec-store-roundtrip");
+  const auto set = small_capture(61);
+  {
+    // Small chunks so the round-trip crosses several chunk boundaries.
+    sca::TraceStoreWriter writer(dir.str(), set.samples_per_trace(), /*traces_per_chunk=*/16);
+    writer.append_batch(set);
+    writer.finalize();
+  }
+  const auto loaded = sca::load_trace_set(dir.str());
+  EXPECT_EQ(loaded.traces, set.traces);  // doubles survive bit for bit.
+  EXPECT_EQ(loaded.plaintexts, set.plaintexts);
+  EXPECT_EQ(loaded.ciphertexts, set.ciphertexts);
+
+  sca::TraceStoreReader reader(dir.str());
+  EXPECT_EQ(reader.size(), set.size());
+  EXPECT_EQ(reader.samples_per_trace(), set.samples_per_trace());
+  std::size_t visited = 0;
+  reader.replay([&](const sca::TraceStoreReader::Record& r) {
+    EXPECT_EQ(r.index, visited);
+    ++visited;
+  });
+  EXPECT_EQ(visited, set.size());
+}
+
+TEST(TraceStore, ReplayFeedsStreamingCpaIdentically) {
+  TempStoreDir dir("hwsec-store-replay");
+  const auto set = small_capture(62, 200);
+  sca::StreamingCpa direct(set.samples_per_trace());
+  direct.add_batch(set);
+  {
+    sca::TraceStoreWriter writer(dir.str(), set.samples_per_trace());
+    writer.append_batch(set);
+    writer.finalize();
+  }
+  sca::StreamingCpa replayed(set.samples_per_trace());
+  sca::TraceStoreReader reader(dir.str());
+  reader.replay([&](const sca::TraceStoreReader::Record& r) {
+    replayed.add(r.samples, r.plaintext);
+  });
+  // Same bytes in the same order: the finalized scores are bit-equal.
+  const auto a = direct.finalize_key();
+  const auto b = replayed.finalize_key();
+  EXPECT_EQ(a.recovered, b.recovered);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.bytes[i].best_score, b.bytes[i].best_score);
+  }
+}
+
+TEST(TraceStore, MissingManifestReadsAsNotAStore) {
+  TempStoreDir dir("hwsec-store-missing");
+  std::filesystem::create_directories(dir.path);
+  EXPECT_THROW(sca::TraceStoreReader reader(dir.str()), std::runtime_error);
+}
+
+TEST(TraceStore, TruncatedChunkIsRejected) {
+  TempStoreDir dir("hwsec-store-truncated");
+  const auto set = small_capture(63);
+  {
+    sca::TraceStoreWriter writer(dir.str(), set.samples_per_trace(), 16);
+    writer.append_batch(set);
+    writer.finalize();
+  }
+  const auto chunk = dir.path / "chunk-000001.hwt";
+  ASSERT_TRUE(std::filesystem::exists(chunk));
+  std::filesystem::resize_file(chunk, std::filesystem::file_size(chunk) / 2);
+  sca::TraceStoreReader reader(dir.str());  // manifest itself is intact.
+  EXPECT_THROW(reader.replay([](const sca::TraceStoreReader::Record&) {}), std::runtime_error);
+}
+
+TEST(TraceStore, BitFlippedChunkFailsChecksum) {
+  TempStoreDir dir("hwsec-store-corrupt");
+  const auto set = small_capture(64);
+  {
+    sca::TraceStoreWriter writer(dir.str(), set.samples_per_trace(), 16);
+    writer.append_batch(set);
+    writer.finalize();
+  }
+  const auto chunk = dir.path / "chunk-000000.hwt";
+  {
+    std::fstream f(chunk, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(chunk)) - 9);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+  }
+  sca::TraceStoreReader reader(dir.str());
+  EXPECT_THROW(reader.replay([](const sca::TraceStoreReader::Record&) {}), std::runtime_error);
+}
+
+TEST(TraceStore, CorruptManifestIsRejected) {
+  TempStoreDir dir("hwsec-store-badmanifest");
+  const auto set = small_capture(65);
+  {
+    sca::TraceStoreWriter writer(dir.str(), set.samples_per_trace());
+    writer.append_batch(set);
+    writer.finalize();
+  }
+  {
+    std::fstream f(dir.path / "manifest", std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.write("XXXX", 4);  // clobber the magic.
+  }
+  EXPECT_THROW(sca::TraceStoreReader reader(dir.str()), std::runtime_error);
 }
 
 }  // namespace
