@@ -50,6 +50,7 @@ BENCHES=(
   bench_conclusion_advisor
   bench_campaign
   bench_sca_streaming
+  bench_service
 )
 
 failures=0

@@ -1,0 +1,374 @@
+#include "core/json.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace hwsec::core {
+
+std::string json_escape(std::string_view text) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out.push_back(kHex[u >> 4]);
+          out.push_back(kHex[u & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : object) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool JsonValue::as_u64(std::uint64_t& out) const {
+  if (type != Type::kNumber || raw_number.empty() || raw_number[0] == '-') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw_number.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;  // fractional/exponent tokens fail here by design.
+  }
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool JsonValue::as_i64(std::int64_t& out) const {
+  if (type != Type::kNumber || raw_number.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw_number.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;
+  }
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    if (!value(out, 0)) {
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing bytes after document");
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* reason) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(reason) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t n) {
+    if (text_.size() - pos_ < n || text_.compare(pos_, n, word) != 0) {
+      return fail("bad literal");
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool hex4(std::uint32_t& out) {
+    if (text_.size() - pos_ < 4) {
+      return fail("truncated \\u escape");
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape digit");
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) {
+            return false;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: pair required.
+            if (text_.size() - pos_ < 2 || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return fail("lone high surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!hex4(low)) {
+              return false;
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return fail("bad number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac) {
+        return fail("bad fraction");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp) {
+        return fail("bad exponent");
+      }
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.raw_number.assign(text_, start, pos_ - start);
+    out.number = std::strtod(out.raw_number.c_str(), nullptr);
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      return fail("nesting too deep");
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out.type = JsonValue::Type::kObject;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!string(key)) {
+            return false;
+          }
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return fail("expected ':'");
+          }
+          ++pos_;
+          JsonValue member;
+          if (!value(member, depth + 1)) {
+            return false;
+          }
+          out.object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) {
+            return fail("unterminated object");
+          }
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.type = JsonValue::Type::kArray;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue element;
+          if (!value(element, depth + 1)) {
+            return false;
+          }
+          out.array.push_back(std::move(element));
+          skip_ws();
+          if (pos_ >= text_.size()) {
+            return fail("unterminated array");
+          }
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return literal("null", 4);
+      default:
+        return number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue& out, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  out = JsonValue{};
+  return Parser(text, error).parse(out);
+}
+
+}  // namespace hwsec::core

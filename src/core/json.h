@@ -1,0 +1,64 @@
+// Minimal JSON text utilities shared by the obs metrics export and the
+// campaign-service spec codec.
+//
+// Two halves:
+//  * json_escape — the one true string escaper. Every place the codebase
+//    writes a dynamic string into JSON must go through it; the metrics
+//    registry once interpolated counter names verbatim, so a name holding
+//    a quote emitted an invalid document (the regression lives in
+//    tests/test_service.cpp).
+//  * JsonValue / parse_json — a small recursive-descent parser for the
+//    documents we exchange: campaign specs over the hwsecd socket and the
+//    /status scrape. It keeps each number's raw token alongside the double
+//    so 64-bit campaign seeds survive (a double mangles integers beyond
+//    2^53).
+//
+// Deliberately not a general-purpose JSON library: no serialization DOM,
+// no streaming, fixed nesting depth. The wire documents are small and
+// flat; hostile input must fail cleanly, not exhaust the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hwsec::core {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// added): `"` and `\` are backslash-escaped, control characters become
+/// \n/\r/\t or \u00XX. The output is always valid JSON string content.
+std::string json_escape(std::string_view text);
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw_number;  ///< untouched token, for 64-bit-exact integers.
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order kept.
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup (first match); null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Numeric accessors re-parse the raw token so u64 values round-trip
+  /// exactly. Return false when the value is not a number or out of range.
+  bool as_u64(std::uint64_t& out) const;
+  bool as_i64(std::int64_t& out) const;
+};
+
+/// Parses one JSON document (with nothing but whitespace after it).
+/// Returns false and fills `error` (when non-null) with a short reason on
+/// malformed input. Nesting is capped at 64 levels.
+bool parse_json(std::string_view text, JsonValue& out, std::string* error = nullptr);
+
+}  // namespace hwsec::core

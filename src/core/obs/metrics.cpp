@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/json.h"
 #include "sim/obs_hook.h"
 
 namespace hwsec::obs {
@@ -119,24 +120,28 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::string MetricsRegistry::to_json() const {
+  // Names flow from call sites into the document verbatim, so they MUST go
+  // through json_escape: a counter named with a quote or backslash used to
+  // emit an unparseable scrape (test_service holds the regression).
   const MetricsSnapshot snap = snapshot();
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    out << (first ? "" : ",") << "\n    \"" << core::json_escape(name) << "\": " << value;
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : snap.gauges) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    out << (first ? "" : ",") << "\n    \"" << core::json_escape(name) << "\": " << value;
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : snap.histograms) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": " << hist.count
+    out << (first ? "" : ",") << "\n    \"" << core::json_escape(name)
+        << "\": {\"count\": " << hist.count
         << ", \"sum_us\": " << hist.sum_us << ", \"buckets_pow2_us\": [";
     for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
       out << (b == 0 ? "" : ", ") << hist.buckets[b];

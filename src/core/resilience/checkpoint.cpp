@@ -92,8 +92,22 @@ bool write_file_atomic(const std::string& path, const std::string& content) {
   return true;
 }
 
-CheckpointFile::CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes)
-    : seed_(seed), trials_(trials), result_bytes_(result_bytes) {}
+CheckpointFile::CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes,
+                               std::string scope)
+    : seed_(seed), trials_(trials), result_bytes_(result_bytes), scope_(std::move(scope)) {}
+
+std::string CheckpointFile::header_line() const {
+  std::ostringstream header;
+  header << "hwsec-checkpoint v2 seed=" << seed_ << " trials=" << trials_
+         << " result_bytes=" << result_bytes_;
+  // Scoped identities (tenant/job namespacing) extend the header; an empty
+  // scope stays byte-identical to pre-scope files, which keeps old
+  // single-owner checkpoints loadable.
+  if (!scope_.empty()) {
+    header << " scope=" << hex_encode(scope_);
+  }
+  return header.str();
+}
 
 bool CheckpointFile::load(const std::string& path) {
   records_.clear();
@@ -127,14 +141,9 @@ bool CheckpointFile::load_or_reject(std::istream& in, const std::string& path) {
     warn_rejected(path, "empty or unreadable");
     return false;
   }
-  {
-    std::ostringstream expected;
-    expected << "hwsec-checkpoint v2 seed=" << seed_ << " trials=" << trials_
-             << " result_bytes=" << result_bytes_;
-    if (line != expected.str()) {
-      warn_rejected(path, "header mismatch (different campaign, version, or corruption)");
-      return false;
-    }
+  if (line != header_line()) {
+    warn_rejected(path, "header mismatch (different campaign, scope, version, or corruption)");
+    return false;
   }
   fnv_line(hash, line);
   std::map<std::size_t, CheckpointRecord> parsed;
@@ -230,12 +239,7 @@ bool CheckpointFile::save(const std::string& path) const {
     fnv_line(hash, line);
     out << line << "\n";
   };
-  {
-    std::ostringstream header;
-    header << "hwsec-checkpoint v2 seed=" << seed_ << " trials=" << trials_
-           << " result_bytes=" << result_bytes_;
-    emit(header.str());
-  }
+  emit(header_line());
   for (const auto& [index, rec] : records_) {
     std::ostringstream line;
     if (rec.ok) {

@@ -6,14 +6,23 @@
 //    complete file, never a torn write. Used for every BENCH_*.json and
 //    for checkpoint saves.
 //  * CheckpointFile — a keyed store of completed trial slots for one
-//    campaign, identified by (campaign seed, trial count, result size).
-//    The resilient runner saves it periodically; on restart, load()
-//    restores finished slots and the runner re-executes only the rest.
-//    Because trial i's result is a pure function of (seed, i), a resumed
-//    campaign is bit-identical to an uninterrupted one.
+//    campaign, identified by (campaign seed, trial count, result size)
+//    plus an optional owner scope. The resilient runner saves it
+//    periodically; on restart, load() restores finished slots and the
+//    runner re-executes only the rest. Because trial i's result is a pure
+//    function of (seed, i), a resumed campaign is bit-identical to an
+//    uninterrupted one.
+//
+// The scope exists because campaign-config identity alone is too weak in
+// a multi-tenant world: two hwsecd tenants submitting byte-identical specs
+// would otherwise share one checkpoint identity and silently cross-resume
+// each other's jobs. A non-empty scope (the daemon uses "tenant/job-id")
+// is folded into the header, so a same-config checkpoint written under a
+// different scope is rejected as a header mismatch. An empty scope keeps
+// the v2 header byte-identical to pre-scope files.
 //
 // File format (text, one record per line, hex-encoded payloads):
-//   hwsec-checkpoint v2 seed=<u64> trials=<n> result_bytes=<k>
+//   hwsec-checkpoint v2 seed=<u64> trials=<n> result_bytes=<k>[ scope=<hex>]
 //   ok <index> <attempts> <hex result bytes>
 //   err <index> <attempts> <kind> <hex detail> <hex machine>
 //   end <record count> <fnv1a-64 of header+records, 16 hex digits>
@@ -47,7 +56,11 @@ struct CheckpointRecord {
 
 class CheckpointFile {
  public:
-  CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes);
+  /// `scope` namespaces the checkpoint identity beyond the campaign config
+  /// (empty = legacy single-owner identity). Arbitrary bytes are fine; the
+  /// header stores it hex-encoded.
+  CheckpointFile(std::uint64_t seed, std::size_t trials, std::size_t result_bytes,
+                 std::string scope = {});
 
   /// Restores records from `path`. Returns true iff the file exists, its
   /// header matches this campaign, every record parses, and the content
@@ -72,9 +85,12 @@ class CheckpointFile {
   bool load_or_reject(std::istream& in, const std::string& path);
   static void warn_rejected(const std::string& path, const std::string& reason);
 
+  std::string header_line() const;
+
   std::uint64_t seed_;
   std::size_t trials_;
   std::size_t result_bytes_;
+  std::string scope_;
   std::map<std::size_t, CheckpointRecord> records_;
 };
 

@@ -56,6 +56,11 @@ struct ResilienceConfig {
   /// When non-empty, completed slots are checkpointed here atomically and
   /// restored on the next run with the same (seed, trials, Result).
   std::string checkpoint_path;
+  /// Owner namespace folded into the checkpoint identity (empty = legacy
+  /// config-only identity). Multi-tenant runners (hwsecd) set this to
+  /// "tenant/job-id" so two identical specs from different owners can
+  /// never cross-resume each other's files, even through a shared path.
+  std::string checkpoint_scope;
   /// Save the checkpoint after this many newly completed trials (and once
   /// more at the end). Minimum 1.
   std::size_t checkpoint_every = 16;
@@ -147,7 +152,7 @@ std::vector<TrialOutcome<Result>> run_campaign_resilient(
   }
 
   std::vector<TrialOutcome<Result>> outcomes(config.trials);
-  CheckpointFile checkpoint(config.seed, config.trials, sizeof(Result));
+  CheckpointFile checkpoint(config.seed, config.trials, sizeof(Result), res.checkpoint_scope);
   if (checkpointing && checkpoint.load(res.checkpoint_path)) {
     for (const auto& [index, rec] : checkpoint.records()) {
       TrialOutcome<Result>& out = outcomes[index];

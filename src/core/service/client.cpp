@@ -1,0 +1,220 @@
+#include "core/service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hwsec::core::service {
+
+ServiceClient::ServiceClient(ClientConfig config) : config_(std::move(config)) {}
+
+ServiceClient::~ServiceClient() { disconnect(); }
+
+void ServiceClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServiceClient::dial(std::string& error) {
+  disconnect();
+  if (!config_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      error = "unix socket path too long: " + config_.unix_socket;
+      return false;
+    }
+    std::memcpy(addr.sun_path, config_.unix_socket.c_str(), config_.unix_socket.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error = "connect(" + config_.unix_socket + "): " + std::strerror(errno);
+      disconnect();
+      return false;
+    }
+    return true;
+  }
+  if (config_.tcp_port != 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.tcp_port);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error = "connect(127.0.0.1:" + std::to_string(config_.tcp_port) +
+              "): " + std::strerror(errno);
+      disconnect();
+      return false;
+    }
+    return true;
+  }
+  error = "no endpoint configured (need a unix socket path or a tcp port)";
+  return false;
+}
+
+bool ServiceClient::send_frame(shard::FrameType type, const std::string& payload,
+                               std::string& error) {
+  shard::Frame frame;
+  frame.type = type;
+  frame.payload = payload;
+  if (!shard::write_frame(fd_, frame)) {
+    error = "daemon connection lost while sending";
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::recv_frame(shard::Frame& frame, std::string& error) {
+  if (config_.recv_timeout.count() > 0) {
+    struct pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(config_.recv_timeout.count()));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      error = "timed out waiting for the daemon";
+      disconnect();
+      return false;
+    }
+    if (rc < 0) {
+      error = std::string("poll: ") + std::strerror(errno);
+      disconnect();
+      return false;
+    }
+  }
+  if (!shard::read_frame(fd_, frame)) {
+    error = "daemon connection lost";
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::open_subscription(shard::FrameType type, const std::string& payload,
+                                      SubmittedPayload& ack, std::string& error) {
+  shard::SigpipeIgnore sigpipe;
+  if (!dial(error) || !send_frame(type, payload, error)) {
+    return false;
+  }
+  shard::Frame frame;
+  if (!recv_frame(frame, error)) {
+    return false;
+  }
+  if (frame.type == shard::FrameType::kServiceError) {
+    // Request-level failure (e.g. unknown job id): surface it as a
+    // rejection, the transport itself worked.
+    ack.accepted = false;
+    ack.message = frame.payload;
+    disconnect();
+    return true;
+  }
+  if (frame.type != shard::FrameType::kSubmitted ||
+      !decode_submitted(frame.payload, ack)) {
+    error = "unexpected reply frame from daemon";
+    disconnect();
+    return false;
+  }
+  if (!ack.accepted) {
+    disconnect();
+  }
+  return true;
+}
+
+bool ServiceClient::submit(const std::string& spec_json, SubmittedPayload& ack,
+                           std::string& error) {
+  return open_subscription(shard::FrameType::kSubmit, spec_json, ack, error);
+}
+
+bool ServiceClient::attach(const std::string& job_id, SubmittedPayload& ack,
+                           std::string& error) {
+  return open_subscription(shard::FrameType::kAttach, job_id, ack, error);
+}
+
+bool ServiceClient::wait_result(JobResultPayload& result, std::string& error,
+                                const std::function<void(const JobUpdatePayload&)>& on_update) {
+  if (fd_ < 0) {
+    error = "no open subscription (submit or attach first)";
+    return false;
+  }
+  shard::SigpipeIgnore sigpipe;
+  while (true) {
+    shard::Frame frame;
+    if (!recv_frame(frame, error)) {
+      return false;
+    }
+    if (frame.type == shard::FrameType::kJobUpdate) {
+      JobUpdatePayload update;
+      if (!decode_job_update(frame.payload, update)) {
+        error = "malformed progress frame";
+        disconnect();
+        return false;
+      }
+      if (on_update) on_update(update);
+      continue;
+    }
+    if (frame.type == shard::FrameType::kJobResult) {
+      if (!decode_job_result(frame.payload, result)) {
+        error = "malformed result frame";
+        disconnect();
+        return false;
+      }
+      disconnect();
+      return true;
+    }
+    error = "unexpected frame type " + std::to_string(static_cast<unsigned>(frame.type)) +
+            " on subscription";
+    disconnect();
+    return false;
+  }
+}
+
+bool ServiceClient::status(std::string& json_out, std::string& error) {
+  shard::SigpipeIgnore sigpipe;
+  if (!dial(error) || !send_frame(shard::FrameType::kStatusRequest, std::string(), error)) {
+    return false;
+  }
+  shard::Frame frame;
+  if (!recv_frame(frame, error)) {
+    return false;
+  }
+  disconnect();
+  if (frame.type != shard::FrameType::kStatusReply) {
+    error = "unexpected reply frame from daemon";
+    return false;
+  }
+  json_out = frame.payload;
+  return true;
+}
+
+bool ServiceClient::stop_daemon(std::string& error) {
+  shard::SigpipeIgnore sigpipe;
+  if (!dial(error) || !send_frame(shard::FrameType::kStopDaemon, std::string(), error)) {
+    return false;
+  }
+  shard::Frame frame;
+  if (!recv_frame(frame, error)) {
+    return false;
+  }
+  disconnect();
+  SubmittedPayload ack;
+  if (frame.type != shard::FrameType::kSubmitted || !decode_submitted(frame.payload, ack) ||
+      !ack.accepted) {
+    error = "daemon refused the stop request";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hwsec::core::service

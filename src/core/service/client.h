@@ -1,0 +1,85 @@
+// Client side of the hwsecd campaign-service protocol.
+//
+// One ServiceClient wraps one socket connection and the frame exchange on
+// it. The protocol is connection-per-command: submit/attach open a
+// subscription that streams kJobUpdate frames and ends with the terminal
+// kJobResult; status/stop are a single request/reply. Tests drive the
+// disconnect/reattach contract through the same class — disconnect() is an
+// abrupt close (the "client died mid-run" event), after which a fresh
+// ServiceClient can attach() by job id and receive the identical terminal
+// result.
+//
+// Every method reports failure via a `std::string& error` out-param
+// instead of throwing: a vanished daemon is an environment the CLI turns
+// into exit codes, not an exception.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/service/protocol.h"
+
+namespace hwsec::core::service {
+
+struct ClientConfig {
+  /// Unix-domain socket path (preferred when non-empty).
+  std::string unix_socket;
+  /// TCP fallback: 127.0.0.1:tcp_port when tcp_port != 0.
+  std::uint16_t tcp_port = 0;
+  /// Per-frame receive deadline; a daemon silent for this long is treated
+  /// as gone (0 = wait forever).
+  std::chrono::milliseconds recv_timeout{60000};
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(ClientConfig config);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Dials the daemon and sends one kSubmit; fills `ack` with the daemon's
+  /// accept/reject decision. On accept the connection stays open — follow
+  /// with wait_result(). Returns false (with `error`) on transport
+  /// failure; an application-level rejection is `ack.accepted == false`
+  /// with a true return.
+  bool submit(const std::string& spec_json, SubmittedPayload& ack, std::string& error);
+
+  /// Dials and re-subscribes to an existing job by id. Same contract as
+  /// submit(); an unknown id surfaces as ack.accepted == false.
+  bool attach(const std::string& job_id, SubmittedPayload& ack, std::string& error);
+
+  /// Consumes the subscription opened by submit()/attach(): every
+  /// kJobUpdate invokes `on_update` (when set), the terminal kJobResult
+  /// fills `result`. Returns false on disconnect/timeout before the
+  /// terminal frame.
+  bool wait_result(JobResultPayload& result, std::string& error,
+                   const std::function<void(const JobUpdatePayload&)>& on_update = {});
+
+  /// One-shot status scrape (own connection): the daemon's /status JSON.
+  bool status(std::string& json_out, std::string& error);
+
+  /// One-shot graceful-drain request (own connection).
+  bool stop_daemon(std::string& error);
+
+  /// Abrupt close of the current connection — the simulated client crash.
+  /// Any job submitted on it keeps running daemon-side.
+  void disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool dial(std::string& error);
+  bool send_frame(shard::FrameType type, const std::string& payload, std::string& error);
+  bool recv_frame(shard::Frame& frame, std::string& error);
+  bool open_subscription(shard::FrameType type, const std::string& payload,
+                         SubmittedPayload& ack, std::string& error);
+
+  ClientConfig config_;
+  int fd_ = -1;
+};
+
+}  // namespace hwsec::core::service

@@ -1,0 +1,176 @@
+#include "core/service/spec.h"
+
+#include <sstream>
+
+#include "core/json.h"
+
+namespace hwsec::core::service {
+
+namespace {
+
+const char* policy_name(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kFailFast: return "failfast";
+    case FailurePolicy::kRetry: return "retry";
+    case FailurePolicy::kCollect: break;
+  }
+  return "collect";
+}
+
+bool parse_policy(const std::string& name, FailurePolicy& out) {
+  if (name == "collect") {
+    out = FailurePolicy::kCollect;
+  } else if (name == "failfast") {
+    out = FailurePolicy::kFailFast;
+  } else if (name == "retry") {
+    out = FailurePolicy::kRetry;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool take_u64(const JsonValue& doc, const char* key, std::uint64_t& out, std::string& error) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    return true;  // optional: keep default.
+  }
+  if (!v->as_u64(out)) {
+    error = std::string("field \"") + key + "\" must be a non-negative integer";
+    return false;
+  }
+  return true;
+}
+
+bool take_u32(const JsonValue& doc, const char* key, std::uint32_t& out, std::string& error) {
+  std::uint64_t wide = out;
+  if (!take_u64(doc, key, wide, error)) {
+    return false;
+  }
+  if (wide > 0xFFFFFFFFull) {
+    error = std::string("field \"") + key + "\" out of range";
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool take_string(const JsonValue& doc, const char* key, std::string& out, std::string& error) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    return true;
+  }
+  if (!v->is_string()) {
+    error = std::string("field \"") + key + "\" must be a string";
+    return false;
+  }
+  out = v->string;
+  return true;
+}
+
+}  // namespace
+
+bool valid_identifier(const std::string& id) {
+  if (id.empty() || id.size() > 64) {
+    return false;
+  }
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string encode_spec(const CampaignSpec& spec) {
+  std::ostringstream out;
+  out << "{\"hwsec_spec_version\": " << spec.version                      //
+      << ", \"tenant\": \"" << json_escape(spec.tenant) << "\""           //
+      << ", \"name\": \"" << json_escape(spec.name) << "\""               //
+      << ", \"kind\": \"" << json_escape(spec.kind) << "\""               //
+      << ", \"seed\": " << spec.seed                                      //
+      << ", \"trials\": " << spec.trials                                  //
+      << ", \"workers\": " << spec.workers                                //
+      << ", \"processes\": " << spec.processes                            //
+      << ", \"policy\": \"" << policy_name(spec.policy) << "\""           //
+      << ", \"max_attempts\": " << spec.max_attempts                      //
+      << ", \"trial_cycle_budget\": " << spec.trial_cycle_budget          //
+      << ", \"trial_delay_us\": " << spec.trial_delay_us                  //
+      << ", \"priority\": " << spec.priority << "}";
+  return out.str();
+}
+
+bool decode_spec(const std::string& json, CampaignSpec& out, std::string& error) {
+  out = CampaignSpec{};
+  JsonValue doc;
+  if (!parse_json(json, doc, &error)) {
+    error = "spec is not valid JSON: " + error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    error = "spec must be a JSON object";
+    return false;
+  }
+  const JsonValue* version = doc.find("hwsec_spec_version");
+  std::int64_t version_value = 0;
+  if (version == nullptr || !version->as_i64(version_value)) {
+    error = "spec is missing integer \"hwsec_spec_version\"";
+    return false;
+  }
+  if (version_value != kSpecVersion) {
+    std::ostringstream msg;
+    msg << "unsupported spec version " << version_value << " (this daemon speaks v"
+        << kSpecVersion << ")";
+    error = msg.str();
+    return false;
+  }
+  out.version = static_cast<int>(version_value);
+
+  if (!take_string(doc, "tenant", out.tenant, error) ||
+      !take_string(doc, "name", out.name, error) ||
+      !take_string(doc, "kind", out.kind, error) ||
+      !take_u64(doc, "seed", out.seed, error) ||
+      !take_u64(doc, "trials", out.trials, error) ||
+      !take_u32(doc, "workers", out.workers, error) ||
+      !take_u32(doc, "processes", out.processes, error) ||
+      !take_u32(doc, "max_attempts", out.max_attempts, error) ||
+      !take_u64(doc, "trial_cycle_budget", out.trial_cycle_budget, error) ||
+      !take_u64(doc, "trial_delay_us", out.trial_delay_us, error)) {
+    return false;
+  }
+  if (const JsonValue* priority = doc.find("priority"); priority != nullptr) {
+    std::int64_t p = 0;
+    if (!priority->as_i64(p) || p < -1000 || p > 1000) {
+      error = "field \"priority\" must be an integer in [-1000, 1000]";
+      return false;
+    }
+    out.priority = static_cast<std::int32_t>(p);
+  }
+  if (const JsonValue* policy = doc.find("policy"); policy != nullptr) {
+    if (!policy->is_string() || !parse_policy(policy->string, out.policy)) {
+      error = "field \"policy\" must be \"collect\", \"failfast\", or \"retry\"";
+      return false;
+    }
+  }
+  if (!valid_identifier(out.tenant)) {
+    error = "field \"tenant\" must be 1-64 chars of [A-Za-z0-9._-]";
+    return false;
+  }
+  if (!out.name.empty() && !valid_identifier(out.name)) {
+    error = "field \"name\" must be empty or 1-64 chars of [A-Za-z0-9._-]";
+    return false;
+  }
+  if (out.kind.empty()) {
+    error = "field \"kind\" is required";
+    return false;
+  }
+  if (out.trials == 0) {
+    error = "field \"trials\" must be >= 1";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hwsec::core::service

@@ -89,7 +89,7 @@ class Supervisor {
         config_(config),
         res_(res),
         checkpointing_(!res.checkpoint_path.empty()),
-        checkpoint_(job.seed, job.trials, job.result_bytes) {}
+        checkpoint_(job.seed, job.trials, job.result_bytes, res.checkpoint_scope) {}
 
   SupervisorResult run() {
     obs::Span span("shard_campaign", static_cast<std::int64_t>(job_.trials), "trials");

@@ -8,10 +8,6 @@
 
 namespace hwsec::core::shard {
 
-namespace {
-
-constexpr std::size_t kHeaderBytes = 12;  // magic u32, version u16, type u16, length u32.
-
 void put_u16(std::string& out, std::uint16_t v) {
   out.push_back(static_cast<char>(v & 0xFF));
   out.push_back(static_cast<char>(v >> 8 & 0xFF));
@@ -34,53 +30,9 @@ void put_bytes(std::string& out, const std::string& bytes) {
   out.append(bytes);
 }
 
-/// Bounds-checked little-endian reader; every get_* fails cleanly on a
-/// truncated payload instead of reading past the end.
-class Reader {
- public:
-  explicit Reader(const std::string& data) : data_(data) {}
+namespace {
 
-  bool get_u8(std::uint8_t& v) {
-    if (pos_ + 1 > data_.size()) return false;
-    v = static_cast<std::uint8_t>(data_[pos_++]);
-    return true;
-  }
-  bool get_u16(std::uint16_t& v) {
-    std::uint64_t wide = 0;
-    if (!get_le(2, wide)) return false;
-    v = static_cast<std::uint16_t>(wide);
-    return true;
-  }
-  bool get_u32(std::uint32_t& v) {
-    std::uint64_t wide = 0;
-    if (!get_le(4, wide)) return false;
-    v = static_cast<std::uint32_t>(wide);
-    return true;
-  }
-  bool get_u64(std::uint64_t& v) { return get_le(8, v); }
-  bool get_bytes(std::string& out) {
-    std::uint32_t n = 0;
-    if (!get_u32(n) || pos_ + n > data_.size()) return false;
-    out.assign(data_, pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool exhausted() const { return pos_ == data_.size(); }
-
- private:
-  bool get_le(std::size_t bytes, std::uint64_t& v) {
-    if (pos_ + bytes > data_.size()) return false;
-    v = 0;
-    for (std::size_t i = 0; i < bytes; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
-    }
-    pos_ += bytes;
-    return true;
-  }
-
-  const std::string& data_;
-  std::size_t pos_ = 0;
-};
+constexpr std::size_t kHeaderBytes = 12;  // magic u32, version u16, type u16, length u32.
 
 bool write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {

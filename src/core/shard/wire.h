@@ -42,12 +42,87 @@ namespace hwsec::core::shard {
 inline constexpr std::uint32_t kWireMagic = 0x43535748u;  // "HWSC", little-endian.
 inline constexpr std::uint16_t kWireVersion = 1;
 
+/// One shared frame-type space for every transport that speaks this codec.
+/// 1..15 are the supervisor<->worker pipe protocol; 16+ are the hwsecd
+/// campaign-service socket protocol (core/service/protocol.h) — same
+/// framing, same magic/version gate, disjoint message ids, so a service
+/// client that accidentally dials a worker pipe (or vice versa) fails the
+/// type dispatch instead of misparsing payload bytes.
 enum class FrameType : std::uint16_t {
   kAssign = 1,
   kShutdown = 2,
   kTrial = 3,
   kShardDone = 4,
   kHeartbeat = 5,
+  // ---- campaign service (hwsecd) ----
+  kSubmit = 16,         ///< client -> daemon: spec JSON.
+  kSubmitted = 17,      ///< daemon -> client: accept/reject + job id.
+  kAttach = 18,         ///< client -> daemon: re-subscribe to a job by id.
+  kJobUpdate = 19,      ///< daemon -> client: incremental progress.
+  kJobResult = 20,      ///< daemon -> client: terminal state + result records.
+  kStatusRequest = 21,  ///< client -> daemon: scrape request.
+  kStatusReply = 22,    ///< daemon -> client: status JSON (jobs + obs metrics).
+  kStopDaemon = 23,     ///< client -> daemon: begin graceful drain.
+  kServiceError = 24,   ///< daemon -> client: request-level failure message.
+};
+
+// ---- little-endian byte codec -----------------------------------------
+// Shared by the pipe payload codecs below and the service protocol: one
+// place defines how integers and length-prefixed byte strings look on any
+// hwsec wire.
+
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+/// u32 length prefix + raw bytes.
+void put_bytes(std::string& out, const std::string& bytes);
+
+/// Bounds-checked little-endian reader; every get_* fails cleanly on a
+/// truncated payload instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool get_u8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool get_u16(std::uint16_t& v) {
+    std::uint64_t wide = 0;
+    if (!get_le(2, wide)) return false;
+    v = static_cast<std::uint16_t>(wide);
+    return true;
+  }
+  bool get_u32(std::uint32_t& v) {
+    std::uint64_t wide = 0;
+    if (!get_le(4, wide)) return false;
+    v = static_cast<std::uint32_t>(wide);
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) { return get_le(8, v); }
+  bool get_bytes(std::string& out) {
+    std::uint32_t n = 0;
+    if (!get_u32(n) || pos_ + n > data_.size()) return false;
+    out.assign(data_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool get_le(std::size_t bytes, std::uint64_t& v) {
+    if (pos_ + bytes > data_.size()) return false;
+    v = 0;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += bytes;
+    return true;
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
 };
 
 struct Frame {

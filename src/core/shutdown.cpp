@@ -1,15 +1,26 @@
 #include "core/shutdown.h"
 
 #include <csignal>
+#include <unistd.h>
 
 namespace hwsec::core {
 
 namespace {
 
-// Async-signal-safe state: the handler performs exactly one store.
+// Async-signal-safe state: the handler performs one store (first signal)
+// or one _exit (second).
 volatile std::sig_atomic_t g_shutdown_signal = 0;
 
-void on_shutdown_signal(int signal) { g_shutdown_signal = signal; }
+void on_shutdown_signal(int signal) {
+  if (g_shutdown_signal != 0) {
+    // Escalation: the first signal started a graceful drain; a second one
+    // means the operator wants out NOW (a daemon stuck mid-drain must not
+    // absorb Ctrl-C forever). _exit is async-signal-safe; the conventional
+    // 128+signal code reports the abort to the caller.
+    _exit(128 + signal);
+  }
+  g_shutdown_signal = signal;
+}
 
 }  // namespace
 

@@ -24,6 +24,13 @@ namespace hwsec::core {
 
 /// Installs the SIGTERM/SIGINT flag handler. Idempotent; call it early in
 /// main() of any long-running campaign binary.
+///
+/// Escalation contract (the daemon case): the FIRST signal only sets the
+/// flag — consumers drain (stop admitting work, finish/checkpoint what is
+/// running) and exit 128+signal on their own schedule. A SECOND
+/// SIGTERM/SIGINT aborts immediately from the handler with _exit(128+sig):
+/// a drain that is stuck (or merely slower than the operator's patience)
+/// can always be overridden by signalling again.
 void install_graceful_shutdown();
 
 /// True once SIGTERM or SIGINT arrived (always false if the handler was

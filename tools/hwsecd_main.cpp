@@ -1,0 +1,92 @@
+// hwsecd — campaign-as-a-service daemon.
+//
+// Serves the hwsec campaign engine over a Unix (and optionally local TCP)
+// socket: versioned JSON specs in, scheduled multi-tenant execution with
+// streamed progress out, plus an HTTP /status scrape on the same port.
+//
+//   hwsecd --socket /tmp/hwsec.sock [--tcp PORT] [--executors N]
+//          [--max-running N] [--max-queued N] [--max-trials N]
+//          [--checkpoint-dir DIR] [--progress-ms N]
+//
+// Shutdown: first SIGTERM/SIGINT drains (queued jobs fail, running jobs
+// cut short at a trial boundary and checkpoint), a second one aborts
+// immediately; exits 128+signal. A client `hwsec-client stop` drains the
+// same way and exits 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/service/daemon.h"
+#include "core/shutdown.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--tcp PORT] [--executors N] [--max-running N]\n"
+               "          [--max-queued N] [--max-trials N] [--checkpoint-dir DIR]\n"
+               "          [--progress-ms N]\n",
+               argv0);
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != nullptr && *end == '\0' && end != text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hwsec::core::service::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    std::uint64_t value = 0;
+    if (arg == "--socket" && has_value) {
+      config.unix_socket = argv[++i];
+    } else if (arg == "--tcp" && has_value && parse_u64(argv[++i], value) && value <= 65535) {
+      config.tcp_enabled = true;
+      config.tcp_port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--executors" && has_value && parse_u64(argv[++i], value) && value > 0) {
+      config.executors = static_cast<unsigned>(value);
+    } else if (arg == "--max-running" && has_value && parse_u64(argv[++i], value) && value > 0) {
+      config.max_running_per_tenant = static_cast<unsigned>(value);
+    } else if (arg == "--max-queued" && has_value && parse_u64(argv[++i], value) && value > 0) {
+      config.max_queued_per_tenant = static_cast<std::size_t>(value);
+    } else if (arg == "--max-trials" && has_value && parse_u64(argv[++i], value) && value > 0) {
+      config.max_trials = value;
+    } else if (arg == "--checkpoint-dir" && has_value) {
+      config.checkpoint_dir = argv[++i];
+    } else if (arg == "--progress-ms" && has_value && parse_u64(argv[++i], value) && value > 0) {
+      config.progress_interval = std::chrono::milliseconds(value);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (config.unix_socket.empty() && !config.tcp_enabled) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  hwsec::core::install_graceful_shutdown();
+  try {
+    hwsec::core::service::Daemon daemon(config);
+    daemon.start();
+    if (!config.unix_socket.empty()) {
+      std::fprintf(stderr, "hwsecd: listening on %s\n", config.unix_socket.c_str());
+    }
+    if (config.tcp_enabled) {
+      std::fprintf(stderr, "hwsecd: listening on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(daemon.tcp_port()));
+    }
+    const int code = daemon.serve();
+    std::fprintf(stderr, "hwsecd: drained, exit %d\n", code);
+    return code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hwsecd: %s\n", e.what());
+    return 1;
+  }
+}
