@@ -255,7 +255,9 @@ void Daemon::connection_loop(int fd) {
     return;
   }
   shard::Frame frame;
-  if (!shard::read_frame(fd, frame)) return;
+  // Untrusted peer: request frames are tiny, so cap the payload length a
+  // client header can demand before any allocation happens.
+  if (!shard::read_frame(fd, frame, kMaxRequestPayload)) return;
   switch (frame.type) {
     case shard::FrameType::kSubmit:
       handle_submit(fd, frame.payload);
@@ -332,6 +334,12 @@ void Daemon::handle_submit(int fd, const std::string& payload) {
   } else if (spec.trials > config_.max_trials) {
     ack.message = "trials " + std::to_string(spec.trials) + " exceeds service cap " +
                   std::to_string(config_.max_trials);
+  } else if (spec.workers > config_.max_workers) {
+    ack.message = "workers " + std::to_string(spec.workers) + " exceeds service cap " +
+                  std::to_string(config_.max_workers);
+  } else if (spec.processes > config_.max_processes) {
+    ack.message = "processes " + std::to_string(spec.processes) +
+                  " exceeds service cap " + std::to_string(config_.max_processes);
   } else {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     if (draining_.load(std::memory_order_relaxed)) {
@@ -470,6 +478,7 @@ void Daemon::executor_loop() {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
       --running_per_tenant_[job->spec.tenant];
       --admitted_per_tenant_[job->spec.tenant];
+      evict_finished_locked(job->spec.tenant);
     }
     executors_cv_.notify_all();
   }
@@ -519,6 +528,29 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
     job->state.store(final_state, std::memory_order_release);
   }
   (final_state == JobState::kDone ? kCompleted : kFailedJobs).add(1);
+}
+
+void Daemon::evict_finished_locked(const std::string& tenant) {
+  static const obs::Counter kEvicted = obs::counter("service_jobs_evicted");
+  // Retention: keep the newest max_finished_per_tenant terminal jobs of
+  // this tenant attachable; drop the rest (records blobs included). An
+  // attach for an evicted id gets "unknown job id" — same answer as a
+  // daemon restart would give.
+  std::vector<std::pair<std::uint64_t, std::string>> terminal;  // (seq, id)
+  for (const auto& [id, job] : jobs_) {
+    if (job->spec.tenant != tenant) continue;
+    const JobState state = job->state.load(std::memory_order_acquire);
+    if (state == JobState::kDone || state == JobState::kFailed) {
+      terminal.emplace_back(job->seq, id);
+    }
+  }
+  if (terminal.size() <= config_.max_finished_per_tenant) return;
+  std::sort(terminal.begin(), terminal.end());
+  const std::size_t excess = terminal.size() - config_.max_finished_per_tenant;
+  for (std::size_t i = 0; i < excess; ++i) {
+    jobs_.erase(terminal[i].second);  // streams hold shared_ptrs; they finish fine.
+    kEvicted.add(1);
+  }
 }
 
 void Daemon::fail_queued_jobs_locked(const std::string& reason) {

@@ -19,7 +19,10 @@
 // config-only identity allowed is structurally gone.
 //
 // Scheduling: `executors` worker threads drain one shared queue.
-// Admission rejects a tenant over max_queued_per_tenant; dispatch skips
+// Admission rejects a tenant over max_queued_per_tenant and any spec over
+// the per-spec resource caps (max_trials/max_workers/max_processes — a
+// hostile {"workers":1000000} must bounce at submit, not fork-bomb the
+// shared process); dispatch skips
 // tenants at max_running_per_tenant and picks, among eligible jobs, the
 // tenant with the fewest running jobs (fair share), then the higher
 // priority, then FIFO. One MachinePool is shared by every in-process job,
@@ -76,6 +79,18 @@ struct ServiceConfig {
   /// Admission cap on spec.trials (a fat-fingered 10^12-trial spec should
   /// bounce at submit, not wedge an executor).
   std::uint64_t max_trials = 10'000'000;
+  /// Admission cap on spec.workers: threads one job may ask for. Without
+  /// it a single {"workers": 1000000} spec reaches ThreadPool's
+  /// constructor and spawns (or dies trying to spawn) a million threads
+  /// inside the shared daemon process.
+  std::uint32_t max_workers = 256;
+  /// Admission cap on spec.processes (shard supervisor fork count).
+  std::uint32_t max_processes = 64;
+  /// Terminal (done/failed) jobs retained per tenant for attach-by-id
+  /// replay. The oldest beyond this are evicted — records and all — when a
+  /// job of the same tenant goes terminal, so a long-running daemon's
+  /// memory is bounded instead of accreting every result blob forever.
+  std::size_t max_finished_per_tenant = 64;
   /// Directory for per-job checkpoints (empty disables checkpointing).
   std::string checkpoint_dir;
   /// Progress-frame period for streaming subscriptions.
@@ -168,6 +183,7 @@ class Daemon {
   std::shared_ptr<Job> pick_job_locked();
   void run_job(const std::shared_ptr<Job>& job);
   void fail_queued_jobs_locked(const std::string& reason);
+  void evict_finished_locked(const std::string& tenant);
 
   ServiceConfig config_;
   std::unique_ptr<shard::SigpipeIgnore> sigpipe_guard_;

@@ -105,7 +105,13 @@ bool decode_outcomes(const std::string& blob, std::vector<OutcomeRecord>& out) {
   out.clear();
   Reader r(blob);
   std::uint64_t count = 0;
-  if (!r.get_u64(count) || count > (1ull << 32)) {
+  if (!r.get_u64(count)) {
+    return false;
+  }
+  // Each record costs >= 13 bytes on the wire (index + flags + attempts),
+  // so a count the blob cannot possibly hold is corruption — reject it
+  // before reserve() turns it into a hundreds-of-GB allocation.
+  if (count > (blob.size() - 8) / 13) {
     return false;
   }
   out.reserve(static_cast<std::size_t>(count));

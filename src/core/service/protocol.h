@@ -30,6 +30,14 @@
 
 namespace hwsec::core::service {
 
+/// Cap on a *request* frame payload read from an untrusted client socket.
+/// Every client->daemon payload is tiny (a spec JSON document or a job id);
+/// anything bigger is hostile or desynchronized, and the daemon must not
+/// let a 12-byte header talk it into a multi-GiB allocation. Daemon->client
+/// frames (result records) are read with the codec-level kMaxFramePayload
+/// instead — the client trusts its own daemon.
+inline constexpr std::uint32_t kMaxRequestPayload = 1u << 20;  // 1 MiB.
+
 enum class JobState : std::uint8_t {
   kQueued = 0,
   kRunning = 1,

@@ -93,7 +93,7 @@ bool write_frame(int fd, const Frame& frame) {
   return write_all(fd, wire.data(), wire.size());
 }
 
-bool read_frame(int fd, Frame& out) {
+bool read_frame(int fd, Frame& out, std::uint32_t max_payload) {
   char header[kHeaderBytes];
   if (!read_all(fd, header, sizeof(header))) {
     return false;
@@ -101,6 +101,9 @@ bool read_frame(int fd, Frame& out) {
   std::uint32_t length = 0;
   if (!parse_header(header, out.type, length)) {
     return false;
+  }
+  if (length > max_payload) {
+    return false;  // lying/hostile header: reject before allocating.
   }
   out.payload.resize(length);
   return length == 0 || read_all(fd, out.payload.data(), length);
@@ -111,7 +114,7 @@ bool FrameBuffer::next(Frame& out) {
     return false;
   }
   std::uint32_t length = 0;
-  if (!parse_header(buffer_.data(), out.type, length)) {
+  if (!parse_header(buffer_.data(), out.type, length) || length > max_payload_) {
     corrupt_ = true;
     return false;
   }

@@ -42,6 +42,14 @@ namespace hwsec::core::shard {
 inline constexpr std::uint32_t kWireMagic = 0x43535748u;  // "HWSC", little-endian.
 inline constexpr std::uint16_t kWireVersion = 1;
 
+/// Hard ceiling on a frame payload accepted by this codec. Big enough for
+/// the largest legitimate frame (a kJobResult records blob at the default
+/// 10M-trial admission cap is ~330 MiB), small enough that a desynchronized
+/// or hostile header cannot demand the full 4 GiB a u32 length can encode.
+/// Transports that face untrusted peers (the hwsecd client socket) pass a
+/// much tighter per-request cap to read_frame.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;  // 1 GiB.
+
 /// One shared frame-type space for every transport that speaks this codec.
 /// 1..15 are the supervisor<->worker pipe protocol; 16+ are the hwsecd
 /// campaign-service socket protocol (core/service/protocol.h) — same
@@ -136,23 +144,30 @@ struct Frame {
 bool write_frame(int fd, const Frame& frame);
 
 /// Blocking full-frame read (worker side: the command pipe is its inbox).
-/// Returns false on EOF, short read, bad magic, or version mismatch.
-bool read_frame(int fd, Frame& out);
+/// Returns false on EOF, short read, bad magic, version mismatch, or a
+/// payload length above `max_payload` — the length is validated BEFORE any
+/// payload allocation, so a lying header costs nothing.
+bool read_frame(int fd, Frame& out, std::uint32_t max_payload = kMaxFramePayload);
 
 /// Incremental frame reassembly for the supervisor's non-blocking fds.
 class FrameBuffer {
  public:
+  explicit FrameBuffer(std::uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
   void append(const char* data, std::size_t n) { buffer_.append(data, n); }
 
   /// Extracts the next complete frame. Returns false when more bytes are
-  /// needed. A corrupt header (bad magic/version) poisons the stream:
-  /// corrupt() turns true and no further frames are produced.
+  /// needed. A corrupt header (bad magic/version, or a payload length over
+  /// the cap) poisons the stream: corrupt() turns true and no further
+  /// frames are produced.
   bool next(Frame& out);
 
   bool corrupt() const { return corrupt_; }
 
  private:
   std::string buffer_;
+  std::uint32_t max_payload_;
   bool corrupt_ = false;
 };
 

@@ -38,8 +38,24 @@ struct ThreadPool::Batch {
 
 ThreadPool::ThreadPool(unsigned workers)
     : workers_(workers == 0 ? default_workers() : workers) {
-  for (unsigned i = 1; i < workers_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+  try {
+    for (unsigned i = 1; i < workers_; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation failed mid-loop (EAGAIN on an absurd worker count or
+    // an exhausted host). Letting joinable threads be destroyed would
+    // std::terminate the whole process; wind the spawned ones down and let
+    // the caller see the exception instead.
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) {
+      t.join();
+    }
+    throw;
   }
 }
 

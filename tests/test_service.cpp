@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -27,11 +28,22 @@
 #include "core/service/daemon.h"
 #include "core/service/protocol.h"
 #include "core/service/spec.h"
+#include "core/shard/wire.h"
 #include "core/shutdown.h"
+#include "sim/thread_pool.h"
 
 namespace core = hwsec::core;
 namespace service = hwsec::core::service;
+namespace shard = hwsec::core::shard;
 namespace obs = hwsec::obs;
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HWSEC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define HWSEC_SANITIZED 1
+#endif
+#endif
 
 namespace {
 
@@ -234,6 +246,120 @@ TEST(ProtocolCodec, OutcomeStreamRoundTripsAndResumeKeepsBytes) {
   EXPECT_EQ(service::encode_outcomes(resumed), blob);
   EXPECT_EQ(service::fnv1a64(service::encode_outcomes(resumed)), service::fnv1a64(blob));
   std::remove(path.c_str());
+}
+
+// A corrupt/hostile result blob claiming 2^32 records in a handful of
+// bytes must be rejected up front, not turned into a hundreds-of-GB
+// reserve() in the client.
+TEST(ProtocolCodec, OutcomeCountBeyondBlobSizeRejected) {
+  std::vector<service::OutcomeRecord> out;
+  for (const std::uint64_t count :
+       {std::uint64_t{1} << 32, std::uint64_t{0xFFFFFFFFFFFFFFFFull}, std::uint64_t{3}}) {
+    std::string blob;
+    shard::put_u64(blob, count);
+    blob.append(16, '\0');  // far too few bytes for even `3` records.
+    EXPECT_FALSE(service::decode_outcomes(blob, out)) << "count=" << count;
+  }
+}
+
+// ---- frame payload caps (untrusted transports) --------------------------
+
+namespace {
+
+std::string frame_header(std::uint32_t payload_length) {
+  std::string header;
+  shard::put_u32(header, shard::kWireMagic);
+  shard::put_u16(header, shard::kWireVersion);
+  shard::put_u16(header, static_cast<std::uint16_t>(shard::FrameType::kSubmit));
+  shard::put_u32(header, payload_length);
+  return header;
+}
+
+}  // namespace
+
+// A 12-byte header claiming a 4 GiB payload must be rejected before any
+// payload allocation — this is what a hostile client aims at the daemon.
+TEST(WireGuards, OversizedFrameHeaderRejectedBeforeAllocation) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string header = frame_header(0xFFFFFFFFu);
+  ASSERT_EQ(::write(fds[1], header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  shard::Frame frame;
+  // Returns immediately (no payload bytes were ever written): the length
+  // check precedes the payload read, both at the daemon's request cap and
+  // at the codec-level default.
+  EXPECT_FALSE(shard::read_frame(fds[0], frame, service::kMaxRequestPayload));
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  EXPECT_FALSE(shard::read_frame(fds[0], frame));
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // Control: a payload at the cap still round-trips.
+  ASSERT_EQ(::pipe(fds), 0);
+  shard::Frame small;
+  small.type = shard::FrameType::kSubmit;
+  small.payload = "spec";
+  ASSERT_TRUE(shard::write_frame(fds[1], small));
+  EXPECT_TRUE(shard::read_frame(fds[0], frame, 4));
+  EXPECT_EQ(frame.payload, "spec");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireGuards, FrameBufferPoisonsOnOversizedLength) {
+  shard::FrameBuffer buf(16);
+  const std::string header = frame_header(17);
+  buf.append(header.data(), header.size());
+  shard::Frame out;
+  EXPECT_FALSE(buf.next(out));
+  EXPECT_TRUE(buf.corrupt());
+
+  shard::FrameBuffer ok(16);
+  shard::Frame inbound;
+  inbound.type = shard::FrameType::kSubmit;
+  inbound.payload = "0123456789abcdef";  // exactly the cap.
+  const std::string at_cap = frame_header(16) + inbound.payload;
+  ok.append(at_cap.data(), at_cap.size());
+  EXPECT_TRUE(ok.next(out));
+  EXPECT_EQ(out.payload, inbound.payload);
+  EXPECT_FALSE(ok.corrupt());
+}
+
+// ---- ThreadPool constructor exception safety ----------------------------
+
+// A spec-driven worker count that exhausts the host must surface as an
+// exception, not a std::terminate from destroying joinable threads
+// mid-construction (the daemon shares one process across every tenant).
+TEST(ThreadPoolGuard, ConstructorFailureThrowsInsteadOfTerminating) {
+#ifdef HWSEC_SANITIZED
+  GTEST_SKIP() << "rlimit-based thread exhaustion is unreliable under sanitizers";
+#else
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // ~8 MiB of reserved stack per thread: 100k threads cannot fit in a
+    // 1 GiB address space, so pthread_create fails partway through.
+    struct rlimit lim{};
+    lim.rlim_cur = lim.rlim_max = 1ull << 30;
+    ::setrlimit(RLIMIT_AS, &lim);
+    try {
+      hwsec::sim::ThreadPool pool(100000);
+    } catch (const std::exception&) {
+      _exit(0);  // clean throw; spawned threads were joined.
+    }
+    _exit(1);  // construction unexpectedly succeeded.
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status)) << "ThreadPool constructor crashed (std::terminate?)";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+#endif
 }
 
 // ---- checkpoint scope (satellite #2) -----------------------------------
@@ -545,6 +671,79 @@ TEST_F(DaemonTest, TenantAdmissionQuotaIsEnforced) {
   service::JobResultPayload result;
   ASSERT_TRUE(client3.wait_result(result, error)) << error;
   ASSERT_TRUE(client1.wait_result(result, error)) << error;
+}
+
+// A hostile or fat-fingered {"workers": 1000000} / {"processes": 1000000}
+// spec must bounce at admission, never reach ThreadPool/fork.
+TEST_F(DaemonTest, RejectsOverCapWorkersAndProcesses) {
+  StartDaemon();
+  auto client = MakeClient();
+  service::SubmittedPayload ack;
+  std::string error;
+  service::ServiceConfig defaults;
+
+  service::CampaignSpec fat;
+  fat.tenant = "alice";
+  fat.kind = "mix";
+  fat.trials = 1;
+  fat.workers = defaults.max_workers + 1;
+  ASSERT_TRUE(client.submit(service::encode_spec(fat), ack, error)) << error;
+  EXPECT_FALSE(ack.accepted);
+  EXPECT_TRUE(contains(ack.message, "workers")) << ack.message;
+
+  fat.workers = 1;
+  fat.processes = defaults.max_processes + 1;
+  ASSERT_TRUE(client.submit(service::encode_spec(fat), ack, error)) << error;
+  EXPECT_FALSE(ack.accepted);
+  EXPECT_TRUE(contains(ack.message, "processes")) << ack.message;
+
+  // Control: at-cap values are admitted (workers is only a thread count
+  // request; the 1-trial job finishes instantly).
+  fat.processes = 0;
+  fat.workers = defaults.max_workers;
+  ASSERT_TRUE(client.submit(service::encode_spec(fat), ack, error)) << error;
+  EXPECT_TRUE(ack.accepted) << ack.message;
+  service::JobResultPayload result;
+  ASSERT_TRUE(client.wait_result(result, error)) << error;
+}
+
+// Retention: terminal jobs beyond max_finished_per_tenant are evicted
+// (oldest first), so daemon memory does not grow without bound while the
+// newest results stay attachable.
+TEST_F(DaemonTest, FinishedJobsBeyondRetentionCapAreEvicted) {
+  service::ServiceConfig config;
+  config.max_finished_per_tenant = 2;
+  StartDaemon(config);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto client = MakeClient();
+    service::SubmittedPayload ack;
+    service::JobResultPayload result;
+    std::string error;
+    ASSERT_TRUE(client.submit(SpecJson("alice", "mix", 100 + i, 4), ack, error)) << error;
+    ASSERT_TRUE(ack.accepted) << ack.message;
+    ids.push_back(ack.job_id);
+    ASSERT_TRUE(client.wait_result(result, error)) << error;
+    EXPECT_EQ(result.state, service::JobState::kDone);
+  }
+  // Eviction runs on the executor thread just after the terminal result is
+  // streamed; give it a bounded moment to settle.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (daemon_->jobs().size() > 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(daemon_->jobs().size(), 2u);
+
+  auto client = MakeClient();
+  service::SubmittedPayload ack;
+  std::string error;
+  ASSERT_TRUE(client.attach(ids[0], ack, error)) << error;
+  EXPECT_FALSE(ack.accepted) << "oldest job should have been evicted";
+  ASSERT_TRUE(client.attach(ids[3], ack, error)) << error;
+  EXPECT_TRUE(ack.accepted) << ack.message;
+  service::JobResultPayload replay;
+  ASSERT_TRUE(client.wait_result(replay, error)) << error;
+  EXPECT_EQ(replay.state, service::JobState::kDone);
 }
 
 TEST_F(DaemonTest, StatusScrapeIsValidJsonWithJobsAndMetrics) {

@@ -6,6 +6,7 @@
 //
 //   hwsecd --socket /tmp/hwsec.sock [--tcp PORT] [--executors N]
 //          [--max-running N] [--max-queued N] [--max-trials N]
+//          [--max-workers N] [--max-processes N] [--max-finished N]
 //          [--checkpoint-dir DIR] [--progress-ms N]
 //
 // Shutdown: first SIGTERM/SIGINT drains (queued jobs fail, running jobs
@@ -25,7 +26,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--tcp PORT] [--executors N] [--max-running N]\n"
-               "          [--max-queued N] [--max-trials N] [--checkpoint-dir DIR]\n"
+               "          [--max-queued N] [--max-trials N] [--max-workers N]\n"
+               "          [--max-processes N] [--max-finished N] [--checkpoint-dir DIR]\n"
                "          [--progress-ms N]\n",
                argv0);
 }
@@ -57,6 +59,12 @@ int main(int argc, char** argv) {
       config.max_queued_per_tenant = static_cast<std::size_t>(value);
     } else if (arg == "--max-trials" && has_value && parse_u64(argv[++i], value) && value > 0) {
       config.max_trials = value;
+    } else if (arg == "--max-workers" && has_value && parse_u64(argv[++i], value) && value > 0) {
+      config.max_workers = static_cast<std::uint32_t>(value);
+    } else if (arg == "--max-processes" && has_value && parse_u64(argv[++i], value)) {
+      config.max_processes = static_cast<std::uint32_t>(value);  // 0 forbids sharded specs.
+    } else if (arg == "--max-finished" && has_value && parse_u64(argv[++i], value)) {
+      config.max_finished_per_tenant = static_cast<std::size_t>(value);
     } else if (arg == "--checkpoint-dir" && has_value) {
       config.checkpoint_dir = argv[++i];
     } else if (arg == "--progress-ms" && has_value && parse_u64(argv[++i], value) && value > 0) {
