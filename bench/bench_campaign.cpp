@@ -23,12 +23,23 @@
 // for scheduler experiments; those rows are then marked
 // "oversubscribed": true and never feed the HWSEC_CAMPAIGN_MIN_TPS floor.
 //
+// E12c goes over the wire: forked hwsec-shard-worker processes listen on
+// loopback TCP ports, the supervisor dials them through the host-discovery
+// path hwsecd uses, and the merged vector must STILL be bit-identical to
+// the in-process reference — including a chaos row where seeded worker
+// SIGKILLs force disconnect-migrate-redial recovery (the row must show
+// nonzero migrations, or the chaos was vacuous and the run fails).
+//
 // Observability: HWSEC_TRACE_OUT=<path> captures a Chrome trace_event
 // JSON (trial/setup/body and pool spans — load it in Perfetto), and
 // --metrics-json=<path> (or HWSEC_METRICS_JSON) dumps the merged metrics
 // registry (trial counters, pool accounting, latency histograms) for the
 // CI scrape-and-assert step.
 #include <benchmark/benchmark.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -48,6 +59,9 @@
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "core/resilience/resilient.h"
+#include "core/service/catalog.h"
+#include "core/service/remote_worker.h"
+#include "core/service/spec.h"
 #include "core/shard/supervisor.h"
 #include "core/shutdown.h"
 #include "sim/dispatch.h"
@@ -57,6 +71,7 @@
 
 namespace sim = hwsec::sim;
 namespace core = hwsec::core;
+namespace service = hwsec::core::service;
 namespace attacks = hwsec::attacks;
 namespace obs = hwsec::obs;
 
@@ -137,6 +152,72 @@ double env_double(const char* name, double fallback) {
 bool env_flag(const char* name) {
   const char* value = std::getenv(name);
   return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+// ---- E12c helpers: loopback TCP shard workers ---------------------------
+
+/// Forks a shard worker listening on an ephemeral loopback port (the same
+/// code path the hwsec-shard-worker tool runs) and reports the port the
+/// kernel assigned through a pipe. The child serves sessions until killed.
+pid_t fork_tcp_worker(std::uint16_t& port_out) {
+  int port_pipe[2];
+  if (pipe(port_pipe) != 0) {
+    return -1;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(port_pipe[0]);
+    close(port_pipe[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    close(port_pipe[0]);
+    service::RemoteWorkerOptions options;
+    options.listen_port = 0;
+    options.serve_forever = true;
+    options.worker_name = "bench-worker";
+    options.on_listening = [fd = port_pipe[1]](std::uint16_t port) {
+      (void)!write(fd, &port, sizeof(port));
+      close(fd);
+    };
+    _exit(service::run_remote_worker(options));
+  }
+  close(port_pipe[1]);
+  std::uint16_t port = 0;
+  const ssize_t n = read(port_pipe[0], &port, sizeof(port));
+  close(port_pipe[0]);
+  if (n != sizeof(port)) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+    return -1;
+  }
+  port_out = port;
+  return pid;
+}
+
+void reap_worker(pid_t pid) {
+  if (pid > 0) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+  }
+}
+
+/// Slot-for-slot equality over service outcomes: the multi-host rows must
+/// reproduce the in-process reference exactly (flag AND payload).
+bool outcomes_identical(const service::ServiceOutcomes& got,
+                        const service::ServiceOutcomes& want) {
+  if (got.size() != want.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (got[i].ok() != want[i].ok()) {
+      return false;
+    }
+    if (want[i].ok() && !(got[i].value() == want[i].value())) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void BM_Campaign32Trials(benchmark::State& state) {
@@ -493,6 +574,123 @@ int main(int argc, char** argv) {
                  " worker's shard and respawns it; the merged vector must still match)\n";
   }
 
+  // ---- E12c: multi-host loopback — the campaign over real TCP ----------
+  struct MultiHostPoint {
+    std::size_t hosts = 0;
+    bool chaos = false;
+    double seconds = 0.0;
+    double trials_per_sec = 0.0;
+    double speedup = 0.0;
+    bool deterministic = false;
+    core::shard::ShardStats stats;
+  };
+  std::vector<MultiHostPoint> multihost_curve;
+  double multihost_seq_seconds = 0.0;
+  bool multihost_chaos_migrated = true;  // vacuous-chaos guard; false = chaos row never migrated.
+  const std::size_t multihost_trials = env_size_t("HWSEC_MULTIHOST_TRIALS", 256);
+  if (!core::shutdown_requested()) {
+    hwsec::bench::section("E12c — multi-host campaigns: loopback TCP shard workers");
+    std::cout << "(" << multihost_trials << " trials per run; forked hwsec-shard-worker"
+              << " processes on 127.0.0.1,\n dialed through the spec host-discovery path;"
+              << " N hosts must not change a byte)\n";
+
+    // The spec-driven form of the E12 workload: remote workers rebuild the
+    // trial body from these bytes after the handshake, so the campaign
+    // identity digest covers everything that could change a result.
+    service::CampaignSpec spec;
+    spec.tenant = "bench";
+    spec.kind = "spectre_leak";
+    spec.seed = 2028;
+    spec.trials = multihost_trials;
+
+    service::ServiceOutcomes reference;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      reference = service::run_spec(spec, core::ResilienceConfig{});
+      multihost_seq_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+
+    Table mt({"hosts", "chaos", "seconds", "trials/sec", "speedup", "bit-identical",
+              "deaths", "migrations", "redials", "fallback"},
+             {7, 7, 10, 12, 9, 14, 8, 11, 9, 10});
+    mt.print_header();
+    struct MultiHostRow {
+      std::size_t hosts;
+      bool chaos;
+    };
+    for (const MultiHostRow row : {MultiHostRow{1, false}, MultiHostRow{2, false},
+                                   MultiHostRow{4, false}, MultiHostRow{2, true}}) {
+      if (core::shutdown_requested()) {
+        break;
+      }
+      std::vector<pid_t> workers;
+      core::shard::ShardConfig shard_cfg;
+      shard_cfg.processes = 0;  // every trial crosses the wire.
+      bool spawned = true;
+      for (std::size_t i = 0; i < row.hosts && spawned; ++i) {
+        std::uint16_t port = 0;
+        const pid_t pid = fork_tcp_worker(port);
+        spawned = pid > 0;
+        if (spawned) {
+          workers.push_back(pid);
+          shard_cfg.hosts.push_back({.host = "127.0.0.1", .port = port});
+        }
+      }
+      if (!spawned) {
+        std::cerr << "E12c: failed to fork a loopback worker; skipping hosts="
+                  << row.hosts << "\n";
+        for (const pid_t pid : workers) {
+          reap_worker(pid);
+        }
+        continue;
+      }
+      shard_cfg.remote_spec_json = service::encode_spec(spec);
+      core::ResilienceConfig res;
+      res.policy = spec.policy;
+      res.max_attempts = spec.max_attempts;
+      res.trial_cycle_budget = spec.trial_cycle_budget;
+      if (row.chaos) {
+        // Seeded self-SIGKILLs ship to the remote workers inside the
+        // kWelcome frame; each kill takes down a whole listening worker, so
+        // this row exercises disconnect -> migrate -> re-dial (refused) ->
+        // budget exhaustion -> in-process fallback, end to end.
+        res.chaos.worker_kill_probability = 0.02;
+        shard_cfg.max_reconnects = 2;
+      }
+      const auto body = service::make_trial_body(spec);
+      core::shard::ShardStats stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto outcomes = core::shard::run_campaign_sharded<service::ServiceTrialResult>(
+          {.seed = spec.seed, .trials = static_cast<std::size_t>(spec.trials),
+           .workers = spec.workers},
+          res, shard_cfg, body, &stats);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      for (const pid_t pid : workers) {
+        reap_worker(pid);
+      }
+      MultiHostPoint p;
+      p.hosts = row.hosts;
+      p.chaos = row.chaos;
+      p.seconds = secs;
+      p.trials_per_sec = static_cast<double>(multihost_trials) / secs;
+      p.speedup = multihost_seq_seconds / secs;
+      p.deterministic = !core::shutdown_requested() && outcomes_identical(outcomes, reference);
+      p.stats = stats;
+      multihost_curve.push_back(p);
+      if (row.chaos && stats.migrations == 0) {
+        multihost_chaos_migrated = false;  // nothing died mid-shard: vacuous chaos.
+      }
+      mt.print_row(p.hosts, p.chaos ? "kill" : "-", p.seconds, p.trials_per_sec, p.speedup,
+                   p.deterministic ? "YES" : "DIVERGED", p.stats.worker_deaths,
+                   p.stats.migrations, p.stats.remote_reconnects, p.stats.fallback_trials);
+    }
+    std::cout << "(chaos row: worker kills sever the TCP link mid-shard; the supervisor\n"
+              << " migrates, re-dials, and finishes in-process once the budget is spent —\n"
+              << " with nonzero migrations, or the row counts as a failed run)\n";
+  }
+
   // ---- machine-readable record for CI ----------------------------------
   const char* json_path_env = std::getenv("HWSEC_BENCH_JSON");
   const std::string json_path =
@@ -554,6 +752,26 @@ int main(int argc, char** argv) {
          << (i + 1 < shard_curve.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"multihost_scaling\": [\n";
+  for (std::size_t i = 0; i < multihost_curve.size(); ++i) {
+    const MultiHostPoint& p = multihost_curve[i];
+    all_deterministic = all_deterministic && p.deterministic;
+    json << "    {\"hosts\": " << p.hosts
+         << ", \"chaos_kill\": " << (p.chaos ? "true" : "false")
+         << ", \"seconds\": " << p.seconds << ", \"trials_per_sec\": " << p.trials_per_sec
+         << ", \"speedup\": " << p.speedup
+         << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
+         << ", \"worker_deaths\": " << p.stats.worker_deaths
+         << ", \"migrations\": " << p.stats.migrations
+         << ", \"remote_workers\": " << p.stats.remote_workers
+         << ", \"remote_reconnects\": " << p.stats.remote_reconnects
+         << ", \"fallback_trials\": " << p.stats.fallback_trials << "}"
+         << (i + 1 < multihost_curve.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"multihost_trials\": " << multihost_trials << ",\n"
+       << "  \"multihost_chaos_migrated\": " << (multihost_chaos_migrated ? "true" : "false")
+       << ",\n"
        << "  \"shard_trials\": " << shard_trials << ",\n"
        << "  \"peak_rss_mib\": " << hwsec::bench::peak_rss_mib() << ",\n"
        << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false") << "\n"
@@ -616,5 +834,5 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return all_deterministic && fast_enough ? 0 : 1;
+  return all_deterministic && fast_enough && multihost_chaos_migrated ? 0 : 1;
 }

@@ -5,7 +5,9 @@
 
 #include "attacks/transient/spectre.h"
 #include "core/machine_pool.h"
+#include "core/shard/net.h"
 #include "core/shard/supervisor.h"
+#include "core/service/spec.h"
 #include "sim/machine.h"
 
 namespace hwsec::core::service {
@@ -85,7 +87,31 @@ ServiceOutcomes run_spec(const CampaignSpec& spec, ResilienceConfig res,
   res.policy = spec.policy;
   res.max_attempts = spec.max_attempts;
   res.trial_cycle_budget = spec.trial_cycle_budget;
-  if (spec.processes == 0) {
+
+  // Host discovery: the spec's host list wins; with none listed, the
+  // HWSEC_SHARD_HOSTS environment (comma-separated host:port) applies.
+  // Either routes the campaign through the sharded supervisor — remote
+  // workers are just more shard workers, and the outcome vector stays
+  // bit-identical to the local run.
+  std::vector<shard::HostSpec> hosts;
+  if (!spec.hosts.empty()) {
+    for (const auto& element : spec.hosts) {
+      shard::HostSpec parsed;
+      std::string error;
+      if (!shard::parse_host(element, parsed, error)) {
+        throw SimError(ErrorKind::kConfigError, "spec hosts: " + error);
+      }
+      hosts.push_back(parsed);
+    }
+  } else {
+    std::string error;
+    hosts = shard::hosts_from_env(error);
+    if (!error.empty()) {
+      throw SimError(ErrorKind::kConfigError, error);
+    }
+  }
+
+  if (spec.processes == 0 && hosts.empty()) {
     if (on_trial) {
       body = [inner = std::move(body), &on_trial](const TrialContext& ctx) {
         const ServiceTrialResult r = inner(ctx);
@@ -97,6 +123,12 @@ ServiceOutcomes run_spec(const CampaignSpec& spec, ResilienceConfig res,
   }
   shard::ShardConfig shard_cfg;
   shard_cfg.processes = spec.processes;
+  shard_cfg.hosts = std::move(hosts);
+  if (!shard_cfg.hosts.empty()) {
+    // The spec is the campaign identity the handshake pins: remote workers
+    // verify fnv1a64(spec_json) before accepting a single assignment.
+    shard_cfg.remote_spec_json = encode_spec(spec);
+  }
   return shard::run_campaign_sharded<ServiceTrialResult>(config, res, shard_cfg, body);
 }
 

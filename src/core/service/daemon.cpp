@@ -340,6 +340,9 @@ void Daemon::handle_submit(int fd, const std::string& payload) {
   } else if (spec.processes > config_.max_processes) {
     ack.message = "processes " + std::to_string(spec.processes) +
                   " exceeds service cap " + std::to_string(config_.max_processes);
+  } else if (spec.hosts.size() > config_.max_hosts) {
+    ack.message = "hosts " + std::to_string(spec.hosts.size()) +
+                  " exceeds service cap " + std::to_string(config_.max_hosts);
   } else {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     if (draining_.load(std::memory_order_relaxed)) {

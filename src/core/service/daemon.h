@@ -86,6 +86,11 @@ struct ServiceConfig {
   std::uint32_t max_workers = 256;
   /// Admission cap on spec.processes (shard supervisor fork count).
   std::uint32_t max_processes = 64;
+  /// Admission cap on spec.hosts (remote shard workers one job may dial).
+  /// The spec codec already bounds the list at kMaxSpecHosts; this is the
+  /// tighter service policy — each host is an outbound connection the
+  /// shared daemon opens on the tenant's behalf.
+  std::size_t max_hosts = 8;
   /// Terminal (done/failed) jobs retained per tenant for attach-by-id
   /// replay. The oldest beyond this are evicted — records and all — when a
   /// job of the same tenant goes terminal, so a long-running daemon's

@@ -138,11 +138,7 @@ bool decode_outcomes(const std::string& blob, std::vector<OutcomeRecord>& out) {
 }
 
 std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    hash = (hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
-  }
-  return hash;
+  return shard::fnv1a64(bytes);  // one hash definition for every wire digest.
 }
 
 }  // namespace hwsec::core::service

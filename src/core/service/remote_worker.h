@@ -1,0 +1,66 @@
+// The remote half of a multi-host campaign: hwsec-shard-worker's engine.
+//
+// A remote worker is a process on another box (or another terminal) that
+// lends its CPU to a supervisor's campaign. It carries NO campaign state
+// of its own — the handshake's kWelcome ships the canonical spec JSON,
+// and the worker rebuilds the exact trial body, resilience knobs, and
+// chaos plan from it, so trial i computes the same bytes it would have
+// computed inside a forked local worker. That is the whole determinism
+// story: the wire moves work, never results that depend on where they ran.
+//
+// Two dial directions, one protocol (the worker always speaks kHello
+// first — see net.h):
+//   --connect host:port   worker dials a listening supervisor
+//                         (ShardConfig::listen) and offers itself;
+//   --listen [port]       worker listens; supervisors dial it via
+//                         ShardConfig::hosts / a spec's hosts array.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/shard/net.h"
+#include "core/shard/transport.h"
+
+namespace hwsec::core::service {
+
+/// Serves one supervisor over an established transport: handshake
+/// (kHello -> kWelcome/kReject), spec decode, then the shard worker loop
+/// until shutdown/EOF. Returns true when the session ended normally
+/// (shutdown frame or supervisor EOF); false with a named reason in
+/// `error` for rejection, a digest/spec mismatch, or a wire failure.
+///
+/// This is the testable core — the fault-matrix suite runs it in a thread
+/// over a socketpair transport, no processes or real sockets involved.
+bool serve_supervisor(shard::Transport& transport, const shard::HelloPayload& hello,
+                      std::chrono::milliseconds handshake_timeout, std::string& error);
+
+struct RemoteWorkerOptions {
+  /// Dial direction: connect out to a listening supervisor...
+  std::string connect_host;  ///< empty = listen mode instead.
+  std::uint16_t connect_port = 0;
+  unsigned connect_retries = 10;             ///< dial attempts before giving up.
+  std::chrono::milliseconds connect_backoff{200};  ///< doubles per retry, capped 16x.
+
+  /// ...or accept supervisors on address:port (port 0 = kernel-assigned).
+  std::string listen_address = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  bool serve_forever = false;  ///< listen mode: keep serving sessions.
+
+  /// Pin a campaign digest (0 = accept any). A worker left over from an
+  /// old run pins the old digest and is rejected by name.
+  std::uint64_t expect_digest = 0;
+  std::string worker_name = "worker";
+  std::chrono::milliseconds handshake_timeout{5000};
+  /// Listen mode: reports the bound port (for port-0 harnesses).
+  std::function<void(std::uint16_t port)> on_listening;
+};
+
+/// Runs a remote worker end-to-end over real TCP. Returns 0 after a
+/// normally-ended session (every session, under serve_forever), nonzero
+/// with a message on stderr when connecting/listening/serving fails.
+int run_remote_worker(const RemoteWorkerOptions& options);
+
+}  // namespace hwsec::core::service

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/json.h"
+#include "core/shard/net.h"
 
 namespace hwsec::core::service {
 
@@ -98,7 +99,12 @@ std::string encode_spec(const CampaignSpec& spec) {
       << ", \"max_attempts\": " << spec.max_attempts                      //
       << ", \"trial_cycle_budget\": " << spec.trial_cycle_budget          //
       << ", \"trial_delay_us\": " << spec.trial_delay_us                  //
-      << ", \"priority\": " << spec.priority << "}";
+      << ", \"priority\": " << spec.priority                              //
+      << ", \"hosts\": [";
+  for (std::size_t i = 0; i < spec.hosts.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << json_escape(spec.hosts[i]) << "\"";
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -169,6 +175,31 @@ bool decode_spec(const std::string& json, CampaignSpec& out, std::string& error)
   if (out.trials == 0) {
     error = "field \"trials\" must be >= 1";
     return false;
+  }
+  if (const JsonValue* hosts = doc.find("hosts"); hosts != nullptr) {
+    if (!hosts->is_array()) {
+      error = "field \"hosts\" must be an array of \"host:port\" strings";
+      return false;
+    }
+    if (hosts->array.size() > kMaxSpecHosts) {
+      std::ostringstream msg;
+      msg << "field \"hosts\" lists " << hosts->array.size() << " endpoints (max "
+          << kMaxSpecHosts << ")";
+      error = msg.str();
+      return false;
+    }
+    for (const JsonValue& element : hosts->array) {
+      if (!element.is_string()) {
+        error = "field \"hosts\" must contain only strings";
+        return false;
+      }
+      shard::HostSpec parsed;
+      if (!shard::parse_host(element.string, parsed, error)) {
+        error = "field \"hosts\": " + error;
+        return false;
+      }
+      out.hosts.push_back(element.string);
+    }
   }
   return true;
 }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/resilience/outcome.h"
 
@@ -42,7 +43,18 @@ struct CampaignSpec {
   std::uint64_t trial_delay_us = 0;     ///< artificial per-trial pacing (tests/demos);
                                         ///< never feeds the result, only wall time.
   std::int32_t priority = 0;            ///< higher = sooner within a tenant.
+  /// Remote worker endpoints ("host:port") the supervisor dials; nonempty
+  /// routes the campaign through the sharded supervisor even when
+  /// processes == 0. Each element must satisfy shard::parse_host; at most
+  /// kMaxSpecHosts entries. The spec itself is shipped to remote workers,
+  /// so its canonical encoding always includes this field (an empty array
+  /// when unused) — the campaign-identity digest covers the host list.
+  std::vector<std::string> hosts;
 };
+
+/// Ceiling on CampaignSpec::hosts (wire-level sanity; the daemon may
+/// enforce a lower admission cap).
+inline constexpr std::size_t kMaxSpecHosts = 32;
 
 /// Canonical JSON encoding (all fields explicit, names escaped).
 std::string encode_spec(const CampaignSpec& spec);

@@ -1,0 +1,404 @@
+#include "core/shard/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace hwsec::core::shard {
+
+// ---- host discovery -----------------------------------------------------
+
+namespace {
+
+bool valid_host_chars(const std::string& host) {
+  if (host.empty() || host.size() > 255) {
+    return false;
+  }
+  for (const char c : host) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_host(const std::string& element, HostSpec& out, std::string& error) {
+  const std::size_t colon = element.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == element.size()) {
+    error = "host element \"" + element + "\" must be host:port";
+    return false;
+  }
+  const std::string host = element.substr(0, colon);
+  const std::string port_str = element.substr(colon + 1);
+  if (!valid_host_chars(host)) {
+    error = "host element \"" + element + "\" has a malformed host name";
+    return false;
+  }
+  unsigned long port = 0;
+  for (const char c : port_str) {
+    if (c < '0' || c > '9') {
+      error = "host element \"" + element + "\" has a non-numeric port";
+      return false;
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) {
+      break;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    error = "host element \"" + element + "\" port must be in [1, 65535]";
+    return false;
+  }
+  out.host = host;
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+bool parse_hosts(const std::string& list, std::vector<HostSpec>& out, std::string& error) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    const std::string element = list.substr(start, end - start);
+    if (element.empty()) {
+      error = "host list has an empty element";
+      return false;
+    }
+    HostSpec host;
+    if (!parse_host(element, host, error)) {
+      return false;
+    }
+    out.push_back(std::move(host));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    error = "host list is empty";
+    return false;
+  }
+  return true;
+}
+
+std::vector<HostSpec> hosts_from_env(std::string& error) {
+  std::vector<HostSpec> hosts;
+  const char* value = std::getenv("HWSEC_SHARD_HOSTS");
+  if (value == nullptr || *value == '\0') {
+    return hosts;
+  }
+  if (!parse_hosts(value, hosts, error)) {
+    error = "HWSEC_SHARD_HOSTS: " + error;
+    hosts.clear();
+  }
+  return hosts;
+}
+
+// ---- TCP plumbing -------------------------------------------------------
+
+int tcp_connect(const HostSpec& host, std::chrono::milliseconds timeout, std::string& error) {
+  const std::string where = host.host + ":" + std::to_string(host.port);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const std::string port_str = std::to_string(host.port);
+  if (const int rc = getaddrinfo(host.host.c_str(), port_str.c_str(), &hints, &info);
+      rc != 0) {
+    error = "resolve(" + where + "): " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  error = "connect(" + where + "): no usable address";
+  for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      error = "socket(" + where + "): " + std::strerror(errno);
+      continue;
+    }
+    // Bounded connect: non-blocking + poll, then read back SO_ERROR.
+    fcntl(fd, F_SETFL, O_NONBLOCK);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    if (errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = poll(&pfd, 1, static_cast<int>(timeout.count()));
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready > 0 && getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        break;
+      }
+      error = "connect(" + where + "): " +
+              (ready <= 0 ? "timed out" : std::strerror(so_error));
+    } else {
+      error = "connect(" + where + "): " + std::strerror(errno);
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(info);
+  if (fd >= 0) {
+    // Hand back a blocking fd; transports set their own flags. Shard
+    // frames are small and latency-bound: disable Nagle coalescing.
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL) & ~O_NONBLOCK);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    error.clear();
+  }
+  return fd;
+}
+
+int tcp_listen(const std::string& address, std::uint16_t port, std::string& error) {
+  const std::string bind_address = address.empty() ? "127.0.0.1" : address;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    error = "listen address \"" + bind_address + "\" is not a numeric IPv4 address";
+    ::close(fd);
+    return -1;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = "bind(" + bind_address + ":" + std::to_string(port) +
+            "): " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (listen(fd, 16) != 0) {
+    error = std::string("listen(): ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  fcntl(fd, F_SETFL, O_NONBLOCK);  // poll-loop friendly accepts.
+  error.clear();
+  return fd;
+}
+
+std::uint16_t tcp_local_port(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int tcp_accept(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -1;
+  }
+}
+
+// ---- handshake payloads -------------------------------------------------
+
+namespace {
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+bool get_f64(Reader& r, double& v) {
+  std::uint64_t bits = 0;
+  if (!r.get_u64(bits)) {
+    return false;
+  }
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+void put_chaos(std::string& out, const ChaosConfig& chaos) {
+  put_u64(out, chaos.seed);
+  put_f64(out, chaos.throw_probability);
+  put_f64(out, chaos.bad_alloc_probability);
+  put_f64(out, chaos.delay_probability);
+  put_u32(out, chaos.max_delay_us);
+  put_f64(out, chaos.worker_kill_probability);
+  put_f64(out, chaos.worker_stop_probability);
+}
+
+bool get_chaos(Reader& r, ChaosConfig& chaos) {
+  return r.get_u64(chaos.seed) && get_f64(r, chaos.throw_probability) &&
+         get_f64(r, chaos.bad_alloc_probability) && get_f64(r, chaos.delay_probability) &&
+         r.get_u32(chaos.max_delay_us) && get_f64(r, chaos.worker_kill_probability) &&
+         get_f64(r, chaos.worker_stop_probability);
+}
+
+}  // namespace
+
+std::string encode_hello(const HelloPayload& p) {
+  std::string out;
+  put_u16(out, p.wire_version);
+  put_u32(out, p.capabilities);
+  put_u64(out, p.expect_digest);
+  put_bytes(out, p.worker_name);
+  return out;
+}
+
+bool decode_hello(const std::string& payload, HelloPayload& out) {
+  Reader r(payload);
+  return r.get_u16(out.wire_version) && r.get_u32(out.capabilities) &&
+         r.get_u64(out.expect_digest) && r.get_bytes(out.worker_name) && r.exhausted();
+}
+
+std::string encode_welcome(const WelcomePayload& p) {
+  std::string out;
+  put_u64(out, p.campaign_digest);
+  put_bytes(out, p.spec_json);
+  put_u32(out, p.heartbeat_ms);
+  put_u32(out, p.wall_clock_timeout_ms);
+  put_chaos(out, p.chaos);
+  return out;
+}
+
+bool decode_welcome(const std::string& payload, WelcomePayload& out) {
+  Reader r(payload);
+  return r.get_u64(out.campaign_digest) && r.get_bytes(out.spec_json) &&
+         r.get_u32(out.heartbeat_ms) && r.get_u32(out.wall_clock_timeout_ms) &&
+         get_chaos(r, out.chaos) && r.exhausted();
+}
+
+std::string encode_reject(const RejectPayload& p) {
+  std::string out;
+  put_bytes(out, p.reason);
+  return out;
+}
+
+bool decode_reject(const std::string& payload, RejectPayload& out) {
+  Reader r(payload);
+  return r.get_bytes(out.reason) && r.exhausted();
+}
+
+// ---- handshake protocol -------------------------------------------------
+
+bool handshake_accept(Transport& transport, const RemoteCampaignInfo& info,
+                      std::chrono::milliseconds timeout, HelloPayload& hello_out,
+                      std::string& error) {
+  Frame frame;
+  if (!transport.recv_blocking(frame, timeout)) {
+    error = transport.corrupt() ? "handshake stream corrupt (bad magic/version/length)"
+                                : "handshake timed out or peer closed before kHello";
+    return false;
+  }
+  if (frame.type != FrameType::kHello) {
+    error = "expected kHello, got frame type " +
+            std::to_string(static_cast<unsigned>(frame.type));
+    return false;
+  }
+  if (!decode_hello(frame.payload, hello_out)) {
+    error = "malformed kHello payload";
+    return false;
+  }
+  const auto reject = [&](std::string reason) {
+    error = std::move(reason);
+    transport.send(Frame{FrameType::kReject, encode_reject(RejectPayload{error})});
+    return false;
+  };
+  if (hello_out.wire_version != kWireVersion) {
+    std::ostringstream msg;
+    msg << "wire version mismatch: worker speaks v" << hello_out.wire_version
+        << ", supervisor speaks v" << kWireVersion;
+    return reject(msg.str());
+  }
+  if ((hello_out.capabilities & kCapSpecRunner) == 0) {
+    return reject("worker lacks the spec-runner capability this campaign requires");
+  }
+  if (info.spec_json.empty()) {
+    return reject("campaign is not remote-capable (no spec to ship)");
+  }
+  if (hello_out.expect_digest != 0 && hello_out.expect_digest != info.digest) {
+    std::ostringstream msg;
+    msg << "campaign digest mismatch: worker expects " << std::hex << hello_out.expect_digest
+        << ", this campaign is " << info.digest;
+    return reject(msg.str());
+  }
+  WelcomePayload welcome;
+  welcome.campaign_digest = info.digest;
+  welcome.spec_json = info.spec_json;
+  welcome.heartbeat_ms = info.heartbeat_ms;
+  welcome.wall_clock_timeout_ms = info.wall_clock_timeout_ms;
+  welcome.chaos = info.chaos;
+  if (!transport.send(Frame{FrameType::kWelcome, encode_welcome(welcome)})) {
+    error = "peer closed before the welcome could be sent";
+    return false;
+  }
+  return true;
+}
+
+bool handshake_connect(Transport& transport, const HelloPayload& hello,
+                       std::chrono::milliseconds timeout, WelcomePayload& welcome_out,
+                       std::string& error) {
+  if (!transport.send(Frame{FrameType::kHello, encode_hello(hello)})) {
+    error = "supervisor closed before kHello could be sent";
+    return false;
+  }
+  Frame frame;
+  if (!transport.recv_blocking(frame, timeout)) {
+    error = transport.corrupt() ? "handshake stream corrupt (bad magic/version/length)"
+                                : "handshake timed out or supervisor closed";
+    return false;
+  }
+  if (frame.type == FrameType::kReject) {
+    RejectPayload reject;
+    error = decode_reject(frame.payload, reject) ? "rejected by supervisor: " + reject.reason
+                                                 : "rejected by supervisor (unreadable reason)";
+    return false;
+  }
+  if (frame.type != FrameType::kWelcome) {
+    error = "expected kWelcome, got frame type " +
+            std::to_string(static_cast<unsigned>(frame.type));
+    return false;
+  }
+  if (!decode_welcome(frame.payload, welcome_out)) {
+    error = "malformed kWelcome payload";
+    return false;
+  }
+  if (fnv1a64(welcome_out.spec_json) != welcome_out.campaign_digest) {
+    error = "welcome spec bytes do not hash to the promised campaign digest";
+    return false;
+  }
+  if (hello.expect_digest != 0 && welcome_out.campaign_digest != hello.expect_digest) {
+    std::ostringstream msg;
+    msg << "campaign digest mismatch: expected " << std::hex << hello.expect_digest
+        << ", supervisor offered " << welcome_out.campaign_digest;
+    error = msg.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hwsec::core::shard

@@ -1,0 +1,141 @@
+// Multi-host shard networking: TCP plumbing, host discovery, and the
+// connect/handshake protocol.
+//
+// Discovery is deliberately static — a comma-separated host list
+// (`--hosts a:7700,b:7700`, the HWSEC_SHARD_HOSTS environment variable, or
+// the `hosts` array in an hwsecd campaign spec). The supervisor dials each
+// host (a listening hwsec-shard-worker); workers can equally dial a
+// listening supervisor. Either direction, the WORKER always speaks first:
+//
+//   worker     kHello    wire version, capability bits, the campaign
+//                        digest it expects (0 = any), a display name;
+//   supervisor kWelcome  campaign digest + the canonical spec JSON that
+//                        produced it, plus every execution knob a remote
+//                        trial needs to be bit-identical to a local one
+//                        (heartbeat period, chaos plan, wall-clock cap);
+//           or kReject   a NAMED reason — version skew, digest mismatch,
+//                        missing capability — never silence, never UB.
+//
+// The digest is fnv1a64 over the canonical spec encoding, so "a stale
+// worker can never join the wrong run" is enforced twice: the supervisor
+// refuses a worker expecting a different campaign, and the worker verifies
+// the welcome's spec bytes hash to the digest it was promised.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resilience/chaos.h"
+#include "core/shard/transport.h"
+#include "core/shard/wire.h"
+
+namespace hwsec::core::shard {
+
+/// Capability bits a worker announces in kHello. kCapSpecRunner = "I can
+/// decode a campaign spec JSON and run catalog trial bodies" — the one
+/// capability today's supervisor requires of a remote worker.
+inline constexpr std::uint32_t kCapSpecRunner = 1u << 0;
+
+/// Cap on a handshake frame from a not-yet-trusted peer. A hello is a few
+/// dozen bytes and a welcome carries one spec JSON document; anything
+/// larger is hostile or desynchronized.
+inline constexpr std::uint32_t kMaxHandshakePayload = 1u << 20;  // 1 MiB.
+
+// ---- host discovery -----------------------------------------------------
+
+struct HostSpec {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port[,host:port...]" (the --hosts / HWSEC_SHARD_HOSTS
+/// syntax). Returns false with a named reason on an empty element, a
+/// malformed port, or a hostile host string.
+bool parse_hosts(const std::string& list, std::vector<HostSpec>& out, std::string& error);
+
+/// Parses one "host:port" element.
+bool parse_host(const std::string& element, HostSpec& out, std::string& error);
+
+/// Hosts from HWSEC_SHARD_HOSTS (empty vector when unset or unparsable;
+/// a malformed value is reported through `error`).
+std::vector<HostSpec> hosts_from_env(std::string& error);
+
+// ---- TCP plumbing -------------------------------------------------------
+
+/// Connects to host:port with a bounded wait. Returns the connected fd or
+/// -1 with a named reason ("connect(host:port): ...").
+int tcp_connect(const HostSpec& host, std::chrono::milliseconds timeout, std::string& error);
+
+/// Binds + listens on address:port (port 0 = kernel-assigned). Returns the
+/// listening fd or -1 with a named reason.
+int tcp_listen(const std::string& address, std::uint16_t port, std::string& error);
+
+/// The locally bound port of a listening fd (after tcp_listen with port 0).
+std::uint16_t tcp_local_port(int listen_fd);
+
+/// Accepts one pending connection; -1 when none is pending (the listening
+/// fd is non-blocking) or on error.
+int tcp_accept(int listen_fd);
+
+// ---- handshake payloads -------------------------------------------------
+
+struct HelloPayload {
+  std::uint16_t wire_version = kWireVersion;
+  std::uint32_t capabilities = kCapSpecRunner;
+  /// Campaign digest this worker will accept; 0 = join whatever campaign
+  /// the supervisor offers. A worker restarted from an old run pins the
+  /// old digest and is rejected by name instead of polluting a new run.
+  std::uint64_t expect_digest = 0;
+  std::string worker_name;
+};
+
+struct WelcomePayload {
+  std::uint64_t campaign_digest = 0;  ///< fnv1a64 of spec_json.
+  std::string spec_json;              ///< canonical CampaignSpec encoding.
+  std::uint32_t heartbeat_ms = 25;
+  std::uint32_t wall_clock_timeout_ms = 0;
+  ChaosConfig chaos;  ///< full chaos plan: remote dice must equal local dice.
+};
+
+struct RejectPayload {
+  std::string reason;
+};
+
+std::string encode_hello(const HelloPayload& p);
+bool decode_hello(const std::string& payload, HelloPayload& out);
+
+std::string encode_welcome(const WelcomePayload& p);
+bool decode_welcome(const std::string& payload, WelcomePayload& out);
+
+std::string encode_reject(const RejectPayload& p);
+bool decode_reject(const std::string& payload, RejectPayload& out);
+
+// ---- handshake protocol -------------------------------------------------
+
+/// What the supervisor offers a connecting worker.
+struct RemoteCampaignInfo {
+  std::string spec_json;
+  std::uint64_t digest = 0;  ///< fnv1a64(spec_json); computed by the caller.
+  std::uint32_t heartbeat_ms = 25;
+  std::uint32_t wall_clock_timeout_ms = 0;
+  ChaosConfig chaos;
+};
+
+/// Supervisor side: waits for kHello, validates version / capability /
+/// expected digest, answers kWelcome on success or kReject (with the same
+/// named reason returned in `error`) on refusal. False also covers a
+/// corrupt or timed-out handshake stream.
+bool handshake_accept(Transport& transport, const RemoteCampaignInfo& info,
+                      std::chrono::milliseconds timeout, HelloPayload& hello_out,
+                      std::string& error);
+
+/// Worker side: sends kHello, waits for kWelcome/kReject, and verifies the
+/// welcome's spec bytes hash to the promised digest. On any failure the
+/// named reason lands in `error`.
+bool handshake_connect(Transport& transport, const HelloPayload& hello,
+                       std::chrono::milliseconds timeout, WelcomePayload& welcome_out,
+                       std::string& error);
+
+}  // namespace hwsec::core::shard

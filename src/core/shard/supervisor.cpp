@@ -1,6 +1,5 @@
 #include "core/shard/supervisor.h"
 
-#include <fcntl.h>
 #include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -13,6 +12,8 @@
 
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
+#include "core/shard/net.h"
+#include "core/shard/transport.h"
 #include "core/shard/wire.h"
 #include "core/shutdown.h"
 
@@ -49,6 +50,18 @@ struct Obs {
     static const obs::Counter c = obs::counter("shard_fallback_trials");
     return c;
   }
+  static const obs::Counter& remote_workers() {
+    static const obs::Counter c = obs::counter("shard_remote_workers");
+    return c;
+  }
+  static const obs::Counter& reconnects() {
+    static const obs::Counter c = obs::counter("shard_remote_reconnects");
+    return c;
+  }
+  static const obs::Counter& rejected() {
+    static const obs::Counter c = obs::counter("shard_handshakes_rejected");
+    return c;
+  }
   static const obs::Gauge& live_workers() {
     static const obs::Gauge g = obs::gauge("shard_live_workers");
     return g;
@@ -69,17 +82,29 @@ struct Assignment {
   bool split_done = false;     ///< straggler tail already migrated once.
 };
 
-struct WorkerProc {
-  pid_t pid = -1;
-  int cmd_fd = -1;  ///< supervisor -> worker.
-  int out_fd = -1;  ///< worker -> supervisor.
-  FrameBuffer inbuf;
+/// One worker the supervisor talks to — a forked child behind a pipe pair,
+/// a dialed remote host, or an inbound TCP worker. The scheduler treats
+/// them identically; only lifecycle differs (waitpid/SIGKILL for locals,
+/// transport close + re-dial for remotes).
+struct WorkerLink {
+  pid_t pid = -1;  ///< >= 0: forked local worker (waitpid target).
+  std::unique_ptr<Transport> transport;
   Clock::time_point last_seen;
   std::optional<Assignment> current;
   bool alive = false;
-  bool kill_sent = false;  ///< hang detector already SIGKILLed it.
+  bool kill_sent = false;  ///< hang detector already SIGKILLed it (locals).
+  int host_index = -1;     ///< >= 0: dialed slot for config.hosts[host_index].
+  bool inbound = false;    ///< accepted via the listener.
 
   bool idle() const { return alive && !current.has_value(); }
+  bool local() const { return host_index < 0 && !inbound; }
+};
+
+/// Dial budget/backoff for one configured remote host.
+struct HostState {
+  unsigned attempts = 0;  ///< dial attempts spent (initial dial included).
+  Clock::time_point next_attempt;
+  WorkerLink* link = nullptr;  ///< the (stable) worker slot for this host.
 };
 
 class Supervisor {
@@ -96,31 +121,65 @@ class Supervisor {
     load_checkpoint();
     plan_shards();
 
-    if (config_.processes == 0) {
+    const bool remote = !config_.hosts.empty() || config_.listen;
+    if (remote && config_.remote_spec_json.empty()) {
+      throw SimError(ErrorKind::kConfigError,
+                     "remote shard workers require a campaign spec "
+                     "(ShardConfig::remote_spec_json is empty)");
+    }
+    if (config_.processes == 0 && !remote) {
       run_fallback();
       finish();
       return std::move(result_);
     }
 
     SigpipeIgnore no_sigpipe;
-    workers_.resize(config_.processes);
-    for (auto& worker : workers_) {
-      spawn(worker);
+    if (remote) {
+      remote_info_.spec_json = config_.remote_spec_json;
+      remote_info_.digest = fnv1a64(config_.remote_spec_json);
+      remote_info_.heartbeat_ms =
+          static_cast<std::uint32_t>(config_.heartbeat_interval.count());
+      remote_info_.wall_clock_timeout_ms =
+          static_cast<std::uint32_t>(res_.wall_clock_timeout.count());
+      remote_info_.chaos = res_.chaos;
     }
+    for (unsigned i = 0; i < config_.processes; ++i) {
+      workers_.push_back(std::make_unique<WorkerLink>());
+      spawn(*workers_.back());
+    }
+    host_state_.resize(config_.hosts.size());
+    for (std::size_t h = 0; h < config_.hosts.size(); ++h) {
+      workers_.push_back(std::make_unique<WorkerLink>());
+      workers_.back()->host_index = static_cast<int>(h);
+      host_state_[h].link = workers_.back().get();
+      dial_host(h);
+    }
+    if (config_.listen) {
+      std::string error;
+      listen_fd_ = tcp_listen(config_.listen_address, config_.listen_port, error);
+      if (listen_fd_ < 0) {
+        throw SimError(ErrorKind::kConfigError, "shard listener: " + error);
+      }
+      if (config_.on_listening) {
+        config_.on_listening(tcp_local_port(listen_fd_));
+      }
+    }
+    listen_deadline_ = Clock::now() + config_.listen_grace;
 
     while (!done() && !should_stop()) {
       pump_events();
       reap_exits();
       detect_hangs();
-      respawn_dead();
+      revive_dead();
       assign_work();
       migrate_stragglers();
     }
 
     shutdown_fleet();
     if (!done() && !result_.shutdown && !result_.failfast_tripped) {
-      // Every fork avenue is exhausted but trials remain: finish them here.
-      // Robustness means the campaign converges even with zero workers.
+      // Every fork and every host avenue is exhausted but trials remain:
+      // finish them here. Robustness means the campaign converges even
+      // with zero workers anywhere.
       run_fallback();
     }
     finish();
@@ -141,10 +200,10 @@ class Supervisor {
   }
 
   void plan_shards() {
+    const std::size_t fan_out =
+        static_cast<std::size_t>(config_.processes) + config_.hosts.size();
     const std::size_t auto_size =
-        config_.processes == 0
-            ? job_.trials
-            : std::max<std::size_t>(1, job_.trials / (std::size_t{config_.processes} * 4));
+        fan_out == 0 ? job_.trials : std::max<std::size_t>(1, job_.trials / (fan_out * 4));
     const std::size_t shard_size =
         config_.shard_size == 0 ? std::max<std::size_t>(1, auto_size) : config_.shard_size;
     std::uint64_t next_id = 0;
@@ -174,18 +233,31 @@ class Supervisor {
       // Drain: stop once no worker still holds a shard (in-flight shards
       // finish and their slots are recorded/checkpointed, matching the
       // in-process fail-fast contract).
-      return std::none_of(workers_.begin(), workers_.end(),
-                          [](const WorkerProc& w) { return w.alive && w.current; });
+      return std::none_of(workers_.begin(), workers_.end(), [](const auto& w) {
+        return w->alive && w->current;
+      });
     }
-    // No way to make progress? (all dead, respawn budget gone) -> fallback.
     const bool any_alive = std::any_of(workers_.begin(), workers_.end(),
-                                       [](const WorkerProc& w) { return w.alive; });
-    return !any_alive && result_.stats.worker_respawns >= config_.max_respawns;
+                                       [](const auto& w) { return w->alive; });
+    if (any_alive) {
+      // Someone is working; the inbound-wait horizon restarts from here.
+      listen_deadline_ = Clock::now() + config_.listen_grace;
+      return false;
+    }
+    // No way to make progress? (all dead; fork, re-dial, and inbound-wait
+    // budgets gone) -> fallback.
+    const bool fork_possible =
+        config_.processes > 0 && result_.stats.worker_respawns < config_.max_respawns;
+    const bool dial_possible =
+        std::any_of(host_state_.begin(), host_state_.end(),
+                    [this](const HostState& h) { return h.attempts < config_.max_reconnects; });
+    const bool inbound_possible = listen_fd_ >= 0 && Clock::now() < listen_deadline_;
+    return !fork_possible && !dial_possible && !inbound_possible;
   }
 
-  // ---- process management ----------------------------------------------
+  // ---- local process management -----------------------------------------
 
-  void spawn(WorkerProc& worker) {
+  void spawn(WorkerLink& link) {
     int cmd_pipe[2];
     int out_pipe[2];
     if (pipe(cmd_pipe) != 0) {
@@ -204,12 +276,18 @@ class Supervisor {
       return;
     }
     if (pid == 0) {
-      // Child: keep only our two pipe ends, drop every other worker's.
+      // Child: keep only our two pipe ends; drop every other worker's
+      // transport and the listener (closing them here touches only the
+      // child's fd table).
       close(cmd_pipe[1]);
       close(out_pipe[0]);
-      for (const WorkerProc& other : workers_) {
-        if (other.cmd_fd >= 0) close(other.cmd_fd);
-        if (other.out_fd >= 0) close(other.out_fd);
+      for (const auto& other : workers_) {
+        if (other && other->transport) {
+          other->transport->close();
+        }
+      }
+      if (listen_fd_ >= 0) {
+        close(listen_fd_);
       }
       WorkerEnv env;
       env.heartbeat_interval = config_.heartbeat_interval;
@@ -225,40 +303,151 @@ class Supervisor {
     }
     close(cmd_pipe[0]);
     close(out_pipe[1]);
-    fcntl(out_pipe[0], F_SETFL, O_NONBLOCK);
-    worker = WorkerProc{};
-    worker.pid = pid;
-    worker.cmd_fd = cmd_pipe[1];
-    worker.out_fd = out_pipe[0];
-    worker.last_seen = Clock::now();
-    worker.alive = true;
+    link.pid = pid;
+    auto transport =
+        std::make_unique<FdTransport>(out_pipe[0], cmd_pipe[1], kMaxShardFramePayload);
+    transport->set_label("pipe");
+    link.transport = std::move(transport);
+    link.current.reset();
+    link.kill_sent = false;
+    link.last_seen = Clock::now();
+    link.alive = true;
     Obs::live_workers().set(static_cast<std::int64_t>(live_count()));
   }
 
   std::size_t live_count() const {
     return static_cast<std::size_t>(std::count_if(
-        workers_.begin(), workers_.end(), [](const WorkerProc& w) { return w.alive; }));
+        workers_.begin(), workers_.end(), [](const auto& w) { return w->alive; }));
   }
 
-  void close_worker_fds(WorkerProc& worker) {
-    if (worker.cmd_fd >= 0) {
-      close(worker.cmd_fd);
-      worker.cmd_fd = -1;
+  // ---- remote host management -------------------------------------------
+
+  /// One dial attempt against config_.hosts[h]: connect (or the test
+  /// dialer), decorate, handshake, bind into the host's worker slot. The
+  /// attempt spends budget whether or not it succeeds, so an unreachable
+  /// host converges to fallback instead of spinning forever.
+  bool dial_host(std::size_t h) {
+    HostState& state = host_state_[h];
+    state.attempts += 1;
+    if (state.attempts > 1) {
+      result_.stats.remote_reconnects += 1;
+      Obs::reconnects().add(1);
     }
-    if (worker.out_fd >= 0) {
-      close(worker.out_fd);
-      worker.out_fd = -1;
+    const auto shift = std::min<unsigned>(state.attempts - 1, 6);
+    state.next_attempt = Clock::now() + config_.reconnect_backoff * (1u << shift);
+
+    const HostSpec& host = config_.hosts[h];
+    std::string error;
+    std::unique_ptr<Transport> transport;
+    if (config_.dialer) {
+      transport = config_.dialer(host, error);
+    } else {
+      const int fd = tcp_connect(host, config_.connect_timeout, error);
+      if (fd >= 0) {
+        auto fd_transport = std::make_unique<FdTransport>(fd, fd, kMaxShardFramePayload);
+        fd_transport->set_label("tcp:" + host.host + ":" + std::to_string(host.port));
+        transport = std::move(fd_transport);
+      }
+    }
+    if (transport == nullptr) {
+      return false;
+    }
+    if (config_.transport_decorator) {
+      transport = config_.transport_decorator(std::move(transport));
+    }
+    if (!adopt_remote(*state.link, std::move(transport))) {
+      return false;
+    }
+    state.link->host_index = static_cast<int>(h);
+    return true;
+  }
+
+  /// Handshakes a fresh remote transport and, on success, binds it into
+  /// `link` as a live worker.
+  bool adopt_remote(WorkerLink& link, std::unique_ptr<Transport> transport) {
+    HelloPayload hello;
+    std::string error;
+    if (!handshake_accept(*transport, remote_info_, config_.handshake_timeout, hello,
+                          error)) {
+      result_.stats.handshakes_rejected += 1;
+      Obs::rejected().add(1);
+      obs::Tracer::instance().instant("shard_handshake_rejected", 0, "count");
+      transport->close();
+      return false;
+    }
+    link.pid = -1;
+    link.transport = std::move(transport);
+    link.current.reset();
+    link.kill_sent = false;
+    link.last_seen = Clock::now();
+    link.alive = true;
+    result_.stats.remote_workers += 1;
+    Obs::remote_workers().add(1);
+    Obs::live_workers().set(static_cast<std::int64_t>(live_count()));
+    return true;
+  }
+
+  void accept_inbound() {
+    while (listen_fd_ >= 0) {
+      const int fd = tcp_accept(listen_fd_);
+      if (fd < 0) {
+        return;
+      }
+      WorkerLink* slot = inbound_slot();
+      if (slot == nullptr) {
+        close(fd);  // over max_inbound_workers: refuse at the door.
+        continue;
+      }
+      auto transport = std::make_unique<FdTransport>(fd, fd, kMaxShardFramePayload);
+      transport->set_label("tcp-inbound");
+      std::unique_ptr<Transport> wrapped = std::move(transport);
+      if (config_.transport_decorator) {
+        wrapped = config_.transport_decorator(std::move(wrapped));
+      }
+      adopt_remote(*slot, std::move(wrapped));
     }
   }
 
-  /// A worker stopped being useful (exit, hang-kill, corrupt stream):
-  /// salvage its unfinished shard for the survivors and account the death.
-  void handle_death(WorkerProc& worker, bool hang) {
-    if (!worker.alive) {
+  /// A dead inbound slot to reuse, or a fresh one while under the cap
+  /// (dead slots are recycled so reconnecting workers never grow the
+  /// vector unboundedly).
+  WorkerLink* inbound_slot() {
+    std::size_t inbound_total = 0;
+    WorkerLink* dead = nullptr;
+    for (const auto& link : workers_) {
+      if (!link->inbound) {
+        continue;
+      }
+      inbound_total += 1;
+      if (!link->alive && dead == nullptr) {
+        dead = link.get();
+      }
+    }
+    if (dead != nullptr) {
+      return dead;
+    }
+    if (inbound_total >= config_.max_inbound_workers) {
+      return nullptr;
+    }
+    workers_.push_back(std::make_unique<WorkerLink>());
+    workers_.back()->inbound = true;
+    return workers_.back().get();
+  }
+
+  // ---- death / revival --------------------------------------------------
+
+  /// A worker stopped being useful (exit, hang-kill, disconnect, corrupt
+  /// stream): salvage its unfinished shard for the survivors and account
+  /// the death.
+  void handle_death(WorkerLink& link, bool hang) {
+    if (!link.alive) {
       return;
     }
-    worker.alive = false;
-    close_worker_fds(worker);
+    link.alive = false;
+    if (link.transport) {
+      link.transport->close();
+      link.transport.reset();
+    }
     if (stopping_) {
       // Told to exit; an exit during teardown is obedience, not a death.
       Obs::live_workers().set(static_cast<std::int64_t>(live_count()));
@@ -271,12 +460,12 @@ class Supervisor {
       Obs::hangs().add(1);
     }
     obs::Tracer::instance().instant(hang ? "shard_worker_hang" : "shard_worker_death",
-                                    static_cast<std::int64_t>(worker.pid), "pid");
-    if (worker.current.has_value()) {
-      Assignment migrated = *worker.current;
+                                    static_cast<std::int64_t>(link.pid), "pid");
+    if (link.current.has_value()) {
+      Assignment migrated = *link.current;
       migrated.attempt += 1;
       migrated.split_done = false;
-      worker.current.reset();
+      link.current.reset();
       if (has_pending_trials(migrated)) {
         pending_.push_front(migrated);  // recover lost work first.
         result_.stats.migrations += 1;
@@ -288,14 +477,15 @@ class Supervisor {
 
   void reap_exits() {
     for (auto& worker : workers_) {
-      if (worker.pid < 0) {
+      WorkerLink& link = *worker;
+      if (link.pid < 0) {
         continue;
       }
       int status = 0;
-      const pid_t got = waitpid(worker.pid, &status, WNOHANG);
-      if (got == worker.pid) {
-        worker.pid = -1;
-        handle_death(worker, /*hang=*/worker.kill_sent);
+      const pid_t got = waitpid(link.pid, &status, WNOHANG);
+      if (got == link.pid) {
+        link.pid = -1;
+        handle_death(link, /*hang=*/link.kill_sent);
       }
     }
   }
@@ -307,33 +497,49 @@ class Supervisor {
     const auto now = Clock::now();
     std::int64_t max_age_ms = 0;
     for (auto& worker : workers_) {
-      if (!worker.alive || worker.kill_sent) {
+      WorkerLink& link = *worker;
+      if (!link.alive || link.kill_sent) {
         continue;
       }
       const auto age =
-          std::chrono::duration_cast<std::chrono::milliseconds>(now - worker.last_seen);
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - link.last_seen);
       max_age_ms = std::max<std::int64_t>(max_age_ms, age.count());
       if (age > config_.hang_timeout) {
-        // SIGKILL works on stopped processes too — this is the SIGSTOP
-        // recovery path. The death is accounted when waitpid reaps it.
-        kill(worker.pid, SIGKILL);
-        worker.kill_sent = true;
+        if (link.pid >= 0) {
+          // SIGKILL works on stopped processes too — this is the SIGSTOP
+          // recovery path. The death is accounted when waitpid reaps it.
+          kill(link.pid, SIGKILL);
+          link.kill_sent = true;
+        } else {
+          // Remote hang: there is no process to kill, only a link to cut.
+          // The heartbeat-timeout => disconnect => migrate row of the
+          // failure matrix.
+          handle_death(link, /*hang=*/true);
+        }
       }
     }
     Obs::heartbeat_age_ms().set(max_age_ms);
   }
 
-  void respawn_dead() {
+  void revive_dead() {
     if (pending_.empty() && done()) {
       return;
     }
+    if (respawn_local()) {
+      return;  // at most one revival per loop pass keeps backoff honest.
+    }
+    redial_hosts();
+  }
+
+  bool respawn_local() {
     const auto now = Clock::now();
     for (auto& worker : workers_) {
-      if (worker.alive || worker.pid >= 0) {
-        continue;  // alive, or dead-but-unreaped.
+      WorkerLink& link = *worker;
+      if (!link.local() || link.alive || link.pid >= 0) {
+        continue;  // remote, alive, or dead-but-unreaped.
       }
       if (result_.stats.worker_respawns >= config_.max_respawns) {
-        return;
+        return false;
       }
       if (!respawn_after_.has_value()) {
         // Exponential backoff: 2^respawns * base, capped at 64x.
@@ -341,7 +547,7 @@ class Supervisor {
         respawn_after_ = now + config_.respawn_backoff * (1 << shift);
       }
       if (now < *respawn_after_) {
-        return;  // back off before forking a replacement.
+        return false;  // back off before forking a replacement.
       }
       respawn_after_.reset();
       // The attempt spends budget whether or not fork() succeeds, so a
@@ -349,8 +555,24 @@ class Supervisor {
       // of spinning on retries forever.
       result_.stats.worker_respawns += 1;
       Obs::respawns().add(1);
-      spawn(worker);
-      return;  // at most one respawn per loop pass keeps backoff honest.
+      spawn(link);
+      return true;
+    }
+    return false;
+  }
+
+  void redial_hosts() {
+    const auto now = Clock::now();
+    for (std::size_t h = 0; h < host_state_.size(); ++h) {
+      HostState& state = host_state_[h];
+      if (state.link->alive || state.link->pid >= 0) {
+        continue;
+      }
+      if (state.attempts >= config_.max_reconnects || now < state.next_attempt) {
+        continue;
+      }
+      dial_host(h);
+      return;  // one dial per pass: a down fleet backs off, not storms.
     }
   }
 
@@ -370,10 +592,11 @@ class Supervisor {
       return;
     }
     for (auto& worker : workers_) {
+      WorkerLink& link = *worker;
       if (pending_.empty()) {
         return;
       }
-      if (!worker.idle()) {
+      if (!link.idle() || !link.transport) {
         continue;
       }
       Assignment shard = pending_.front();
@@ -393,12 +616,18 @@ class Supervisor {
               static_cast<std::uint8_t>(1u << ((i - shard.begin) & 7));
         }
       }
-      if (!write_frame(worker.cmd_fd, Frame{FrameType::kAssign, encode_assign(payload)})) {
+      if (!link.transport->send(Frame{FrameType::kAssign, encode_assign(payload)})) {
+        // The link died under the assignment (EPIPE / mid-frame drop): the
+        // shard never reached the worker, so route it to a survivor. That
+        // re-route is a migration even though the worker never held it.
+        shard.attempt += 1;
         pending_.push_front(shard);
-        handle_death(worker, /*hang=*/false);  // EPIPE: it died before we noticed.
+        result_.stats.migrations += 1;
+        Obs::migrations().add(1);
+        handle_death(link, /*hang=*/false);
         continue;
       }
-      worker.current = shard;
+      link.current = shard;
       result_.stats.assignments += 1;
       Obs::assignments().add(1);
     }
@@ -413,16 +642,17 @@ class Supervisor {
       return;
     }
     const bool anyone_idle = std::any_of(workers_.begin(), workers_.end(),
-                                         [](const WorkerProc& w) { return w.idle(); });
+                                         [](const auto& w) { return w->idle(); });
     if (!anyone_idle) {
       return;
     }
     for (auto& worker : workers_) {
-      if (!worker.alive || !worker.current.has_value() || worker.current->split_done) {
+      WorkerLink& link = *worker;
+      if (!link.alive || !link.current.has_value() || link.current->split_done) {
         continue;
       }
       std::vector<std::uint64_t> unfinished;
-      for (std::uint64_t i = worker.current->begin; i < worker.current->end; ++i) {
+      for (std::uint64_t i = link.current->begin; i < link.current->end; ++i) {
         if (result_.records.count(static_cast<std::size_t>(i)) == 0) {
           unfinished.push_back(i);
         }
@@ -431,11 +661,11 @@ class Supervisor {
         continue;  // not worth the duplicate work.
       }
       Assignment tail;
-      tail.shard_id = worker.current->shard_id;
+      tail.shard_id = link.current->shard_id;
       tail.begin = unfinished[unfinished.size() / 2];
-      tail.end = worker.current->end;
-      tail.attempt = worker.current->attempt + 1;
-      worker.current->split_done = true;
+      tail.end = link.current->end;
+      tail.attempt = link.current->attempt + 1;
+      link.current->split_done = true;
       pending_.push_back(tail);
       result_.stats.migrations += 1;
       Obs::migrations().add(1);
@@ -449,12 +679,17 @@ class Supervisor {
 
   void pump_events() {
     std::vector<pollfd> fds;
-    std::vector<WorkerProc*> owners;
+    std::vector<WorkerLink*> owners;
     for (auto& worker : workers_) {
-      if (worker.alive && worker.out_fd >= 0) {
-        fds.push_back(pollfd{worker.out_fd, POLLIN, 0});
-        owners.push_back(&worker);
+      WorkerLink& link = *worker;
+      if (link.alive && link.transport && link.transport->poll_fd() >= 0) {
+        fds.push_back(pollfd{link.transport->poll_fd(), POLLIN, 0});
+        owners.push_back(&link);
       }
+    }
+    const bool watch_listener = listen_fd_ >= 0 && !stopping_;
+    if (watch_listener) {
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
     }
     const int timeout_ms = 20;
     if (fds.empty()) {
@@ -465,31 +700,42 @@ class Supervisor {
     if (ready <= 0) {
       return;
     }
-    for (std::size_t i = 0; i < fds.size(); ++i) {
+    for (std::size_t i = 0; i < owners.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
         continue;
       }
-      WorkerProc& worker = *owners[i];
-      const bool open = drain_fd(worker.out_fd, worker.inbuf);
+      WorkerLink& link = *owners[i];
+      if (!link.alive || !link.transport) {
+        continue;  // an earlier event this pass already tore it down.
+      }
+      const bool open = link.transport->pump();
       Frame frame;
-      while (worker.inbuf.next(frame)) {
-        handle_frame(worker, frame);
+      while (link.alive && link.transport && link.transport->next(frame)) {
+        handle_frame(link, frame);
       }
-      if (worker.inbuf.corrupt() || !open) {
-        if (worker.inbuf.corrupt() && worker.pid >= 0) {
-          kill(worker.pid, SIGKILL);  // desynchronized stream: fail hard.
-        }
-        // EOF before exit is reaped later; only treat a corrupt stream as
-        // an immediate death (EOF alone resolves via waitpid).
-        if (worker.inbuf.corrupt()) {
-          handle_death(worker, /*hang=*/false);
-        }
+      if (!link.alive || !link.transport) {
+        continue;  // handle_frame declared it dead.
       }
+      if (link.transport->corrupt()) {
+        if (link.pid >= 0) {
+          kill(link.pid, SIGKILL);  // desynchronized stream: fail hard.
+        }
+        handle_death(link, /*hang=*/false);
+        continue;
+      }
+      if (!open && link.pid < 0) {
+        // Remote EOF is the death event itself (there is no exit status
+        // coming); local EOF resolves through waitpid as before.
+        handle_death(link, /*hang=*/false);
+      }
+    }
+    if (watch_listener && (fds.back().revents & POLLIN) != 0) {
+      accept_inbound();
     }
   }
 
-  void handle_frame(WorkerProc& worker, const Frame& frame) {
-    worker.last_seen = Clock::now();
+  void handle_frame(WorkerLink& link, const Frame& frame) {
+    link.last_seen = Clock::now();
     switch (frame.type) {
       case FrameType::kHeartbeat:
         break;
@@ -497,11 +743,12 @@ class Supervisor {
         TrialPayload trial;
         if (!decode_trial(frame.payload, trial) || trial.index >= job_.trials ||
             (trial.record.ok && trial.record.payload.size() != job_.result_bytes)) {
-          worker.inbuf = FrameBuffer{};  // poison-equivalent: drop the worker.
-          if (worker.pid >= 0) {
-            kill(worker.pid, SIGKILL);
+          // Malformed or lying record: drop the worker (and the rest of
+          // its buffered frames with it).
+          if (link.pid >= 0) {
+            kill(link.pid, SIGKILL);
           }
-          handle_death(worker, /*hang=*/false);
+          handle_death(link, /*hang=*/false);
           return;
         }
         record_trial(static_cast<std::size_t>(trial.index), std::move(trial.record));
@@ -509,9 +756,9 @@ class Supervisor {
       }
       case FrameType::kShardDone: {
         std::uint64_t shard_id = 0;
-        if (decode_shard_done(frame.payload, shard_id) && worker.current.has_value() &&
-            worker.current->shard_id == shard_id) {
-          worker.current.reset();
+        if (decode_shard_done(frame.payload, shard_id) && link.current.has_value() &&
+            link.current->shard_id == shard_id) {
+          link.current.reset();
         }
         break;
       }
@@ -544,32 +791,44 @@ class Supervisor {
 
   void shutdown_fleet() {
     stopping_ = true;
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
     for (auto& worker : workers_) {
-      if (worker.alive && worker.cmd_fd >= 0) {
-        write_frame(worker.cmd_fd, Frame{FrameType::kShutdown, {}});
-        close(worker.cmd_fd);
-        worker.cmd_fd = -1;
+      WorkerLink& link = *worker;
+      if (link.alive && link.transport) {
+        link.transport->send(Frame{FrameType::kShutdown, {}});
+        link.transport->shutdown_writes();
       }
     }
     // Grace period: workers drain their current shard, see the shutdown
-    // frame (or EOF) and exit; anything still alive after it is killed.
+    // frame (or EOF) and exit; anything still alive after it is killed
+    // (locals) or cut (remotes).
     const auto deadline = Clock::now() + std::chrono::milliseconds(2000);
     while (Clock::now() < deadline) {
       pump_events();  // keep merging records workers flush while draining.
       reap_exits();
-      if (std::none_of(workers_.begin(), workers_.end(),
-                       [](const WorkerProc& w) { return w.pid >= 0; })) {
+      const bool anything_left =
+          std::any_of(workers_.begin(), workers_.end(),
+                      [](const auto& w) { return w->pid >= 0 || (w->alive && w->pid < 0); });
+      if (!anything_left) {
         break;
       }
     }
     for (auto& worker : workers_) {
-      if (worker.pid >= 0) {
-        kill(worker.pid, SIGKILL);
-        waitpid(worker.pid, nullptr, 0);
-        worker.pid = -1;
-        handle_death(worker, /*hang=*/false);
+      WorkerLink& link = *worker;
+      if (link.pid >= 0) {
+        kill(link.pid, SIGKILL);
+        waitpid(link.pid, nullptr, 0);
+        link.pid = -1;
+        handle_death(link, /*hang=*/false);
       }
-      close_worker_fds(worker);
+      link.alive = false;
+      if (link.transport) {
+        link.transport->close();
+        link.transport.reset();
+      }
     }
     Obs::live_workers().set(0);
   }
@@ -606,7 +865,11 @@ class Supervisor {
   CheckpointFile checkpoint_;
   std::size_t completions_since_save_ = 0;
   std::deque<Assignment> pending_;
-  std::vector<WorkerProc> workers_;
+  std::vector<std::unique_ptr<WorkerLink>> workers_;  ///< stable addresses for HostState.
+  std::vector<HostState> host_state_;
+  RemoteCampaignInfo remote_info_;
+  int listen_fd_ = -1;
+  Clock::time_point listen_deadline_;
   std::optional<Clock::time_point> respawn_after_;
   bool stopping_ = false;
   SupervisorResult result_;

@@ -47,13 +47,15 @@
 #include <vector>
 
 #include "core/resilience/resilient.h"
+#include "core/shard/net.h"
 #include "core/shard/worker.h"
 
 namespace hwsec::core::shard {
 
 struct ShardConfig {
   /// Worker processes to fork. 1 still exercises the full fork/pipe path;
-  /// 0 runs everything in-process (degenerate, for comparison harnesses).
+  /// 0 runs everything in-process (degenerate, for comparison harnesses)
+  /// unless remote hosts are configured below.
   unsigned processes = 2;
   /// Trials per shard. 0 = auto: spread the campaign so each worker sees
   /// several shards (max(1, trials / (processes * 4))) — small enough for
@@ -61,8 +63,9 @@ struct ShardConfig {
   std::size_t shard_size = 0;
   /// Worker heartbeat period (liveness beacons on the result pipe).
   std::chrono::milliseconds heartbeat_interval{25};
-  /// A worker silent for longer than this is presumed hung, SIGKILLed, and
-  /// its shard migrated. 0 disables hang detection (crash-only recovery).
+  /// A worker silent for longer than this is presumed hung, SIGKILLed
+  /// (local) or disconnected (remote), and its shard migrated. 0 disables
+  /// hang detection (crash-only recovery).
   std::chrono::milliseconds hang_timeout{2000};
   /// Total worker respawns allowed across the campaign (the retry budget
   /// of the process layer). Exhausting it shifts remaining work in-process.
@@ -70,6 +73,54 @@ struct ShardConfig {
   /// Base respawn delay; doubles per respawn already spent (capped at
   /// 64x), so a crash-looping fleet backs off instead of fork-bombing.
   std::chrono::milliseconds respawn_backoff{5};
+
+  // ---- multi-host (core/shard/net.h) ------------------------------------
+  // Remote workers extend the failure matrix, never the result: an N-host
+  // run is bit-identical to the 1-process run because trial i is a pure
+  // function of (campaign seed, i) on every host.
+
+  /// Remote worker endpoints the supervisor dials (each a listening
+  /// hwsec-shard-worker). One worker slot per host.
+  std::vector<HostSpec> hosts;
+  /// Canonical campaign spec JSON shipped to remote workers in the
+  /// kWelcome frame; its fnv1a64 is the campaign-identity digest. Empty =
+  /// this campaign cannot accept remote workers (dialing/listening with an
+  /// empty spec is a config error; inbound workers would be rejected).
+  std::string remote_spec_json;
+  /// Dial attempts per host across the campaign (the initial dial included
+  /// — the network analogue of max_respawns). Exhausting every host's
+  /// budget with no local workers left shifts remaining work in-process.
+  unsigned max_reconnects = 4;
+  /// Base re-dial delay; doubles per attempt already spent on that host
+  /// (capped at 64x).
+  std::chrono::milliseconds reconnect_backoff{25};
+  /// TCP connect() wait per dial attempt.
+  std::chrono::milliseconds connect_timeout{1000};
+  /// Wait for the peer's half of the handshake.
+  std::chrono::milliseconds handshake_timeout{2000};
+
+  /// Accept inbound workers (hwsec-shard-worker --connect) on
+  /// listen_address:listen_port (port 0 = kernel-assigned; read it from
+  /// the on_listening callback).
+  bool listen = false;
+  std::string listen_address = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  std::function<void(std::uint16_t port)> on_listening;
+  /// Inbound workers admitted at once (a loopback port is reachable by
+  /// anything on the box; the handshake gates identity, this gates count).
+  std::size_t max_inbound_workers = 16;
+  /// Listen-mode liveness horizon: with no worker alive and none connected
+  /// for this long, the supervisor stops waiting for inbound workers and
+  /// falls back in-process (a listener alone must not stall a campaign
+  /// forever).
+  std::chrono::milliseconds listen_grace{2000};
+
+  /// Test seam: replaces tcp_connect for dialed hosts (in-thread workers
+  /// over socketpairs — how the fault matrix runs without real processes).
+  std::function<std::unique_ptr<Transport>(const HostSpec& host, std::string& error)> dialer;
+  /// Test seam: wraps every remote transport right after creation (before
+  /// the handshake), e.g. in a FaultyTransport.
+  std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)> transport_decorator;
 };
 
 /// Recovery/scheduling telemetry for one sharded run (also exported as obs
@@ -86,6 +137,9 @@ struct ShardStats {
   std::uint64_t duplicate_trials = 0;   ///< idempotently-ignored duplicate records.
   std::uint64_t fallback_trials = 0;    ///< trials finished in-process after worker loss.
   std::uint64_t trials_executed = 0;    ///< fresh trial records (not checkpoint-restored).
+  std::uint64_t remote_workers = 0;     ///< remote links that completed the handshake.
+  std::uint64_t remote_reconnects = 0;  ///< re-dial attempts after a remote death.
+  std::uint64_t handshakes_rejected = 0;  ///< inbound/dialed handshakes refused or broken.
 };
 
 namespace detail_shard {

@@ -2,6 +2,7 @@
 
 #include <csignal>
 #include <cstring>
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -34,19 +35,6 @@ namespace {
 
 constexpr std::size_t kHeaderBytes = 12;  // magic u32, version u16, type u16, length u32.
 
-bool write_all(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t wrote = ::write(fd, data, n);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += wrote;
-    n -= static_cast<std::size_t>(wrote);
-  }
-  return true;
-}
-
 bool read_all(int fd, char* data, std::size_t n) {
   while (n > 0) {
     const ssize_t got = ::read(fd, data, n);
@@ -63,9 +51,17 @@ bool read_all(int fd, char* data, std::size_t n) {
   return true;
 }
 
-/// Parses and validates a frame header. Returns false on magic/version
-/// mismatch (a desynchronized or cross-build stream).
-bool parse_header(const char* raw, FrameType& type, std::uint32_t& length) {
+/// Parses and validates a frame header. THE single validation point for
+/// every read path — blocking read_frame and incremental FrameBuffer both
+/// come through here, so there is exactly one definition of "acceptable
+/// header": magic, version, AND payload length within the caller's cap.
+/// (Before this was unified, the length check lived separately in each
+/// reader; supervisor-side shard reads inherited the codec-wide 1 GiB
+/// default instead of a worker-sized cap.) Returns false on a
+/// desynchronized, cross-build, or lying header — always BEFORE any
+/// payload allocation.
+bool parse_header(const char* raw, FrameType& type, std::uint32_t& length,
+                  std::uint32_t max_payload) {
   std::uint32_t magic = 0;
   std::uint16_t version = 0;
   std::uint16_t type_raw = 0;
@@ -73,7 +69,7 @@ bool parse_header(const char* raw, FrameType& type, std::uint32_t& length) {
   std::memcpy(&version, raw + 4, 2);
   std::memcpy(&type_raw, raw + 6, 2);
   std::memcpy(&length, raw + 8, 4);
-  if (magic != kWireMagic || version != kWireVersion) {
+  if (magic != kWireMagic || version != kWireVersion || length > max_payload) {
     return false;
   }
   type = static_cast<FrameType>(type_raw);
@@ -82,7 +78,7 @@ bool parse_header(const char* raw, FrameType& type, std::uint32_t& length) {
 
 }  // namespace
 
-bool write_frame(int fd, const Frame& frame) {
+std::string encode_frame(const Frame& frame) {
   std::string wire;
   wire.reserve(kHeaderBytes + frame.payload.size());
   put_u32(wire, kWireMagic);
@@ -90,7 +86,32 @@ bool write_frame(int fd, const Frame& frame) {
   put_u16(wire, static_cast<std::uint16_t>(frame.type));
   put_u32(wire, static_cast<std::uint32_t>(frame.payload.size()));
   wire.append(frame.payload);
-  return write_all(fd, wire.data(), wire.size());
+  return wire;
+}
+
+bool write_all_fd(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full buffer: wait for writability. The
+        // peer draining (or dying: POLLERR/POLLHUP) wakes us either way.
+        pollfd pfd{fd, POLLOUT, 0};
+        poll(&pfd, 1, /*timeout_ms=*/100);
+        continue;
+      }
+      return false;
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  return write_all_fd(fd, wire.data(), wire.size());
 }
 
 bool read_frame(int fd, Frame& out, std::uint32_t max_payload) {
@@ -99,11 +120,8 @@ bool read_frame(int fd, Frame& out, std::uint32_t max_payload) {
     return false;
   }
   std::uint32_t length = 0;
-  if (!parse_header(header, out.type, length)) {
-    return false;
-  }
-  if (length > max_payload) {
-    return false;  // lying/hostile header: reject before allocating.
+  if (!parse_header(header, out.type, length, max_payload)) {
+    return false;  // bad magic/version or lying length: reject pre-alloc.
   }
   out.payload.resize(length);
   return length == 0 || read_all(fd, out.payload.data(), length);
@@ -114,7 +132,7 @@ bool FrameBuffer::next(Frame& out) {
     return false;
   }
   std::uint32_t length = 0;
-  if (!parse_header(buffer_.data(), out.type, length) || length > max_payload_) {
+  if (!parse_header(buffer_.data(), out.type, length, max_payload_)) {
     corrupt_ = true;
     return false;
   }
@@ -203,6 +221,15 @@ std::string encode_shard_done(std::uint64_t shard_id) {
 bool decode_shard_done(const std::string& payload, std::uint64_t& shard_id) {
   Reader r(payload);
   return r.get_u64(shard_id) && r.exhausted();
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
 }
 
 SigpipeIgnore::SigpipeIgnore() : previous_(new struct sigaction) {

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/resilience/checkpoint.h"
@@ -50,6 +51,15 @@ inline constexpr std::uint16_t kWireVersion = 1;
 /// much tighter per-request cap to read_frame.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;  // 1 GiB.
 
+/// Cap on any supervisor<->worker shard frame. The largest legitimate
+/// shard frames are a kTrial record (result bytes + error detail, well
+/// under a KiB) and a kAssign done-bitmap (trials/8 bytes: 16 MiB covers a
+/// 134M-trial shard, far past the 10M-trial admission cap). With TCP
+/// workers the shard protocol now faces the network, so the supervisor
+/// must treat worker bytes like the daemon treats client bytes: a lying
+/// length is rejected at the header, before any allocation.
+inline constexpr std::uint32_t kMaxShardFramePayload = 1u << 24;  // 16 MiB.
+
 /// One shared frame-type space for every transport that speaks this codec.
 /// 1..15 are the supervisor<->worker pipe protocol; 16+ are the hwsecd
 /// campaign-service socket protocol (core/service/protocol.h) — same
@@ -62,6 +72,10 @@ enum class FrameType : std::uint16_t {
   kTrial = 3,
   kShardDone = 4,
   kHeartbeat = 5,
+  // ---- multi-host handshake (core/shard/net.h) ----
+  kHello = 6,    ///< worker -> supervisor: version, capabilities, expected digest.
+  kWelcome = 7,  ///< supervisor -> worker: campaign spec + execution knobs.
+  kReject = 8,   ///< supervisor -> worker: named refusal (version/digest skew).
   // ---- campaign service (hwsecd) ----
   kSubmit = 16,         ///< client -> daemon: spec JSON.
   kSubmitted = 17,      ///< daemon -> client: accept/reject + job id.
@@ -138,6 +152,18 @@ struct Frame {
   std::string payload;
 };
 
+/// Serializes one frame (header + payload) to its exact wire bytes. The
+/// single place the header layout is produced — write_frame and every
+/// Transport send path go through it, so a fault-injecting transport can
+/// chop the byte string any way it likes and still be speaking the real
+/// format.
+std::string encode_frame(const Frame& frame);
+
+/// EINTR-safe full-buffer write that also rides out EAGAIN by polling for
+/// writability, so it works on blocking pipes and non-blocking sockets
+/// alike. Returns false on EPIPE or any hard error (peer gone).
+bool write_all_fd(int fd, const char* data, std::size_t n);
+
 /// Writes one frame; retries partial writes and EINTR. Returns false on any
 /// unrecoverable error (EPIPE after the peer died — callers treat that as a
 /// worker-death event, never a crash; pair with SigpipeIgnore below).
@@ -205,6 +231,12 @@ bool decode_trial(const std::string& payload, TrialPayload& out);
 
 std::string encode_shard_done(std::uint64_t shard_id);
 bool decode_shard_done(const std::string& payload, std::uint64_t& shard_id);
+
+/// FNV-1a 64 over arbitrary bytes. Lives with the wire codec because it IS
+/// wire vocabulary: the campaign-identity digest in the multi-host
+/// handshake and the result digest hwsecd clients compare are both this
+/// hash over canonical encodings (service/protocol.h re-exports it).
+std::uint64_t fnv1a64(std::string_view bytes);
 
 /// RAII SIGPIPE suppressor: a supervisor writing an assignment to a worker
 /// that just died must see EPIPE (a recoverable event), not take the whole

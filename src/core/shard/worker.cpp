@@ -15,19 +15,20 @@ namespace hwsec::core::shard {
 namespace {
 
 /// Serializes frame writes from the trial loop and the heartbeat thread
-/// onto one pipe. Frames are small, but interleaved partial writes would
-/// corrupt the stream, so every write holds the lock for the full frame.
+/// onto one transport. Frames are small, but interleaved partial writes
+/// would corrupt the stream, so every write holds the lock for the full
+/// frame.
 class FrameWriter {
  public:
-  explicit FrameWriter(int fd) : fd_(fd) {}
+  explicit FrameWriter(Transport& transport) : transport_(transport) {}
 
   bool send(FrameType type, std::string payload = {}) {
     std::lock_guard<std::mutex> lock(mutex_);
-    return write_frame(fd_, Frame{type, std::move(payload)});
+    return transport_.send(Frame{type, std::move(payload)});
   }
 
  private:
-  int fd_;
+  Transport& transport_;
   std::mutex mutex_;
 };
 
@@ -75,15 +76,15 @@ class HeartbeatThread {
 
 }  // namespace
 
-int worker_loop(int cmd_fd, int out_fd, const WorkerEnv& env, const TrialRunner& run_trial) {
+int worker_loop(Transport& transport, const WorkerEnv& env, const TrialRunner& run_trial) {
   // The supervisor owns our lifetime; if it dies, writes fail with EPIPE
   // (not a fatal signal) and the loop exits.
   SigpipeIgnore no_sigpipe;
-  FrameWriter writer(out_fd);
+  FrameWriter writer(transport);
   HeartbeatThread heartbeat(writer, env.heartbeat_interval);
 
   Frame frame;
-  while (read_frame(cmd_fd, frame)) {
+  while (transport.recv_blocking(frame, std::chrono::milliseconds(-1))) {
     if (frame.type == FrameType::kShutdown) {
       return 0;
     }
@@ -121,7 +122,13 @@ int worker_loop(int cmd_fd, int out_fd, const WorkerEnv& env, const TrialRunner&
       return 3;
     }
   }
-  return 0;  // command pipe EOF: supervisor closed us out.
+  return 0;  // command stream EOF: supervisor closed us out.
+}
+
+int worker_loop(int cmd_fd, int out_fd, const WorkerEnv& env, const TrialRunner& run_trial) {
+  FdTransport transport(cmd_fd, out_fd, kMaxShardFramePayload);
+  transport.set_label("pipe");
+  return worker_loop(transport, env, run_trial);
 }
 
 }  // namespace hwsec::core::shard

@@ -26,6 +26,7 @@
 
 #include "core/resilience/chaos.h"
 #include "core/resilience/checkpoint.h"
+#include "core/shard/transport.h"
 
 namespace hwsec::core::shard {
 
@@ -39,9 +40,14 @@ struct WorkerEnv {
   ChaosConfig chaos;  ///< only the worker_* fields are read here.
 };
 
-/// Runs the worker protocol over (cmd_fd from supervisor, out_fd to
-/// supervisor). Returns the process exit code; the caller _exit()s with it
-/// immediately (never unwinds back into forked test/benchmark state).
+/// Runs the worker protocol over any Transport — the forked child's pipe
+/// pair, a TCP socket to a remote supervisor, or a test socketpair; the
+/// protocol bytes are identical on every wire. Returns the process exit
+/// code; forked callers _exit() with it immediately (never unwinding back
+/// into forked test/benchmark state), remote workers just return it.
+int worker_loop(Transport& transport, const WorkerEnv& env, const TrialRunner& run_trial);
+
+/// Pipe-pair convenience wrapper (the forked-child entry point).
 int worker_loop(int cmd_fd, int out_fd, const WorkerEnv& env, const TrialRunner& run_trial);
 
 }  // namespace hwsec::core::shard

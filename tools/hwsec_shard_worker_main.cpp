@@ -1,0 +1,110 @@
+// hwsec-shard-worker — remote shard worker for multi-host campaigns.
+//
+// Lends this machine's CPU to a sharded campaign supervisor. The campaign
+// itself arrives over the wire (the handshake's kWelcome carries the
+// canonical spec JSON), so the worker needs zero local configuration and
+// a stale binary can never join the wrong run: the spec digest is checked
+// on both ends of the handshake.
+//
+// Two dial directions, one protocol:
+//   hwsec-shard-worker --listen [PORT]        wait for supervisors to dial
+//                                             (ShardConfig::hosts / a spec's
+//                                             "hosts" array points here);
+//   hwsec-shard-worker --connect HOST:PORT    dial a listening supervisor
+//                                             (ShardConfig::listen).
+//
+//   --name NAME       display name sent in the hello (default "worker")
+//   --expect-digest H pin a campaign digest (hex); anything else is
+//                     rejected by name instead of silently computing for
+//                     the wrong campaign
+//   --once            listen mode: exit after one supervisor session
+//                     (default keeps serving)
+//   --address ADDR    listen mode: bind address (default 127.0.0.1)
+//   --retries N       connect mode: dial attempts before giving up
+//
+// Exit: 0 after a normally-ended session (shutdown frame or supervisor
+// EOF), nonzero with a named reason on stderr otherwise. SIGTERM/SIGINT
+// stop a listening worker between sessions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/service/remote_worker.h"
+#include "core/shard/net.h"
+#include "core/shutdown.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen [PORT] [--address ADDR] [--once]\n"
+               "       %s --connect HOST:PORT [--retries N]\n"
+               "   common: [--name NAME] [--expect-digest HEX]\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hwsec::core::service::RemoteWorkerOptions options;
+  bool listen = false;
+  options.serve_forever = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--listen") {
+      listen = true;
+      if (has_value && argv[i + 1][0] != '-') {
+        char* end = nullptr;
+        const unsigned long port = std::strtoul(argv[++i], &end, 10);
+        if (end == nullptr || *end != '\0' || port > 65535) {
+          std::fprintf(stderr, "%s: bad --listen port \"%s\"\n", argv[0], argv[i]);
+          return 2;
+        }
+        options.listen_port = static_cast<std::uint16_t>(port);
+      }
+    } else if (arg == "--connect" && has_value) {
+      hwsec::core::shard::HostSpec host;
+      std::string error;
+      if (!hwsec::core::shard::parse_host(argv[++i], host, error)) {
+        std::fprintf(stderr, "%s: --connect: %s\n", argv[0], error.c_str());
+        return 2;
+      }
+      options.connect_host = host.host;
+      options.connect_port = host.port;
+    } else if (arg == "--address" && has_value) {
+      options.listen_address = argv[++i];
+    } else if (arg == "--name" && has_value) {
+      options.worker_name = argv[++i];
+    } else if (arg == "--expect-digest" && has_value) {
+      char* end = nullptr;
+      options.expect_digest = std::strtoull(argv[++i], &end, 16);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "%s: bad --expect-digest \"%s\" (hex)\n", argv[0], argv[i]);
+        return 2;
+      }
+    } else if (arg == "--retries" && has_value) {
+      options.connect_retries = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--once") {
+      options.serve_forever = false;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (listen == !options.connect_host.empty()) {
+    usage(argv[0]);  // exactly one of --listen / --connect.
+    return 2;
+  }
+
+  hwsec::core::install_graceful_shutdown();
+  if (listen) {
+    options.on_listening = [](std::uint16_t port) {
+      std::fprintf(stderr, "hwsec-shard-worker: listening on port %u\n",
+                   static_cast<unsigned>(port));
+      std::fflush(stderr);
+    };
+  }
+  return hwsec::core::service::run_remote_worker(options);
+}
